@@ -1,0 +1,160 @@
+//! The combined accelerator model: timing + voltage/error + power → energy.
+
+use crate::{AccelError, LayerWorkload, PowerModel, SystolicArray, VoltageBerModel};
+use serde::{Deserialize, Serialize};
+use wgft_faultsim::BitErrorRate;
+use wgft_winograd::ConvAlgorithm;
+
+/// Energy and runtime of one network inference at one operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Supply voltage of the operating point.
+    pub voltage: f64,
+    /// Bit error rate induced by that voltage.
+    pub ber: f64,
+    /// Total cycles of one inference.
+    pub cycles: u64,
+    /// Runtime of one inference in seconds.
+    pub runtime_seconds: f64,
+    /// Power drawn at this voltage in watts.
+    pub power_watts: f64,
+    /// Energy of one inference in joules.
+    pub energy_joules: f64,
+}
+
+/// A voltage-scalable DNN accelerator (Section 4.2's experimental platform).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Accelerator {
+    array: SystolicArray,
+    voltage_model: VoltageBerModel,
+    power_model: PowerModel,
+}
+
+impl Accelerator {
+    /// The configuration used throughout the reproduction (16x16 array at
+    /// 667 MHz, Figure 6 voltage/error calibration, DNN-Engine-class power).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            array: SystolicArray::paper_default(),
+            voltage_model: VoltageBerModel::paper_default(),
+            power_model: PowerModel::paper_default(),
+        }
+    }
+
+    /// Create an accelerator from its three component models.
+    #[must_use]
+    pub fn new(array: SystolicArray, voltage_model: VoltageBerModel, power_model: PowerModel) -> Self {
+        Self { array, voltage_model, power_model }
+    }
+
+    /// The systolic-array timing model.
+    #[must_use]
+    pub fn array(&self) -> &SystolicArray {
+        &self.array
+    }
+
+    /// The voltage → bit-error-rate model.
+    #[must_use]
+    pub fn voltage_model(&self) -> &VoltageBerModel {
+        &self.voltage_model
+    }
+
+    /// The power model.
+    #[must_use]
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power_model
+    }
+
+    /// Bit error rate at the given voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::VoltageOutOfRange`] outside the supported window.
+    pub fn ber_at(&self, voltage: f64) -> Result<BitErrorRate, AccelError> {
+        self.voltage_model.ber_at(voltage)
+    }
+
+    /// Energy report for one inference of `workloads` under `algo` at `voltage`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::VoltageOutOfRange`] outside the supported window.
+    pub fn report(
+        &self,
+        workloads: &[LayerWorkload],
+        algo: ConvAlgorithm,
+        voltage: f64,
+    ) -> Result<EnergyReport, AccelError> {
+        let ber = self.voltage_model.ber_at(voltage)?;
+        let cycles = self.array.network_cycles(workloads, algo);
+        let runtime_seconds = self.array.runtime_seconds(cycles);
+        let power_watts = self.power_model.power_watts(voltage);
+        Ok(EnergyReport {
+            voltage,
+            ber: ber.rate(),
+            cycles,
+            runtime_seconds,
+            power_watts,
+            energy_joules: power_watts * runtime_seconds,
+        })
+    }
+
+    /// Energy at the nominal voltage (the "Base" bar of Figure 7).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`AccelError`] from the underlying models.
+    pub fn nominal_report(
+        &self,
+        workloads: &[LayerWorkload],
+        algo: ConvAlgorithm,
+    ) -> Result<EnergyReport, AccelError> {
+        self.report(workloads, algo, self.voltage_model.nominal_voltage())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgft_tensor::ConvGeometry;
+    use wgft_winograd::ConvShape;
+
+    fn workload() -> Vec<LayerWorkload> {
+        vec![
+            LayerWorkload::Conv(ConvShape::new(3, 16, ConvGeometry::square(16, 3, 1, 1))),
+            LayerWorkload::Conv(ConvShape::new(16, 32, ConvGeometry::square(8, 3, 1, 1))),
+            LayerWorkload::Dense { in_features: 32, out_features: 8 },
+        ]
+    }
+
+    #[test]
+    fn lower_voltage_means_less_energy_but_more_errors() {
+        let accel = Accelerator::paper_default();
+        let high = accel.report(&workload(), ConvAlgorithm::Standard, 0.9).unwrap();
+        let low = accel.report(&workload(), ConvAlgorithm::Standard, 0.75).unwrap();
+        assert!(low.energy_joules < high.energy_joules);
+        assert!(low.ber > high.ber);
+        assert_eq!(low.cycles, high.cycles, "voltage does not change the cycle count");
+    }
+
+    #[test]
+    fn winograd_saves_energy_at_equal_voltage() {
+        let accel = Accelerator::paper_default();
+        let st = accel.nominal_report(&workload(), ConvAlgorithm::Standard).unwrap();
+        let wg = accel.nominal_report(&workload(), ConvAlgorithm::winograd_default()).unwrap();
+        assert!(wg.cycles < st.cycles);
+        assert!(wg.energy_joules < st.energy_joules);
+        assert_eq!(wg.voltage, 0.9);
+    }
+
+    #[test]
+    fn out_of_range_voltage_is_rejected() {
+        let accel = Accelerator::paper_default();
+        assert!(accel.report(&workload(), ConvAlgorithm::Standard, 0.5).is_err());
+        assert!(accel.ber_at(0.77).is_ok());
+        assert!(accel.array().frequency_mhz() > 0.0);
+        assert!(accel.power_model().nominal_voltage() > 0.0);
+        assert!(accel.voltage_model().min_voltage() < 0.9);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type for accelerator model configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring the accelerator models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccelError {
+    /// A voltage outside the model's validity range was requested.
+    VoltageOutOfRange {
+        /// Requested voltage.
+        voltage: f64,
+        /// Lowest supported voltage.
+        min: f64,
+        /// Highest supported voltage.
+        max: f64,
+    },
+    /// A model parameter was non-positive where a positive value is required.
+    NonPositiveParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::VoltageOutOfRange { voltage, min, max } => {
+                write!(f, "voltage {voltage} V is outside the supported range [{min}, {max}] V")
+            }
+            AccelError::NonPositiveParameter { name, value } => {
+                write!(f, "parameter {name} must be positive, got {value}")
+            }
+        }
+    }
+}
+
+impl Error for AccelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_details() {
+        let e = AccelError::VoltageOutOfRange { voltage: 0.5, min: 0.7, max: 0.9 };
+        assert!(e.to_string().contains("0.5"));
+        let e = AccelError::NonPositiveParameter { name: "rows", value: 0.0 };
+        assert!(e.to_string().contains("rows"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<AccelError>();
+    }
+}

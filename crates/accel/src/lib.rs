@@ -1,0 +1,39 @@
+//! Systolic-array timing, voltage/error and power/energy models of a DNN
+//! accelerator.
+//!
+//! Section 4.2 of the paper lowers the supply voltage of "a typical neural
+//! network accelerator" (the DNN Engine of Whatmough et al., JSSC'18, running
+//! at 667 MHz between 0.9 V and 0.7 V) and estimates runtime with a simulator
+//! modified from Scale-Sim. Neither the silicon measurements nor Scale-Sim
+//! are available to an offline Rust reproduction, so this crate models the
+//! three ingredients the experiment actually needs:
+//!
+//! * [`SystolicArray`] — an output-stationary GEMM tiling cycle model in the
+//!   spirit of Scale-Sim, applied to im2col-lowered standard convolution and
+//!   to the transform/element-wise/inverse pipeline of winograd convolution,
+//! * [`VoltageBerModel`] — an exponential timing-error model: every ~12.5 mV
+//!   of undervolting costs one decade of bit error rate, anchored so the
+//!   0.77–0.82 V window spans the 1e-12…1e-8 BER range of the paper's
+//!   Figure 6,
+//! * [`PowerModel`] — dynamic power scaling with V² plus a leakage term
+//!   scaling with V,
+//!
+//! combined by [`Accelerator`] into energy figures for a given network
+//! workload, convolution algorithm and supply voltage (Figure 7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod energy;
+mod error;
+mod power;
+mod systolic;
+mod voltage;
+mod workload;
+
+pub use energy::{Accelerator, EnergyReport};
+pub use error::AccelError;
+pub use power::PowerModel;
+pub use systolic::SystolicArray;
+pub use voltage::VoltageBerModel;
+pub use workload::LayerWorkload;

@@ -1,0 +1,86 @@
+//! Accelerator power model.
+
+use crate::AccelError;
+use serde::{Deserialize, Serialize};
+
+/// Dynamic + leakage power model under voltage scaling at fixed frequency.
+///
+/// `P(V) = P_dyn · (V / V_nom)² + P_leak · (V / V_nom)` — dynamic power
+/// scales with the square of the supply voltage (CV²f) and leakage roughly
+/// linearly, which is all the Figure 7 energy comparison needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    dynamic_watts: f64,
+    leakage_watts: f64,
+    nominal_voltage: f64,
+}
+
+impl PowerModel {
+    /// The defaults used by the reproduction: 280 mW dynamic + 40 mW leakage
+    /// at 0.9 V (the order of magnitude reported for the DNN Engine).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self { dynamic_watts: 0.28, leakage_watts: 0.04, nominal_voltage: 0.9 }
+    }
+
+    /// Create a custom power model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::NonPositiveParameter`] for non-positive values.
+    pub fn new(
+        dynamic_watts: f64,
+        leakage_watts: f64,
+        nominal_voltage: f64,
+    ) -> Result<Self, AccelError> {
+        for (name, value) in [
+            ("dynamic_watts", dynamic_watts),
+            ("leakage_watts", leakage_watts),
+            ("nominal_voltage", nominal_voltage),
+        ] {
+            if value <= 0.0 || !value.is_finite() {
+                return Err(AccelError::NonPositiveParameter { name, value });
+            }
+        }
+        Ok(Self { dynamic_watts, leakage_watts, nominal_voltage })
+    }
+
+    /// Nominal supply voltage the power figures were measured at.
+    #[must_use]
+    pub fn nominal_voltage(&self) -> f64 {
+        self.nominal_voltage
+    }
+
+    /// Total power at the given supply voltage.
+    #[must_use]
+    pub fn power_watts(&self, voltage: f64) -> f64 {
+        let ratio = voltage / self.nominal_voltage;
+        self.dynamic_watts * ratio * ratio + self.leakage_watts * ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_scales_quadratically_with_voltage() {
+        let p = PowerModel::paper_default();
+        let nominal = p.power_watts(0.9);
+        let scaled = p.power_watts(0.77);
+        assert!((nominal - 0.32).abs() < 1e-9);
+        assert!(scaled < nominal);
+        // The dynamic component dominates, so the saving is close to (0.77/0.9)^2.
+        let ratio = scaled / nominal;
+        assert!(ratio > 0.70 && ratio < 0.80, "ratio {ratio}");
+        assert_eq!(p.nominal_voltage(), 0.9);
+    }
+
+    #[test]
+    fn constructor_rejects_non_positive() {
+        assert!(PowerModel::new(0.0, 0.1, 0.9).is_err());
+        assert!(PowerModel::new(0.3, -1.0, 0.9).is_err());
+        assert!(PowerModel::new(0.3, 0.1, f64::NAN).is_err());
+        assert!(PowerModel::new(0.3, 0.1, 0.9).is_ok());
+    }
+}

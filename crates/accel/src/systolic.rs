@@ -1,0 +1,194 @@
+//! Scale-Sim-style systolic-array cycle model.
+
+use crate::{AccelError, LayerWorkload};
+use serde::{Deserialize, Serialize};
+use wgft_winograd::{ConvAlgorithm, ConvShape};
+
+/// An output-stationary systolic MAC array with a vector post-processing unit.
+///
+/// The cycle model follows Scale-Sim's output-stationary analytical estimate:
+/// a GEMM of `M x K x N` mapped onto an `R x C` array takes
+/// `ceil(M/R) * ceil(N/C) * K + R + C` cycles (the accumulation passes of all
+/// output tiles, pipelined, plus one array fill and drain). Standard
+/// convolution is lowered to a single GEMM through im2col; winograd
+/// convolution runs one small GEMM per transform-domain coordinate while its
+/// input/output transforms run concurrently on a dedicated transform engine,
+/// so the layer takes the maximum of the two pipelines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystolicArray {
+    rows: usize,
+    cols: usize,
+    frequency_mhz: f64,
+}
+
+impl SystolicArray {
+    /// Create an array. The paper's accelerator runs at 667 MHz.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::NonPositiveParameter`] if any parameter is zero
+    /// or negative.
+    pub fn new(rows: usize, cols: usize, frequency_mhz: f64) -> Result<Self, AccelError> {
+        if rows == 0 {
+            return Err(AccelError::NonPositiveParameter { name: "rows", value: rows as f64 });
+        }
+        if cols == 0 {
+            return Err(AccelError::NonPositiveParameter { name: "cols", value: cols as f64 });
+        }
+        if frequency_mhz <= 0.0 || !frequency_mhz.is_finite() {
+            return Err(AccelError::NonPositiveParameter {
+                name: "frequency_mhz",
+                value: frequency_mhz,
+            });
+        }
+        Ok(Self { rows, cols, frequency_mhz })
+    }
+
+    /// The 16x16 array at 667 MHz used throughout the reproduction (a typical
+    /// edge-inference configuration, matching the DNN Engine's MAC count
+    /// order of magnitude).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self { rows: 16, cols: 16, frequency_mhz: 667.0 }
+    }
+
+    /// Clock frequency in MHz.
+    #[must_use]
+    pub fn frequency_mhz(&self) -> f64 {
+        self.frequency_mhz
+    }
+
+    /// Cycles for a dense `M x K x N` GEMM.
+    #[must_use]
+    pub fn gemm_cycles(&self, m: usize, k: usize, n: usize) -> u64 {
+        if m == 0 || k == 0 || n == 0 {
+            return 0;
+        }
+        let tiles_m = m.div_ceil(self.rows) as u64;
+        let tiles_n = n.div_ceil(self.cols) as u64;
+        tiles_m * tiles_n * k as u64 + self.rows as u64 + self.cols as u64
+    }
+
+    /// Cycles for one convolution layer under the given algorithm.
+    #[must_use]
+    pub fn conv_cycles(&self, shape: &ConvShape, algo: ConvAlgorithm) -> u64 {
+        match algo {
+            ConvAlgorithm::Winograd(variant) if algo.supports(shape) => {
+                let t = variant.input_tile();
+                let m_tile = variant.output_tile();
+                let tiles = shape.geometry.out_h().div_ceil(m_tile)
+                    * shape.geometry.out_w().div_ceil(m_tile);
+                // One GEMM of (tiles x Cin x Cout) per transform-domain point;
+                // the array stays filled across the t*t points.
+                let tiles_m = tiles.div_ceil(self.rows) as u64;
+                let tiles_n = shape.out_channels.div_ceil(self.cols) as u64;
+                let gemms = (t * t) as u64 * tiles_m * tiles_n * shape.in_channels as u64
+                    + self.rows as u64
+                    + self.cols as u64;
+                // Transforms run concurrently on a dedicated transform engine
+                // provisioned with `rows * cols / 4` add lanes, the throughput
+                // balance FPGA winograd accelerators use so the MAC array (not
+                // the transforms) is the bottleneck on compute-heavy layers.
+                let transform_adds = (tiles * shape.in_channels * 2 * t * t)
+                    + (tiles * shape.out_channels * 2 * m_tile * t);
+                let transform_lanes = ((self.rows * self.cols) / 4).max(1) as u64;
+                let transform_cycles = (transform_adds as u64).div_ceil(transform_lanes);
+                gemms.max(transform_cycles)
+            }
+            _ => {
+                // im2col GEMM: M = output pixels, K = Cin * k * k, N = Cout.
+                let m = shape.geometry.out_pixels();
+                let k = shape.in_channels * shape.geometry.k_h * shape.geometry.k_w;
+                self.gemm_cycles(m, k, shape.out_channels)
+            }
+        }
+    }
+
+    /// Cycles for a fully-connected layer (a degenerate `1 x K x N` GEMM).
+    #[must_use]
+    pub fn dense_cycles(&self, in_features: usize, out_features: usize) -> u64 {
+        self.gemm_cycles(1, in_features, out_features)
+    }
+
+    /// Total cycles for a network workload under the given algorithm.
+    #[must_use]
+    pub fn network_cycles(&self, workloads: &[LayerWorkload], algo: ConvAlgorithm) -> u64 {
+        workloads
+            .iter()
+            .map(|w| match w {
+                LayerWorkload::Conv(shape) => self.conv_cycles(shape, algo),
+                LayerWorkload::Dense { in_features, out_features } => {
+                    self.dense_cycles(*in_features, *out_features)
+                }
+            })
+            .sum()
+    }
+
+    /// Runtime in seconds for a cycle count at the configured frequency.
+    #[must_use]
+    pub fn runtime_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.frequency_mhz * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgft_tensor::ConvGeometry;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(SystolicArray::new(0, 16, 667.0).is_err());
+        assert!(SystolicArray::new(16, 0, 667.0).is_err());
+        assert!(SystolicArray::new(16, 16, 0.0).is_err());
+        assert!(SystolicArray::new(16, 16, -1.0).is_err());
+        assert!(SystolicArray::new(16, 16, 667.0).is_ok());
+    }
+
+    #[test]
+    fn gemm_cycles_formula() {
+        let array = SystolicArray::new(16, 16, 667.0).unwrap();
+        // One tile: (K + R + C) cycles.
+        assert_eq!(array.gemm_cycles(16, 100, 16), 132);
+        // Two tiles along M: twice the accumulation passes, one fill/drain.
+        assert_eq!(array.gemm_cycles(32, 100, 16), 232);
+        assert_eq!(array.gemm_cycles(0, 100, 16), 0);
+    }
+
+    #[test]
+    fn winograd_needs_fewer_cycles_than_standard_for_3x3() {
+        let array = SystolicArray::paper_default();
+        let shape = ConvShape::new(32, 32, ConvGeometry::square(16, 3, 1, 1));
+        let std_cycles = array.conv_cycles(&shape, ConvAlgorithm::Standard);
+        let wg_cycles = array.conv_cycles(&shape, ConvAlgorithm::winograd_default());
+        assert!(
+            (wg_cycles as f64) < 0.8 * std_cycles as f64,
+            "winograd {wg_cycles} should be well below standard {std_cycles}"
+        );
+    }
+
+    #[test]
+    fn one_by_one_convolution_falls_back_to_standard_timing() {
+        let array = SystolicArray::paper_default();
+        let shape = ConvShape::new(32, 32, ConvGeometry::square(16, 1, 1, 0));
+        assert_eq!(
+            array.conv_cycles(&shape, ConvAlgorithm::Standard),
+            array.conv_cycles(&shape, ConvAlgorithm::winograd_default())
+        );
+    }
+
+    #[test]
+    fn network_cycles_sum_layers_and_runtime_converts() {
+        let array = SystolicArray::paper_default();
+        let workloads = vec![
+            LayerWorkload::Conv(ConvShape::new(3, 16, ConvGeometry::square(16, 3, 1, 1))),
+            LayerWorkload::Dense { in_features: 16, out_features: 8 },
+        ];
+        let total = array.network_cycles(&workloads, ConvAlgorithm::Standard);
+        let conv_only = array.network_cycles(&workloads[..1].to_vec(), ConvAlgorithm::Standard);
+        assert!(total > conv_only);
+        let runtime = array.runtime_seconds(total);
+        assert!(runtime > 0.0 && runtime < 1.0);
+        assert_eq!(array.frequency_mhz(), 667.0);
+    }
+}

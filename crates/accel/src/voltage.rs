@@ -1,0 +1,182 @@
+//! Supply-voltage to bit-error-rate model.
+
+use crate::AccelError;
+use serde::{Deserialize, Serialize};
+use wgft_faultsim::BitErrorRate;
+
+/// Exponential timing-error model of an undervolted accelerator.
+///
+/// Timing-error rates of near-threshold designs rise exponentially as the
+/// supply voltage drops below the point where the critical path no longer
+/// closes — the behaviour reported for the DNN Engine the paper scales.
+/// The model is
+///
+/// ```text
+/// BER(V) = anchor_ber * 10^(-(V - anchor_voltage) * decades_per_volt)
+/// ```
+///
+/// clamped to `[0, 1]`, with defaults anchored so the 0.77–0.82 V window of
+/// the paper's Figure 6 spans the 1e-12 … 1e-8 BER range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageBerModel {
+    nominal_voltage: f64,
+    min_voltage: f64,
+    anchor_voltage: f64,
+    anchor_ber: f64,
+    decades_per_volt: f64,
+}
+
+impl VoltageBerModel {
+    /// The Figure 6 calibration: 0.9 V nominal, 0.7 V minimum, BER 1e-8 at
+    /// 0.77 V and one decade per 12.5 mV.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            nominal_voltage: 0.9,
+            min_voltage: 0.70,
+            anchor_voltage: 0.77,
+            anchor_ber: 1e-8,
+            decades_per_volt: 80.0,
+        }
+    }
+
+    /// Create a custom model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::NonPositiveParameter`] for non-positive anchor
+    /// BER or slope, and [`AccelError::VoltageOutOfRange`] if the voltage
+    /// ordering `min <= anchor <= nominal` is violated.
+    pub fn new(
+        nominal_voltage: f64,
+        min_voltage: f64,
+        anchor_voltage: f64,
+        anchor_ber: f64,
+        decades_per_volt: f64,
+    ) -> Result<Self, AccelError> {
+        if anchor_ber <= 0.0 {
+            return Err(AccelError::NonPositiveParameter { name: "anchor_ber", value: anchor_ber });
+        }
+        if decades_per_volt <= 0.0 {
+            return Err(AccelError::NonPositiveParameter {
+                name: "decades_per_volt",
+                value: decades_per_volt,
+            });
+        }
+        if !(min_voltage <= anchor_voltage && anchor_voltage <= nominal_voltage) {
+            return Err(AccelError::VoltageOutOfRange {
+                voltage: anchor_voltage,
+                min: min_voltage,
+                max: nominal_voltage,
+            });
+        }
+        Ok(Self { nominal_voltage, min_voltage, anchor_voltage, anchor_ber, decades_per_volt })
+    }
+
+    /// Nominal (fault-free) supply voltage.
+    #[must_use]
+    pub fn nominal_voltage(&self) -> f64 {
+        self.nominal_voltage
+    }
+
+    /// Lowest voltage the accelerator still operates at.
+    #[must_use]
+    pub fn min_voltage(&self) -> f64 {
+        self.min_voltage
+    }
+
+    /// Bit error rate at the given supply voltage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::VoltageOutOfRange`] outside
+    /// `[min_voltage, nominal_voltage]`.
+    pub fn ber_at(&self, voltage: f64) -> Result<BitErrorRate, AccelError> {
+        if !(self.min_voltage..=self.nominal_voltage).contains(&voltage) {
+            return Err(AccelError::VoltageOutOfRange {
+                voltage,
+                min: self.min_voltage,
+                max: self.nominal_voltage,
+            });
+        }
+        let exponent = -(voltage - self.anchor_voltage) * self.decades_per_volt;
+        let ber = (self.anchor_ber * 10f64.powf(exponent)).clamp(0.0, 1.0);
+        // A bit error rate below 1e-15 means no operation of even the largest
+        // network ever faults; treat it as fault-free operation.
+        let ber = if ber < 1e-15 { 0.0 } else { ber };
+        Ok(BitErrorRate::new(ber))
+    }
+
+    /// Voltages from `min_voltage` to `nominal_voltage` in `step` volt
+    /// increments (inclusive of both ends), used to sweep Figure 6.
+    #[must_use]
+    pub fn sweep(&self, step: f64) -> Vec<f64> {
+        let mut v = self.min_voltage;
+        let mut out = Vec::new();
+        while v < self.nominal_voltage - 1e-9 {
+            out.push((v * 1e4).round() / 1e4);
+            v += step.max(1e-3);
+        }
+        out.push(self.nominal_voltage);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_figure6_window() {
+        let m = VoltageBerModel::paper_default();
+        let at_077 = m.ber_at(0.77).unwrap().rate();
+        let at_082 = m.ber_at(0.82).unwrap().rate();
+        assert!((at_077 / 1e-8 - 1.0).abs() < 1e-6);
+        assert!((at_082 / 1e-12 - 1.0).abs() < 1e-3);
+        // Nominal voltage is effectively error-free.
+        assert!(m.ber_at(0.9).unwrap().is_zero());
+    }
+
+    #[test]
+    fn ber_is_monotone_decreasing_in_voltage() {
+        let m = VoltageBerModel::paper_default();
+        let mut last = f64::INFINITY;
+        for v in m.sweep(0.01) {
+            let ber = m.ber_at(v).unwrap().rate();
+            assert!(ber <= last + 1e-30, "BER must not increase with voltage");
+            last = ber;
+        }
+    }
+
+    #[test]
+    fn out_of_range_voltages_are_rejected() {
+        let m = VoltageBerModel::paper_default();
+        assert!(m.ber_at(0.5).is_err());
+        assert!(m.ber_at(1.0).is_err());
+        assert_eq!(m.nominal_voltage(), 0.9);
+        assert_eq!(m.min_voltage(), 0.70);
+    }
+
+    #[test]
+    fn constructor_validation() {
+        assert!(VoltageBerModel::new(0.9, 0.7, 0.77, 0.0, 80.0).is_err());
+        assert!(VoltageBerModel::new(0.9, 0.7, 0.77, 1e-8, -1.0).is_err());
+        assert!(VoltageBerModel::new(0.7, 0.9, 0.8, 1e-8, 80.0).is_err());
+        assert!(VoltageBerModel::new(0.9, 0.7, 0.77, 1e-8, 80.0).is_ok());
+    }
+
+    #[test]
+    fn sweep_covers_the_range() {
+        let m = VoltageBerModel::paper_default();
+        let sweep = m.sweep(0.05);
+        assert_eq!(sweep.first().copied(), Some(0.70));
+        assert_eq!(sweep.last().copied(), Some(0.9));
+        assert!(sweep.len() >= 4);
+    }
+
+    #[test]
+    fn very_low_voltage_saturates_at_one() {
+        let m = VoltageBerModel::new(0.9, 0.3, 0.77, 1e-8, 80.0).unwrap();
+        assert_eq!(m.ber_at(0.3).unwrap().rate(), 1.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Network workload description consumed by the timing model.
+
+use serde::{Deserialize, Serialize};
+use wgft_nn::{Layer, Network};
+use wgft_winograd::ConvShape;
+
+/// One compute layer of a network, as seen by the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LayerWorkload {
+    /// A 2-D convolution layer.
+    Conv(ConvShape),
+    /// A fully-connected layer.
+    Dense {
+        /// Input features.
+        in_features: usize,
+        /// Output features.
+        out_features: usize,
+    },
+}
+
+impl LayerWorkload {
+    /// Multiply-accumulate count of this layer under standard execution.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        match self {
+            LayerWorkload::Conv(shape) => {
+                (shape.geometry.out_pixels()
+                    * shape.out_channels
+                    * shape.in_channels
+                    * shape.geometry.k_h
+                    * shape.geometry.k_w) as u64
+            }
+            LayerWorkload::Dense { in_features, out_features } => {
+                (*in_features * *out_features) as u64
+            }
+        }
+    }
+
+    /// Extract the compute-layer workloads of a floating-point network, in
+    /// execution order (matching the compute-layer ids used by the quantized
+    /// inference path and the protection plans).
+    #[must_use]
+    pub fn from_network(network: &Network) -> Vec<LayerWorkload> {
+        network
+            .nodes()
+            .iter()
+            .filter_map(|node| match &node.layer {
+                Layer::Conv(conv) => Some(LayerWorkload::Conv(*conv.conv_shape())),
+                Layer::Linear(linear) => Some(LayerWorkload::Dense {
+                    in_features: linear.in_features(),
+                    out_features: linear.out_features(),
+                }),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgft_data::SyntheticSpec;
+    use wgft_nn::models::ModelKind;
+    use wgft_tensor::ConvGeometry;
+
+    #[test]
+    fn macs_for_conv_and_dense() {
+        let conv = LayerWorkload::Conv(ConvShape::new(8, 16, ConvGeometry::square(16, 3, 1, 1)));
+        assert_eq!(conv.macs(), (16 * 16 * 16 * 8 * 9) as u64);
+        let dense = LayerWorkload::Dense { in_features: 32, out_features: 10 };
+        assert_eq!(dense.macs(), 320);
+    }
+
+    #[test]
+    fn from_network_matches_compute_layer_count() {
+        let spec = SyntheticSpec::small();
+        let net = ModelKind::ResNetSmall.build(&spec, 1);
+        let workloads = LayerWorkload::from_network(&net);
+        assert_eq!(workloads.len(), net.compute_layer_count());
+        assert!(workloads.iter().all(|w| w.macs() > 0));
+        // The final layer of every model-zoo network is the classifier.
+        assert!(matches!(workloads.last(), Some(LayerWorkload::Dense { .. })));
+    }
+}

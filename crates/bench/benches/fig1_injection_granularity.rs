@@ -1,0 +1,18 @@
+//! Figure 1: neuron-level vs operation-level fault injection cannot / can
+//! distinguish standard from winograd convolution.
+//!
+//! Regenerates the four curves of the paper's Figure 1 (VGG19 int16 analogue)
+//! as a text table: accuracy vs bit error rate for {operation-level,
+//! neuron-level} x {ST-Conv, WG-Conv}.
+
+use wgft_bench::{ber_sweep, prepare};
+use wgft_fixedpoint::BitWidth;
+use wgft_nn::models::ModelKind;
+
+fn main() {
+    let campaign = prepare(ModelKind::VggSmall, BitWidth::W16);
+    let bers: Vec<f64> = ber_sweep(&campaign, 5).into_iter().filter(|&b| b > 0.0).collect();
+    let report = campaign.injection_granularity(&bers);
+    println!("== Figure 1: injection granularity ==");
+    println!("{report}");
+}

@@ -1,0 +1,19 @@
+//! Figure 2: accuracy of the four benchmark networks under standard vs
+//! winograd convolution across bit error rates, for int8 and int16.
+
+use wgft_bench::{ber_sweep, prepare};
+use wgft_fixedpoint::BitWidth;
+use wgft_nn::models::ModelKind;
+
+fn main() {
+    println!("== Figure 2: network-wise fault tolerance ==");
+    for kind in ModelKind::all() {
+        for width in BitWidth::all() {
+            let campaign = prepare(kind, width);
+            let bers = ber_sweep(&campaign, 5);
+            let report = campaign.network_sweep(&bers);
+            println!("--- {} ({}) analogue of {} ---", kind.label(), width, kind.paper_reference());
+            println!("{report}");
+        }
+    }
+}

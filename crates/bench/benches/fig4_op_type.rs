@@ -1,0 +1,20 @@
+//! Figure 4: accuracy with fault-free additions vs fault-free multiplications
+//! for standard and winograd convolution.
+
+use wgft_bench::{ber_sweep, prepare};
+use wgft_fixedpoint::BitWidth;
+use wgft_nn::models::ModelKind;
+
+fn main() {
+    println!("== Figure 4: operation-type sensitivity ==");
+    for kind in [ModelKind::VggSmall, ModelKind::ResNetSmall] {
+        for width in BitWidth::all() {
+            let campaign = prepare(kind, width);
+            let bers: Vec<f64> =
+                ber_sweep(&campaign, 4).into_iter().filter(|&b| b > 0.0).collect();
+            let report = campaign.op_type_sensitivity(&bers);
+            println!("--- {} ({width}) ---", kind.label());
+            println!("{report}");
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Figure 6: accelerator bit error rate and model accuracy across supply
+//! voltages (standard vs winograd convolution).
+
+use wgft_accel::Accelerator;
+use wgft_bench::prepare;
+use wgft_core::VoltageScalingStudy;
+use wgft_fixedpoint::BitWidth;
+use wgft_nn::models::ModelKind;
+
+fn main() {
+    let campaign = prepare(ModelKind::VggSmall, BitWidth::W16);
+    let mut study = VoltageScalingStudy::new(&campaign, Accelerator::paper_default());
+    let voltages: Vec<f64> = (0..=12).map(|i| 0.70 + 0.01 * f64::from(i)).collect();
+    let report = study.voltage_sweep(&voltages).expect("sweep failed");
+    println!("== Figure 6: voltage vs bit error rate and accuracy ==");
+    println!("{report}");
+}

@@ -1,0 +1,16 @@
+//! Figure 7: normalized energy of voltage-scaled inference for ST-Conv,
+//! WG-Conv-W/O-AFT and WG-Conv-W/AFT under accuracy-loss constraints.
+
+use wgft_accel::Accelerator;
+use wgft_bench::prepare;
+use wgft_core::VoltageScalingStudy;
+use wgft_fixedpoint::BitWidth;
+use wgft_nn::models::ModelKind;
+
+fn main() {
+    let campaign = prepare(ModelKind::VggSmall, BitWidth::W16);
+    let mut study = VoltageScalingStudy::new(&campaign, Accelerator::paper_default());
+    let report = study.energy_table(&[0.01, 0.03, 0.05, 0.10]).expect("energy table failed");
+    println!("== Figure 7: voltage-scaling energy ==");
+    println!("{report}");
+}

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the convolution kernels and the
+//! fault-injection datapath overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use wgft_faultsim::{BitErrorRate, ExactArithmetic, FaultConfig, FaultyArithmetic};
+use wgft_fixedpoint::BitWidth;
+use wgft_tensor::ConvGeometry;
+use wgft_winograd::{
+    direct_conv_quantized, transform_weights_f32, winograd_conv_quantized, ConvShape,
+    WinogradVariant, WinogradWeights,
+};
+
+fn conv_fixture() -> (ConvShape, Vec<i32>, Vec<i32>, WinogradWeights) {
+    let shape = ConvShape::new(16, 16, ConvGeometry::square(16, 3, 1, 1));
+    let input: Vec<i32> = (0..shape.input_len()).map(|i| ((i * 37 % 251) as i32) - 125).collect();
+    let weights: Vec<i32> = (0..shape.weight_len()).map(|i| ((i * 13 % 127) as i32) - 63).collect();
+    let weights_f: Vec<f32> = weights.iter().map(|&w| w as f32).collect();
+    let u = transform_weights_f32(&weights_f, 16, 16, WinogradVariant::F2x2).unwrap();
+    let wino =
+        WinogradWeights::new(WinogradVariant::F2x2, 16, 16, u.iter().map(|&x| x.round() as i32).collect())
+            .unwrap();
+    (shape, input, weights, wino)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let (shape, input, weights, wino) = conv_fixture();
+    let mut group = c.benchmark_group("conv_kernels");
+    group.sample_size(20);
+    group.bench_function("direct_exact", |b| {
+        b.iter(|| {
+            let mut arith = ExactArithmetic::new();
+            black_box(direct_conv_quantized(&mut arith, 0, &input, &weights, &shape).unwrap())
+        })
+    });
+    group.bench_function("winograd_exact", |b| {
+        b.iter(|| {
+            let mut arith = ExactArithmetic::new();
+            black_box(winograd_conv_quantized(&mut arith, 0, &input, &wino, &shape).unwrap())
+        })
+    });
+    group.bench_function("direct_faulty_1e-6", |b| {
+        b.iter(|| {
+            let config = FaultConfig::new(BitErrorRate::new(1e-6), BitWidth::W16);
+            let mut arith = FaultyArithmetic::new(config, 7);
+            black_box(direct_conv_quantized(&mut arith, 0, &input, &weights, &shape).unwrap())
+        })
+    });
+    group.bench_function("winograd_faulty_1e-6", |b| {
+        b.iter(|| {
+            let config = FaultConfig::new(BitErrorRate::new(1e-6), BitWidth::W16);
+            let mut arith = FaultyArithmetic::new(config, 7);
+            black_box(winograd_conv_quantized(&mut arith, 0, &input, &wino, &shape).unwrap())
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("weight_transform");
+    group.sample_size(20);
+    let weights_f: Vec<f32> = (0..16 * 16 * 9).map(|i| (i % 17) as f32 * 0.01).collect();
+    group.bench_function("f2x2", |b| {
+        b.iter(|| black_box(transform_weights_f32(&weights_f, 16, 16, WinogradVariant::F2x2).unwrap()))
+    });
+    group.bench_function("f4x4", |b| {
+        b.iter(|| black_box(transform_weights_f32(&weights_f, 16, 16, WinogradVariant::F4x4).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

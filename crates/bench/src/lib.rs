@@ -1,0 +1,74 @@
+//! Shared helpers for the figure-regeneration benches of `wgft-bench`.
+//!
+//! Every bench target prepares its campaigns through [`bench_config`] so that
+//! trained models are cached under `target/wgft-models` and the experiment
+//! scale can be switched with environment variables:
+//!
+//! * `WGFT_FULL=1` — use the full 8-class 3x16x16 task (slower, closer to the
+//!   paper's setting); the default is the 4-class tiny task so that
+//!   `cargo bench --workspace` completes in minutes on a laptop.
+//! * `WGFT_IMAGES=N` — override the number of evaluation images per point.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use wgft_core::{CampaignConfig, FaultToleranceCampaign};
+use wgft_fixedpoint::BitWidth;
+use wgft_nn::models::ModelKind;
+
+/// Directory the trained-model cache lives in.
+#[must_use]
+pub fn model_cache_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/wgft-models")
+}
+
+/// Whether the benches run at full (paper-like) scale.
+#[must_use]
+pub fn full_scale() -> bool {
+    std::env::var("WGFT_FULL").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The campaign configuration for one (model, width) pair at the selected scale.
+#[must_use]
+pub fn bench_config(model: ModelKind, width: BitWidth) -> CampaignConfig {
+    let mut config = if full_scale() {
+        CampaignConfig::new(model, width)
+    } else {
+        CampaignConfig::test_scale(model, width)
+    };
+    if let Ok(images) = std::env::var("WGFT_IMAGES") {
+        if let Ok(n) = images.parse::<usize>() {
+            config = config.with_images(n);
+        }
+    }
+    config.with_cache_dir(model_cache_dir())
+}
+
+/// Prepare a campaign, printing a short progress line.
+///
+/// # Panics
+///
+/// Panics if campaign preparation fails — a bench cannot proceed without it.
+#[must_use]
+pub fn prepare(model: ModelKind, width: BitWidth) -> FaultToleranceCampaign {
+    let config = bench_config(model, width);
+    eprintln!("[wgft-bench] preparing {} ({width:?}) ...", model.label());
+    FaultToleranceCampaign::prepare(&config).expect("campaign preparation failed")
+}
+
+/// A geometric sweep of bit error rates centred on the campaign's accuracy
+/// cliff, from (almost) fault-free to heavily corrupted.
+#[must_use]
+pub fn ber_sweep(campaign: &FaultToleranceCampaign, points: usize) -> Vec<f64> {
+    let critical =
+        campaign.find_critical_ber(wgft_winograd::ConvAlgorithm::Standard, 0.5);
+    let mut sweep = vec![0.0];
+    let start = critical / 16.0;
+    let mut ber = start;
+    for _ in 0..points.max(2) {
+        sweep.push(ber);
+        ber *= 3.0;
+    }
+    sweep
+}

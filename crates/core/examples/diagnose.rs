@@ -1,0 +1,31 @@
+//! Diagnostic sweep (not part of the public examples): prints accuracy vs BER
+//! for standard/winograd and mul-free/add-free protection at test scale.
+use wgft_core::{CampaignConfig, FaultToleranceCampaign};
+use wgft_faultsim::{BitErrorRate, FaultModel, OpType, ProtectionPlan};
+use wgft_fixedpoint::BitWidth;
+use wgft_nn::models::ModelKind;
+use wgft_winograd::ConvAlgorithm;
+
+fn main() {
+    let config = CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W16)
+        .with_fault_model(FaultModel::ResultOnly);
+    let c = FaultToleranceCampaign::prepare(&config).unwrap();
+    println!("clean accuracy: {:.3}", c.clean_accuracy());
+    let crit = c.find_critical_ber(ConvAlgorithm::Standard, 0.5);
+    println!("critical ber: {crit:.2e}");
+    let mul_free = ProtectionPlan::none().with_fault_free_op_type(OpType::Mul);
+    let add_free = ProtectionPlan::none().with_fault_free_op_type(OpType::Add);
+    for mult in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let ber = BitErrorRate::new(crit * mult);
+        let st = c.accuracy_under(ConvAlgorithm::Standard, ber, &ProtectionPlan::none());
+        let wg = c.accuracy_under(ConvAlgorithm::winograd_default(), ber, &ProtectionPlan::none());
+        let stm = c.accuracy_under(ConvAlgorithm::Standard, ber, &mul_free);
+        let sta = c.accuracy_under(ConvAlgorithm::Standard, ber, &add_free);
+        let wgm = c.accuracy_under(ConvAlgorithm::winograd_default(), ber, &mul_free);
+        let wga = c.accuracy_under(ConvAlgorithm::winograd_default(), ber, &add_free);
+        println!(
+            "ber {:.2e}: ST {:.3}  WG {:.3}  | ST-mulfree {:.3} ST-addfree {:.3} | WG-mulfree {:.3} WG-addfree {:.3}",
+            ber.rate(), st, wg, stm, sta, wgm, wga
+        );
+    }
+}

@@ -1,0 +1,433 @@
+//! Fault-tolerance evaluation campaigns (Figures 1, 2 and 4).
+
+use crate::report::{pct, sci};
+use crate::{CampaignConfig, CoreError, TextTable};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wgft_data::Dataset;
+use wgft_faultsim::{
+    BitErrorRate, FaultConfig, FaultyArithmetic, NeuronLevelInjector, OpType, ProtectionPlan,
+};
+use wgft_nn::{QuantizedNetwork, QuantizerOptions, TrainedModel};
+use wgft_tensor::Tensor;
+use wgft_winograd::ConvAlgorithm;
+
+/// A prepared fault-tolerance campaign: a trained, quantized model-zoo network
+/// plus its evaluation set.
+///
+/// Preparing a campaign trains the network (or loads it from the cache) and is
+/// therefore the expensive step; every evaluation method afterwards reuses the
+/// same quantized network.
+#[derive(Debug, Clone)]
+pub struct FaultToleranceCampaign {
+    config: CampaignConfig,
+    trained: TrainedModel,
+    quantized: QuantizedNetwork,
+    eval_set: Dataset,
+    clean_accuracy: f64,
+}
+
+impl FaultToleranceCampaign {
+    /// Train (or load) the configured model, quantize it and evaluate the
+    /// fault-free baseline accuracy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] if training, quantization or evaluation fails.
+    pub fn prepare(config: &CampaignConfig) -> Result<Self, CoreError> {
+        let data = Dataset::synthetic(&config.spec, config.train_per_class, config.base_seed);
+        let (train, test) = data.split(0.8);
+        let trained = TrainedModel::load_or_train(
+            config.model,
+            &config.spec,
+            &train,
+            &test,
+            config.train_config,
+            config.base_seed ^ 0x5EED,
+            config.cache_dir.as_deref(),
+        )?;
+        let mut network = trained.network.clone();
+        let calibration: Vec<Tensor> =
+            train.samples().iter().take(16).map(|s| s.image.clone()).collect();
+        let quantized = QuantizedNetwork::from_network(
+            &mut network,
+            &calibration,
+            QuantizerOptions::new(config.width),
+        )?;
+        let eval_set = test.take(config.eval_images);
+        let mut campaign = Self {
+            config: config.clone(),
+            trained,
+            quantized,
+            eval_set,
+            clean_accuracy: 0.0,
+        };
+        campaign.clean_accuracy =
+            campaign.accuracy_under(ConvAlgorithm::Standard, BitErrorRate::ZERO, &ProtectionPlan::none());
+        Ok(campaign)
+    }
+
+    /// The configuration this campaign was prepared from.
+    #[must_use]
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// The trained floating-point model.
+    #[must_use]
+    pub fn trained(&self) -> &TrainedModel {
+        &self.trained
+    }
+
+    /// The quantized network every evaluation runs on.
+    #[must_use]
+    pub fn quantized(&self) -> &QuantizedNetwork {
+        &self.quantized
+    }
+
+    /// The evaluation set.
+    #[must_use]
+    pub fn eval_set(&self) -> &Dataset {
+        &self.eval_set
+    }
+
+    /// Fault-free accuracy of the quantized network on the evaluation set.
+    #[must_use]
+    pub fn clean_accuracy(&self) -> f64 {
+        self.clean_accuracy
+    }
+
+    /// Accuracy under operation-level fault injection.
+    ///
+    /// Every evaluation image uses an independent, deterministic fault seed
+    /// derived from the campaign's base seed, so repeated calls are
+    /// reproducible.
+    #[must_use]
+    pub fn accuracy_under(
+        &self,
+        algo: ConvAlgorithm,
+        ber: BitErrorRate,
+        protection: &ProtectionPlan,
+    ) -> f64 {
+        let mut correct = 0usize;
+        for (i, sample) in self.eval_set.iter().enumerate() {
+            let config = FaultConfig {
+                ber,
+                width: self.config.width,
+                model: self.config.fault_model,
+                protection: protection.clone(),
+            };
+            let seed = self.config.base_seed.wrapping_add(1 + i as u64);
+            let mut arith = FaultyArithmetic::new(config, seed);
+            let predicted = self
+                .quantized
+                .classify(&sample.image, &mut arith, algo)
+                .unwrap_or(usize::MAX);
+            if predicted == sample.label {
+                correct += 1;
+            }
+        }
+        correct as f64 / self.eval_set.len().max(1) as f64
+    }
+
+    /// Find a bit error rate on the accuracy cliff: the smallest rate (on a
+    /// geometric grid) at which the unprotected accuracy of `algo` falls below
+    /// `chance + keep_fraction * (clean - chance)`.
+    ///
+    /// The paper quotes absolute bit error rates for full-size networks
+    /// (around 3e-10 for VGG19); the miniature model zoo executes orders of
+    /// magnitude fewer operations per inference, so its cliff sits at a
+    /// proportionally higher rate. This helper locates it so experiments can
+    /// be centred on the interesting region regardless of model size.
+    #[must_use]
+    pub fn find_critical_ber(&self, algo: ConvAlgorithm, keep_fraction: f64) -> f64 {
+        let clean = self.clean_accuracy;
+        let chance = 1.0 / self.config.spec.num_classes.max(1) as f64;
+        let threshold = chance + keep_fraction.clamp(0.0, 1.0) * (clean - chance);
+        let mut ber = 1e-8;
+        while ber < 1e-2 {
+            let accuracy =
+                self.accuracy_under(algo, BitErrorRate::new(ber), &ProtectionPlan::none());
+            if accuracy < threshold {
+                return ber;
+            }
+            ber *= 2.0;
+        }
+        1e-2
+    }
+
+    /// Accuracy under neuron-level fault injection (the TensorFI/PyTorchFI
+    /// style baseline of Figure 1). The conv algorithm only changes the
+    /// arithmetic schedule, which a neuron-level injector cannot see — the
+    /// returned accuracy is therefore (statistically) identical for standard
+    /// and winograd convolution.
+    #[must_use]
+    pub fn accuracy_neuron_level(&self, algo: ConvAlgorithm, ber: BitErrorRate) -> f64 {
+        let mut correct = 0usize;
+        for (i, sample) in self.eval_set.iter().enumerate() {
+            let seed = self.config.base_seed.wrapping_add(0x9000 + i as u64);
+            let mut injector = NeuronLevelInjector::new(ber, self.config.width, seed);
+            let logits = self
+                .quantized
+                .forward_with_neuron_faults(&sample.image, &mut injector, algo)
+                .unwrap_or_default();
+            if wgft_data::argmax(&logits) == sample.label {
+                correct += 1;
+            }
+        }
+        correct as f64 / self.eval_set.len().max(1) as f64
+    }
+
+    /// Network-wise sweep (Figure 2): accuracy of standard vs winograd
+    /// convolution across bit error rates, plus the improvement.
+    #[must_use]
+    pub fn network_sweep(&self, bers: &[f64]) -> NetworkSweepReport {
+        let rows = bers
+            .iter()
+            .map(|&ber| {
+                let ber = BitErrorRate::new(ber);
+                let standard =
+                    self.accuracy_under(ConvAlgorithm::Standard, ber, &ProtectionPlan::none());
+                let winograd = self.accuracy_under(
+                    ConvAlgorithm::winograd_default(),
+                    ber,
+                    &ProtectionPlan::none(),
+                );
+                NetworkSweepRow { ber: ber.rate(), standard, winograd }
+            })
+            .collect();
+        NetworkSweepReport {
+            model: self.quantized.name().to_string(),
+            width: self.config.width.to_string(),
+            clean_accuracy: self.clean_accuracy,
+            rows,
+        }
+    }
+
+    /// Injection-granularity comparison (Figure 1): operation-level vs
+    /// neuron-level fault injection for both convolution algorithms.
+    #[must_use]
+    pub fn injection_granularity(&self, bers: &[f64]) -> GranularityReport {
+        let rows = bers
+            .iter()
+            .map(|&ber| {
+                let ber = BitErrorRate::new(ber);
+                GranularityRow {
+                    ber: ber.rate(),
+                    op_level_standard: self.accuracy_under(
+                        ConvAlgorithm::Standard,
+                        ber,
+                        &ProtectionPlan::none(),
+                    ),
+                    op_level_winograd: self.accuracy_under(
+                        ConvAlgorithm::winograd_default(),
+                        ber,
+                        &ProtectionPlan::none(),
+                    ),
+                    neuron_level_standard: self
+                        .accuracy_neuron_level(ConvAlgorithm::Standard, ber),
+                    neuron_level_winograd: self
+                        .accuracy_neuron_level(ConvAlgorithm::winograd_default(), ber),
+                }
+            })
+            .collect();
+        GranularityReport { model: self.quantized.name().to_string(), rows }
+    }
+
+    /// Operation-type sensitivity (Figure 4): accuracy when all additions or
+    /// all multiplications are kept fault-free, for both algorithms.
+    #[must_use]
+    pub fn op_type_sensitivity(&self, bers: &[f64]) -> OpTypeReport {
+        let mul_free = ProtectionPlan::none().with_fault_free_op_type(OpType::Mul);
+        let add_free = ProtectionPlan::none().with_fault_free_op_type(OpType::Add);
+        let rows = bers
+            .iter()
+            .map(|&ber| {
+                let ber = BitErrorRate::new(ber);
+                OpTypeRow {
+                    ber: ber.rate(),
+                    st_mul_fault_free: self.accuracy_under(ConvAlgorithm::Standard, ber, &mul_free),
+                    st_add_fault_free: self.accuracy_under(ConvAlgorithm::Standard, ber, &add_free),
+                    wg_mul_fault_free: self.accuracy_under(
+                        ConvAlgorithm::winograd_default(),
+                        ber,
+                        &mul_free,
+                    ),
+                    wg_add_fault_free: self.accuracy_under(
+                        ConvAlgorithm::winograd_default(),
+                        ber,
+                        &add_free,
+                    ),
+                    st_unprotected: self.accuracy_under(
+                        ConvAlgorithm::Standard,
+                        ber,
+                        &ProtectionPlan::none(),
+                    ),
+                    wg_unprotected: self.accuracy_under(
+                        ConvAlgorithm::winograd_default(),
+                        ber,
+                        &ProtectionPlan::none(),
+                    ),
+                }
+            })
+            .collect();
+        OpTypeReport { model: self.quantized.name().to_string(), rows }
+    }
+}
+
+/// One row of the Figure 2 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSweepRow {
+    /// Bit error rate.
+    pub ber: f64,
+    /// Accuracy with standard convolution.
+    pub standard: f64,
+    /// Accuracy with winograd convolution.
+    pub winograd: f64,
+}
+
+impl NetworkSweepRow {
+    /// Accuracy improvement of winograd over standard convolution.
+    #[must_use]
+    pub fn improvement(&self) -> f64 {
+        self.winograd - self.standard
+    }
+}
+
+/// The Figure 2 report for one (model, width) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkSweepReport {
+    /// Model name.
+    pub model: String,
+    /// Quantization width label.
+    pub width: String,
+    /// Fault-free accuracy.
+    pub clean_accuracy: f64,
+    /// Per-BER rows.
+    pub rows: Vec<NetworkSweepRow>,
+}
+
+impl fmt::Display for NetworkSweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} ({}), clean accuracy {} %",
+            self.model,
+            self.width,
+            pct(self.clean_accuracy)
+        )?;
+        let mut table =
+            TextTable::new(&["BER", "ST-Conv %", "WG-Conv %", "improvement %"]);
+        for row in &self.rows {
+            table.push_row(vec![
+                sci(row.ber),
+                pct(row.standard),
+                pct(row.winograd),
+                pct(row.improvement()),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+/// One row of the Figure 1 comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GranularityRow {
+    /// Bit error rate.
+    pub ber: f64,
+    /// Operation-level injection, standard convolution.
+    pub op_level_standard: f64,
+    /// Operation-level injection, winograd convolution.
+    pub op_level_winograd: f64,
+    /// Neuron-level injection, standard convolution.
+    pub neuron_level_standard: f64,
+    /// Neuron-level injection, winograd convolution.
+    pub neuron_level_winograd: f64,
+}
+
+/// The Figure 1 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GranularityReport {
+    /// Model name.
+    pub model: String,
+    /// Per-BER rows.
+    pub rows: Vec<GranularityRow>,
+}
+
+impl fmt::Display for GranularityReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} — operation-level vs neuron-level fault injection", self.model)?;
+        let mut table = TextTable::new(&[
+            "BER",
+            "op-level ST %",
+            "op-level WG %",
+            "neuron ST %",
+            "neuron WG %",
+        ]);
+        for row in &self.rows {
+            table.push_row(vec![
+                sci(row.ber),
+                pct(row.op_level_standard),
+                pct(row.op_level_winograd),
+                pct(row.neuron_level_standard),
+                pct(row.neuron_level_winograd),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+/// One row of the Figure 4 analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpTypeRow {
+    /// Bit error rate.
+    pub ber: f64,
+    /// Standard conv, multiplications fault-free.
+    pub st_mul_fault_free: f64,
+    /// Standard conv, additions fault-free.
+    pub st_add_fault_free: f64,
+    /// Winograd conv, multiplications fault-free.
+    pub wg_mul_fault_free: f64,
+    /// Winograd conv, additions fault-free.
+    pub wg_add_fault_free: f64,
+    /// Standard conv, nothing protected (reference).
+    pub st_unprotected: f64,
+    /// Winograd conv, nothing protected (reference).
+    pub wg_unprotected: f64,
+}
+
+/// The Figure 4 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpTypeReport {
+    /// Model name.
+    pub model: String,
+    /// Per-BER rows.
+    pub rows: Vec<OpTypeRow>,
+}
+
+impl fmt::Display for OpTypeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} — operation-type sensitivity", self.model)?;
+        let mut table = TextTable::new(&[
+            "BER",
+            "ST-Conv-Mul %",
+            "ST-Conv-Add %",
+            "WG-Conv-Mul %",
+            "WG-Conv-Add %",
+            "ST none %",
+            "WG none %",
+        ]);
+        for row in &self.rows {
+            table.push_row(vec![
+                sci(row.ber),
+                pct(row.st_mul_fault_free),
+                pct(row.st_add_fault_free),
+                pct(row.wg_mul_fault_free),
+                pct(row.wg_add_fault_free),
+                pct(row.st_unprotected),
+                pct(row.wg_unprotected),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}

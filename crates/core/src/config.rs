@@ -1,0 +1,146 @@
+//! Campaign configuration.
+
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use wgft_data::SyntheticSpec;
+use wgft_faultsim::FaultModel;
+use wgft_fixedpoint::BitWidth;
+use wgft_nn::models::ModelKind;
+use wgft_nn::TrainConfig;
+
+/// Configuration of a fault-tolerance evaluation campaign: which network,
+/// which quantization width, how much data to train and evaluate on, and how
+/// faults are modelled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Which model-zoo network to evaluate.
+    pub model: ModelKind,
+    /// Fixed-point storage width (the paper evaluates int8 and int16).
+    pub width: BitWidth,
+    /// The synthetic classification task.
+    pub spec: SyntheticSpec,
+    /// Training samples generated per class.
+    pub train_per_class: usize,
+    /// Training hyper-parameters.
+    pub train_config: TrainConfig,
+    /// Number of test images evaluated per fault configuration.
+    pub eval_images: usize,
+    /// Where soft errors land (see [`FaultModel`]).
+    pub fault_model: FaultModel,
+    /// Base RNG seed: dataset, training and per-image fault seeds derive from it.
+    pub base_seed: u64,
+    /// Directory for the trained-model cache (`None` trains from scratch).
+    pub cache_dir: Option<PathBuf>,
+}
+
+impl CampaignConfig {
+    /// The default campaign for a model/width pair: the 8-class 3x16x16 task,
+    /// 40 training images per class and 32 evaluation images.
+    #[must_use]
+    pub fn new(model: ModelKind, width: BitWidth) -> Self {
+        Self {
+            model,
+            width,
+            spec: SyntheticSpec::small(),
+            train_per_class: 40,
+            train_config: TrainConfig::default(),
+            eval_images: 32,
+            fault_model: FaultModel::default(),
+            base_seed: 0xC0FFEE,
+            cache_dir: None,
+        }
+    }
+
+    /// A drastically reduced configuration for unit tests: the tiny 4-class
+    /// task, a short training run and a handful of evaluation images.
+    #[must_use]
+    pub fn test_scale(model: ModelKind, width: BitWidth) -> Self {
+        Self {
+            spec: SyntheticSpec::tiny(),
+            train_per_class: 40,
+            train_config: TrainConfig { epochs: 5, ..TrainConfig::fast() },
+            eval_images: 32,
+            ..Self::new(model, width)
+        }
+    }
+
+    /// Override the number of evaluation images.
+    #[must_use]
+    pub fn with_images(mut self, eval_images: usize) -> Self {
+        self.eval_images = eval_images.max(1);
+        self
+    }
+
+    /// Override the synthetic task.
+    #[must_use]
+    pub fn with_spec(mut self, spec: SyntheticSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Override the fault model.
+    #[must_use]
+    pub fn with_fault_model(mut self, fault_model: FaultModel) -> Self {
+        self.fault_model = fault_model;
+        self
+    }
+
+    /// Use a trained-model cache directory (benches point this at
+    /// `target/wgft-models` so the zoo trains only once).
+    #[must_use]
+    pub fn with_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Override the training budget.
+    #[must_use]
+    pub fn with_train_config(mut self, train_config: TrainConfig) -> Self {
+        self.train_config = train_config;
+        self
+    }
+
+    /// Override the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_override_fields() {
+        let c = CampaignConfig::new(ModelKind::VggSmall, BitWidth::W16)
+            .with_images(7)
+            .with_seed(9)
+            .with_fault_model(FaultModel::ResultOnly)
+            .with_cache_dir("/tmp/zoo")
+            .with_spec(SyntheticSpec::tiny())
+            .with_train_config(TrainConfig::fast());
+        assert_eq!(c.eval_images, 7);
+        assert_eq!(c.base_seed, 9);
+        assert_eq!(c.fault_model, FaultModel::ResultOnly);
+        assert_eq!(c.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/zoo")));
+        assert_eq!(c.spec, SyntheticSpec::tiny());
+        assert_eq!(c.train_config.epochs, TrainConfig::fast().epochs);
+    }
+
+    #[test]
+    fn with_images_floors_at_one() {
+        let c = CampaignConfig::new(ModelKind::VggSmall, BitWidth::W8).with_images(0);
+        assert_eq!(c.eval_images, 1);
+    }
+
+    #[test]
+    fn test_scale_uses_the_smaller_task() {
+        let full = CampaignConfig::new(ModelKind::VggSmall, BitWidth::W8);
+        let tiny = CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W8);
+        assert!(tiny.spec.image_len() < full.spec.image_len());
+        assert!(tiny.spec.num_classes < full.spec.num_classes);
+        assert!(tiny.eval_images <= full.eval_images);
+    }
+}

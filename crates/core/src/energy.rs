@@ -1,0 +1,360 @@
+//! Winograd-aware supply-voltage scaling (Figures 6 and 7).
+//!
+//! The accelerator's bit error rate rises exponentially as its supply voltage
+//! drops (Figure 6). A scheme may scale the voltage down as long as the
+//! accuracy loss it *believes* it will incur stays inside the constraint;
+//! the three schemes differ in what they believe and what they execute:
+//!
+//! * "ST-Conv" — executes standard convolution and sizes the voltage against
+//!   the standard-convolution accuracy curve,
+//! * "WG-Conv-W/O-AFT" — executes winograd convolution (so each inference is
+//!   shorter and cheaper) but, unaware of winograd's extra fault tolerance,
+//!   still sizes the voltage against the standard-convolution curve,
+//! * "WG-Conv-W/AFT" — executes winograd convolution and sizes the voltage
+//!   against the winograd curve, unlocking a lower voltage and therefore less
+//!   energy (Figure 7).
+
+use crate::report::{pct, sci};
+use crate::{CoreError, FaultToleranceCampaign, TextTable};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use wgft_accel::{Accelerator, LayerWorkload};
+use wgft_faultsim::{BitErrorRate, ProtectionPlan};
+use wgft_winograd::ConvAlgorithm;
+
+/// Which voltage-scaling scheme is evaluated (Figure 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalingScheme {
+    /// Standard convolution, voltage sized on the standard accuracy curve.
+    Standard,
+    /// Winograd execution, voltage sized on the standard accuracy curve.
+    WinogradUnaware,
+    /// Winograd execution, voltage sized on the winograd accuracy curve.
+    WinogradAware,
+}
+
+impl ScalingScheme {
+    /// All three schemes in the paper's order.
+    #[must_use]
+    pub const fn all() -> [ScalingScheme; 3] {
+        [ScalingScheme::Standard, ScalingScheme::WinogradUnaware, ScalingScheme::WinogradAware]
+    }
+
+    /// The paper's label.
+    #[must_use]
+    pub const fn label(&self) -> &'static str {
+        match self {
+            ScalingScheme::Standard => "ST-Conv",
+            ScalingScheme::WinogradUnaware => "WG-Conv-W/O-AFT",
+            ScalingScheme::WinogradAware => "WG-Conv-W/AFT",
+        }
+    }
+
+    /// Accuracy curve the scheme believes in when choosing the voltage.
+    #[must_use]
+    pub const fn measurement_algorithm(&self) -> ConvAlgorithm {
+        match self {
+            ScalingScheme::Standard | ScalingScheme::WinogradUnaware => ConvAlgorithm::Standard,
+            ScalingScheme::WinogradAware => ConvAlgorithm::winograd_default(),
+        }
+    }
+
+    /// Algorithm the accelerator actually runs (determines runtime and energy).
+    #[must_use]
+    pub const fn execution_algorithm(&self) -> ConvAlgorithm {
+        match self {
+            ScalingScheme::Standard => ConvAlgorithm::Standard,
+            ScalingScheme::WinogradUnaware | ScalingScheme::WinogradAware => {
+                ConvAlgorithm::winograd_default()
+            }
+        }
+    }
+}
+
+impl fmt::Display for ScalingScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// One row of the Figure 6 sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct VoltageSweepRow {
+    /// Supply voltage.
+    pub voltage: f64,
+    /// Bit error rate at this voltage.
+    pub ber: f64,
+    /// Standard-convolution accuracy at this operating point.
+    pub standard_accuracy: f64,
+    /// Winograd-convolution accuracy at this operating point.
+    pub winograd_accuracy: f64,
+}
+
+/// The Figure 6 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoltageSweepReport {
+    /// Model name.
+    pub model: String,
+    /// Per-voltage rows (ascending voltage).
+    pub rows: Vec<VoltageSweepRow>,
+}
+
+impl fmt::Display for VoltageSweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} — voltage vs bit error rate and accuracy", self.model)?;
+        let mut table =
+            TextTable::new(&["voltage V", "BER", "ST-Conv %", "WG-Conv %"]);
+        for row in &self.rows {
+            table.push_row(vec![
+                format!("{:.3}", row.voltage),
+                sci(row.ber),
+                pct(row.standard_accuracy),
+                pct(row.winograd_accuracy),
+            ]);
+        }
+        write!(f, "{table}")
+    }
+}
+
+/// One operating point chosen for a scheme under one accuracy-loss constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchemeEnergyRow {
+    /// The scheme.
+    pub scheme: ScalingScheme,
+    /// Chosen supply voltage.
+    pub voltage: f64,
+    /// Energy per inference in joules at that voltage.
+    pub energy_joules: f64,
+    /// Energy normalized to the standard-convolution, nominal-voltage baseline.
+    pub normalized_energy: f64,
+    /// Accuracy the scheme achieves at the chosen operating point (measured
+    /// with its execution algorithm).
+    pub achieved_accuracy: f64,
+}
+
+/// One accuracy-loss-constraint row of the Figure 7 table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTableRow {
+    /// Maximum tolerated accuracy loss (relative to the clean accuracy).
+    pub accuracy_loss: f64,
+    /// The three schemes' operating points.
+    pub schemes: Vec<SchemeEnergyRow>,
+}
+
+impl EnergyTableRow {
+    /// The row for one scheme, if present.
+    #[must_use]
+    pub fn scheme(&self, scheme: ScalingScheme) -> Option<&SchemeEnergyRow> {
+        self.schemes.iter().find(|s| s.scheme == scheme)
+    }
+}
+
+/// The Figure 7 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyTableReport {
+    /// Model name.
+    pub model: String,
+    /// Baseline energy (standard convolution at nominal voltage) in joules.
+    pub baseline_energy_joules: f64,
+    /// Per-constraint rows.
+    pub rows: Vec<EnergyTableRow>,
+}
+
+impl EnergyTableReport {
+    /// Mean energy reduction of winograd-aware scaling versus the
+    /// standard-convolution scheme (the paper reports 42.89 %).
+    #[must_use]
+    pub fn mean_reduction_vs_standard(&self) -> f64 {
+        mean(self.rows.iter().filter_map(|row| {
+            let st = row.scheme(ScalingScheme::Standard)?;
+            let aware = row.scheme(ScalingScheme::WinogradAware)?;
+            (st.energy_joules > 0.0).then(|| 1.0 - aware.energy_joules / st.energy_joules)
+        }))
+    }
+
+    /// Mean energy reduction of winograd-aware scaling versus
+    /// fault-tolerance-unaware winograd (the paper reports 7.19 %).
+    #[must_use]
+    pub fn mean_reduction_vs_unaware(&self) -> f64 {
+        mean(self.rows.iter().filter_map(|row| {
+            let unaware = row.scheme(ScalingScheme::WinogradUnaware)?;
+            let aware = row.scheme(ScalingScheme::WinogradAware)?;
+            (unaware.energy_joules > 0.0)
+                .then(|| 1.0 - aware.energy_joules / unaware.energy_joules)
+        }))
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let collected: Vec<f64> = values.collect();
+    if collected.is_empty() {
+        0.0
+    } else {
+        collected.iter().sum::<f64>() / collected.len() as f64
+    }
+}
+
+impl fmt::Display for EnergyTableReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} — voltage-scaling energy (baseline {:.3e} J per inference, normalized to 1.0)",
+            self.model, self.baseline_energy_joules
+        )?;
+        let mut table = TextTable::new(&[
+            "loss %",
+            "ST-Conv",
+            "V(ST)",
+            "WG-W/O-AFT",
+            "V(W/O)",
+            "WG-W/AFT",
+            "V(W/)",
+        ]);
+        for row in &self.rows {
+            let cell = |scheme: ScalingScheme| -> (String, String) {
+                row.scheme(scheme)
+                    .map(|s| (format!("{:.3}", s.normalized_energy), format!("{:.3}", s.voltage)))
+                    .unwrap_or_else(|| ("-".into(), "-".into()))
+            };
+            let (st, st_v) = cell(ScalingScheme::Standard);
+            let (un, un_v) = cell(ScalingScheme::WinogradUnaware);
+            let (aw, aw_v) = cell(ScalingScheme::WinogradAware);
+            table.push_row(vec![pct(row.accuracy_loss), st, st_v, un, un_v, aw, aw_v]);
+        }
+        write!(f, "{table}")?;
+        writeln!(
+            f,
+            "mean energy reduction: {} % vs ST-Conv, {} % vs WG-Conv-W/O-AFT",
+            pct(self.mean_reduction_vs_standard()),
+            pct(self.mean_reduction_vs_unaware())
+        )
+    }
+}
+
+/// The Section 4.2 experiment: a campaign (accuracy-under-faults oracle) plus
+/// an accelerator model (voltage → error rate, cycles, power).
+#[derive(Debug, Clone)]
+pub struct VoltageScalingStudy<'a> {
+    campaign: &'a FaultToleranceCampaign,
+    accelerator: Accelerator,
+    workloads: Vec<LayerWorkload>,
+    voltage_step: f64,
+    accuracy_cache: BTreeMap<(u64, bool), f64>,
+}
+
+impl<'a> VoltageScalingStudy<'a> {
+    /// Create a study for a prepared campaign on the default accelerator.
+    #[must_use]
+    pub fn new(campaign: &'a FaultToleranceCampaign, accelerator: Accelerator) -> Self {
+        let workloads = LayerWorkload::from_network(&campaign.trained().network);
+        Self { campaign, accelerator, workloads, voltage_step: 0.01, accuracy_cache: BTreeMap::new() }
+    }
+
+    /// Override the voltage search granularity (default 10 mV).
+    #[must_use]
+    pub fn with_voltage_step(mut self, step: f64) -> Self {
+        self.voltage_step = step.max(1e-3);
+        self
+    }
+
+    /// The accelerator model in use.
+    #[must_use]
+    pub fn accelerator(&self) -> &Accelerator {
+        &self.accelerator
+    }
+
+    fn accuracy_at(&mut self, algo: ConvAlgorithm, ber: BitErrorRate) -> f64 {
+        if ber.is_zero() {
+            return self.campaign.clean_accuracy();
+        }
+        let key = (ber.rate().to_bits(), matches!(algo, ConvAlgorithm::Winograd(_)));
+        if let Some(&cached) = self.accuracy_cache.get(&key) {
+            return cached;
+        }
+        let accuracy = self.campaign.accuracy_under(algo, ber, &ProtectionPlan::none());
+        self.accuracy_cache.insert(key, accuracy);
+        accuracy
+    }
+
+    /// The Figure 6 sweep: bit error rate and model accuracy (both conv
+    /// algorithms) across the accelerator's voltage range.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accelerator-model errors.
+    pub fn voltage_sweep(&mut self, voltages: &[f64]) -> Result<VoltageSweepReport, CoreError> {
+        let mut rows = Vec::with_capacity(voltages.len());
+        for &voltage in voltages {
+            let ber = self.accelerator.ber_at(voltage)?;
+            rows.push(VoltageSweepRow {
+                voltage,
+                ber: ber.rate(),
+                standard_accuracy: self.accuracy_at(ConvAlgorithm::Standard, ber),
+                winograd_accuracy: self.accuracy_at(ConvAlgorithm::winograd_default(), ber),
+            });
+        }
+        Ok(VoltageSweepReport { model: self.campaign.quantized().name().to_string(), rows })
+    }
+
+    /// Lowest voltage (searched downwards from nominal in `voltage_step`
+    /// increments) at which the scheme's believed accuracy stays above
+    /// `clean - accuracy_loss`.
+    fn choose_voltage(&mut self, scheme: ScalingScheme, accuracy_loss: f64) -> Result<f64, CoreError> {
+        let clean = self.campaign.clean_accuracy();
+        let threshold = clean - accuracy_loss;
+        let nominal = self.accelerator.voltage_model().nominal_voltage();
+        let min_v = self.accelerator.voltage_model().min_voltage();
+        let algo = scheme.measurement_algorithm();
+        let mut best = nominal;
+        let mut voltage = nominal;
+        while voltage >= min_v - 1e-9 {
+            let ber = self.accelerator.ber_at(voltage)?;
+            let accuracy = self.accuracy_at(algo, ber);
+            if accuracy + 1e-12 >= threshold {
+                best = voltage;
+            } else {
+                break;
+            }
+            voltage = ((voltage - self.voltage_step) * 1e6).round() / 1e6;
+        }
+        Ok(best)
+    }
+
+    /// The Figure 7 table: normalized energy of the three schemes under the
+    /// given accuracy-loss constraints (the paper uses 1 %, 3 %, 5 % and 10 %).
+    ///
+    /// # Errors
+    ///
+    /// Propagates accelerator-model errors.
+    pub fn energy_table(&mut self, accuracy_losses: &[f64]) -> Result<EnergyTableReport, CoreError> {
+        let baseline = self
+            .accelerator
+            .nominal_report(&self.workloads, ConvAlgorithm::Standard)?
+            .energy_joules;
+        let mut rows = Vec::with_capacity(accuracy_losses.len());
+        for &loss in accuracy_losses {
+            let mut schemes = Vec::with_capacity(3);
+            for scheme in ScalingScheme::all() {
+                let voltage = self.choose_voltage(scheme, loss)?;
+                let report =
+                    self.accelerator.report(&self.workloads, scheme.execution_algorithm(), voltage)?;
+                let ber = self.accelerator.ber_at(voltage)?;
+                let achieved = self.accuracy_at(scheme.execution_algorithm(), ber);
+                schemes.push(SchemeEnergyRow {
+                    scheme,
+                    voltage,
+                    energy_joules: report.energy_joules,
+                    normalized_energy: report.energy_joules / baseline.max(f64::MIN_POSITIVE),
+                    achieved_accuracy: achieved,
+                });
+            }
+            rows.push(EnergyTableRow { accuracy_loss: loss, schemes });
+        }
+        Ok(EnergyTableReport {
+            model: self.campaign.quantized().name().to_string(),
+            baseline_energy_joules: baseline,
+            rows,
+        })
+    }
+}

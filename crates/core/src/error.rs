@@ -1,0 +1,92 @@
+//! Error type for the evaluation campaigns.
+
+use std::error::Error;
+use std::fmt;
+use wgft_accel::AccelError;
+use wgft_faultsim::FaultSimError;
+use wgft_nn::NnError;
+
+/// Errors produced while preparing or running a campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The neural-network substrate failed (training, quantization, inference).
+    Nn(NnError),
+    /// The accelerator model rejected its configuration.
+    Accel(AccelError),
+    /// The fault-injection configuration was invalid.
+    FaultSim(FaultSimError),
+    /// A campaign parameter was invalid.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Nn(e) => write!(f, "network error: {e}"),
+            CoreError::Accel(e) => write!(f, "accelerator model error: {e}"),
+            CoreError::FaultSim(e) => write!(f, "fault injection error: {e}"),
+            CoreError::InvalidParameter { name, reason } => {
+                write!(f, "invalid campaign parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Nn(e) => Some(e),
+            CoreError::Accel(e) => Some(e),
+            CoreError::FaultSim(e) => Some(e),
+            CoreError::InvalidParameter { .. } => None,
+        }
+    }
+}
+
+impl From<NnError> for CoreError {
+    fn from(e: NnError) -> Self {
+        CoreError::Nn(e)
+    }
+}
+
+impl From<AccelError> for CoreError {
+    fn from(e: AccelError) -> Self {
+        CoreError::Accel(e)
+    }
+}
+
+impl From<FaultSimError> for CoreError {
+    fn from(e: FaultSimError) -> Self {
+        CoreError::FaultSim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e = CoreError::from(NnError::EmptyNetwork);
+        assert!(e.to_string().contains("network error"));
+        assert!(e.source().is_some());
+        let e = CoreError::from(AccelError::NonPositiveParameter { name: "rows", value: 0.0 });
+        assert!(e.to_string().contains("accelerator"));
+        let e = CoreError::from(FaultSimError::InvalidBitErrorRate { value: 7.0 });
+        assert!(e.to_string().contains("fault injection"));
+        let e = CoreError::InvalidParameter { name: "eval_images", reason: "zero".into() };
+        assert!(e.to_string().contains("eval_images"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<CoreError>();
+    }
+}

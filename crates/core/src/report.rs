@@ -1,0 +1,118 @@
+//! Minimal text-table rendering shared by every report type.
+
+use std::fmt;
+
+/// A small aligned text table (header row plus data rows).
+///
+/// Every figure-reproducing report in this crate renders through a
+/// `TextTable`, so the bench output looks like the rows of the corresponding
+/// paper table/figure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Self { header: header.iter().map(|s| (*s).to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append a data row (shorter rows are padded with empty cells).
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let columns = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; columns];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                write!(f, "{cell:<width$}")?;
+                if i + 1 < widths.len() {
+                    write!(f, "  ")?;
+                }
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        let total_width: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total_width))?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a probability/accuracy as a percentage with two decimals.
+#[must_use]
+pub(crate) fn pct(value: f64) -> String {
+    format!("{:.2}", value * 100.0)
+}
+
+/// Format a bit error rate in scientific notation.
+#[must_use]
+pub(crate) fn sci(value: f64) -> String {
+    format!("{value:.2e}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = TextTable::new(&["ber", "accuracy"]);
+        t.push_row(vec!["1e-9".into(), "71.50".into()]);
+        t.push_row(vec!["1e-8".into(), "3.00".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let rendered = t.to_string();
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("ber"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[2].contains("71.50"));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(&["a", "b", "c"]);
+        t.push_row(vec!["1".into()]);
+        let rendered = t.to_string();
+        assert!(rendered.lines().count() >= 3);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.725), "72.50");
+        assert_eq!(sci(3e-10), "3.00e-10");
+        assert!(TextTable::new(&["x"]).is_empty());
+    }
+}

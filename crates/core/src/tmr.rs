@@ -1,0 +1,343 @@
+//! Fine-grained triple modular redundancy planning (Figure 5).
+//!
+//! The paper's protection scheme selects the most vulnerable layers (by
+//! layer-wise vulnerability factor) but protects only a *fraction* of each
+//! layer's operations — multiplications first, because the operation-type
+//! analysis shows they are far more sensitive — and iterates until a target
+//! accuracy is met. Overhead is the hardware cost of triplicating the
+//! protected operations (plus voting), charged per operation and weighted by
+//! the relative cost of a multiplier versus an adder.
+//!
+//! Three schemes are compared, mirroring the paper:
+//!
+//! * [`TmrScheme::Standard`] ("ST-Conv") — the network executes standard
+//!   convolution; vulnerability and protection are evaluated on it.
+//! * [`TmrScheme::WinogradUnaware`] ("WG-Conv-W/O-AFT") — the network executes
+//!   winograd convolution, but the planner is *not aware* of winograd's extra
+//!   fault tolerance: it sizes protection against the standard-convolution
+//!   accuracy curve and simply applies it to the winograd operations.
+//! * [`TmrScheme::WinogradAware`] ("WG-Conv-W/AFT") — both the vulnerability
+//!   analysis and the protection sizing run on winograd convolution, fully
+//!   exploiting its inherent tolerance.
+
+use crate::report::{pct, sci};
+use crate::{CoreError, FaultToleranceCampaign, TextTable};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wgft_faultsim::{BitErrorRate, OpType, ProtectionPlan};
+use wgft_winograd::ConvAlgorithm;
+
+/// Which protection scheme the planner sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TmrScheme {
+    /// Standard convolution, protection sized on standard convolution.
+    Standard,
+    /// Winograd execution, protection sized on the standard-convolution curve
+    /// (not aware of the extra fault tolerance).
+    WinogradUnaware,
+    /// Winograd execution, protection sized on the winograd curve.
+    WinogradAware,
+}
+
+impl TmrScheme {
+    /// All three schemes in the paper's order.
+    #[must_use]
+    pub const fn all() -> [TmrScheme; 3] {
+        [TmrScheme::Standard, TmrScheme::WinogradUnaware, TmrScheme::WinogradAware]
+    }
+
+    /// The paper's label for the scheme.
+    #[must_use]
+    pub const fn label(&self) -> &'static str {
+        match self {
+            TmrScheme::Standard => "ST-Conv",
+            TmrScheme::WinogradUnaware => "WG-Conv-W/O-AFT",
+            TmrScheme::WinogradAware => "WG-Conv-W/AFT",
+        }
+    }
+
+    /// Algorithm the accuracy/vulnerability measurements use.
+    #[must_use]
+    pub const fn measurement_algorithm(&self) -> ConvAlgorithm {
+        match self {
+            TmrScheme::Standard | TmrScheme::WinogradUnaware => ConvAlgorithm::Standard,
+            TmrScheme::WinogradAware => ConvAlgorithm::winograd_default(),
+        }
+    }
+
+    /// Algorithm the network actually executes (and whose operations the
+    /// protection overhead is charged against).
+    #[must_use]
+    pub const fn execution_algorithm(&self) -> ConvAlgorithm {
+        match self {
+            TmrScheme::Standard => ConvAlgorithm::Standard,
+            TmrScheme::WinogradUnaware | TmrScheme::WinogradAware => {
+                ConvAlgorithm::winograd_default()
+            }
+        }
+    }
+}
+
+impl fmt::Display for TmrScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// The fine-grained TMR planner.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TmrPlanner {
+    /// Fraction of a layer/op-type bucket protected per planning step.
+    pub step_fraction: f64,
+    /// Hardware cost weight of one multiplication.
+    pub mul_cost: f64,
+    /// Hardware cost weight of one addition.
+    pub add_cost: f64,
+    /// Upper bound on planning iterations (each iteration re-evaluates
+    /// accuracy under faults).
+    pub max_iterations: usize,
+}
+
+impl Default for TmrPlanner {
+    fn default() -> Self {
+        Self { step_fraction: 0.5, mul_cost: 1.0, add_cost: 0.25, max_iterations: 40 }
+    }
+}
+
+/// The plan produced for one scheme and accuracy target.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TmrResult {
+    /// The scheme planned for.
+    pub scheme: TmrScheme,
+    /// The accuracy target requested.
+    pub target_accuracy: f64,
+    /// Accuracy achieved under the scheme's *execution* algorithm with the
+    /// final plan.
+    pub achieved_accuracy: f64,
+    /// Whether the target was met within the iteration budget.
+    pub target_met: bool,
+    /// The protection plan (per-layer protected fractions).
+    pub plan: ProtectionPlan,
+    /// Absolute TMR overhead: weighted cost of the duplicated operations
+    /// (two extra copies of every protected operation).
+    pub overhead_cost: f64,
+    /// Planning iterations used.
+    pub iterations: usize,
+}
+
+impl TmrPlanner {
+    /// Plan protection for one scheme until `target_accuracy` is reached at
+    /// bit error rate `ber`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for a non-positive step
+    /// fraction.
+    pub fn plan(
+        &self,
+        campaign: &FaultToleranceCampaign,
+        scheme: TmrScheme,
+        target_accuracy: f64,
+        ber: f64,
+    ) -> Result<TmrResult, CoreError> {
+        if self.step_fraction <= 0.0 || self.step_fraction > 1.0 {
+            return Err(CoreError::InvalidParameter {
+                name: "step_fraction",
+                reason: format!("{} is not in (0, 1]", self.step_fraction),
+            });
+        }
+        let ber = BitErrorRate::new(ber);
+        let measure_algo = scheme.measurement_algorithm();
+        let exec_algo = scheme.execution_algorithm();
+
+        // Layer priority: vulnerability factors measured once, most vulnerable
+        // first, with the measurement algorithm the scheme is aware of.
+        let vulnerability = campaign.layer_vulnerability(ber.rate());
+        let factors = vulnerability.vulnerability_factors(measure_algo);
+        let mut order: Vec<usize> = (0..factors.len()).collect();
+        order.sort_by(|&a, &b| factors[b].partial_cmp(&factors[a]).unwrap_or(std::cmp::Ordering::Equal));
+
+        let layer_count = campaign.quantized().compute_layer_count();
+        let mut plan = ProtectionPlan::none();
+        let mut iterations = 0usize;
+        let mut achieved = campaign.accuracy_under(measure_algo, ber, &plan);
+
+        'outer: for &layer in order.iter().cycle().take(order.len() * 4) {
+            if achieved >= target_accuracy || iterations >= self.max_iterations {
+                break;
+            }
+            let _ = layer_count;
+            // Multiplications first; once a layer's muls are fully covered,
+            // move on to its additions.
+            for op in [OpType::Mul, OpType::Add] {
+                let current = plan.tmr_fraction(layer, op);
+                if current >= 1.0 {
+                    continue;
+                }
+                let next = (current + self.step_fraction).min(1.0);
+                plan.protect_fraction(layer, op, next)?;
+                iterations += 1;
+                achieved = campaign.accuracy_under(measure_algo, ber, &plan);
+                if achieved >= target_accuracy || iterations >= self.max_iterations {
+                    break 'outer;
+                }
+                break; // one step per visit, then move to the next layer
+            }
+        }
+
+        // Overhead: two redundant copies of every protected operation, charged
+        // against the operations the execution algorithm actually performs.
+        let exec_counts = campaign.quantized().layer_op_counts(exec_algo);
+        let mut overhead_cost = 0.0f64;
+        for (layer, count) in exec_counts.iter().enumerate() {
+            let mul_frac = plan.tmr_fraction(layer, OpType::Mul);
+            let add_frac = plan.tmr_fraction(layer, OpType::Add);
+            overhead_cost += 2.0
+                * (count.mul as f64 * mul_frac * self.mul_cost
+                    + count.add as f64 * add_frac * self.add_cost);
+        }
+
+        // Report the accuracy actually achieved in execution.
+        let achieved_exec = if exec_algo == measure_algo {
+            achieved
+        } else {
+            campaign.accuracy_under(exec_algo, ber, &plan)
+        };
+
+        Ok(TmrResult {
+            scheme,
+            target_accuracy,
+            achieved_accuracy: achieved_exec,
+            target_met: achieved >= target_accuracy,
+            plan,
+            overhead_cost,
+            iterations,
+        })
+    }
+
+    /// Build the Figure 5 table: normalized TMR overhead of all three schemes
+    /// across a set of accuracy targets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning errors.
+    pub fn overhead_table(
+        &self,
+        campaign: &FaultToleranceCampaign,
+        targets: &[f64],
+        ber: f64,
+    ) -> Result<TmrReport, CoreError> {
+        let mut rows = Vec::with_capacity(targets.len());
+        for &target in targets {
+            let standard = self.plan(campaign, TmrScheme::Standard, target, ber)?;
+            let unaware = self.plan(campaign, TmrScheme::WinogradUnaware, target, ber)?;
+            let aware = self.plan(campaign, TmrScheme::WinogradAware, target, ber)?;
+            rows.push(TmrTableRow { target, standard, unaware, aware });
+        }
+        Ok(TmrReport { model: campaign.quantized().name().to_string(), ber, rows })
+    }
+}
+
+/// One accuracy-target row of the Figure 5 table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TmrTableRow {
+    /// Accuracy target.
+    pub target: f64,
+    /// ST-Conv plan.
+    pub standard: TmrResult,
+    /// WG-Conv-W/O-AFT plan.
+    pub unaware: TmrResult,
+    /// WG-Conv-W/AFT plan.
+    pub aware: TmrResult,
+}
+
+impl TmrTableRow {
+    fn normalized(&self, value: f64) -> f64 {
+        if self.standard.overhead_cost > 0.0 {
+            value / self.standard.overhead_cost
+        } else if value > 0.0 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// WG-Conv-W/O-AFT overhead normalized to ST-Conv.
+    #[must_use]
+    pub fn unaware_normalized(&self) -> f64 {
+        self.normalized(self.unaware.overhead_cost)
+    }
+
+    /// WG-Conv-W/AFT overhead normalized to ST-Conv.
+    #[must_use]
+    pub fn aware_normalized(&self) -> f64 {
+        self.normalized(self.aware.overhead_cost)
+    }
+}
+
+/// The Figure 5 report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TmrReport {
+    /// Model name.
+    pub model: String,
+    /// Bit error rate of the experiment.
+    pub ber: f64,
+    /// Per-target rows.
+    pub rows: Vec<TmrTableRow>,
+}
+
+impl TmrReport {
+    /// Mean overhead reduction of winograd-aware protection relative to
+    /// standard convolution (the paper reports 61.21 %).
+    #[must_use]
+    pub fn mean_reduction_vs_standard(&self) -> f64 {
+        mean(self.rows.iter().map(|r| 1.0 - r.aware_normalized()))
+    }
+
+    /// Mean overhead reduction of winograd-aware protection relative to
+    /// fault-tolerance-unaware winograd (the paper reports 27.49 %).
+    #[must_use]
+    pub fn mean_reduction_vs_unaware(&self) -> f64 {
+        mean(self.rows.iter().filter(|r| r.unaware.overhead_cost > 0.0).map(|r| {
+            1.0 - r.aware.overhead_cost / r.unaware.overhead_cost
+        }))
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let collected: Vec<f64> = values.collect();
+    if collected.is_empty() {
+        0.0
+    } else {
+        collected.iter().sum::<f64>() / collected.len() as f64
+    }
+}
+
+impl fmt::Display for TmrReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} — normalized TMR overhead at BER {}", self.model, sci(self.ber))?;
+        let mut table = TextTable::new(&[
+            "target %",
+            "ST-Conv",
+            "WG-Conv-W/O-AFT",
+            "WG-Conv-W/AFT",
+            "achieved (WG-aware) %",
+        ]);
+        for row in &self.rows {
+            table.push_row(vec![
+                pct(row.target),
+                "1.000".to_string(),
+                format!("{:.3}", row.unaware_normalized()),
+                format!("{:.3}", row.aware_normalized()),
+                pct(row.aware.achieved_accuracy),
+            ]);
+        }
+        write!(f, "{table}")?;
+        writeln!(
+            f,
+            "mean overhead reduction: {} % vs ST-Conv, {} % vs WG-Conv-W/O-AFT",
+            pct(self.mean_reduction_vs_standard()),
+            pct(self.mean_reduction_vs_unaware())
+        )
+    }
+}

@@ -1,0 +1,246 @@
+//! Integration tests of the evaluation campaigns at test scale.
+//!
+//! Preparing a campaign trains a miniature network, which is the expensive
+//! step, so all tests share one prepared campaign through a `OnceLock`.
+
+use std::sync::OnceLock;
+use wgft_core::{CampaignConfig, FaultToleranceCampaign, TmrPlanner, TmrScheme, VoltageScalingStudy};
+use wgft_accel::Accelerator;
+use wgft_faultsim::{BitErrorRate, OpType, ProtectionPlan};
+use wgft_fixedpoint::BitWidth;
+use wgft_nn::models::ModelKind;
+use wgft_winograd::ConvAlgorithm;
+
+fn campaign() -> &'static FaultToleranceCampaign {
+    static CAMPAIGN: OnceLock<FaultToleranceCampaign> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| {
+        let config = CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W16);
+        FaultToleranceCampaign::prepare(&config).expect("campaign preparation must succeed")
+    })
+}
+
+/// A bit error rate in the middle of the accuracy cliff for the tiny model
+/// (roughly a handful of damaging faults per inference).
+const MID_BER: f64 = 1e-4;
+/// A bit error rate high enough to thoroughly corrupt every inference.
+const HIGH_BER: f64 = 1e-3;
+
+#[test]
+fn clean_accuracy_beats_chance() {
+    let campaign = campaign();
+    let chance = 1.0 / campaign.config().spec.num_classes as f64;
+    assert!(
+        campaign.clean_accuracy() > 1.5 * chance,
+        "clean accuracy {} should comfortably beat chance {}",
+        campaign.clean_accuracy(),
+        chance
+    );
+}
+
+#[test]
+fn faults_degrade_accuracy_and_zero_ber_matches_clean() {
+    let campaign = campaign();
+    let clean = campaign.accuracy_under(
+        ConvAlgorithm::Standard,
+        BitErrorRate::ZERO,
+        &ProtectionPlan::none(),
+    );
+    assert!((clean - campaign.clean_accuracy()).abs() < 1e-9);
+    let heavy = campaign.accuracy_under(
+        ConvAlgorithm::Standard,
+        BitErrorRate::new(HIGH_BER),
+        &ProtectionPlan::none(),
+    );
+    assert!(
+        heavy < clean,
+        "heavy faults must reduce accuracy (clean {clean}, faulty {heavy})"
+    );
+}
+
+#[test]
+fn winograd_and_standard_tolerance_are_comparable_at_the_cliff() {
+    // The paper reports a winograd accuracy advantage; on this substrate the
+    // advantage depends on the fault model (see EXPERIMENTS.md), so the test
+    // asserts the robust property: the two algorithms degrade on the same
+    // cliff and stay within a few evaluation images of each other while the
+    // winograd execution issues far fewer multiplications.
+    let campaign = campaign();
+    let bers = [3e-5, MID_BER, 3e-4];
+    let mut st_total = 0.0;
+    let mut wg_total = 0.0;
+    for &ber in &bers {
+        let ber = BitErrorRate::new(ber);
+        st_total += campaign.accuracy_under(ConvAlgorithm::Standard, ber, &ProtectionPlan::none());
+        wg_total += campaign.accuracy_under(
+            ConvAlgorithm::winograd_default(),
+            ber,
+            &ProtectionPlan::none(),
+        );
+    }
+    let slack = 0.75; // up to ~8 of 32 images per point
+    assert!(
+        (wg_total - st_total).abs() <= slack,
+        "winograd ({wg_total}) and standard ({st_total}) should sit on the same accuracy cliff"
+    );
+    let st_muls = campaign.quantized().total_op_count(ConvAlgorithm::Standard).mul;
+    let wg_muls = campaign.quantized().total_op_count(ConvAlgorithm::winograd_default()).mul;
+    assert!(wg_muls * 3 < st_muls * 2, "winograd must execute far fewer multiplications");
+}
+
+#[test]
+fn neuron_level_injection_cannot_distinguish_algorithms() {
+    let campaign = campaign();
+    let ber = BitErrorRate::new(MID_BER);
+    let st = campaign.accuracy_neuron_level(ConvAlgorithm::Standard, ber);
+    let wg = campaign.accuracy_neuron_level(ConvAlgorithm::winograd_default(), ber);
+    // The injector sees the same neurons and the same fault budget for both
+    // algorithms; only quantization noise between the two executions remains,
+    // so the measured accuracies must agree to within a couple of images.
+    assert!(
+        (st - wg).abs() <= 0.1,
+        "neuron-level FI must be (statistically) blind to the algorithm ({st} vs {wg})"
+    );
+}
+
+#[test]
+fn protecting_multiplications_recovers_more_accuracy_than_additions() {
+    // Figure 4's central claim: multiplications are the vulnerable operation
+    // type. Keeping them fault-free restores (nearly) the clean accuracy,
+    // while keeping only the additions fault-free barely helps.
+    let campaign = campaign();
+    let critical = campaign.find_critical_ber(ConvAlgorithm::Standard, 0.5);
+    let ber = BitErrorRate::new(critical);
+    let mul_free = ProtectionPlan::none().with_fault_free_op_type(OpType::Mul);
+    let add_free = ProtectionPlan::none().with_fault_free_op_type(OpType::Add);
+    let mul = campaign.accuracy_under(ConvAlgorithm::Standard, ber, &mul_free);
+    let add = campaign.accuracy_under(ConvAlgorithm::Standard, ber, &add_free);
+    let unprotected =
+        campaign.accuracy_under(ConvAlgorithm::Standard, ber, &ProtectionPlan::none());
+    assert!(
+        mul >= add,
+        "fault-free multiplications ({mul}) should recover at least as much accuracy as fault-free additions ({add})"
+    );
+    assert!(
+        mul >= campaign.clean_accuracy() - 0.1,
+        "fault-free multiplications ({mul}) should nearly restore the clean accuracy"
+    );
+    assert!(mul > unprotected, "protecting multiplications must help at the cliff");
+}
+
+#[test]
+fn fully_fault_free_layers_recover_the_clean_accuracy() {
+    let campaign = campaign();
+    let ber = BitErrorRate::new(HIGH_BER);
+    let mut plan = ProtectionPlan::none();
+    for layer in 0..campaign.quantized().compute_layer_count() {
+        plan = plan.with_fault_free_layer(layer);
+    }
+    let acc = campaign.accuracy_under(ConvAlgorithm::Standard, ber, &plan);
+    assert!((acc - campaign.clean_accuracy()).abs() < 1e-9);
+}
+
+#[test]
+fn network_sweep_report_renders_and_is_monotone_at_extremes() {
+    let campaign = campaign();
+    let report = campaign.network_sweep(&[0.0, HIGH_BER]);
+    assert_eq!(report.rows.len(), 2);
+    assert!(report.rows[0].standard >= report.rows[1].standard);
+    let rendered = report.to_string();
+    assert!(rendered.contains("ST-Conv"));
+    assert!(rendered.contains("WG-Conv"));
+}
+
+#[test]
+fn layer_vulnerability_reports_every_compute_layer() {
+    let campaign = campaign();
+    let report = campaign.layer_vulnerability(MID_BER);
+    assert_eq!(report.rows.len(), campaign.quantized().compute_layer_count());
+    // Winograd reduces the multiplication count of every 3x3 layer.
+    let st_muls: u64 = report.rows.iter().map(|r| r.standard_muls).sum();
+    let wg_muls: u64 = report.rows.iter().map(|r| r.winograd_muls).sum();
+    assert!(wg_muls < st_muls);
+    // Factors are finite and the rendered table mentions every layer.
+    let factors = report.vulnerability_factors(ConvAlgorithm::Standard);
+    assert_eq!(factors.len(), report.rows.len());
+    let rendered = report.to_string();
+    assert!(rendered.contains("layer"));
+}
+
+#[test]
+fn tmr_planner_meets_reachable_targets_and_winograd_aware_is_cheapest() {
+    let campaign = campaign();
+    let planner = TmrPlanner { step_fraction: 0.5, max_iterations: 20, ..TmrPlanner::default() };
+    // A target halfway between the faulty and clean accuracy is reachable.
+    let clean = campaign.clean_accuracy();
+    let faulty = campaign.accuracy_under(
+        ConvAlgorithm::Standard,
+        BitErrorRate::new(HIGH_BER),
+        &ProtectionPlan::none(),
+    );
+    let target = faulty + 0.5 * (clean - faulty);
+    let report = planner
+        .overhead_table(campaign, &[target], HIGH_BER)
+        .expect("planning must succeed");
+    assert_eq!(report.rows.len(), 1);
+    let row = &report.rows[0];
+    assert!(row.standard.overhead_cost > 0.0, "protection must not be free for ST-Conv");
+    // The fault-tolerance-unaware winograd scheme sizes its protection on the
+    // same standard-convolution curve as ST-Conv but charges it against the
+    // winograd operation counts, so its overhead can only be lower — this is
+    // the robust part of the paper's Figure 5 ordering (see EXPERIMENTS.md for
+    // the discussion of the winograd-aware scheme on this substrate).
+    assert!(
+        row.unaware.overhead_cost <= row.standard.overhead_cost,
+        "winograd execution ({}) must not need more TMR overhead than ST-Conv ({})",
+        row.unaware.overhead_cost,
+        row.standard.overhead_cost
+    );
+    assert!(row.aware.overhead_cost > 0.0);
+    let rendered = report.to_string();
+    assert!(rendered.contains("WG-Conv-W/AFT"));
+}
+
+#[test]
+fn voltage_scaling_study_produces_consistent_operating_points() {
+    let campaign = campaign();
+    let mut study = VoltageScalingStudy::new(campaign, Accelerator::paper_default())
+        .with_voltage_step(0.02);
+    let sweep = study.voltage_sweep(&[0.74, 0.78, 0.82, 0.9]).expect("sweep must succeed");
+    assert_eq!(sweep.rows.len(), 4);
+    // Higher voltage -> lower BER.
+    assert!(sweep.rows[0].ber >= sweep.rows[3].ber);
+    let table = study.energy_table(&[0.05, 0.10]).expect("energy table must succeed");
+    assert_eq!(table.rows.len(), 2);
+    for row in &table.rows {
+        let st = row.scheme(wgft_core::ScalingScheme::Standard).unwrap();
+        let aware = row.scheme(wgft_core::ScalingScheme::WinogradAware).unwrap();
+        // Voltage scaling never exceeds the nominal-voltage baseline, and the
+        // winograd-aware scheme never needs a voltage above the nominal point.
+        assert!(st.normalized_energy <= 1.0 + 1e-9);
+        assert!(aware.voltage <= study.accelerator().voltage_model().nominal_voltage() + 1e-9);
+        assert!(aware.energy_joules > 0.0 && st.energy_joules > 0.0);
+        // A larger tolerated loss can only lower (or keep) the chosen voltage.
+        assert!(aware.voltage >= study.accelerator().voltage_model().min_voltage() - 1e-9);
+    }
+    let relaxed = table.rows.last().unwrap().scheme(wgft_core::ScalingScheme::Standard).unwrap();
+    let strict = table.rows.first().unwrap().scheme(wgft_core::ScalingScheme::Standard).unwrap();
+    assert!(relaxed.voltage <= strict.voltage + 1e-9);
+    assert!(table.to_string().contains("mean energy reduction"));
+}
+
+#[test]
+fn tmr_scheme_and_scaling_scheme_labels_match_the_paper() {
+    assert_eq!(TmrScheme::Standard.label(), "ST-Conv");
+    assert_eq!(TmrScheme::WinogradUnaware.label(), "WG-Conv-W/O-AFT");
+    assert_eq!(TmrScheme::WinogradAware.label(), "WG-Conv-W/AFT");
+    assert_eq!(TmrScheme::all().len(), 3);
+    assert_eq!(wgft_core::ScalingScheme::all().len(), 3);
+    assert_eq!(
+        TmrScheme::WinogradUnaware.measurement_algorithm(),
+        ConvAlgorithm::Standard
+    );
+    assert_eq!(
+        TmrScheme::WinogradUnaware.execution_algorithm(),
+        ConvAlgorithm::winograd_default()
+    );
+}

@@ -1,0 +1,165 @@
+//! Labelled image collections with deterministic splits.
+
+use crate::SyntheticSpec;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use wgft_tensor::Tensor;
+
+/// One labelled image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The image, shaped `(1, C, H, W)`.
+    pub image: Tensor,
+    /// Ground-truth class index.
+    pub label: usize,
+}
+
+/// A labelled image collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    samples: Vec<Sample>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    /// Build a dataset from labelled samples.
+    #[must_use]
+    pub fn new(samples: Vec<Sample>, num_classes: usize) -> Self {
+        Self { samples, num_classes }
+    }
+
+    /// Generate a synthetic dataset with `per_class` samples per class.
+    #[must_use]
+    pub fn synthetic(spec: &SyntheticSpec, per_class: usize, seed: u64) -> Self {
+        let samples = spec
+            .generate(per_class, seed)
+            .into_iter()
+            .map(|(image, label)| Sample { image, label })
+            .collect();
+        Self { samples, num_classes: spec.num_classes }
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// The samples in order.
+    #[must_use]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Iterate over the samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, Sample> {
+        self.samples.iter()
+    }
+
+    /// A new dataset containing at most the first `n` samples.
+    #[must_use]
+    pub fn take(&self, n: usize) -> Self {
+        Self {
+            samples: self.samples.iter().take(n).cloned().collect(),
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// Split into (train, test) with `train_fraction` of the samples in the
+    /// training part. Samples keep their original (class-interleaved) order so
+    /// both parts stay class-balanced.
+    #[must_use]
+    pub fn split(&self, train_fraction: f64) -> (Self, Self) {
+        let cut = ((self.samples.len() as f64) * train_fraction.clamp(0.0, 1.0)).round() as usize;
+        let train = Self { samples: self.samples[..cut].to_vec(), num_classes: self.num_classes };
+        let test = Self { samples: self.samples[cut..].to_vec(), num_classes: self.num_classes };
+        (train, test)
+    }
+
+    /// A deterministically shuffled copy (used between training epochs).
+    #[must_use]
+    pub fn shuffled(&self, seed: u64) -> Self {
+        let mut samples = self.samples.clone();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        samples.shuffle(&mut rng);
+        Self { samples, num_classes: self.num_classes }
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = &'a Sample;
+    type IntoIter = std::slice::Iter<'a, Sample>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.samples.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dataset() -> Dataset {
+        Dataset::synthetic(&SyntheticSpec::tiny(), 6, 7)
+    }
+
+    #[test]
+    fn synthetic_dataset_size_and_classes() {
+        let d = small_dataset();
+        assert_eq!(d.len(), 24);
+        assert!(!d.is_empty());
+        assert_eq!(d.num_classes(), 4);
+        assert_eq!(d.samples().len(), 24);
+        assert_eq!(d.iter().count(), 24);
+        assert_eq!((&d).into_iter().count(), 24);
+    }
+
+    #[test]
+    fn split_preserves_counts_and_balance() {
+        let d = small_dataset();
+        let (train, test) = d.split(0.75);
+        assert_eq!(train.len(), 18);
+        assert_eq!(test.len(), 6);
+        // Interleaved generation keeps the split roughly balanced per class.
+        for class in 0..4 {
+            let count = test.iter().filter(|s| s.label == class).count();
+            assert!(count >= 1, "class {class} missing from the test split");
+        }
+    }
+
+    #[test]
+    fn take_truncates() {
+        let d = small_dataset();
+        assert_eq!(d.take(5).len(), 5);
+        assert_eq!(d.take(500).len(), 24);
+    }
+
+    #[test]
+    fn shuffle_is_deterministic_and_permutes() {
+        let d = small_dataset();
+        let a = d.shuffled(1);
+        let b = d.shuffled(1);
+        assert_eq!(a.samples()[0], b.samples()[0]);
+        let labels_orig: Vec<usize> = d.iter().map(|s| s.label).collect();
+        let labels_shuf: Vec<usize> = a.iter().map(|s| s.label).collect();
+        assert_ne!(labels_orig, labels_shuf);
+        let mut sorted_a = labels_shuf.clone();
+        sorted_a.sort_unstable();
+        let mut sorted_o = labels_orig.clone();
+        sorted_o.sort_unstable();
+        assert_eq!(sorted_a, sorted_o, "shuffle must be a permutation");
+    }
+}

@@ -1,0 +1,95 @@
+//! Accuracy evaluation helpers.
+
+/// Index of the largest logit (ties resolve to the first maximum).
+///
+/// Returns 0 for an empty slice so that degenerate networks still produce a
+/// class index.
+#[must_use]
+pub fn argmax(logits: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_value = f32::NEG_INFINITY;
+    for (i, &v) in logits.iter().enumerate() {
+        if v > best_value {
+            best_value = v;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Top-1 accuracy (fraction in `[0, 1]`) of predictions against labels.
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+#[must_use]
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "predictions and labels must align");
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// Confusion matrix: `matrix[true_class][predicted_class]` counts.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or a label exceeds `num_classes`.
+#[must_use]
+pub fn confusion_matrix(
+    predictions: &[usize],
+    labels: &[usize],
+    num_classes: usize,
+) -> Vec<Vec<u64>> {
+    assert_eq!(predictions.len(), labels.len(), "predictions and labels must align");
+    let mut matrix = vec![vec![0u64; num_classes]; num_classes];
+    for (&p, &l) in predictions.iter().zip(labels) {
+        assert!(l < num_classes && p < num_classes, "label/prediction out of range");
+        matrix[l][p] += 1;
+    }
+    matrix
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_picks_first_maximum() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.3]), 1);
+        assert_eq!(argmax(&[2.0, 2.0, 1.0]), 0);
+        assert_eq!(argmax(&[]), 0);
+        assert_eq!(argmax(&[-3.0, -1.0, -2.0]), 1);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[0, 1, 2, 3], &[0, 1, 2, 0]), 0.75);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(accuracy(&[1, 1], &[1, 1]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn accuracy_panics_on_length_mismatch() {
+        let _ = accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn confusion_matrix_accumulates() {
+        let m = confusion_matrix(&[0, 1, 1, 2], &[0, 1, 2, 2], 3);
+        assert_eq!(m[0][0], 1);
+        assert_eq!(m[1][1], 1);
+        assert_eq!(m[2][1], 1);
+        assert_eq!(m[2][2], 1);
+        assert_eq!(m[0][1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn confusion_matrix_rejects_out_of_range() {
+        let _ = confusion_matrix(&[5], &[0], 3);
+    }
+}

@@ -1,0 +1,34 @@
+//! Synthetic image-classification datasets and accuracy evaluation helpers.
+//!
+//! The paper evaluates pretrained networks on ImageNet, CIFAR-10 and
+//! CIFAR-100. Those datasets (and pretrained weights) are not available to an
+//! offline reproduction, and the fault-tolerance experiments do not actually
+//! need them — they need *a model with a meaningful clean accuracy whose
+//! accuracy degrades as soft errors accumulate*. This crate generates
+//! deterministic synthetic image datasets with class-specific structure
+//! (oriented gratings plus localized blobs plus noise) that small CNNs learn
+//! to high accuracy in a few epochs, standing in for the paper's datasets as
+//! documented in `DESIGN.md`.
+//!
+//! # Example
+//!
+//! ```
+//! use wgft_data::{Dataset, SyntheticSpec};
+//!
+//! let spec = SyntheticSpec::small(); // 8 classes, 3x16x16 images
+//! let data = Dataset::synthetic(&spec, 40, 123);
+//! assert_eq!(data.len(), 40 * spec.num_classes);
+//! let (train, test) = data.split(0.8);
+//! assert!(train.len() > test.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+mod eval;
+mod synthetic;
+
+pub use dataset::{Dataset, Sample};
+pub use eval::{accuracy, argmax, confusion_matrix};
+pub use synthetic::SyntheticSpec;

@@ -1,0 +1,131 @@
+//! Bit error rate newtype.
+
+use crate::FaultSimError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The probability of a single bit flipping during one primitive operation.
+///
+/// The paper sweeps bit error rates between `1e-11` and `1e-7` on full-size
+/// networks; this workspace additionally uses higher rates because the
+/// scaled-down model zoo executes far fewer operations per inference (see
+/// `EXPERIMENTS.md` for the scaling argument).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct BitErrorRate(f64);
+
+impl BitErrorRate {
+    /// A bit error rate of zero — fault-free execution.
+    pub const ZERO: BitErrorRate = BitErrorRate(0.0);
+
+    /// Create a bit error rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not a probability in `[0, 1]`. Use
+    /// [`BitErrorRate::try_new`] for fallible construction.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        Self::try_new(rate).expect("bit error rate must be a probability in [0, 1]")
+    }
+
+    /// Create a bit error rate, validating the range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSimError::InvalidBitErrorRate`] if `rate` is not a
+    /// probability in `[0, 1]`.
+    pub fn try_new(rate: f64) -> Result<Self, FaultSimError> {
+        if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+            return Err(FaultSimError::InvalidBitErrorRate { value: rate });
+        }
+        Ok(Self(rate))
+    }
+
+    /// The raw per-bit probability.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.0
+    }
+
+    /// Whether this rate is exactly zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// Probability that *at least one* of `bits` independent bits flips:
+    /// `1 - (1 - rate)^bits`.
+    ///
+    /// This is the per-operation fault probability used by the
+    /// operation-level injector and the per-value probability used by the
+    /// neuron-level injector.
+    #[must_use]
+    pub fn fault_probability(&self, bits: u32) -> f64 {
+        if self.0 == 0.0 || bits == 0 {
+            return 0.0;
+        }
+        // Use ln1p for numerical stability at the tiny rates the paper sweeps.
+        let log_no_flip = f64::from(bits) * (-self.0).ln_1p();
+        -log_no_flip.exp_m1()
+    }
+}
+
+impl fmt::Display for BitErrorRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3e}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_new_validates_range() {
+        assert!(BitErrorRate::try_new(0.0).is_ok());
+        assert!(BitErrorRate::try_new(1.0).is_ok());
+        assert!(BitErrorRate::try_new(1e-9).is_ok());
+        assert!(BitErrorRate::try_new(-0.1).is_err());
+        assert!(BitErrorRate::try_new(1.5).is_err());
+        assert!(BitErrorRate::try_new(f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn new_panics_on_invalid() {
+        let _ = BitErrorRate::new(2.0);
+    }
+
+    #[test]
+    fn fault_probability_limits() {
+        assert_eq!(BitErrorRate::ZERO.fault_probability(16), 0.0);
+        assert_eq!(BitErrorRate::new(0.5).fault_probability(0), 0.0);
+        // Certain flip: probability 1 regardless of width.
+        assert!((BitErrorRate::new(1.0).fault_probability(8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_probability_is_approximately_bits_times_rate_for_small_rates() {
+        let ber = BitErrorRate::new(1e-9);
+        let p = ber.fault_probability(16);
+        let approx = 16.0 * 1e-9;
+        assert!((p - approx).abs() / approx < 1e-6);
+    }
+
+    #[test]
+    fn fault_probability_monotone_in_bits() {
+        let ber = BitErrorRate::new(1e-4);
+        assert!(ber.fault_probability(16) > ber.fault_probability(8));
+    }
+
+    #[test]
+    fn display_uses_scientific_notation() {
+        assert_eq!(BitErrorRate::new(3e-10).to_string(), "3.000e-10");
+    }
+
+    #[test]
+    fn is_zero() {
+        assert!(BitErrorRate::ZERO.is_zero());
+        assert!(!BitErrorRate::new(1e-12).is_zero());
+    }
+}

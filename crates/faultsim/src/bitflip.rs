@@ -1,0 +1,136 @@
+//! Bit-flip primitives and the configurable fault model.
+
+use serde::{Deserialize, Serialize};
+
+/// Which datapath location a soft error corrupts.
+///
+/// The paper's platform injects errors into the results of primitive
+/// operations and motivates the asymmetry between multiplication and addition
+/// by the amplification a corrupted multiplication *operand* experiences.
+/// [`FaultModel::OperandMulResultAdd`] (the default used throughout the
+/// reproduction) captures exactly that; the other variants exist for ablation
+/// studies (`cargo bench -p wgft-bench --bench ablation_studies`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FaultModel {
+    /// Multiplications: flip a bit of one input operand (amplified by the
+    /// other operand). Additions: flip a bit of the result.
+    #[default]
+    OperandMulResultAdd,
+    /// Flip a bit of the result word for both multiplications and additions.
+    ResultOnly,
+    /// Flip a bit of one input operand for both multiplications and additions.
+    OperandOnly,
+}
+
+impl FaultModel {
+    /// All supported fault models (used by the ablation bench).
+    #[must_use]
+    pub const fn all() -> [FaultModel; 3] {
+        [FaultModel::OperandMulResultAdd, FaultModel::ResultOnly, FaultModel::OperandOnly]
+    }
+
+    /// Human-readable label.
+    #[must_use]
+    pub const fn label(&self) -> &'static str {
+        match self {
+            FaultModel::OperandMulResultAdd => "operand-mul/result-add",
+            FaultModel::ResultOnly => "result-only",
+            FaultModel::OperandOnly => "operand-only",
+        }
+    }
+}
+
+/// Flip bit `bit` of the two's-complement representation of `value` truncated
+/// to `width_bits`, then sign-extend back to `i64`.
+///
+/// The storage words of a quantized network are 8 or 16 bits wide; a soft
+/// error in such a word can only touch one of those bits, so the flip is
+/// performed inside the truncated representation. Accumulator values wider
+/// than the storage word are flipped in their low `width_bits` bits, which
+/// bounds the injected magnitude the same way a fault in the storage register
+/// would.
+///
+/// # Panics
+///
+/// Panics (debug assertion) if `bit >= width_bits` or `width_bits > 63`.
+#[must_use]
+pub fn flip_bit_within(value: i64, bit: u32, width_bits: u32) -> i64 {
+    debug_assert!(bit < width_bits, "bit index must lie inside the word");
+    debug_assert!(width_bits <= 63, "width must fit in i64");
+    let mask: u64 = (1u64 << width_bits) - 1;
+    let truncated = (value as u64) & mask;
+    let sign_bit = 1u64 << (width_bits - 1);
+    let sign_extended =
+        if truncated & sign_bit != 0 { (truncated | !mask) as i64 } else { truncated as i64 };
+    if sign_extended == value {
+        // The value fits in the storage word: flip inside the word and
+        // sign-extend the result, exactly as the hardware register would hold it.
+        let flipped = truncated ^ (1u64 << bit);
+        if flipped & sign_bit != 0 {
+            (flipped | !mask) as i64
+        } else {
+            flipped as i64
+        }
+    } else {
+        // Wide accumulator value: flip the selected low bit in place, which
+        // bounds the injected magnitude to 2^bit just like a register fault.
+        value ^ (1i64 << bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_single_bits_of_small_positive_value() {
+        assert_eq!(flip_bit_within(0b0000_0101, 1, 8), 0b0000_0111);
+        assert_eq!(flip_bit_within(0b0000_0101, 0, 8), 0b0000_0100);
+    }
+
+    #[test]
+    fn flip_sign_bit_makes_value_negative() {
+        // 8-bit word: flipping bit 7 of 1 gives 0x81 = -127.
+        assert_eq!(flip_bit_within(1, 7, 8), -127);
+        // 16-bit word: flipping bit 15 of 0 gives -32768.
+        assert_eq!(flip_bit_within(0, 15, 16), -32768);
+    }
+
+    #[test]
+    fn flip_is_an_involution_for_storage_words() {
+        // Values representable in the 16-bit storage word: flipping the same
+        // bit twice must restore the original value.
+        for &v in &[0i64, 1, -1, 127, -128, 300, -20_000, 32_767, -32_768] {
+            for bit in 0..16 {
+                let once = flip_bit_within(v, bit, 16);
+                let twice = flip_bit_within(once, bit, 16);
+                assert_eq!(twice, v, "double flip must restore value {v} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn flip_on_negative_values_respects_twos_complement() {
+        // -1 in 8 bits is 0xFF; flipping bit 0 gives 0xFE = -2.
+        assert_eq!(flip_bit_within(-1, 0, 8), -2);
+        // Flipping bit 7 of -1 (0xFF) gives 0x7F = 127.
+        assert_eq!(flip_bit_within(-1, 7, 8), 127);
+    }
+
+    #[test]
+    fn flip_bounded_magnitude_for_wide_accumulators() {
+        // A wide positive accumulator: flipping a low bit changes it by at most 2^bit.
+        let acc = 1 << 30;
+        let flipped = flip_bit_within(acc, 3, 16);
+        assert_eq!((flipped - acc).abs(), 8);
+    }
+
+    #[test]
+    fn fault_model_labels_and_all() {
+        assert_eq!(FaultModel::default(), FaultModel::OperandMulResultAdd);
+        assert_eq!(FaultModel::all().len(), 3);
+        for m in FaultModel::all() {
+            assert!(!m.label().is_empty());
+        }
+    }
+}

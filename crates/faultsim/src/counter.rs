@@ -1,0 +1,227 @@
+//! Operation and fault counters gathered during instrumented execution.
+
+use crate::OpType;
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Multiplication / addition counts for one scope (a layer or a whole network).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCount {
+    /// Number of multiplications.
+    pub mul: u64,
+    /// Number of additions.
+    pub add: u64,
+}
+
+impl OpCount {
+    /// Total number of primitive operations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.mul + self.add
+    }
+
+    /// Count for a specific operation type.
+    #[must_use]
+    pub fn of(&self, op: OpType) -> u64 {
+        match op {
+            OpType::Mul => self.mul,
+            OpType::Add => self.add,
+        }
+    }
+
+    /// Weighted hardware cost of the counted operations.
+    ///
+    /// A multiplier is substantially more expensive than an adder; the paper's
+    /// TMR overhead accounting therefore weights the two differently. The
+    /// default weights used by `wgft-core` are 1.0 per multiplication and 0.25
+    /// per addition.
+    #[must_use]
+    pub fn weighted_cost(&self, mul_weight: f64, add_weight: f64) -> f64 {
+        self.mul as f64 * mul_weight + self.add as f64 * add_weight
+    }
+}
+
+impl Add for OpCount {
+    type Output = OpCount;
+
+    fn add(self, rhs: OpCount) -> OpCount {
+        OpCount { mul: self.mul + rhs.mul, add: self.add + rhs.add }
+    }
+}
+
+impl AddAssign for OpCount {
+    fn add_assign(&mut self, rhs: OpCount) {
+        self.mul += rhs.mul;
+        self.add += rhs.add;
+    }
+}
+
+/// Per-layer operation and fault statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerOpCount {
+    /// Executed operations.
+    pub executed: OpCount,
+    /// Faults that were injected (struck an unprotected operation).
+    pub faults_injected: OpCount,
+    /// Faults that struck a protected operation and were therefore corrected.
+    pub faults_masked: OpCount,
+}
+
+/// Counters indexed by layer, recorded by an [`crate::Arithmetic`] backend.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounters {
+    layers: Vec<LayerOpCount>,
+}
+
+impl OpCounters {
+    /// Empty counter set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Per-layer statistics, indexed by layer id.
+    #[must_use]
+    pub fn layers(&self) -> &[LayerOpCount] {
+        &self.layers
+    }
+
+    /// Statistics for one layer (zero if the layer never executed).
+    #[must_use]
+    pub fn layer(&self, layer: usize) -> LayerOpCount {
+        self.layers.get(layer).copied().unwrap_or_default()
+    }
+
+    /// Total executed operations across all layers.
+    #[must_use]
+    pub fn total(&self) -> OpCount {
+        self.layers.iter().fold(OpCount::default(), |acc, l| acc + l.executed)
+    }
+
+    /// Total faults injected across all layers.
+    #[must_use]
+    pub fn total_faults_injected(&self) -> OpCount {
+        self.layers.iter().fold(OpCount::default(), |acc, l| acc + l.faults_injected)
+    }
+
+    /// Total faults masked by protection across all layers.
+    #[must_use]
+    pub fn total_faults_masked(&self) -> OpCount {
+        self.layers.iter().fold(OpCount::default(), |acc, l| acc + l.faults_masked)
+    }
+
+    /// Record one executed operation.
+    pub fn record_op(&mut self, layer: usize, op: OpType) {
+        let entry = self.entry(layer);
+        match op {
+            OpType::Mul => entry.executed.mul += 1,
+            OpType::Add => entry.executed.add += 1,
+        }
+    }
+
+    /// Record a fault that was injected into an unprotected operation.
+    pub fn record_fault_injected(&mut self, layer: usize, op: OpType) {
+        let entry = self.entry(layer);
+        match op {
+            OpType::Mul => entry.faults_injected.mul += 1,
+            OpType::Add => entry.faults_injected.add += 1,
+        }
+    }
+
+    /// Record a fault that struck a protected operation and was corrected.
+    pub fn record_fault_masked(&mut self, layer: usize, op: OpType) {
+        let entry = self.entry(layer);
+        match op {
+            OpType::Mul => entry.faults_masked.mul += 1,
+            OpType::Add => entry.faults_masked.add += 1,
+        }
+    }
+
+    /// Merge another counter set into this one (used to accumulate statistics
+    /// over a whole evaluation set).
+    pub fn merge(&mut self, other: &OpCounters) {
+        if other.layers.len() > self.layers.len() {
+            self.layers.resize(other.layers.len(), LayerOpCount::default());
+        }
+        for (dst, src) in self.layers.iter_mut().zip(other.layers.iter()) {
+            dst.executed += src.executed;
+            dst.faults_injected += src.faults_injected;
+            dst.faults_masked += src.faults_masked;
+        }
+    }
+
+    /// Reset all counters to zero, keeping the allocation.
+    pub fn reset(&mut self) {
+        for layer in &mut self.layers {
+            *layer = LayerOpCount::default();
+        }
+    }
+
+    fn entry(&mut self, layer: usize) -> &mut LayerOpCount {
+        if layer >= self.layers.len() {
+            self.layers.resize(layer + 1, LayerOpCount::default());
+        }
+        &mut self.layers[layer]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcount_arithmetic() {
+        let a = OpCount { mul: 3, add: 5 };
+        let b = OpCount { mul: 1, add: 2 };
+        assert_eq!((a + b).total(), 11);
+        let mut c = a;
+        c += b;
+        assert_eq!(c, OpCount { mul: 4, add: 7 });
+        assert_eq!(a.of(OpType::Mul), 3);
+        assert_eq!(a.of(OpType::Add), 5);
+    }
+
+    #[test]
+    fn weighted_cost_reflects_mul_dominance() {
+        let c = OpCount { mul: 10, add: 40 };
+        assert!((c.weighted_cost(1.0, 0.25) - 20.0).abs() < 1e-12);
+        assert!((c.weighted_cost(1.0, 1.0) - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counters_grow_on_demand_and_total() {
+        let mut c = OpCounters::new();
+        c.record_op(2, OpType::Mul);
+        c.record_op(0, OpType::Add);
+        c.record_op(2, OpType::Add);
+        assert_eq!(c.layers().len(), 3);
+        assert_eq!(c.layer(2).executed, OpCount { mul: 1, add: 1 });
+        assert_eq!(c.layer(5).executed, OpCount::default());
+        assert_eq!(c.total(), OpCount { mul: 1, add: 2 });
+    }
+
+    #[test]
+    fn fault_records_are_separate_from_executed() {
+        let mut c = OpCounters::new();
+        c.record_fault_injected(1, OpType::Mul);
+        c.record_fault_masked(1, OpType::Add);
+        assert_eq!(c.total_faults_injected(), OpCount { mul: 1, add: 0 });
+        assert_eq!(c.total_faults_masked(), OpCount { mul: 0, add: 1 });
+        assert_eq!(c.total(), OpCount::default());
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let mut a = OpCounters::new();
+        a.record_op(0, OpType::Mul);
+        let mut b = OpCounters::new();
+        b.record_op(1, OpType::Add);
+        b.record_fault_injected(1, OpType::Add);
+        a.merge(&b);
+        assert_eq!(a.total(), OpCount { mul: 1, add: 1 });
+        assert_eq!(a.total_faults_injected().add, 1);
+        a.reset();
+        assert_eq!(a.total(), OpCount::default());
+        assert_eq!(a.layers().len(), 2);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for fault-injection configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when configuring fault injection.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultSimError {
+    /// A bit error rate outside `[0, 1]` or non-finite was supplied.
+    InvalidBitErrorRate {
+        /// The offending value.
+        value: f64,
+    },
+    /// A protection fraction outside `[0, 1]` was supplied.
+    InvalidProtectionFraction {
+        /// The offending value.
+        fraction: f64,
+    },
+}
+
+impl fmt::Display for FaultSimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultSimError::InvalidBitErrorRate { value } => {
+                write!(f, "bit error rate {value} is not a probability in [0, 1]")
+            }
+            FaultSimError::InvalidProtectionFraction { fraction } => {
+                write!(f, "protection fraction {fraction} is not in [0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for FaultSimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_value() {
+        let e = FaultSimError::InvalidBitErrorRate { value: 2.0 };
+        assert!(e.to_string().contains('2'));
+        let e = FaultSimError::InvalidProtectionFraction { fraction: -0.5 };
+        assert!(e.to_string().contains("-0.5"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<FaultSimError>();
+    }
+}

@@ -1,0 +1,286 @@
+//! Protection plans: which operations are shielded from soft errors.
+//!
+//! The paper exploits three protection granularities:
+//!
+//! * whole layers kept fault-free (the layer-wise vulnerability analysis of
+//!   Figure 3),
+//! * whole operation types kept fault-free (the multiplication/addition
+//!   sensitivity analysis of Figure 4),
+//! * a *fraction* of a layer's operations of a given type protected by TMR
+//!   (the fine-grained TMR of Figure 5 — "protecting only a fraction of the
+//!   operations in the layer rather than the entire layer", selected randomly
+//!   so the scheme maps onto any computing engine).
+//!
+//! A [`ProtectionPlan`] expresses all three with per-(layer, op-type)
+//! protection fractions plus global op-type masks.
+
+use crate::{FaultSimError, OpCount};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The primitive operation types the paper distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OpType {
+    /// A multiplication.
+    Mul,
+    /// An addition.
+    Add,
+}
+
+impl OpType {
+    /// Both operation types.
+    #[must_use]
+    pub const fn all() -> [OpType; 2] {
+        [OpType::Mul, OpType::Add]
+    }
+}
+
+impl fmt::Display for OpType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpType::Mul => write!(f, "mul"),
+            OpType::Add => write!(f, "add"),
+        }
+    }
+}
+
+/// Protection fractions for one layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+struct LayerProtection {
+    mul_fraction: f64,
+    add_fraction: f64,
+}
+
+/// Describes which operations are protected (and therefore immune to the
+/// injected soft errors).
+///
+/// Protection composes: an operation is protected if its layer is fault-free,
+/// **or** its op-type is globally fault-free, **or** it falls inside the
+/// TMR-protected fraction of its (layer, op-type) bucket.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProtectionPlan {
+    fault_free_layers: Vec<usize>,
+    mul_fault_free: bool,
+    add_fault_free: bool,
+    layer_fractions: BTreeMap<usize, LayerProtection>,
+}
+
+impl ProtectionPlan {
+    /// A plan with no protection at all.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Mark an entire layer as fault-free.
+    #[must_use]
+    pub fn with_fault_free_layer(mut self, layer: usize) -> Self {
+        if !self.fault_free_layers.contains(&layer) {
+            self.fault_free_layers.push(layer);
+        }
+        self
+    }
+
+    /// Mark an entire operation type as fault-free across the whole network.
+    #[must_use]
+    pub fn with_fault_free_op_type(mut self, op: OpType) -> Self {
+        match op {
+            OpType::Mul => self.mul_fault_free = true,
+            OpType::Add => self.add_fault_free = true,
+        }
+        self
+    }
+
+    /// Protect a fraction of a layer's operations of one type (fine-grained TMR).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultSimError::InvalidProtectionFraction`] if `fraction` is
+    /// not in `[0, 1]`.
+    pub fn protect_fraction(
+        &mut self,
+        layer: usize,
+        op: OpType,
+        fraction: f64,
+    ) -> Result<(), FaultSimError> {
+        if !fraction.is_finite() || !(0.0..=1.0).contains(&fraction) {
+            return Err(FaultSimError::InvalidProtectionFraction { fraction });
+        }
+        let entry = self.layer_fractions.entry(layer).or_default();
+        match op {
+            OpType::Mul => entry.mul_fraction = fraction,
+            OpType::Add => entry.add_fraction = fraction,
+        }
+        Ok(())
+    }
+
+    /// Builder-style variant of [`ProtectionPlan::protect_fraction`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ProtectionPlan::protect_fraction`].
+    pub fn with_fraction(
+        mut self,
+        layer: usize,
+        op: OpType,
+        fraction: f64,
+    ) -> Result<Self, FaultSimError> {
+        self.protect_fraction(layer, op, fraction)?;
+        Ok(self)
+    }
+
+    /// Layers marked entirely fault-free.
+    #[must_use]
+    pub fn fault_free_layers(&self) -> &[usize] {
+        &self.fault_free_layers
+    }
+
+    /// Whether an op type is globally fault-free.
+    #[must_use]
+    pub fn is_op_type_fault_free(&self, op: OpType) -> bool {
+        match op {
+            OpType::Mul => self.mul_fault_free,
+            OpType::Add => self.add_fault_free,
+        }
+    }
+
+    /// The protection probability for an operation of type `op` in `layer`.
+    ///
+    /// A fault striking such an operation is corrected with this probability
+    /// (the protected subset is chosen uniformly at random, as in the paper).
+    #[must_use]
+    pub fn protection_probability(&self, layer: usize, op: OpType) -> f64 {
+        if self.fault_free_layers.contains(&layer) || self.is_op_type_fault_free(op) {
+            return 1.0;
+        }
+        match self.layer_fractions.get(&layer) {
+            Some(entry) => match op {
+                OpType::Mul => entry.mul_fraction,
+                OpType::Add => entry.add_fraction,
+            },
+            None => 0.0,
+        }
+    }
+
+    /// The protected fraction configured by fine-grained TMR for a
+    /// (layer, op-type) bucket — *excluding* fault-free layer / op-type masks.
+    #[must_use]
+    pub fn tmr_fraction(&self, layer: usize, op: OpType) -> f64 {
+        match self.layer_fractions.get(&layer) {
+            Some(entry) => match op {
+                OpType::Mul => entry.mul_fraction,
+                OpType::Add => entry.add_fraction,
+            },
+            None => 0.0,
+        }
+    }
+
+    /// Whether the plan protects anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fault_free_layers.is_empty()
+            && !self.mul_fault_free
+            && !self.add_fault_free
+            && self
+                .layer_fractions
+                .values()
+                .all(|e| e.mul_fraction == 0.0 && e.add_fraction == 0.0)
+    }
+
+    /// Number of operations this plan triplicates for a network whose
+    /// per-layer operation counts are `layer_ops`, reported as the *expected*
+    /// protected count per layer/op-type (TMR fractions only — fault-free
+    /// masks are analysis devices, not hardware redundancy).
+    #[must_use]
+    pub fn protected_ops(&self, layer_ops: &[OpCount]) -> OpCount {
+        let mut out = OpCount::default();
+        for (layer, ops) in layer_ops.iter().enumerate() {
+            let mul_frac = self.tmr_fraction(layer, OpType::Mul);
+            let add_frac = self.tmr_fraction(layer, OpType::Add);
+            out.mul += (ops.mul as f64 * mul_frac).round() as u64;
+            out.add += (ops.add as f64 * add_frac).round() as u64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_type_display_and_all() {
+        assert_eq!(OpType::Mul.to_string(), "mul");
+        assert_eq!(OpType::Add.to_string(), "add");
+        assert_eq!(OpType::all(), [OpType::Mul, OpType::Add]);
+    }
+
+    #[test]
+    fn empty_plan_protects_nothing() {
+        let plan = ProtectionPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.protection_probability(3, OpType::Mul), 0.0);
+        assert_eq!(plan.protection_probability(0, OpType::Add), 0.0);
+    }
+
+    #[test]
+    fn fault_free_layer_protects_both_op_types() {
+        let plan = ProtectionPlan::none().with_fault_free_layer(2);
+        assert_eq!(plan.protection_probability(2, OpType::Mul), 1.0);
+        assert_eq!(plan.protection_probability(2, OpType::Add), 1.0);
+        assert_eq!(plan.protection_probability(1, OpType::Mul), 0.0);
+        assert_eq!(plan.fault_free_layers(), &[2]);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn fault_free_op_type_is_global() {
+        let plan = ProtectionPlan::none().with_fault_free_op_type(OpType::Mul);
+        assert!(plan.is_op_type_fault_free(OpType::Mul));
+        assert!(!plan.is_op_type_fault_free(OpType::Add));
+        assert_eq!(plan.protection_probability(7, OpType::Mul), 1.0);
+        assert_eq!(plan.protection_probability(7, OpType::Add), 0.0);
+    }
+
+    #[test]
+    fn fraction_validation_and_lookup() {
+        let mut plan = ProtectionPlan::none();
+        assert!(plan.protect_fraction(1, OpType::Mul, 1.5).is_err());
+        assert!(plan.protect_fraction(1, OpType::Mul, -0.1).is_err());
+        plan.protect_fraction(1, OpType::Mul, 0.4).unwrap();
+        plan.protect_fraction(1, OpType::Add, 0.1).unwrap();
+        assert_eq!(plan.protection_probability(1, OpType::Mul), 0.4);
+        assert_eq!(plan.protection_probability(1, OpType::Add), 0.1);
+        assert_eq!(plan.tmr_fraction(1, OpType::Mul), 0.4);
+        assert_eq!(plan.tmr_fraction(0, OpType::Mul), 0.0);
+    }
+
+    #[test]
+    fn builder_variant_composes() {
+        let plan = ProtectionPlan::none()
+            .with_fraction(0, OpType::Mul, 0.5)
+            .unwrap()
+            .with_fault_free_layer(3);
+        assert_eq!(plan.protection_probability(0, OpType::Mul), 0.5);
+        assert_eq!(plan.protection_probability(3, OpType::Add), 1.0);
+    }
+
+    #[test]
+    fn duplicate_fault_free_layer_is_ignored() {
+        let plan = ProtectionPlan::none().with_fault_free_layer(1).with_fault_free_layer(1);
+        assert_eq!(plan.fault_free_layers(), &[1]);
+    }
+
+    #[test]
+    fn protected_ops_counts_expected_tmr_coverage() {
+        let mut plan = ProtectionPlan::none();
+        plan.protect_fraction(0, OpType::Mul, 0.5).unwrap();
+        plan.protect_fraction(1, OpType::Add, 1.0).unwrap();
+        let layer_ops =
+            vec![OpCount { mul: 100, add: 200 }, OpCount { mul: 10, add: 40 }];
+        let protected = plan.protected_ops(&layer_ops);
+        assert_eq!(protected.mul, 50);
+        assert_eq!(protected.add, 40);
+    }
+}

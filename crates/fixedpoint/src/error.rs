@@ -1,0 +1,61 @@
+//! Error type for fixed-point configuration and calibration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or calibrating fixed-point formats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FixedPointError {
+    /// The requested fractional bit count does not fit in the storage width.
+    FracBitsTooLarge {
+        /// Requested number of fractional bits.
+        frac_bits: u32,
+        /// Storage width in bits.
+        width_bits: u32,
+    },
+    /// Calibration was attempted on an empty slice.
+    EmptyCalibration,
+    /// Calibration data contained a non-finite value.
+    NonFiniteCalibration,
+}
+
+impl fmt::Display for FixedPointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FixedPointError::FracBitsTooLarge { frac_bits, width_bits } => write!(
+                f,
+                "fractional bit count {frac_bits} does not fit in a {width_bits}-bit word"
+            ),
+            FixedPointError::EmptyCalibration => {
+                write!(f, "cannot calibrate a fixed-point format from an empty slice")
+            }
+            FixedPointError::NonFiniteCalibration => {
+                write!(f, "calibration data contained a non-finite value")
+            }
+        }
+    }
+}
+
+impl Error for FixedPointError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = FixedPointError::FracBitsTooLarge { frac_bits: 20, width_bits: 8 };
+        let msg = e.to_string();
+        assert!(msg.contains("20"));
+        assert!(msg.contains("8-bit"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+        assert!(FixedPointError::EmptyCalibration.to_string().contains("empty"));
+        assert!(FixedPointError::NonFiniteCalibration.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<FixedPointError>();
+    }
+}

@@ -1,0 +1,73 @@
+//! Q-format fixed-point arithmetic substrate for quantized DNN inference.
+//!
+//! The DAC'22 paper "Winograd Convolution: A Perspective from Fault Tolerance"
+//! evaluates networks quantized to 8-bit and 16-bit fixed point. This crate
+//! provides the scalar substrate used by every other crate in the workspace:
+//!
+//! * [`BitWidth`] — the storage width of a quantized word (8 or 16 bits),
+//! * [`QFormat`] — a symmetric Q-format (scale = 2^-frac_bits) with saturating
+//!   conversion between `f32` and the integer domain,
+//! * [`Quantizer`] — per-tensor calibration of a [`QFormat`] from floating
+//!   point data,
+//! * saturating/wrapping helpers used by the quantized inference kernels.
+//!
+//! # Example
+//!
+//! ```
+//! use wgft_fixedpoint::{BitWidth, QFormat, Quantizer};
+//!
+//! # fn main() -> Result<(), wgft_fixedpoint::FixedPointError> {
+//! let data = [0.5_f32, -1.25, 0.75, 2.0];
+//! let fmt = Quantizer::symmetric(BitWidth::W8).calibrate(&data)?;
+//! let q: Vec<i32> = data.iter().map(|&x| fmt.quantize(x)).collect();
+//! let back: Vec<f32> = q.iter().map(|&v| fmt.dequantize(v)).collect();
+//! assert!((back[3] - 2.0).abs() < fmt.resolution());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod qformat;
+mod quantizer;
+
+pub use error::FixedPointError;
+pub use qformat::{saturate, BitWidth, QFormat};
+pub use quantizer::Quantizer;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn quantize_roundtrip_error_bounded(x in -100.0f32..100.0, frac in 0u32..6) {
+            let fmt = QFormat::new(BitWidth::W16, frac).unwrap();
+            let q = fmt.quantize(x);
+            let back = fmt.dequantize(q);
+            // Round trip error is bounded by half a step unless saturation kicked in.
+            if x.abs() < fmt.max_value() {
+                prop_assert!((back - x).abs() <= fmt.resolution());
+            } else {
+                prop_assert!(back.abs() <= fmt.max_value() + fmt.resolution());
+            }
+        }
+
+        #[test]
+        fn quantized_values_fit_storage(x in -1e6f32..1e6, frac in 0u32..8) {
+            let fmt = QFormat::new(BitWidth::W8, frac).unwrap();
+            let q = fmt.quantize(x);
+            prop_assert!(q >= fmt.min_raw() && q <= fmt.max_raw());
+        }
+
+        #[test]
+        fn calibrated_format_covers_data(values in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
+            let fmt = Quantizer::symmetric(BitWidth::W16).calibrate(&values).unwrap();
+            let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            prop_assert!(fmt.max_value() + fmt.resolution() >= max_abs);
+        }
+    }
+}

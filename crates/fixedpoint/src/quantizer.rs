@@ -1,0 +1,149 @@
+//! Calibration of Q-formats from floating-point data.
+
+use crate::{BitWidth, FixedPointError, QFormat};
+use serde::{Deserialize, Serialize};
+
+/// Calibrates a symmetric [`QFormat`] from floating-point data.
+///
+/// Calibration picks the largest fractional bit count whose representable
+/// range still covers the observed absolute maximum (optionally widened by a
+/// safety margin), which maximizes resolution without clipping.
+///
+/// # Example
+///
+/// ```
+/// use wgft_fixedpoint::{BitWidth, Quantizer};
+///
+/// # fn main() -> Result<(), wgft_fixedpoint::FixedPointError> {
+/// let weights = [0.1_f32, -0.9, 0.35];
+/// let fmt = Quantizer::symmetric(BitWidth::W8).calibrate(&weights)?;
+/// assert!(fmt.max_value() >= 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantizer {
+    width: BitWidth,
+    margin: f32,
+}
+
+impl Quantizer {
+    /// A symmetric quantizer targeting the given storage width with no margin.
+    #[must_use]
+    pub fn symmetric(width: BitWidth) -> Self {
+        Self { width, margin: 1.0 }
+    }
+
+    /// Widen the covered range by `margin` (e.g. `1.25` leaves 25 % headroom
+    /// for activation values not seen during calibration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `margin < 1.0` or non-finite.
+    #[must_use]
+    pub fn with_margin(mut self, margin: f32) -> Self {
+        assert!(margin.is_finite() && margin >= 1.0, "margin must be finite and >= 1.0");
+        self.margin = margin;
+        self
+    }
+
+    /// Storage width this quantizer targets.
+    #[must_use]
+    pub const fn width(&self) -> BitWidth {
+        self.width
+    }
+
+    /// Calibrate a format covering `values`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FixedPointError::EmptyCalibration`] for an empty slice and
+    /// [`FixedPointError::NonFiniteCalibration`] if any value is NaN/∞.
+    pub fn calibrate(&self, values: &[f32]) -> Result<QFormat, FixedPointError> {
+        if values.is_empty() {
+            return Err(FixedPointError::EmptyCalibration);
+        }
+        let mut max_abs = 0.0f32;
+        for &v in values {
+            if !v.is_finite() {
+                return Err(FixedPointError::NonFiniteCalibration);
+            }
+            max_abs = max_abs.max(v.abs());
+        }
+        Ok(self.format_for_max_abs(max_abs))
+    }
+
+    /// Build the format directly from a known absolute maximum.
+    ///
+    /// Useful when the maximum has already been computed (e.g. from a running
+    /// calibration pass over many batches).
+    #[must_use]
+    pub fn format_for_max_abs(&self, max_abs: f32) -> QFormat {
+        let target = (max_abs * self.margin).max(1e-12);
+        let width_bits = self.width.bits();
+        // Find the largest frac_bits such that max_raw * 2^-frac >= target.
+        let mut best = QFormat::new(self.width, 0).expect("0 frac bits always valid");
+        for frac in 0..width_bits {
+            let fmt = QFormat::new(self.width, frac).expect("frac < width checked by loop bound");
+            if fmt.max_value() >= target {
+                best = fmt;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibrate_rejects_empty_and_non_finite() {
+        let q = Quantizer::symmetric(BitWidth::W8);
+        assert_eq!(q.calibrate(&[]), Err(FixedPointError::EmptyCalibration));
+        assert_eq!(q.calibrate(&[1.0, f32::NAN]), Err(FixedPointError::NonFiniteCalibration));
+    }
+
+    #[test]
+    fn calibrate_picks_max_resolution_covering_range() {
+        let q = Quantizer::symmetric(BitWidth::W8);
+        // max abs = 0.9: Q1.6 covers ±1.98, Q0.7 covers ±0.99 -> expect 7 frac bits.
+        let fmt = q.calibrate(&[0.5, -0.9]).unwrap();
+        assert_eq!(fmt.frac_bits(), 7);
+        assert!(fmt.max_value() >= 0.9);
+    }
+
+    #[test]
+    fn margin_reserves_headroom() {
+        let no_margin = Quantizer::symmetric(BitWidth::W16).calibrate(&[1.0]).unwrap();
+        let with_margin =
+            Quantizer::symmetric(BitWidth::W16).with_margin(4.0).calibrate(&[1.0]).unwrap();
+        assert!(with_margin.frac_bits() < no_margin.frac_bits());
+        assert!(with_margin.max_value() >= 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "margin must be finite")]
+    fn margin_below_one_panics() {
+        let _ = Quantizer::symmetric(BitWidth::W8).with_margin(0.5);
+    }
+
+    #[test]
+    fn tiny_values_still_get_a_valid_format() {
+        let fmt = Quantizer::symmetric(BitWidth::W8).calibrate(&[1e-9, -1e-9]).unwrap();
+        assert_eq!(fmt.frac_bits(), 7);
+    }
+
+    #[test]
+    fn huge_values_fall_back_to_integer_format() {
+        let fmt = Quantizer::symmetric(BitWidth::W8).format_for_max_abs(1e6);
+        assert_eq!(fmt.frac_bits(), 0);
+    }
+
+    #[test]
+    fn width_accessor() {
+        assert_eq!(Quantizer::symmetric(BitWidth::W16).width(), BitWidth::W16);
+    }
+}

@@ -1,0 +1,307 @@
+//! Floating-point 2-D convolution layer with backward pass.
+
+use crate::NnError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use wgft_tensor::{ConvGeometry, Shape, Tensor};
+use wgft_winograd::{direct_conv_f32, ConvShape};
+
+/// A 2-D convolution layer (square kernel, cross-correlation convention) for
+/// the floating-point training path.
+///
+/// Works on single-image batches shaped `(1, C, H, W)`; the trainer
+/// accumulates gradients across the samples of a mini-batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Conv2d {
+    shape: ConvShape,
+    weights: Tensor,
+    bias: Tensor,
+    #[serde(skip)]
+    cached_input: Option<Tensor>,
+    #[serde(skip, default = "empty_tensor")]
+    grad_weights: Tensor,
+    #[serde(skip, default = "empty_tensor")]
+    grad_bias: Tensor,
+}
+
+/// Placeholder used when deserializing a layer (gradients are rebuilt lazily).
+pub(crate) fn empty_tensor() -> Tensor {
+    Tensor::zeros(Shape::d1(0))
+}
+
+impl Conv2d {
+    /// Create a convolution layer with He-uniform initial weights.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        in_size: usize,
+        kernel: usize,
+        padding: usize,
+        rng: &mut R,
+    ) -> Self {
+        let geometry = ConvGeometry::square(in_size, kernel, 1, padding);
+        let shape = ConvShape::new(in_channels, out_channels, geometry);
+        let fan_in = in_channels * kernel * kernel;
+        let weights = Tensor::he_uniform(
+            Shape::new(vec![out_channels, in_channels, kernel, kernel]),
+            fan_in,
+            rng,
+        );
+        let bias = Tensor::zeros(Shape::d1(out_channels));
+        Self {
+            shape,
+            grad_weights: Tensor::zeros(weights.shape().clone()),
+            grad_bias: Tensor::zeros(bias.shape().clone()),
+            weights,
+            bias,
+            cached_input: None,
+        }
+    }
+
+    /// The layer's convolution shape (channels and spatial geometry).
+    #[must_use]
+    pub fn conv_shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    /// Weight tensor, laid out `(out_channels, in_channels, k, k)`.
+    #[must_use]
+    pub fn weights(&self) -> &Tensor {
+        &self.weights
+    }
+
+    /// Per-output-channel bias.
+    #[must_use]
+    pub fn bias(&self) -> &Tensor {
+        &self.bias
+    }
+
+    /// Spatial size of the produced feature map.
+    #[must_use]
+    pub fn output_size(&self) -> usize {
+        self.shape.geometry.out_h()
+    }
+
+    /// Number of output channels.
+    #[must_use]
+    pub fn out_channels(&self) -> usize {
+        self.shape.out_channels
+    }
+
+    /// Forward pass on a `(1, C, H, W)` input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if the input shape does not match the layer.
+    pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let g = &self.shape.geometry;
+        let out = direct_conv_f32(input.data(), self.weights.data(), &self.shape)?;
+        let (out_h, out_w) = (g.out_h(), g.out_w());
+        let mut out_t = Tensor::from_vec(
+            Shape::nchw(1, self.shape.out_channels, out_h, out_w),
+            out,
+        )?;
+        // Add bias per output channel.
+        for oc in 0..self.shape.out_channels {
+            let b = self.bias.data()[oc];
+            let base = oc * out_h * out_w;
+            for v in &mut out_t.data_mut()[base..base + out_h * out_w] {
+                *v += b;
+            }
+        }
+        self.cached_input = Some(input.clone());
+        Ok(out_t)
+    }
+
+    /// Backward pass: accumulates weight/bias gradients and returns the
+    /// gradient with respect to the input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] if no forward pass cached an
+    /// input.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
+        let input = self.cached_input.as_ref().ok_or(NnError::BackwardBeforeForward)?;
+        let g = self.shape.geometry;
+        let (out_h, out_w) = (g.out_h(), g.out_w());
+        let (in_c, out_c) = (self.shape.in_channels, self.shape.out_channels);
+        let pad = g.padding as isize;
+        if self.grad_weights.len() != self.weights.len() {
+            self.grad_weights = Tensor::zeros(self.weights.shape().clone());
+            self.grad_bias = Tensor::zeros(self.bias.shape().clone());
+        }
+        let mut grad_input = Tensor::zeros(input.shape().clone());
+        {
+            let gw = self.grad_weights.data_mut();
+            let gb = self.grad_bias.data_mut();
+            let gi = grad_input.data_mut();
+            let go = grad_out.data();
+            let xin = input.data();
+            let w = self.weights.data();
+            for oc in 0..out_c {
+                for oy in 0..out_h {
+                    for ox in 0..out_w {
+                        let go_v = go[(oc * out_h + oy) * out_w + ox];
+                        if go_v == 0.0 {
+                            continue;
+                        }
+                        gb[oc] += go_v;
+                        for ic in 0..in_c {
+                            for ky in 0..g.k_h {
+                                let iy = (oy * g.stride + ky) as isize - pad;
+                                if iy < 0 || iy >= g.in_h as isize {
+                                    continue;
+                                }
+                                for kx in 0..g.k_w {
+                                    let ix = (ox * g.stride + kx) as isize - pad;
+                                    if ix < 0 || ix >= g.in_w as isize {
+                                        continue;
+                                    }
+                                    let in_idx =
+                                        (ic * g.in_h + iy as usize) * g.in_w + ix as usize;
+                                    let w_idx = ((oc * in_c + ic) * g.k_h + ky) * g.k_w + kx;
+                                    gw[w_idx] += go_v * xin[in_idx];
+                                    gi[in_idx] += go_v * w[w_idx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_input)
+    }
+
+    /// Parameters and their accumulated gradients, for the optimizer.
+    pub fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        if self.grad_weights.len() != self.weights.len() {
+            self.grad_weights = Tensor::zeros(self.weights.shape().clone());
+            self.grad_bias = Tensor::zeros(self.bias.shape().clone());
+        }
+        vec![
+            (&mut self.weights, &mut self.grad_weights),
+            (&mut self.bias, &mut self.grad_bias),
+        ]
+    }
+
+    /// Reset accumulated gradients to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad_weights = Tensor::zeros(self.weights.shape().clone());
+        self.grad_bias = Tensor::zeros(self.bias.shape().clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn layer(in_c: usize, out_c: usize, size: usize, kernel: usize, pad: usize) -> Conv2d {
+        let mut rng = SmallRng::seed_from_u64(3);
+        Conv2d::new(in_c, out_c, size, kernel, pad, &mut rng)
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut conv = layer(2, 4, 8, 3, 1);
+        let input = Tensor::full(Shape::nchw(1, 2, 8, 8), 0.0);
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.shape(), &Shape::nchw(1, 4, 8, 8));
+        // Zero input -> output equals the (zero) bias everywhere.
+        assert!(out.data().iter().all(|&v| v == 0.0));
+        assert_eq!(conv.out_channels(), 4);
+        assert_eq!(conv.output_size(), 8);
+    }
+
+    #[test]
+    fn backward_before_forward_errors() {
+        let mut conv = layer(1, 1, 4, 3, 1);
+        let grad = Tensor::zeros(Shape::nchw(1, 1, 4, 4));
+        assert!(matches!(conv.backward(&grad), Err(NnError::BackwardBeforeForward)));
+    }
+
+    /// Numerical gradient check on a tiny convolution.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut conv = Conv2d::new(1, 2, 4, 3, 1, &mut rng);
+        let input = Tensor::uniform(Shape::nchw(1, 1, 4, 4), 1.0, &mut rng);
+        // Scalar objective: sum of outputs weighted by fixed coefficients.
+        let coeffs = Tensor::uniform(Shape::nchw(1, 2, 4, 4), 1.0, &mut rng);
+        let objective = |conv: &mut Conv2d, input: &Tensor| -> f32 {
+            let out = conv.forward(input).unwrap();
+            out.data().iter().zip(coeffs.data()).map(|(a, b)| a * b).sum()
+        };
+
+        // Analytic gradients.
+        let _ = objective(&mut conv, &input);
+        conv.zero_grad();
+        let _ = conv.forward(&input).unwrap();
+        let grad_in = conv.backward(&coeffs).unwrap();
+
+        // Finite differences on a few weights.
+        let eps = 1e-3f32;
+        for &idx in &[0usize, 5, 10, 17] {
+            let orig = conv.weights.data()[idx];
+            conv.weights.data_mut()[idx] = orig + eps;
+            let plus = objective(&mut conv, &input);
+            conv.weights.data_mut()[idx] = orig - eps;
+            let minus = objective(&mut conv, &input);
+            conv.weights.data_mut()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = conv.grad_weights.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * numeric.abs().max(1.0),
+                "weight {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+
+        // Finite differences on a few input pixels.
+        let mut input_var = input.clone();
+        for &idx in &[0usize, 7, 15] {
+            let orig = input_var.data()[idx];
+            input_var.data_mut()[idx] = orig + eps;
+            let plus = objective(&mut conv, &input_var);
+            input_var.data_mut()[idx] = orig - eps;
+            let minus = objective(&mut conv, &input_var);
+            input_var.data_mut()[idx] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            let analytic = grad_in.data()[idx];
+            assert!(
+                (numeric - analytic).abs() < 2e-2 * numeric.abs().max(1.0),
+                "input {idx}: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+
+        // Bias gradient: derivative of the objective w.r.t. bias oc is the sum
+        // of that channel's coefficients.
+        for oc in 0..2 {
+            let expected: f32 = coeffs.data()[oc * 16..(oc + 1) * 16].iter().sum();
+            let got = conv.grad_bias.data()[oc];
+            assert!((expected - got).abs() < 1e-3, "bias {oc}: {expected} vs {got}");
+        }
+    }
+
+    #[test]
+    fn zero_grad_clears_accumulation() {
+        let mut conv = layer(1, 1, 4, 3, 1);
+        let input = Tensor::full(Shape::nchw(1, 1, 4, 4), 1.0);
+        let grad = Tensor::full(Shape::nchw(1, 1, 4, 4), 1.0);
+        let _ = conv.forward(&input).unwrap();
+        let _ = conv.backward(&grad).unwrap();
+        assert!(conv.grad_weights.max_abs() > 0.0);
+        conv.zero_grad();
+        assert_eq!(conv.grad_weights.max_abs(), 0.0);
+        assert_eq!(conv.params_and_grads().len(), 2);
+    }
+
+    #[test]
+    fn one_by_one_convolution_is_supported() {
+        let mut conv = layer(3, 5, 6, 1, 0);
+        let input = Tensor::full(Shape::nchw(1, 3, 6, 6), 0.5);
+        let out = conv.forward(&input).unwrap();
+        assert_eq!(out.shape(), &Shape::nchw(1, 5, 6, 6));
+    }
+}

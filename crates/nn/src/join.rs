@@ -1,0 +1,164 @@
+//! Multi-input join layers: element-wise addition (residual connections) and
+//! channel concatenation (dense blocks, inception modules).
+
+use crate::NnError;
+use serde::{Deserialize, Serialize};
+use wgft_tensor::{Shape, Tensor};
+
+/// Element-wise addition of two feature maps (a residual connection).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Add;
+
+impl Add {
+    /// Create an addition join.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Forward pass over exactly two inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::WrongInputCount`] for a wrong number of inputs and a
+    /// tensor error if the shapes differ.
+    pub fn forward(&mut self, inputs: &[&Tensor]) -> Result<Tensor, NnError> {
+        if inputs.len() != 2 {
+            return Err(NnError::WrongInputCount {
+                layer: "add",
+                expected: 2,
+                actual: inputs.len(),
+            });
+        }
+        Ok(inputs[0].add(inputs[1])?)
+    }
+
+    /// Backward pass: the gradient flows unchanged to both inputs.
+    #[must_use]
+    pub fn backward(&self, grad_out: &Tensor) -> Vec<Tensor> {
+        vec![grad_out.clone(), grad_out.clone()]
+    }
+}
+
+/// Channel-dimension concatenation of any number of `(1, C_i, H, W)` maps.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Concat {
+    #[serde(skip)]
+    input_channels: Vec<usize>,
+    #[serde(skip)]
+    spatial: (usize, usize),
+}
+
+impl Concat {
+    /// Create a concatenation join.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::WrongInputCount`] when fewer than two inputs are
+    /// given and [`NnError::InvalidGraph`]-style tensor errors when spatial
+    /// sizes disagree.
+    pub fn forward(&mut self, inputs: &[&Tensor]) -> Result<Tensor, NnError> {
+        if inputs.len() < 2 {
+            return Err(NnError::WrongInputCount {
+                layer: "concat",
+                expected: 2,
+                actual: inputs.len(),
+            });
+        }
+        let dims0 = inputs[0].shape().dims();
+        let (h, w) = (dims0[2], dims0[3]);
+        let mut channels = Vec::with_capacity(inputs.len());
+        let mut total_c = 0usize;
+        for t in inputs {
+            let dims = t.shape().dims();
+            if dims.len() != 4 || dims[2] != h || dims[3] != w {
+                return Err(NnError::Tensor(wgft_tensor::TensorError::ShapeMismatch {
+                    left: inputs[0].shape().clone(),
+                    right: t.shape().clone(),
+                }));
+            }
+            channels.push(dims[1]);
+            total_c += dims[1];
+        }
+        let mut data = Vec::with_capacity(total_c * h * w);
+        for t in inputs {
+            data.extend_from_slice(t.data());
+        }
+        self.input_channels = channels;
+        self.spatial = (h, w);
+        Ok(Tensor::from_vec(Shape::nchw(1, total_c, h, w), data)?)
+    }
+
+    /// Backward pass: splits the gradient back into per-input chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BackwardBeforeForward`] if forward was not called.
+    pub fn backward(&self, grad_out: &Tensor) -> Result<Vec<Tensor>, NnError> {
+        if self.input_channels.is_empty() {
+            return Err(NnError::BackwardBeforeForward);
+        }
+        let (h, w) = self.spatial;
+        let mut grads = Vec::with_capacity(self.input_channels.len());
+        let mut offset = 0usize;
+        for &c in &self.input_channels {
+            let len = c * h * w;
+            let slice = grad_out.data()[offset..offset + len].to_vec();
+            grads.push(Tensor::from_vec(Shape::nchw(1, c, h, w), slice)?);
+            offset += len;
+        }
+        Ok(grads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sums_and_broadcasts_gradient() {
+        let mut add = Add::new();
+        let a = Tensor::full(Shape::nchw(1, 2, 2, 2), 1.0);
+        let b = Tensor::full(Shape::nchw(1, 2, 2, 2), 2.0);
+        let y = add.forward(&[&a, &b]).unwrap();
+        assert!(y.data().iter().all(|&v| v == 3.0));
+        let grads = add.backward(&y);
+        assert_eq!(grads.len(), 2);
+        assert_eq!(grads[0], y);
+        assert!(add.forward(&[&a]).is_err());
+        let c = Tensor::zeros(Shape::nchw(1, 3, 2, 2));
+        assert!(add.forward(&[&a, &c]).is_err());
+    }
+
+    #[test]
+    fn concat_stacks_channels_and_splits_gradient() {
+        let mut concat = Concat::new();
+        let a = Tensor::full(Shape::nchw(1, 1, 2, 2), 1.0);
+        let b = Tensor::full(Shape::nchw(1, 2, 2, 2), 2.0);
+        let y = concat.forward(&[&a, &b]).unwrap();
+        assert_eq!(y.shape(), &Shape::nchw(1, 3, 2, 2));
+        assert_eq!(y.data()[0], 1.0);
+        assert_eq!(y.data()[4], 2.0);
+        let grads = concat.backward(&y).unwrap();
+        assert_eq!(grads.len(), 2);
+        assert_eq!(grads[0].shape(), a.shape());
+        assert_eq!(grads[1].shape(), b.shape());
+        assert!(grads[1].data().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn concat_rejects_bad_inputs() {
+        let mut concat = Concat::new();
+        let a = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
+        assert!(concat.forward(&[&a]).is_err());
+        let b = Tensor::zeros(Shape::nchw(1, 1, 3, 3));
+        assert!(concat.forward(&[&a, &b]).is_err());
+        assert!(Concat::new().backward(&a).is_err());
+    }
+}

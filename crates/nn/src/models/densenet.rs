@@ -1,0 +1,112 @@
+//! Densely connected network (analogue of DenseNet169).
+
+use crate::{Concat, Conv2d, GlobalAvgPool, InputRef, Layer, Linear, MaxPool2, Network, Relu};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wgft_data::SyntheticSpec;
+
+const GROWTH_RATE: usize = 8;
+const LAYERS_PER_BLOCK: usize = 3;
+
+/// Append a dense block: each inner layer convolves the concatenation of every
+/// previous feature map in the block and contributes `GROWTH_RATE` channels.
+fn dense_block<R: Rng + ?Sized>(
+    net: &mut Network,
+    input: InputRef,
+    in_c: usize,
+    size: usize,
+    rng: &mut R,
+) -> (InputRef, usize) {
+    let mut features = input;
+    let mut channels = in_c;
+    for _ in 0..LAYERS_PER_BLOCK {
+        let conv = net
+            .push(Layer::Conv(Conv2d::new(channels, GROWTH_RATE, size, 3, 1, rng)), vec![features])
+            .expect("topological construction");
+        let relu = net
+            .push(Layer::Relu(Relu::new()), vec![InputRef::Node(conv)])
+            .expect("topological construction");
+        let concat = net
+            .push(Layer::Concat(Concat::new()), vec![features, InputRef::Node(relu)])
+            .expect("topological construction");
+        features = InputRef::Node(concat);
+        channels += GROWTH_RATE;
+    }
+    (features, channels)
+}
+
+/// Append a transition: 1x1 convolution that roughly halves the channels,
+/// followed by ReLU and 2x2 max pooling.
+fn transition<R: Rng + ?Sized>(
+    net: &mut Network,
+    input: InputRef,
+    in_c: usize,
+    out_c: usize,
+    size: usize,
+    rng: &mut R,
+) -> InputRef {
+    let conv = net
+        .push(Layer::Conv(Conv2d::new(in_c, out_c, size, 1, 0, rng)), vec![input])
+        .expect("topological construction");
+    let relu = net
+        .push(Layer::Relu(Relu::new()), vec![InputRef::Node(conv)])
+        .expect("topological construction");
+    let pool = net
+        .push(Layer::MaxPool(MaxPool2::new()), vec![InputRef::Node(relu)])
+        .expect("topological construction");
+    InputRef::Node(pool)
+}
+
+/// Build the `densenet_small` network: a stem convolution, two dense blocks
+/// separated by 1x1 transitions with pooling, global average pooling and a
+/// linear classifier.
+pub(super) fn build(spec: &SyntheticSpec, seed: u64) -> Network {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut net = Network::new("densenet_small");
+    let mut size = spec.height;
+
+    let stem = net
+        .push(
+            Layer::Conv(Conv2d::new(spec.channels, 16, size, 3, 1, &mut rng)),
+            vec![InputRef::Image],
+        )
+        .expect("topological construction");
+    let stem_relu = net
+        .push(Layer::Relu(Relu::new()), vec![InputRef::Node(stem)])
+        .expect("topological construction");
+
+    let (block1, c1) = dense_block(&mut net, InputRef::Node(stem_relu), 16, size, &mut rng);
+    let trans1 = transition(&mut net, block1, c1, c1 / 2, size, &mut rng);
+    size /= 2;
+
+    let (block2, c2) = dense_block(&mut net, trans1, c1 / 2, size, &mut rng);
+    let trans2 = transition(&mut net, block2, c2, c2 / 2, size, &mut rng);
+    let _ = size / 2;
+
+    let gap = net
+        .push(Layer::GlobalAvgPool(GlobalAvgPool::new()), vec![trans2])
+        .expect("topological construction");
+    net.push(
+        Layer::Linear(Linear::new(c2 / 2, spec.num_classes, &mut rng)),
+        vec![InputRef::Node(gap)],
+    )
+    .expect("topological construction");
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn densenet_concatenates_growth_channels() {
+        let net = build(&SyntheticSpec::small(), 0);
+        let concats =
+            net.nodes().iter().filter(|n| matches!(n.layer, Layer::Concat(_))).count();
+        assert_eq!(concats, 2 * LAYERS_PER_BLOCK);
+        let convs =
+            net.nodes().iter().filter(|n| matches!(n.layer, Layer::Conv(_))).count();
+        // stem + 3 per block * 2 blocks + 2 transition 1x1 convolutions.
+        assert_eq!(convs, 1 + 2 * LAYERS_PER_BLOCK + 2);
+    }
+}

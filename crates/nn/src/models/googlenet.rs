@@ -1,0 +1,127 @@
+//! Inception-style network (analogue of GoogleNet).
+
+use crate::{Concat, Conv2d, GlobalAvgPool, InputRef, Layer, Linear, MaxPool2, Network, Relu};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wgft_data::SyntheticSpec;
+
+/// Branch widths of one inception module.
+struct InceptionWidths {
+    /// 1x1 branch output channels.
+    b1: usize,
+    /// 3x3 branch: (1x1 reduce, 3x3 output).
+    b3: (usize, usize),
+    /// "5x5" branch implemented as two stacked 3x3 convolutions:
+    /// (1x1 reduce, output of each 3x3).
+    b5: (usize, usize),
+}
+
+impl InceptionWidths {
+    fn output_channels(&self) -> usize {
+        self.b1 + self.b3.1 + self.b5.1
+    }
+}
+
+fn conv_relu<R: Rng + ?Sized>(
+    net: &mut Network,
+    input: InputRef,
+    in_c: usize,
+    out_c: usize,
+    size: usize,
+    kernel: usize,
+    padding: usize,
+    rng: &mut R,
+) -> InputRef {
+    let conv = net
+        .push(Layer::Conv(Conv2d::new(in_c, out_c, size, kernel, padding, rng)), vec![input])
+        .expect("topological construction");
+    let relu = net
+        .push(Layer::Relu(Relu::new()), vec![InputRef::Node(conv)])
+        .expect("topological construction");
+    InputRef::Node(relu)
+}
+
+/// Append an inception module: parallel 1x1, 1x1→3x3 and 1x1→3x3→3x3 branches
+/// concatenated along the channel dimension. (The original 5x5 branch is
+/// expressed as two 3x3 convolutions — the standard Inception-v2 refactoring —
+/// so every spatial convolution can ride the winograd datapath.)
+fn inception<R: Rng + ?Sized>(
+    net: &mut Network,
+    input: InputRef,
+    in_c: usize,
+    widths: &InceptionWidths,
+    size: usize,
+    rng: &mut R,
+) -> (InputRef, usize) {
+    let branch1 = conv_relu(net, input, in_c, widths.b1, size, 1, 0, rng);
+
+    let reduce3 = conv_relu(net, input, in_c, widths.b3.0, size, 1, 0, rng);
+    let branch3 = conv_relu(net, reduce3, widths.b3.0, widths.b3.1, size, 3, 1, rng);
+
+    let reduce5 = conv_relu(net, input, in_c, widths.b5.0, size, 1, 0, rng);
+    let mid5 = conv_relu(net, reduce5, widths.b5.0, widths.b5.1, size, 3, 1, rng);
+    let branch5 = conv_relu(net, mid5, widths.b5.1, widths.b5.1, size, 3, 1, rng);
+
+    let concat = net
+        .push(Layer::Concat(Concat::new()), vec![branch1, branch3, branch5])
+        .expect("topological construction");
+    (InputRef::Node(concat), widths.output_channels())
+}
+
+/// Build the `googlenet_small` network: a stem convolution with pooling, two
+/// inception modules, a final pooling stage, global average pooling and a
+/// linear classifier.
+pub(super) fn build(spec: &SyntheticSpec, seed: u64) -> Network {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut net = Network::new("googlenet_small");
+    let mut size = spec.height;
+
+    let stem = conv_relu(&mut net, InputRef::Image, spec.channels, 16, size, 3, 1, &mut rng);
+    let pool_stem =
+        net.push(Layer::MaxPool(MaxPool2::new()), vec![stem]).expect("topological construction");
+    size /= 2;
+
+    let widths1 = InceptionWidths { b1: 8, b3: (8, 12), b5: (4, 4) };
+    let (module1, c1) =
+        inception(&mut net, InputRef::Node(pool_stem), 16, &widths1, size, &mut rng);
+
+    let widths2 = InceptionWidths { b1: 12, b3: (8, 16), b5: (4, 4) };
+    let (module2, c2) = inception(&mut net, module1, c1, &widths2, size, &mut rng);
+
+    let pool_final =
+        net.push(Layer::MaxPool(MaxPool2::new()), vec![module2]).expect("topological construction");
+    let _ = size / 2;
+
+    let gap = net
+        .push(Layer::GlobalAvgPool(GlobalAvgPool::new()), vec![InputRef::Node(pool_final)])
+        .expect("topological construction");
+    net.push(
+        Layer::Linear(Linear::new(c2, spec.num_classes, &mut rng)),
+        vec![InputRef::Node(gap)],
+    )
+    .expect("topological construction");
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn googlenet_has_two_inception_modules() {
+        let net = build(&SyntheticSpec::small(), 0);
+        let concats =
+            net.nodes().iter().filter(|n| matches!(n.layer, Layer::Concat(_))).count();
+        assert_eq!(concats, 2);
+        let convs =
+            net.nodes().iter().filter(|n| matches!(n.layer, Layer::Conv(_))).count();
+        // stem + 6 per module * 2 modules.
+        assert_eq!(convs, 1 + 6 * 2);
+    }
+
+    #[test]
+    fn inception_width_accounting() {
+        let w = InceptionWidths { b1: 8, b3: (8, 12), b5: (4, 4) };
+        assert_eq!(w.output_channels(), 24);
+    }
+}

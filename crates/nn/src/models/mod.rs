@@ -1,0 +1,157 @@
+//! The model zoo: scaled-down analogues of the paper's benchmark networks.
+//!
+//! The paper evaluates DenseNet169 and ResNet50 on ImageNet, VGG19 on
+//! CIFAR-100 and GoogleNet on CIFAR-10. Pretrained weights and those datasets
+//! are not available offline, so the reproduction uses architecturally
+//! faithful miniatures trained on the synthetic task of `wgft-data`
+//! (see `DESIGN.md` for the substitution argument):
+//!
+//! | paper network | analogue | architectural trait preserved |
+//! |---|---|---|
+//! | VGG19      | [`ModelKind::VggSmall`]       | deep plain stack of 3x3 convolutions |
+//! | ResNet50   | [`ModelKind::ResNetSmall`]    | residual blocks with identity / projection shortcuts |
+//! | DenseNet169| [`ModelKind::DenseNetSmall`]  | dense concatenation blocks + 1x1 transitions |
+//! | GoogleNet  | [`ModelKind::GoogLeNetSmall`] | multi-branch inception modules |
+//!
+//! All four keep the property the fault-tolerance results hinge on: most of
+//! their arithmetic lives in 3x3 unit-stride convolutions that winograd can
+//! accelerate, with a mix of layer sizes so the layer-wise analysis of
+//! Figure 3 has structure to reveal.
+
+mod densenet;
+mod googlenet;
+mod resnet;
+mod vgg;
+
+use crate::Network;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wgft_data::SyntheticSpec;
+
+/// The benchmark network analogues available in the model zoo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// Plain VGG-style stack (analogue of VGG19 @ CIFAR-100).
+    VggSmall,
+    /// Residual network (analogue of ResNet50 @ ImageNet).
+    ResNetSmall,
+    /// Densely connected network (analogue of DenseNet169 @ ImageNet).
+    DenseNetSmall,
+    /// Inception-style network (analogue of GoogleNet @ CIFAR-10).
+    GoogLeNetSmall,
+}
+
+impl ModelKind {
+    /// All four benchmark analogues, in the order the paper lists them.
+    #[must_use]
+    pub const fn all() -> [ModelKind; 4] {
+        [
+            ModelKind::DenseNetSmall,
+            ModelKind::ResNetSmall,
+            ModelKind::VggSmall,
+            ModelKind::GoogLeNetSmall,
+        ]
+    }
+
+    /// Short snake_case label (used in file names and reports).
+    #[must_use]
+    pub const fn label(&self) -> &'static str {
+        match self {
+            ModelKind::VggSmall => "vgg_small",
+            ModelKind::ResNetSmall => "resnet_small",
+            ModelKind::DenseNetSmall => "densenet_small",
+            ModelKind::GoogLeNetSmall => "googlenet_small",
+        }
+    }
+
+    /// The paper benchmark this analogue stands in for.
+    #[must_use]
+    pub const fn paper_reference(&self) -> &'static str {
+        match self {
+            ModelKind::VggSmall => "VGG19 @ CIFAR-100",
+            ModelKind::ResNetSmall => "ResNet50 @ ImageNet",
+            ModelKind::DenseNetSmall => "DenseNet169 @ ImageNet",
+            ModelKind::GoogLeNetSmall => "GoogleNet @ CIFAR-10",
+        }
+    }
+
+    /// Build an untrained network for images shaped like `spec`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification is too small for the architecture (images
+    /// must be at least 8x8).
+    #[must_use]
+    pub fn build(&self, spec: &SyntheticSpec, seed: u64) -> Network {
+        assert!(spec.height >= 8 && spec.width == spec.height, "images must be square and >= 8x8");
+        match self {
+            ModelKind::VggSmall => vgg::build(spec, seed),
+            ModelKind::ResNetSmall => resnet::build(spec, seed),
+            ModelKind::DenseNetSmall => densenet::build(spec, seed),
+            ModelKind::GoogLeNetSmall => googlenet::build(spec, seed),
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgft_tensor::Tensor;
+
+    #[test]
+    fn labels_and_references() {
+        assert_eq!(ModelKind::all().len(), 4);
+        for kind in ModelKind::all() {
+            assert!(!kind.label().is_empty());
+            assert!(!kind.paper_reference().is_empty());
+            assert_eq!(kind.to_string(), kind.label());
+        }
+    }
+
+    #[test]
+    fn every_model_builds_and_runs_forward() {
+        let spec = SyntheticSpec::small();
+        for kind in ModelKind::all() {
+            let mut net = kind.build(&spec, 1);
+            assert!(net.compute_layer_count() >= 6, "{kind} should have several compute layers");
+            let image = Tensor::zeros(spec.image_shape());
+            let logits = net.forward(&image).expect("forward must succeed");
+            assert_eq!(logits.len(), spec.num_classes, "{kind} logits");
+        }
+    }
+
+    #[test]
+    fn models_work_on_tiny_inputs_too() {
+        let spec = SyntheticSpec::tiny();
+        for kind in ModelKind::all() {
+            let mut net = kind.build(&spec, 2);
+            let image = Tensor::zeros(spec.image_shape());
+            let logits = net.forward(&image).expect("forward must succeed");
+            assert_eq!(logits.len(), spec.num_classes);
+        }
+    }
+
+    #[test]
+    fn seeds_change_initial_weights() {
+        let spec = SyntheticSpec::tiny();
+        let mut a = ModelKind::VggSmall.build(&spec, 1);
+        let mut b = ModelKind::VggSmall.build(&spec, 2);
+        let image = Tensor::full(spec.image_shape(), 0.5);
+        let la = a.forward(&image).unwrap();
+        let lb = b.forward(&image).unwrap();
+        assert_ne!(la.data(), lb.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn non_square_spec_panics() {
+        let spec = SyntheticSpec { width: 12, ..SyntheticSpec::small() };
+        let _ = ModelKind::VggSmall.build(&spec, 0);
+    }
+}

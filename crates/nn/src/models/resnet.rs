@@ -1,0 +1,100 @@
+//! Residual network (analogue of ResNet50).
+
+use crate::{Add, Conv2d, GlobalAvgPool, InputRef, Layer, Linear, MaxPool2, Network, Relu};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use wgft_data::SyntheticSpec;
+
+/// Append `conv 3x3 -> relu -> conv 3x3 (+ optional 1x1 projection) -> add -> relu`.
+fn residual_block<R: Rng + ?Sized>(
+    net: &mut Network,
+    input: InputRef,
+    in_c: usize,
+    out_c: usize,
+    size: usize,
+    rng: &mut R,
+) -> InputRef {
+    let conv1 = net
+        .push(Layer::Conv(Conv2d::new(in_c, out_c, size, 3, 1, rng)), vec![input])
+        .expect("topological construction");
+    let relu1 = net
+        .push(Layer::Relu(Relu::new()), vec![InputRef::Node(conv1)])
+        .expect("topological construction");
+    let conv2 = net
+        .push(Layer::Conv(Conv2d::new(out_c, out_c, size, 3, 1, rng)), vec![InputRef::Node(relu1)])
+        .expect("topological construction");
+    // Identity shortcut when the channel count matches, 1x1 projection otherwise.
+    let shortcut = if in_c == out_c {
+        input
+    } else {
+        let proj = net
+            .push(Layer::Conv(Conv2d::new(in_c, out_c, size, 1, 0, rng)), vec![input])
+            .expect("topological construction");
+        InputRef::Node(proj)
+    };
+    let add = net
+        .push(Layer::Add(Add::new()), vec![InputRef::Node(conv2), shortcut])
+        .expect("topological construction");
+    let relu2 = net
+        .push(Layer::Relu(Relu::new()), vec![InputRef::Node(add)])
+        .expect("topological construction");
+    InputRef::Node(relu2)
+}
+
+/// Build the `resnet_small` network: a stem convolution followed by three
+/// residual blocks (the middle one widens the channels through a projection
+/// shortcut) separated by max-pooling, then global average pooling and a
+/// linear classifier.
+pub(super) fn build(spec: &SyntheticSpec, seed: u64) -> Network {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut net = Network::new("resnet_small");
+    let mut size = spec.height;
+
+    let stem = net
+        .push(
+            Layer::Conv(Conv2d::new(spec.channels, 16, size, 3, 1, &mut rng)),
+            vec![InputRef::Image],
+        )
+        .expect("topological construction");
+    let stem_relu = net
+        .push(Layer::Relu(Relu::new()), vec![InputRef::Node(stem)])
+        .expect("topological construction");
+
+    let block1 = residual_block(&mut net, InputRef::Node(stem_relu), 16, 16, size, &mut rng);
+    let pool1 = net.push(Layer::MaxPool(MaxPool2::new()), vec![block1]).expect("topological");
+    size /= 2;
+
+    let block2 = residual_block(&mut net, InputRef::Node(pool1), 16, 32, size, &mut rng);
+    let pool2 = net.push(Layer::MaxPool(MaxPool2::new()), vec![block2]).expect("topological");
+    size /= 2;
+
+    let block3 = residual_block(&mut net, InputRef::Node(pool2), 32, 32, size, &mut rng);
+
+    let gap = net
+        .push(Layer::GlobalAvgPool(GlobalAvgPool::new()), vec![block3])
+        .expect("topological construction");
+    net.push(
+        Layer::Linear(Linear::new(32, spec.num_classes, &mut rng)),
+        vec![InputRef::Node(gap)],
+    )
+    .expect("topological construction");
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet_contains_projection_and_identity_shortcuts() {
+        let net = build(&SyntheticSpec::small(), 0);
+        let adds =
+            net.nodes().iter().filter(|n| matches!(n.layer, Layer::Add(_))).count();
+        assert_eq!(adds, 3, "three residual blocks");
+        let convs =
+            net.nodes().iter().filter(|n| matches!(n.layer, Layer::Conv(_))).count();
+        // stem + 2 per block + 1 projection in the widening block.
+        assert_eq!(convs, 1 + 2 * 3 + 1);
+        assert_eq!(net.compute_layer_count(), convs + 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! VGG-style plain convolution stack (analogue of VGG19).
+
+use crate::{Conv2d, GlobalAvgPool, InputRef, Layer, Linear, MaxPool2, Network, Relu};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use wgft_data::SyntheticSpec;
+
+/// Build the `vgg_small` network: eight 3x3 convolutions in a plain stack with
+/// two max-pooling stages, global average pooling and a linear classifier.
+pub(super) fn build(spec: &SyntheticSpec, seed: u64) -> Network {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut net = Network::new("vgg_small");
+    let mut size = spec.height;
+    let mut last = InputRef::Image;
+    let mut channels = spec.channels;
+
+    let plan: &[(usize, bool)] = &[
+        (12, false),
+        (12, true), // pool after
+        (24, false),
+        (24, true), // pool after
+        (32, false),
+        (32, false),
+        (32, false),
+        (32, false),
+    ];
+
+    for &(out_c, pool_after) in plan {
+        let conv = net
+            .push(
+                Layer::Conv(Conv2d::new(channels, out_c, size, 3, 1, &mut rng)),
+                vec![last],
+            )
+            .expect("topological construction");
+        let relu = net
+            .push(Layer::Relu(Relu::new()), vec![InputRef::Node(conv)])
+            .expect("topological construction");
+        last = InputRef::Node(relu);
+        channels = out_c;
+        if pool_after && size >= 4 {
+            let pool = net
+                .push(Layer::MaxPool(MaxPool2::new()), vec![last])
+                .expect("topological construction");
+            last = InputRef::Node(pool);
+            size /= 2;
+        }
+    }
+
+    let gap = net
+        .push(Layer::GlobalAvgPool(GlobalAvgPool::new()), vec![last])
+        .expect("topological construction");
+    net.push(
+        Layer::Linear(Linear::new(channels, spec.num_classes, &mut rng)),
+        vec![InputRef::Node(gap)],
+    )
+    .expect("topological construction");
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vgg_has_eight_convolutions_and_one_classifier() {
+        let net = build(&SyntheticSpec::small(), 0);
+        let convs = net
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.layer, Layer::Conv(_)))
+            .count();
+        let linears = net
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.layer, Layer::Linear(_)))
+            .count();
+        assert_eq!(convs, 8);
+        assert_eq!(linears, 1);
+        assert_eq!(net.compute_layer_count(), 9);
+    }
+}

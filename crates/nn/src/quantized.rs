@@ -1,0 +1,695 @@
+//! Quantized fixed-point inference over an instrumented arithmetic backend.
+//!
+//! [`QuantizedNetwork`] is the execution substrate of every fault-tolerance
+//! experiment: a trained floating-point [`Network`] is calibrated and
+//! converted to 8-bit or 16-bit fixed point, and every convolution /
+//! fully-connected layer then executes its multiply-accumulate work through a
+//! [`wgft_faultsim::Arithmetic`] backend, selecting standard or winograd
+//! convolution per call. Soft errors injected by a
+//! [`wgft_faultsim::FaultyArithmetic`] therefore corrupt exactly the
+//! operations the chosen algorithm actually performs — the property that lets
+//! the platform distinguish ST-Conv from WG-Conv where neuron-level injectors
+//! cannot (Figure 1).
+
+use crate::{InputRef, Layer, Network, NnError};
+use serde::{Deserialize, Serialize};
+use wgft_data::argmax;
+use wgft_faultsim::{Arithmetic, ExactArithmetic, NeuronLevelInjector, OpCount};
+use wgft_fixedpoint::{BitWidth, QFormat, Quantizer};
+use wgft_tensor::Tensor;
+use wgft_winograd::{
+    direct_conv_quantized, transform_weights_f32, winograd_conv_quantized, ConvAlgorithm,
+    ConvOpModel, ConvShape, WinogradVariant, WinogradWeights,
+};
+
+/// Options controlling the float → fixed-point conversion.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantizerOptions {
+    /// Storage width of activations and weights.
+    pub width: BitWidth,
+    /// Winograd tile variant prepared for the 3x3 layers.
+    pub variant: WinogradVariant,
+    /// Headroom multiplier applied to calibrated activation ranges.
+    pub activation_margin: f32,
+}
+
+impl QuantizerOptions {
+    /// Options for the given storage width with the paper's defaults
+    /// (F(2x2,3x3) tiles, 25 % activation headroom).
+    #[must_use]
+    pub fn new(width: BitWidth) -> Self {
+        Self { width, variant: WinogradVariant::F2x2, activation_margin: 1.25 }
+    }
+}
+
+/// A quantized node operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum QOp {
+    Conv {
+        shape: ConvShape,
+        weights: Vec<i32>,
+        weight_frac: u32,
+        winograd: Option<WinogradWeights>,
+        winograd_frac: u32,
+        bias: Vec<f32>,
+        layer_id: usize,
+    },
+    Linear {
+        in_features: usize,
+        out_features: usize,
+        weights: Vec<i32>,
+        weight_frac: u32,
+        bias: Vec<f32>,
+        layer_id: usize,
+    },
+    Relu,
+    MaxPool {
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+    },
+    GlobalAvgPool {
+        channels: usize,
+        in_h: usize,
+        in_w: usize,
+    },
+    Add,
+    Concat,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct QNode {
+    op: QOp,
+    inputs: Vec<InputRef>,
+    out_format: QFormat,
+}
+
+/// A fixed-point network ready for instrumented inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedNetwork {
+    name: String,
+    width: BitWidth,
+    variant: WinogradVariant,
+    input_format: QFormat,
+    nodes: Vec<QNode>,
+    compute_layers: usize,
+    num_classes: usize,
+}
+
+impl QuantizedNetwork {
+    /// Convert a trained floating-point network to fixed point.
+    ///
+    /// `calibration` is a set of representative images used to size the
+    /// per-layer activation formats (a handful of training images suffices).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`NnError`] if the network cannot be executed on the
+    /// calibration images or a calibration range is degenerate.
+    pub fn from_network(
+        network: &mut Network,
+        calibration: &[Tensor],
+        options: QuantizerOptions,
+    ) -> Result<Self, NnError> {
+        if network.is_empty() {
+            return Err(NnError::EmptyNetwork);
+        }
+        // ---- Calibrate per-node activation ranges over the calibration set.
+        let mut node_max = vec![0.0f32; network.len()];
+        let mut input_max = 0.0f32;
+        for image in calibration {
+            input_max = input_max.max(image.max_abs());
+            let trace = network.forward_trace(image)?;
+            for (max, activation) in node_max.iter_mut().zip(trace.iter()) {
+                *max = max.max(activation.max_abs());
+            }
+        }
+        let quantizer = Quantizer::symmetric(options.width).with_margin(options.activation_margin);
+        let input_format = quantizer.format_for_max_abs(input_max.max(1e-6));
+        let weight_quantizer = Quantizer::symmetric(options.width);
+
+        // Trace of the first calibration image: used to recover the spatial
+        // dimensions feeding each pooling node.
+        let first_image =
+            calibration.first().cloned().unwrap_or_else(|| Tensor::zeros(wgft_tensor::Shape::nchw(1, 1, 8, 8)));
+        let first_trace = network.forward_trace(&first_image)?;
+        let dims_of_input = |inputs: &[InputRef]| -> (usize, usize, usize) {
+            let tensor = match inputs.first() {
+                Some(InputRef::Image) | None => &first_image,
+                Some(InputRef::Node(n)) => &first_trace[*n],
+            };
+            let dims = tensor.shape().dims();
+            (dims[1], dims[2], dims[3])
+        };
+
+        let mut nodes = Vec::with_capacity(network.len());
+        let mut layer_id = 0usize;
+        let mut num_classes = 0usize;
+        for (node, max_abs) in network.nodes().iter().zip(node_max.iter()) {
+            let out_format = quantizer.format_for_max_abs(max_abs.max(1e-6));
+            let op = match &node.layer {
+                Layer::Conv(conv) => {
+                    let shape = *conv.conv_shape();
+                    let w_f32 = conv.weights().data();
+                    let weight_format = weight_quantizer.calibrate(w_f32)?;
+                    let weights = weight_format.quantize_slice(w_f32);
+                    // Winograd-domain weights for 3x3 unit-stride layers.
+                    let (winograd, winograd_frac) = if shape.geometry.is_unit_stride_3x3() {
+                        let u = transform_weights_f32(
+                            w_f32,
+                            shape.out_channels,
+                            shape.in_channels,
+                            options.variant,
+                        )?;
+                        let u_format = weight_quantizer.calibrate(&u)?;
+                        let u_q = u_format.quantize_slice(&u);
+                        (
+                            Some(WinogradWeights::new(
+                                options.variant,
+                                shape.out_channels,
+                                shape.in_channels,
+                                u_q,
+                            )?),
+                            u_format.frac_bits(),
+                        )
+                    } else {
+                        (None, 0)
+                    };
+                    let op = QOp::Conv {
+                        shape,
+                        weights,
+                        weight_frac: weight_format.frac_bits(),
+                        winograd,
+                        winograd_frac,
+                        bias: conv.bias().data().to_vec(),
+                        layer_id,
+                    };
+                    layer_id += 1;
+                    op
+                }
+                Layer::Linear(linear) => {
+                    let w_f32 = linear.weights().data();
+                    let weight_format = weight_quantizer.calibrate(w_f32)?;
+                    num_classes = linear.out_features();
+                    let op = QOp::Linear {
+                        in_features: linear.in_features(),
+                        out_features: linear.out_features(),
+                        weights: weight_format.quantize_slice(w_f32),
+                        weight_frac: weight_format.frac_bits(),
+                        bias: linear.bias().data().to_vec(),
+                        layer_id,
+                    };
+                    layer_id += 1;
+                    op
+                }
+                Layer::Relu(_) => QOp::Relu,
+                Layer::MaxPool(_) => {
+                    let dims = dims_of_input(&node.inputs);
+                    QOp::MaxPool { channels: dims.0, in_h: dims.1, in_w: dims.2 }
+                }
+                Layer::GlobalAvgPool(_) => {
+                    let dims = dims_of_input(&node.inputs);
+                    QOp::GlobalAvgPool { channels: dims.0, in_h: dims.1, in_w: dims.2 }
+                }
+                Layer::Add(_) => QOp::Add,
+                Layer::Concat(_) => QOp::Concat,
+            };
+            nodes.push(QNode { op, inputs: node.inputs.clone(), out_format });
+        }
+
+        Ok(Self {
+            name: network.name().to_string(),
+            width: options.width,
+            variant: options.variant,
+            input_format,
+            nodes,
+            compute_layers: layer_id,
+            num_classes,
+        })
+    }
+
+    /// The network's name (copied from the floating-point model).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Storage width of activations and weights.
+    #[must_use]
+    pub fn width(&self) -> BitWidth {
+        self.width
+    }
+
+    /// Number of convolution / fully-connected layers (the unit of the paper's
+    /// layer-wise analysis and of [`wgft_faultsim::ProtectionPlan`] layer ids).
+    #[must_use]
+    pub fn compute_layer_count(&self) -> usize {
+        self.compute_layers
+    }
+
+    /// Number of output classes.
+    #[must_use]
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Analytic per-layer operation counts under the given convolution
+    /// algorithm, indexed by compute-layer id.
+    #[must_use]
+    pub fn layer_op_counts(&self, algo: ConvAlgorithm) -> Vec<OpCount> {
+        let mut counts = vec![OpCount::default(); self.compute_layers];
+        for node in &self.nodes {
+            match &node.op {
+                QOp::Conv { shape, layer_id, .. } => {
+                    counts[*layer_id] = ConvOpModel::count(shape, algo);
+                }
+                QOp::Linear { in_features, out_features, layer_id, .. } => {
+                    let macs = (in_features * out_features) as u64;
+                    counts[*layer_id] = OpCount { mul: macs, add: macs };
+                }
+                _ => {}
+            }
+        }
+        counts
+    }
+
+    /// Total operation count under the given algorithm.
+    #[must_use]
+    pub fn total_op_count(&self, algo: ConvAlgorithm) -> OpCount {
+        self.layer_op_counts(algo).into_iter().fold(OpCount::default(), |acc, c| acc + c)
+    }
+
+    /// Run inference through the instrumented backend and return the
+    /// dequantized logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`NnError`] if the graph or buffer shapes are inconsistent.
+    pub fn forward<A: Arithmetic>(
+        &self,
+        image: &Tensor,
+        arith: &mut A,
+        algo: ConvAlgorithm,
+    ) -> Result<Vec<f32>, NnError> {
+        self.forward_internal(image, arith, algo, None)
+    }
+
+    /// Run inference and return the predicted class.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::forward`].
+    pub fn classify<A: Arithmetic>(
+        &self,
+        image: &Tensor,
+        arith: &mut A,
+        algo: ConvAlgorithm,
+    ) -> Result<usize, NnError> {
+        Ok(argmax(&self.forward(image, arith, algo)?))
+    }
+
+    /// Run inference with a *neuron-level* injector corrupting every compute
+    /// layer's output values (the TensorFI/PyTorchFI-style baseline of
+    /// Figure 1). The arithmetic itself is exact.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::forward`].
+    pub fn forward_with_neuron_faults(
+        &self,
+        image: &Tensor,
+        injector: &mut NeuronLevelInjector,
+        algo: ConvAlgorithm,
+    ) -> Result<Vec<f32>, NnError> {
+        let mut exact = ExactArithmetic::new();
+        self.forward_internal(image, &mut exact, algo, Some(injector))
+    }
+
+    fn forward_internal<A: Arithmetic>(
+        &self,
+        image: &Tensor,
+        arith: &mut A,
+        algo: ConvAlgorithm,
+        mut neuron_injector: Option<&mut NeuronLevelInjector>,
+    ) -> Result<Vec<f32>, NnError> {
+        // The neuron-level baseline always sees the *standard* convolution
+        // operation volume: a generic framework has no visibility into the
+        // conv algorithm, which is exactly the blind spot Figure 1 exposes.
+        let standard_counts = self.layer_op_counts(ConvAlgorithm::Standard);
+        let image_q = self.input_format.quantize_slice(image.data());
+        let mut outputs: Vec<(Vec<i32>, QFormat)> = Vec::with_capacity(self.nodes.len());
+
+        for node in &self.nodes {
+            let gather = |r: &InputRef| -> (&[i32], QFormat) {
+                match r {
+                    InputRef::Image => (&image_q, self.input_format),
+                    InputRef::Node(n) => (&outputs[*n].0, outputs[*n].1),
+                }
+            };
+            let produced: (Vec<i32>, QFormat) = match &node.op {
+                QOp::Conv { shape, weights, weight_frac, winograd, winograd_frac, bias, layer_id } => {
+                    let (input, in_format) = gather(&node.inputs[0]);
+                    let use_winograd = matches!(algo, ConvAlgorithm::Winograd(_))
+                        && winograd.is_some()
+                        && shape.geometry.is_unit_stride_3x3();
+                    let (acc, acc_frac) = if use_winograd {
+                        let w = winograd.as_ref().expect("checked above");
+                        (
+                            winograd_conv_quantized(arith, *layer_id, input, w, shape)?,
+                            in_format.frac_bits() + winograd_frac,
+                        )
+                    } else {
+                        (
+                            direct_conv_quantized(arith, *layer_id, input, weights, shape)?,
+                            in_format.frac_bits() + weight_frac,
+                        )
+                    };
+                    let mut raw =
+                        requantize_with_bias(&acc, acc_frac, bias, shape.geometry.out_pixels(), node.out_format);
+                    if let Some(injector) = neuron_injector.as_deref_mut() {
+                        let ops = &standard_counts[*layer_id];
+                        let per_neuron = ops.total() / raw.len().max(1) as u64;
+                        injector.corrupt_layer(&mut raw, per_neuron);
+                    }
+                    (raw, node.out_format)
+                }
+                QOp::Linear { in_features, out_features, weights, weight_frac, bias, layer_id } => {
+                    let (input, in_format) = gather(&node.inputs[0]);
+                    if input.len() != *in_features {
+                        return Err(NnError::WrongInputCount {
+                            layer: "quantized linear",
+                            expected: *in_features,
+                            actual: input.len(),
+                        });
+                    }
+                    arith.begin_layer(*layer_id);
+                    let acc_frac = in_format.frac_bits() + weight_frac;
+                    let mut raw = Vec::with_capacity(*out_features);
+                    for o in 0..*out_features {
+                        let row = &weights[o * in_features..(o + 1) * in_features];
+                        let mut acc = 0i64;
+                        for (&w, &x) in row.iter().zip(input.iter()) {
+                            let product = arith.mul(i64::from(x), i64::from(w));
+                            acc = arith.add(acc, product);
+                        }
+                        let bias_acc = (f64::from(bias[o]) * (1u64 << acc_frac) as f64).round() as i64;
+                        raw.push(node.out_format.requantize_accumulator(acc + bias_acc, acc_frac));
+                    }
+                    if let Some(injector) = neuron_injector.as_deref_mut() {
+                        let ops = &standard_counts[*layer_id];
+                        let per_neuron = ops.total() / raw.len().max(1) as u64;
+                        injector.corrupt_layer(&mut raw, per_neuron);
+                    }
+                    (raw, node.out_format)
+                }
+                QOp::Relu => {
+                    let (input, in_format) = gather(&node.inputs[0]);
+                    (input.iter().map(|&v| v.max(0)).collect(), in_format)
+                }
+                QOp::MaxPool { channels, in_h, in_w } => {
+                    let (input, in_format) = gather(&node.inputs[0]);
+                    (maxpool_raw(input, *channels, *in_h, *in_w), in_format)
+                }
+                QOp::GlobalAvgPool { channels, in_h, in_w } => {
+                    let (input, in_format) = gather(&node.inputs[0]);
+                    (gap_raw(input, *channels, *in_h, *in_w), in_format)
+                }
+                QOp::Add => {
+                    let (a, fa) = gather(&node.inputs[0]);
+                    let (b, fb) = gather(&node.inputs[1]);
+                    let out = a
+                        .iter()
+                        .zip(b.iter())
+                        .map(|(&x, &y)| {
+                            let sum = fa.dequantize(x) + fb.dequantize(y);
+                            node.out_format.quantize(sum)
+                        })
+                        .collect();
+                    (out, node.out_format)
+                }
+                QOp::Concat => {
+                    let mut out = Vec::new();
+                    for input_ref in &node.inputs {
+                        let (data, fmt) = gather(input_ref);
+                        out.extend(data.iter().map(|&v| {
+                            node.out_format
+                                .requantize_accumulator(i64::from(v), fmt.frac_bits())
+                        }));
+                    }
+                    (out, node.out_format)
+                }
+            };
+            outputs.push(produced);
+        }
+
+        let (raw, format) = outputs.last().ok_or(NnError::EmptyNetwork)?;
+        Ok(raw.iter().map(|&v| format.dequantize(v)).collect())
+    }
+}
+
+/// Requantize a conv accumulator buffer, adding the per-channel bias in the
+/// accumulator domain.
+fn requantize_with_bias(
+    acc: &[i64],
+    acc_frac: u32,
+    bias: &[f32],
+    pixels_per_channel: usize,
+    out_format: QFormat,
+) -> Vec<i32> {
+    let scale = (1u64 << acc_frac) as f64;
+    let mut out = Vec::with_capacity(acc.len());
+    for (i, &a) in acc.iter().enumerate() {
+        let oc = i / pixels_per_channel.max(1);
+        let bias_acc = (f64::from(bias.get(oc).copied().unwrap_or(0.0)) * scale).round() as i64;
+        out.push(out_format.requantize_accumulator(a + bias_acc, acc_frac));
+    }
+    out
+}
+
+/// 2x2/stride-2 max pooling on raw quantized words.
+fn maxpool_raw(input: &[i32], channels: usize, in_h: usize, in_w: usize) -> Vec<i32> {
+    let (oh, ow) = (in_h / 2, in_w / 2);
+    let mut out = vec![0i32; channels * oh * ow];
+    for c in 0..channels {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = i32::MIN;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let idx = (c * in_h + oy * 2 + dy) * in_w + ox * 2 + dx;
+                        best = best.max(input[idx]);
+                    }
+                }
+                out[(c * oh + oy) * ow + ox] = best;
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling on raw quantized words (rounded mean).
+fn gap_raw(input: &[i32], channels: usize, in_h: usize, in_w: usize) -> Vec<i32> {
+    let area = (in_h * in_w) as i64;
+    let mut out = vec![0i32; channels];
+    for (c, out_v) in out.iter_mut().enumerate() {
+        let base = c * in_h * in_w;
+        let sum: i64 = input[base..base + in_h * in_w].iter().map(|&v| i64::from(v)).sum();
+        *out_v = (sum + area / 2).div_euclid(area.max(1)) as i32;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelKind;
+    use crate::{TrainConfig, Trainer};
+    use wgft_data::{Dataset, SyntheticSpec};
+    use wgft_faultsim::{BitErrorRate, FaultConfig, FaultyArithmetic};
+
+    fn trained_tiny() -> (crate::Network, Dataset, SyntheticSpec) {
+        let spec = SyntheticSpec::tiny();
+        let data = Dataset::synthetic(&spec, 16, 3);
+        let mut net = ModelKind::VggSmall.build(&spec, 5);
+        let mut trainer = Trainer::new(TrainConfig { epochs: 6, ..TrainConfig::fast() });
+        trainer.fit(&mut net, &data).unwrap();
+        (net, data, spec)
+    }
+
+    #[test]
+    fn quantized_network_matches_float_predictions_mostly() {
+        let (mut net, data, spec) = trained_tiny();
+        let calibration: Vec<Tensor> =
+            data.samples().iter().take(8).map(|s| s.image.clone()).collect();
+        let qnet = QuantizedNetwork::from_network(
+            &mut net,
+            &calibration,
+            QuantizerOptions::new(BitWidth::W16),
+        )
+        .unwrap();
+        assert_eq!(qnet.width(), BitWidth::W16);
+        assert_eq!(qnet.num_classes(), spec.num_classes);
+        assert!(qnet.compute_layer_count() >= 6);
+        assert_eq!(qnet.name(), "vgg_small");
+
+        let mut agree = 0usize;
+        let eval: Vec<_> = data.samples().iter().take(16).collect();
+        for sample in &eval {
+            let float_pred = argmax(net.forward(&sample.image).unwrap().data());
+            let mut arith = ExactArithmetic::new();
+            let q_pred = qnet.classify(&sample.image, &mut arith, ConvAlgorithm::Standard).unwrap();
+            if float_pred == q_pred {
+                agree += 1;
+            }
+        }
+        assert!(
+            agree * 10 >= eval.len() * 8,
+            "int16 quantization should agree with float on most samples ({agree}/{})",
+            eval.len()
+        );
+    }
+
+    #[test]
+    fn winograd_and_standard_agree_without_faults() {
+        let (mut net, data, _) = trained_tiny();
+        let calibration: Vec<Tensor> =
+            data.samples().iter().take(8).map(|s| s.image.clone()).collect();
+        let qnet = QuantizedNetwork::from_network(
+            &mut net,
+            &calibration,
+            QuantizerOptions::new(BitWidth::W16),
+        )
+        .unwrap();
+        let mut agree = 0usize;
+        let eval: Vec<_> = data.samples().iter().take(16).collect();
+        for sample in &eval {
+            let mut a1 = ExactArithmetic::new();
+            let mut a2 = ExactArithmetic::new();
+            let std_pred = qnet.classify(&sample.image, &mut a1, ConvAlgorithm::Standard).unwrap();
+            let wg_pred =
+                qnet.classify(&sample.image, &mut a2, ConvAlgorithm::winograd_default()).unwrap();
+            if std_pred == wg_pred {
+                agree += 1;
+            }
+        }
+        assert!(agree * 10 >= eval.len() * 8, "winograd should agree with standard ({agree})");
+    }
+
+    #[test]
+    fn winograd_execution_issues_fewer_multiplications() {
+        // Operation counts do not depend on training, so use an untrained
+        // 16x16 model where boundary effects do not mask the winograd gain.
+        let spec = SyntheticSpec::small();
+        let data = Dataset::synthetic(&spec, 2, 3);
+        let mut net = ModelKind::VggSmall.build(&spec, 5);
+        let calibration: Vec<Tensor> =
+            data.samples().iter().take(4).map(|s| s.image.clone()).collect();
+        let qnet = QuantizedNetwork::from_network(
+            &mut net,
+            &calibration,
+            QuantizerOptions::new(BitWidth::W8),
+        )
+        .unwrap();
+        let image = &data.samples()[0].image;
+        let mut std_arith = ExactArithmetic::new();
+        qnet.forward(image, &mut std_arith, ConvAlgorithm::Standard).unwrap();
+        let mut wg_arith = ExactArithmetic::new();
+        qnet.forward(image, &mut wg_arith, ConvAlgorithm::winograd_default()).unwrap();
+        let std_mul = std_arith.counters().total().mul;
+        let wg_mul = wg_arith.counters().total().mul;
+        assert!(
+            (wg_mul as f64) < 0.65 * std_mul as f64,
+            "winograd inference should use far fewer muls ({wg_mul} vs {std_mul})"
+        );
+        // Analytic totals should be in the same ballpark as the measurements.
+        let analytic_std = qnet.total_op_count(ConvAlgorithm::Standard);
+        assert!((analytic_std.mul as f64) >= std_mul as f64 * 0.9);
+    }
+
+    #[test]
+    fn layer_op_counts_cover_all_compute_layers() {
+        let (mut net, data, _) = trained_tiny();
+        let calibration: Vec<Tensor> =
+            data.samples().iter().take(2).map(|s| s.image.clone()).collect();
+        let qnet = QuantizedNetwork::from_network(
+            &mut net,
+            &calibration,
+            QuantizerOptions::new(BitWidth::W8),
+        )
+        .unwrap();
+        let counts = qnet.layer_op_counts(ConvAlgorithm::Standard);
+        assert_eq!(counts.len(), qnet.compute_layer_count());
+        assert!(counts.iter().all(|c| c.total() > 0));
+    }
+
+    #[test]
+    fn high_fault_rate_destroys_accuracy() {
+        let (mut net, data, _) = trained_tiny();
+        let calibration: Vec<Tensor> =
+            data.samples().iter().take(4).map(|s| s.image.clone()).collect();
+        let qnet = QuantizedNetwork::from_network(
+            &mut net,
+            &calibration,
+            QuantizerOptions::new(BitWidth::W16),
+        )
+        .unwrap();
+        let eval: Vec<_> = data.samples().iter().take(12).collect();
+        let mut clean_correct = 0usize;
+        let mut faulty_correct = 0usize;
+        for (i, sample) in eval.iter().enumerate() {
+            let mut exact = ExactArithmetic::new();
+            if qnet.classify(&sample.image, &mut exact, ConvAlgorithm::Standard).unwrap()
+                == sample.label
+            {
+                clean_correct += 1;
+            }
+            let config = FaultConfig::new(BitErrorRate::new(5e-4), BitWidth::W16);
+            let mut faulty = FaultyArithmetic::new(config, i as u64);
+            if qnet.classify(&sample.image, &mut faulty, ConvAlgorithm::Standard).unwrap()
+                == sample.label
+            {
+                faulty_correct += 1;
+            }
+        }
+        assert!(
+            faulty_correct < clean_correct,
+            "a huge fault rate must hurt accuracy (clean {clean_correct}, faulty {faulty_correct})"
+        );
+    }
+
+    #[test]
+    fn neuron_level_injection_corrupts_predictions_at_high_rates() {
+        let (mut net, data, _) = trained_tiny();
+        let calibration: Vec<Tensor> =
+            data.samples().iter().take(4).map(|s| s.image.clone()).collect();
+        let qnet = QuantizedNetwork::from_network(
+            &mut net,
+            &calibration,
+            QuantizerOptions::new(BitWidth::W16),
+        )
+        .unwrap();
+        let image = &data.samples()[0].image;
+        let mut injector = NeuronLevelInjector::new(BitErrorRate::new(1e-3), BitWidth::W16, 9);
+        let corrupted =
+            qnet.forward_with_neuron_faults(image, &mut injector, ConvAlgorithm::Standard).unwrap();
+        let mut exact = ExactArithmetic::new();
+        let clean = qnet.forward(image, &mut exact, ConvAlgorithm::Standard).unwrap();
+        assert_ne!(clean, corrupted, "heavy neuron corruption must perturb the logits");
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let (mut net, data, _) = trained_tiny();
+        let calibration: Vec<Tensor> =
+            data.samples().iter().take(2).map(|s| s.image.clone()).collect();
+        let qnet = QuantizedNetwork::from_network(
+            &mut net,
+            &calibration,
+            QuantizerOptions::new(BitWidth::W8),
+        )
+        .unwrap();
+        let json = serde_json::to_string(&qnet).unwrap();
+        let restored: QuantizedNetwork = serde_json::from_str(&json).unwrap();
+        assert_eq!(qnet, restored);
+    }
+}

@@ -1,0 +1,254 @@
+//! Softmax cross-entropy loss and the SGD trainer.
+
+use crate::{Network, NnError};
+use serde::{Deserialize, Serialize};
+use wgft_data::{argmax, Dataset};
+use wgft_tensor::{Shape, Tensor};
+
+/// Numerically stable softmax.
+#[must_use]
+fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum.max(f32::MIN_POSITIVE)).collect()
+}
+
+/// Cross-entropy loss of `logits` against a target class, together with the
+/// gradient with respect to the logits.
+#[must_use]
+pub(crate) fn cross_entropy_with_grad(logits: &[f32], target: usize) -> (f32, Vec<f32>) {
+    let probs = softmax(logits);
+    let p_target = probs.get(target).copied().unwrap_or(f32::MIN_POSITIVE);
+    let loss = -(p_target.max(1e-12)).ln();
+    let mut grad = probs;
+    if target < grad.len() {
+        grad[target] -= 1.0;
+    }
+    (loss, grad)
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// Mini-batch size (gradients are averaged over the batch).
+    pub batch_size: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+    /// Global gradient-norm clip applied per mini-batch (0 disables clipping).
+    pub clip_norm: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 4,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            batch_size: 16,
+            seed: 7,
+            clip_norm: 4.0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A very small budget used by unit tests.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self { epochs: 2, learning_rate: 0.08, batch_size: 8, ..Self::default() }
+    }
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainReport {
+    /// Mean loss of each epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Training-set accuracy after the final epoch.
+    pub final_train_accuracy: f64,
+}
+
+/// Mini-batch SGD trainer with momentum.
+///
+/// # Example
+///
+/// ```
+/// use wgft_nn::{models::ModelKind, Trainer, TrainConfig};
+/// use wgft_data::{Dataset, SyntheticSpec};
+///
+/// # fn main() -> Result<(), wgft_nn::NnError> {
+/// let spec = SyntheticSpec::tiny();
+/// let data = Dataset::synthetic(&spec, 4, 1);
+/// let mut net = ModelKind::VggSmall.build(&spec, 42);
+/// let mut trainer = Trainer::new(TrainConfig::fast());
+/// let report = trainer.fit(&mut net, &data)?;
+/// assert_eq!(report.epoch_losses.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+    velocities: Vec<Tensor>,
+}
+
+impl Trainer {
+    /// Create a trainer with the given hyper-parameters.
+    #[must_use]
+    pub fn new(config: TrainConfig) -> Self {
+        Self { config, velocities: Vec::new() }
+    }
+
+    /// The active configuration.
+    #[must_use]
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Train `network` on `data`, returning per-epoch statistics.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any layer error raised during forward/backward execution.
+    pub fn fit(&mut self, network: &mut Network, data: &Dataset) -> Result<TrainReport, NnError> {
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        for epoch in 0..self.config.epochs {
+            let shuffled = data.shuffled(self.config.seed.wrapping_add(epoch as u64));
+            let mut epoch_loss = 0.0f32;
+            let mut sample_count = 0usize;
+            for batch in shuffled.samples().chunks(self.config.batch_size.max(1)) {
+                network.zero_grad();
+                for sample in batch {
+                    let logits = network.forward(&sample.image)?;
+                    let (loss, grad) = cross_entropy_with_grad(logits.data(), sample.label);
+                    epoch_loss += loss;
+                    sample_count += 1;
+                    let grad_t = Tensor::from_vec(Shape::d1(grad.len()), grad)?;
+                    network.backward(&grad_t)?;
+                }
+                self.apply_update(network, batch.len())?;
+            }
+            epoch_losses.push(epoch_loss / sample_count.max(1) as f32);
+        }
+        let final_train_accuracy = evaluate(network, data)?;
+        Ok(TrainReport { epoch_losses, final_train_accuracy })
+    }
+
+    fn apply_update(&mut self, network: &mut Network, batch_len: usize) -> Result<(), NnError> {
+        let lr = self.config.learning_rate / batch_len.max(1) as f32;
+        let momentum = self.config.momentum;
+        let mut params = network.params_and_grads();
+        // Global gradient-norm clipping keeps the miniature models from
+        // diverging on the small synthetic datasets.
+        if self.config.clip_norm > 0.0 {
+            let batch_scale = 1.0 / batch_len.max(1) as f32;
+            let norm_sq: f32 = params
+                .iter()
+                .flat_map(|(_, g)| g.data().iter())
+                .map(|&v| (v * batch_scale) * (v * batch_scale))
+                .sum();
+            let norm = norm_sq.sqrt();
+            if norm > self.config.clip_norm {
+                let scale = self.config.clip_norm / norm;
+                for (_, grad) in &mut params {
+                    grad.scale(scale);
+                }
+            }
+        }
+        if self.velocities.len() != params.len() {
+            self.velocities = params.iter().map(|(p, _)| Tensor::zeros(p.shape().clone())).collect();
+        }
+        for ((param, grad), velocity) in params.into_iter().zip(self.velocities.iter_mut()) {
+            if velocity.shape() != param.shape() {
+                *velocity = Tensor::zeros(param.shape().clone());
+            }
+            // v = momentum * v - lr * grad ; p += v
+            velocity.scale(momentum);
+            velocity.axpy(-lr, grad)?;
+            param.axpy(1.0, velocity)?;
+        }
+        Ok(())
+    }
+}
+
+/// Floating-point top-1 accuracy of `network` over `data`.
+///
+/// # Errors
+///
+/// Propagates forward-pass errors.
+pub(crate) fn evaluate(network: &mut Network, data: &Dataset) -> Result<f64, NnError> {
+    let mut correct = 0usize;
+    for sample in data {
+        let logits = network.forward(&sample.image)?;
+        if argmax(logits.data()) == sample.label {
+            correct += 1;
+        }
+    }
+    Ok(correct as f64 / data.len().max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::ModelKind;
+    use wgft_data::SyntheticSpec;
+
+    #[test]
+    fn softmax_normalizes() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_sums_to_zero() {
+        let (loss, grad) = cross_entropy_with_grad(&[0.3, -0.2, 1.5], 2);
+        assert!(loss > 0.0);
+        let sum: f32 = grad.iter().sum();
+        assert!(sum.abs() < 1e-5);
+        // The target coordinate must have a negative gradient (pushing its
+        // logit up reduces the loss).
+        assert!(grad[2] < 0.0);
+    }
+
+    #[test]
+    fn cross_entropy_loss_decreases_when_target_logit_grows() {
+        let (l_small, _) = cross_entropy_with_grad(&[0.0, 0.0, 0.0], 1);
+        let (l_big, _) = cross_entropy_with_grad(&[0.0, 5.0, 0.0], 1);
+        assert!(l_big < l_small);
+    }
+
+    #[test]
+    fn training_reduces_loss_on_a_tiny_task() {
+        let spec = SyntheticSpec::tiny();
+        let data = Dataset::synthetic(&spec, 8, 3);
+        let mut net = ModelKind::VggSmall.build(&spec, 11);
+        let mut trainer = Trainer::new(TrainConfig { epochs: 3, seed: 5, ..TrainConfig::fast() });
+        let report = trainer.fit(&mut net, &data).unwrap();
+        assert_eq!(report.epoch_losses.len(), 3);
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(
+            last < first,
+            "loss should decrease over epochs: first {first}, last {last}"
+        );
+        assert!(report.final_train_accuracy > 1.0 / spec.num_classes as f64);
+        assert_eq!(trainer.config().epochs, 3);
+    }
+
+    #[test]
+    fn default_and_fast_configs_are_sane() {
+        let d = TrainConfig::default();
+        assert!(d.epochs >= 1 && d.learning_rate > 0.0 && d.batch_size >= 1);
+        let f = TrainConfig::fast();
+        assert!(f.epochs <= d.epochs);
+    }
+}

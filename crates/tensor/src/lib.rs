@@ -1,0 +1,39 @@
+//! Dense NCHW tensors, shape math and im2col for the `winograd-ft` workspace.
+//!
+//! This crate is the data-layout substrate shared by the training path
+//! (`f32` tensors, [`Tensor`]), the quantized inference path (`i32` raw words,
+//! [`IntTensor`]) and the convolution kernels (padding, [`im2col`]).
+//!
+//! Everything is deliberately simple: row-major dense storage, explicit shape
+//! checks that return [`TensorError`] instead of panicking, and no hidden
+//! parallelism — the fault-injection experiments need deterministic,
+//! instrumentable execution.
+//!
+//! # Example
+//!
+//! ```
+//! use wgft_tensor::{Shape, Tensor};
+//!
+//! # fn main() -> Result<(), wgft_tensor::TensorError> {
+//! let x = Tensor::zeros(Shape::nchw(1, 3, 8, 8));
+//! assert_eq!(x.len(), 3 * 8 * 8);
+//! let y = x.map(|v| v + 1.0);
+//! assert_eq!(y.get4(0, 2, 7, 7)?, 1.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod im2col;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use im2col::{im2col, Im2ColLayout};
+pub use ops::{matmul, pad2d, ConvGeometry};
+pub use shape::Shape;
+pub use tensor::{IntTensor, Tensor};

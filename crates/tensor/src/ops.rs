@@ -1,0 +1,199 @@
+//! Shape-checked dense operations: matrix multiply, zero padding, convolution geometry.
+
+use crate::{Shape, Tensor, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Spatial geometry of a 2-D convolution.
+///
+/// Convolution kernels in several crates (direct conv, winograd conv, the
+/// systolic-array timing model) all need the same output-size arithmetic;
+/// this type is the single source of truth for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ConvGeometry {
+    /// Input height (before padding).
+    pub in_h: usize,
+    /// Input width (before padding).
+    pub in_w: usize,
+    /// Kernel height.
+    pub k_h: usize,
+    /// Kernel width.
+    pub k_w: usize,
+    /// Stride (same in both dimensions).
+    pub stride: usize,
+    /// Zero padding (same on all four sides).
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Geometry of a square-kernel, square-input convolution.
+    #[must_use]
+    pub fn square(in_size: usize, kernel: usize, stride: usize, padding: usize) -> Self {
+        Self { in_h: in_size, in_w: in_size, k_h: kernel, k_w: kernel, stride, padding }
+    }
+
+    /// Output height.
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        conv_out_dim(self.in_h, self.k_h, self.stride, self.padding)
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        conv_out_dim(self.in_w, self.k_w, self.stride, self.padding)
+    }
+
+    /// Number of output pixels per channel.
+    #[must_use]
+    pub fn out_pixels(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+
+    /// Whether this geometry is the winograd-friendly 3x3 / stride-1 case that
+    /// the paper evaluates ("3x3 filter with unit stride" incurs no accuracy
+    /// penalty).
+    #[must_use]
+    pub fn is_unit_stride_3x3(&self) -> bool {
+        self.k_h == 3 && self.k_w == 3 && self.stride == 1
+    }
+}
+
+/// Output size of one convolution dimension.
+#[must_use]
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
+    let padded = input + 2 * padding;
+    if padded < kernel || stride == 0 {
+        return 0;
+    }
+    (padded - kernel) / stride + 1
+}
+
+/// Dense row-major matrix multiply `C = A (m x k) * B (k x n)`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if either operand is not 2-D and
+/// [`TensorError::InnerDimMismatch`] if the inner dimensions differ.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
+    if a.shape().rank() != 2 || b.shape().rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            actual: if a.shape().rank() != 2 { a.shape().rank() } else { b.shape().rank() },
+        });
+    }
+    let (m, k1) = (a.shape().dims()[0], a.shape().dims()[1]);
+    let (k2, n) = (b.shape().dims()[0], b.shape().dims()[1]);
+    if k1 != k2 {
+        return Err(TensorError::InnerDimMismatch { left: k1, right: k2 });
+    }
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        for p in 0..k1 {
+            let av = ad[i * k1 + p];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+    Tensor::from_vec(Shape::d2(m, n), out)
+}
+
+/// Zero-pad a single-image NCHW tensor (batch must be 1) by `padding` pixels
+/// on every spatial side.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] if `x` is not 4-D.
+pub fn pad2d(x: &Tensor, padding: usize) -> Result<Tensor, TensorError> {
+    if x.shape().rank() != 4 {
+        return Err(TensorError::RankMismatch { expected: 4, actual: x.shape().rank() });
+    }
+    if padding == 0 {
+        return Ok(x.clone());
+    }
+    let dims = x.shape().dims();
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    let mut out = Tensor::zeros(Shape::nchw(n, c, h + 2 * padding, w + 2 * padding));
+    for ni in 0..n {
+        for ci in 0..c {
+            for hi in 0..h {
+                for wi in 0..w {
+                    let v = x.get4(ni, ci, hi, wi)?;
+                    out.set4(ni, ci, hi + padding, wi + padding, v)?;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_out_dim_matches_formula() {
+        assert_eq!(conv_out_dim(8, 3, 1, 1), 8);
+        assert_eq!(conv_out_dim(8, 3, 1, 0), 6);
+        assert_eq!(conv_out_dim(8, 3, 2, 1), 4);
+        assert_eq!(conv_out_dim(2, 5, 1, 0), 0);
+        assert_eq!(conv_out_dim(8, 3, 0, 0), 0);
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let g = ConvGeometry::square(16, 3, 1, 1);
+        assert_eq!(g.out_h(), 16);
+        assert_eq!(g.out_w(), 16);
+        assert_eq!(g.out_pixels(), 256);
+        assert!(g.is_unit_stride_3x3());
+        let g = ConvGeometry::square(16, 5, 2, 2);
+        assert!(!g.is_unit_stride_3x3());
+        assert_eq!(g.out_h(), 8);
+    }
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = Tensor::from_vec(Shape::d2(2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let b = Tensor::from_vec(Shape::d2(3, 2), vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.shape(), &Shape::d2(2, 2));
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(Shape::d2(2, 3));
+        let b = Tensor::zeros(Shape::d2(4, 2));
+        assert!(matches!(matmul(&a, &b), Err(TensorError::InnerDimMismatch { .. })));
+        let v = Tensor::zeros(Shape::d1(3));
+        assert!(matches!(matmul(&v, &b), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn pad2d_places_values_centrally() {
+        let mut x = Tensor::zeros(Shape::nchw(1, 1, 2, 2));
+        x.set4(0, 0, 0, 0, 1.0).unwrap();
+        x.set4(0, 0, 1, 1, 2.0).unwrap();
+        let p = pad2d(&x, 1).unwrap();
+        assert_eq!(p.shape(), &Shape::nchw(1, 1, 4, 4));
+        assert_eq!(p.get4(0, 0, 1, 1).unwrap(), 1.0);
+        assert_eq!(p.get4(0, 0, 2, 2).unwrap(), 2.0);
+        assert_eq!(p.get4(0, 0, 0, 0).unwrap(), 0.0);
+        // Zero padding is the identity for padding == 0.
+        assert_eq!(pad2d(&x, 0).unwrap(), x);
+    }
+
+    #[test]
+    fn pad2d_rejects_non_4d() {
+        let x = Tensor::zeros(Shape::d2(2, 2));
+        assert!(pad2d(&x, 1).is_err());
+    }
+}

@@ -1,0 +1,383 @@
+//! Dense `f32` and `i32` tensors.
+
+use crate::{Shape, TensorError};
+use rand::distributions::Distribution;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense, row-major `f32` tensor used by the floating-point training path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// A tensor filled with zeros.
+    #[must_use]
+    pub fn zeros(shape: Shape) -> Self {
+        let len = shape.volume();
+        Self { shape, data: vec![0.0; len] }
+    }
+
+    /// A tensor filled with a constant.
+    #[must_use]
+    pub fn full(shape: Shape, value: f32) -> Self {
+        let len = shape.volume();
+        Self { shape, data: vec![value; len] }
+    }
+
+    /// Build a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLengthMismatch`] if `data.len()` does not
+    /// equal the shape volume.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self, TensorError> {
+        if data.len() != shape.volume() {
+            return Err(TensorError::DataLengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// A tensor with elements drawn uniformly from `[-limit, limit]`.
+    #[must_use]
+    pub fn uniform<R: Rng + ?Sized>(shape: Shape, limit: f32, rng: &mut R) -> Self {
+        let dist = rand::distributions::Uniform::new_inclusive(-limit, limit);
+        let len = shape.volume();
+        let data = (0..len).map(|_| dist.sample(rng)).collect();
+        Self { shape, data }
+    }
+
+    /// Kaiming/He-style uniform initialization for a layer with `fan_in` inputs.
+    #[must_use]
+    pub fn he_uniform<R: Rng + ?Sized>(shape: Shape, fan_in: usize, rng: &mut R) -> Self {
+        let limit = (6.0 / fan_in.max(1) as f32).sqrt();
+        Self::uniform(shape, limit, rng)
+    }
+
+    /// Shape of the tensor.
+    #[must_use]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data.
+    #[must_use]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor and return its data.
+    #[must_use]
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Read a 4-D element.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-4-D tensors and
+    /// [`TensorError::IndexOutOfBounds`] for invalid indices.
+    pub fn get4(&self, n: usize, c: usize, h: usize, w: usize) -> Result<f32, TensorError> {
+        if self.shape.rank() != 4 {
+            return Err(TensorError::RankMismatch { expected: 4, actual: self.shape.rank() });
+        }
+        let idx = self.shape.offset4(n, c, h, w);
+        self.data
+            .get(idx)
+            .copied()
+            .ok_or(TensorError::IndexOutOfBounds { index: idx, len: self.data.len() })
+    }
+
+    /// Write a 4-D element.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::get4`].
+    pub fn set4(
+        &mut self,
+        n: usize,
+        c: usize,
+        h: usize,
+        w: usize,
+        value: f32,
+    ) -> Result<(), TensorError> {
+        if self.shape.rank() != 4 {
+            return Err(TensorError::RankMismatch { expected: 4, actual: self.shape.rank() });
+        }
+        let idx = self.shape.offset4(n, c, h, w);
+        let len = self.data.len();
+        match self.data.get_mut(idx) {
+            Some(slot) => {
+                *slot = value;
+                Ok(())
+            }
+            None => Err(TensorError::IndexOutOfBounds { index: idx, len }),
+        }
+    }
+
+    /// Apply a function element-wise, producing a new tensor.
+    #[must_use]
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn add(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn sub(&self, other: &Self) -> Result<Self, TensorError> {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise combination with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn zip_with(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Result<Self, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Self { shape: self.shape.clone(), data })
+    }
+
+    /// In-place AXPY: `self += alpha * other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Self) -> Result<(), TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    /// Scale every element by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Maximum absolute value (0 for an empty tensor).
+    #[must_use]
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Reinterpret the tensor with a new shape of identical volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLengthMismatch`] if volumes differ.
+    pub fn reshape(&self, shape: Shape) -> Result<Self, TensorError> {
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::DataLengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Self { shape, data: self.data.clone() })
+    }
+}
+
+/// A dense, row-major `i32` tensor holding quantized (raw Q-format) words.
+///
+/// The quantization scale is tracked by the layer that owns the tensor (see
+/// the `wgft-nn` quantized inference path); this type only stores the raw
+/// integers so that fault injection can flip bits in the exact storage format.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntTensor {
+    shape: Shape,
+    data: Vec<i32>,
+}
+
+impl IntTensor {
+    /// A tensor filled with zeros.
+    #[must_use]
+    pub fn zeros(shape: Shape) -> Self {
+        let len = shape.volume();
+        Self { shape, data: vec![0; len] }
+    }
+
+    /// Build a tensor from existing data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::DataLengthMismatch`] if `data.len()` does not
+    /// equal the shape volume.
+    pub fn from_vec(shape: Shape, data: Vec<i32>) -> Result<Self, TensorError> {
+        if data.len() != shape.volume() {
+            return Err(TensorError::DataLengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Shape of the tensor.
+    #[must_use]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the underlying data.
+    #[must_use]
+    pub fn data(&self) -> &[i32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying data.
+    pub fn data_mut(&mut self) -> &mut [i32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor and return its data.
+    #[must_use]
+    pub fn into_data(self) -> Vec<i32> {
+        self.data
+    }
+
+    /// Row-major flat offset of a 4-D index (debug-checked rank).
+    #[must_use]
+    pub fn offset4(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        self.shape.offset4(n, c, h, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zeros_full_and_from_vec() {
+        let t = Tensor::zeros(Shape::d2(2, 3));
+        assert_eq!(t.len(), 6);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+        let t = Tensor::full(Shape::d1(4), 2.5);
+        assert!(t.data().iter().all(|&v| v == 2.5));
+        assert!(Tensor::from_vec(Shape::d1(3), vec![1.0, 2.0]).is_err());
+        assert!(Tensor::from_vec(Shape::d1(2), vec![1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    fn get_set_4d() {
+        let mut t = Tensor::zeros(Shape::nchw(1, 2, 3, 3));
+        t.set4(0, 1, 2, 2, 7.0).unwrap();
+        assert_eq!(t.get4(0, 1, 2, 2).unwrap(), 7.0);
+        assert_eq!(t.get4(0, 0, 0, 0).unwrap(), 0.0);
+        let bad_rank = Tensor::zeros(Shape::d2(2, 2));
+        assert!(matches!(bad_rank.get4(0, 0, 0, 0), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn elementwise_ops_check_shapes() {
+        let a = Tensor::full(Shape::d1(3), 1.0);
+        let b = Tensor::full(Shape::d1(3), 2.0);
+        let c = a.add(&b).unwrap();
+        assert_eq!(c.data(), &[3.0, 3.0, 3.0]);
+        let d = b.sub(&a).unwrap();
+        assert_eq!(d.data(), &[1.0, 1.0, 1.0]);
+        let wrong = Tensor::full(Shape::d1(4), 0.0);
+        assert!(a.add(&wrong).is_err());
+    }
+
+    #[test]
+    fn axpy_scale_and_max_abs() {
+        let mut a = Tensor::full(Shape::d1(3), 1.0);
+        let b = Tensor::from_vec(Shape::d1(3), vec![1.0, -4.0, 2.0]).unwrap();
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.data(), &[1.5, -1.0, 2.0]);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[3.0, -2.0, 4.0]);
+        assert_eq!(a.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(Shape::d2(2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let r = t.reshape(Shape::chw(1, 2, 3)).unwrap();
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(Shape::d1(5)).is_err());
+    }
+
+    #[test]
+    fn random_initializers_respect_limits() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let t = Tensor::uniform(Shape::d1(256), 0.1, &mut rng);
+        assert!(t.max_abs() <= 0.1);
+        let h = Tensor::he_uniform(Shape::d2(16, 9), 9, &mut rng);
+        assert!(h.max_abs() <= (6.0f32 / 9.0).sqrt());
+    }
+
+    #[test]
+    fn int_tensor_basics() {
+        let t = IntTensor::zeros(Shape::nchw(1, 1, 2, 2));
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+        let mut t = IntTensor::from_vec(Shape::nchw(1, 1, 2, 2), vec![1, 2, 3, 4]).unwrap();
+        let off = t.offset4(0, 0, 1, 1);
+        assert_eq!(t.data()[off], 4);
+        t.data_mut()[off] = 9;
+        assert_eq!(t.into_data(), vec![1, 2, 3, 9]);
+        assert!(IntTensor::from_vec(Shape::d1(3), vec![1]).is_err());
+    }
+}

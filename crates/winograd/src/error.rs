@@ -1,0 +1,71 @@
+//! Error type for winograd kernel configuration.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the convolution kernels in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WinogradError {
+    /// The convolution geometry is not supported by the winograd kernel
+    /// (winograd requires a 3x3 kernel with unit stride).
+    UnsupportedGeometry {
+        /// Kernel size found.
+        kernel: usize,
+        /// Stride found.
+        stride: usize,
+    },
+    /// Input, weight or output buffer lengths disagree with the declared shape.
+    BufferSizeMismatch {
+        /// What the buffer holds (for diagnostics).
+        what: &'static str,
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+    /// A kernel was too small to decompose (DWM needs a kernel larger than 3x3).
+    NothingToDecompose {
+        /// The kernel size supplied.
+        kernel: usize,
+    },
+}
+
+impl fmt::Display for WinogradError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WinogradError::UnsupportedGeometry { kernel, stride } => write!(
+                f,
+                "winograd convolution requires a 3x3 kernel with unit stride, got {kernel}x{kernel} stride {stride}"
+            ),
+            WinogradError::BufferSizeMismatch { what, expected, actual } => {
+                write!(f, "{what} buffer holds {actual} elements, expected {expected}")
+            }
+            WinogradError::NothingToDecompose { kernel } => {
+                write!(f, "a {kernel}x{kernel} kernel does not need decomposition")
+            }
+        }
+    }
+}
+
+impl Error for WinogradError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = WinogradError::UnsupportedGeometry { kernel: 5, stride: 2 };
+        assert!(e.to_string().contains("5x5"));
+        let e = WinogradError::BufferSizeMismatch { what: "input", expected: 4, actual: 3 };
+        assert!(e.to_string().contains("input"));
+        let e = WinogradError::NothingToDecompose { kernel: 3 };
+        assert!(e.to_string().contains("3x3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<WinogradError>();
+    }
+}

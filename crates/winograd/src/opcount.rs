@@ -1,0 +1,229 @@
+//! Analytic operation-count models for standard and winograd convolution.
+//!
+//! The paper's analyses repeatedly need to know *how many* multiplications and
+//! additions each convolution algorithm spends per layer: the layer-wise
+//! vulnerability discussion of Figure 3 correlates accuracy with the
+//! multiplication count, the fine-grained TMR of Figure 5 charges overhead per
+//! protected operation, and the accelerator energy model of Figures 6–7 scales
+//! runtime with the arithmetic volume. This module provides those counts
+//! analytically; the instrumented kernels report the same numbers through
+//! their [`wgft_faultsim::OpCounters`] (boundary pixels aside, see
+//! [`ConvOpModel::count`]).
+
+use crate::conv_standard::ConvShape;
+use crate::transform::WinogradVariant;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wgft_faultsim::OpCount;
+
+/// Which convolution algorithm a layer executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConvAlgorithm {
+    /// Standard (direct / im2col) convolution — "ST-Conv" in the paper.
+    Standard,
+    /// Winograd convolution with the given tile variant — "WG-Conv".
+    Winograd(WinogradVariant),
+}
+
+impl ConvAlgorithm {
+    /// The winograd algorithm with the paper's default F(2x2,3x3) tiles.
+    #[must_use]
+    pub const fn winograd_default() -> Self {
+        ConvAlgorithm::Winograd(WinogradVariant::F2x2)
+    }
+
+    /// Short label used in reports ("ST-Conv" / "WG-Conv").
+    #[must_use]
+    pub const fn label(&self) -> &'static str {
+        match self {
+            ConvAlgorithm::Standard => "ST-Conv",
+            ConvAlgorithm::Winograd(_) => "WG-Conv",
+        }
+    }
+
+    /// Whether this algorithm can execute the given layer shape
+    /// (winograd needs a 3x3 kernel with unit stride; anything else falls back
+    /// to standard convolution, as real winograd-enabled inference stacks do).
+    #[must_use]
+    pub fn supports(&self, shape: &ConvShape) -> bool {
+        match self {
+            ConvAlgorithm::Standard => true,
+            ConvAlgorithm::Winograd(_) => shape.geometry.is_unit_stride_3x3(),
+        }
+    }
+}
+
+impl fmt::Display for ConvAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConvAlgorithm::Standard => write!(f, "ST-Conv"),
+            ConvAlgorithm::Winograd(v) => write!(f, "WG-Conv[{v}]"),
+        }
+    }
+}
+
+/// Analytic operation-count model for a convolution layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ConvOpModel;
+
+impl ConvOpModel {
+    /// Count the multiplications and additions algorithm `algo` spends on a
+    /// layer of shape `shape`.
+    ///
+    /// The standard-convolution count assumes interior pixels (boundary pixels
+    /// skip the taps that fall on padding, so measured counts are slightly
+    /// lower); the winograd count mirrors the instrumented kernel exactly:
+    /// input/output transforms cost `nnz - 1` additions per produced element
+    /// plus one multiplication per coefficient with magnitude greater than
+    /// one, and the element-wise stage costs one multiply and one accumulate
+    /// add per tile element per channel pair.
+    #[must_use]
+    pub fn count(shape: &ConvShape, algo: ConvAlgorithm) -> OpCount {
+        match algo {
+            ConvAlgorithm::Standard => Self::standard_count(shape),
+            ConvAlgorithm::Winograd(variant) if algo.supports(shape) => {
+                Self::winograd_count(shape, variant)
+            }
+            // Unsupported geometry falls back to the standard kernel.
+            ConvAlgorithm::Winograd(_) => Self::standard_count(shape),
+        }
+    }
+
+    fn standard_count(shape: &ConvShape) -> OpCount {
+        let g = &shape.geometry;
+        let macs = (g.out_pixels() * shape.out_channels * shape.in_channels * g.k_h * g.k_w) as u64;
+        OpCount { mul: macs, add: macs }
+    }
+
+    fn winograd_count(shape: &ConvShape, variant: WinogradVariant) -> OpCount {
+        let g = &shape.geometry;
+        let t = variant.input_tile();
+        let m = variant.output_tile();
+        let tiles = (g.out_h().div_ceil(m) * g.out_w().div_ceil(m)) as u64;
+        let c = shape.in_channels as u64;
+        let o = shape.out_channels as u64;
+
+        // Input transform: Bt * d (t x t) then result * B.
+        let bt_cost = transform_cost(variant.bt(), t, t, t);
+        let input_transform = OpCount {
+            mul: 2 * bt_cost.mul * tiles * c,
+            add: 2 * bt_cost.add * tiles * c,
+        };
+        // Element-wise multiply-accumulate over input channels.
+        let elementwise = OpCount {
+            mul: tiles * c * o * (t * t) as u64,
+            add: tiles * c * o * (t * t) as u64,
+        };
+        // Output transform: At * M (m x t) then result * A (m x m).
+        let at_left = transform_cost(variant.at(), m, t, t);
+        let at_right = transform_cost(variant.at(), m, t, m);
+        let output_transform = OpCount {
+            mul: (at_left.mul + at_right.mul) * tiles * o,
+            add: (at_left.add + at_right.add) * tiles * o,
+        };
+        input_transform + elementwise + output_transform
+    }
+}
+
+/// Cost of multiplying a constant integer matrix of shape `(rows x inner)` by
+/// a dense matrix with `cols` columns, mirroring the instrumented
+/// `integer_transform` kernel.
+fn transform_cost(coef: &[i32], rows: usize, inner: usize, cols: usize) -> OpCount {
+    let mut per_row_adds = 0u64;
+    let mut per_row_muls = 0u64;
+    for r in 0..rows {
+        let row = &coef[r * inner..(r + 1) * inner];
+        let nnz = row.iter().filter(|&&c| c != 0).count() as u64;
+        let non_unit = row.iter().filter(|&&c| c != 0 && c != 1 && c != -1).count() as u64;
+        per_row_adds += nnz.saturating_sub(1);
+        per_row_muls += non_unit;
+    }
+    OpCount { mul: per_row_muls * cols as u64, add: per_row_adds * cols as u64 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv_winograd::{transform_weights_f32, winograd_conv_quantized, WinogradWeights};
+    use crate::direct_conv_quantized;
+    use crate::transform::F2X2_3X3;
+    use wgft_faultsim::{Arithmetic, ExactArithmetic};
+    use wgft_tensor::ConvGeometry;
+
+    #[test]
+    fn algorithm_labels_and_support() {
+        assert_eq!(ConvAlgorithm::Standard.label(), "ST-Conv");
+        assert_eq!(ConvAlgorithm::winograd_default().label(), "WG-Conv");
+        assert_eq!(ConvAlgorithm::winograd_default().to_string(), "WG-Conv[F(2x2,3x3)]");
+        let conv3 = ConvShape::new(4, 4, ConvGeometry::square(8, 3, 1, 1));
+        let conv1 = ConvShape::new(4, 4, ConvGeometry::square(8, 1, 1, 0));
+        assert!(ConvAlgorithm::winograd_default().supports(&conv3));
+        assert!(!ConvAlgorithm::winograd_default().supports(&conv1));
+        assert!(ConvAlgorithm::Standard.supports(&conv1));
+    }
+
+    #[test]
+    fn standard_count_is_macs() {
+        let shape = ConvShape::new(8, 16, ConvGeometry::square(16, 3, 1, 1));
+        let c = ConvOpModel::count(&shape, ConvAlgorithm::Standard);
+        let macs = (16 * 16 * 16 * 8 * 9) as u64;
+        assert_eq!(c.mul, macs);
+        assert_eq!(c.add, macs);
+    }
+
+    #[test]
+    fn winograd_reduces_multiplications_by_roughly_2_25x() {
+        let shape = ConvShape::new(16, 16, ConvGeometry::square(16, 3, 1, 1));
+        let st = ConvOpModel::count(&shape, ConvAlgorithm::Standard);
+        let wg = ConvOpModel::count(&shape, ConvAlgorithm::winograd_default());
+        let ratio = st.mul as f64 / wg.mul as f64;
+        // The asymptotic gain is 36/16 = 2.25; transforms eat a little of it.
+        assert!(ratio > 1.7 && ratio < 2.3, "mul reduction ratio {ratio}");
+        assert!(wg.mul < st.mul);
+    }
+
+    #[test]
+    fn unsupported_winograd_falls_back_to_standard_counts() {
+        let shape = ConvShape::new(4, 4, ConvGeometry::square(8, 1, 1, 0));
+        let st = ConvOpModel::count(&shape, ConvAlgorithm::Standard);
+        let wg = ConvOpModel::count(&shape, ConvAlgorithm::winograd_default());
+        assert_eq!(st, wg);
+    }
+
+    #[test]
+    fn analytic_winograd_count_matches_instrumented_kernel() {
+        let shape = ConvShape::new(3, 5, ConvGeometry::square(8, 3, 1, 1));
+        let input = vec![1i32; shape.input_len()];
+        let weights_f = vec![4.0f32; shape.weight_len()];
+        let u = transform_weights_f32(&weights_f, 5, 3, F2X2_3X3).unwrap();
+        let w = WinogradWeights::new(F2X2_3X3, 5, 3, u.iter().map(|&x| x as i32).collect())
+            .unwrap();
+        let mut arith = ExactArithmetic::new();
+        winograd_conv_quantized(&mut arith, 0, &input, &w, &shape).unwrap();
+        let measured = arith.counters().total();
+        let analytic = ConvOpModel::count(&shape, ConvAlgorithm::winograd_default());
+        assert_eq!(measured.mul, analytic.mul);
+        assert_eq!(measured.add, analytic.add);
+    }
+
+    #[test]
+    fn analytic_standard_count_matches_instrumented_kernel_without_padding() {
+        // With no padding there are no boundary skips, so the counts agree exactly.
+        let shape = ConvShape::new(2, 3, ConvGeometry::square(8, 3, 1, 0));
+        let input = vec![1i32; shape.input_len()];
+        let weights = vec![1i32; shape.weight_len()];
+        let mut arith = ExactArithmetic::new();
+        direct_conv_quantized(&mut arith, 0, &input, &weights, &shape).unwrap();
+        let measured = arith.counters().total();
+        let analytic = ConvOpModel::count(&shape, ConvAlgorithm::Standard);
+        assert_eq!(measured, analytic);
+    }
+
+    #[test]
+    fn f4x4_needs_fewer_elementwise_muls_than_f2x2() {
+        let shape = ConvShape::new(16, 16, ConvGeometry::square(16, 3, 1, 1));
+        let f2 = ConvOpModel::count(&shape, ConvAlgorithm::Winograd(WinogradVariant::F2x2));
+        let f4 = ConvOpModel::count(&shape, ConvAlgorithm::Winograd(WinogradVariant::F4x4));
+        assert!(f4.mul < f2.mul, "F4x4 {} should use fewer muls than F2x2 {}", f4.mul, f2.mul);
+    }
+}

@@ -1,0 +1,268 @@
+//! Winograd transform matrices and tile geometry.
+//!
+//! The minimal filtering algorithm F(m x m, r x r) computes an `m x m` output
+//! tile from an `(m + r - 1) x (m + r - 1)` input tile with
+//! `(m + r - 1)^2` multiplications. The matrices below are the standard
+//! Lavin & Gray constructions for the two tile sizes used with 3x3 kernels.
+//!
+//! The input transform `Bᵀ d B` and output transform `Aᵀ M A` have integer
+//! coefficients and are therefore executed exactly on the quantized datapath
+//! (through the instrumented [`wgft_faultsim::Arithmetic`] backend); the
+//! filter transform `G g Gᵀ` has fractional coefficients and is applied
+//! offline to the floating-point weights before they are quantized.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// F(2x2, 3x3): 4x4 input tile, 2x2 output tile, 16 multiplications
+/// (2.25x fewer than the 36 a direct 3x3 convolution would need).
+pub const F2X2_3X3: WinogradVariant = WinogradVariant::F2x2;
+
+/// F(4x4, 3x3): 6x6 input tile, 4x4 output tile, 36 multiplications
+/// (4x fewer than direct convolution) at the cost of a wider dynamic range in
+/// the transformed domain.
+pub const F4X4_3X3: WinogradVariant = WinogradVariant::F4x4;
+
+/// Supported winograd tile sizes for 3x3 kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum WinogradVariant {
+    /// F(2x2, 3x3) — the variant the paper (and most int8/int16 deployments)
+    /// uses because its transforms only involve additions and halving.
+    #[default]
+    F2x2,
+    /// F(4x4, 3x3) — larger tiles, fewer multiplications, larger numeric range.
+    F4x4,
+}
+
+impl WinogradVariant {
+    /// Output tile size `m`.
+    #[must_use]
+    pub const fn output_tile(&self) -> usize {
+        match self {
+            WinogradVariant::F2x2 => 2,
+            WinogradVariant::F4x4 => 4,
+        }
+    }
+
+    /// Input tile size `m + r - 1`.
+    #[must_use]
+    pub const fn input_tile(&self) -> usize {
+        self.output_tile() + 2
+    }
+
+    /// Kernel size `r` (always 3).
+    #[must_use]
+    pub const fn kernel(&self) -> usize {
+        3
+    }
+
+    /// Number of element-wise multiplications per tile.
+    #[must_use]
+    pub const fn muls_per_tile(&self) -> usize {
+        self.input_tile() * self.input_tile()
+    }
+
+    /// The input transform matrix `Bᵀ` (row-major, `input_tile x input_tile`),
+    /// with exactly representable integer coefficients.
+    #[must_use]
+    pub fn bt(&self) -> &'static [i32] {
+        match self {
+            WinogradVariant::F2x2 => &BT_F2X2,
+            WinogradVariant::F4x4 => &BT_F4X4,
+        }
+    }
+
+    /// The output transform matrix `Aᵀ` (row-major,
+    /// `output_tile x input_tile`), with integer coefficients.
+    #[must_use]
+    pub fn at(&self) -> &'static [i32] {
+        match self {
+            WinogradVariant::F2x2 => &AT_F2X2,
+            WinogradVariant::F4x4 => &AT_F4X4,
+        }
+    }
+
+    /// The filter transform matrix `G` (row-major, `input_tile x 3`),
+    /// applied to floating-point weights offline.
+    #[must_use]
+    pub fn g(&self) -> &'static [f32] {
+        match self {
+            WinogradVariant::F2x2 => &G_F2X2,
+            WinogradVariant::F4x4 => &G_F4X4,
+        }
+    }
+
+    /// Both supported variants.
+    #[must_use]
+    pub const fn all() -> [WinogradVariant; 2] {
+        [WinogradVariant::F2x2, WinogradVariant::F4x4]
+    }
+}
+
+impl fmt::Display for WinogradVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WinogradVariant::F2x2 => write!(f, "F(2x2,3x3)"),
+            WinogradVariant::F4x4 => write!(f, "F(4x4,3x3)"),
+        }
+    }
+}
+
+#[rustfmt::skip]
+const BT_F2X2: [i32; 16] = [
+    1,  0, -1,  0,
+    0,  1,  1,  0,
+    0, -1,  1,  0,
+    0,  1,  0, -1,
+];
+
+#[rustfmt::skip]
+const G_F2X2: [f32; 12] = [
+    1.0,  0.0, 0.0,
+    0.5,  0.5, 0.5,
+    0.5, -0.5, 0.5,
+    0.0,  0.0, 1.0,
+];
+
+#[rustfmt::skip]
+const AT_F2X2: [i32; 8] = [
+    1, 1,  1,  0,
+    0, 1, -1, -1,
+];
+
+#[rustfmt::skip]
+const BT_F4X4: [i32; 36] = [
+    4,  0, -5,  0, 1, 0,
+    0, -4, -4,  1, 1, 0,
+    0,  4, -4, -1, 1, 0,
+    0, -2, -1,  2, 1, 0,
+    0,  2, -1, -2, 1, 0,
+    0,  4,  0, -5, 0, 1,
+];
+
+#[rustfmt::skip]
+const G_F4X4: [f32; 18] = [
+     1.0 / 4.0,   0.0,         0.0,
+    -1.0 / 6.0,  -1.0 / 6.0,  -1.0 / 6.0,
+    -1.0 / 6.0,   1.0 / 6.0,  -1.0 / 6.0,
+     1.0 / 24.0,  1.0 / 12.0,  1.0 / 6.0,
+     1.0 / 24.0, -1.0 / 12.0,  1.0 / 6.0,
+     0.0,         0.0,         1.0,
+];
+
+#[rustfmt::skip]
+const AT_F4X4: [i32; 24] = [
+    1, 1,  1, 1,  1, 0,
+    0, 1, -1, 2, -2, 0,
+    0, 1,  1, 4,  4, 0,
+    0, 1, -1, 8, -8, 1,
+];
+
+/// Multiply two small row-major f32 matrices: `C (m x n) = A (m x k) * B (k x n)`.
+///
+/// # Panics
+///
+/// Panics (debug assertion) if the slices are shorter than the declared shapes.
+#[must_use]
+pub(crate) fn mat_mul_f32(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    debug_assert!(a.len() >= m * k && b.len() >= k * n);
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Transpose a small row-major matrix.
+#[must_use]
+pub(crate) fn transpose_f32(a: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = a[r * cols + c];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tile_geometry() {
+        assert_eq!(F2X2_3X3.output_tile(), 2);
+        assert_eq!(F2X2_3X3.input_tile(), 4);
+        assert_eq!(F2X2_3X3.muls_per_tile(), 16);
+        assert_eq!(F4X4_3X3.output_tile(), 4);
+        assert_eq!(F4X4_3X3.input_tile(), 6);
+        assert_eq!(F4X4_3X3.muls_per_tile(), 36);
+        assert_eq!(F2X2_3X3.kernel(), 3);
+        assert_eq!(WinogradVariant::all().len(), 2);
+        assert_eq!(WinogradVariant::default(), WinogradVariant::F2x2);
+    }
+
+    #[test]
+    fn matrix_dimensions_match_geometry() {
+        for v in WinogradVariant::all() {
+            let t = v.input_tile();
+            let m = v.output_tile();
+            assert_eq!(v.bt().len(), t * t);
+            assert_eq!(v.at().len(), m * t);
+            assert_eq!(v.g().len(), t * 3);
+        }
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(F2X2_3X3.to_string(), "F(2x2,3x3)");
+        assert_eq!(F4X4_3X3.to_string(), "F(4x4,3x3)");
+    }
+
+    /// The defining property of the winograd matrices: for any 1-D signal `d`
+    /// (length input_tile) and kernel `g` (length 3),
+    /// `Aᵀ [(G g) ⊙ (Bᵀ d)]` equals the valid 1-D convolution (correlation)
+    /// of `d` with `g`.
+    #[test]
+    fn one_dimensional_agreement_with_direct_convolution() {
+        for v in WinogradVariant::all() {
+            let t = v.input_tile();
+            let m = v.output_tile();
+            let d: Vec<f32> = (0..t).map(|i| (i as f32) * 0.7 - 1.3).collect();
+            let g = [0.4f32, -0.2, 0.9];
+
+            // Transformed operands.
+            let bt: Vec<f32> = v.bt().iter().map(|&x| x as f32).collect();
+            let at: Vec<f32> = v.at().iter().map(|&x| x as f32).collect();
+            let u = mat_mul_f32(v.g(), &g, t, 3, 1);
+            let vdom = mat_mul_f32(&bt, &d, t, t, 1);
+            let elem: Vec<f32> = u.iter().zip(&vdom).map(|(a, b)| a * b).collect();
+            let y = mat_mul_f32(&at, &elem, m, t, 1);
+
+            // Direct correlation.
+            for (i, &yi) in y.iter().enumerate() {
+                let direct: f32 = (0..3).map(|j| d[i + j] * g[j]).sum();
+                assert!(
+                    (yi - direct).abs() < 1e-4,
+                    "{v}: output {i} winograd {yi} direct {direct}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a: Vec<f32> = (0..12).map(|x| x as f32).collect();
+        let t = transpose_f32(&a, 3, 4);
+        let back = transpose_f32(&t, 4, 3);
+        assert_eq!(a, back);
+        assert_eq!(t[0], 0.0);
+        assert_eq!(t[1], 4.0);
+    }
+}

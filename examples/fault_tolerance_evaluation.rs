@@ -1,0 +1,25 @@
+//! Reproduce a miniature version of the paper's network-wise fault-tolerance
+//! evaluation (Figure 2) and operation-type analysis (Figure 4) for one model.
+//!
+//! Run with `cargo run --release --example fault_tolerance_evaluation`.
+
+use winograd_ft::core::{CampaignConfig, FaultToleranceCampaign};
+use winograd_ft::fixedpoint::BitWidth;
+use winograd_ft::nn::models::ModelKind;
+use winograd_ft::winograd::ConvAlgorithm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = CampaignConfig::test_scale(ModelKind::ResNetSmall, BitWidth::W16);
+    let campaign = FaultToleranceCampaign::prepare(&config)?;
+    println!(
+        "prepared {} (clean accuracy {:.1} %)",
+        campaign.quantized().name(),
+        campaign.clean_accuracy() * 100.0
+    );
+
+    let critical = campaign.find_critical_ber(ConvAlgorithm::Standard, 0.5);
+    let bers = [0.0, critical / 8.0, critical / 2.0, critical, critical * 4.0];
+    println!("{}", campaign.network_sweep(&bers));
+    println!("{}", campaign.op_type_sensitivity(&bers[2..]));
+    Ok(())
+}

@@ -1,0 +1,23 @@
+//! Plan fine-grained TMR protection for a target accuracy and compare the
+//! overhead of the three schemes of the paper's Figure 5.
+//!
+//! Run with `cargo run --release --example tmr_protection`.
+
+use winograd_ft::core::{CampaignConfig, FaultToleranceCampaign, TmrPlanner};
+use winograd_ft::fixedpoint::BitWidth;
+use winograd_ft::nn::models::ModelKind;
+use winograd_ft::winograd::ConvAlgorithm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W16);
+    let campaign = FaultToleranceCampaign::prepare(&config)?;
+    let ber = campaign.find_critical_ber(ConvAlgorithm::Standard, 0.5);
+    let chance = 1.0 / campaign.config().spec.num_classes as f64;
+    let clean = campaign.clean_accuracy();
+    let targets = [chance + 0.7 * (clean - chance), chance + 0.9 * (clean - chance)];
+
+    let planner = TmrPlanner { max_iterations: 16, ..TmrPlanner::default() };
+    let report = planner.overhead_table(&campaign, &targets, ber)?;
+    println!("{report}");
+    Ok(())
+}

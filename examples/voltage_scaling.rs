@@ -1,0 +1,20 @@
+//! Voltage-scale the modelled accelerator under accuracy-loss constraints and
+//! compare the energy of the three schemes of the paper's Figure 7.
+//!
+//! Run with `cargo run --release --example voltage_scaling`.
+
+use winograd_ft::accel::Accelerator;
+use winograd_ft::core::{CampaignConfig, FaultToleranceCampaign, VoltageScalingStudy};
+use winograd_ft::fixedpoint::BitWidth;
+use winograd_ft::nn::models::ModelKind;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W16);
+    let campaign = FaultToleranceCampaign::prepare(&config)?;
+    let mut study = VoltageScalingStudy::new(&campaign, Accelerator::paper_default());
+
+    let voltages: Vec<f64> = (0..=6).map(|i| 0.70 + 0.02 * f64::from(i)).collect();
+    println!("{}", study.voltage_sweep(&voltages)?);
+    println!("{}", study.energy_table(&[0.01, 0.05, 0.10])?);
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Umbrella crate for the `winograd-ft` workspace.
+//!
+//! Re-exports every sub-crate of the reproduction of *"Winograd Convolution:
+//! A Perspective from Fault Tolerance"* (DAC 2022) under one roof so that
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`fixedpoint`] — Q-format fixed-point arithmetic,
+//! * [`tensor`] — dense NCHW tensors and im2col,
+//! * [`faultsim`] — operation-level and neuron-level fault injection,
+//! * [`winograd`] — winograd transforms and convolution kernels,
+//! * [`nn`] — layers, training, quantized inference and the model zoo,
+//! * [`data`] — synthetic datasets and accuracy evaluation,
+//! * [`accel`] — systolic-array timing, voltage/error and power models,
+//! * [`core`] — fault-tolerance campaigns, fine-grained TMR and
+//!   voltage-scaling energy optimization (the paper's contribution).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use winograd_ft::core::{CampaignConfig, FaultToleranceCampaign};
+//! use winograd_ft::nn::models::ModelKind;
+//! use winograd_ft::fixedpoint::BitWidth;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = CampaignConfig::new(ModelKind::VggSmall, BitWidth::W16).with_images(32);
+//! let campaign = FaultToleranceCampaign::prepare(&config)?;
+//! let report = campaign.network_sweep(&[0.0, 1e-7, 1e-6]);
+//! println!("{report}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use wgft_accel as accel;
+pub use wgft_core as core;
+pub use wgft_data as data;
+pub use wgft_faultsim as faultsim;
+pub use wgft_fixedpoint as fixedpoint;
+pub use wgft_nn as nn;
+pub use wgft_tensor as tensor;
+pub use wgft_winograd as winograd;
