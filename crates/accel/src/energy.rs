@@ -44,8 +44,16 @@ impl Accelerator {
 
     /// Create an accelerator from its three component models.
     #[must_use]
-    pub fn new(array: SystolicArray, voltage_model: VoltageBerModel, power_model: PowerModel) -> Self {
-        Self { array, voltage_model, power_model }
+    pub fn new(
+        array: SystolicArray,
+        voltage_model: VoltageBerModel,
+        power_model: PowerModel,
+    ) -> Self {
+        Self {
+            array,
+            voltage_model,
+            power_model,
+        }
     }
 
     /// The systolic-array timing model.
@@ -124,25 +132,39 @@ mod tests {
         vec![
             LayerWorkload::Conv(ConvShape::new(3, 16, ConvGeometry::square(16, 3, 1, 1))),
             LayerWorkload::Conv(ConvShape::new(16, 32, ConvGeometry::square(8, 3, 1, 1))),
-            LayerWorkload::Dense { in_features: 32, out_features: 8 },
+            LayerWorkload::Dense {
+                in_features: 32,
+                out_features: 8,
+            },
         ]
     }
 
     #[test]
     fn lower_voltage_means_less_energy_but_more_errors() {
         let accel = Accelerator::paper_default();
-        let high = accel.report(&workload(), ConvAlgorithm::Standard, 0.9).unwrap();
-        let low = accel.report(&workload(), ConvAlgorithm::Standard, 0.75).unwrap();
+        let high = accel
+            .report(&workload(), ConvAlgorithm::Standard, 0.9)
+            .unwrap();
+        let low = accel
+            .report(&workload(), ConvAlgorithm::Standard, 0.75)
+            .unwrap();
         assert!(low.energy_joules < high.energy_joules);
         assert!(low.ber > high.ber);
-        assert_eq!(low.cycles, high.cycles, "voltage does not change the cycle count");
+        assert_eq!(
+            low.cycles, high.cycles,
+            "voltage does not change the cycle count"
+        );
     }
 
     #[test]
     fn winograd_saves_energy_at_equal_voltage() {
         let accel = Accelerator::paper_default();
-        let st = accel.nominal_report(&workload(), ConvAlgorithm::Standard).unwrap();
-        let wg = accel.nominal_report(&workload(), ConvAlgorithm::winograd_default()).unwrap();
+        let st = accel
+            .nominal_report(&workload(), ConvAlgorithm::Standard)
+            .unwrap();
+        let wg = accel
+            .nominal_report(&workload(), ConvAlgorithm::winograd_default())
+            .unwrap();
         assert!(wg.cycles < st.cycles);
         assert!(wg.energy_joules < st.energy_joules);
         assert_eq!(wg.voltage, 0.9);
@@ -151,7 +173,9 @@ mod tests {
     #[test]
     fn out_of_range_voltage_is_rejected() {
         let accel = Accelerator::paper_default();
-        assert!(accel.report(&workload(), ConvAlgorithm::Standard, 0.5).is_err());
+        assert!(accel
+            .report(&workload(), ConvAlgorithm::Standard, 0.5)
+            .is_err());
         assert!(accel.ber_at(0.77).is_ok());
         assert!(accel.array().frequency_mhz() > 0.0);
         assert!(accel.power_model().nominal_voltage() > 0.0);

@@ -28,7 +28,10 @@ impl fmt::Display for AccelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AccelError::VoltageOutOfRange { voltage, min, max } => {
-                write!(f, "voltage {voltage} V is outside the supported range [{min}, {max}] V")
+                write!(
+                    f,
+                    "voltage {voltage} V is outside the supported range [{min}, {max}] V"
+                )
             }
             AccelError::NonPositiveParameter { name, value } => {
                 write!(f, "parameter {name} must be positive, got {value}")
@@ -45,9 +48,16 @@ mod tests {
 
     #[test]
     fn display_contains_details() {
-        let e = AccelError::VoltageOutOfRange { voltage: 0.5, min: 0.7, max: 0.9 };
+        let e = AccelError::VoltageOutOfRange {
+            voltage: 0.5,
+            min: 0.7,
+            max: 0.9,
+        };
         assert!(e.to_string().contains("0.5"));
-        let e = AccelError::NonPositiveParameter { name: "rows", value: 0.0 };
+        let e = AccelError::NonPositiveParameter {
+            name: "rows",
+            value: 0.0,
+        };
         assert!(e.to_string().contains("rows"));
     }
 

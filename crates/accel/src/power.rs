@@ -20,7 +20,11 @@ impl PowerModel {
     /// at 0.9 V (the order of magnitude reported for the DNN Engine).
     #[must_use]
     pub fn paper_default() -> Self {
-        Self { dynamic_watts: 0.28, leakage_watts: 0.04, nominal_voltage: 0.9 }
+        Self {
+            dynamic_watts: 0.28,
+            leakage_watts: 0.04,
+            nominal_voltage: 0.9,
+        }
     }
 
     /// Create a custom power model.
@@ -42,7 +46,11 @@ impl PowerModel {
                 return Err(AccelError::NonPositiveParameter { name, value });
             }
         }
-        Ok(Self { dynamic_watts, leakage_watts, nominal_voltage })
+        Ok(Self {
+            dynamic_watts,
+            leakage_watts,
+            nominal_voltage,
+        })
     }
 
     /// Nominal supply voltage the power figures were measured at.

@@ -30,10 +30,16 @@ impl SystolicArray {
     /// or negative.
     pub fn new(rows: usize, cols: usize, frequency_mhz: f64) -> Result<Self, AccelError> {
         if rows == 0 {
-            return Err(AccelError::NonPositiveParameter { name: "rows", value: rows as f64 });
+            return Err(AccelError::NonPositiveParameter {
+                name: "rows",
+                value: rows as f64,
+            });
         }
         if cols == 0 {
-            return Err(AccelError::NonPositiveParameter { name: "cols", value: cols as f64 });
+            return Err(AccelError::NonPositiveParameter {
+                name: "cols",
+                value: cols as f64,
+            });
         }
         if frequency_mhz <= 0.0 || !frequency_mhz.is_finite() {
             return Err(AccelError::NonPositiveParameter {
@@ -41,7 +47,11 @@ impl SystolicArray {
                 value: frequency_mhz,
             });
         }
-        Ok(Self { rows, cols, frequency_mhz })
+        Ok(Self {
+            rows,
+            cols,
+            frequency_mhz,
+        })
     }
 
     /// The 16x16 array at 667 MHz used throughout the reproduction (a typical
@@ -49,7 +59,11 @@ impl SystolicArray {
     /// order of magnitude).
     #[must_use]
     pub fn paper_default() -> Self {
-        Self { rows: 16, cols: 16, frequency_mhz: 667.0 }
+        Self {
+            rows: 16,
+            cols: 16,
+            frequency_mhz: 667.0,
+        }
     }
 
     /// Clock frequency in MHz.
@@ -117,9 +131,10 @@ impl SystolicArray {
             .iter()
             .map(|w| match w {
                 LayerWorkload::Conv(shape) => self.conv_cycles(shape, algo),
-                LayerWorkload::Dense { in_features, out_features } => {
-                    self.dense_cycles(*in_features, *out_features)
-                }
+                LayerWorkload::Dense {
+                    in_features,
+                    out_features,
+                } => self.dense_cycles(*in_features, *out_features),
             })
             .sum()
     }
@@ -182,10 +197,13 @@ mod tests {
         let array = SystolicArray::paper_default();
         let workloads = vec![
             LayerWorkload::Conv(ConvShape::new(3, 16, ConvGeometry::square(16, 3, 1, 1))),
-            LayerWorkload::Dense { in_features: 16, out_features: 8 },
+            LayerWorkload::Dense {
+                in_features: 16,
+                out_features: 8,
+            },
         ];
         let total = array.network_cycles(&workloads, ConvAlgorithm::Standard);
-        let conv_only = array.network_cycles(&workloads[..1].to_vec(), ConvAlgorithm::Standard);
+        let conv_only = array.network_cycles(&workloads[..1], ConvAlgorithm::Standard);
         assert!(total > conv_only);
         let runtime = array.runtime_seconds(total);
         assert!(runtime > 0.0 && runtime < 1.0);

@@ -55,7 +55,10 @@ impl VoltageBerModel {
         decades_per_volt: f64,
     ) -> Result<Self, AccelError> {
         if anchor_ber <= 0.0 {
-            return Err(AccelError::NonPositiveParameter { name: "anchor_ber", value: anchor_ber });
+            return Err(AccelError::NonPositiveParameter {
+                name: "anchor_ber",
+                value: anchor_ber,
+            });
         }
         if decades_per_volt <= 0.0 {
             return Err(AccelError::NonPositiveParameter {
@@ -70,7 +73,13 @@ impl VoltageBerModel {
                 max: nominal_voltage,
             });
         }
-        Ok(Self { nominal_voltage, min_voltage, anchor_voltage, anchor_ber, decades_per_volt })
+        Ok(Self {
+            nominal_voltage,
+            min_voltage,
+            anchor_voltage,
+            anchor_ber,
+            decades_per_volt,
+        })
     }
 
     /// Nominal (fault-free) supply voltage.

@@ -30,9 +30,10 @@ impl LayerWorkload {
                     * shape.geometry.k_h
                     * shape.geometry.k_w) as u64
             }
-            LayerWorkload::Dense { in_features, out_features } => {
-                (*in_features * *out_features) as u64
-            }
+            LayerWorkload::Dense {
+                in_features,
+                out_features,
+            } => (*in_features * *out_features) as u64,
         }
     }
 
@@ -67,7 +68,10 @@ mod tests {
     fn macs_for_conv_and_dense() {
         let conv = LayerWorkload::Conv(ConvShape::new(8, 16, ConvGeometry::square(16, 3, 1, 1)));
         assert_eq!(conv.macs(), (16 * 16 * 16 * 8 * 9) as u64);
-        let dense = LayerWorkload::Dense { in_features: 32, out_features: 10 };
+        let dense = LayerWorkload::Dense {
+            in_features: 32,
+            out_features: 10,
+        };
         assert_eq!(dense.macs(), 320);
     }
 
@@ -79,6 +83,9 @@ mod tests {
         assert_eq!(workloads.len(), net.compute_layer_count());
         assert!(workloads.iter().all(|w| w.macs() > 0));
         // The final layer of every model-zoo network is the classifier.
-        assert!(matches!(workloads.last(), Some(LayerWorkload::Dense { .. })));
+        assert!(matches!(
+            workloads.last(),
+            Some(LayerWorkload::Dense { .. })
+        ));
     }
 }

@@ -4,21 +4,23 @@
 //! * winograd tile size F(2x2) vs F(4x4) operation counts,
 //! * mul-first vs uniform TMR protection policy (via add/mul cost weights).
 
-use wgft_bench::{ber_sweep, bench_config};
+use wgft_bench::{bench_config, ber_sweep};
 use wgft_core::FaultToleranceCampaign;
-use wgft_faultsim::{FaultModel, ProtectionPlan, BitErrorRate};
+use wgft_faultsim::{BitErrorRate, FaultModel, ProtectionPlan};
 use wgft_fixedpoint::BitWidth;
 use wgft_nn::models::ModelKind;
-use wgft_winograd::{ConvAlgorithm, ConvOpModel, ConvShape, WinogradVariant};
 use wgft_tensor::ConvGeometry;
+use wgft_winograd::{ConvAlgorithm, ConvOpModel, ConvShape, WinogradVariant};
 
 fn main() {
     println!("== Ablation A: fault-model sensitivity (vgg analogue, int16) ==");
     for model in FaultModel::all() {
         let config = bench_config(ModelKind::VggSmall, BitWidth::W16).with_fault_model(model);
         let campaign = FaultToleranceCampaign::prepare(&config).expect("campaign failed");
-        let bers: Vec<f64> =
-            ber_sweep(&campaign, 3).into_iter().filter(|&b| b > 0.0).collect();
+        let bers: Vec<f64> = ber_sweep(&campaign, 3)
+            .into_iter()
+            .filter(|&b| b > 0.0)
+            .collect();
         println!("-- fault model: {} --", model.label());
         for &ber in &bers {
             let ber = BitErrorRate::new(ber);
@@ -28,7 +30,12 @@ fn main() {
                 ber,
                 &ProtectionPlan::none(),
             );
-            println!("  ber {:>9.2e}  ST {:5.1} %  WG {:5.1} %", ber.rate(), st * 100.0, wg * 100.0);
+            println!(
+                "  ber {:>9.2e}  ST {:5.1} %  WG {:5.1} %",
+                ber.rate(),
+                st * 100.0,
+                wg * 100.0
+            );
         }
     }
 
@@ -51,9 +58,18 @@ fn main() {
     let ber = campaign.find_critical_ber(ConvAlgorithm::Standard, 0.5);
     let chance = 1.0 / campaign.config().spec.num_classes as f64;
     let target = chance + 0.8 * (campaign.clean_accuracy() - chance);
-    for (label, add_cost) in [("mul-dominant cost (add=0.25)", 0.25), ("equal cost (add=1.0)", 1.0)] {
-        let planner = wgft_core::TmrPlanner { add_cost, max_iterations: 16, ..Default::default() };
-        let report = planner.overhead_table(&campaign, &[target], ber).expect("planning failed");
+    for (label, add_cost) in [
+        ("mul-dominant cost (add=0.25)", 0.25),
+        ("equal cost (add=1.0)", 1.0),
+    ] {
+        let planner = wgft_core::TmrPlanner {
+            add_cost,
+            max_iterations: 16,
+            ..Default::default()
+        };
+        let report = planner
+            .overhead_table(&campaign, &[target], ber)
+            .expect("planning failed");
         let row = &report.rows[0];
         println!(
             "  {label}: WG-W/O-AFT {:.3}, WG-W/AFT {:.3} (normalized to ST-Conv)",

@@ -11,7 +11,10 @@ use wgft_nn::models::ModelKind;
 
 fn main() {
     let campaign = prepare(ModelKind::VggSmall, BitWidth::W16);
-    let bers: Vec<f64> = ber_sweep(&campaign, 5).into_iter().filter(|&b| b > 0.0).collect();
+    let bers: Vec<f64> = ber_sweep(&campaign, 5)
+        .into_iter()
+        .filter(|&b| b > 0.0)
+        .collect();
     let report = campaign.injection_granularity(&bers);
     println!("== Figure 1: injection granularity ==");
     println!("{report}");

@@ -12,7 +12,12 @@ fn main() {
             let campaign = prepare(kind, width);
             let bers = ber_sweep(&campaign, 5);
             let report = campaign.network_sweep(&bers);
-            println!("--- {} ({}) analogue of {} ---", kind.label(), width, kind.paper_reference());
+            println!(
+                "--- {} ({}) analogue of {} ---",
+                kind.label(),
+                width,
+                kind.paper_reference()
+            );
             println!("{report}");
         }
     }

@@ -10,8 +10,10 @@ fn main() {
     for kind in [ModelKind::VggSmall, ModelKind::ResNetSmall] {
         for width in BitWidth::all() {
             let campaign = prepare(kind, width);
-            let bers: Vec<f64> =
-                ber_sweep(&campaign, 4).into_iter().filter(|&b| b > 0.0).collect();
+            let bers: Vec<f64> = ber_sweep(&campaign, 4)
+                .into_iter()
+                .filter(|&b| b > 0.0)
+                .collect();
             let report = campaign.op_type_sensitivity(&bers);
             println!("--- {} ({width}) ---", kind.label());
             println!("{report}");

@@ -14,10 +14,17 @@ fn main() {
     let chance = 1.0 / campaign.config().spec.num_classes as f64;
     // Accuracy targets spanning the same relative band as the paper's 45-70 %
     // (clean accuracy 72.6 %): from ~60 % to ~95 % of the clean accuracy.
-    let targets: Vec<f64> =
-        [0.6, 0.7, 0.8, 0.95].iter().map(|f| chance + f * (clean - chance)).collect();
-    let planner = TmrPlanner { max_iterations: 24, ..TmrPlanner::default() };
-    let report = planner.overhead_table(&campaign, &targets, ber).expect("planning failed");
+    let targets: Vec<f64> = [0.6, 0.7, 0.8, 0.95]
+        .iter()
+        .map(|f| chance + f * (clean - chance))
+        .collect();
+    let planner = TmrPlanner {
+        max_iterations: 24,
+        ..TmrPlanner::default()
+    };
+    let report = planner
+        .overhead_table(&campaign, &targets, ber)
+        .expect("planning failed");
     println!("== Figure 5: normalized TMR overhead ==");
     println!("{report}");
 }

@@ -10,7 +10,9 @@ use wgft_nn::models::ModelKind;
 fn main() {
     let campaign = prepare(ModelKind::VggSmall, BitWidth::W16);
     let mut study = VoltageScalingStudy::new(&campaign, Accelerator::paper_default());
-    let report = study.energy_table(&[0.01, 0.03, 0.05, 0.10]).expect("energy table failed");
+    let report = study
+        .energy_table(&[0.01, 0.03, 0.05, 0.10])
+        .expect("energy table failed");
     println!("== Figure 7: voltage-scaling energy ==");
     println!("{report}");
 }

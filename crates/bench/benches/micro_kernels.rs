@@ -1,26 +1,53 @@
 //! Criterion micro-benchmarks of the convolution kernels and the
-//! fault-injection datapath overhead.
+//! fault-injection datapath overhead, plus the naive-vs-planned winograd
+//! comparison that gates the planned-execution-engine work.
+//!
+//! Besides the console output, the run appends its measurements to
+//! `BENCH_kernels.json` at the repository root — a perf-trajectory artifact
+//! that later PRs extend, so kernel regressions show up as data rather than
+//! anecdotes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 use wgft_faultsim::{BitErrorRate, ExactArithmetic, FaultConfig, FaultyArithmetic};
 use wgft_fixedpoint::BitWidth;
 use wgft_tensor::ConvGeometry;
 use wgft_winograd::{
-    direct_conv_quantized, transform_weights_f32, winograd_conv_quantized, ConvShape,
-    WinogradVariant, WinogradWeights,
+    direct_conv_f32, direct_conv_quantized, transform_weights_f32, winograd_conv_f32_reference,
+    winograd_conv_quantized, ConvShape, PreparedConvF32, PreparedConvQuantized, WinogradVariant,
+    WinogradWeights,
 };
 
 fn conv_fixture() -> (ConvShape, Vec<i32>, Vec<i32>, WinogradWeights) {
     let shape = ConvShape::new(16, 16, ConvGeometry::square(16, 3, 1, 1));
-    let input: Vec<i32> = (0..shape.input_len()).map(|i| ((i * 37 % 251) as i32) - 125).collect();
-    let weights: Vec<i32> = (0..shape.weight_len()).map(|i| ((i * 13 % 127) as i32) - 63).collect();
+    let input: Vec<i32> = (0..shape.input_len())
+        .map(|i| ((i * 37 % 251) as i32) - 125)
+        .collect();
+    let weights: Vec<i32> = (0..shape.weight_len())
+        .map(|i| ((i * 13 % 127) as i32) - 63)
+        .collect();
     let weights_f: Vec<f32> = weights.iter().map(|&w| w as f32).collect();
     let u = transform_weights_f32(&weights_f, 16, 16, WinogradVariant::F2x2).unwrap();
-    let wino =
-        WinogradWeights::new(WinogradVariant::F2x2, 16, 16, u.iter().map(|&x| x.round() as i32).collect())
-            .unwrap();
+    let wino = WinogradWeights::new(
+        WinogradVariant::F2x2,
+        16,
+        16,
+        u.iter().map(|&x| x.round() as i32).collect(),
+    )
+    .unwrap();
     (shape, input, weights, wino)
+}
+
+/// The acceptance-criteria layer: 32 -> 32 channels on a 64x64 feature map.
+fn planned_fixture() -> (ConvShape, Vec<f32>, Vec<f32>) {
+    let shape = ConvShape::new(32, 32, ConvGeometry::square(64, 3, 1, 1));
+    let input: Vec<f32> = (0..shape.input_len())
+        .map(|i| ((i * 37 % 251) as f32) * 0.011 - 1.3)
+        .collect();
+    let weights: Vec<f32> = (0..shape.weight_len())
+        .map(|i| ((i * 13 % 127) as f32) * 0.007 - 0.4)
+        .collect();
+    (shape, input, weights)
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -37,6 +64,13 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| {
             let mut arith = ExactArithmetic::new();
             black_box(winograd_conv_quantized(&mut arith, 0, &input, &wino, &shape).unwrap())
+        })
+    });
+    group.bench_function("winograd_exact_prepared", |b| {
+        let mut prepared = PreparedConvQuantized::new(wino.clone(), &shape).unwrap();
+        b.iter(|| {
+            let mut arith = ExactArithmetic::new();
+            black_box(prepared.execute(&mut arith, 0, &input).unwrap())
         })
     });
     group.bench_function("direct_faulty_1e-6", |b| {
@@ -59,13 +93,134 @@ fn bench_kernels(c: &mut Criterion) {
     group.sample_size(20);
     let weights_f: Vec<f32> = (0..16 * 16 * 9).map(|i| (i % 17) as f32 * 0.01).collect();
     group.bench_function("f2x2", |b| {
-        b.iter(|| black_box(transform_weights_f32(&weights_f, 16, 16, WinogradVariant::F2x2).unwrap()))
+        b.iter(|| {
+            black_box(transform_weights_f32(&weights_f, 16, 16, WinogradVariant::F2x2).unwrap())
+        })
     });
     group.bench_function("f4x4", |b| {
-        b.iter(|| black_box(transform_weights_f32(&weights_f, 16, 16, WinogradVariant::F4x4).unwrap()))
+        b.iter(|| {
+            black_box(transform_weights_f32(&weights_f, 16, 16, WinogradVariant::F4x4).unwrap())
+        })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);
+/// Naive-vs-planned f32 winograd on the 32->32-channel 64x64 layer — the
+/// measurement behind the "planned is >= 3x faster" acceptance criterion.
+fn bench_planned_vs_naive(c: &mut Criterion) {
+    let (shape, input, weights) = planned_fixture();
+    let mut group = c.benchmark_group("planned_f32_32c_64x64");
+    group.sample_size(15);
+    group.bench_function("naive_reference", |b| {
+        b.iter(|| {
+            black_box(
+                winograd_conv_f32_reference(&input, &weights, &shape, WinogradVariant::F2x2)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("planned_prepared", |b| {
+        let mut prepared = PreparedConvF32::new(&weights, &shape, WinogradVariant::F2x2).unwrap();
+        let mut output = vec![0.0f32; shape.output_len()];
+        b.iter(|| {
+            prepared.execute_into(&input, &mut output).unwrap();
+            black_box(output[0])
+        })
+    });
+    group.bench_function("planned_cold", |b| {
+        // Plan construction included: what a single-shot caller pays.
+        b.iter(|| {
+            let mut prepared =
+                PreparedConvF32::new(&weights, &shape, WinogradVariant::F2x2).unwrap();
+            black_box(prepared.execute(&input).unwrap())
+        })
+    });
+    group.bench_function("direct_f32", |b| {
+        b.iter(|| black_box(direct_conv_f32(&input, &weights, &shape).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_planned_vs_naive);
+
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+    report(&c);
+}
+
+/// Print the naive/planned speedup and append every measurement to the
+/// perf-trajectory artifact `BENCH_kernels.json` at the repository root.
+fn report(c: &Criterion) {
+    let results = c.results();
+    let find = |id: &str| results.iter().find(|r| r.id == id);
+    if let (Some(naive), Some(planned)) = (
+        find("planned_f32_32c_64x64/naive_reference"),
+        find("planned_f32_32c_64x64/planned_prepared"),
+    ) {
+        println!(
+            "planned f32 winograd speedup over naive (32c, 64x64): \
+             {:.2}x on means ({:.0} ns -> {:.0} ns), \
+             {:.2}x on minima ({:.0} ns -> {:.0} ns)",
+            naive.mean_ns / planned.mean_ns,
+            naive.mean_ns,
+            planned.mean_ns,
+            naive.min_ns / planned.min_ns,
+            naive.min_ns,
+            planned.min_ns,
+        );
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let mut runs: Vec<serde_json::Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::parse(&text).ok())
+        .and_then(|v| v.get("runs").and_then(|r| r.as_array().map(<[_]>::to_vec)))
+        .unwrap_or_default();
+    let measurements: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            serde_json::Value::Object(vec![
+                ("id".to_string(), serde_json::Value::String(r.id.clone())),
+                ("mean_ns".to_string(), serde_json::Value::Float(r.mean_ns)),
+                ("min_ns".to_string(), serde_json::Value::Float(r.min_ns)),
+                (
+                    "samples".to_string(),
+                    serde_json::Value::UInt(r.samples as u64),
+                ),
+            ])
+        })
+        .collect();
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    runs.push(serde_json::Value::Object(vec![
+        ("unix_time".to_string(), serde_json::Value::UInt(unix_time)),
+        (
+            "bench".to_string(),
+            serde_json::Value::String("micro_kernels".to_string()),
+        ),
+        (
+            "measurements".to_string(),
+            serde_json::Value::Array(measurements),
+        ),
+    ]));
+    let artifact = serde_json::Value::Object(vec![
+        (
+            "schema".to_string(),
+            serde_json::Value::String("wgft-bench-kernels-v1".to_string()),
+        ),
+        ("runs".to_string(), serde_json::Value::Array(runs)),
+    ]);
+    match serde_json::to_string(&artifact) {
+        Ok(json) => {
+            if let Err(err) = std::fs::write(path, json) {
+                eprintln!("could not write BENCH_kernels.json: {err}");
+            } else {
+                println!("perf trajectory appended to BENCH_kernels.json");
+            }
+        }
+        Err(err) => eprintln!("could not serialize BENCH_kernels.json: {err}"),
+    }
+}

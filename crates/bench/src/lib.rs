@@ -26,7 +26,9 @@ pub fn model_cache_dir() -> PathBuf {
 /// Whether the benches run at full (paper-like) scale.
 #[must_use]
 pub fn full_scale() -> bool {
-    std::env::var("WGFT_FULL").map(|v| v == "1").unwrap_or(false)
+    std::env::var("WGFT_FULL")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// The campaign configuration for one (model, width) pair at the selected scale.
@@ -61,8 +63,7 @@ pub fn prepare(model: ModelKind, width: BitWidth) -> FaultToleranceCampaign {
 /// cliff, from (almost) fault-free to heavily corrupted.
 #[must_use]
 pub fn ber_sweep(campaign: &FaultToleranceCampaign, points: usize) -> Vec<f64> {
-    let critical =
-        campaign.find_critical_ber(wgft_winograd::ConvAlgorithm::Standard, 0.5);
+    let critical = campaign.find_critical_ber(wgft_winograd::ConvAlgorithm::Standard, 0.5);
     let mut sweep = vec![0.0];
     let start = critical / 16.0;
     let mut ber = start;

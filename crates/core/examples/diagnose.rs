@@ -18,7 +18,11 @@ fn main() {
     for mult in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
         let ber = BitErrorRate::new(crit * mult);
         let st = c.accuracy_under(ConvAlgorithm::Standard, ber, &ProtectionPlan::none());
-        let wg = c.accuracy_under(ConvAlgorithm::winograd_default(), ber, &ProtectionPlan::none());
+        let wg = c.accuracy_under(
+            ConvAlgorithm::winograd_default(),
+            ber,
+            &ProtectionPlan::none(),
+        );
         let stm = c.accuracy_under(ConvAlgorithm::Standard, ber, &mul_free);
         let sta = c.accuracy_under(ConvAlgorithm::Standard, ber, &add_free);
         let wgm = c.accuracy_under(ConvAlgorithm::winograd_default(), ber, &mul_free);

@@ -2,6 +2,7 @@
 
 use crate::report::{pct, sci};
 use crate::{CampaignConfig, CoreError, TextTable};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use wgft_data::Dataset;
@@ -47,8 +48,12 @@ impl FaultToleranceCampaign {
             config.cache_dir.as_deref(),
         )?;
         let mut network = trained.network.clone();
-        let calibration: Vec<Tensor> =
-            train.samples().iter().take(16).map(|s| s.image.clone()).collect();
+        let calibration: Vec<Tensor> = train
+            .samples()
+            .iter()
+            .take(16)
+            .map(|s| s.image.clone())
+            .collect();
         let quantized = QuantizedNetwork::from_network(
             &mut network,
             &calibration,
@@ -62,8 +67,11 @@ impl FaultToleranceCampaign {
             eval_set,
             clean_accuracy: 0.0,
         };
-        campaign.clean_accuracy =
-            campaign.accuracy_under(ConvAlgorithm::Standard, BitErrorRate::ZERO, &ProtectionPlan::none());
+        campaign.clean_accuracy = campaign.accuracy_under(
+            ConvAlgorithm::Standard,
+            BitErrorRate::ZERO,
+            &ProtectionPlan::none(),
+        );
         Ok(campaign)
     }
 
@@ -101,7 +109,10 @@ impl FaultToleranceCampaign {
     ///
     /// Every evaluation image uses an independent, deterministic fault seed
     /// derived from the campaign's base seed, so repeated calls are
-    /// reproducible.
+    /// reproducible — and the images can be evaluated in parallel without
+    /// changing the result: the per-image outcomes are summed in image order,
+    /// so this is bit-identical to a serial evaluation regardless of thread
+    /// count (set `RAYON_NUM_THREADS=1` to force the serial schedule).
     #[must_use]
     pub fn accuracy_under(
         &self,
@@ -109,24 +120,26 @@ impl FaultToleranceCampaign {
         ber: BitErrorRate,
         protection: &ProtectionPlan,
     ) -> f64 {
-        let mut correct = 0usize;
-        for (i, sample) in self.eval_set.iter().enumerate() {
-            let config = FaultConfig {
-                ber,
-                width: self.config.width,
-                model: self.config.fault_model,
-                protection: protection.clone(),
-            };
-            let seed = self.config.base_seed.wrapping_add(1 + i as u64);
-            let mut arith = FaultyArithmetic::new(config, seed);
-            let predicted = self
-                .quantized
-                .classify(&sample.image, &mut arith, algo)
-                .unwrap_or(usize::MAX);
-            if predicted == sample.label {
-                correct += 1;
-            }
-        }
+        let samples = self.eval_set.samples();
+        let correct: usize = (0..samples.len())
+            .into_par_iter()
+            .map(|i| {
+                let sample = &samples[i];
+                let config = FaultConfig {
+                    ber,
+                    width: self.config.width,
+                    model: self.config.fault_model,
+                    protection: protection.clone(),
+                };
+                let seed = self.config.base_seed.wrapping_add(1 + i as u64);
+                let mut arith = FaultyArithmetic::new(config, seed);
+                let predicted = self
+                    .quantized
+                    .classify(&sample.image, &mut arith, algo)
+                    .unwrap_or(usize::MAX);
+                usize::from(predicted == sample.label)
+            })
+            .sum();
         correct as f64 / self.eval_set.len().max(1) as f64
     }
 
@@ -163,18 +176,28 @@ impl FaultToleranceCampaign {
     /// and winograd convolution.
     #[must_use]
     pub fn accuracy_neuron_level(&self, algo: ConvAlgorithm, ber: BitErrorRate) -> f64 {
-        let mut correct = 0usize;
-        for (i, sample) in self.eval_set.iter().enumerate() {
-            let seed = self.config.base_seed.wrapping_add(0x9000 + i as u64);
-            let mut injector = NeuronLevelInjector::new(ber, self.config.width, seed);
-            let logits = self
-                .quantized
-                .forward_with_neuron_faults(&sample.image, &mut injector, algo)
-                .unwrap_or_default();
-            if wgft_data::argmax(&logits) == sample.label {
-                correct += 1;
-            }
-        }
+        let samples = self.eval_set.samples();
+        let correct: usize = (0..samples.len())
+            .into_par_iter()
+            .map(|i| {
+                let sample = &samples[i];
+                let seed = self.config.base_seed.wrapping_add(0x9000 + i as u64);
+                let mut injector = NeuronLevelInjector::new(ber, self.config.width, seed);
+                // A failed forward pass counts as a wrong prediction (argmax
+                // of empty logits would alias class 0).
+                let predicted = self
+                    .quantized
+                    .forward_with_neuron_faults(&sample.image, &mut injector, algo)
+                    .map_or(usize::MAX, |logits| {
+                        if logits.is_empty() {
+                            usize::MAX
+                        } else {
+                            wgft_data::argmax(&logits)
+                        }
+                    });
+                usize::from(predicted == sample.label)
+            })
+            .sum();
         correct as f64 / self.eval_set.len().max(1) as f64
     }
 
@@ -193,7 +216,11 @@ impl FaultToleranceCampaign {
                     ber,
                     &ProtectionPlan::none(),
                 );
-                NetworkSweepRow { ber: ber.rate(), standard, winograd }
+                NetworkSweepRow {
+                    ber: ber.rate(),
+                    standard,
+                    winograd,
+                }
             })
             .collect();
         NetworkSweepReport {
@@ -224,14 +251,16 @@ impl FaultToleranceCampaign {
                         ber,
                         &ProtectionPlan::none(),
                     ),
-                    neuron_level_standard: self
-                        .accuracy_neuron_level(ConvAlgorithm::Standard, ber),
+                    neuron_level_standard: self.accuracy_neuron_level(ConvAlgorithm::Standard, ber),
                     neuron_level_winograd: self
                         .accuracy_neuron_level(ConvAlgorithm::winograd_default(), ber),
                 }
             })
             .collect();
-        GranularityReport { model: self.quantized.name().to_string(), rows }
+        GranularityReport {
+            model: self.quantized.name().to_string(),
+            rows,
+        }
     }
 
     /// Operation-type sensitivity (Figure 4): accuracy when all additions or
@@ -271,7 +300,10 @@ impl FaultToleranceCampaign {
                 }
             })
             .collect();
-        OpTypeReport { model: self.quantized.name().to_string(), rows }
+        OpTypeReport {
+            model: self.quantized.name().to_string(),
+            rows,
+        }
     }
 }
 
@@ -316,8 +348,7 @@ impl fmt::Display for NetworkSweepReport {
             self.width,
             pct(self.clean_accuracy)
         )?;
-        let mut table =
-            TextTable::new(&["BER", "ST-Conv %", "WG-Conv %", "improvement %"]);
+        let mut table = TextTable::new(&["BER", "ST-Conv %", "WG-Conv %", "improvement %"]);
         for row in &self.rows {
             table.push_row(vec![
                 sci(row.ber),
@@ -356,7 +387,11 @@ pub struct GranularityReport {
 
 impl fmt::Display for GranularityReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} — operation-level vs neuron-level fault injection", self.model)?;
+        writeln!(
+            f,
+            "{} — operation-level vs neuron-level fault injection",
+            self.model
+        )?;
         let mut table = TextTable::new(&[
             "BER",
             "op-level ST %",

@@ -58,7 +58,10 @@ impl CampaignConfig {
         Self {
             spec: SyntheticSpec::tiny(),
             train_per_class: 40,
-            train_config: TrainConfig { epochs: 5, ..TrainConfig::fast() },
+            train_config: TrainConfig {
+                epochs: 5,
+                ..TrainConfig::fast()
+            },
             eval_images: 32,
             ..Self::new(model, width)
         }
@@ -124,7 +127,10 @@ mod tests {
         assert_eq!(c.eval_images, 7);
         assert_eq!(c.base_seed, 9);
         assert_eq!(c.fault_model, FaultModel::ResultOnly);
-        assert_eq!(c.cache_dir.as_deref(), Some(std::path::Path::new("/tmp/zoo")));
+        assert_eq!(
+            c.cache_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/zoo"))
+        );
         assert_eq!(c.spec, SyntheticSpec::tiny());
         assert_eq!(c.train_config.epochs, TrainConfig::fast().epochs);
     }

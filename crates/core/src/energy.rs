@@ -38,7 +38,11 @@ impl ScalingScheme {
     /// All three schemes in the paper's order.
     #[must_use]
     pub const fn all() -> [ScalingScheme; 3] {
-        [ScalingScheme::Standard, ScalingScheme::WinogradUnaware, ScalingScheme::WinogradAware]
+        [
+            ScalingScheme::Standard,
+            ScalingScheme::WinogradUnaware,
+            ScalingScheme::WinogradAware,
+        ]
     }
 
     /// The paper's label.
@@ -103,8 +107,7 @@ pub struct VoltageSweepReport {
 impl fmt::Display for VoltageSweepReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{} — voltage vs bit error rate and accuracy", self.model)?;
-        let mut table =
-            TextTable::new(&["voltage V", "BER", "ST-Conv %", "WG-Conv %"]);
+        let mut table = TextTable::new(&["voltage V", "BER", "ST-Conv %", "WG-Conv %"]);
         for row in &self.rows {
             table.push_row(vec![
                 format!("{:.3}", row.voltage),
@@ -180,8 +183,7 @@ impl EnergyTableReport {
         mean(self.rows.iter().filter_map(|row| {
             let unaware = row.scheme(ScalingScheme::WinogradUnaware)?;
             let aware = row.scheme(ScalingScheme::WinogradAware)?;
-            (unaware.energy_joules > 0.0)
-                .then(|| 1.0 - aware.energy_joules / unaware.energy_joules)
+            (unaware.energy_joules > 0.0).then(|| 1.0 - aware.energy_joules / unaware.energy_joules)
         }))
     }
 }
@@ -214,7 +216,12 @@ impl fmt::Display for EnergyTableReport {
         for row in &self.rows {
             let cell = |scheme: ScalingScheme| -> (String, String) {
                 row.scheme(scheme)
-                    .map(|s| (format!("{:.3}", s.normalized_energy), format!("{:.3}", s.voltage)))
+                    .map(|s| {
+                        (
+                            format!("{:.3}", s.normalized_energy),
+                            format!("{:.3}", s.voltage),
+                        )
+                    })
                     .unwrap_or_else(|| ("-".into(), "-".into()))
             };
             let (st, st_v) = cell(ScalingScheme::Standard);
@@ -248,7 +255,13 @@ impl<'a> VoltageScalingStudy<'a> {
     #[must_use]
     pub fn new(campaign: &'a FaultToleranceCampaign, accelerator: Accelerator) -> Self {
         let workloads = LayerWorkload::from_network(&campaign.trained().network);
-        Self { campaign, accelerator, workloads, voltage_step: 0.01, accuracy_cache: BTreeMap::new() }
+        Self {
+            campaign,
+            accelerator,
+            workloads,
+            voltage_step: 0.01,
+            accuracy_cache: BTreeMap::new(),
+        }
     }
 
     /// Override the voltage search granularity (default 10 mV).
@@ -268,11 +281,16 @@ impl<'a> VoltageScalingStudy<'a> {
         if ber.is_zero() {
             return self.campaign.clean_accuracy();
         }
-        let key = (ber.rate().to_bits(), matches!(algo, ConvAlgorithm::Winograd(_)));
+        let key = (
+            ber.rate().to_bits(),
+            matches!(algo, ConvAlgorithm::Winograd(_)),
+        );
         if let Some(&cached) = self.accuracy_cache.get(&key) {
             return cached;
         }
-        let accuracy = self.campaign.accuracy_under(algo, ber, &ProtectionPlan::none());
+        let accuracy = self
+            .campaign
+            .accuracy_under(algo, ber, &ProtectionPlan::none());
         self.accuracy_cache.insert(key, accuracy);
         accuracy
     }
@@ -294,13 +312,20 @@ impl<'a> VoltageScalingStudy<'a> {
                 winograd_accuracy: self.accuracy_at(ConvAlgorithm::winograd_default(), ber),
             });
         }
-        Ok(VoltageSweepReport { model: self.campaign.quantized().name().to_string(), rows })
+        Ok(VoltageSweepReport {
+            model: self.campaign.quantized().name().to_string(),
+            rows,
+        })
     }
 
     /// Lowest voltage (searched downwards from nominal in `voltage_step`
     /// increments) at which the scheme's believed accuracy stays above
     /// `clean - accuracy_loss`.
-    fn choose_voltage(&mut self, scheme: ScalingScheme, accuracy_loss: f64) -> Result<f64, CoreError> {
+    fn choose_voltage(
+        &mut self,
+        scheme: ScalingScheme,
+        accuracy_loss: f64,
+    ) -> Result<f64, CoreError> {
         let clean = self.campaign.clean_accuracy();
         let threshold = clean - accuracy_loss;
         let nominal = self.accelerator.voltage_model().nominal_voltage();
@@ -327,7 +352,10 @@ impl<'a> VoltageScalingStudy<'a> {
     /// # Errors
     ///
     /// Propagates accelerator-model errors.
-    pub fn energy_table(&mut self, accuracy_losses: &[f64]) -> Result<EnergyTableReport, CoreError> {
+    pub fn energy_table(
+        &mut self,
+        accuracy_losses: &[f64],
+    ) -> Result<EnergyTableReport, CoreError> {
         let baseline = self
             .accelerator
             .nominal_report(&self.workloads, ConvAlgorithm::Standard)?
@@ -337,8 +365,11 @@ impl<'a> VoltageScalingStudy<'a> {
             let mut schemes = Vec::with_capacity(3);
             for scheme in ScalingScheme::all() {
                 let voltage = self.choose_voltage(scheme, loss)?;
-                let report =
-                    self.accelerator.report(&self.workloads, scheme.execution_algorithm(), voltage)?;
+                let report = self.accelerator.report(
+                    &self.workloads,
+                    scheme.execution_algorithm(),
+                    voltage,
+                )?;
                 let ber = self.accelerator.ber_at(voltage)?;
                 let achieved = self.accuracy_at(scheme.execution_algorithm(), ber);
                 schemes.push(SchemeEnergyRow {
@@ -349,7 +380,10 @@ impl<'a> VoltageScalingStudy<'a> {
                     achieved_accuracy: achieved,
                 });
             }
-            rows.push(EnergyTableRow { accuracy_loss: loss, schemes });
+            rows.push(EnergyTableRow {
+                accuracy_loss: loss,
+                schemes,
+            });
         }
         Ok(EnergyTableReport {
             model: self.campaign.quantized().name().to_string(),

@@ -75,11 +75,17 @@ mod tests {
         let e = CoreError::from(NnError::EmptyNetwork);
         assert!(e.to_string().contains("network error"));
         assert!(e.source().is_some());
-        let e = CoreError::from(AccelError::NonPositiveParameter { name: "rows", value: 0.0 });
+        let e = CoreError::from(AccelError::NonPositiveParameter {
+            name: "rows",
+            value: 0.0,
+        });
         assert!(e.to_string().contains("accelerator"));
         let e = CoreError::from(FaultSimError::InvalidBitErrorRate { value: 7.0 });
         assert!(e.to_string().contains("fault injection"));
-        let e = CoreError::InvalidParameter { name: "eval_images", reason: "zero".into() };
+        let e = CoreError::InvalidParameter {
+            name: "eval_images",
+            reason: "zero".into(),
+        };
         assert!(e.to_string().contains("eval_images"));
         assert!(e.source().is_none());
     }

@@ -17,7 +17,10 @@ impl TextTable {
     /// Create a table with the given column headers.
     #[must_use]
     pub fn new(header: &[&str]) -> Self {
-        Self { header: header.iter().map(|s| (*s).to_string()).collect(), rows: Vec::new() }
+        Self {
+            header: header.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Append a data row (shorter rows are padded with empty cells).
@@ -40,7 +43,10 @@ impl TextTable {
 
 impl fmt::Display for TextTable {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let columns = self.header.len().max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let columns = self
+            .header
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut widths = vec![0usize; columns];
         for (i, h) in self.header.iter().enumerate() {
             widths[i] = widths[i].max(h.len());
@@ -61,7 +67,8 @@ impl fmt::Display for TextTable {
             writeln!(f)
         };
         write_row(f, &self.header)?;
-        let total_width: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let total_width: usize =
+            widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
         writeln!(f, "{}", "-".repeat(total_width))?;
         for row in &self.rows {
             write_row(f, row)?;

@@ -43,7 +43,11 @@ impl TmrScheme {
     /// All three schemes in the paper's order.
     #[must_use]
     pub const fn all() -> [TmrScheme; 3] {
-        [TmrScheme::Standard, TmrScheme::WinogradUnaware, TmrScheme::WinogradAware]
+        [
+            TmrScheme::Standard,
+            TmrScheme::WinogradUnaware,
+            TmrScheme::WinogradAware,
+        ]
     }
 
     /// The paper's label for the scheme.
@@ -100,7 +104,12 @@ pub struct TmrPlanner {
 
 impl Default for TmrPlanner {
     fn default() -> Self {
-        Self { step_fraction: 0.5, mul_cost: 1.0, add_cost: 0.25, max_iterations: 40 }
+        Self {
+            step_fraction: 0.5,
+            mul_cost: 1.0,
+            add_cost: 0.25,
+            max_iterations: 40,
+        }
     }
 }
 
@@ -155,7 +164,11 @@ impl TmrPlanner {
         let vulnerability = campaign.layer_vulnerability(ber.rate());
         let factors = vulnerability.vulnerability_factors(measure_algo);
         let mut order: Vec<usize> = (0..factors.len()).collect();
-        order.sort_by(|&a, &b| factors[b].partial_cmp(&factors[a]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            factors[b]
+                .partial_cmp(&factors[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         let layer_count = campaign.quantized().compute_layer_count();
         let mut plan = ProtectionPlan::none();
@@ -232,9 +245,18 @@ impl TmrPlanner {
             let standard = self.plan(campaign, TmrScheme::Standard, target, ber)?;
             let unaware = self.plan(campaign, TmrScheme::WinogradUnaware, target, ber)?;
             let aware = self.plan(campaign, TmrScheme::WinogradAware, target, ber)?;
-            rows.push(TmrTableRow { target, standard, unaware, aware });
+            rows.push(TmrTableRow {
+                target,
+                standard,
+                unaware,
+                aware,
+            });
         }
-        Ok(TmrReport { model: campaign.quantized().name().to_string(), ber, rows })
+        Ok(TmrReport {
+            model: campaign.quantized().name().to_string(),
+            ber,
+            rows,
+        })
     }
 }
 
@@ -298,9 +320,12 @@ impl TmrReport {
     /// fault-tolerance-unaware winograd (the paper reports 27.49 %).
     #[must_use]
     pub fn mean_reduction_vs_unaware(&self) -> f64 {
-        mean(self.rows.iter().filter(|r| r.unaware.overhead_cost > 0.0).map(|r| {
-            1.0 - r.aware.overhead_cost / r.unaware.overhead_cost
-        }))
+        mean(
+            self.rows
+                .iter()
+                .filter(|r| r.unaware.overhead_cost > 0.0)
+                .map(|r| 1.0 - r.aware.overhead_cost / r.unaware.overhead_cost),
+        )
     }
 }
 
@@ -315,7 +340,12 @@ fn mean(values: impl Iterator<Item = f64>) -> f64 {
 
 impl fmt::Display for TmrReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{} — normalized TMR overhead at BER {}", self.model, sci(self.ber))?;
+        writeln!(
+            f,
+            "{} — normalized TMR overhead at BER {}",
+            self.model,
+            sci(self.ber)
+        )?;
         let mut table = TextTable::new(&[
             "target %",
             "ST-Conv",

@@ -4,8 +4,10 @@
 //! step, so all tests share one prepared campaign through a `OnceLock`.
 
 use std::sync::OnceLock;
-use wgft_core::{CampaignConfig, FaultToleranceCampaign, TmrPlanner, TmrScheme, VoltageScalingStudy};
 use wgft_accel::Accelerator;
+use wgft_core::{
+    CampaignConfig, FaultToleranceCampaign, TmrPlanner, TmrScheme, VoltageScalingStudy,
+};
 use wgft_faultsim::{BitErrorRate, OpType, ProtectionPlan};
 use wgft_fixedpoint::BitWidth;
 use wgft_nn::models::ModelKind;
@@ -82,9 +84,18 @@ fn winograd_and_standard_tolerance_are_comparable_at_the_cliff() {
         (wg_total - st_total).abs() <= slack,
         "winograd ({wg_total}) and standard ({st_total}) should sit on the same accuracy cliff"
     );
-    let st_muls = campaign.quantized().total_op_count(ConvAlgorithm::Standard).mul;
-    let wg_muls = campaign.quantized().total_op_count(ConvAlgorithm::winograd_default()).mul;
-    assert!(wg_muls * 3 < st_muls * 2, "winograd must execute far fewer multiplications");
+    let st_muls = campaign
+        .quantized()
+        .total_op_count(ConvAlgorithm::Standard)
+        .mul;
+    let wg_muls = campaign
+        .quantized()
+        .total_op_count(ConvAlgorithm::winograd_default())
+        .mul;
+    assert!(
+        wg_muls * 3 < st_muls * 2,
+        "winograd must execute far fewer multiplications"
+    );
 }
 
 #[test]
@@ -124,7 +135,10 @@ fn protecting_multiplications_recovers_more_accuracy_than_additions() {
         mul >= campaign.clean_accuracy() - 0.1,
         "fault-free multiplications ({mul}) should nearly restore the clean accuracy"
     );
-    assert!(mul > unprotected, "protecting multiplications must help at the cliff");
+    assert!(
+        mul > unprotected,
+        "protecting multiplications must help at the cliff"
+    );
 }
 
 #[test]
@@ -154,7 +168,10 @@ fn network_sweep_report_renders_and_is_monotone_at_extremes() {
 fn layer_vulnerability_reports_every_compute_layer() {
     let campaign = campaign();
     let report = campaign.layer_vulnerability(MID_BER);
-    assert_eq!(report.rows.len(), campaign.quantized().compute_layer_count());
+    assert_eq!(
+        report.rows.len(),
+        campaign.quantized().compute_layer_count()
+    );
     // Winograd reduces the multiplication count of every 3x3 layer.
     let st_muls: u64 = report.rows.iter().map(|r| r.standard_muls).sum();
     let wg_muls: u64 = report.rows.iter().map(|r| r.winograd_muls).sum();
@@ -169,7 +186,11 @@ fn layer_vulnerability_reports_every_compute_layer() {
 #[test]
 fn tmr_planner_meets_reachable_targets_and_winograd_aware_is_cheapest() {
     let campaign = campaign();
-    let planner = TmrPlanner { step_fraction: 0.5, max_iterations: 20, ..TmrPlanner::default() };
+    let planner = TmrPlanner {
+        step_fraction: 0.5,
+        max_iterations: 20,
+        ..TmrPlanner::default()
+    };
     // A target halfway between the faulty and clean accuracy is reachable.
     let clean = campaign.clean_accuracy();
     let faulty = campaign.accuracy_under(
@@ -183,7 +204,10 @@ fn tmr_planner_meets_reachable_targets_and_winograd_aware_is_cheapest() {
         .expect("planning must succeed");
     assert_eq!(report.rows.len(), 1);
     let row = &report.rows[0];
-    assert!(row.standard.overhead_cost > 0.0, "protection must not be free for ST-Conv");
+    assert!(
+        row.standard.overhead_cost > 0.0,
+        "protection must not be free for ST-Conv"
+    );
     // The fault-tolerance-unaware winograd scheme sizes its protection on the
     // same standard-convolution curve as ST-Conv but charges it against the
     // winograd operation counts, so its overhead can only be lower — this is
@@ -203,13 +227,17 @@ fn tmr_planner_meets_reachable_targets_and_winograd_aware_is_cheapest() {
 #[test]
 fn voltage_scaling_study_produces_consistent_operating_points() {
     let campaign = campaign();
-    let mut study = VoltageScalingStudy::new(campaign, Accelerator::paper_default())
-        .with_voltage_step(0.02);
-    let sweep = study.voltage_sweep(&[0.74, 0.78, 0.82, 0.9]).expect("sweep must succeed");
+    let mut study =
+        VoltageScalingStudy::new(campaign, Accelerator::paper_default()).with_voltage_step(0.02);
+    let sweep = study
+        .voltage_sweep(&[0.74, 0.78, 0.82, 0.9])
+        .expect("sweep must succeed");
     assert_eq!(sweep.rows.len(), 4);
     // Higher voltage -> lower BER.
     assert!(sweep.rows[0].ber >= sweep.rows[3].ber);
-    let table = study.energy_table(&[0.05, 0.10]).expect("energy table must succeed");
+    let table = study
+        .energy_table(&[0.05, 0.10])
+        .expect("energy table must succeed");
     assert_eq!(table.rows.len(), 2);
     for row in &table.rows {
         let st = row.scheme(wgft_core::ScalingScheme::Standard).unwrap();
@@ -222,8 +250,18 @@ fn voltage_scaling_study_produces_consistent_operating_points() {
         // A larger tolerated loss can only lower (or keep) the chosen voltage.
         assert!(aware.voltage >= study.accelerator().voltage_model().min_voltage() - 1e-9);
     }
-    let relaxed = table.rows.last().unwrap().scheme(wgft_core::ScalingScheme::Standard).unwrap();
-    let strict = table.rows.first().unwrap().scheme(wgft_core::ScalingScheme::Standard).unwrap();
+    let relaxed = table
+        .rows
+        .last()
+        .unwrap()
+        .scheme(wgft_core::ScalingScheme::Standard)
+        .unwrap();
+    let strict = table
+        .rows
+        .first()
+        .unwrap()
+        .scheme(wgft_core::ScalingScheme::Standard)
+        .unwrap();
     assert!(relaxed.voltage <= strict.voltage + 1e-9);
     assert!(table.to_string().contains("mean energy reduction"));
 }
@@ -243,4 +281,49 @@ fn tmr_scheme_and_scaling_scheme_labels_match_the_paper() {
         TmrScheme::WinogradUnaware.execution_algorithm(),
         ConvAlgorithm::winograd_default()
     );
+}
+
+/// The rayon-parallel `accuracy_under` must be bit-identical to a serial
+/// evaluation: every image derives its own fault seed from the base seed, so
+/// parallelism cannot change any per-image outcome, and the outcomes are
+/// summed in image order.
+#[test]
+fn parallel_accuracy_is_bit_identical_to_serial() {
+    use wgft_faultsim::{FaultConfig, FaultyArithmetic};
+
+    let campaign = campaign();
+    let ber = BitErrorRate::new(MID_BER);
+    let protection = ProtectionPlan::none();
+    for algo in [ConvAlgorithm::Standard, ConvAlgorithm::winograd_default()] {
+        let parallel = campaign.accuracy_under(algo, ber, &protection);
+
+        // Serial reference with the campaign's exact seed derivation.
+        let mut correct = 0usize;
+        for (i, sample) in campaign.eval_set().iter().enumerate() {
+            let config = FaultConfig {
+                ber,
+                width: campaign.config().width,
+                model: campaign.config().fault_model,
+                protection: protection.clone(),
+            };
+            let seed = campaign.config().base_seed.wrapping_add(1 + i as u64);
+            let mut arith = FaultyArithmetic::new(config, seed);
+            let predicted = campaign
+                .quantized()
+                .classify(&sample.image, &mut arith, algo)
+                .unwrap_or(usize::MAX);
+            if predicted == sample.label {
+                correct += 1;
+            }
+        }
+        let serial = correct as f64 / campaign.eval_set().len().max(1) as f64;
+
+        assert!(
+            parallel.to_bits() == serial.to_bits(),
+            "{algo:?}: parallel {parallel} must be bit-identical to serial {serial}"
+        );
+        // And repeated parallel evaluations are deterministic.
+        let again = campaign.accuracy_under(algo, ber, &protection);
+        assert_eq!(parallel.to_bits(), again.to_bits());
+    }
 }

@@ -26,7 +26,10 @@ impl Dataset {
     /// Build a dataset from labelled samples.
     #[must_use]
     pub fn new(samples: Vec<Sample>, num_classes: usize) -> Self {
-        Self { samples, num_classes }
+        Self {
+            samples,
+            num_classes,
+        }
     }
 
     /// Generate a synthetic dataset with `per_class` samples per class.
@@ -37,7 +40,10 @@ impl Dataset {
             .into_iter()
             .map(|(image, label)| Sample { image, label })
             .collect();
-        Self { samples, num_classes: spec.num_classes }
+        Self {
+            samples,
+            num_classes: spec.num_classes,
+        }
     }
 
     /// Number of samples.
@@ -84,8 +90,14 @@ impl Dataset {
     #[must_use]
     pub fn split(&self, train_fraction: f64) -> (Self, Self) {
         let cut = ((self.samples.len() as f64) * train_fraction.clamp(0.0, 1.0)).round() as usize;
-        let train = Self { samples: self.samples[..cut].to_vec(), num_classes: self.num_classes };
-        let test = Self { samples: self.samples[cut..].to_vec(), num_classes: self.num_classes };
+        let train = Self {
+            samples: self.samples[..cut].to_vec(),
+            num_classes: self.num_classes,
+        };
+        let test = Self {
+            samples: self.samples[cut..].to_vec(),
+            num_classes: self.num_classes,
+        };
         (train, test)
     }
 
@@ -95,7 +107,10 @@ impl Dataset {
         let mut samples = self.samples.clone();
         let mut rng = SmallRng::seed_from_u64(seed);
         samples.shuffle(&mut rng);
-        Self { samples, num_classes: self.num_classes }
+        Self {
+            samples,
+            num_classes: self.num_classes,
+        }
     }
 }
 

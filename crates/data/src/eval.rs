@@ -24,11 +24,19 @@ pub fn argmax(logits: &[f32]) -> usize {
 /// Panics if the two slices have different lengths.
 #[must_use]
 pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
-    assert_eq!(predictions.len(), labels.len(), "predictions and labels must align");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions and labels must align"
+    );
     if predictions.is_empty() {
         return 0.0;
     }
-    let correct = predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
+    let correct = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
     correct as f64 / predictions.len() as f64
 }
 
@@ -43,10 +51,17 @@ pub fn confusion_matrix(
     labels: &[usize],
     num_classes: usize,
 ) -> Vec<Vec<u64>> {
-    assert_eq!(predictions.len(), labels.len(), "predictions and labels must align");
+    assert_eq!(
+        predictions.len(),
+        labels.len(),
+        "predictions and labels must align"
+    );
     let mut matrix = vec![vec![0u64; num_classes]; num_classes];
     for (&p, &l) in predictions.iter().zip(labels) {
-        assert!(l < num_classes && p < num_classes, "label/prediction out of range");
+        assert!(
+            l < num_classes && p < num_classes,
+            "label/prediction out of range"
+        );
         matrix[l][p] += 1;
     }
     matrix

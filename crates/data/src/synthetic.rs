@@ -32,13 +32,25 @@ impl SyntheticSpec {
     /// 3-channel 16x16 images (a scaled-down stand-in for CIFAR).
     #[must_use]
     pub fn small() -> Self {
-        Self { num_classes: 8, channels: 3, height: 16, width: 16, noise: 0.25 }
+        Self {
+            num_classes: 8,
+            channels: 3,
+            height: 16,
+            width: 16,
+            noise: 0.25,
+        }
     }
 
     /// A tiny task for fast unit tests: 4 classes of 1-channel 8x8 images.
     #[must_use]
     pub fn tiny() -> Self {
-        Self { num_classes: 4, channels: 1, height: 8, width: 8, noise: 0.15 }
+        Self {
+            num_classes: 4,
+            channels: 1,
+            height: 8,
+            width: 8,
+            noise: 0.15,
+        }
     }
 
     /// Number of values per image.
@@ -143,7 +155,10 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .sum::<f32>()
             / p0a.len() as f32;
-        assert!(diff > 0.1, "prototypes of different classes must differ, got mean diff {diff}");
+        assert!(
+            diff > 0.1,
+            "prototypes of different classes must differ, got mean diff {diff}"
+        );
     }
 
     #[test]
@@ -159,7 +174,10 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .sum::<f32>()
             / proto.len() as f32;
-        assert!(diff > 0.0 && diff < 3.0 * s.noise, "noise level out of range: {diff}");
+        assert!(
+            diff > 0.0 && diff < 3.0 * s.noise,
+            "noise level out of range: {diff}"
+        );
     }
 
     #[test]
@@ -174,7 +192,10 @@ mod tests {
             assert_eq!(count, 5);
         }
         let c = s.generate(5, 43);
-        assert_ne!(a[0].0, c[0].0, "different seeds must give different samples");
+        assert_ne!(
+            a[0].0, c[0].0,
+            "different seeds must give different samples"
+        );
     }
 
     #[test]

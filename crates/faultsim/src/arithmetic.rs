@@ -102,7 +102,12 @@ impl FaultConfig {
     /// A configuration with the default (paper) fault model and no protection.
     #[must_use]
     pub fn new(ber: BitErrorRate, width: BitWidth) -> Self {
-        Self { ber, width, model: FaultModel::default(), protection: ProtectionPlan::none() }
+        Self {
+            ber,
+            width,
+            model: FaultModel::default(),
+            protection: ProtectionPlan::none(),
+        }
     }
 
     /// Replace the fault model.
@@ -187,10 +192,14 @@ impl FaultyArithmetic {
     }
 
     fn refresh_protection(&mut self) {
-        self.mul_protection =
-            self.config.protection.protection_probability(self.current_layer, OpType::Mul);
-        self.add_protection =
-            self.config.protection.protection_probability(self.current_layer, OpType::Add);
+        self.mul_protection = self
+            .config
+            .protection
+            .protection_probability(self.current_layer, OpType::Mul);
+        self.add_protection = self
+            .config
+            .protection
+            .protection_probability(self.current_layer, OpType::Add);
     }
 
     /// Decrement the fault countdown; returns true when a fault strikes this op.
@@ -239,10 +248,12 @@ impl Arithmetic for FaultyArithmetic {
             return a * b;
         }
         if self.fault_is_masked(OpType::Mul) {
-            self.counters.record_fault_masked(self.current_layer, OpType::Mul);
+            self.counters
+                .record_fault_masked(self.current_layer, OpType::Mul);
             return a * b;
         }
-        self.counters.record_fault_injected(self.current_layer, OpType::Mul);
+        self.counters
+            .record_fault_injected(self.current_layer, OpType::Mul);
         let w = self.config.width.bits();
         match self.config.model {
             FaultModel::OperandMulResultAdd | FaultModel::OperandOnly => {
@@ -269,10 +280,12 @@ impl Arithmetic for FaultyArithmetic {
             return a + b;
         }
         if self.fault_is_masked(OpType::Add) {
-            self.counters.record_fault_masked(self.current_layer, OpType::Add);
+            self.counters
+                .record_fault_masked(self.current_layer, OpType::Add);
             return a + b;
         }
-        self.counters.record_fault_injected(self.current_layer, OpType::Add);
+        self.counters
+            .record_fault_injected(self.current_layer, OpType::Add);
         let w = self.config.width.bits();
         match self.config.model {
             FaultModel::OperandMulResultAdd | FaultModel::ResultOnly => {
@@ -387,7 +400,11 @@ mod tests {
         let mut f = FaultyArithmetic::new(config, 11);
         f.begin_layer(0);
         for i in 0..100i64 {
-            assert_eq!(f.mul(i % 50, 2), (i % 50) * 2, "protected op must stay correct");
+            assert_eq!(
+                f.mul(i % 50, 2),
+                (i % 50) * 2,
+                "protected op must stay correct"
+            );
         }
         assert_eq!(f.faults_injected(), 0);
         assert_eq!(f.faults_masked(), 100);
@@ -416,8 +433,9 @@ mod tests {
 
     #[test]
     fn fractional_protection_masks_roughly_that_fraction() {
-        let protection =
-            ProtectionPlan::none().with_fraction(0, OpType::Mul, 0.7).unwrap();
+        let protection = ProtectionPlan::none()
+            .with_fraction(0, OpType::Mul, 0.7)
+            .unwrap();
         let config =
             FaultConfig::new(BitErrorRate::new(1.0), BitWidth::W8).with_protection(protection);
         let mut f = FaultyArithmetic::new(config, 13);
@@ -428,7 +446,10 @@ mod tests {
         }
         let masked = f.faults_masked() as f64;
         let ratio = masked / n as f64;
-        assert!((ratio - 0.7).abs() < 0.03, "masked ratio {ratio} should be close to 0.7");
+        assert!(
+            (ratio - 0.7).abs() < 0.03,
+            "masked ratio {ratio} should be close to 0.7"
+        );
     }
 
     #[test]
@@ -480,9 +501,15 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(99);
         let p = 0.01;
         let n = 20_000;
-        let sum: f64 = (0..n).map(|_| sample_geometric_gap(p, &mut rng) as f64).sum();
+        let sum: f64 = (0..n)
+            .map(|_| sample_geometric_gap(p, &mut rng) as f64)
+            .sum();
         let mean = sum / n as f64;
-        assert!((mean - 1.0 / p).abs() < 5.0, "mean gap {mean} should be near {}", 1.0 / p);
+        assert!(
+            (mean - 1.0 / p).abs() < 5.0,
+            "mean gap {mean} should be near {}",
+            1.0 / p
+        );
     }
 
     #[test]

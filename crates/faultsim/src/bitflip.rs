@@ -26,7 +26,11 @@ impl FaultModel {
     /// All supported fault models (used by the ablation bench).
     #[must_use]
     pub const fn all() -> [FaultModel; 3] {
-        [FaultModel::OperandMulResultAdd, FaultModel::ResultOnly, FaultModel::OperandOnly]
+        [
+            FaultModel::OperandMulResultAdd,
+            FaultModel::ResultOnly,
+            FaultModel::OperandOnly,
+        ]
     }
 
     /// Human-readable label.
@@ -60,8 +64,11 @@ pub fn flip_bit_within(value: i64, bit: u32, width_bits: u32) -> i64 {
     let mask: u64 = (1u64 << width_bits) - 1;
     let truncated = (value as u64) & mask;
     let sign_bit = 1u64 << (width_bits - 1);
-    let sign_extended =
-        if truncated & sign_bit != 0 { (truncated | !mask) as i64 } else { truncated as i64 };
+    let sign_extended = if truncated & sign_bit != 0 {
+        (truncated | !mask) as i64
+    } else {
+        truncated as i64
+    };
     if sign_extended == value {
         // The value fits in the storage word: flip inside the word and
         // sign-extend the result, exactly as the hardware register would hold it.

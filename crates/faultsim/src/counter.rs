@@ -45,7 +45,10 @@ impl Add for OpCount {
     type Output = OpCount;
 
     fn add(self, rhs: OpCount) -> OpCount {
-        OpCount { mul: self.mul + rhs.mul, add: self.add + rhs.add }
+        OpCount {
+            mul: self.mul + rhs.mul,
+            add: self.add + rhs.add,
+        }
     }
 }
 
@@ -95,19 +98,25 @@ impl OpCounters {
     /// Total executed operations across all layers.
     #[must_use]
     pub fn total(&self) -> OpCount {
-        self.layers.iter().fold(OpCount::default(), |acc, l| acc + l.executed)
+        self.layers
+            .iter()
+            .fold(OpCount::default(), |acc, l| acc + l.executed)
     }
 
     /// Total faults injected across all layers.
     #[must_use]
     pub fn total_faults_injected(&self) -> OpCount {
-        self.layers.iter().fold(OpCount::default(), |acc, l| acc + l.faults_injected)
+        self.layers
+            .iter()
+            .fold(OpCount::default(), |acc, l| acc + l.faults_injected)
     }
 
     /// Total faults masked by protection across all layers.
     #[must_use]
     pub fn total_faults_masked(&self) -> OpCount {
-        self.layers.iter().fold(OpCount::default(), |acc, l| acc + l.faults_masked)
+        self.layers
+            .iter()
+            .fold(OpCount::default(), |acc, l| acc + l.faults_masked)
     }
 
     /// Record one executed operation.
@@ -141,7 +150,8 @@ impl OpCounters {
     /// over a whole evaluation set).
     pub fn merge(&mut self, other: &OpCounters) {
         if other.layers.len() > self.layers.len() {
-            self.layers.resize(other.layers.len(), LayerOpCount::default());
+            self.layers
+                .resize(other.layers.len(), LayerOpCount::default());
         }
         for (dst, src) in self.layers.iter_mut().zip(other.layers.iter()) {
             dst.executed += src.executed;

@@ -32,7 +32,11 @@ impl NeuronLevelInjector {
     /// Create an injector with a deterministic seed.
     #[must_use]
     pub fn new(ber: BitErrorRate, width: BitWidth, seed: u64) -> Self {
-        Self { ber, width, rng: SmallRng::seed_from_u64(seed) }
+        Self {
+            ber,
+            width,
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// The configured bit error rate.
@@ -110,7 +114,10 @@ mod tests {
         let mut inj = NeuronLevelInjector::new(BitErrorRate::new(0.5), BitWidth::W8, 2);
         let mut values = vec![1i32; 1000];
         let corrupted = inj.corrupt_layer(&mut values, 10);
-        assert!(corrupted > 900, "expected nearly all corrupted, got {corrupted}");
+        assert!(
+            corrupted > 900,
+            "expected nearly all corrupted, got {corrupted}"
+        );
     }
 
     #[test]
@@ -122,7 +129,10 @@ mod tests {
         };
         let few = run(1);
         let many = run(1000);
-        assert!(many > few * 10, "ops_per_neuron=1000 ({many}) should corrupt far more than 1 ({few})");
+        assert!(
+            many > few * 10,
+            "ops_per_neuron=1000 ({many}) should corrupt far more than 1 ({few})"
+        );
     }
 
     #[test]
@@ -131,7 +141,10 @@ mod tests {
         let mut values = vec![100i32; 500];
         inj.corrupt_layer(&mut values, 5);
         for &v in &values {
-            assert!(v >= -128 && v <= 255, "value {v} escaped the modelled word width");
+            assert!(
+                (-128..=255).contains(&v),
+                "value {v} escaped the modelled word width"
+            );
         }
     }
 
@@ -147,7 +160,10 @@ mod tests {
         let p_dense = expect(2e-3, 1, 100_000, 5); // p ~ 1.6e-2 -> dense path
         let p_sparse = expect(2e-4, 1, 100_000, 6); // p ~ 1.6e-3 -> sparse path
         assert!((p_dense - 0.016).abs() < 0.004, "dense fraction {p_dense}");
-        assert!((p_sparse - 0.0016).abs() < 0.0008, "sparse fraction {p_sparse}");
+        assert!(
+            (p_sparse - 0.0016).abs() < 0.0008,
+            "sparse fraction {p_sparse}"
+        );
     }
 
     #[test]

@@ -268,7 +268,9 @@ mod tests {
 
     #[test]
     fn duplicate_fault_free_layer_is_ignored() {
-        let plan = ProtectionPlan::none().with_fault_free_layer(1).with_fault_free_layer(1);
+        let plan = ProtectionPlan::none()
+            .with_fault_free_layer(1)
+            .with_fault_free_layer(1);
         assert_eq!(plan.fault_free_layers(), &[1]);
     }
 
@@ -277,8 +279,7 @@ mod tests {
         let mut plan = ProtectionPlan::none();
         plan.protect_fraction(0, OpType::Mul, 0.5).unwrap();
         plan.protect_fraction(1, OpType::Add, 1.0).unwrap();
-        let layer_ops =
-            vec![OpCount { mul: 100, add: 200 }, OpCount { mul: 10, add: 40 }];
+        let layer_ops = vec![OpCount { mul: 100, add: 200 }, OpCount { mul: 10, add: 40 }];
         let protected = plan.protected_ops(&layer_ops);
         assert_eq!(protected.mul, 50);
         assert_eq!(protected.add, 40);

@@ -22,12 +22,18 @@ pub enum FixedPointError {
 impl fmt::Display for FixedPointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FixedPointError::FracBitsTooLarge { frac_bits, width_bits } => write!(
+            FixedPointError::FracBitsTooLarge {
+                frac_bits,
+                width_bits,
+            } => write!(
                 f,
                 "fractional bit count {frac_bits} does not fit in a {width_bits}-bit word"
             ),
             FixedPointError::EmptyCalibration => {
-                write!(f, "cannot calibrate a fixed-point format from an empty slice")
+                write!(
+                    f,
+                    "cannot calibrate a fixed-point format from an empty slice"
+                )
             }
             FixedPointError::NonFiniteCalibration => {
                 write!(f, "calibration data contained a non-finite value")
@@ -44,13 +50,20 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = FixedPointError::FracBitsTooLarge { frac_bits: 20, width_bits: 8 };
+        let e = FixedPointError::FracBitsTooLarge {
+            frac_bits: 20,
+            width_bits: 8,
+        };
         let msg = e.to_string();
         assert!(msg.contains("20"));
         assert!(msg.contains("8-bit"));
         assert!(msg.chars().next().unwrap().is_lowercase());
-        assert!(FixedPointError::EmptyCalibration.to_string().contains("empty"));
-        assert!(FixedPointError::NonFiniteCalibration.to_string().contains("non-finite"));
+        assert!(FixedPointError::EmptyCalibration
+            .to_string()
+            .contains("empty"));
+        assert!(FixedPointError::NonFiniteCalibration
+            .to_string()
+            .contains("non-finite"));
     }
 
     #[test]

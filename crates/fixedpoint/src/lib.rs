@@ -37,37 +37,62 @@ pub use error::FixedPointError;
 pub use qformat::{saturate, BitWidth, QFormat};
 pub use quantizer::Quantizer;
 
+// Property-style tests over seeded random sweeps (the build environment has
+// no proptest; a fixed-seed exhaustive-ish sweep gives the same coverage
+// deterministically).
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
 
-    proptest! {
-        #[test]
-        fn quantize_roundtrip_error_bounded(x in -100.0f32..100.0, frac in 0u32..6) {
+    #[test]
+    fn quantize_roundtrip_error_bounded() {
+        let mut rng = SmallRng::seed_from_u64(0xF1F0);
+        for _ in 0..2000 {
+            let x: f32 = rng.gen_range(-100.0f32..100.0);
+            let frac: u32 = rng.gen_range(0u32..6);
             let fmt = QFormat::new(BitWidth::W16, frac).unwrap();
             let q = fmt.quantize(x);
             let back = fmt.dequantize(q);
             // Round trip error is bounded by half a step unless saturation kicked in.
             if x.abs() < fmt.max_value() {
-                prop_assert!((back - x).abs() <= fmt.resolution());
+                assert!((back - x).abs() <= fmt.resolution(), "x={x} frac={frac}");
             } else {
-                prop_assert!(back.abs() <= fmt.max_value() + fmt.resolution());
+                assert!(
+                    back.abs() <= fmt.max_value() + fmt.resolution(),
+                    "x={x} frac={frac}"
+                );
             }
         }
+    }
 
-        #[test]
-        fn quantized_values_fit_storage(x in -1e6f32..1e6, frac in 0u32..8) {
+    #[test]
+    fn quantized_values_fit_storage() {
+        let mut rng = SmallRng::seed_from_u64(0xF1F1);
+        for _ in 0..2000 {
+            let x: f32 = rng.gen_range(-1e6f32..1e6);
+            let frac: u32 = rng.gen_range(0u32..8);
             let fmt = QFormat::new(BitWidth::W8, frac).unwrap();
             let q = fmt.quantize(x);
-            prop_assert!(q >= fmt.min_raw() && q <= fmt.max_raw());
+            assert!(
+                q >= fmt.min_raw() && q <= fmt.max_raw(),
+                "x={x} frac={frac}"
+            );
         }
+    }
 
-        #[test]
-        fn calibrated_format_covers_data(values in proptest::collection::vec(-50.0f32..50.0, 1..64)) {
-            let fmt = Quantizer::symmetric(BitWidth::W16).calibrate(&values).unwrap();
+    #[test]
+    fn calibrated_format_covers_data() {
+        let mut rng = SmallRng::seed_from_u64(0xF1F2);
+        for _ in 0..200 {
+            let len: usize = rng.gen_range(1usize..64);
+            let values: Vec<f32> = (0..len).map(|_| rng.gen_range(-50.0f32..50.0)).collect();
+            let fmt = Quantizer::symmetric(BitWidth::W16)
+                .calibrate(&values)
+                .unwrap();
             let max_abs = values.iter().fold(0.0f32, |m, v| m.max(v.abs()));
-            prop_assert!(fmt.max_value() + fmt.resolution() >= max_abs);
+            assert!(fmt.max_value() + fmt.resolution() >= max_abs);
         }
     }
 }

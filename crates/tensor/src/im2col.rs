@@ -22,7 +22,10 @@ impl Im2ColLayout {
     /// Layout for a convolution over `in_channels` input channels.
     #[must_use]
     pub fn new(geom: &ConvGeometry, in_channels: usize) -> Self {
-        Self { rows: geom.out_pixels(), cols: in_channels * geom.k_h * geom.k_w }
+        Self {
+            rows: geom.out_pixels(),
+            cols: in_channels * geom.k_h * geom.k_w,
+        }
     }
 }
 
@@ -33,7 +36,10 @@ impl Im2ColLayout {
 /// Returns [`TensorError::RankMismatch`] if `x` is not 4-D.
 pub fn im2col(x: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError> {
     if x.shape().rank() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, actual: x.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: x.shape().rank(),
+        });
     }
     let dims = x.shape().dims();
     let (c, h, w) = (dims[1], dims[2], dims[3]);
@@ -154,7 +160,10 @@ mod tests {
                     }
                     let row = oy * 4 + ox;
                     let got = gemm_out.data()[row * 3 + oc];
-                    assert!((got - acc).abs() < 1e-4, "mismatch at oc={oc} oy={oy} ox={ox}");
+                    assert!(
+                        (got - acc).abs() < 1e-4,
+                        "mismatch at oc={oc} oy={oy} ox={ox}"
+                    );
                 }
             }
         }

@@ -28,7 +28,14 @@ impl ConvGeometry {
     /// Geometry of a square-kernel, square-input convolution.
     #[must_use]
     pub fn square(in_size: usize, kernel: usize, stride: usize, padding: usize) -> Self {
-        Self { in_h: in_size, in_w: in_size, k_h: kernel, k_w: kernel, stride, padding }
+        Self {
+            in_h: in_size,
+            in_w: in_size,
+            k_h: kernel,
+            k_w: kernel,
+            stride,
+            padding,
+        }
     }
 
     /// Output height.
@@ -68,6 +75,50 @@ pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) 
     (padded - kernel) / stride + 1
 }
 
+/// Dense row-major matrix multiply on raw slices: `c = a (m×k) · b (k×n)`,
+/// overwriting `c`.
+///
+/// This is the hot inner kernel of the planned winograd scatter–GEMM path
+/// (one call per winograd-domain coordinate), so it avoids all allocation and
+/// uses an `i-k-j` loop order that streams both `b` and `c` rows.
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its declared shape.
+pub fn gemm_f32(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= m * k, "gemm_f32: lhs too short");
+    assert!(b.len() >= k * n, "gemm_f32: rhs too short");
+    assert!(c.len() >= m * n, "gemm_f32: out too short");
+    c[..m * n].fill(0.0);
+    // Two output rows per pass share each streamed `b` row, halving the
+    // dominant memory traffic of the k-loop.
+    let mut i = 0;
+    while i + 1 < m {
+        let (arow0, arow1) = (&a[i * k..(i + 1) * k], &a[(i + 1) * k..(i + 2) * k]);
+        let (chead, ctail) = c[i * n..].split_at_mut(n);
+        let crow1 = &mut ctail[..n];
+        for p in 0..k {
+            let (av0, av1) = (arow0[p], arow1[p]);
+            let brow = &b[p * n..(p + 1) * n];
+            for ((o0, o1), &bv) in chead.iter_mut().zip(crow1.iter_mut()).zip(brow.iter()) {
+                *o0 += av0 * bv;
+                *o1 += av1 * bv;
+            }
+        }
+        i += 2;
+    }
+    if i < m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
 /// Dense row-major matrix multiply `C = A (m x k) * B (k x n)`.
 ///
 /// # Errors
@@ -78,30 +129,23 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
     if a.shape().rank() != 2 || b.shape().rank() != 2 {
         return Err(TensorError::RankMismatch {
             expected: 2,
-            actual: if a.shape().rank() != 2 { a.shape().rank() } else { b.shape().rank() },
+            actual: if a.shape().rank() != 2 {
+                a.shape().rank()
+            } else {
+                b.shape().rank()
+            },
         });
     }
     let (m, k1) = (a.shape().dims()[0], a.shape().dims()[1]);
     let (k2, n) = (b.shape().dims()[0], b.shape().dims()[1]);
     if k1 != k2 {
-        return Err(TensorError::InnerDimMismatch { left: k1, right: k2 });
+        return Err(TensorError::InnerDimMismatch {
+            left: k1,
+            right: k2,
+        });
     }
     let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    for i in 0..m {
-        for p in 0..k1 {
-            let av = ad[i * k1 + p];
-            if av == 0.0 {
-                continue;
-            }
-            let brow = &bd[p * n..(p + 1) * n];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
-        }
-    }
+    gemm_f32(a.data(), b.data(), &mut out, m, k1, n);
     Tensor::from_vec(Shape::d2(m, n), out)
 }
 
@@ -113,7 +157,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor, TensorError> {
 /// Returns [`TensorError::RankMismatch`] if `x` is not 4-D.
 pub fn pad2d(x: &Tensor, padding: usize) -> Result<Tensor, TensorError> {
     if x.shape().rank() != 4 {
-        return Err(TensorError::RankMismatch { expected: 4, actual: x.shape().rank() });
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            actual: x.shape().rank(),
+        });
     }
     if padding == 0 {
         return Ok(x.clone());
@@ -160,6 +207,17 @@ mod tests {
     }
 
     #[test]
+    fn gemm_overwrites_and_matches_matmul() {
+        let a: Vec<f32> = (0..6).map(|x| x as f32).collect();
+        let b: Vec<f32> = (0..12).map(|x| (x as f32) * 0.5 - 2.0).collect();
+        let mut c = vec![7.0f32; 2 * 4]; // stale values must be overwritten
+        gemm_f32(&a, &b, &mut c, 2, 3, 4);
+        let at = Tensor::from_vec(Shape::d2(2, 3), a).unwrap();
+        let bt = Tensor::from_vec(Shape::d2(3, 4), b).unwrap();
+        assert_eq!(c, matmul(&at, &bt).unwrap().data());
+    }
+
+    #[test]
     fn matmul_small_known_result() {
         let a = Tensor::from_vec(Shape::d2(2, 3), vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         let b = Tensor::from_vec(Shape::d2(3, 2), vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
@@ -172,9 +230,15 @@ mod tests {
     fn matmul_rejects_bad_shapes() {
         let a = Tensor::zeros(Shape::d2(2, 3));
         let b = Tensor::zeros(Shape::d2(4, 2));
-        assert!(matches!(matmul(&a, &b), Err(TensorError::InnerDimMismatch { .. })));
+        assert!(matches!(
+            matmul(&a, &b),
+            Err(TensorError::InnerDimMismatch { .. })
+        ));
         let v = Tensor::zeros(Shape::d1(3));
-        assert!(matches!(matmul(&v, &b), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            matmul(&v, &b),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]

@@ -17,14 +17,20 @@ impl Tensor {
     #[must_use]
     pub fn zeros(shape: Shape) -> Self {
         let len = shape.volume();
-        Self { shape, data: vec![0.0; len] }
+        Self {
+            shape,
+            data: vec![0.0; len],
+        }
     }
 
     /// A tensor filled with a constant.
     #[must_use]
     pub fn full(shape: Shape, value: f32) -> Self {
         let len = shape.volume();
-        Self { shape, data: vec![value; len] }
+        Self {
+            shape,
+            data: vec![value; len],
+        }
     }
 
     /// Build a tensor from existing data.
@@ -102,13 +108,19 @@ impl Tensor {
     /// [`TensorError::IndexOutOfBounds`] for invalid indices.
     pub fn get4(&self, n: usize, c: usize, h: usize, w: usize) -> Result<f32, TensorError> {
         if self.shape.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: self.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: self.shape.rank(),
+            });
         }
         let idx = self.shape.offset4(n, c, h, w);
         self.data
             .get(idx)
             .copied()
-            .ok_or(TensorError::IndexOutOfBounds { index: idx, len: self.data.len() })
+            .ok_or(TensorError::IndexOutOfBounds {
+                index: idx,
+                len: self.data.len(),
+            })
     }
 
     /// Write a 4-D element.
@@ -125,7 +137,10 @@ impl Tensor {
         value: f32,
     ) -> Result<(), TensorError> {
         if self.shape.rank() != 4 {
-            return Err(TensorError::RankMismatch { expected: 4, actual: self.shape.rank() });
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                actual: self.shape.rank(),
+            });
         }
         let idx = self.shape.offset4(n, c, h, w);
         let len = self.data.len();
@@ -141,7 +156,10 @@ impl Tensor {
     /// Apply a function element-wise, producing a new tensor.
     #[must_use]
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { shape: self.shape.clone(), data: self.data.iter().map(|&v| f(v)).collect() }
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Element-wise addition.
@@ -174,8 +192,16 @@ impl Tensor {
                 right: other.shape.clone(),
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Self { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Self {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// In-place AXPY: `self += alpha * other`.
@@ -221,7 +247,10 @@ impl Tensor {
                 actual: self.data.len(),
             });
         }
-        Ok(Self { shape, data: self.data.clone() })
+        Ok(Self {
+            shape,
+            data: self.data.clone(),
+        })
     }
 }
 
@@ -241,7 +270,10 @@ impl IntTensor {
     #[must_use]
     pub fn zeros(shape: Shape) -> Self {
         let len = shape.volume();
-        Self { shape, data: vec![0; len] }
+        Self {
+            shape,
+            data: vec![0; len],
+        }
     }
 
     /// Build a tensor from existing data.
@@ -325,7 +357,10 @@ mod tests {
         assert_eq!(t.get4(0, 1, 2, 2).unwrap(), 7.0);
         assert_eq!(t.get4(0, 0, 0, 0).unwrap(), 0.0);
         let bad_rank = Tensor::zeros(Shape::d2(2, 2));
-        assert!(matches!(bad_rank.get4(0, 0, 0, 0), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            bad_rank.get4(0, 0, 0, 0),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]

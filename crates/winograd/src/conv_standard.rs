@@ -25,7 +25,11 @@ impl ConvShape {
     /// Create a shape.
     #[must_use]
     pub fn new(in_channels: usize, out_channels: usize, geometry: ConvGeometry) -> Self {
-        Self { in_channels, out_channels, geometry }
+        Self {
+            in_channels,
+            out_channels,
+            geometry,
+        }
     }
 
     /// Number of elements in the (C, H, W) input buffer.
@@ -46,11 +50,7 @@ impl ConvShape {
         self.out_channels * self.geometry.out_pixels()
     }
 
-    fn check_buffers(
-        &self,
-        input_len: usize,
-        weight_len: usize,
-    ) -> Result<(), WinogradError> {
+    fn check_buffers(&self, input_len: usize, weight_len: usize) -> Result<(), WinogradError> {
         if input_len != self.input_len() {
             return Err(WinogradError::BufferSizeMismatch {
                 what: "input",
@@ -100,8 +100,8 @@ pub fn direct_conv_f32(
                                 continue;
                             }
                             let xin = input[(ic * g.in_h + iy as usize) * g.in_w + ix as usize];
-                            let w = weights
-                                [((oc * shape.in_channels + ic) * g.k_h + ky) * g.k_w + kx];
+                            let w =
+                                weights[((oc * shape.in_channels + ic) * g.k_h + ky) * g.k_w + kx];
                             acc += xin * w;
                         }
                     }
@@ -236,9 +236,12 @@ mod tests {
     #[test]
     fn quantized_matches_f32_for_integer_data() {
         let shape = small_shape();
-        let input_f: Vec<f32> = (0..shape.input_len()).map(|i| ((i % 11) as f32) - 5.0).collect();
-        let weights_f: Vec<f32> =
-            (0..shape.weight_len()).map(|i| ((i % 7) as f32) - 3.0).collect();
+        let input_f: Vec<f32> = (0..shape.input_len())
+            .map(|i| ((i % 11) as f32) - 5.0)
+            .collect();
+        let weights_f: Vec<f32> = (0..shape.weight_len())
+            .map(|i| ((i % 7) as f32) - 3.0)
+            .collect();
         let input_q: Vec<i32> = input_f.iter().map(|&x| x as i32).collect();
         let weights_q: Vec<i32> = weights_f.iter().map(|&x| x as i32).collect();
 

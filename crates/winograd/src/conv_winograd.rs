@@ -1,6 +1,7 @@
 //! Winograd convolution kernels (floating point and quantized/instrumented).
 
 use crate::conv_standard::ConvShape;
+use crate::plan::{PreparedConvF32, WinogradScratch};
 use crate::transform::{mat_mul_f32, transpose_f32, WinogradVariant};
 use crate::WinogradError;
 use serde::{Deserialize, Serialize};
@@ -43,7 +44,12 @@ impl WinogradWeights {
                 actual: data.len(),
             });
         }
-        Ok(Self { variant, out_channels, in_channels, data })
+        Ok(Self {
+            variant,
+            out_channels,
+            in_channels,
+            data,
+        })
     }
 
     /// The tile variant these weights were transformed for.
@@ -116,12 +122,17 @@ pub fn transform_weights_f32(
     Ok(out)
 }
 
-/// Floating-point winograd convolution (reference implementation).
+/// Floating-point winograd convolution.
 ///
 /// Takes *untransformed* weights `(O, C, 3, 3)` and produces the same output
 /// as [`crate::direct_conv_f32`] up to floating-point rounding. Only 3x3 /
 /// stride-1 geometries are supported — larger kernels go through the
 /// decomposable winograd method ([`crate::dwm_conv_f32`]).
+///
+/// This is a convenience wrapper that builds a [`PreparedConvF32`] plan and
+/// executes it once; callers running more than one image through the same
+/// layer should prepare the plan themselves so the weight transform is paid
+/// once.
 ///
 /// # Errors
 ///
@@ -134,9 +145,31 @@ pub fn winograd_conv_f32(
     shape: &ConvShape,
     variant: WinogradVariant,
 ) -> Result<Vec<f32>, WinogradError> {
+    PreparedConvF32::new(weights, shape, variant)?.execute(input)
+}
+
+/// The seed's naive per-tile floating-point winograd kernel, kept as a
+/// correctness and performance reference.
+///
+/// Unlike the planned path it re-derives the weight transform on every call
+/// and allocates inside its tile loops; the `naive-vs-planned` micro-bench
+/// quantifies exactly what the scatter–GEMM rewrite buys.
+///
+/// # Errors
+///
+/// Same as [`winograd_conv_f32`].
+pub fn winograd_conv_f32_reference(
+    input: &[f32],
+    weights: &[f32],
+    shape: &ConvShape,
+    variant: WinogradVariant,
+) -> Result<Vec<f32>, WinogradError> {
     let g = &shape.geometry;
     if !g.is_unit_stride_3x3() {
-        return Err(WinogradError::UnsupportedGeometry { kernel: g.k_h, stride: g.stride });
+        return Err(WinogradError::UnsupportedGeometry {
+            kernel: g.k_h,
+            stride: g.stride,
+        });
     }
     if input.len() != shape.input_len() {
         return Err(WinogradError::BufferSizeMismatch {
@@ -236,9 +269,36 @@ pub fn winograd_conv_quantized<A: Arithmetic>(
     weights: &WinogradWeights,
     shape: &ConvShape,
 ) -> Result<Vec<i64>, WinogradError> {
+    let mut scratch = WinogradScratch::new();
+    winograd_conv_quantized_with_scratch(arith, layer, input, weights, shape, &mut scratch)
+}
+
+/// [`winograd_conv_quantized`] with caller-owned scratch buffers.
+///
+/// The instrumented kernel's loop structure is part of the experiment (the
+/// operation sequence determines where injected faults land), but its
+/// buffers are not: this entry point lets long-running callers — the
+/// quantized network forward pass, fault campaigns, benches — reuse one
+/// [`WinogradScratch`] across layers and images so nothing inside the
+/// per-tile loops touches the heap.
+///
+/// # Errors
+///
+/// Same as [`winograd_conv_quantized`].
+pub fn winograd_conv_quantized_with_scratch<A: Arithmetic>(
+    arith: &mut A,
+    layer: usize,
+    input: &[i32],
+    weights: &WinogradWeights,
+    shape: &ConvShape,
+    scratch: &mut WinogradScratch,
+) -> Result<Vec<i64>, WinogradError> {
     let g = &shape.geometry;
     if !g.is_unit_stride_3x3() {
-        return Err(WinogradError::UnsupportedGeometry { kernel: g.k_h, stride: g.stride });
+        return Err(WinogradError::UnsupportedGeometry {
+            kernel: g.k_h,
+            stride: g.stride,
+        });
     }
     if input.len() != shape.input_len() {
         return Err(WinogradError::BufferSizeMismatch {
@@ -265,11 +325,15 @@ pub fn winograd_conv_quantized<A: Arithmetic>(
     let at = variant.at();
     let pad = g.padding as isize;
     let mut output = vec![0i64; shape.output_len()];
-    let mut v_tiles = vec![0i64; shape.in_channels * t * t];
-    let mut d = vec![0i64; t * t];
-    let mut tmp = vec![0i64; t * t];
-    let mut acc = vec![0i64; t * t];
-    let mut tmp_out = vec![0i64; m * t];
+    scratch.prepare(variant, shape.in_channels);
+    let WinogradScratch {
+        v_tiles,
+        d,
+        tmp,
+        acc,
+        tmp_out,
+        y,
+    } = scratch;
 
     for ty in 0..tiles_y {
         for tx in 0..tiles_x {
@@ -291,10 +355,19 @@ pub fn winograd_conv_quantized<A: Arithmetic>(
                     }
                 }
                 // tmp = Bt * d
-                integer_transform(arith, bt, &d, &mut tmp, t, t, t, MatrixSide::Left);
+                integer_transform(arith, bt, d, tmp, t, t, t, MatrixSide::Left);
                 // v = tmp * B  (B = Btᵀ, so v[i][j] = sum_k tmp[i][k] * Bt[j][k])
                 let v_slice = &mut v_tiles[ic * t * t..(ic + 1) * t * t];
-                integer_transform(arith, bt, &tmp, v_slice, t, t, t, MatrixSide::RightTransposed);
+                integer_transform(
+                    arith,
+                    bt,
+                    tmp,
+                    v_slice,
+                    t,
+                    t,
+                    t,
+                    MatrixSide::RightTransposed,
+                );
             }
             // ---- Element-wise multiply + channel accumulation + output transform.
             for oc in 0..shape.out_channels {
@@ -308,10 +381,9 @@ pub fn winograd_conv_quantized<A: Arithmetic>(
                     }
                 }
                 // tmp_out = At * acc  (m x t)
-                integer_transform(arith, at, &acc, &mut tmp_out, m, t, t, MatrixSide::Left);
+                integer_transform(arith, at, acc, tmp_out, m, t, t, MatrixSide::Left);
                 // y = tmp_out * A  (m x m), A = Atᵀ.
-                let mut y = vec![0i64; m * m];
-                integer_transform(arith, at, &tmp_out, &mut y, m, t, m, MatrixSide::RightTransposed);
+                integer_transform(arith, at, tmp_out, y, m, t, m, MatrixSide::RightTransposed);
                 for dy in 0..m {
                     for dx in 0..m {
                         let oy = ty * m + dy;
@@ -387,10 +459,12 @@ mod tests {
 
     fn test_case(in_c: usize, out_c: usize, size: usize) -> (ConvShape, Vec<f32>, Vec<f32>) {
         let shape = ConvShape::new(in_c, out_c, ConvGeometry::square(size, 3, 1, 1));
-        let input: Vec<f32> =
-            (0..shape.input_len()).map(|i| ((i * 37 % 17) as f32) * 0.21 - 1.7).collect();
-        let weights: Vec<f32> =
-            (0..shape.weight_len()).map(|i| ((i * 13 % 11) as f32) * 0.07 - 0.35).collect();
+        let input: Vec<f32> = (0..shape.input_len())
+            .map(|i| ((i * 37 % 17) as f32) * 0.21 - 1.7)
+            .collect();
+        let weights: Vec<f32> = (0..shape.weight_len())
+            .map(|i| ((i * 13 % 11) as f32) * 0.07 - 0.35)
+            .collect();
         (shape, input, weights)
     }
 
@@ -398,7 +472,7 @@ mod tests {
     fn weight_transform_shape_and_errors() {
         let u = transform_weights_f32(&vec![0.0; 2 * 3 * 9], 2, 3, F2X2_3X3).unwrap();
         assert_eq!(u.len(), 2 * 3 * 16);
-        assert!(transform_weights_f32(&vec![0.0; 10], 2, 3, F2X2_3X3).is_err());
+        assert!(transform_weights_f32(&[0.0; 10], 2, 3, F2X2_3X3).is_err());
     }
 
     #[test]
@@ -440,7 +514,10 @@ mod tests {
         for variant in [F2X2_3X3, F4X4_3X3] {
             let wino = winograd_conv_f32(&input, &weights, &shape, variant).unwrap();
             for (d, w) in direct.iter().zip(wino.iter()) {
-                assert!((d - w).abs() < 1e-2, "{variant}: direct {d} vs winograd {w}");
+                assert!(
+                    (d - w).abs() < 1e-2,
+                    "{variant}: direct {d} vs winograd {w}"
+                );
             }
         }
     }
@@ -466,10 +543,12 @@ mod tests {
     #[test]
     fn quantized_winograd_matches_direct_quantized_exactly() {
         let shape = ConvShape::new(2, 3, ConvGeometry::square(6, 3, 1, 1));
-        let input_q: Vec<i32> =
-            (0..shape.input_len()).map(|i| ((i * 7 % 23) as i32) - 11).collect();
-        let weights_q: Vec<i32> =
-            (0..shape.weight_len()).map(|i| 4 * (((i * 5 % 9) as i32) - 4)).collect();
+        let input_q: Vec<i32> = (0..shape.input_len())
+            .map(|i| ((i * 7 % 23) as i32) - 11)
+            .collect();
+        let weights_q: Vec<i32> = (0..shape.weight_len())
+            .map(|i| 4 * (((i * 5 % 9) as i32) - 4))
+            .collect();
 
         // Direct reference.
         let mut exact = ExactArithmetic::new();
@@ -482,7 +561,10 @@ mod tests {
         let u = transform_weights_f32(&weights_f, 3, 2, F2X2_3X3).unwrap();
         let u_q: Vec<i32> = u.iter().map(|&x| x.round() as i32).collect();
         for (uf, uq) in u.iter().zip(u_q.iter()) {
-            assert!((uf - *uq as f32).abs() < 1e-4, "transformed weight must be integral");
+            assert!(
+                (uf - *uq as f32).abs() < 1e-4,
+                "transformed weight must be integral"
+            );
         }
         let wino_weights = WinogradWeights::new(F2X2_3X3, 3, 2, u_q).unwrap();
         let mut exact2 = ExactArithmetic::new();
@@ -528,7 +610,7 @@ mod tests {
     fn quantized_winograd_records_ops_in_the_given_layer() {
         let shape = ConvShape::new(1, 1, ConvGeometry::square(4, 3, 1, 1));
         let input = vec![1i32; shape.input_len()];
-        let u = transform_weights_f32(&vec![4.0; 9], 1, 1, F2X2_3X3).unwrap();
+        let u = transform_weights_f32(&[4.0; 9], 1, 1, F2X2_3X3).unwrap();
         let wino_weights =
             WinogradWeights::new(F2X2_3X3, 1, 1, u.iter().map(|&x| x as i32).collect()).unwrap();
         let mut arith = ExactArithmetic::new();

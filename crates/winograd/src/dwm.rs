@@ -64,7 +64,11 @@ pub fn decompose_kernel(kernel: &[f32], k: usize) -> Result<Vec<KernelTile>, Win
                 }
             }
             if non_zero {
-                tiles.push(KernelTile { dy: ty * 3, dx: tx * 3, weights });
+                tiles.push(KernelTile {
+                    dy: ty * 3,
+                    dx: tx * 3,
+                    weights,
+                });
             }
         }
     }
@@ -92,7 +96,10 @@ pub fn dwm_conv_f32(
 ) -> Result<Vec<f32>, WinogradError> {
     let g = &shape.geometry;
     if g.stride != 1 {
-        return Err(WinogradError::UnsupportedGeometry { kernel: g.k_h, stride: g.stride });
+        return Err(WinogradError::UnsupportedGeometry {
+            kernel: g.k_h,
+            stride: g.stride,
+        });
     }
     if g.k_h <= 3 {
         return Err(WinogradError::NothingToDecompose { kernel: g.k_h });
@@ -167,8 +174,14 @@ pub fn dwm_conv_f32(
                     }
                 }
             }
-            let sub_geom =
-                ConvGeometry { in_h: sh, in_w: sw, k_h: 3, k_w: 3, stride: 1, padding: 0 };
+            let sub_geom = ConvGeometry {
+                in_h: sh,
+                in_w: sw,
+                k_h: 3,
+                k_w: 3,
+                stride: 1,
+                padding: 0,
+            };
             let sub_shape = ConvShape::new(shape.in_channels, shape.out_channels, sub_geom);
             let partial = winograd_conv_f32(&shifted, &sub_weights, &sub_shape, variant)?;
             let (sub_h, sub_w) = (sub_geom.out_h(), sub_geom.out_w());
@@ -230,10 +243,12 @@ mod tests {
     #[test]
     fn dwm_matches_direct_convolution_for_5x5_kernel() {
         let shape = ConvShape::new(2, 3, ConvGeometry::square(10, 5, 1, 2));
-        let input: Vec<f32> =
-            (0..shape.input_len()).map(|i| ((i * 31 % 13) as f32) * 0.17 - 1.0).collect();
-        let weights: Vec<f32> =
-            (0..shape.weight_len()).map(|i| ((i * 7 % 9) as f32) * 0.11 - 0.4).collect();
+        let input: Vec<f32> = (0..shape.input_len())
+            .map(|i| ((i * 31 % 13) as f32) * 0.17 - 1.0)
+            .collect();
+        let weights: Vec<f32> = (0..shape.weight_len())
+            .map(|i| ((i * 7 % 9) as f32) * 0.11 - 0.4)
+            .collect();
         let direct = direct_conv_f32(&input, &weights, &shape).unwrap();
         let dwm = dwm_conv_f32(&input, &weights, &shape, F2X2_3X3).unwrap();
         assert_eq!(direct.len(), dwm.len());
@@ -245,10 +260,12 @@ mod tests {
     #[test]
     fn dwm_matches_direct_convolution_for_7x7_kernel_without_padding() {
         let shape = ConvShape::new(1, 2, ConvGeometry::square(12, 7, 1, 0));
-        let input: Vec<f32> =
-            (0..shape.input_len()).map(|i| ((i % 19) as f32) * 0.05 - 0.4).collect();
-        let weights: Vec<f32> =
-            (0..shape.weight_len()).map(|i| ((i % 5) as f32) * 0.2 - 0.4).collect();
+        let input: Vec<f32> = (0..shape.input_len())
+            .map(|i| ((i % 19) as f32) * 0.05 - 0.4)
+            .collect();
+        let weights: Vec<f32> = (0..shape.weight_len())
+            .map(|i| ((i % 5) as f32) * 0.2 - 0.4)
+            .collect();
         let direct = direct_conv_f32(&input, &weights, &shape).unwrap();
         let dwm = dwm_conv_f32(&input, &weights, &shape, F2X2_3X3).unwrap();
         for (d, w) in direct.iter().zip(dwm.iter()) {

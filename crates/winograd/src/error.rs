@@ -55,9 +55,16 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = WinogradError::UnsupportedGeometry { kernel: 5, stride: 2 };
+        let e = WinogradError::UnsupportedGeometry {
+            kernel: 5,
+            stride: 2,
+        };
         assert!(e.to_string().contains("5x5"));
-        let e = WinogradError::BufferSizeMismatch { what: "input", expected: 4, actual: 3 };
+        let e = WinogradError::BufferSizeMismatch {
+            what: "input",
+            expected: 4,
+            actual: 3,
+        };
         assert!(e.to_string().contains("input"));
         let e = WinogradError::NothingToDecompose { kernel: 3 };
         assert!(e.to_string().contains("3x3"));

@@ -92,7 +92,10 @@ impl ConvOpModel {
     fn standard_count(shape: &ConvShape) -> OpCount {
         let g = &shape.geometry;
         let macs = (g.out_pixels() * shape.out_channels * shape.in_channels * g.k_h * g.k_w) as u64;
-        OpCount { mul: macs, add: macs }
+        OpCount {
+            mul: macs,
+            add: macs,
+        }
     }
 
     fn winograd_count(shape: &ConvShape, variant: WinogradVariant) -> OpCount {
@@ -138,7 +141,10 @@ fn transform_cost(coef: &[i32], rows: usize, inner: usize, cols: usize) -> OpCou
         per_row_adds += nnz.saturating_sub(1);
         per_row_muls += non_unit;
     }
-    OpCount { mul: per_row_muls * cols as u64, add: per_row_adds * cols as u64 }
+    OpCount {
+        mul: per_row_muls * cols as u64,
+        add: per_row_adds * cols as u64,
+    }
 }
 
 #[cfg(test)]
@@ -154,7 +160,10 @@ mod tests {
     fn algorithm_labels_and_support() {
         assert_eq!(ConvAlgorithm::Standard.label(), "ST-Conv");
         assert_eq!(ConvAlgorithm::winograd_default().label(), "WG-Conv");
-        assert_eq!(ConvAlgorithm::winograd_default().to_string(), "WG-Conv[F(2x2,3x3)]");
+        assert_eq!(
+            ConvAlgorithm::winograd_default().to_string(),
+            "WG-Conv[F(2x2,3x3)]"
+        );
         let conv3 = ConvShape::new(4, 4, ConvGeometry::square(8, 3, 1, 1));
         let conv1 = ConvShape::new(4, 4, ConvGeometry::square(8, 1, 1, 0));
         assert!(ConvAlgorithm::winograd_default().supports(&conv3));
@@ -196,8 +205,8 @@ mod tests {
         let input = vec![1i32; shape.input_len()];
         let weights_f = vec![4.0f32; shape.weight_len()];
         let u = transform_weights_f32(&weights_f, 5, 3, F2X2_3X3).unwrap();
-        let w = WinogradWeights::new(F2X2_3X3, 5, 3, u.iter().map(|&x| x as i32).collect())
-            .unwrap();
+        let w =
+            WinogradWeights::new(F2X2_3X3, 5, 3, u.iter().map(|&x| x as i32).collect()).unwrap();
         let mut arith = ExactArithmetic::new();
         winograd_conv_quantized(&mut arith, 0, &input, &w, &shape).unwrap();
         let measured = arith.counters().total();
@@ -224,6 +233,11 @@ mod tests {
         let shape = ConvShape::new(16, 16, ConvGeometry::square(16, 3, 1, 1));
         let f2 = ConvOpModel::count(&shape, ConvAlgorithm::Winograd(WinogradVariant::F2x2));
         let f4 = ConvOpModel::count(&shape, ConvAlgorithm::Winograd(WinogradVariant::F4x4));
-        assert!(f4.mul < f2.mul, "F4x4 {} should use fewer muls than F2x2 {}", f4.mul, f2.mul);
+        assert!(
+            f4.mul < f2.mul,
+            "F4x4 {} should use fewer muls than F2x2 {}",
+            f4.mul,
+            f2.mul
+        );
     }
 }

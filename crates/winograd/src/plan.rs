@@ -1,0 +1,741 @@
+//! Planned winograd execution: cached transforms, scatter–GEMM–gather
+//! scheduling and reusable scratch buffers.
+//!
+//! The naive kernels in [`crate::conv_winograd`] re-derive the filter
+//! transform `U = G g Gᵀ` on every call and walk the image tile by tile,
+//! which is fine for correctness tests but far too slow for fault-injection
+//! campaigns that run thousands of inferences. The planned path splits the
+//! work the way production winograd implementations (cuDNN, oneDNN, NNPACK)
+//! do:
+//!
+//! 1. **Prepare** (once per layer): validate the geometry, transform the
+//!    weights and repack them as a `(t², O, C)` tensor;
+//! 2. **Scatter** (per image): transform all `P` input tiles into a
+//!    `(t², C, P)` tensor;
+//! 3. **GEMM**: `t²` independent `(O×C)·(C×P)` matrix multiplies — the only
+//!    O(C·O·P) work, done by [`wgft_tensor::gemm_f32`];
+//! 4. **Gather**: inverse-transform each `(t², 1, 1)` fibre back to an
+//!    `m×m` output tile.
+//!
+//! No step allocates inside its per-tile loop; all scratch lives in the
+//! prepared object and is reused across calls.
+
+use crate::conv_standard::ConvShape;
+use crate::conv_winograd::{transform_weights_f32, WinogradWeights};
+use crate::transform::{mat_mul_into, mat_mul_rt_into, WinogradVariant};
+use crate::WinogradError;
+use wgft_faultsim::Arithmetic;
+use wgft_tensor::gemm_f32;
+
+/// Tile-level execution geometry of one planned winograd convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WinogradPlan {
+    shape: ConvShape,
+    variant: WinogradVariant,
+    tiles_y: usize,
+    tiles_x: usize,
+}
+
+impl WinogradPlan {
+    /// Plan a winograd execution for the given convolution shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WinogradError::UnsupportedGeometry`] unless the layer is a
+    /// unit-stride 3x3 convolution.
+    pub fn new(shape: &ConvShape, variant: WinogradVariant) -> Result<Self, WinogradError> {
+        let g = &shape.geometry;
+        if !g.is_unit_stride_3x3() {
+            return Err(WinogradError::UnsupportedGeometry {
+                kernel: g.k_h,
+                stride: g.stride,
+            });
+        }
+        let m = variant.output_tile();
+        Ok(Self {
+            shape: *shape,
+            variant,
+            tiles_y: g.out_h().div_ceil(m),
+            tiles_x: g.out_w().div_ceil(m),
+        })
+    }
+
+    /// The convolution shape this plan executes.
+    #[must_use]
+    pub fn shape(&self) -> &ConvShape {
+        &self.shape
+    }
+
+    /// The tile variant.
+    #[must_use]
+    pub fn variant(&self) -> WinogradVariant {
+        self.variant
+    }
+
+    /// Tile grid rows.
+    #[must_use]
+    pub fn tiles_y(&self) -> usize {
+        self.tiles_y
+    }
+
+    /// Tile grid columns.
+    #[must_use]
+    pub fn tiles_x(&self) -> usize {
+        self.tiles_x
+    }
+
+    /// Total number of tiles `P` (the GEMM free dimension).
+    #[must_use]
+    pub fn num_tiles(&self) -> usize {
+        self.tiles_y * self.tiles_x
+    }
+
+    /// Extract one `t×t` input tile (with zero padding) into `out`.
+    ///
+    /// `tile` indexes the row-major tile grid; `channel` selects the input
+    /// feature map.
+    fn load_tile_f32(&self, input: &[f32], tile: usize, channel: usize, out: &mut [f32]) {
+        let g = &self.shape.geometry;
+        let t = self.variant.input_tile();
+        let m = self.variant.output_tile();
+        let ty = tile / self.tiles_x;
+        let tx = tile % self.tiles_x;
+        let pad = g.padding as isize;
+        let base_y = (ty * m) as isize - pad;
+        let base_x = (tx * m) as isize - pad;
+        let plane = &input[channel * g.in_h * g.in_w..(channel + 1) * g.in_h * g.in_w];
+        // Fast path: the tile lies fully inside the image (the overwhelmingly
+        // common case away from the border) — plain row copies, no
+        // per-element bounds checks.
+        if base_y >= 0
+            && base_x >= 0
+            && base_y as usize + t <= g.in_h
+            && base_x as usize + t <= g.in_w
+        {
+            let (y0, x0) = (base_y as usize, base_x as usize);
+            for dy in 0..t {
+                let src = &plane[(y0 + dy) * g.in_w + x0..(y0 + dy) * g.in_w + x0 + t];
+                out[dy * t..(dy + 1) * t].copy_from_slice(src);
+            }
+            return;
+        }
+        for dy in 0..t {
+            let iy = base_y + dy as isize;
+            let row = &mut out[dy * t..(dy + 1) * t];
+            if iy < 0 || iy >= g.in_h as isize {
+                row.fill(0.0);
+                continue;
+            }
+            let irow = &plane[(iy as usize) * g.in_w..(iy as usize + 1) * g.in_w];
+            for (dx, value) in row.iter_mut().enumerate() {
+                let ix = base_x + dx as isize;
+                *value = if ix >= 0 && ix < g.in_w as isize {
+                    irow[ix as usize]
+                } else {
+                    0.0
+                };
+            }
+        }
+    }
+}
+
+/// A planned floating-point winograd convolution with cached transformed
+/// weights and owned scratch buffers.
+///
+/// Prepare once per layer, execute once per image:
+///
+/// ```
+/// use wgft_tensor::ConvGeometry;
+/// use wgft_winograd::{ConvShape, PreparedConvF32, F2X2_3X3};
+///
+/// # fn main() -> Result<(), wgft_winograd::WinogradError> {
+/// let shape = ConvShape::new(2, 4, ConvGeometry::square(8, 3, 1, 1));
+/// let weights = vec![0.1f32; shape.weight_len()];
+/// let mut prepared = PreparedConvF32::new(&weights, &shape, F2X2_3X3)?;
+/// let input = vec![1.0f32; shape.input_len()];
+/// let output = prepared.execute(&input)?;
+/// assert_eq!(output.len(), shape.output_len());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedConvF32 {
+    plan: WinogradPlan,
+    /// Transformed weights in `(t², O, C)` layout: one `(O×C)` GEMM operand
+    /// per winograd-domain coordinate.
+    u: Vec<f32>,
+    /// `Bᵀ` as f32, `t×t`.
+    bt: Vec<f32>,
+    /// `Aᵀ` as f32, `m×t`.
+    at: Vec<f32>,
+    /// Tiles processed per scatter→GEMM→gather block (`≤ num_tiles`); sized
+    /// so one block's scatter and product buffers stay cache-resident.
+    block: usize,
+    /// Scatter buffer for one block, `(t², C, block)`.
+    v: Vec<f32>,
+    /// GEMM product buffer for one block, `(t², O, block)`.
+    prod: Vec<f32>,
+}
+
+/// Largest per-tile buffer any variant needs (`t² = 36` for F(4x4,3x3)).
+const MAX_TILE: usize = 36;
+
+/// Target size (in f32 elements) of the per-block scatter buffer — roughly
+/// half a typical L2 so the product buffer fits alongside it.
+const BLOCK_BUDGET: usize = 64 * 1024;
+
+/// Equality is defined by what the plan *computes* — the geometry and the
+/// cached transformed weights — not by whatever a previous `execute` left in
+/// the scratch buffers.
+impl PartialEq for PreparedConvF32 {
+    fn eq(&self, other: &Self) -> bool {
+        self.plan == other.plan && self.u == other.u
+    }
+}
+
+impl PreparedConvF32 {
+    /// Transform and cache `(O, C, 3, 3)` weights for the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WinogradError::UnsupportedGeometry`] for non-3x3/strided
+    /// layers and [`WinogradError::BufferSizeMismatch`] for a wrong weight
+    /// buffer length.
+    pub fn new(
+        weights: &[f32],
+        shape: &ConvShape,
+        variant: WinogradVariant,
+    ) -> Result<Self, WinogradError> {
+        let plan = WinogradPlan::new(shape, variant)?;
+        let (o, c) = (shape.out_channels, shape.in_channels);
+        let t = variant.input_tile();
+        let t2 = t * t;
+        // (O, C, t, t) -> (t², O, C)
+        let u_oc = transform_weights_f32(weights, o, c, variant)?;
+        let mut u = vec![0.0f32; t2 * o * c];
+        for oc in 0..o {
+            for ic in 0..c {
+                let src = &u_oc[(oc * c + ic) * t2..(oc * c + ic + 1) * t2];
+                for (k, &value) in src.iter().enumerate() {
+                    u[(k * o + oc) * c + ic] = value;
+                }
+            }
+        }
+        let p = plan.num_tiles();
+        let block = (BLOCK_BUDGET / (t2 * c.max(o)).max(1)).clamp(8, p.max(8));
+        Ok(Self {
+            plan,
+            u,
+            bt: variant.bt().iter().map(|&x| x as f32).collect(),
+            at: variant.at().iter().map(|&x| x as f32).collect(),
+            block,
+            v: vec![0.0; t2 * c * block],
+            prod: vec![0.0; t2 * o * block],
+        })
+    }
+
+    /// The plan geometry.
+    #[must_use]
+    pub fn plan(&self) -> &WinogradPlan {
+        &self.plan
+    }
+
+    /// The cached transformed weights in `(t², O, C)` layout.
+    #[must_use]
+    pub fn transformed_weights(&self) -> &[f32] {
+        &self.u
+    }
+
+    /// Execute the convolution into a freshly allocated output buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WinogradError::BufferSizeMismatch`] on a wrong input length.
+    pub fn execute(&mut self, input: &[f32]) -> Result<Vec<f32>, WinogradError> {
+        let mut output = vec![0.0f32; self.plan.shape.output_len()];
+        self.execute_into(input, &mut output)?;
+        Ok(output)
+    }
+
+    /// Execute the convolution into a caller-provided output buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WinogradError::BufferSizeMismatch`] on a wrong input or
+    /// output length.
+    pub fn execute_into(&mut self, input: &[f32], output: &mut [f32]) -> Result<(), WinogradError> {
+        let shape = self.plan.shape;
+        if input.len() != shape.input_len() {
+            return Err(WinogradError::BufferSizeMismatch {
+                what: "input",
+                expected: shape.input_len(),
+                actual: input.len(),
+            });
+        }
+        if output.len() != shape.output_len() {
+            return Err(WinogradError::BufferSizeMismatch {
+                what: "output",
+                expected: shape.output_len(),
+                actual: output.len(),
+            });
+        }
+        let (o, c) = (shape.out_channels, shape.in_channels);
+        let variant = self.plan.variant;
+        let t = variant.input_tile();
+        let m = variant.output_tile();
+        let t2 = t * t;
+        let p = self.plan.num_tiles();
+        let (out_h, out_w) = (shape.geometry.out_h(), shape.geometry.out_w());
+
+        // Per-tile scratch lives on the stack: the compiler can prove it
+        // never aliases the big scatter/product buffers, which keeps the
+        // transform arithmetic in registers.
+        let mut tile_d = [0.0f32; MAX_TILE];
+        let mut tile_tmp = [0.0f32; MAX_TILE];
+        let mut tile_tmp2 = [0.0f32; MAX_TILE];
+        let mut tile_y = [0.0f32; MAX_TILE];
+
+        // Tiles are processed in blocks so that one block's scatter buffer,
+        // GEMM product and cached weights all stay cache-resident across the
+        // three phases.
+        let mut block_start = 0usize;
+        while block_start < p {
+            let bp = self.block.min(p - block_start);
+
+            // ---- Scatter: V[k][ic][b] = (Bᵀ d B)[k] for every tile/channel
+            // of the block. The tile index is innermost so each of the t²
+            // destination streams `v[(k·C + ic)·bp ..]` is written
+            // contiguously — t² sequential write cursors instead of t²
+            // random accesses per tile.
+            for ic in 0..c {
+                for b in 0..bp {
+                    self.plan
+                        .load_tile_f32(input, block_start + b, ic, &mut tile_d[..t2]);
+                    match variant {
+                        WinogradVariant::F2x2 => {
+                            input_transform_f2x2(&tile_d, &mut tile_tmp2, &mut tile_tmp);
+                        }
+                        WinogradVariant::F4x4 => {
+                            mat_mul_into(&self.bt, &tile_d, &mut tile_tmp, t, t, t);
+                            mat_mul_rt_into(&tile_tmp, &self.bt, &mut tile_tmp2, t, t, t);
+                        }
+                    }
+                    for (k, &value) in tile_tmp2[..t2].iter().enumerate() {
+                        self.v[(k * c + ic) * bp + b] = value;
+                    }
+                }
+            }
+
+            // ---- Batched GEMM: one (O×C)·(C×bp) multiply per winograd
+            // coordinate.
+            for k in 0..t2 {
+                gemm_f32(
+                    &self.u[k * o * c..(k + 1) * o * c],
+                    &self.v[k * c * bp..(k + 1) * c * bp],
+                    &mut self.prod[k * o * bp..(k + 1) * o * bp],
+                    o,
+                    c,
+                    bp,
+                );
+            }
+
+            // ---- Gather: inverse-transform each (oc, tile) fibre. Tile is
+            // again innermost so the t² source streams are read sequentially.
+            for oc in 0..o {
+                for b in 0..bp {
+                    let tile = block_start + b;
+                    let ty = tile / self.plan.tiles_x;
+                    let tx = tile % self.plan.tiles_x;
+                    for (k, value) in tile_tmp[..t2].iter_mut().enumerate() {
+                        *value = self.prod[(k * o + oc) * bp + b];
+                    }
+                    match variant {
+                        WinogradVariant::F2x2 => {
+                            output_transform_f2x2(&tile_tmp, &mut tile_y, &mut tile_tmp2);
+                        }
+                        WinogradVariant::F4x4 => {
+                            mat_mul_into(&self.at, &tile_tmp, &mut tile_tmp2, m, t, t);
+                            mat_mul_rt_into(&tile_tmp2, &self.at, &mut tile_y, m, t, m);
+                        }
+                    }
+                    if (ty + 1) * m <= out_h && (tx + 1) * m <= out_w {
+                        // Full interior tile: contiguous row copies.
+                        for dy in 0..m {
+                            let dst = (oc * out_h + ty * m + dy) * out_w + tx * m;
+                            output[dst..dst + m].copy_from_slice(&tile_y[dy * m..(dy + 1) * m]);
+                        }
+                    } else {
+                        for dy in 0..m {
+                            let oy = ty * m + dy;
+                            if oy >= out_h {
+                                break;
+                            }
+                            for dx in 0..m {
+                                let ox = tx * m + dx;
+                                if ox >= out_w {
+                                    break;
+                                }
+                                output[(oc * out_h + oy) * out_w + ox] = tile_y[dy * m + dx];
+                            }
+                        }
+                    }
+                }
+            }
+
+            block_start += bp;
+        }
+        Ok(())
+    }
+}
+
+/// Hand-specialized `V = Bᵀ d B` for F(2x2,3x3): both transforms are pure
+/// additions/subtractions (all coefficients are 0/±1), so the generic small
+/// matmul's multiply-and-test loop collapses to 32 adds.
+///
+/// `d` is the 4×4 input tile, `v` the 4×4 result, `tmp` a 4×4 intermediate.
+#[inline]
+fn input_transform_f2x2(d: &[f32], v: &mut [f32], tmp: &mut [f32]) {
+    // tmp = Bᵀ d: row combinations.
+    for j in 0..4 {
+        tmp[j] = d[j] - d[8 + j];
+        tmp[4 + j] = d[4 + j] + d[8 + j];
+        tmp[8 + j] = d[8 + j] - d[4 + j];
+        tmp[12 + j] = d[4 + j] - d[12 + j];
+    }
+    // v = tmp B: the same combinations along columns (B = Bᵀᵀ).
+    for i in 0..4 {
+        let r = i * 4;
+        v[r] = tmp[r] - tmp[r + 2];
+        v[r + 1] = tmp[r + 1] + tmp[r + 2];
+        v[r + 2] = tmp[r + 2] - tmp[r + 1];
+        v[r + 3] = tmp[r + 1] - tmp[r + 3];
+    }
+}
+
+/// Hand-specialized `Y = Aᵀ m A` for F(2x2,3x3) (coefficients 0/±1).
+///
+/// `acc` is the 4×4 winograd-domain tile, `y` the 2×2 output tile, `tmp` a
+/// 2×4 intermediate.
+#[inline]
+fn output_transform_f2x2(acc: &[f32], y: &mut [f32], tmp: &mut [f32]) {
+    // tmp = Aᵀ acc (2x4).
+    for j in 0..4 {
+        tmp[j] = acc[j] + acc[4 + j] + acc[8 + j];
+        tmp[4 + j] = acc[4 + j] - acc[8 + j] - acc[12 + j];
+    }
+    // y = tmp A (2x2).
+    for i in 0..2 {
+        let r = i * 4;
+        y[i * 2] = tmp[r] + tmp[r + 1] + tmp[r + 2];
+        y[i * 2 + 1] = tmp[r + 1] - tmp[r + 2] - tmp[r + 3];
+    }
+}
+
+/// Reusable scratch buffers for the quantized winograd kernel.
+///
+/// The quantized kernel streams every primitive operation through an
+/// instrumented [`Arithmetic`] backend, so its loop structure is part of the
+/// experiment (the op sequence determines where faults land) — but its
+/// scratch allocation is not. This object hoists every buffer out of the
+/// per-tile/per-channel loops; it grows on demand and can be reused across
+/// layers and images.
+#[derive(Debug, Clone, Default)]
+pub struct WinogradScratch {
+    /// Transformed input tiles for all channels, `(C, t, t)`.
+    pub(crate) v_tiles: Vec<i64>,
+    /// Raw input tile, `t×t`.
+    pub(crate) d: Vec<i64>,
+    /// Transform intermediate, `t×t`.
+    pub(crate) tmp: Vec<i64>,
+    /// Channel-accumulated element-wise products, `t×t`.
+    pub(crate) acc: Vec<i64>,
+    /// Output-transform intermediate, `m×t`.
+    pub(crate) tmp_out: Vec<i64>,
+    /// Output tile, `m×m`.
+    pub(crate) y: Vec<i64>,
+}
+
+impl WinogradScratch {
+    /// Fresh, empty scratch (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size the buffers for one kernel invocation.
+    pub(crate) fn prepare(&mut self, variant: WinogradVariant, in_channels: usize) {
+        let t = variant.input_tile();
+        let m = variant.output_tile();
+        resize_fill(&mut self.v_tiles, in_channels * t * t);
+        resize_fill(&mut self.d, t * t);
+        resize_fill(&mut self.tmp, t * t);
+        resize_fill(&mut self.acc, t * t);
+        resize_fill(&mut self.tmp_out, m * t);
+        resize_fill(&mut self.y, m * m);
+    }
+}
+
+fn resize_fill(buf: &mut Vec<i64>, len: usize) {
+    buf.clear();
+    buf.resize(len, 0);
+}
+
+/// A planned quantized winograd convolution: pre-quantized winograd-domain
+/// weights plus owned scratch, executable against any [`Arithmetic`] backend.
+///
+/// The per-call [`crate::winograd_conv_quantized`] entry point wraps this; a
+/// long-lived `PreparedConvQuantized` additionally reuses its scratch across
+/// images, which is what the fault-injection campaigns want.
+#[derive(Debug, Clone)]
+pub struct PreparedConvQuantized {
+    plan: WinogradPlan,
+    weights: WinogradWeights,
+    scratch: WinogradScratch,
+}
+
+impl PreparedConvQuantized {
+    /// Wrap pre-quantized winograd weights for the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WinogradError::UnsupportedGeometry`] for unsupported layers
+    /// and [`WinogradError::BufferSizeMismatch`] if the weights disagree with
+    /// the shape's channel counts.
+    pub fn new(weights: WinogradWeights, shape: &ConvShape) -> Result<Self, WinogradError> {
+        let plan = WinogradPlan::new(shape, weights.variant())?;
+        if weights.out_channels() != shape.out_channels
+            || weights.in_channels() != shape.in_channels
+        {
+            return Err(WinogradError::BufferSizeMismatch {
+                what: "winograd weight",
+                expected: shape.out_channels * shape.in_channels,
+                actual: weights.out_channels() * weights.in_channels(),
+            });
+        }
+        Ok(Self {
+            plan,
+            weights,
+            scratch: WinogradScratch::new(),
+        })
+    }
+
+    /// The plan geometry.
+    #[must_use]
+    pub fn plan(&self) -> &WinogradPlan {
+        &self.plan
+    }
+
+    /// The cached winograd-domain weights.
+    #[must_use]
+    pub fn weights(&self) -> &WinogradWeights {
+        &self.weights
+    }
+
+    /// Execute the convolution through `arith`, attributing operations to
+    /// `layer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WinogradError::BufferSizeMismatch`] on a wrong input length.
+    pub fn execute<A: Arithmetic>(
+        &mut self,
+        arith: &mut A,
+        layer: usize,
+        input: &[i32],
+    ) -> Result<Vec<i64>, WinogradError> {
+        crate::conv_winograd::winograd_conv_quantized_with_scratch(
+            arith,
+            layer,
+            input,
+            &self.weights,
+            &self.plan.shape,
+            &mut self.scratch,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv_standard::direct_conv_f32;
+    use crate::transform::{F2X2_3X3, F4X4_3X3};
+    use wgft_tensor::ConvGeometry;
+
+    fn fixture(
+        in_c: usize,
+        out_c: usize,
+        size: usize,
+        pad: usize,
+    ) -> (ConvShape, Vec<f32>, Vec<f32>) {
+        let shape = ConvShape::new(in_c, out_c, ConvGeometry::square(size, 3, 1, pad));
+        let input: Vec<f32> = (0..shape.input_len())
+            .map(|i| ((i * 31 % 23) as f32) * 0.17 - 1.9)
+            .collect();
+        let weights: Vec<f32> = (0..shape.weight_len())
+            .map(|i| ((i * 17 % 13) as f32) * 0.11 - 0.7)
+            .collect();
+        (shape, input, weights)
+    }
+
+    #[test]
+    fn plan_rejects_unsupported_geometry() {
+        let strided = ConvShape::new(1, 1, ConvGeometry::square(8, 3, 2, 1));
+        assert!(WinogradPlan::new(&strided, F2X2_3X3).is_err());
+        let five = ConvShape::new(1, 1, ConvGeometry::square(8, 5, 1, 1));
+        assert!(WinogradPlan::new(&five, F2X2_3X3).is_err());
+    }
+
+    #[test]
+    fn plan_tile_grid_covers_output() {
+        let shape = ConvShape::new(1, 1, ConvGeometry::square(5, 3, 1, 1));
+        let plan = WinogradPlan::new(&shape, F2X2_3X3).unwrap();
+        // 5x5 output, 2x2 tiles -> 3x3 grid.
+        assert_eq!(plan.tiles_y(), 3);
+        assert_eq!(plan.tiles_x(), 3);
+        assert_eq!(plan.num_tiles(), 9);
+        assert_eq!(plan.variant(), F2X2_3X3);
+        assert_eq!(plan.shape(), &shape);
+    }
+
+    /// The planned scatter-GEMM path must agree with direct convolution over
+    /// a grid of shapes: odd sizes, non-tile-multiple outputs, padding 0/1
+    /// and both tile variants.
+    #[test]
+    fn planned_f32_matches_direct_across_shape_grid() {
+        for &(in_c, out_c) in &[(1usize, 1usize), (2, 3), (3, 2)] {
+            for &size in &[4usize, 5, 6, 7, 9] {
+                for &pad in &[0usize, 1] {
+                    let (shape, input, weights) = fixture(in_c, out_c, size, pad);
+                    if shape.geometry.out_h() == 0 {
+                        continue;
+                    }
+                    let direct = direct_conv_f32(&input, &weights, &shape).unwrap();
+                    for variant in [F2X2_3X3, F4X4_3X3] {
+                        let mut prepared = PreparedConvF32::new(&weights, &shape, variant).unwrap();
+                        let out = prepared.execute(&input).unwrap();
+                        for (i, (d, w)) in direct.iter().zip(out.iter()).enumerate() {
+                            assert!(
+                                (d - w).abs() < 2e-2,
+                                "{variant} c{in_c}->{out_c} s{size} p{pad} idx {i}: direct {d} vs planned {w}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Planned quantized winograd must reproduce direct quantized convolution
+    /// bit-for-bit across the same shape grid, for both tile variants.
+    ///
+    /// Exactness requires winograd-domain weights that are exactly integral:
+    /// the F(2x2) filter transform halves sums (weights divisible by 4
+    /// suffice) and the F(4x4) transform divides by up to 24 in each of two
+    /// applications of `G`, so weights divisible by 576 stay exact.
+    #[test]
+    fn planned_quantized_matches_direct_across_shape_grid() {
+        use crate::conv_standard::direct_conv_quantized;
+        use wgft_faultsim::ExactArithmetic;
+
+        for variant in [F2X2_3X3, F4X4_3X3] {
+            let scale: i32 = match variant {
+                WinogradVariant::F2x2 => 4,
+                WinogradVariant::F4x4 => 576,
+            };
+            for &(in_c, out_c) in &[(1usize, 1usize), (2, 3)] {
+                for &size in &[4usize, 5, 7] {
+                    for &pad in &[0usize, 1] {
+                        let shape =
+                            ConvShape::new(in_c, out_c, ConvGeometry::square(size, 3, 1, pad));
+                        if shape.geometry.out_h() == 0 {
+                            continue;
+                        }
+                        let input_q: Vec<i32> = (0..shape.input_len())
+                            .map(|i| ((i * 7 % 23) as i32) - 11)
+                            .collect();
+                        let weights_q: Vec<i32> = (0..shape.weight_len())
+                            .map(|i| scale * (((i * 5 % 9) as i32) - 4))
+                            .collect();
+
+                        let mut exact = ExactArithmetic::new();
+                        let direct =
+                            direct_conv_quantized(&mut exact, 0, &input_q, &weights_q, &shape)
+                                .unwrap();
+
+                        let weights_f: Vec<f32> = weights_q.iter().map(|&w| w as f32).collect();
+                        let u = transform_weights_f32(&weights_f, out_c, in_c, variant).unwrap();
+                        let u_q: Vec<i32> = u.iter().map(|&x| x.round() as i32).collect();
+                        for (uf, uq) in u.iter().zip(u_q.iter()) {
+                            assert!(
+                                (uf - *uq as f32).abs() < 1e-3,
+                                "{variant}: transformed weight must be integral ({uf})"
+                            );
+                        }
+                        let wino = WinogradWeights::new(variant, out_c, in_c, u_q).unwrap();
+                        let mut prepared = PreparedConvQuantized::new(wino, &shape).unwrap();
+                        let mut exact2 = ExactArithmetic::new();
+                        let out = prepared.execute(&mut exact2, 0, &input_q).unwrap();
+                        assert_eq!(
+                            direct, out,
+                            "{variant} c{in_c}->{out_c} s{size} p{pad}: quantized mismatch"
+                        );
+
+                        // Scratch reuse across images must not leak state.
+                        let mut exact3 = ExactArithmetic::new();
+                        let again = prepared.execute(&mut exact3, 0, &input_q).unwrap();
+                        assert_eq!(out, again);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepared_quantized_validates_channel_mismatch() {
+        let shape = ConvShape::new(2, 3, ConvGeometry::square(4, 3, 1, 1));
+        let weights = WinogradWeights::new(F2X2_3X3, 1, 1, vec![0; 16]).unwrap();
+        assert!(PreparedConvQuantized::new(weights, &shape).is_err());
+    }
+
+    #[test]
+    fn prepared_conv_is_reusable_across_images() {
+        let (shape, input, weights) = fixture(2, 2, 8, 1);
+        let mut prepared = PreparedConvF32::new(&weights, &shape, F2X2_3X3).unwrap();
+        let first = prepared.execute(&input).unwrap();
+        let other: Vec<f32> = input.iter().map(|x| x * 0.5 + 0.1).collect();
+        let _ = prepared.execute(&other).unwrap();
+        let again = prepared.execute(&input).unwrap();
+        assert_eq!(
+            first, again,
+            "scratch reuse must not leak state between images"
+        );
+    }
+
+    #[test]
+    fn execute_into_validates_buffer_lengths() {
+        let (shape, input, weights) = fixture(1, 1, 4, 1);
+        let mut prepared = PreparedConvF32::new(&weights, &shape, F2X2_3X3).unwrap();
+        let mut short = vec![0.0f32; shape.output_len() - 1];
+        assert!(prepared.execute_into(&input, &mut short).is_err());
+        assert!(prepared.execute(&input[..input.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn transformed_weight_layout_is_coordinate_major() {
+        let (shape, _, weights) = fixture(2, 3, 4, 1);
+        let prepared = PreparedConvF32::new(&weights, &shape, F2X2_3X3).unwrap();
+        let u_oc = transform_weights_f32(&weights, 3, 2, F2X2_3X3).unwrap();
+        let t2 = 16;
+        // u[(k, oc, ic)] must equal u_oc[(oc, ic, k)].
+        for k in 0..t2 {
+            for oc in 0..3 {
+                for ic in 0..2 {
+                    assert_eq!(
+                        prepared.transformed_weights()[(k * 3 + oc) * 2 + ic],
+                        u_oc[(oc * 2 + ic) * t2 + k]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -9,11 +9,18 @@ use winograd_ft::winograd::{decompose_kernel, direct_conv_f32, dwm_conv_f32, Con
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let shape = ConvShape::new(3, 8, ConvGeometry::square(12, 5, 1, 2));
-    let input: Vec<f32> = (0..shape.input_len()).map(|i| ((i * 31 % 17) as f32) * 0.1 - 0.8).collect();
-    let weights: Vec<f32> = (0..shape.weight_len()).map(|i| ((i * 7 % 11) as f32) * 0.05 - 0.25).collect();
+    let input: Vec<f32> = (0..shape.input_len())
+        .map(|i| ((i * 31 % 17) as f32) * 0.1 - 0.8)
+        .collect();
+    let weights: Vec<f32> = (0..shape.weight_len())
+        .map(|i| ((i * 7 % 11) as f32) * 0.05 - 0.25)
+        .collect();
 
     let tiles = decompose_kernel(&weights[..25], 5)?;
-    println!("a 5x5 kernel decomposes into {} active 3x3 tiles", tiles.len());
+    println!(
+        "a 5x5 kernel decomposes into {} active 3x3 tiles",
+        tiles.len()
+    );
 
     let direct = direct_conv_f32(&input, &weights, &shape)?;
     let dwm = dwm_conv_f32(&input, &weights, &shape, F2X2_3X3)?;
@@ -22,6 +29,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .zip(&dwm)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
-    println!("direct vs DWM winograd: max abs difference {max_err:.2e} over {} outputs", direct.len());
+    println!(
+        "direct vs DWM winograd: max abs difference {max_err:.2e} over {} outputs",
+        direct.len()
+    );
     Ok(())
 }

@@ -18,7 +18,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let critical = campaign.find_critical_ber(ConvAlgorithm::Standard, 0.5);
-    let bers = [0.0, critical / 8.0, critical / 2.0, critical, critical * 4.0];
+    let bers = [
+        0.0,
+        critical / 8.0,
+        critical / 2.0,
+        critical,
+        critical * 4.0,
+    ];
     println!("{}", campaign.network_sweep(&bers));
     println!("{}", campaign.op_type_sensitivity(&bers[2..]));
     Ok(())

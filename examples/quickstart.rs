@@ -5,7 +5,9 @@
 //! Run with `cargo run --release --example quickstart`.
 
 use winograd_ft::data::{Dataset, SyntheticSpec};
-use winograd_ft::faultsim::{Arithmetic, BitErrorRate, ExactArithmetic, FaultConfig, FaultyArithmetic};
+use winograd_ft::faultsim::{
+    Arithmetic, BitErrorRate, ExactArithmetic, FaultConfig, FaultyArithmetic,
+};
 use winograd_ft::fixedpoint::BitWidth;
 use winograd_ft::nn::models::ModelKind;
 use winograd_ft::nn::{QuantizedNetwork, QuantizerOptions, TrainConfig, Trainer};
@@ -17,14 +19,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = Dataset::synthetic(&spec, 30, 42);
     let (train, test) = data.split(0.8);
     let mut network = ModelKind::VggSmall.build(&spec, 7);
-    let mut trainer = Trainer::new(TrainConfig { epochs: 5, ..TrainConfig::fast() });
+    let mut trainer = Trainer::new(TrainConfig {
+        epochs: 5,
+        ..TrainConfig::fast()
+    });
     let report = trainer.fit(&mut network, &train)?;
-    println!("trained vgg_small: final loss {:.3}", report.epoch_losses.last().unwrap());
+    println!(
+        "trained vgg_small: final loss {:.3}",
+        report.epoch_losses.last().unwrap()
+    );
 
     // 2. Quantize to int16 fixed point.
-    let calibration: Vec<_> = train.samples().iter().take(8).map(|s| s.image.clone()).collect();
-    let qnet =
-        QuantizedNetwork::from_network(&mut network, &calibration, QuantizerOptions::new(BitWidth::W16))?;
+    let calibration: Vec<_> = train
+        .samples()
+        .iter()
+        .take(8)
+        .map(|s| s.image.clone())
+        .collect();
+    let qnet = QuantizedNetwork::from_network(
+        &mut network,
+        &calibration,
+        QuantizerOptions::new(BitWidth::W16),
+    )?;
 
     // 3. Fault-free inference with both convolution algorithms.
     let sample = &test.samples()[0];
@@ -32,9 +48,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let std_pred = qnet.classify(&sample.image, &mut exact, ConvAlgorithm::Standard)?;
     let std_ops = exact.counters().total();
     let mut exact_wg = ExactArithmetic::new();
-    let wg_pred = qnet.classify(&sample.image, &mut exact_wg, ConvAlgorithm::winograd_default())?;
+    let wg_pred = qnet.classify(
+        &sample.image,
+        &mut exact_wg,
+        ConvAlgorithm::winograd_default(),
+    )?;
     let wg_ops = exact_wg.counters().total();
-    println!("label {}  ST-Conv prediction {std_pred}  WG-Conv prediction {wg_pred}", sample.label);
+    println!(
+        "label {}  ST-Conv prediction {std_pred}  WG-Conv prediction {wg_pred}",
+        sample.label
+    );
     println!(
         "operations per inference: ST-Conv {} mul / {} add, WG-Conv {} mul / {} add",
         std_ops.mul, std_ops.add, wg_ops.mul, wg_ops.add

@@ -14,9 +14,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ber = campaign.find_critical_ber(ConvAlgorithm::Standard, 0.5);
     let chance = 1.0 / campaign.config().spec.num_classes as f64;
     let clean = campaign.clean_accuracy();
-    let targets = [chance + 0.7 * (clean - chance), chance + 0.9 * (clean - chance)];
+    let targets = [
+        chance + 0.7 * (clean - chance),
+        chance + 0.9 * (clean - chance),
+    ];
 
-    let planner = TmrPlanner { max_iterations: 16, ..TmrPlanner::default() };
+    let planner = TmrPlanner {
+        max_iterations: 16,
+        ..TmrPlanner::default()
+    };
     let report = planner.overhead_table(&campaign, &targets, ber)?;
     println!("{report}");
     Ok(())

@@ -23,12 +23,17 @@ fn campaign() -> &'static FaultToleranceCampaign {
 fn googlenet_analogue_campaign_end_to_end() {
     let campaign = campaign();
     let chance = 1.0 / campaign.config().spec.num_classes as f64;
-    assert!(campaign.clean_accuracy() > chance, "quantized int8 model must beat chance");
+    assert!(
+        campaign.clean_accuracy() > chance,
+        "quantized int8 model must beat chance"
+    );
 
     // The inception modules mix 1x1 and 3x3 convolutions: winograd only
     // accelerates the 3x3 ones, but that is still a large multiplication cut.
     let st = campaign.quantized().total_op_count(ConvAlgorithm::Standard);
-    let wg = campaign.quantized().total_op_count(ConvAlgorithm::winograd_default());
+    let wg = campaign
+        .quantized()
+        .total_op_count(ConvAlgorithm::winograd_default());
     assert!(wg.mul < st.mul);
 
     // Heavy faults break it, full protection restores it.
@@ -64,12 +69,19 @@ fn quantized_inference_is_deterministic_across_backends() {
 #[test]
 fn tmr_scheme_pipeline_produces_consistent_overheads() {
     let campaign = campaign();
-    let planner = TmrPlanner { max_iterations: 8, ..TmrPlanner::default() };
+    let planner = TmrPlanner {
+        max_iterations: 8,
+        ..TmrPlanner::default()
+    };
     let ber = campaign.find_critical_ber(ConvAlgorithm::Standard, 0.5);
     let chance = 1.0 / campaign.config().spec.num_classes as f64;
     let target = chance + 0.7 * (campaign.clean_accuracy() - chance);
-    let standard = planner.plan(campaign, TmrScheme::Standard, target, ber).unwrap();
-    let unaware = planner.plan(campaign, TmrScheme::WinogradUnaware, target, ber).unwrap();
+    let standard = planner
+        .plan(campaign, TmrScheme::Standard, target, ber)
+        .unwrap();
+    let unaware = planner
+        .plan(campaign, TmrScheme::WinogradUnaware, target, ber)
+        .unwrap();
     assert!(standard.overhead_cost >= 0.0);
     assert!(
         unaware.overhead_cost <= standard.overhead_cost,
@@ -83,8 +95,12 @@ fn accelerator_energy_follows_the_workload_and_voltage() {
     let accel = Accelerator::paper_default();
     let workloads = LayerWorkload::from_network(&campaign.trained().network);
     assert_eq!(workloads.len(), campaign.quantized().compute_layer_count());
-    let nominal = accel.nominal_report(&workloads, ConvAlgorithm::Standard).unwrap();
-    let scaled = accel.report(&workloads, ConvAlgorithm::Standard, 0.75).unwrap();
+    let nominal = accel
+        .nominal_report(&workloads, ConvAlgorithm::Standard)
+        .unwrap();
+    let scaled = accel
+        .report(&workloads, ConvAlgorithm::Standard, 0.75)
+        .unwrap();
     assert!(scaled.energy_joules < nominal.energy_joules);
     assert!(scaled.ber > nominal.ber);
 }

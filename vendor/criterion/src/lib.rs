@@ -1,0 +1,155 @@
+//! Vendored, offline-friendly stand-in for the `criterion` benchmark harness.
+//!
+//! Mirrors the subset of the criterion 0.5 API this workspace uses
+//! (`Criterion`, `benchmark_group`, `sample_size`, `bench_function`,
+//! `criterion_group!`, `criterion_main!`) with a simple
+//! warmup-then-measure loop. Every completed benchmark is kept in
+//! [`Criterion::results`] so bench mains can export machine-readable
+//! artifacts (e.g. `BENCH_kernels.json`).
+
+use std::time::Instant;
+
+/// Measured statistics of one benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest observed sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Number of measured samples.
+    pub samples: usize,
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let result = run_bench(id, 10, f);
+        self.results.push(result);
+        self
+    }
+
+    /// All results measured through this handle so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of measured samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measure one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let result = run_bench(&full, self.sample_size, f);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Finish the group (kept for API compatibility; results live on the
+    /// parent [`Criterion`]).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Time `iters` executions of `routine`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) -> BenchResult {
+    // Calibrate the per-sample iteration count so one sample takes ~20 ms.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0.0,
+        };
+        f(&mut b);
+        if b.elapsed_ns > 2.0e7 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0.0,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed_ns / iters as f64);
+    }
+    let mean_ns = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min_ns = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "bench {id}: mean {:.1} ns/iter, min {:.1} ns/iter ({samples} samples)",
+        mean_ns, min_ns
+    );
+    BenchResult {
+        id: id.to_string(),
+        mean_ns,
+        min_ns,
+        samples,
+    }
+}
+
+/// Declare a group of benchmark functions (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+        }
+    };
+}

@@ -1,0 +1,343 @@
+//! Vendored, offline-friendly stand-in for the `rand` crate.
+//!
+//! Implements exactly the API surface this workspace uses: `SmallRng` /
+//! `StdRng` seeded via [`SeedableRng::seed_from_u64`], [`Rng::gen`],
+//! [`Rng::gen_range`] over half-open ranges, the [`distributions::Uniform`]
+//! inclusive distribution and [`seq::SliceRandom::shuffle`].
+//!
+//! The generator is xorshift64* seeded through splitmix64 — not the same
+//! stream as upstream rand's `SmallRng`, which is fine: every experiment in
+//! the workspace only relies on determinism for a fixed seed, never on a
+//! particular stream.
+
+use std::ops::Range;
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Splitmix64: used to expand seeds into full generator state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+macro_rules! xorshift_rng {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name {
+            state: u64,
+        }
+
+        impl SeedableRng for $name {
+            fn seed_from_u64(seed: u64) -> Self {
+                let mut s = seed;
+                let mut state = splitmix64(&mut s);
+                if state == 0 {
+                    state = 0xDEAD_BEEF_CAFE_F00D;
+                }
+                Self { state }
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u64(&mut self) -> u64 {
+                // xorshift64*
+                let mut x = self.state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.state = x;
+                x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+            }
+        }
+    };
+}
+
+/// Named RNG types.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    xorshift_rng! {
+        /// A small, fast, deterministic generator (API analogue of
+        /// `rand::rngs::SmallRng`).
+        SmallRng
+    }
+    xorshift_rng! {
+        /// The "standard" generator (API analogue of `rand::rngs::StdRng`).
+        StdRng
+    }
+}
+
+/// High-level sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from its standard distribution.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+        Self: Sized,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Sample uniformly from a half-open range.
+    fn gen_range<T: distributions::SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_half_open(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        uniform_f64(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A uniform f64 in `[0, 1)` with 53 random mantissa bits.
+fn uniform_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Distributions and uniform sampling.
+pub mod distributions {
+    use super::{uniform_f64, RngCore};
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draw one sample.
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard distribution: uniform `[0,1)` floats, uniform integers,
+    /// fair bools.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+            uniform_f64(rng)
+        }
+    }
+    impl Distribution<f32> for Standard {
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+        }
+    }
+    impl Distribution<bool> for Standard {
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+    impl Distribution<u64> for Standard {
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+            rng.next_u64()
+        }
+    }
+    impl Distribution<u32> for Standard {
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+            rng.next_u32()
+        }
+    }
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: Sized + Copy + PartialOrd {
+        /// Uniform sample from `[low, high)`.
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        /// Uniform sample from `[low, high]`.
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    assert!(low < high, "gen_range: empty range");
+                    let span = (high - low) as u64;
+                    low + (rng.next_u64() % span) as $t
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    assert!(low <= high, "gen_range: empty range");
+                    let span = (high - low) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    low + (rng.next_u64() % (span + 1)) as $t
+                }
+            }
+        )*};
+    }
+    impl_uniform_int!(usize, u64, u32);
+
+    impl SampleUniform for f32 {
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+            assert!(low < high, "gen_range: empty range");
+            // Generate the fraction with f32 mantissa precision directly:
+            // casting a wider f64 fraction down could round up to exactly 1.0
+            // and violate the half-open contract.
+            let u = (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32);
+            low + u * (high - low)
+        }
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+            assert!(low <= high, "gen_range: empty range");
+            // 24-bit grid over the closed interval.
+            let steps = (1u64 << 24) as f32;
+            let u = (rng.next_u64() >> 40) as f32 / (steps - 1.0);
+            low + u * (high - low)
+        }
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+            assert!(low < high, "gen_range: empty range");
+            low + uniform_f64(rng) * (high - low)
+        }
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+            assert!(low <= high, "gen_range: empty range");
+            // 53-bit grid over the closed interval.
+            let steps = (1u64 << 53) as f64;
+            let u = (rng.next_u64() >> 11) as f64 / (steps - 1.0);
+            low + u * (high - low)
+        }
+    }
+
+    /// Uniform distribution over a fixed interval.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T: SampleUniform> {
+        low: T,
+        high: T,
+        inclusive: bool,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform over `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            Self {
+                low,
+                high,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform over `[low, high]`.
+        pub fn new_inclusive(low: T, high: T) -> Self {
+            Self {
+                low,
+                high,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: super::Rng + ?Sized>(&self, rng: &mut R) -> T {
+            if self.inclusive {
+                T::sample_inclusive(rng, self.low, self.high)
+            } else {
+                T::sample_half_open(rng, self.low, self.high)
+            }
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub use distributions::Distribution;
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = rng.gen_range(0..7);
+            assert!(x < 7);
+            let f: f64 = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&f));
+            let g: f32 = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn uniform_inclusive_stays_in_interval() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let dist = Uniform::new_inclusive(-0.5f32, 0.5);
+        for _ in 0..1000 {
+            let x = dist.sample(&mut rng);
+            assert!((-0.5..=0.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        use super::seq::SliceRandom;
+        let mut v: Vec<usize> = (0..50).collect();
+        let mut rng = SmallRng::seed_from_u64(5);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should move something");
+    }
+}

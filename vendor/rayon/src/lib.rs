@@ -1,0 +1,179 @@
+//! Vendored, offline-friendly stand-in for `rayon`'s parallel iterators.
+//!
+//! Provides the small API surface this workspace uses —
+//! `into_par_iter()` / `par_iter()` followed by `map`, `sum`, `collect` or
+//! `reduce`-style folding — implemented with `std::thread::scope` over
+//! contiguous chunks. `map` is *eager*: the closure runs in parallel at the
+//! `map` call and results are returned in input order, so downstream
+//! `sum`/`collect` are deterministic regardless of thread count.
+//!
+//! Thread count comes from `std::thread::available_parallelism`, and honours
+//! the real rayon's `RAYON_NUM_THREADS` environment variable
+//! (`RAYON_NUM_THREADS=1` forces fully serial execution, which the tests use
+//! to check bit-identical parallel vs serial results).
+
+use std::iter::{FromIterator, Sum};
+
+/// Import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+/// Number of worker threads to use for `len` items.
+fn thread_count(len: usize) -> usize {
+    let available = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+    available.min(len).max(1)
+}
+
+/// A materialized parallel iterator: operations consume an ordered `Vec`.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every item in parallel, preserving input order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let n_threads = thread_count(self.items.len());
+        if n_threads <= 1 {
+            return ParIter {
+                items: self.items.into_iter().map(f).collect(),
+            };
+        }
+        let len = self.items.len();
+        let chunk_size = len.div_ceil(n_threads);
+        // Collect chunk inputs so each worker owns its slice of items.
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(n_threads);
+        let mut items = self.items;
+        while !items.is_empty() {
+            let rest = items.split_off(chunk_size.min(items.len()));
+            chunks.push(std::mem::replace(&mut items, rest));
+        }
+        let f = &f;
+        let mapped: Vec<Vec<U>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        ParIter {
+            items: mapped.into_iter().flatten().collect(),
+        }
+    }
+
+    /// Keep only items matching the predicate (evaluated serially — the
+    /// expensive work should live in `map`).
+    #[must_use]
+    pub fn filter<F: Fn(&T) -> bool>(self, f: F) -> ParIter<T> {
+        ParIter {
+            items: self.items.into_iter().filter(|x| f(x)).collect(),
+        }
+    }
+
+    /// Sum the items in input order.
+    pub fn sum<S: Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Collect the items in input order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// The produced item type.
+    type Item: Send;
+
+    /// Convert into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// The produced item type.
+    type Item: Send + 'a;
+
+    /// Parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let out: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(out, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let par: u64 = (0..10_000).into_par_iter().map(|i| i as u64).sum();
+        assert_eq!(par, (0..10_000u64).sum());
+    }
+
+    #[test]
+    fn par_iter_over_slice() {
+        let v = vec![1u64, 2, 3, 4];
+        let s: u64 = v.par_iter().map(|&x| x * x).sum();
+        assert_eq!(s, 30);
+    }
+}

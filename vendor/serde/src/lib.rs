@@ -1,0 +1,316 @@
+//! Vendored, offline-friendly stand-in for the `serde` crate.
+//!
+//! The container this workspace builds in has no network access to
+//! crates.io, so the workspace vendors the *minimal* subset of serde it
+//! actually uses: `#[derive(Serialize, Deserialize)]` on plain structs and
+//! enums, driven through a JSON-shaped [`value::Value`] data model that
+//! `serde_json` (also vendored) renders to and parses from text.
+//!
+//! The public surface intentionally mirrors real serde's import paths
+//! (`use serde::{Deserialize, Serialize}`) so that swapping the real crates
+//! back in later is a one-line manifest change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+use value::{Error, Value};
+
+/// Types that can render themselves into the JSON-shaped [`Value`] model.
+pub trait Serialize {
+    /// Convert `self` into a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parse `Self` out of a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(i64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_i64().ok_or_else(|| Error::custom(concat!("expected integer for ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32);
+
+impl Serialize for i64 {
+    fn to_value(&self) -> Value {
+        Value::Int(*self)
+    }
+}
+impl Deserialize for i64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_i64()
+            .ok_or_else(|| Error::custom("expected integer for i64"))
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let n = v
+            .as_i64()
+            .ok_or_else(|| Error::custom("expected integer for isize"))?;
+        isize::try_from(n).map_err(|_| Error::custom("integer out of range for isize"))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(u64::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let n = v.as_u64().ok_or_else(|| Error::custom(concat!("expected unsigned integer for ", stringify!($t))))?;
+                <$t>::try_from(n).map_err(|_| Error::custom(concat!("integer out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self)
+    }
+}
+impl Deserialize for u64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_u64()
+            .ok_or_else(|| Error::custom("expected unsigned integer for u64"))
+    }
+}
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let n = v
+            .as_u64()
+            .ok_or_else(|| Error::custom("expected unsigned integer for usize"))?;
+        usize::try_from(n).map_err(|_| Error::custom("integer out of range for usize"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.as_f64()
+            .ok_or_else(|| Error::custom("expected number for f32"))? as f32)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::custom("expected number for f64"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::custom("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(Error::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for &str {
+    fn to_value(&self) -> Value {
+        Value::String((*self).to_string())
+    }
+}
+
+impl Serialize for std::path::PathBuf {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string_lossy().into_owned())
+    }
+}
+impl Deserialize for std::path::PathBuf {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::String(s) => Ok(std::path::PathBuf::from(s)),
+            _ => Err(Error::custom("expected string for PathBuf")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Containers
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::custom("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (*self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        self.as_ref().to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(Error::custom("expected 2-element array for tuple")),
+        }
+    }
+}
+
+/// Map keys rendered as JSON object keys (serde_json stringifies integers).
+pub trait MapKey: Sized + Ord {
+    /// The JSON object key for this map key.
+    fn to_key(&self) -> String;
+    /// Parse the map key back from a JSON object key.
+    fn from_key(s: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(s: &str) -> Result<Self, Error> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(|_| Error::custom("invalid integer map key"))
+            }
+        }
+    )*};
+}
+impl_map_key_int!(usize, u64, u32, i64, i32);
+
+impl<K: MapKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+impl<K: MapKey, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::from_value(v)?)))
+                .collect(),
+            _ => Err(Error::custom("expected object for map")),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}

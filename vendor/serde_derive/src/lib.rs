@@ -1,0 +1,470 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` macros for the offline build.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`):
+//! the item is parsed into a small shape model (named/tuple/unit structs,
+//! enums with unit/newtype/tuple/struct variants) and the impls are emitted
+//! as source strings. Supported field attributes:
+//! `#[serde(skip)]` and `#[serde(skip, default = "path")]`.
+//!
+//! Generics are intentionally unsupported — nothing in this workspace
+//! derives serde on a generic type.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+    default_fn: Option<String>,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derive the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Attributes collected before an item/field/variant; only `#[serde(...)]`
+/// contents are retained.
+fn take_attrs(tokens: &[TokenTree], mut idx: usize) -> (usize, bool, Option<String>) {
+    let mut skip = false;
+    let mut default_fn = None;
+    while idx < tokens.len() {
+        match &tokens[idx] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(idx + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let Some(TokenTree::Ident(id)) = inner.first() {
+                            if id.to_string() == "serde" {
+                                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                    parse_serde_args(args, &mut skip, &mut default_fn);
+                                }
+                            }
+                        }
+                        idx += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    (idx, skip, default_fn)
+}
+
+fn parse_serde_args(args: &proc_macro::Group, skip: &mut bool, default_fn: &mut Option<String>) {
+    let toks: Vec<TokenTree> = args.stream().into_iter().collect();
+    let mut i = 0;
+    while i < toks.len() {
+        match &toks[i] {
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                if word == "skip" {
+                    *skip = true;
+                    i += 1;
+                } else if word == "default" {
+                    // `default` or `default = "path"`.
+                    if let Some(TokenTree::Punct(p)) = toks.get(i + 1) {
+                        if p.as_char() == '=' {
+                            if let Some(TokenTree::Literal(lit)) = toks.get(i + 2) {
+                                let raw = lit.to_string();
+                                *default_fn = Some(raw.trim_matches('"').to_string());
+                            }
+                            i += 3;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                } else {
+                    panic!("vendored serde_derive: unsupported serde attribute `{word}`");
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => i += 1,
+            other => panic!("vendored serde_derive: unexpected token in serde attribute: {other}"),
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], mut idx: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(idx) {
+        if id.to_string() == "pub" {
+            idx += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(idx) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    idx += 1;
+                }
+            }
+        }
+    }
+    idx
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut idx, _, _) = take_attrs(&tokens, 0);
+    idx = skip_visibility(&tokens, idx);
+    let kind = match &tokens[idx] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("vendored serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    idx += 1;
+    let name = match &tokens[idx] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("vendored serde_derive: expected item name, got {other}"),
+    };
+    idx += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(idx) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive: generic types are not supported ({name})");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("vendored serde_derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("vendored serde_derive: unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("vendored serde_derive: expected struct/enum, got `{other}`"),
+    };
+    Item { name, shape }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        let (next, skip, default_fn) = take_attrs(&tokens, idx);
+        idx = skip_visibility(&tokens, next);
+        let name = match &tokens[idx] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("vendored serde_derive: expected field name, got {other}"),
+        };
+        idx += 1;
+        match &tokens[idx] {
+            TokenTree::Punct(p) if p.as_char() == ':' => idx += 1,
+            other => {
+                panic!("vendored serde_derive: expected `:` after field `{name}`, got {other}")
+            }
+        }
+        idx = skip_type(&tokens, idx);
+        // Optional trailing comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(idx) {
+            if p.as_char() == ',' {
+                idx += 1;
+            }
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default_fn,
+        });
+    }
+    fields
+}
+
+/// Advance past one type, stopping at a top-level `,` (angle brackets nest).
+fn skip_type(tokens: &[TokenTree], mut idx: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while idx < tokens.len() {
+        match &tokens[idx] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+            _ => {}
+        }
+        idx += 1;
+    }
+    idx
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut idx = 0;
+    while idx < tokens.len() {
+        let (next, _, _) = take_attrs(&tokens, idx);
+        idx = skip_visibility(&tokens, next);
+        idx = skip_type(&tokens, idx);
+        count += 1;
+        if let Some(TokenTree::Punct(p)) = tokens.get(idx) {
+            if p.as_char() == ',' {
+                idx += 1;
+            }
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        let (next, _, _) = take_attrs(&tokens, idx);
+        idx = next;
+        let name = match &tokens[idx] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("vendored serde_derive: expected variant name, got {other}"),
+        };
+        idx += 1;
+        let kind = match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                idx += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                idx += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip a possible discriminant and the separating comma.
+        while idx < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[idx] {
+                if p.as_char() == ',' {
+                    idx += 1;
+                    break;
+                }
+            }
+            idx += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s =
+                String::from("let mut fields: Vec<(String, serde::value::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.skip) {
+                s.push_str(&format!(
+                    "fields.push((\"{n}\".to_string(), serde::Serialize::to_value(&self.{n})));\n",
+                    n = f.name
+                ));
+            }
+            s.push_str("serde::value::Value::Object(fields)");
+            s
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "serde::value::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::value::Value::String(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vn}(x0) => serde::value::Value::Object(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(x0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({b}) => serde::value::Value::Object(vec![(\"{vn}\".to_string(), serde::value::Value::Array(vec![{v}]))]),\n",
+                            b = binds.join(", "),
+                            v = vals.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut fields: Vec<(String, serde::value::Value)> = Vec::new();\n",
+                        );
+                        for f in fields.iter().filter(|f| !f.skip) {
+                            inner.push_str(&format!(
+                                "fields.push((\"{n}\".to_string(), serde::Serialize::to_value({n})));\n",
+                                n = f.name
+                            ));
+                        }
+                        for f in fields.iter().filter(|f| f.skip) {
+                            inner.push_str(&format!("let _ = {};\n", f.name));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {b} }} => {{ {inner} serde::value::Value::Object(vec![(\"{vn}\".to_string(), serde::value::Value::Object(fields))]) }},\n",
+                            b = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::value::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn field_expr(owner: &str, f: &Field) -> String {
+    if f.skip {
+        match &f.default_fn {
+            Some(path) => format!("{n}: {path}(),", n = f.name),
+            None => format!("{n}: Default::default(),", n = f.name),
+        }
+    } else {
+        format!(
+            "{n}: match obj.iter().find(|kv| kv.0 == \"{n}\") {{\n\
+             Some(kv) => serde::Deserialize::from_value(&kv.1)?,\n\
+             None => return Err(serde::value::Error::custom(\"{owner}: missing field `{n}`\")),\n\
+             }},",
+            n = f.name
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let assigns: Vec<String> = fields.iter().map(|f| field_expr(name, f)).collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| serde::value::Error::custom(\"{name}: expected object\"))?;\n\
+                 Ok({name} {{\n{}\n}})",
+                assigns.join("\n")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| serde::value::Error::custom(\"{name}: expected array\"))?;\n\
+                 if items.len() != {n} {{ return Err(serde::value::Error::custom(\"{name}: wrong tuple arity\")); }}\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("let _ = v; Ok({name})"),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms
+                        .push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+                    VariantKind::Tuple(1) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_value(payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => payload_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                         let items = payload.as_array().ok_or_else(|| serde::value::Error::custom(\"{name}::{vn}: expected array\"))?;\n\
+                         if items.len() != {n} {{ return Err(serde::value::Error::custom(\"{name}::{vn}: wrong arity\")); }}\n\
+                         Ok({name}::{vn}({}))\n}}\n",
+                        (0..*n)
+                            .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )),
+                    VariantKind::Struct(fields) => {
+                        let assigns: Vec<String> =
+                            fields.iter().map(|f| field_expr(name, f)).collect();
+                        payload_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let obj = payload.as_object().ok_or_else(|| serde::value::Error::custom(\"{name}::{vn}: expected object\"))?;\n\
+                             Ok({name}::{vn} {{\n{}\n}})\n}}\n",
+                            assigns.join("\n")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 serde::value::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 _ => Err(serde::value::Error::custom(\"{name}: unknown variant\")),\n}},\n\
+                 serde::value::Value::Object(entries) if entries.len() == 1 => {{\n\
+                 let (key, payload) = &entries[0];\n\
+                 let _ = payload;\n\
+                 match key.as_str() {{\n{payload_arms}\
+                 _ => Err(serde::value::Error::custom(\"{name}: unknown variant\")),\n}}\n}},\n\
+                 _ => Err(serde::value::Error::custom(\"{name}: expected string or single-key object\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl serde::Deserialize for {name} {{\n\
+         fn from_value(v: &serde::value::Value) -> std::result::Result<Self, serde::value::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
