@@ -11,12 +11,23 @@ use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 use wgft_faultsim::{BitErrorRate, ExactArithmetic, FaultConfig, FaultyArithmetic};
 use wgft_fixedpoint::BitWidth;
-use wgft_tensor::ConvGeometry;
+use wgft_tensor::{gemm_f32, par_gemm_f32, ConvGeometry};
 use wgft_winograd::{
     direct_conv_f32, direct_conv_quantized, transform_weights_f32, winograd_conv_f32_reference,
     winograd_conv_quantized, ConvShape, PreparedConvF32, PreparedConvQuantized, WinogradVariant,
     WinogradWeights,
 };
+
+/// Sample count for one benchmark, honouring the CI smoke mode
+/// (`WGFT_BENCH_SMOKE=1` runs every measurement at a reduced sample count so
+/// the whole suite stays in CI budget while still exercising the code).
+fn samples(full: usize) -> usize {
+    if std::env::var_os("WGFT_BENCH_SMOKE").is_some() {
+        3
+    } else {
+        full
+    }
+}
 
 fn conv_fixture() -> (ConvShape, Vec<i32>, Vec<i32>, WinogradWeights) {
     let shape = ConvShape::new(16, 16, ConvGeometry::square(16, 3, 1, 1));
@@ -53,7 +64,7 @@ fn planned_fixture() -> (ConvShape, Vec<f32>, Vec<f32>) {
 fn bench_kernels(c: &mut Criterion) {
     let (shape, input, weights, wino) = conv_fixture();
     let mut group = c.benchmark_group("conv_kernels");
-    group.sample_size(20);
+    group.sample_size(samples(20));
     group.bench_function("direct_exact", |b| {
         b.iter(|| {
             let mut arith = ExactArithmetic::new();
@@ -90,7 +101,7 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("weight_transform");
-    group.sample_size(20);
+    group.sample_size(samples(20));
     let weights_f: Vec<f32> = (0..16 * 16 * 9).map(|i| (i % 17) as f32 * 0.01).collect();
     group.bench_function("f2x2", |b| {
         b.iter(|| {
@@ -110,7 +121,7 @@ fn bench_kernels(c: &mut Criterion) {
 fn bench_planned_vs_naive(c: &mut Criterion) {
     let (shape, input, weights) = planned_fixture();
     let mut group = c.benchmark_group("planned_f32_32c_64x64");
-    group.sample_size(15);
+    group.sample_size(samples(15));
     group.bench_function("naive_reference", |b| {
         b.iter(|| {
             black_box(
@@ -141,7 +152,127 @@ fn bench_planned_vs_naive(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_planned_vs_naive);
+/// Batched planned winograd on the acceptance-criteria layer: the whole
+/// batch's tiles fold into the GEMM free dimension, so `batch32` measures the
+/// throughput engine against 32 sequential `planned_prepared` executions.
+fn bench_planned_batch(c: &mut Criterion) {
+    let (shape, _, weights) = planned_fixture();
+    let mut group = c.benchmark_group("planned_f32_batch");
+    group.sample_size(samples(10));
+    for n in [1usize, 8, 32] {
+        let batch: Vec<f32> = (0..n * shape.input_len())
+            .map(|i| ((i * 41 % 257) as f32) * 0.009 - 1.1)
+            .collect();
+        let mut prepared = PreparedConvF32::new(&weights, &shape, WinogradVariant::F2x2).unwrap();
+        let mut output = vec![0.0f32; n * shape.output_len()];
+        group.bench_function(&format!("batch{n}"), |b| {
+            b.iter(|| {
+                prepared.execute_batch_into(&batch, n, &mut output).unwrap();
+                black_box(output[0])
+            })
+        });
+    }
+    // Fair sequential baseline: the *same* 32 distinct images producing 32
+    // distinct outputs, one `execute_into` each, so both sides pay the same
+    // memory traffic (the `planned_prepared` bench reuses one cache-warm
+    // image and one output buffer).
+    {
+        let n = 32usize;
+        let (in_len, out_len) = (shape.input_len(), shape.output_len());
+        let batch: Vec<f32> = (0..n * in_len)
+            .map(|i| ((i * 41 % 257) as f32) * 0.009 - 1.1)
+            .collect();
+        let mut prepared = PreparedConvF32::new(&weights, &shape, WinogradVariant::F2x2).unwrap();
+        let mut output = vec![0.0f32; n * out_len];
+        group.bench_function("sequential32", |b| {
+            b.iter(|| {
+                for img in 0..n {
+                    prepared
+                        .execute_into(
+                            &batch[img * in_len..(img + 1) * in_len],
+                            &mut output[img * out_len..(img + 1) * out_len],
+                        )
+                        .unwrap();
+                }
+                black_box(output[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The PR 1 GEMM kernel (two-row `i-k-j` streaming), kept verbatim as the
+/// regression baseline for the blocked microkernel.
+fn gemm_naive_pr1(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    c[..m * n].fill(0.0);
+    let mut i = 0;
+    while i + 1 < m {
+        let (arow0, arow1) = (&a[i * k..(i + 1) * k], &a[(i + 1) * k..(i + 2) * k]);
+        let (chead, ctail) = c[i * n..].split_at_mut(n);
+        let crow1 = &mut ctail[..n];
+        for p in 0..k {
+            let (av0, av1) = (arow0[p], arow1[p]);
+            let brow = &b[p * n..(p + 1) * n];
+            for ((o0, o1), &bv) in chead.iter_mut().zip(crow1.iter_mut()).zip(brow.iter()) {
+                *o0 += av0 * bv;
+                *o1 += av1 * bv;
+            }
+        }
+        i += 2;
+    }
+    if i < m {
+        let arow = &a[i * k..(i + 1) * k];
+        let crow = &mut c[i * n..(i + 1) * n];
+        for (p, &av) in arow.iter().enumerate() {
+            let brow = &b[p * n..(p + 1) * n];
+            for (o, &bv) in crow.iter_mut().zip(brow.iter()) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Blocked-vs-naive GEMM on a 256×256×256 product (the acceptance-criteria
+/// size), plus the stripe-parallel entry point.
+fn bench_gemm(c: &mut Criterion) {
+    const N: usize = 256;
+    let a: Vec<f32> = (0..N * N)
+        .map(|i| ((i * 31 % 19) as f32) * 0.07 - 0.6)
+        .collect();
+    let b: Vec<f32> = (0..N * N)
+        .map(|i| ((i * 17 % 23) as f32) * 0.05 - 0.5)
+        .collect();
+    let mut out = vec![0.0f32; N * N];
+    let mut group = c.benchmark_group("gemm_blocked_vs_naive");
+    group.sample_size(samples(10));
+    group.bench_function("naive_pr1", |bench| {
+        bench.iter(|| {
+            gemm_naive_pr1(&a, &b, &mut out, N, N, N);
+            black_box(out[0])
+        })
+    });
+    group.bench_function("blocked", |bench| {
+        bench.iter(|| {
+            gemm_f32(&a, &b, &mut out, N, N, N);
+            black_box(out[0])
+        })
+    });
+    group.bench_function("par", |bench| {
+        bench.iter(|| {
+            par_gemm_f32(&a, &b, &mut out, N, N, N);
+            black_box(out[0])
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_planned_vs_naive,
+    bench_planned_batch,
+    bench_gemm
+);
 
 fn main() {
     let mut c = Criterion::default();
@@ -171,12 +302,59 @@ fn report(c: &Criterion) {
         );
     }
 
+    if let (Some(batch32), Some(sequential)) = (
+        find("planned_f32_batch/batch32"),
+        find("planned_f32_batch/sequential32"),
+    ) {
+        let batch_img_per_sec = 32.0 / (batch32.mean_ns * 1e-9);
+        let seq_img_per_sec = 32.0 / (sequential.mean_ns * 1e-9);
+        println!(
+            "batched f32 winograd (32c, 64x64): batch32 {batch_img_per_sec:.1} images/s vs \
+             {seq_img_per_sec:.1} images/s for 32 sequential execute_into this run ({:.2}x)",
+            batch_img_per_sec / seq_img_per_sec,
+        );
+    }
+    if let (Some(naive), Some(blocked)) = (
+        find("gemm_blocked_vs_naive/naive_pr1"),
+        find("gemm_blocked_vs_naive/blocked"),
+    ) {
+        println!(
+            "blocked gemm_f32 vs PR 1 kernel (256x256x256): {:.2}x on means \
+             ({:.0} ns -> {:.0} ns)",
+            naive.mean_ns / blocked.mean_ns,
+            naive.mean_ns,
+            blocked.mean_ns,
+        );
+    }
+
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
     let mut runs: Vec<serde_json::Value> = std::fs::read_to_string(path)
         .ok()
         .and_then(|text| serde_json::parse(&text).ok())
         .and_then(|v| v.get("runs").and_then(|r| r.as_array().map(<[_]>::to_vec)))
         .unwrap_or_default();
+
+    // Perf trajectory: compare this run's batched throughput against the
+    // oldest recorded per-image engine (the PR 1 baseline).
+    let baseline_prepared_ns = runs
+        .iter()
+        .filter_map(|run| run.get("measurements").and_then(|m| m.as_array()))
+        .flat_map(|measurements| measurements.iter())
+        .find(|m| {
+            m.get("id").and_then(|id| id.as_str()) == Some("planned_f32_32c_64x64/planned_prepared")
+        })
+        .and_then(|m| m.get("mean_ns").and_then(serde_json::Value::as_f64));
+    if let (Some(baseline_ns), Some(batch32)) =
+        (baseline_prepared_ns, find("planned_f32_batch/batch32"))
+    {
+        let batch_img_per_sec = 32.0 / (batch32.mean_ns * 1e-9);
+        let baseline_img_per_sec = 1.0 / (baseline_ns * 1e-9);
+        println!(
+            "batched f32 winograd vs first recorded per-image baseline: \
+             {batch_img_per_sec:.1} images/s vs {baseline_img_per_sec:.1} images/s ({:.2}x)",
+            batch_img_per_sec / baseline_img_per_sec,
+        );
+    }
     let measurements: Vec<serde_json::Value> = results
         .iter()
         .map(|r| {

@@ -11,7 +11,7 @@ use wgft_faultsim::{
 };
 use wgft_nn::{QuantizedNetwork, QuantizerOptions, TrainedModel};
 use wgft_tensor::Tensor;
-use wgft_winograd::ConvAlgorithm;
+use wgft_winograd::{ConvAlgorithm, WinogradScratch};
 
 /// A prepared fault-tolerance campaign: a trained, quantized model-zoo network
 /// plus its evaluation set.
@@ -81,6 +81,14 @@ impl FaultToleranceCampaign {
         &self.config
     }
 
+    /// Re-tune the evaluation batch size without re-preparing (batching is
+    /// bit-identical, so this only affects wall-clock).
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.config.batch_size = batch_size.max(1);
+        self
+    }
+
     /// The trained floating-point model.
     #[must_use]
     pub fn trained(&self) -> &TrainedModel {
@@ -109,10 +117,13 @@ impl FaultToleranceCampaign {
     ///
     /// Every evaluation image uses an independent, deterministic fault seed
     /// derived from the campaign's base seed, so repeated calls are
-    /// reproducible — and the images can be evaluated in parallel without
-    /// changing the result: the per-image outcomes are summed in image order,
-    /// so this is bit-identical to a serial evaluation regardless of thread
-    /// count (set `RAYON_NUM_THREADS=1` to force the serial schedule).
+    /// reproducible. Evaluation is batched: rayon workers take
+    /// [`CampaignConfig::batch_size`]-image chunks, and the images of a chunk
+    /// share one winograd scratch arena instead of reallocating per forward
+    /// pass. Per-image outcomes are summed in image order, so the result is
+    /// bit-identical to a serial per-image evaluation regardless of thread
+    /// count or batch size (set `RAYON_NUM_THREADS=1` to force the serial
+    /// schedule).
     #[must_use]
     pub fn accuracy_under(
         &self,
@@ -121,23 +132,30 @@ impl FaultToleranceCampaign {
         protection: &ProtectionPlan,
     ) -> f64 {
         let samples = self.eval_set.samples();
-        let correct: usize = (0..samples.len())
-            .into_par_iter()
-            .map(|i| {
-                let sample = &samples[i];
-                let config = FaultConfig {
-                    ber,
-                    width: self.config.width,
-                    model: self.config.fault_model,
-                    protection: protection.clone(),
-                };
-                let seed = self.config.base_seed.wrapping_add(1 + i as u64);
-                let mut arith = FaultyArithmetic::new(config, seed);
-                let predicted = self
-                    .quantized
-                    .classify(&sample.image, &mut arith, algo)
-                    .unwrap_or(usize::MAX);
-                usize::from(predicted == sample.label)
+        let batch = self.config.batch_size.max(1);
+        let correct: usize = samples
+            .par_chunks(batch)
+            .enumerate()
+            .map(|(chunk_idx, chunk)| {
+                let mut scratch = WinogradScratch::new();
+                let mut chunk_correct = 0usize;
+                for (offset, sample) in chunk.iter().enumerate() {
+                    let i = chunk_idx * batch + offset;
+                    let config = FaultConfig {
+                        ber,
+                        width: self.config.width,
+                        model: self.config.fault_model,
+                        protection: protection.clone(),
+                    };
+                    let seed = self.config.base_seed.wrapping_add(1 + i as u64);
+                    let mut arith = FaultyArithmetic::new(config, seed);
+                    let predicted = self
+                        .quantized
+                        .classify_with_scratch(&sample.image, &mut arith, algo, &mut scratch)
+                        .unwrap_or(usize::MAX);
+                    chunk_correct += usize::from(predicted == sample.label);
+                }
+                chunk_correct
             })
             .sum();
         correct as f64 / self.eval_set.len().max(1) as f64
@@ -177,25 +195,37 @@ impl FaultToleranceCampaign {
     #[must_use]
     pub fn accuracy_neuron_level(&self, algo: ConvAlgorithm, ber: BitErrorRate) -> f64 {
         let samples = self.eval_set.samples();
-        let correct: usize = (0..samples.len())
-            .into_par_iter()
-            .map(|i| {
-                let sample = &samples[i];
-                let seed = self.config.base_seed.wrapping_add(0x9000 + i as u64);
-                let mut injector = NeuronLevelInjector::new(ber, self.config.width, seed);
-                // A failed forward pass counts as a wrong prediction (argmax
-                // of empty logits would alias class 0).
-                let predicted = self
-                    .quantized
-                    .forward_with_neuron_faults(&sample.image, &mut injector, algo)
-                    .map_or(usize::MAX, |logits| {
-                        if logits.is_empty() {
-                            usize::MAX
-                        } else {
-                            wgft_data::argmax(&logits)
-                        }
-                    });
-                usize::from(predicted == sample.label)
+        let batch = self.config.batch_size.max(1);
+        let correct: usize = samples
+            .par_chunks(batch)
+            .enumerate()
+            .map(|(chunk_idx, chunk)| {
+                let mut scratch = WinogradScratch::new();
+                let mut chunk_correct = 0usize;
+                for (offset, sample) in chunk.iter().enumerate() {
+                    let i = chunk_idx * batch + offset;
+                    let seed = self.config.base_seed.wrapping_add(0x9000 + i as u64);
+                    let mut injector = NeuronLevelInjector::new(ber, self.config.width, seed);
+                    // A failed forward pass counts as a wrong prediction
+                    // (argmax of empty logits would alias class 0).
+                    let predicted = self
+                        .quantized
+                        .forward_with_neuron_faults_scratch(
+                            &sample.image,
+                            &mut injector,
+                            algo,
+                            &mut scratch,
+                        )
+                        .map_or(usize::MAX, |logits| {
+                            if logits.is_empty() {
+                                usize::MAX
+                            } else {
+                                wgft_data::argmax(&logits)
+                            }
+                        });
+                    chunk_correct += usize::from(predicted == sample.label);
+                }
+                chunk_correct
             })
             .sum();
         correct as f64 / self.eval_set.len().max(1) as f64

@@ -25,6 +25,11 @@ pub struct CampaignConfig {
     pub train_config: TrainConfig,
     /// Number of test images evaluated per fault configuration.
     pub eval_images: usize,
+    /// Images per evaluation batch: campaigns feed rayon workers
+    /// `batch_size`-image chunks that share scratch buffers (and, on the
+    /// float path, one batched winograd schedule) instead of dispatching one
+    /// task per image. Results are bit-identical for any value ≥ 1.
+    pub batch_size: usize,
     /// Where soft errors land (see [`FaultModel`]).
     pub fault_model: FaultModel,
     /// Base RNG seed: dataset, training and per-image fault seeds derive from it.
@@ -45,6 +50,7 @@ impl CampaignConfig {
             train_per_class: 40,
             train_config: TrainConfig::default(),
             eval_images: 32,
+            batch_size: 32,
             fault_model: FaultModel::default(),
             base_seed: 0xC0FFEE,
             cache_dir: None,
@@ -71,6 +77,13 @@ impl CampaignConfig {
     #[must_use]
     pub fn with_images(mut self, eval_images: usize) -> Self {
         self.eval_images = eval_images.max(1);
+        self
+    }
+
+    /// Override the evaluation batch size (floored at one image).
+    #[must_use]
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
         self
     }
 
@@ -119,12 +132,14 @@ mod tests {
     fn builders_override_fields() {
         let c = CampaignConfig::new(ModelKind::VggSmall, BitWidth::W16)
             .with_images(7)
+            .with_batch_size(4)
             .with_seed(9)
             .with_fault_model(FaultModel::ResultOnly)
             .with_cache_dir("/tmp/zoo")
             .with_spec(SyntheticSpec::tiny())
             .with_train_config(TrainConfig::fast());
         assert_eq!(c.eval_images, 7);
+        assert_eq!(c.batch_size, 4);
         assert_eq!(c.base_seed, 9);
         assert_eq!(c.fault_model, FaultModel::ResultOnly);
         assert_eq!(
@@ -139,6 +154,7 @@ mod tests {
     fn with_images_floors_at_one() {
         let c = CampaignConfig::new(ModelKind::VggSmall, BitWidth::W8).with_images(0);
         assert_eq!(c.eval_images, 1);
+        assert_eq!(c.with_batch_size(0).batch_size, 1);
     }
 
     #[test]

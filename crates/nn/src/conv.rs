@@ -3,8 +3,8 @@
 use crate::NnError;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use wgft_tensor::{ConvGeometry, Shape, Tensor};
-use wgft_winograd::{direct_conv_f32, ConvShape, PreparedConvF32, WinogradVariant};
+use wgft_tensor::{ConvGeometry, Shape, Tensor, TensorError};
+use wgft_winograd::{direct_conv_f32, ConvShape, PreparedConvF32, WinogradError, WinogradVariant};
 
 /// A 2-D convolution layer (square kernel, cross-correlation convention) for
 /// the floating-point training path.
@@ -138,20 +138,109 @@ impl Conv2d {
         self.finish_output(out)
     }
 
+    /// Inference-only forward pass on a whole `(N, C, H, W)` batch.
+    ///
+    /// Winograd-eligible layers run the batch through
+    /// [`PreparedConvF32::execute_batch_into`], folding all `N·P` tiles into
+    /// the GEMM free dimension so the weight transform and block scheduling
+    /// are paid once per batch instead of once per image; other geometries
+    /// fall back to per-image direct convolution. The result is bit-identical
+    /// to `N` [`Conv2d::forward_planned`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError`] if the input is not a 4-D batch matching the
+    /// layer's geometry.
+    pub fn forward_planned_batch(&mut self, input: &Tensor) -> Result<Tensor, NnError> {
+        let dims = input.shape().dims();
+        if dims.len() != 4 {
+            return Err(NnError::Tensor(TensorError::RankMismatch {
+                expected: 4,
+                actual: dims.len(),
+            }));
+        }
+        let n = dims[0];
+        let g = &self.shape.geometry;
+        let (out_h, out_w) = (g.out_h(), g.out_w());
+        let out_len = self.shape.output_len();
+        let in_len = self.shape.input_len();
+        // Validate before either path slices: the per-image volume must be
+        // exactly the layer's input plane set.
+        if dims[1] * dims[2] * dims[3] != in_len {
+            return Err(NnError::Winograd(WinogradError::BufferSizeMismatch {
+                what: "batched input image",
+                expected: in_len,
+                actual: dims[1] * dims[2] * dims[3],
+            }));
+        }
+        if !g.is_unit_stride_3x3() {
+            // Non-winograd geometry: per-image direct convolution. This is an
+            // *announced* fallback — the layer's batched-kernel counter does
+            // not advance, which is what the silent-fallback guard checks.
+            let mut out = vec![0.0f32; n * out_len];
+            for img in 0..n {
+                let per = direct_conv_f32(
+                    &input.data()[img * in_len..(img + 1) * in_len],
+                    self.weights.data(),
+                    &self.shape,
+                )?;
+                out[img * out_len..(img + 1) * out_len].copy_from_slice(&per);
+            }
+            let mut out_t =
+                Tensor::from_vec(Shape::nchw(n, self.shape.out_channels, out_h, out_w), out)?;
+            self.add_bias_batch(&mut out_t, n);
+            return Ok(out_t);
+        }
+        if self.prepared.is_none() {
+            self.prepared = Some(PreparedConvF32::new(
+                self.weights.data(),
+                &self.shape,
+                WinogradVariant::default(),
+            )?);
+        }
+        let prepared = self.prepared.as_mut().expect("prepared plan built above");
+        let mut out_t = Tensor::zeros(Shape::nchw(n, self.shape.out_channels, out_h, out_w));
+        prepared.execute_batch_into(input.data(), n, out_t.data_mut())?;
+        self.add_bias_batch(&mut out_t, n);
+        Ok(out_t)
+    }
+
+    /// How many times this layer's winograd plan has executed through the
+    /// batched engine. Zero until a [`Conv2d::forward_planned_batch`] call
+    /// reaches [`PreparedConvF32::execute_batch_into`]; the batched
+    /// inference path asserts on the delta to catch a silent fallback to
+    /// per-image execution.
+    #[must_use]
+    pub fn batched_kernel_executions(&self) -> u64 {
+        self.prepared
+            .as_ref()
+            .map_or(0, PreparedConvF32::batched_executions)
+    }
+
     /// Wrap a raw conv output in a tensor and add the per-channel bias.
     fn finish_output(&self, out: Vec<f32>) -> Result<Tensor, NnError> {
         let g = &self.shape.geometry;
         let (out_h, out_w) = (g.out_h(), g.out_w());
         let mut out_t =
             Tensor::from_vec(Shape::nchw(1, self.shape.out_channels, out_h, out_w), out)?;
-        for oc in 0..self.shape.out_channels {
-            let b = self.bias.data()[oc];
-            let base = oc * out_h * out_w;
-            for v in &mut out_t.data_mut()[base..base + out_h * out_w] {
-                *v += b;
+        self.add_bias_batch(&mut out_t, 1);
+        Ok(out_t)
+    }
+
+    /// Add the per-channel bias to every image of a `(N, O, H', W')` buffer.
+    fn add_bias_batch(&self, out_t: &mut Tensor, n: usize) {
+        let g = &self.shape.geometry;
+        let pixels = g.out_h() * g.out_w();
+        let out_len = self.shape.out_channels * pixels;
+        for img in 0..n {
+            for oc in 0..self.shape.out_channels {
+                let b = self.bias.data()[oc];
+                let base = img * out_len + oc * pixels;
+                for v in &mut out_t.data_mut()[base..base + pixels] {
+                    *v += b;
+                }
             }
         }
-        Ok(out_t)
     }
 
     /// Backward pass: accumulates weight/bias gradients and returns the
@@ -400,6 +489,76 @@ mod tests {
         for (d, p) in direct.data().iter().zip(after.data()) {
             assert!((d - p).abs() < 1e-3);
         }
+    }
+
+    /// The batched planned forward must be bit-identical to running each
+    /// image through `forward_planned`, for winograd-eligible layers and for
+    /// the announced 1x1 direct fallback, including N=1 and ragged sizes.
+    #[test]
+    fn batched_planned_forward_matches_per_image_bit_for_bit() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        for (in_c, out_c, size, kernel, pad) in [
+            (2usize, 3usize, 8usize, 3usize, 1usize),
+            (1, 2, 5, 3, 1),
+            (3, 2, 6, 1, 0), // non-winograd geometry: direct fallback
+        ] {
+            for n in [1usize, 2, 5] {
+                let mut conv = Conv2d::new(in_c, out_c, size, kernel, pad, &mut rng);
+                let images: Vec<Tensor> = (0..n)
+                    .map(|_| Tensor::uniform(Shape::nchw(1, in_c, size, size), 1.0, &mut rng))
+                    .collect();
+                let mut stacked = Vec::new();
+                for image in &images {
+                    stacked.extend_from_slice(image.data());
+                }
+                let batch = Tensor::from_vec(Shape::nchw(n, in_c, size, size), stacked).unwrap();
+                let batched = conv.forward_planned_batch(&batch).unwrap();
+                let out_size = conv.output_size();
+                assert_eq!(batched.shape(), &Shape::nchw(n, out_c, out_size, out_size));
+                let per_len = out_c * out_size * out_size;
+                for (img, image) in images.iter().enumerate() {
+                    let single = conv.forward_planned(image).unwrap();
+                    assert_eq!(
+                        single.data(),
+                        &batched.data()[img * per_len..(img + 1) * per_len],
+                        "k{kernel} c{in_c}->{out_c} s{size} n{n} image {img}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernel_counter_flags_fallbacks() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        // Winograd-eligible layer: the counter must advance on a batch.
+        let mut conv = Conv2d::new(1, 1, 6, 3, 1, &mut rng);
+        let batch = Tensor::uniform(Shape::nchw(2, 1, 6, 6), 1.0, &mut rng);
+        assert_eq!(conv.batched_kernel_executions(), 0);
+        let _ = conv.forward_planned_batch(&batch).unwrap();
+        assert_eq!(conv.batched_kernel_executions(), 1);
+        // 1x1 layer: announced direct fallback, counter stays put.
+        let mut one = Conv2d::new(1, 1, 6, 1, 0, &mut rng);
+        let _ = one.forward_planned_batch(&batch).unwrap();
+        assert_eq!(one.batched_kernel_executions(), 0);
+    }
+
+    #[test]
+    fn batched_forward_rejects_non_batched_input() {
+        let mut conv = layer(1, 1, 4, 3, 1);
+        let flat = Tensor::zeros(Shape::d2(4, 4));
+        assert!(conv.forward_planned_batch(&flat).is_err());
+    }
+
+    /// A size-mismatched batch must be an error (not a slice panic) on both
+    /// the winograd path and the direct fallback.
+    #[test]
+    fn batched_forward_rejects_wrong_image_size_on_both_paths() {
+        let wrong = Tensor::zeros(Shape::nchw(2, 1, 5, 5));
+        let mut wino = layer(1, 1, 6, 3, 1);
+        assert!(wino.forward_planned_batch(&wrong).is_err());
+        let mut direct = layer(1, 1, 6, 1, 0);
+        assert!(direct.forward_planned_batch(&wrong).is_err());
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use crate::{Add, Concat, Conv2d, GlobalAvgPool, Linear, MaxPool2, NnError, Relu};
 use serde::{Deserialize, Serialize};
-use wgft_tensor::Tensor;
+use wgft_tensor::{Shape, Tensor};
 
 /// Where a node reads its input from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -158,6 +158,26 @@ impl Layer {
     }
 }
 
+/// Resolve one input of a batched forward pass to image `img`'s tensor.
+fn resolve_batch_input<'a, T: AsRef<Tensor>>(
+    images: &'a [T],
+    activations: &'a [Option<Vec<Tensor>>],
+    r: &InputRef,
+    img: usize,
+    node: usize,
+) -> Result<&'a Tensor, NnError> {
+    match r {
+        InputRef::Image => Ok(images[img].as_ref()),
+        InputRef::Node(src) => activations[*src]
+            .as_ref()
+            .and_then(|per_image| per_image.get(img))
+            .ok_or(NnError::InvalidGraph {
+                node,
+                reason: format!("input node {src} produced no activation"),
+            }),
+    }
+}
+
 /// A node of the graph: a layer plus where it reads its inputs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Node {
@@ -291,6 +311,109 @@ impl Network {
             .trace_internal(image, true)?
             .pop()
             .expect("trace of a non-empty network"))
+    }
+
+    /// Inference-only forward pass over a batch of images.
+    ///
+    /// Convolution layers execute through their batched winograd datapath
+    /// ([`Conv2d::forward_planned_batch`]) with the whole batch folded into
+    /// one scatter–GEMM–gather schedule; every other layer is applied
+    /// per-image. Returns one logits tensor per input image, bit-identical to
+    /// calling [`Network::forward_inference`] on each image in turn.
+    ///
+    /// In debug builds a winograd-eligible convolution that fails to advance
+    /// its batched-kernel counter (i.e. silently degrades to per-image
+    /// execution) panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyNetwork`] for an empty graph or any layer
+    /// error.
+    pub fn forward_inference_batch<T: AsRef<Tensor>>(
+        &mut self,
+        images: &[T],
+    ) -> Result<Vec<Tensor>, NnError> {
+        if self.nodes.is_empty() {
+            return Err(NnError::EmptyNetwork);
+        }
+        if images.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n = images.len();
+        // Free each node's per-image activations once its last consumer ran.
+        let mut last_use = vec![usize::MAX; self.nodes.len()];
+        for (idx, node) in self.nodes.iter().enumerate() {
+            for r in &node.inputs {
+                if let InputRef::Node(src) = r {
+                    last_use[*src] = idx;
+                }
+            }
+        }
+        let mut activations: Vec<Option<Vec<Tensor>>> = vec![None; self.nodes.len()];
+        for idx in 0..self.nodes.len() {
+            let input_ids: Vec<InputRef> = self.nodes[idx].inputs.clone();
+            let out: Vec<Tensor> = match &mut self.nodes[idx].layer {
+                Layer::Conv(conv) => {
+                    if input_ids.len() != 1 {
+                        return Err(NnError::WrongInputCount {
+                            layer: "conv",
+                            expected: 1,
+                            actual: input_ids.len(),
+                        });
+                    }
+                    // Stack the per-image inputs into one (N, C, H, W) batch.
+                    let first = resolve_batch_input(images, &activations, &input_ids[0], 0, idx)?;
+                    let dims = first.shape().dims().to_vec();
+                    let mut stacked = Vec::with_capacity(n * first.len());
+                    stacked.extend_from_slice(first.data());
+                    for img in 1..n {
+                        let t = resolve_batch_input(images, &activations, &input_ids[0], img, idx)?;
+                        stacked.extend_from_slice(t.data());
+                    }
+                    let batched_in =
+                        Tensor::from_vec(Shape::nchw(n, dims[1], dims[2], dims[3]), stacked)?;
+                    let kernel_runs_before = conv.batched_kernel_executions();
+                    let batched_out = conv.forward_planned_batch(&batched_in)?;
+                    debug_assert!(
+                        !conv.conv_shape().geometry.is_unit_stride_3x3()
+                            || conv.batched_kernel_executions() > kernel_runs_before,
+                        "winograd-eligible conv fell back to per-image execution \
+                         inside the batched inference path"
+                    );
+                    let odims = batched_out.shape().dims().to_vec();
+                    let per_out = odims[1] * odims[2] * odims[3];
+                    (0..n)
+                        .map(|img| {
+                            Tensor::from_vec(
+                                Shape::nchw(1, odims[1], odims[2], odims[3]),
+                                batched_out.data()[img * per_out..(img + 1) * per_out].to_vec(),
+                            )
+                            .map_err(NnError::from)
+                        })
+                        .collect::<Result<Vec<Tensor>, NnError>>()?
+                }
+                other => {
+                    let mut outs = Vec::with_capacity(n);
+                    for img in 0..n {
+                        let refs: Vec<&Tensor> = input_ids
+                            .iter()
+                            .map(|r| resolve_batch_input(images, &activations, r, img, idx))
+                            .collect::<Result<_, _>>()?;
+                        outs.push(other.forward_inference(&refs)?);
+                    }
+                    outs
+                }
+            };
+            for r in &input_ids {
+                if let InputRef::Node(src) = r {
+                    if last_use[*src] == idx {
+                        activations[*src] = None;
+                    }
+                }
+            }
+            activations[idx] = Some(out);
+        }
+        Ok(activations.pop().flatten().expect("final node executed"))
     }
 
     fn trace_internal(&mut self, image: &Tensor, planned: bool) -> Result<Vec<Tensor>, NnError> {
@@ -569,6 +692,79 @@ mod tests {
                 "training {a} vs planned inference {b}"
             );
         }
+    }
+
+    /// Batched inference must agree bit-for-bit with per-image inference,
+    /// across plain stacks and graphs with residual/concat joins, for N=1
+    /// and ragged batch sizes.
+    #[test]
+    fn forward_inference_batch_matches_per_image_bit_for_bit() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        let mut residual = Network::new("residual");
+        let conv1 = residual
+            .push(
+                Layer::Conv(Conv2d::new(1, 4, 6, 3, 1, &mut rng)),
+                vec![InputRef::Image],
+            )
+            .unwrap();
+        let conv2 = residual
+            .push(
+                Layer::Conv(Conv2d::new(4, 4, 6, 3, 1, &mut rng)),
+                vec![InputRef::Node(conv1)],
+            )
+            .unwrap();
+        let add = residual
+            .push(
+                Layer::Add(Add::new()),
+                vec![InputRef::Node(conv1), InputRef::Node(conv2)],
+            )
+            .unwrap();
+        let gap = residual
+            .push(
+                Layer::GlobalAvgPool(GlobalAvgPool::new()),
+                vec![InputRef::Node(add)],
+            )
+            .unwrap();
+        residual
+            .push(
+                Layer::Linear(Linear::new(4, 3, &mut rng)),
+                vec![InputRef::Node(gap)],
+            )
+            .unwrap();
+
+        for net in [&mut tiny_network(7), &mut residual] {
+            for n in [1usize, 2, 5] {
+                let image_size = if net.name() == "tiny" { 4 } else { 6 };
+                let images: Vec<Tensor> = (0..n)
+                    .map(|_| {
+                        Tensor::uniform(Shape::nchw(1, 1, image_size, image_size), 1.0, &mut rng)
+                    })
+                    .collect();
+                let batched = net.forward_inference_batch(&images).unwrap();
+                assert_eq!(batched.len(), n);
+                for (img, image) in images.iter().enumerate() {
+                    let single = net.forward_inference(image).unwrap();
+                    assert_eq!(
+                        single.data(),
+                        batched[img].data(),
+                        "{} n{n} image {img}",
+                        net.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inference_batch_edge_cases() {
+        let mut net = tiny_network(9);
+        let no_images: &[Tensor] = &[];
+        assert!(net.forward_inference_batch(no_images).unwrap().is_empty());
+        let mut empty = Network::new("empty");
+        assert!(matches!(
+            empty.forward_inference_batch(&[Tensor::zeros(Shape::nchw(1, 1, 4, 4))]),
+            Err(NnError::EmptyNetwork)
+        ));
     }
 
     #[test]

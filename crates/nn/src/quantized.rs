@@ -321,7 +321,26 @@ impl QuantizedNetwork {
         arith: &mut A,
         algo: ConvAlgorithm,
     ) -> Result<Vec<f32>, NnError> {
-        self.forward_internal(image, arith, algo, None)
+        self.forward_internal(image, arith, algo, None, &mut WinogradScratch::new())
+    }
+
+    /// [`QuantizedNetwork::forward`] with a caller-owned winograd scratch
+    /// arena, so batch evaluation loops can reuse one set of buffers across
+    /// many images instead of reallocating per forward pass. Results are
+    /// bit-identical to [`QuantizedNetwork::forward`] (the kernels clear the
+    /// scratch before use).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::forward`].
+    pub fn forward_with_scratch<A: Arithmetic>(
+        &self,
+        image: &Tensor,
+        arith: &mut A,
+        algo: ConvAlgorithm,
+        scratch: &mut WinogradScratch,
+    ) -> Result<Vec<f32>, NnError> {
+        self.forward_internal(image, arith, algo, None, scratch)
     }
 
     /// Run inference and return the predicted class.
@@ -338,6 +357,24 @@ impl QuantizedNetwork {
         Ok(argmax(&self.forward(image, arith, algo)?))
     }
 
+    /// [`QuantizedNetwork::classify`] with a caller-owned winograd scratch
+    /// arena (see [`QuantizedNetwork::forward_with_scratch`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::forward`].
+    pub fn classify_with_scratch<A: Arithmetic>(
+        &self,
+        image: &Tensor,
+        arith: &mut A,
+        algo: ConvAlgorithm,
+        scratch: &mut WinogradScratch,
+    ) -> Result<usize, NnError> {
+        Ok(argmax(
+            &self.forward_with_scratch(image, arith, algo, scratch)?,
+        ))
+    }
+
     /// Run inference with a *neuron-level* injector corrupting every compute
     /// layer's output values (the TensorFI/PyTorchFI-style baseline of
     /// Figure 1). The arithmetic itself is exact.
@@ -351,8 +388,24 @@ impl QuantizedNetwork {
         injector: &mut NeuronLevelInjector,
         algo: ConvAlgorithm,
     ) -> Result<Vec<f32>, NnError> {
+        self.forward_with_neuron_faults_scratch(image, injector, algo, &mut WinogradScratch::new())
+    }
+
+    /// [`QuantizedNetwork::forward_with_neuron_faults`] with a caller-owned
+    /// winograd scratch arena for batch evaluation loops.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::forward`].
+    pub fn forward_with_neuron_faults_scratch(
+        &self,
+        image: &Tensor,
+        injector: &mut NeuronLevelInjector,
+        algo: ConvAlgorithm,
+        scratch: &mut WinogradScratch,
+    ) -> Result<Vec<f32>, NnError> {
         let mut exact = ExactArithmetic::new();
-        self.forward_internal(image, &mut exact, algo, Some(injector))
+        self.forward_internal(image, &mut exact, algo, Some(injector), scratch)
     }
 
     fn forward_internal<A: Arithmetic>(
@@ -361,6 +414,7 @@ impl QuantizedNetwork {
         arith: &mut A,
         algo: ConvAlgorithm,
         mut neuron_injector: Option<&mut NeuronLevelInjector>,
+        wino_scratch: &mut WinogradScratch,
     ) -> Result<Vec<f32>, NnError> {
         // The neuron-level baseline always sees the *standard* convolution
         // operation volume: a generic framework has no visibility into the
@@ -369,8 +423,9 @@ impl QuantizedNetwork {
         let image_q = self.input_format.quantize_slice(image.data());
         let mut outputs: Vec<(Vec<i32>, QFormat)> = Vec::with_capacity(self.nodes.len());
         // One scratch arena shared by every winograd layer of this forward
-        // pass — nothing inside the kernels' per-tile loops allocates.
-        let mut wino_scratch = WinogradScratch::new();
+        // pass (and, via the `_with_scratch` entry points, across a whole
+        // batch of forward passes) — nothing inside the kernels' per-tile
+        // loops allocates.
 
         for node in &self.nodes {
             let gather = |r: &InputRef| -> (&[i32], QFormat) {
@@ -402,7 +457,7 @@ impl QuantizedNetwork {
                                 input,
                                 w,
                                 shape,
-                                &mut wino_scratch,
+                                wino_scratch,
                             )?,
                             in_format.frac_bits() + winograd_frac,
                         )

@@ -194,19 +194,31 @@ impl Trainer {
     }
 }
 
+/// Images per [`Network::forward_inference_batch`] call when evaluating a
+/// dataset: large enough to fill the batched winograd GEMMs, small enough to
+/// keep per-batch activation memory modest.
+pub(crate) const EVAL_BATCH: usize = 32;
+
 /// Floating-point top-1 accuracy of `network` over `data`.
+///
+/// Evaluates in [`EVAL_BATCH`]-image chunks through the batched planned
+/// winograd datapath — bit-identical to a per-image
+/// [`Network::forward_inference`] loop, several times cheaper on the conv
+/// layers.
 ///
 /// # Errors
 ///
 /// Propagates forward-pass errors.
 pub(crate) fn evaluate(network: &mut Network, data: &Dataset) -> Result<f64, NnError> {
     let mut correct = 0usize;
-    for sample in data {
-        // Inference-only path: planned winograd for eligible conv layers, no
-        // activation caching for a backward pass.
-        let logits = network.forward_inference(&sample.image)?;
-        if argmax(logits.data()) == sample.label {
-            correct += 1;
+    let samples = data.samples();
+    for chunk in samples.chunks(EVAL_BATCH.max(1)) {
+        let images: Vec<&Tensor> = chunk.iter().map(|s| &s.image).collect();
+        let logits = network.forward_inference_batch(&images)?;
+        for (out, sample) in logits.iter().zip(chunk) {
+            if argmax(out.data()) == sample.label {
+                correct += 1;
+            }
         }
     }
     Ok(correct as f64 / data.len().max(1) as f64)

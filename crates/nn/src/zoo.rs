@@ -30,6 +30,9 @@ pub struct TrainedModel {
 
 /// Floating-point top-1 accuracy of a network over a dataset.
 ///
+/// Evaluates through [`Network::forward_inference_batch`] in 32-image chunks,
+/// bit-identical to (and much faster than) a per-image inference loop.
+///
 /// # Errors
 ///
 /// Propagates forward-pass errors.
@@ -201,5 +204,22 @@ mod tests {
         let mut net = ModelKind::VggSmall.build(&spec, 3);
         let acc = evaluate_f32(&mut net, &train).unwrap();
         assert!((0.0..=1.0).contains(&acc));
+    }
+
+    /// `evaluate_f32` runs batched inference under the hood; its verdicts
+    /// must be exactly what a per-image inference loop produces.
+    #[test]
+    fn batched_evaluation_matches_per_image_inference() {
+        let (spec, train, _test) = tiny_task();
+        let mut net = ModelKind::VggSmall.build(&spec, 3);
+        let batched = evaluate_f32(&mut net, &train).unwrap();
+        let mut correct = 0usize;
+        for sample in train.iter() {
+            let logits = net.forward_inference(&sample.image).unwrap();
+            if wgft_data::argmax(logits.data()) == sample.label {
+                correct += 1;
+            }
+        }
+        assert_eq!(batched, correct as f64 / train.len() as f64);
     }
 }

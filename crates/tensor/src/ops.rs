@@ -75,12 +75,31 @@ pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) 
     (padded - kernel) / stride + 1
 }
 
+/// Rows of `c` computed per register tile of the GEMM microkernel.
+const GEMM_MR: usize = 4;
+/// Columns of `c` computed per register tile of the GEMM microkernel: four
+/// rows of 16 f32 lanes map onto 4×(2×ymm) with AVX2 or 4×zmm with AVX-512.
+const GEMM_NR: usize = 16;
+/// Depth of one k-block: a `GEMM_KC × GEMM_NR` panel of `b` (~8 KiB) stays
+/// L1-resident while a register tile runs over it.
+const GEMM_KC: usize = 256;
+/// Minimum `m·k·n` before [`par_gemm_f32`] bothers spawning workers; below
+/// this the fork/join and stripe-stitch overhead dominates.
+const PAR_GEMM_MIN_WORK: usize = 1 << 18;
+
 /// Dense row-major matrix multiply on raw slices: `c = a (m×k) · b (k×n)`,
 /// overwriting `c`.
 ///
 /// This is the hot inner kernel of the planned winograd scatter–GEMM path
-/// (one call per winograd-domain coordinate), so it avoids all allocation and
-/// uses an `i-k-j` loop order that streams both `b` and `c` rows.
+/// (one call per winograd-domain coordinate), so it avoids all allocation. It
+/// is cache-blocked: `k` is split into [`GEMM_KC`]-deep panels and each panel
+/// is consumed by a [`GEMM_MR`]`×`[`GEMM_NR`] register-tiled microkernel that
+/// touches each `c` element once per panel instead of once per `k` step.
+///
+/// Every `c[i][j]` accumulates its `k` products in strictly increasing-`p`
+/// order (the register tile is loaded from and stored back to `c` around each
+/// panel), so results are bit-identical to a naive `i-j-k` triple loop — and
+/// independent of how callers block or shard the free dimension.
 ///
 /// # Panics
 ///
@@ -90,33 +109,169 @@ pub fn gemm_f32(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usiz
     assert!(b.len() >= k * n, "gemm_f32: rhs too short");
     assert!(c.len() >= m * n, "gemm_f32: out too short");
     c[..m * n].fill(0.0);
-    // Two output rows per pass share each streamed `b` row, halving the
-    // dominant memory traffic of the k-loop.
-    let mut i = 0;
-    while i + 1 < m {
-        let (arow0, arow1) = (&a[i * k..(i + 1) * k], &a[(i + 1) * k..(i + 2) * k]);
-        let (chead, ctail) = c[i * n..].split_at_mut(n);
-        let crow1 = &mut ctail[..n];
-        for p in 0..k {
-            let (av0, av1) = (arow0[p], arow1[p]);
-            let brow = &b[p * n..(p + 1) * n];
-            for ((o0, o1), &bv) in chead.iter_mut().zip(crow1.iter_mut()).zip(brow.iter()) {
-                *o0 += av0 * bv;
-                *o1 += av1 * bv;
-            }
-        }
-        i += 2;
+    gemm_stripe(a, b, c, m, k, n, n, 0);
+}
+
+/// Parallel [`gemm_f32`]: rayon-splits the free dimension `n` into column
+/// stripes, one worker per stripe, and stitches the stripes back into `c`.
+///
+/// Falls back to the serial kernel when the pool has one thread or the
+/// product is too small to amortize the fork/join. Because the serial kernel
+/// accumulates each output element in a fixed `k` order regardless of column
+/// blocking, the parallel result is bit-identical to the serial one for any
+/// thread count.
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its declared shape.
+pub fn par_gemm_f32(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= m * k, "par_gemm_f32: lhs too short");
+    assert!(b.len() >= k * n, "par_gemm_f32: rhs too short");
+    assert!(c.len() >= m * n, "par_gemm_f32: out too short");
+    let threads = rayon::current_num_threads();
+    if threads <= 1 || n < 2 * GEMM_NR || m * k * n < PAR_GEMM_MIN_WORK {
+        gemm_f32(a, b, c, m, k, n);
+        return;
     }
-    if i < m {
-        let arow = &a[i * k..(i + 1) * k];
-        let crow = &mut c[i * n..(i + 1) * n];
-        for (p, &av) in arow.iter().enumerate() {
-            let brow = &b[p * n..(p + 1) * n];
-            for (o, &bv) in crow.iter_mut().zip(brow.iter()) {
-                *o += av * bv;
-            }
+    gemm_f32_striped(a, b, c, m, k, n, threads.min(n / GEMM_NR));
+}
+
+/// Compute `c = a·b` by splitting `n` into `stripes` column stripes, each
+/// computed into an owned buffer in parallel and copied back in stripe order.
+///
+/// The stripe buffers are the one allocation of the parallel path; the
+/// stitch copy is `O(m·n)` against `O(m·k·n)` compute.
+pub(crate) fn gemm_f32_striped(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    stripes: usize,
+) {
+    use rayon::prelude::*;
+    let stripes = stripes.clamp(1, n.max(1));
+    if stripes == 1 {
+        gemm_f32(a, b, c, m, k, n);
+        return;
+    }
+    let width = n.div_ceil(stripes);
+    let jobs: Vec<(usize, usize)> = (0..n)
+        .step_by(width)
+        .map(|j0| (j0, width.min(n - j0)))
+        .collect();
+    let done: Vec<(usize, usize, Vec<f32>)> = jobs
+        .into_par_iter()
+        .map(|(j0, nb)| {
+            let mut buf = vec![0.0f32; m * nb];
+            gemm_stripe(a, b, &mut buf, m, k, nb, n, j0);
+            (j0, nb, buf)
+        })
+        .collect();
+    for (j0, nb, buf) in done {
+        for i in 0..m {
+            c[i * n + j0..i * n + j0 + nb].copy_from_slice(&buf[i * nb..(i + 1) * nb]);
         }
     }
+}
+
+/// Accumulate `a (m×k) · b[:, j0..j0+nb]` onto a column stripe `c` of row
+/// stride `nb`, where `b` has row stride `ldb`. `c` must hold the stripe's
+/// prior contents (zeros for a plain multiply).
+#[allow(clippy::too_many_arguments)]
+fn gemm_stripe(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    nb: usize,
+    ldb: usize,
+    j0: usize,
+) {
+    let mut pb = 0usize;
+    while pb < k {
+        let kc = GEMM_KC.min(k - pb);
+        let mut i = 0usize;
+        while i < m {
+            let mr = GEMM_MR.min(m - i);
+            let mut j = 0usize;
+            while j < nb {
+                let nr = GEMM_NR.min(nb - j);
+                if mr == GEMM_MR && nr == GEMM_NR {
+                    gemm_microkernel(a, b, c, k, nb, ldb, i, j, j0 + j, pb, kc);
+                } else {
+                    // Tail rows/columns: scalar register accumulation with the
+                    // same strictly increasing-`p` order as the full tile.
+                    for r in 0..mr {
+                        let arow = &a[(i + r) * k..(i + r + 1) * k];
+                        let crow = &mut c[(i + r) * nb + j..(i + r) * nb + j + nr];
+                        for (q, cv) in crow.iter_mut().enumerate() {
+                            let mut acc = *cv;
+                            for p in pb..pb + kc {
+                                acc += arow[p] * b[p * ldb + j0 + j + q];
+                            }
+                            *cv = acc;
+                        }
+                    }
+                }
+                j += nr;
+            }
+            i += mr;
+        }
+        pb += kc;
+    }
+}
+
+/// The 4×8 register tile: loads `c`, streams one `b` panel row per `p`, and
+/// stores `c` back once per k-block. `jc` is the tile's column inside the
+/// stripe, `jb` its absolute column in `b`.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gemm_microkernel(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    k: usize,
+    ldc: usize,
+    ldb: usize,
+    i: usize,
+    jc: usize,
+    jb: usize,
+    pb: usize,
+    kc: usize,
+) {
+    let mut acc0 = [0.0f32; GEMM_NR];
+    let mut acc1 = [0.0f32; GEMM_NR];
+    let mut acc2 = [0.0f32; GEMM_NR];
+    let mut acc3 = [0.0f32; GEMM_NR];
+    acc0.copy_from_slice(&c[i * ldc + jc..i * ldc + jc + GEMM_NR]);
+    acc1.copy_from_slice(&c[(i + 1) * ldc + jc..(i + 1) * ldc + jc + GEMM_NR]);
+    acc2.copy_from_slice(&c[(i + 2) * ldc + jc..(i + 2) * ldc + jc + GEMM_NR]);
+    acc3.copy_from_slice(&c[(i + 3) * ldc + jc..(i + 3) * ldc + jc + GEMM_NR]);
+    let a0 = &a[i * k..(i + 1) * k];
+    let a1 = &a[(i + 1) * k..(i + 2) * k];
+    let a2 = &a[(i + 2) * k..(i + 3) * k];
+    let a3 = &a[(i + 3) * k..(i + 4) * k];
+    for p in pb..pb + kc {
+        // Fixed-size array view: no per-lane bounds checks in the hot loop.
+        let brow: &[f32; GEMM_NR] = b[p * ldb + jb..p * ldb + jb + GEMM_NR]
+            .try_into()
+            .expect("panel row is GEMM_NR wide");
+        let (av0, av1, av2, av3) = (a0[p], a1[p], a2[p], a3[p]);
+        for q in 0..GEMM_NR {
+            let bv = brow[q];
+            acc0[q] += av0 * bv;
+            acc1[q] += av1 * bv;
+            acc2[q] += av2 * bv;
+            acc3[q] += av3 * bv;
+        }
+    }
+    c[i * ldc + jc..i * ldc + jc + GEMM_NR].copy_from_slice(&acc0);
+    c[(i + 1) * ldc + jc..(i + 1) * ldc + jc + GEMM_NR].copy_from_slice(&acc1);
+    c[(i + 2) * ldc + jc..(i + 2) * ldc + jc + GEMM_NR].copy_from_slice(&acc2);
+    c[(i + 3) * ldc + jc..(i + 3) * ldc + jc + GEMM_NR].copy_from_slice(&acc3);
 }
 
 /// Dense row-major matrix multiply `C = A (m x k) * B (k x n)`.
@@ -204,6 +359,94 @@ mod tests {
         let g = ConvGeometry::square(16, 5, 2, 2);
         assert!(!g.is_unit_stride_3x3());
         assert_eq!(g.out_h(), 8);
+    }
+
+    /// Naive `i-j-k` reference: each output element accumulates its products
+    /// in increasing-`k` order, the association the blocked kernel promises
+    /// to preserve bit-for-bit.
+    fn naive_gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                c[i * n + j] = acc;
+            }
+        }
+        c
+    }
+
+    fn gemm_fixture(m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
+        let a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 31 % 19) as f32) * 0.21 - 1.7)
+            .collect();
+        let b: Vec<f32> = (0..k * n)
+            .map(|i| ((i * 17 % 23) as f32) * 0.13 - 1.1)
+            .collect();
+        (a, b)
+    }
+
+    /// The blocked microkernel must agree with the naive reference *exactly*
+    /// across odd/prime shapes that exercise every tail-row and tail-column
+    /// path, plus a depth beyond one k-block.
+    #[test]
+    fn blocked_gemm_is_bit_identical_to_naive_reference() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (1, 7, 13),
+            (3, 5, 9),
+            (4, 8, 8),
+            (5, 3, 17),
+            (7, 11, 7),
+            (8, 16, 24),
+            (9, 13, 31),
+            (13, 17, 19),
+            (17, 300, 23), // k spans two GEMM_KC blocks
+            (33, 5, 41),
+        ] {
+            let (a, b) = gemm_fixture(m, k, n);
+            let mut c = vec![f32::NAN; m * n]; // stale values must be overwritten
+            gemm_f32(&a, &b, &mut c, m, k, n);
+            assert_eq!(
+                c,
+                naive_gemm(&a, &b, m, k, n),
+                "blocked gemm diverged at m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    /// Column-stripe sharding (the parallel decomposition) must not change a
+    /// single bit, for any stripe count including ones that leave ragged
+    /// stripes.
+    #[test]
+    fn striped_gemm_is_bit_identical_to_serial() {
+        for &(m, k, n) in &[(5usize, 7usize, 23usize), (16, 32, 64), (3, 300, 17)] {
+            let (a, b) = gemm_fixture(m, k, n);
+            let mut serial = vec![0.0f32; m * n];
+            gemm_f32(&a, &b, &mut serial, m, k, n);
+            for stripes in [1usize, 2, 3, 5, 8] {
+                let mut sharded = vec![f32::NAN; m * n];
+                gemm_f32_striped(&a, &b, &mut sharded, m, k, n, stripes);
+                assert_eq!(serial, sharded, "stripes={stripes} m={m} k={k} n={n}");
+            }
+        }
+    }
+
+    /// The public parallel entry point (whatever the ambient thread count)
+    /// must match the serial kernel exactly, including above the
+    /// work-threshold where it actually shards.
+    #[test]
+    fn par_gemm_matches_serial_bit_for_bit() {
+        for &(m, k, n) in &[(4usize, 6usize, 10usize), (64, 64, 96), (96, 96, 96)] {
+            let (a, b) = gemm_fixture(m, k, n);
+            let mut serial = vec![0.0f32; m * n];
+            gemm_f32(&a, &b, &mut serial, m, k, n);
+            let mut par = vec![f32::NAN; m * n];
+            par_gemm_f32(&a, &b, &mut par, m, k, n);
+            assert_eq!(serial, par, "m={m} k={k} n={n}");
+        }
     }
 
     #[test]

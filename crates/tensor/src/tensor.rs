@@ -254,6 +254,14 @@ impl Tensor {
     }
 }
 
+/// Identity `AsRef`, so batch APIs can accept `&[Tensor]` and `&[&Tensor]`
+/// interchangeably (owned sample images or borrows from a dataset).
+impl AsRef<Tensor> for Tensor {
+    fn as_ref(&self) -> &Tensor {
+        self
+    }
+}
+
 /// A dense, row-major `i32` tensor holding quantized (raw Q-format) words.
 ///
 /// The quantization scale is tracked by the layer that owns the tensor (see

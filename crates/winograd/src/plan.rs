@@ -168,13 +168,19 @@ pub struct PreparedConvF32 {
     bt: Vec<f32>,
     /// `Aᵀ` as f32, `m×t`.
     at: Vec<f32>,
-    /// Tiles processed per scatter→GEMM→gather block (`≤ num_tiles`); sized
-    /// so one block's scatter and product buffers stay cache-resident.
-    block: usize,
-    /// Scatter buffer for one block, `(t², C, block)`.
+    /// Cache-budget tile count per scatter→GEMM→gather block: how many tiles
+    /// keep one block's scatter and product buffers cache-resident. The
+    /// effective block of a call is this clamped to the tiles actually
+    /// available, so batched calls get full blocks where a single small image
+    /// would leave a ragged tail.
+    block_budget: usize,
+    /// Scatter buffer for one block, `(t², C, block)`; grown on demand.
     v: Vec<f32>,
-    /// GEMM product buffer for one block, `(t², O, block)`.
+    /// GEMM product buffer for one block, `(t², O, block)`; grown on demand.
     prod: Vec<f32>,
+    /// Number of times the batched engine entry point has run (the
+    /// silent-fallback guard of the batched inference path checks this).
+    batched_executions: u64,
 }
 
 /// Largest per-tile buffer any variant needs (`t² = 36` for F(4x4,3x3)).
@@ -183,6 +189,10 @@ const MAX_TILE: usize = 36;
 /// Target size (in f32 elements) of the per-block scatter buffer — roughly
 /// half a typical L2 so the product buffer fits alongside it.
 const BLOCK_BUDGET: usize = 64 * 1024;
+
+/// Minimum `O·C·bp` per GEMM before a block's t² GEMMs fan out across the
+/// rayon pool; below this the fork/join costs more than the multiply.
+const PAR_GEMM_MIN_BLOCK: usize = 1 << 16;
 
 /// Equality is defined by what the plan *computes* — the geometry and the
 /// cached transformed weights — not by whatever a previous `execute` left in
@@ -222,15 +232,17 @@ impl PreparedConvF32 {
             }
         }
         let p = plan.num_tiles();
-        let block = (BLOCK_BUDGET / (t2 * c.max(o)).max(1)).clamp(8, p.max(8));
+        let block_budget = (BLOCK_BUDGET / (t2 * c.max(o)).max(1)).max(8);
+        let block = block_budget.min(p.max(8));
         Ok(Self {
             plan,
             u,
             bt: variant.bt().iter().map(|&x| x as f32).collect(),
             at: variant.at().iter().map(|&x| x as f32).collect(),
-            block,
+            block_budget,
             v: vec![0.0; t2 * c * block],
             prod: vec![0.0; t2 * o * block],
+            batched_executions: 0,
         })
     }
 
@@ -264,127 +276,485 @@ impl PreparedConvF32 {
     /// Returns [`WinogradError::BufferSizeMismatch`] on a wrong input or
     /// output length.
     pub fn execute_into(&mut self, input: &[f32], output: &mut [f32]) -> Result<(), WinogradError> {
+        self.validate_batch(input, 1, output)?;
+        self.execute_batch_chunked(input, 1, output, 1);
+        Ok(())
+    }
+
+    /// Execute the convolution on a batch of `n_images` images into a
+    /// freshly allocated `(N, O, H, W)` buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WinogradError::BufferSizeMismatch`] on a wrong input length.
+    pub fn execute_batch(
+        &mut self,
+        input: &[f32],
+        n_images: usize,
+    ) -> Result<Vec<f32>, WinogradError> {
+        let mut output = vec![0.0f32; n_images * self.plan.shape.output_len()];
+        self.execute_batch_into(input, n_images, &mut output)?;
+        Ok(output)
+    }
+
+    /// Execute the convolution on a batch of `n_images` images laid out
+    /// contiguously as `(N, C, H, W)`, writing `(N, O, H', W')` to `output`.
+    ///
+    /// All `N·P` input tiles share the scatter→GEMM→gather schedule: tile
+    /// blocks span image boundaries, so the `t²` GEMMs always run with a full
+    /// free dimension even when one image yields few tiles, and the cached
+    /// weight transform plus block scheduling are paid once for the whole
+    /// batch. When the rayon pool has threads to spare the batch is split
+    /// into image-aligned chunks processed in parallel with worker-local
+    /// scratch. Results are bit-identical to `n_images` single-image
+    /// [`PreparedConvF32::execute_into`] calls for every chunking and thread
+    /// count, because each output element's floating-point accumulation
+    /// order is independent of both.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WinogradError::BufferSizeMismatch`] on a wrong input or
+    /// output length.
+    pub fn execute_batch_into(
+        &mut self,
+        input: &[f32],
+        n_images: usize,
+        output: &mut [f32],
+    ) -> Result<(), WinogradError> {
+        self.validate_batch(input, n_images, output)?;
+        self.batched_executions += 1;
+        if n_images == 0 {
+            return Ok(());
+        }
+        let threads = rayon::current_num_threads();
+        let chunk = if threads <= 1 {
+            n_images
+        } else {
+            n_images.div_ceil(threads)
+        };
+        self.execute_batch_chunked(input, n_images, output, chunk);
+        Ok(())
+    }
+
+    /// How many times [`PreparedConvF32::execute_batch_into`] has run. The
+    /// batched inference layers assert on this to catch a silent fallback to
+    /// per-image execution.
+    #[must_use]
+    pub fn batched_executions(&self) -> u64 {
+        self.batched_executions
+    }
+
+    fn validate_batch(
+        &self,
+        input: &[f32],
+        n_images: usize,
+        output: &[f32],
+    ) -> Result<(), WinogradError> {
         let shape = self.plan.shape;
-        if input.len() != shape.input_len() {
+        if input.len() != n_images * shape.input_len() {
             return Err(WinogradError::BufferSizeMismatch {
                 what: "input",
-                expected: shape.input_len(),
+                expected: n_images * shape.input_len(),
                 actual: input.len(),
             });
         }
-        if output.len() != shape.output_len() {
+        if output.len() != n_images * shape.output_len() {
             return Err(WinogradError::BufferSizeMismatch {
                 what: "output",
-                expected: shape.output_len(),
+                expected: n_images * shape.output_len(),
                 actual: output.len(),
             });
         }
+        Ok(())
+    }
+
+    /// Effective tiles-per-block for a range holding `total_tiles`.
+    fn block_for(&self, total_tiles: usize) -> usize {
+        self.block_budget.min(total_tiles.max(1))
+    }
+
+    /// Run the batch split into chunks of `images_per_chunk` images.
+    ///
+    /// A single chunk executes in place on the plan's own scratch (no
+    /// allocation; with a multi-thread pool each block's t² independent
+    /// GEMMs fan out across it); multiple chunks fan out across the rayon
+    /// pool, each worker with its own scratch, writing disjoint image
+    /// ranges of `output`.
+    fn execute_batch_chunked(
+        &mut self,
+        input: &[f32],
+        n_images: usize,
+        output: &mut [f32],
+        images_per_chunk: usize,
+    ) {
+        let shape = self.plan.shape;
+        let (in_len, out_len) = (shape.input_len(), shape.output_len());
         let (o, c) = (shape.out_channels, shape.in_channels);
-        let variant = self.plan.variant;
-        let t = variant.input_tile();
-        let m = variant.output_tile();
-        let t2 = t * t;
-        let p = self.plan.num_tiles();
-        let (out_h, out_w) = (shape.geometry.out_h(), shape.geometry.out_w());
+        let t2 = self.plan.variant.input_tile() * self.plan.variant.input_tile();
+        let images_per_chunk = images_per_chunk.clamp(1, n_images.max(1));
+        // Degenerate geometries (empty input or output planes) cannot be
+        // chunked by slice length; they carry no per-image work anyway.
+        if images_per_chunk >= n_images || in_len == 0 || out_len == 0 {
+            // One chunk: reuse the plan's scratch, growing it if batching
+            // enlarged the effective block beyond the single-image size.
+            let bp = self.block_for(n_images * self.plan.num_tiles());
+            if self.v.len() < t2 * c * bp {
+                self.v.resize(t2 * c * bp, 0.0);
+            }
+            if self.prod.len() < t2 * o * bp {
+                self.prod.resize(t2 * o * bp, 0.0);
+            }
+            // No image chunks to fan out: parallelize across the block's t²
+            // independent GEMMs instead (the low-latency single-image path).
+            let parallel_gemms =
+                rayon::current_num_threads() > 1 && o * c * bp >= PAR_GEMM_MIN_BLOCK;
+            run_images_f32(
+                &self.plan,
+                &self.u,
+                &self.bt,
+                &self.at,
+                bp,
+                &mut self.v,
+                &mut self.prod,
+                input,
+                n_images,
+                output,
+                parallel_gemms,
+            );
+            return;
+        }
+        use rayon::prelude::*;
+        let plan = &self.plan;
+        let (u, bt, at) = (&self.u, &self.bt, &self.at);
+        let bp = self.block_for(images_per_chunk * plan.num_tiles());
+        let jobs: Vec<(&[f32], &mut [f32])> = input
+            .chunks(images_per_chunk * in_len)
+            .zip(output.chunks_mut(images_per_chunk * out_len))
+            .collect();
+        jobs.into_par_iter()
+            .map(|(in_chunk, out_chunk)| {
+                let images = in_chunk.len() / in_len.max(1);
+                let mut v = vec![0.0f32; t2 * c * bp];
+                let mut prod = vec![0.0f32; t2 * o * bp];
+                // Workers are the parallelism here; their GEMMs stay serial.
+                run_images_f32(
+                    plan, u, bt, at, bp, &mut v, &mut prod, in_chunk, images, out_chunk, false,
+                );
+            })
+            .collect::<Vec<()>>();
+    }
+}
 
-        // Per-tile scratch lives on the stack: the compiler can prove it
-        // never aliases the big scatter/product buffers, which keeps the
-        // transform arithmetic in registers.
-        let mut tile_d = [0.0f32; MAX_TILE];
-        let mut tile_tmp = [0.0f32; MAX_TILE];
-        let mut tile_tmp2 = [0.0f32; MAX_TILE];
-        let mut tile_y = [0.0f32; MAX_TILE];
+/// Scatter→GEMM→gather over all `n_images · P` tiles of a contiguous image
+/// range. `block` bounds the tiles per scatter/product buffer fill; `v` and
+/// `prod` must hold `t²·C·block` and `t²·O·block` elements.
+#[allow(clippy::too_many_arguments)]
+fn run_images_f32(
+    plan: &WinogradPlan,
+    u: &[f32],
+    bt: &[f32],
+    at: &[f32],
+    block: usize,
+    v: &mut [f32],
+    prod: &mut [f32],
+    input: &[f32],
+    n_images: usize,
+    output: &mut [f32],
+    parallel_gemms: bool,
+) {
+    let shape = plan.shape;
+    let (o, c) = (shape.out_channels, shape.in_channels);
+    let (in_len, out_len) = (shape.input_len(), shape.output_len());
+    let variant = plan.variant;
+    let t = variant.input_tile();
+    let m = variant.output_tile();
+    let t2 = t * t;
+    let p = plan.num_tiles();
+    let total_tiles = n_images * p;
+    let (out_h, out_w) = (shape.geometry.out_h(), shape.geometry.out_w());
 
-        // Tiles are processed in blocks so that one block's scatter buffer,
-        // GEMM product and cached weights all stay cache-resident across the
-        // three phases.
-        let mut block_start = 0usize;
-        while block_start < p {
-            let bp = self.block.min(p - block_start);
+    // Per-tile scratch lives on the stack: the compiler can prove it
+    // never aliases the big scatter/product buffers, which keeps the
+    // transform arithmetic in registers.
+    let mut tile_d = [0.0f32; MAX_TILE];
+    let mut tile_tmp = [0.0f32; MAX_TILE];
+    let mut tile_tmp2 = [0.0f32; MAX_TILE];
+    let mut tile_y = [0.0f32; MAX_TILE];
 
-            // ---- Scatter: V[k][ic][b] = (Bᵀ d B)[k] for every tile/channel
-            // of the block. The tile index is innermost so each of the t²
-            // destination streams `v[(k·C + ic)·bp ..]` is written
-            // contiguously — t² sequential write cursors instead of t²
-            // random accesses per tile.
-            for ic in 0..c {
-                for b in 0..bp {
-                    self.plan
-                        .load_tile_f32(input, block_start + b, ic, &mut tile_d[..t2]);
-                    match variant {
-                        WinogradVariant::F2x2 => {
-                            input_transform_f2x2(&tile_d, &mut tile_tmp2, &mut tile_tmp);
-                        }
-                        WinogradVariant::F4x4 => {
-                            mat_mul_into(&self.bt, &tile_d, &mut tile_tmp, t, t, t);
-                            mat_mul_rt_into(&tile_tmp, &self.bt, &mut tile_tmp2, t, t, t);
-                        }
+    // Tiles are processed in blocks so that one block's scatter buffer,
+    // GEMM product and cached weights all stay cache-resident across the
+    // three phases. Blocks deliberately span image boundaries: the GEMM
+    // free dimension stays full even when one image has few tiles.
+    let mut block_start = 0usize;
+    while block_start < total_tiles {
+        let bp = block.min(total_tiles - block_start);
+
+        // ---- Scatter: V[k][ic][b] = (Bᵀ d B)[k] for every tile/channel
+        // of the block. The tile index is innermost so each of the t²
+        // destination streams `v[(k·C + ic)·bp ..]` is written
+        // contiguously — t² sequential write cursors instead of t²
+        // random accesses per tile. For F(2x2) the transform is pure adds,
+        // so full groups of [`SOA_GROUP`] tiles run through a lane-per-tile
+        // SoA kernel (vector adds, contiguous group-wide stores); ragged
+        // tails and F(4x4) take the per-tile path.
+        for ic in 0..c {
+            let mut b = 0usize;
+            while b < bp {
+                if variant == WinogradVariant::F2x2 && b + SOA_GROUP <= bp {
+                    scatter_f2x2_group(plan, input, in_len, block_start + b, ic, v, c, bp, b);
+                    b += SOA_GROUP;
+                    continue;
+                }
+                let g = block_start + b;
+                let image_input = &input[(g / p) * in_len..(g / p + 1) * in_len];
+                plan.load_tile_f32(image_input, g % p, ic, &mut tile_d[..t2]);
+                match variant {
+                    WinogradVariant::F2x2 => {
+                        input_transform_f2x2(&tile_d, &mut tile_tmp2, &mut tile_tmp);
                     }
-                    for (k, &value) in tile_tmp2[..t2].iter().enumerate() {
-                        self.v[(k * c + ic) * bp + b] = value;
+                    WinogradVariant::F4x4 => {
+                        mat_mul_into(bt, &tile_d, &mut tile_tmp, t, t, t);
+                        mat_mul_rt_into(&tile_tmp, bt, &mut tile_tmp2, t, t, t);
                     }
                 }
+                for (k, &value) in tile_tmp2[..t2].iter().enumerate() {
+                    v[(k * c + ic) * bp + b] = value;
+                }
+                b += 1;
             }
+        }
 
-            // ---- Batched GEMM: one (O×C)·(C×bp) multiply per winograd
-            // coordinate.
+        // ---- Batched GEMM: one (O×C)·(C×bp) multiply per winograd
+        // coordinate, with the batch folded into the free dimension. In
+        // parallel mode the t² independent GEMMs fan out across the pool in
+        // a single fork/join per block (disjoint `prod` chunks); striping
+        // inside each GEMM would pay t² fork/joins plus stitch copies.
+        if parallel_gemms {
+            use rayon::prelude::*;
+            let v_ro: &[f32] = v;
+            let jobs: Vec<(usize, &mut [f32])> =
+                prod[..t2 * o * bp].chunks_mut(o * bp).enumerate().collect();
+            jobs.into_par_iter()
+                .map(|(k, prod_k)| {
+                    gemm_f32(
+                        &u[k * o * c..(k + 1) * o * c],
+                        &v_ro[k * c * bp..(k + 1) * c * bp],
+                        prod_k,
+                        o,
+                        c,
+                        bp,
+                    );
+                })
+                .collect::<Vec<()>>();
+        } else {
             for k in 0..t2 {
                 gemm_f32(
-                    &self.u[k * o * c..(k + 1) * o * c],
-                    &self.v[k * c * bp..(k + 1) * c * bp],
-                    &mut self.prod[k * o * bp..(k + 1) * o * bp],
+                    &u[k * o * c..(k + 1) * o * c],
+                    &v[k * c * bp..(k + 1) * c * bp],
+                    &mut prod[k * o * bp..(k + 1) * o * bp],
                     o,
                     c,
                     bp,
                 );
             }
+        }
 
-            // ---- Gather: inverse-transform each (oc, tile) fibre. Tile is
-            // again innermost so the t² source streams are read sequentially.
-            for oc in 0..o {
-                for b in 0..bp {
-                    let tile = block_start + b;
-                    let ty = tile / self.plan.tiles_x;
-                    let tx = tile % self.plan.tiles_x;
-                    for (k, value) in tile_tmp[..t2].iter_mut().enumerate() {
-                        *value = self.prod[(k * o + oc) * bp + b];
+        // ---- Gather: inverse-transform each (oc, tile) fibre. Tile is
+        // again innermost so the t² source streams are read sequentially;
+        // F(2x2) groups of [`SOA_GROUP`] tiles use the SoA kernel
+        // (contiguous group-wide loads from `prod`, vector adds).
+        for oc in 0..o {
+            let mut b = 0usize;
+            while b < bp {
+                if variant == WinogradVariant::F2x2 && b + SOA_GROUP <= bp {
+                    gather_f2x2_group(plan, prod, o, bp, oc, b, block_start + b, out_len, output);
+                    b += SOA_GROUP;
+                    continue;
+                }
+                let g = block_start + b;
+                let tile = g % p;
+                let out_base = (g / p) * out_len;
+                let ty = tile / plan.tiles_x;
+                let tx = tile % plan.tiles_x;
+                for (k, value) in tile_tmp[..t2].iter_mut().enumerate() {
+                    *value = prod[(k * o + oc) * bp + b];
+                }
+                match variant {
+                    WinogradVariant::F2x2 => {
+                        output_transform_f2x2(&tile_tmp, &mut tile_y, &mut tile_tmp2);
                     }
-                    match variant {
-                        WinogradVariant::F2x2 => {
-                            output_transform_f2x2(&tile_tmp, &mut tile_y, &mut tile_tmp2);
-                        }
-                        WinogradVariant::F4x4 => {
-                            mat_mul_into(&self.at, &tile_tmp, &mut tile_tmp2, m, t, t);
-                            mat_mul_rt_into(&tile_tmp2, &self.at, &mut tile_y, m, t, m);
-                        }
-                    }
-                    if (ty + 1) * m <= out_h && (tx + 1) * m <= out_w {
-                        // Full interior tile: contiguous row copies.
-                        for dy in 0..m {
-                            let dst = (oc * out_h + ty * m + dy) * out_w + tx * m;
-                            output[dst..dst + m].copy_from_slice(&tile_y[dy * m..(dy + 1) * m]);
-                        }
-                    } else {
-                        for dy in 0..m {
-                            let oy = ty * m + dy;
-                            if oy >= out_h {
-                                break;
-                            }
-                            for dx in 0..m {
-                                let ox = tx * m + dx;
-                                if ox >= out_w {
-                                    break;
-                                }
-                                output[(oc * out_h + oy) * out_w + ox] = tile_y[dy * m + dx];
-                            }
-                        }
+                    WinogradVariant::F4x4 => {
+                        mat_mul_into(at, &tile_tmp, &mut tile_tmp2, m, t, t);
+                        mat_mul_rt_into(&tile_tmp2, at, &mut tile_y, m, t, m);
                     }
                 }
+                store_output_tile(output, out_base, &tile_y, oc, ty, tx, m, out_h, out_w);
+                b += 1;
             }
-
-            block_start += bp;
         }
-        Ok(())
+
+        block_start += bp;
+    }
+}
+
+/// Tiles per SoA transform group: one f32 lane per tile, sized to a full
+/// AVX-512 register (and two AVX2 registers) so the F(2x2) transform's adds
+/// vectorize across tiles.
+const SOA_GROUP: usize = 16;
+
+/// F(2x2) input transform for [`SOA_GROUP`] consecutive tiles of one channel,
+/// lane-per-tile: the 32 adds of `Bᵀ d B` become 32 group-wide vector adds and
+/// the 16 winograd-domain stores become contiguous group-wide `memcpy`s into
+/// the scatter buffer (the per-tile path writes them with stride `bp`).
+/// Per-element arithmetic is expression-for-expression identical to
+/// [`input_transform_f2x2`], so results are bit-identical.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn scatter_f2x2_group(
+    plan: &WinogradPlan,
+    input: &[f32],
+    in_len: usize,
+    g0: usize,
+    ic: usize,
+    v: &mut [f32],
+    c: usize,
+    bp: usize,
+    b0: usize,
+) {
+    let p = plan.num_tiles();
+    let mut dsoa = [[0.0f32; SOA_GROUP]; 16];
+    let mut tile_d = [0.0f32; 16];
+    #[allow(clippy::needless_range_loop)] // `gi` is the SoA lane, not a row
+    for gi in 0..SOA_GROUP {
+        let g = g0 + gi;
+        let image_input = &input[(g / p) * in_len..(g / p + 1) * in_len];
+        plan.load_tile_f32(image_input, g % p, ic, &mut tile_d);
+        for (pos, &value) in tile_d.iter().enumerate() {
+            dsoa[pos][gi] = value;
+        }
+    }
+    // tmp = Bᵀ d, lane-wise.
+    let mut tmp = [[0.0f32; SOA_GROUP]; 16];
+    for j in 0..4 {
+        for gi in 0..SOA_GROUP {
+            tmp[j][gi] = dsoa[j][gi] - dsoa[8 + j][gi];
+            tmp[4 + j][gi] = dsoa[4 + j][gi] + dsoa[8 + j][gi];
+            tmp[8 + j][gi] = dsoa[8 + j][gi] - dsoa[4 + j][gi];
+            tmp[12 + j][gi] = dsoa[4 + j][gi] - dsoa[12 + j][gi];
+        }
+    }
+    // v_rows = tmp B, lane-wise, stored straight into the scatter buffer.
+    let mut row0 = [0.0f32; SOA_GROUP];
+    let mut row1 = [0.0f32; SOA_GROUP];
+    let mut row2 = [0.0f32; SOA_GROUP];
+    let mut row3 = [0.0f32; SOA_GROUP];
+    for i in 0..4 {
+        let r = i * 4;
+        for gi in 0..SOA_GROUP {
+            row0[gi] = tmp[r][gi] - tmp[r + 2][gi];
+            row1[gi] = tmp[r + 1][gi] + tmp[r + 2][gi];
+            row2[gi] = tmp[r + 2][gi] - tmp[r + 1][gi];
+            row3[gi] = tmp[r + 1][gi] - tmp[r + 3][gi];
+        }
+        v[(r * c + ic) * bp + b0..][..SOA_GROUP].copy_from_slice(&row0);
+        v[((r + 1) * c + ic) * bp + b0..][..SOA_GROUP].copy_from_slice(&row1);
+        v[((r + 2) * c + ic) * bp + b0..][..SOA_GROUP].copy_from_slice(&row2);
+        v[((r + 3) * c + ic) * bp + b0..][..SOA_GROUP].copy_from_slice(&row3);
+    }
+}
+
+/// F(2x2) output transform for [`SOA_GROUP`] consecutive tiles of one output
+/// channel, lane-per-tile: the group-wide reads from the GEMM product are
+/// contiguous (the per-tile path reads them with stride `bp`) and the 24 adds
+/// of `Aᵀ m A` vectorize across tiles. Expression-for-expression identical to
+/// [`output_transform_f2x2`], so results are bit-identical.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gather_f2x2_group(
+    plan: &WinogradPlan,
+    prod: &[f32],
+    o: usize,
+    bp: usize,
+    oc: usize,
+    b0: usize,
+    g0: usize,
+    out_len: usize,
+    output: &mut [f32],
+) {
+    let p = plan.num_tiles();
+    let g = &plan.shape.geometry;
+    let (out_h, out_w) = (g.out_h(), g.out_w());
+    let mut msoa = [[0.0f32; SOA_GROUP]; 16];
+    for (k, row) in msoa.iter_mut().enumerate() {
+        row.copy_from_slice(&prod[(k * o + oc) * bp + b0..][..SOA_GROUP]);
+    }
+    // tmp = Aᵀ m (2x4 rows), lane-wise.
+    let mut tmp = [[0.0f32; SOA_GROUP]; 8];
+    for j in 0..4 {
+        for gi in 0..SOA_GROUP {
+            tmp[j][gi] = msoa[j][gi] + msoa[4 + j][gi] + msoa[8 + j][gi];
+            tmp[4 + j][gi] = msoa[4 + j][gi] - msoa[8 + j][gi] - msoa[12 + j][gi];
+        }
+    }
+    // y = tmp A (2x2), lane-wise.
+    let mut y = [[0.0f32; SOA_GROUP]; 4];
+    for i in 0..2 {
+        let r = i * 4;
+        for gi in 0..SOA_GROUP {
+            y[i * 2][gi] = tmp[r][gi] + tmp[r + 1][gi] + tmp[r + 2][gi];
+            y[i * 2 + 1][gi] = tmp[r + 1][gi] - tmp[r + 2][gi] - tmp[r + 3][gi];
+        }
+    }
+    let mut tile_y = [0.0f32; 4];
+    #[allow(clippy::needless_range_loop)] // `gi` is the SoA lane, not a row
+    for gi in 0..SOA_GROUP {
+        let gt = g0 + gi;
+        let tile = gt % p;
+        let out_base = (gt / p) * out_len;
+        let ty = tile / plan.tiles_x;
+        let tx = tile % plan.tiles_x;
+        tile_y[0] = y[0][gi];
+        tile_y[1] = y[1][gi];
+        tile_y[2] = y[2][gi];
+        tile_y[3] = y[3][gi];
+        store_output_tile(output, out_base, &tile_y, oc, ty, tx, 2, out_h, out_w);
+    }
+}
+
+/// Write one `m×m` output tile, clipping at the feature-map border.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn store_output_tile(
+    output: &mut [f32],
+    out_base: usize,
+    tile_y: &[f32],
+    oc: usize,
+    ty: usize,
+    tx: usize,
+    m: usize,
+    out_h: usize,
+    out_w: usize,
+) {
+    if (ty + 1) * m <= out_h && (tx + 1) * m <= out_w {
+        // Full interior tile: contiguous row copies.
+        for dy in 0..m {
+            let dst = out_base + (oc * out_h + ty * m + dy) * out_w + tx * m;
+            output[dst..dst + m].copy_from_slice(&tile_y[dy * m..(dy + 1) * m]);
+        }
+    } else {
+        for dy in 0..m {
+            let oy = ty * m + dy;
+            if oy >= out_h {
+                break;
+            }
+            for dx in 0..m {
+                let ox = tx * m + dx;
+                if ox >= out_w {
+                    break;
+                }
+                output[out_base + (oc * out_h + oy) * out_w + ox] = tile_y[dy * m + dx];
+            }
+        }
     }
 }
 
@@ -709,6 +1079,97 @@ mod tests {
             first, again,
             "scratch reuse must not leak state between images"
         );
+    }
+
+    /// Build a batch of `n` distinct images for a shape.
+    fn batch_input(shape: &ConvShape, n: usize) -> Vec<f32> {
+        (0..n * shape.input_len())
+            .map(|i| ((i * 29 % 31) as f32) * 0.23 - 2.1)
+            .collect()
+    }
+
+    /// The batched engine must be bit-identical to N independent
+    /// single-image executions across the shape/padding/variant grid,
+    /// including ragged sizes where tile blocks straddle image boundaries.
+    #[test]
+    fn batched_execution_matches_per_image_bit_for_bit() {
+        for &(in_c, out_c) in &[(1usize, 1usize), (2, 3), (3, 2)] {
+            for &size in &[4usize, 5, 7, 9] {
+                for &pad in &[0usize, 1] {
+                    let (shape, _, weights) = fixture(in_c, out_c, size, pad);
+                    if shape.geometry.out_h() == 0 {
+                        continue;
+                    }
+                    for variant in [F2X2_3X3, F4X4_3X3] {
+                        for n in [1usize, 2, 3, 5] {
+                            let batch = batch_input(&shape, n);
+                            let mut prepared =
+                                PreparedConvF32::new(&weights, &shape, variant).unwrap();
+                            let batched = prepared.execute_batch(&batch, n).unwrap();
+                            let mut single =
+                                PreparedConvF32::new(&weights, &shape, variant).unwrap();
+                            for img in 0..n {
+                                let out = single
+                                    .execute(&batch[img * shape.input_len()..][..shape.input_len()])
+                                    .unwrap();
+                                assert_eq!(
+                                    out,
+                                    &batched[img * shape.output_len()..][..shape.output_len()],
+                                    "{variant} c{in_c}->{out_c} s{size} p{pad} n{n} image {img}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every image-chunking of a batch — including ragged tail chunks (N not
+    /// a multiple of the chunk size) — must produce identical bits, since
+    /// chunking is exactly what the parallel path does.
+    #[test]
+    fn batch_chunking_is_bit_identical_for_every_chunk_size() {
+        let (shape, _, weights) = fixture(2, 3, 9, 1);
+        let n = 5usize;
+        let batch = batch_input(&shape, n);
+        let mut reference = PreparedConvF32::new(&weights, &shape, F2X2_3X3).unwrap();
+        let expected = reference.execute_batch(&batch, n).unwrap();
+        for chunk in 1..=n + 1 {
+            let mut prepared = PreparedConvF32::new(&weights, &shape, F2X2_3X3).unwrap();
+            let mut out = vec![f32::NAN; n * shape.output_len()];
+            prepared.execute_batch_chunked(&batch, n, &mut out, chunk);
+            assert_eq!(expected, out, "chunk size {chunk}");
+        }
+    }
+
+    #[test]
+    fn batched_executions_counter_tracks_batch_entry_point() {
+        let (shape, input, weights) = fixture(1, 1, 6, 1);
+        let mut prepared = PreparedConvF32::new(&weights, &shape, F2X2_3X3).unwrap();
+        assert_eq!(prepared.batched_executions(), 0);
+        let _ = prepared.execute(&input).unwrap();
+        assert_eq!(
+            prepared.batched_executions(),
+            0,
+            "single-image execute is not the batched entry point"
+        );
+        let batch = batch_input(&shape, 3);
+        let _ = prepared.execute_batch(&batch, 3).unwrap();
+        assert_eq!(prepared.batched_executions(), 1);
+    }
+
+    #[test]
+    fn batch_validates_lengths_and_accepts_empty() {
+        let (shape, _, weights) = fixture(1, 2, 5, 1);
+        let mut prepared = PreparedConvF32::new(&weights, &shape, F2X2_3X3).unwrap();
+        let batch = batch_input(&shape, 2);
+        // Wrong image count for the buffer length.
+        assert!(prepared.execute_batch(&batch, 3).is_err());
+        let mut short = vec![0.0f32; 2 * shape.output_len() - 1];
+        assert!(prepared.execute_batch_into(&batch, 2, &mut short).is_err());
+        // Zero images is a no-op, not an error.
+        assert!(prepared.execute_batch(&[], 0).unwrap().is_empty());
     }
 
     #[test]

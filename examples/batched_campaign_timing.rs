@@ -1,0 +1,89 @@
+//! Times the campaign accuracy evaluation with per-image dispatch vs the
+//! batched path (`CampaignConfig::batch_size`), and checks the two agree
+//! bit-for-bit — the campaign-level claim of the batched execution engine.
+//! Also times the float evaluation (`evaluate_f32`, what campaign
+//! preparation and training pay per epoch) against a per-image
+//! `forward_inference` loop.
+//!
+//! Run with `cargo run --release --example batched_campaign_timing`.
+
+use std::time::Instant;
+use winograd_ft::core::{CampaignConfig, FaultToleranceCampaign};
+use winograd_ft::data::argmax;
+use winograd_ft::faultsim::{BitErrorRate, ProtectionPlan};
+use winograd_ft::fixedpoint::BitWidth;
+use winograd_ft::nn::evaluate_f32;
+use winograd_ft::nn::models::ModelKind;
+use winograd_ft::winograd::ConvAlgorithm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W16)
+        .with_images(64)
+        .with_cache_dir("target/wgft-models");
+    let campaign = FaultToleranceCampaign::prepare(&config)?;
+    let ber = BitErrorRate::new(1e-5);
+    let none = ProtectionPlan::none();
+    let algo = ConvAlgorithm::winograd_default();
+
+    let time = |campaign: &FaultToleranceCampaign, rounds: usize| {
+        // Warm-up round, then the measured rounds.
+        let _ = campaign.accuracy_under(algo, ber, &none);
+        let start = Instant::now();
+        let mut accuracy = 0.0;
+        for _ in 0..rounds {
+            accuracy = campaign.accuracy_under(algo, ber, &none);
+        }
+        (accuracy, start.elapsed().as_secs_f64() / rounds as f64)
+    };
+
+    let rounds = 5;
+    let per_image = campaign.clone().with_batch_size(1);
+    let (acc_serial, secs_serial) = time(&per_image, rounds);
+    let (acc_batched, secs_batched) = time(&campaign, rounds);
+    assert_eq!(
+        acc_serial, acc_batched,
+        "batched evaluation must be bit-identical to per-image"
+    );
+    println!(
+        "accuracy_under on {} images (winograd, BER 1e-5): \
+         per-image {:.3} s, batch_size={} {:.3} s ({:.2}x), accuracy {:.3}",
+        campaign.eval_set().len(),
+        secs_serial,
+        campaign.config().batch_size,
+        secs_batched,
+        secs_serial / secs_batched,
+        acc_batched,
+    );
+
+    // Float path: what every clean-accuracy evaluation during campaign
+    // preparation (and every training epoch's held-out check) costs.
+    let mut network = campaign.trained().network.clone();
+    let eval_set = campaign.eval_set().clone();
+    let rounds = 20;
+    let start = Instant::now();
+    let mut per_image_acc = 0.0f64;
+    for _ in 0..rounds {
+        let mut correct = 0usize;
+        for sample in eval_set.iter() {
+            let logits = network.forward_inference(&sample.image)?;
+            correct += usize::from(argmax(logits.data()) == sample.label);
+        }
+        per_image_acc = correct as f64 / eval_set.len() as f64;
+    }
+    let secs_loop = start.elapsed().as_secs_f64() / rounds as f64;
+    let start = Instant::now();
+    let mut batched_acc = 0.0f64;
+    for _ in 0..rounds {
+        batched_acc = evaluate_f32(&mut network, &eval_set)?;
+    }
+    let secs_eval = start.elapsed().as_secs_f64() / rounds as f64;
+    assert_eq!(per_image_acc, batched_acc, "float paths must agree exactly");
+    println!(
+        "evaluate_f32 on {} images: per-image loop {:.4} s, batched {:.4} s ({:.2}x)",
+        eval_set.len(),
+        secs_loop,
+        secs_eval,
+        secs_loop / secs_eval,
+    );
+    Ok(())
+}

@@ -66,6 +66,52 @@ fn quantized_inference_is_deterministic_across_backends() {
     assert_eq!(a.counters().total(), b.counters().total());
 }
 
+/// The batched campaign evaluation (rayon chunks + shared winograd scratch)
+/// must reproduce the per-image serial baseline bit for bit, for both
+/// operation-level and neuron-level injection.
+#[test]
+fn batched_campaign_evaluation_is_bit_identical_to_per_image() {
+    let campaign = campaign();
+    assert!(campaign.config().batch_size > 1, "default must batch");
+    let per_image = campaign.clone().with_batch_size(1);
+    for ber in [0.0, 1e-5, 3e-3] {
+        let ber = BitErrorRate::new(ber);
+        for algo in [ConvAlgorithm::Standard, ConvAlgorithm::winograd_default()] {
+            let batched = campaign.accuracy_under(algo, ber, &ProtectionPlan::none());
+            let serial = per_image.accuracy_under(algo, ber, &ProtectionPlan::none());
+            assert_eq!(batched, serial, "op-level {algo:?} at {}", ber.rate());
+            let batched_n = campaign.accuracy_neuron_level(algo, ber);
+            let serial_n = per_image.accuracy_neuron_level(algo, ber);
+            assert_eq!(
+                batched_n,
+                serial_n,
+                "neuron-level {algo:?} at {}",
+                ber.rate()
+            );
+        }
+    }
+}
+
+/// The float model's batched planned inference must agree bit-for-bit with
+/// per-image planned inference on real trained weights.
+#[test]
+fn batched_float_inference_matches_per_image_on_trained_model() {
+    let campaign = campaign();
+    let mut network = campaign.trained().network.clone();
+    let images: Vec<_> = campaign
+        .eval_set()
+        .samples()
+        .iter()
+        .take(5)
+        .map(|s| s.image.clone())
+        .collect();
+    let batched = network.forward_inference_batch(&images).unwrap();
+    for (image, batched_logits) in images.iter().zip(&batched) {
+        let single = network.forward_inference(image).unwrap();
+        assert_eq!(single.data(), batched_logits.data());
+    }
+}
+
 #[test]
 fn tmr_scheme_pipeline_produces_consistent_overheads() {
     let campaign = campaign();

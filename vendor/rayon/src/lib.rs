@@ -16,17 +16,25 @@ use std::iter::{FromIterator, Sum};
 
 /// Import surface mirroring `rayon::prelude`.
 pub mod prelude {
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParIter, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Number of worker threads the pool would use, mirroring
+/// `rayon::current_num_threads` (honours `RAYON_NUM_THREADS`).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 /// Number of worker threads to use for `len` items.
 fn thread_count(len: usize) -> usize {
-    let available = std::env::var("RAYON_NUM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
-    available.min(len).max(1)
+    current_num_threads().min(len).max(1)
 }
 
 /// A materialized parallel iterator: operations consume an ordered `Vec`.
@@ -95,6 +103,52 @@ impl<T: Send> ParIter<T> {
     #[must_use]
     pub fn count(self) -> usize {
         self.items.len()
+    }
+
+    /// Pair every item with its index, mirroring
+    /// `IndexedParallelIterator::enumerate`.
+    #[must_use]
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+}
+
+/// Parallel iteration over immutable slice chunks, mirroring
+/// `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous chunks of at most `chunk_size`
+    /// elements (the last chunk may be shorter).
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "par_chunks: chunk_size must be positive");
+        ParIter {
+            items: self.chunks(chunk_size).collect(),
+        }
+    }
+}
+
+/// Parallel iteration over mutable slice chunks, mirroring
+/// `rayon::slice::ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over disjoint mutable chunks of at most `chunk_size`
+    /// elements (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(
+            chunk_size > 0,
+            "par_chunks_mut: chunk_size must be positive"
+        );
+        ParIter {
+            items: self.chunks_mut(chunk_size).collect(),
+        }
     }
 }
 
@@ -175,5 +229,44 @@ mod tests {
         let v = vec![1u64, 2, 3, 4];
         let s: u64 = v.par_iter().map(|&x| x * x).sum();
         assert_eq!(s, 30);
+    }
+
+    #[test]
+    fn enumerate_pairs_items_with_indices() {
+        let out: Vec<(usize, char)> = vec!['a', 'b', 'c']
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, c)| (i, c))
+            .collect();
+        assert_eq!(out, vec![(0, 'a'), (1, 'b'), (2, 'c')]);
+    }
+
+    #[test]
+    fn par_chunks_covers_the_slice_in_order() {
+        let v: Vec<u32> = (0..10).collect();
+        let sums: Vec<u32> = v
+            .par_chunks(4)
+            .map(|chunk| chunk.iter().sum::<u32>())
+            .collect();
+        assert_eq!(sums, vec![6, 22, 17]);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_chunks() {
+        let mut v = vec![0usize; 7];
+        v.par_chunks_mut(3)
+            .enumerate()
+            .map(|(i, chunk)| {
+                for value in chunk.iter_mut() {
+                    *value = i + 1;
+                }
+            })
+            .collect::<Vec<()>>();
+        assert_eq!(v, vec![1, 1, 1, 2, 2, 2, 3]);
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
     }
 }
