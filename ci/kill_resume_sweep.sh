@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Kill/resume drill for the sharded sweep subsystem (`wgft-sweep`).
+#
+# Runs a reduced-scale network sweep twice: once uninterrupted, and once
+# SIGKILLed mid-run and then resumed as two shards. The two merged reports
+# must be byte-identical — the headline guarantee of the run journal.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p wgft-sweep
+
+BIN=target/release/wgft-sweep
+ROOT=target/sweeps/ci-kill-resume
+rm -rf "$ROOT"
+ARGS=(--campaign network_sweep --model vgg_small --width 8 --scale test
+      --images 32 --chunk 2 --bers 0,1e-5,1e-4,1e-3,3e-3
+      --cache-dir target/wgft-models --quiet)
+
+# Clean reference run (single process, uninterrupted). Also trains the model
+# into the shared cache so the interrupted run skips straight to sweeping.
+"$BIN" run --dir "$ROOT/clean" "${ARGS[@]}"
+"$BIN" merge --dir "$ROOT/clean" --out "$ROOT/clean.json" > /dev/null
+
+# Interrupted run: start single-threaded (so the kill lands mid-sweep even on
+# fast machines), SIGKILL once the journal holds a few results, then resume
+# with a different shard layout than the original writer.
+RAYON_NUM_THREADS=1 "$BIN" run --dir "$ROOT/killed" "${ARGS[@]}" &
+PID=$!
+for _ in $(seq 1 1200); do
+  if [ "$(cat "$ROOT"/killed/results-*.jsonl 2>/dev/null | wc -l)" -ge 3 ]; then
+    break
+  fi
+  kill -0 "$PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$PID" 2>/dev/null; then
+  kill -9 "$PID"
+  echo "SIGKILLed sweep (pid $PID) mid-run"
+else
+  echo "WARNING: sweep finished before the kill fired; resume is still exercised"
+fi
+wait "$PID" 2>/dev/null || true
+
+"$BIN" status --dir "$ROOT/killed"
+"$BIN" resume --dir "$ROOT/killed" --shards 2 --shard-index 0 --quiet
+"$BIN" resume --dir "$ROOT/killed" --shards 2 --shard-index 1 --quiet
+"$BIN" merge --dir "$ROOT/killed" --out "$ROOT/killed.json" > /dev/null
+
+diff "$ROOT/clean.json" "$ROOT/killed.json"
+echo "kill/resume drill passed: merged reports are byte-identical"

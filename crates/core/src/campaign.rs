@@ -5,7 +5,7 @@ use crate::{CampaignConfig, CoreError, TextTable};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use wgft_data::Dataset;
+use wgft_data::{Dataset, Sample};
 use wgft_faultsim::{
     BitErrorRate, FaultConfig, FaultyArithmetic, NeuronLevelInjector, OpType, ProtectionPlan,
 };
@@ -137,28 +137,149 @@ impl FaultToleranceCampaign {
             .par_chunks(batch)
             .enumerate()
             .map(|(chunk_idx, chunk)| {
-                let mut scratch = WinogradScratch::new();
-                let mut chunk_correct = 0usize;
-                for (offset, sample) in chunk.iter().enumerate() {
-                    let i = chunk_idx * batch + offset;
-                    let config = FaultConfig {
-                        ber,
-                        width: self.config.width,
-                        model: self.config.fault_model,
-                        protection: protection.clone(),
-                    };
-                    let seed = self.config.base_seed.wrapping_add(1 + i as u64);
-                    let mut arith = FaultyArithmetic::new(config, seed);
-                    let predicted = self
-                        .quantized
-                        .classify_with_scratch(&sample.image, &mut arith, algo, &mut scratch)
-                        .unwrap_or(usize::MAX);
-                    chunk_correct += usize::from(predicted == sample.label);
-                }
-                chunk_correct
+                self.correct_op_level_span(algo, ber, protection, chunk_idx * batch, chunk)
             })
             .sum();
         correct as f64 / self.eval_set.len().max(1) as f64
+    }
+
+    /// Deterministic fault seed for evaluation image `image_index` under
+    /// operation-level injection.
+    ///
+    /// The seed is a pure function of `(base_seed, image_index)` — never of
+    /// execution order, chunk schedule or shard — which is what makes
+    /// campaign results bit-identical across serial, batched, multi-threaded
+    /// and sharded execution.
+    #[must_use]
+    pub fn op_level_fault_seed(base_seed: u64, image_index: usize) -> u64 {
+        base_seed.wrapping_add(1 + image_index as u64)
+    }
+
+    /// Deterministic fault seed for evaluation image `image_index` under
+    /// neuron-level injection (disjoint from [`Self::op_level_fault_seed`]).
+    #[must_use]
+    pub fn neuron_level_fault_seed(base_seed: u64, image_index: usize) -> u64 {
+        base_seed.wrapping_add(0x9000 + image_index as u64)
+    }
+
+    /// Number of correct predictions under operation-level fault injection on
+    /// the evaluation-image range `[start, start + len)` (clamped to the
+    /// evaluation set).
+    ///
+    /// This is the work-unit primitive behind [`Self::accuracy_under`]:
+    /// summing the counts of any partition of `0..eval_set.len()` and
+    /// dividing by the set size reproduces the full accuracy bit for bit,
+    /// because every image's fault seed derives from its global index alone
+    /// (see [`Self::op_level_fault_seed`]).
+    #[must_use]
+    pub fn correct_op_level(
+        &self,
+        algo: ConvAlgorithm,
+        ber: BitErrorRate,
+        protection: &ProtectionPlan,
+        start: usize,
+        len: usize,
+    ) -> usize {
+        let samples = self.eval_set.samples();
+        let start = start.min(samples.len());
+        let end = start.saturating_add(len).min(samples.len());
+        self.correct_op_level_span(algo, ber, protection, start, &samples[start..end])
+    }
+
+    /// Number of correct predictions under neuron-level fault injection on
+    /// the evaluation-image range `[start, start + len)` (clamped). The
+    /// work-unit primitive behind [`Self::accuracy_neuron_level`].
+    #[must_use]
+    pub fn correct_neuron_level(
+        &self,
+        algo: ConvAlgorithm,
+        ber: BitErrorRate,
+        start: usize,
+        len: usize,
+    ) -> usize {
+        let samples = self.eval_set.samples();
+        let start = start.min(samples.len());
+        let end = start.saturating_add(len).min(samples.len());
+        self.correct_neuron_level_span(algo, ber, start, &samples[start..end])
+    }
+
+    fn correct_op_level_span(
+        &self,
+        algo: ConvAlgorithm,
+        ber: BitErrorRate,
+        protection: &ProtectionPlan,
+        start: usize,
+        samples: &[Sample],
+    ) -> usize {
+        let mut scratch = WinogradScratch::new();
+        let mut correct = 0usize;
+        for (offset, sample) in samples.iter().enumerate() {
+            let i = start + offset;
+            let config = FaultConfig {
+                ber,
+                width: self.config.width,
+                model: self.config.fault_model,
+                protection: protection.clone(),
+            };
+            let seed = Self::op_level_fault_seed(self.config.base_seed, i);
+            // Guard against reintroducing run-order-dependent RNG: the seed
+            // may depend on the global image index, never on how many images
+            // this worker has already evaluated (`offset`).
+            debug_assert_eq!(
+                seed,
+                Self::op_level_fault_seed(self.config.base_seed, i - offset)
+                    .wrapping_add(offset as u64),
+                "fault seed must be a pure affine function of the image index"
+            );
+            let mut arith = FaultyArithmetic::new(config, seed);
+            let predicted = self
+                .quantized
+                .classify_with_scratch(&sample.image, &mut arith, algo, &mut scratch)
+                .unwrap_or(usize::MAX);
+            correct += usize::from(predicted == sample.label);
+        }
+        correct
+    }
+
+    fn correct_neuron_level_span(
+        &self,
+        algo: ConvAlgorithm,
+        ber: BitErrorRate,
+        start: usize,
+        samples: &[Sample],
+    ) -> usize {
+        let mut scratch = WinogradScratch::new();
+        let mut correct = 0usize;
+        for (offset, sample) in samples.iter().enumerate() {
+            let i = start + offset;
+            let seed = Self::neuron_level_fault_seed(self.config.base_seed, i);
+            debug_assert_eq!(
+                seed,
+                Self::neuron_level_fault_seed(self.config.base_seed, i - offset)
+                    .wrapping_add(offset as u64),
+                "fault seed must be a pure affine function of the image index"
+            );
+            let mut injector = NeuronLevelInjector::new(ber, self.config.width, seed);
+            // A failed forward pass counts as a wrong prediction
+            // (argmax of empty logits would alias class 0).
+            let predicted = self
+                .quantized
+                .forward_with_neuron_faults_scratch(
+                    &sample.image,
+                    &mut injector,
+                    algo,
+                    &mut scratch,
+                )
+                .map_or(usize::MAX, |logits| {
+                    if logits.is_empty() {
+                        usize::MAX
+                    } else {
+                        wgft_data::argmax(&logits)
+                    }
+                });
+            correct += usize::from(predicted == sample.label);
+        }
+        correct
     }
 
     /// Find a bit error rate on the accuracy cliff: the smallest rate (on a
@@ -200,32 +321,7 @@ impl FaultToleranceCampaign {
             .par_chunks(batch)
             .enumerate()
             .map(|(chunk_idx, chunk)| {
-                let mut scratch = WinogradScratch::new();
-                let mut chunk_correct = 0usize;
-                for (offset, sample) in chunk.iter().enumerate() {
-                    let i = chunk_idx * batch + offset;
-                    let seed = self.config.base_seed.wrapping_add(0x9000 + i as u64);
-                    let mut injector = NeuronLevelInjector::new(ber, self.config.width, seed);
-                    // A failed forward pass counts as a wrong prediction
-                    // (argmax of empty logits would alias class 0).
-                    let predicted = self
-                        .quantized
-                        .forward_with_neuron_faults_scratch(
-                            &sample.image,
-                            &mut injector,
-                            algo,
-                            &mut scratch,
-                        )
-                        .map_or(usize::MAX, |logits| {
-                            if logits.is_empty() {
-                                usize::MAX
-                            } else {
-                                wgft_data::argmax(&logits)
-                            }
-                        });
-                    chunk_correct += usize::from(predicted == sample.label);
-                }
-                chunk_correct
+                self.correct_neuron_level_span(algo, ber, chunk_idx * batch, chunk)
             })
             .sum();
         correct as f64 / self.eval_set.len().max(1) as f64

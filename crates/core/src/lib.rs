@@ -31,7 +31,10 @@ mod report;
 mod tmr;
 mod vulnerability;
 
-pub use campaign::{FaultToleranceCampaign, GranularityReport, NetworkSweepReport, OpTypeReport};
+pub use campaign::{
+    FaultToleranceCampaign, GranularityReport, GranularityRow, NetworkSweepReport, NetworkSweepRow,
+    OpTypeReport, OpTypeRow,
+};
 pub use config::CampaignConfig;
 pub use energy::{EnergyTableReport, ScalingScheme, VoltageScalingStudy, VoltageSweepReport};
 pub use error::CoreError;

@@ -1,0 +1,108 @@
+//! Error type for the sweep orchestration subsystem.
+
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
+use wgft_core::CoreError;
+
+/// Errors produced while planning, journaling, running or merging a sweep.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Filesystem access to the run journal failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The journal on disk is inconsistent with the manifest (or itself).
+    Journal {
+        /// What is wrong.
+        reason: String,
+    },
+    /// The manifest failed validation (hash mismatch, version skew, or a
+    /// config that no longer reproduces the recorded baseline).
+    Manifest {
+        /// What is wrong.
+        reason: String,
+    },
+    /// A command-line or API parameter was invalid.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// Why it is invalid.
+        reason: String,
+    },
+    /// A merge was requested before every unit completed.
+    Incomplete {
+        /// Units finished so far.
+        done: u64,
+        /// Total units in the plan.
+        total: u64,
+    },
+    /// Campaign preparation or evaluation failed.
+    Core(CoreError),
+}
+
+impl SweepError {
+    /// Convenience constructor for [`SweepError::Io`].
+    #[must_use]
+    pub fn io(path: impl Into<PathBuf>, source: std::io::Error) -> Self {
+        SweepError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// Convenience constructor for [`SweepError::Journal`].
+    #[must_use]
+    pub fn journal(reason: impl Into<String>) -> Self {
+        SweepError::Journal {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`SweepError::Manifest`].
+    #[must_use]
+    pub fn manifest(reason: impl Into<String>) -> Self {
+        SweepError::Manifest {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Io { path, source } => {
+                write!(f, "journal I/O error at {}: {source}", path.display())
+            }
+            SweepError::Journal { reason } => write!(f, "journal error: {reason}"),
+            SweepError::Manifest { reason } => write!(f, "manifest error: {reason}"),
+            SweepError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            SweepError::Incomplete { done, total } => write!(
+                f,
+                "sweep incomplete: {done}/{total} units finished — run or resume the missing shards before merging"
+            ),
+            SweepError::Core(e) => write!(f, "campaign error: {e}"),
+        }
+    }
+}
+
+impl Error for SweepError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SweepError::Io { source, .. } => Some(source),
+            SweepError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for SweepError {
+    fn from(e: CoreError) -> Self {
+        SweepError::Core(e)
+    }
+}

@@ -1,0 +1,425 @@
+//! The persistent run journal: a validated manifest plus append-only JSONL
+//! result files.
+//!
+//! Layout of a run directory:
+//!
+//! ```text
+//! <dir>/manifest.json            # plan identity, written atomically once
+//! <dir>/results-<K>x<i>.jsonl    # one per (shard count, shard index) writer
+//! ```
+//!
+//! The manifest embeds the full serialized [`CampaignConfig`], the sweep
+//! kind, BER grid, chunking and a content hash over all of them; every
+//! `resume`/`status`/`merge` recomputes the hash and refuses to touch a
+//! journal whose manifest does not validate. Result files are append-only
+//! JSONL — one completed [`UnitResult`] per line, written with a single
+//! `write_all` + flush so a killed process can lose at most a partial
+//! trailing line, which both the reader and the appender detect and drop.
+
+use crate::error::SweepError;
+use crate::unit::{SweepKind, SweepPlan};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use wgft_core::CampaignConfig;
+
+/// Journal format version (bumped on any incompatible layout change).
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// File name of the manifest inside a run directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// 64-bit FNV-1a hash (stable, dependency-free; good enough to detect a
+/// mismatched or edited manifest, not a cryptographic commitment).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One completed work unit, as journaled: the unit id plus the number of
+/// correctly classified images out of the unit's `len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitResult {
+    /// Stable unit id from the plan table.
+    pub unit: u64,
+    /// Correct predictions in the unit's image range.
+    pub correct: u64,
+    /// Images evaluated (the unit's `len`; recorded for integrity checks).
+    pub len: u64,
+}
+
+/// The run manifest: everything needed to rebuild the unit table and verify
+/// that a resuming process is executing the same campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Journal format version.
+    pub version: u32,
+    /// Which campaign this run decomposes.
+    pub kind: SweepKind,
+    /// The full campaign configuration (embedded so resume validates against
+    /// it instead of trusting the caller).
+    pub config: CampaignConfig,
+    /// Requested BER grid (the plan derives the effective grid from it).
+    pub bers: Vec<f64>,
+    /// Images per work unit.
+    pub chunk: usize,
+    /// Evaluation-set size of the prepared campaign.
+    pub images: usize,
+    /// Number of units in the plan (redundant with the derivation; checked).
+    pub unit_count: u64,
+    /// Name of the prepared quantized network.
+    pub model: String,
+    /// Quantization width label.
+    pub width: String,
+    /// Fault-free baseline accuracy of the prepared campaign.
+    pub clean_accuracy: f64,
+    /// FNV-1a hash (hex) over the plan identity; see [`Manifest::plan_hash`].
+    pub content_hash: String,
+}
+
+impl Manifest {
+    /// Build a manifest for a freshly planned run.
+    #[allow(clippy::too_many_arguments)] // mirrors the manifest's own field list
+    #[must_use]
+    pub fn new(
+        kind: SweepKind,
+        config: CampaignConfig,
+        bers: Vec<f64>,
+        chunk: usize,
+        images: usize,
+        model: String,
+        width: String,
+        clean_accuracy: f64,
+    ) -> Self {
+        let mut manifest = Self {
+            version: JOURNAL_VERSION,
+            kind,
+            config,
+            bers,
+            chunk,
+            images,
+            unit_count: 0,
+            model,
+            width,
+            clean_accuracy,
+            content_hash: String::new(),
+        };
+        manifest.unit_count = manifest.plan().units().len() as u64;
+        manifest.content_hash = manifest.plan_hash();
+        manifest
+    }
+
+    /// The content hash over the fields that determine the unit table: kind,
+    /// config, BER grid, chunking and image count, each in its canonical
+    /// JSON form.
+    #[must_use]
+    pub fn plan_hash(&self) -> String {
+        let kind = serde_json::to_string(&self.kind).unwrap_or_default();
+        let config = serde_json::to_string(&self.config).unwrap_or_default();
+        let bers = serde_json::to_string(&self.bers).unwrap_or_default();
+        let identity = format!(
+            "v{}\n{kind}\n{config}\n{bers}\nchunk={}\nimages={}",
+            self.version, self.chunk, self.images
+        );
+        format!("{:016x}", fnv1a64(identity.as_bytes()))
+    }
+
+    /// Rebuild the unit table this manifest describes.
+    #[must_use]
+    pub fn plan(&self) -> SweepPlan {
+        SweepPlan::new(self.kind, &self.bers, self.images, self.chunk)
+    }
+
+    /// Validate version, content hash and unit count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Manifest`] describing the first mismatch.
+    pub fn validate(&self) -> Result<(), SweepError> {
+        if self.version != JOURNAL_VERSION {
+            return Err(SweepError::manifest(format!(
+                "journal version {} is not the supported version {JOURNAL_VERSION}",
+                self.version
+            )));
+        }
+        let expect = self.plan_hash();
+        if self.content_hash != expect {
+            return Err(SweepError::manifest(format!(
+                "content hash mismatch: manifest says {}, plan derives {expect} — \
+                 the manifest was edited or produced by an incompatible build",
+                self.content_hash
+            )));
+        }
+        let units = self.plan().units().len() as u64;
+        if self.unit_count != units {
+            return Err(SweepError::manifest(format!(
+                "unit count mismatch: manifest says {}, plan derives {units}",
+                self.unit_count
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Completed-unit results recovered from a journal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompletedSet {
+    /// Unit id → journaled result (first occurrence wins; duplicates must
+    /// agree).
+    pub results: BTreeMap<u64, UnitResult>,
+    /// Partial trailing lines dropped during recovery (one per file at most).
+    pub dropped_partial_lines: usize,
+}
+
+/// A run journal rooted at one directory.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    manifest: Manifest,
+}
+
+impl Journal {
+    /// Create a new journal: write the manifest atomically into `dir`
+    /// (creating it). If a manifest already exists it must describe the same
+    /// plan, in which case the existing journal is opened instead — so `run`
+    /// is idempotent and doubles as `resume`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, on an existing manifest with a different content
+    /// hash, or if `manifest` does not validate.
+    pub fn create(dir: impl Into<PathBuf>, manifest: Manifest) -> Result<Self, SweepError> {
+        manifest.validate()?;
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| SweepError::io(&dir, e))?;
+        let path = dir.join(MANIFEST_FILE);
+        if path.exists() {
+            let existing = Self::open(&dir)?;
+            if existing.manifest.content_hash != manifest.content_hash {
+                return Err(SweepError::manifest(format!(
+                    "{} already holds a different run (hash {}, new plan hashes {}) — \
+                     choose a fresh directory or resume the existing run",
+                    dir.display(),
+                    existing.manifest.content_hash,
+                    manifest.content_hash
+                )));
+            }
+            return Ok(existing);
+        }
+        let json = serde_json::to_string(&manifest)
+            .map_err(|e| SweepError::manifest(format!("manifest serialization failed: {e}")))?;
+        // Per-process temp name: concurrent `run` invocations on a fresh
+        // directory (the documented way to start K shards) each stage their
+        // own file, and the final renames are atomic and idempotent because
+        // every process derives the byte-identical manifest.
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp.{}", std::process::id()));
+        {
+            let mut file = File::create(&tmp).map_err(|e| SweepError::io(&tmp, e))?;
+            file.write_all(json.as_bytes())
+                .and_then(|()| file.write_all(b"\n"))
+                .and_then(|()| file.sync_all())
+                .map_err(|e| SweepError::io(&tmp, e))?;
+        }
+        fs::rename(&tmp, &path).map_err(|e| SweepError::io(&path, e))?;
+        Ok(Self { dir, manifest })
+    }
+
+    /// Open an existing journal and validate its manifest.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory has no manifest, the manifest does not parse,
+    /// or validation fails.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Self, SweepError> {
+        let dir = dir.into();
+        let path = dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&path).map_err(|e| SweepError::io(&path, e))?;
+        let manifest: Manifest = serde_json::from_str(text.trim_end())
+            .map_err(|e| SweepError::manifest(format!("manifest does not parse: {e}")))?;
+        manifest.validate()?;
+        Ok(Self { dir, manifest })
+    }
+
+    /// The run directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The validated manifest.
+    #[must_use]
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// All result files currently in the journal, sorted by name.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the directory cannot be read.
+    pub fn result_files(&self) -> Result<Vec<PathBuf>, SweepError> {
+        let mut files = Vec::new();
+        let entries = fs::read_dir(&self.dir).map_err(|e| SweepError::io(&self.dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| SweepError::io(&self.dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("results-") && name.ends_with(".jsonl") {
+                files.push(entry.path());
+            }
+        }
+        files.sort();
+        Ok(files)
+    }
+
+    /// Read every completed unit from every result file.
+    ///
+    /// A partial trailing line (the footprint of a killed writer) is dropped
+    /// and counted; a malformed line anywhere else, an out-of-range unit id,
+    /// a result whose `len` disagrees with the plan, or two journaled results
+    /// for the same unit that disagree are hard errors — the journal is
+    /// corrupt beyond what a kill can produce.
+    ///
+    /// # Errors
+    ///
+    /// See above; also fails on I/O errors.
+    pub fn completed(&self) -> Result<CompletedSet, SweepError> {
+        let plan = self.manifest.plan();
+        let units = plan.units();
+        let mut set = CompletedSet::default();
+        for path in self.result_files()? {
+            let text = fs::read_to_string(&path).map_err(|e| SweepError::io(&path, e))?;
+            let ends_complete = text.is_empty() || text.ends_with('\n');
+            let lines: Vec<&str> = text.lines().collect();
+            for (i, line) in lines.iter().enumerate() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                if i + 1 == lines.len() && !ends_complete {
+                    // Partial trailing line from a killed writer. Dropped
+                    // even if it happens to parse (the kill may have landed
+                    // between the JSON bytes and the newline) — a finished
+                    // writer always terminates its line, and the appender's
+                    // tail repair truncates exactly this line, so counting
+                    // it as done here would let a resume delete it from
+                    // disk after skipping it.
+                    set.dropped_partial_lines += 1;
+                    continue;
+                }
+                let result: UnitResult = serde_json::from_str(line).map_err(|e| {
+                    SweepError::journal(format!(
+                        "{} line {}: malformed result ({e})",
+                        path.display(),
+                        i + 1
+                    ))
+                })?;
+                let unit = units.get(result.unit as usize).ok_or_else(|| {
+                    SweepError::journal(format!(
+                        "{} line {}: unit id {} outside the plan (0..{})",
+                        path.display(),
+                        i + 1,
+                        result.unit,
+                        units.len()
+                    ))
+                })?;
+                if result.len != unit.len as u64 || result.correct > result.len {
+                    return Err(SweepError::journal(format!(
+                        "{} line {}: result {result:?} inconsistent with unit {unit:?}",
+                        path.display(),
+                        i + 1
+                    )));
+                }
+                if let Some(previous) = set.results.get(&result.unit) {
+                    if *previous != result {
+                        return Err(SweepError::journal(format!(
+                            "unit {} journaled twice with different results: {previous:?} vs {result:?}",
+                            result.unit
+                        )));
+                    }
+                } else {
+                    set.results.insert(result.unit, result);
+                }
+            }
+        }
+        Ok(set)
+    }
+
+    /// Open (or create) the append-only result file for one shard writer,
+    /// repairing a partial trailing line first so new appends never merge
+    /// into a corrupt tail.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn appender(&self, shards: u64, index: u64) -> Result<ResultAppender, SweepError> {
+        let path = self.dir.join(format!("results-{shards}x{index}.jsonl"));
+        ResultAppender::open(path)
+    }
+}
+
+/// Append-only writer of one result file.
+#[derive(Debug)]
+pub struct ResultAppender {
+    path: PathBuf,
+    file: File,
+}
+
+impl ResultAppender {
+    fn open(path: PathBuf) -> Result<Self, SweepError> {
+        // Repair a partial trailing line left by a killed writer: truncate
+        // back to the end of the last complete line.
+        if let Ok(existing) = fs::read(&path) {
+            if !existing.is_empty() && existing.last() != Some(&b'\n') {
+                let keep = existing
+                    .iter()
+                    .rposition(|&b| b == b'\n')
+                    .map_or(0, |p| p + 1);
+                let file = OpenOptions::new()
+                    .write(true)
+                    .open(&path)
+                    .map_err(|e| SweepError::io(&path, e))?;
+                file.set_len(keep as u64)
+                    .and_then(|()| file.sync_all())
+                    .map_err(|e| SweepError::io(&path, e))?;
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(|e| SweepError::io(&path, e))?;
+        Ok(Self { path, file })
+    }
+
+    /// The file this appender writes.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Append one completed unit: the full line (JSON + newline) goes out in
+    /// a single `write_all` followed by a data sync, so a kill between units
+    /// never leaves more than a partial trailing line.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors.
+    pub fn append(&mut self, result: &UnitResult) -> Result<(), SweepError> {
+        let mut line = serde_json::to_string(result)
+            .map_err(|e| SweepError::journal(format!("result serialization failed: {e}")))?;
+        line.push('\n');
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|()| self.file.flush())
+            .and_then(|()| self.file.sync_data())
+            .map_err(|e| SweepError::io(&self.path, e))
+    }
+}

@@ -1,0 +1,348 @@
+//! `wgft-sweep` — CLI driver for sharded, checkpointable fault-tolerance
+//! sweeps.
+//!
+//! ```text
+//! wgft-sweep run    --dir DIR [--campaign KIND] [--model M] [--width 8|16]
+//!                   [--scale test|full] [--images N] [--chunk N] [--seed S]
+//!                   [--bers 0,1e-5,...] [--algo standard|winograd]
+//!                   [--keep-fraction F] [--shards K --shard-index I]
+//!                   [--cache-dir DIR] [--quiet]
+//! wgft-sweep resume --dir DIR [--shards K --shard-index I] [--quiet]
+//! wgft-sweep status --dir DIR
+//! wgft-sweep merge  --dir DIR [--out FILE]
+//! ```
+//!
+//! `run` creates the journal (idempotently: re-running the same plan against
+//! the same directory resumes it) and executes one shard; `K` concurrent
+//! processes with `--shards K --shard-index 0..K` split the same journal.
+//! `resume` needs no campaign flags — everything is reloaded from the
+//! manifest and validated against it.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wgft_core::CampaignConfig;
+use wgft_fixedpoint::BitWidth;
+use wgft_nn::models::ModelKind;
+use wgft_sweep::{
+    merge_sweep, render_status, resume_sweep, run_sweep, Journal, ProgressSink, ShardOutcome,
+    ShardSpec, SilentProgress, SweepKind, TableProgress,
+};
+use wgft_winograd::ConvAlgorithm;
+
+/// Default BER grid for report-style sweeps (ignored by
+/// `find_critical_ber`, which walks its own geometric grid).
+const DEFAULT_BERS: [f64; 5] = [0.0, 1e-5, 1e-4, 1e-3, 3e-3];
+
+fn usage() -> &'static str {
+    concat!(
+        "wgft-sweep — sharded, checkpointable fault-tolerance sweeps\n",
+        "\n",
+        "USAGE:\n",
+        "wgft-sweep run    --dir DIR [--campaign network_sweep|injection_granularity|\n",
+        "                   op_type_sensitivity|find_critical_ber] [--model vgg_small|\n",
+        "                   resnet_small|densenet_small|googlenet_small] [--width 8|16]\n",
+        "                   [--scale test|full] [--images N] [--chunk N] [--seed S]\n",
+        "                   [--bers 0,1e-5,1e-4] [--algo standard|winograd]\n",
+        "                   [--keep-fraction F] [--shards K --shard-index I]\n",
+        "                   [--cache-dir DIR] [--quiet]\n",
+        "wgft-sweep resume --dir DIR [--shards K --shard-index I] [--quiet]\n",
+        "wgft-sweep status --dir DIR\n",
+        "wgft-sweep merge  --dir DIR [--out FILE]\n",
+        "\n",
+        "A killed run (or shard) resumes from its journal; `merge` reduces the\n",
+        "completed journal into the campaign report, bit-identical to a\n",
+        "single-process in-memory run of the same configuration."
+    )
+}
+
+struct Args {
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Self, String> {
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let flag = &raw[i];
+            if !flag.starts_with("--") {
+                return Err(format!(
+                    "unexpected argument `{flag}` (flags start with --)"
+                ));
+            }
+            if flag == "--quiet" {
+                flags.push((flag.clone(), String::new()));
+                i += 1;
+                continue;
+            }
+            let value = raw
+                .get(i + 1)
+                .ok_or_else(|| format!("flag {flag} needs a value"))?;
+            flags.push((flag.clone(), value.clone()));
+            i += 2;
+        }
+        Ok(Self { flags })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(flag, _)| flag == name)
+            .map(|(_, value)| value.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(flag, _)| flag == name)
+    }
+
+    fn reject_unknown(&self, known: &[&str]) -> Result<(), String> {
+        for (flag, _) in &self.flags {
+            if !known.contains(&flag.as_str()) {
+                return Err(format!("unknown flag `{flag}`"));
+            }
+        }
+        Ok(())
+    }
+
+    fn dir(&self) -> Result<PathBuf, String> {
+        self.get("--dir")
+            .map(PathBuf::from)
+            .ok_or_else(|| "--dir is required".to_string())
+    }
+
+    fn shard(&self) -> Result<ShardSpec, String> {
+        let shards: u64 = parse_flag(self, "--shards")?.unwrap_or(1);
+        let index: u64 = parse_flag(self, "--shard-index")?.unwrap_or(0);
+        ShardSpec::new(shards, index).map_err(|e| e.to_string())
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &Args, name: &str) -> Result<Option<T>, String> {
+    args.get(name)
+        .map(|v| {
+            v.parse::<T>()
+                .map_err(|_| format!("flag {name}: cannot parse `{v}`"))
+        })
+        .transpose()
+}
+
+fn parse_model(value: &str) -> Result<ModelKind, String> {
+    ModelKind::all()
+        .into_iter()
+        .find(|m| m.label() == value)
+        .ok_or_else(|| {
+            format!(
+                "unknown model `{value}` (expected one of: {})",
+                ModelKind::all().map(|m| m.label()).join(", ")
+            )
+        })
+}
+
+fn parse_width(value: &str) -> Result<BitWidth, String> {
+    match value {
+        "8" | "int8" => Ok(BitWidth::W8),
+        "16" | "int16" => Ok(BitWidth::W16),
+        other => Err(format!("unknown width `{other}` (expected 8 or 16)")),
+    }
+}
+
+fn parse_algo(value: &str) -> Result<ConvAlgorithm, String> {
+    match value {
+        "standard" => Ok(ConvAlgorithm::Standard),
+        "winograd" => Ok(ConvAlgorithm::winograd_default()),
+        other => Err(format!(
+            "unknown algorithm `{other}` (expected standard or winograd)"
+        )),
+    }
+}
+
+fn parse_bers(value: &str) -> Result<Vec<f64>, String> {
+    value
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            let ber: f64 = s.parse().map_err(|_| format!("--bers: bad number `{s}`"))?;
+            if !ber.is_finite() || !(0.0..=1.0).contains(&ber) {
+                return Err(format!("--bers: `{s}` is not a probability in [0, 1]"));
+            }
+            Ok(ber)
+        })
+        .collect()
+}
+
+fn parse_kind(args: &Args) -> Result<SweepKind, String> {
+    let algo = args.get("--algo").map(parse_algo).transpose()?;
+    let keep_fraction: Option<f64> = parse_flag(args, "--keep-fraction")?;
+    match args.get("--campaign").unwrap_or("network_sweep") {
+        "network_sweep" => Ok(SweepKind::NetworkSweep),
+        "injection_granularity" => Ok(SweepKind::InjectionGranularity),
+        "op_type_sensitivity" => Ok(SweepKind::OpTypeSensitivity),
+        "find_critical_ber" => Ok(SweepKind::FindCriticalBer {
+            algo: algo.unwrap_or(ConvAlgorithm::Standard),
+            keep_fraction: keep_fraction.unwrap_or(0.5),
+        }),
+        other => Err(format!(
+            "unknown campaign `{other}` (expected network_sweep, \
+             injection_granularity, op_type_sensitivity or find_critical_ber)"
+        )),
+    }
+}
+
+fn build_config(args: &Args, dir: &std::path::Path) -> Result<CampaignConfig, String> {
+    let model = args
+        .get("--model")
+        .map(parse_model)
+        .transpose()?
+        .unwrap_or(ModelKind::VggSmall);
+    let width = args
+        .get("--width")
+        .map(parse_width)
+        .transpose()?
+        .unwrap_or(BitWidth::W8);
+    let mut config = match args.get("--scale").unwrap_or("test") {
+        "test" => CampaignConfig::test_scale(model, width),
+        "full" => CampaignConfig::new(model, width),
+        other => return Err(format!("unknown scale `{other}` (expected test or full)")),
+    };
+    if let Some(images) = parse_flag::<usize>(args, "--images")? {
+        config = config.with_images(images);
+    }
+    if let Some(seed) = parse_flag::<u64>(args, "--seed")? {
+        config = config.with_seed(seed);
+    }
+    // Cache the trained model inside the run directory by default, so
+    // resumes and sibling shards skip training.
+    let cache_dir = args
+        .get("--cache-dir")
+        .map_or_else(|| dir.join("model-cache"), PathBuf::from);
+    Ok(config.with_cache_dir(cache_dir))
+}
+
+fn report_outcome(outcome: &ShardOutcome, shard: ShardSpec) {
+    eprintln!(
+        "[wgft-sweep] shard {}/{}: {} unit(s) evaluated, {} already journaled; \
+         run {}/{} complete{}",
+        shard.index(),
+        shard.shards(),
+        outcome.evaluated,
+        outcome.skipped,
+        outcome.run_done,
+        outcome.run_total,
+        if outcome.run_complete() {
+            " — ready to merge"
+        } else {
+            ""
+        }
+    );
+}
+
+fn progress_for(args: &Args) -> Box<dyn ProgressSink> {
+    if args.has("--quiet") {
+        Box::new(SilentProgress)
+    } else {
+        Box::new(TableProgress::default())
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[
+        "--dir",
+        "--campaign",
+        "--model",
+        "--width",
+        "--scale",
+        "--images",
+        "--chunk",
+        "--seed",
+        "--bers",
+        "--algo",
+        "--keep-fraction",
+        "--shards",
+        "--shard-index",
+        "--cache-dir",
+        "--quiet",
+    ])?;
+    let dir = args.dir()?;
+    let kind = parse_kind(args)?;
+    let config = build_config(args, &dir)?;
+    let bers = args
+        .get("--bers")
+        .map(parse_bers)
+        .transpose()?
+        .unwrap_or_else(|| DEFAULT_BERS.to_vec());
+    let chunk = parse_flag::<usize>(args, "--chunk")?.unwrap_or(8);
+    let shard = args.shard()?;
+    let progress = progress_for(args);
+    let outcome = run_sweep(&dir, kind, &config, &bers, chunk, shard, progress.as_ref())
+        .map_err(|e| e.to_string())?;
+    report_outcome(&outcome, shard);
+    Ok(())
+}
+
+fn cmd_resume(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--dir", "--shards", "--shard-index", "--quiet"])?;
+    let dir = args.dir()?;
+    let shard = args.shard()?;
+    let progress = progress_for(args);
+    let outcome = resume_sweep(&dir, shard, progress.as_ref()).map_err(|e| e.to_string())?;
+    report_outcome(&outcome, shard);
+    Ok(())
+}
+
+fn cmd_status(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--dir"])?;
+    let journal = Journal::open(args.dir()?).map_err(|e| e.to_string())?;
+    let completed = journal.completed().map_err(|e| e.to_string())?;
+    print!("{}", render_status(&journal, &completed));
+    Ok(())
+}
+
+fn cmd_merge(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--dir", "--out"])?;
+    let dir = args.dir()?;
+    let report = merge_sweep(&dir).map_err(|e| e.to_string())?;
+    let out = args
+        .get("--out")
+        .map_or_else(|| dir.join("merged.json"), PathBuf::from);
+    let json =
+        serde_json::to_string(&report).map_err(|e| format!("report serialization failed: {e}"))?;
+    std::fs::write(&out, json + "\n")
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!("{report}");
+    eprintln!("[wgft-sweep] merged report written to {}", out.display());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    if command == "--help" || command == "-h" || command == "help" {
+        println!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let args = match Args::parse(&raw[1..]) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&args),
+        "resume" => cmd_resume(&args),
+        "status" => cmd_status(&args),
+        "merge" => cmd_merge(&args),
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Live progress reporting and the `status` rendering.
+//!
+//! Both render through `wgft_core::TextTable`, so sweep progress looks like
+//! the rest of the workspace's report output.
+
+use crate::journal::{CompletedSet, Journal};
+use crate::unit::WorkUnit;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use wgft_core::TextTable;
+
+/// A snapshot of shard and run completion, passed to progress sinks after
+/// every finished unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Shard count of the running process.
+    pub shards: u64,
+    /// Shard index of the running process.
+    pub shard_index: u64,
+    /// Units this shard has finished during this invocation.
+    pub shard_done: u64,
+    /// Units this shard owns and still had pending at startup.
+    pub shard_pending: u64,
+    /// Units finished across the whole run (journal + this invocation).
+    pub run_done: u64,
+    /// Total units in the plan.
+    pub run_total: u64,
+}
+
+/// Receives completion events from a running shard.
+pub trait ProgressSink: Sync {
+    /// Called after each unit completes (from worker threads).
+    fn unit_finished(&self, snapshot: ProgressSnapshot, unit: &WorkUnit);
+}
+
+/// Discards all progress events (library use and tests).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SilentProgress;
+
+impl ProgressSink for SilentProgress {
+    fn unit_finished(&self, _snapshot: ProgressSnapshot, _unit: &WorkUnit) {}
+}
+
+/// Renders live shard/unit completion to stderr as a small [`TextTable`],
+/// throttled so long sweeps do not drown their own logs.
+#[derive(Debug)]
+pub struct TableProgress {
+    min_interval: Duration,
+    last_render: Mutex<Option<Instant>>,
+}
+
+impl TableProgress {
+    /// A reporter that renders at most once per `min_interval` (the final
+    /// unit of a shard always renders).
+    #[must_use]
+    pub fn new(min_interval: Duration) -> Self {
+        Self {
+            min_interval,
+            last_render: Mutex::new(None),
+        }
+    }
+}
+
+impl Default for TableProgress {
+    fn default() -> Self {
+        Self::new(Duration::from_secs(2))
+    }
+}
+
+impl ProgressSink for TableProgress {
+    fn unit_finished(&self, snapshot: ProgressSnapshot, unit: &WorkUnit) {
+        let finishing = snapshot.shard_done >= snapshot.shard_pending;
+        {
+            let mut last = self.last_render.lock().expect("progress lock poisoned");
+            let due = last.is_none_or(|t| t.elapsed() >= self.min_interval);
+            if !due && !finishing {
+                return;
+            }
+            *last = Some(Instant::now());
+        }
+        let mut table = TextTable::new(&["scope", "done", "total", "%"]);
+        let pct = |done: u64, total: u64| {
+            if total == 0 {
+                "100.0".to_string()
+            } else {
+                format!("{:.1}", done as f64 * 100.0 / total as f64)
+            }
+        };
+        table.push_row(vec![
+            format!("shard {}/{}", snapshot.shard_index, snapshot.shards),
+            snapshot.shard_done.to_string(),
+            snapshot.shard_pending.to_string(),
+            pct(snapshot.shard_done, snapshot.shard_pending),
+        ]);
+        table.push_row(vec![
+            "run".to_string(),
+            snapshot.run_done.to_string(),
+            snapshot.run_total.to_string(),
+            pct(snapshot.run_done, snapshot.run_total),
+        ]);
+        eprintln!(
+            "[wgft-sweep] finished unit {} ({})",
+            unit.id,
+            unit.cell.label()
+        );
+        eprint!("{table}");
+    }
+}
+
+/// Render the `status` view of a journal: manifest summary, per-BER
+/// completion and per-result-file accounting.
+#[must_use]
+pub fn render_status(journal: &Journal, completed: &CompletedSet) -> String {
+    use std::fmt::Write as _;
+
+    let manifest = journal.manifest();
+    let plan = manifest.plan();
+    let done = completed.results.len();
+    let total = plan.units().len();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} sweep of {} ({}) — {} images, chunk {}, {} BER points",
+        manifest.kind.label(),
+        manifest.model,
+        manifest.width,
+        manifest.images,
+        manifest.chunk,
+        plan.bers().len()
+    );
+    let _ = writeln!(
+        out,
+        "journal {} — {}/{} units complete{}",
+        journal.dir().display(),
+        done,
+        total,
+        if completed.dropped_partial_lines > 0 {
+            format!(
+                " ({} partial trailing line(s) recovered)",
+                completed.dropped_partial_lines
+            )
+        } else {
+            String::new()
+        }
+    );
+
+    let mut table = TextTable::new(&["BER", "cells", "units done", "units total", "images done"]);
+    let per_ber = plan.cells().len() / plan.bers().len().max(1);
+    for (ber_index, &ber) in plan.bers().iter().enumerate() {
+        let cell_range = ber_index * per_ber..(ber_index + 1) * per_ber;
+        let mut units_total = 0u64;
+        let mut units_done = 0u64;
+        let mut images_done = 0u64;
+        for unit in plan.units() {
+            if cell_range.contains(&unit.cell_index) {
+                units_total += 1;
+                if completed.results.contains_key(&unit.id) {
+                    units_done += 1;
+                    images_done += unit.len as u64;
+                }
+            }
+        }
+        table.push_row(vec![
+            format!("{ber:.2e}"),
+            per_ber.to_string(),
+            units_done.to_string(),
+            units_total.to_string(),
+            images_done.to_string(),
+        ]);
+    }
+    let _ = write!(out, "{table}");
+
+    if let Ok(files) = journal.result_files() {
+        if !files.is_empty() {
+            let mut per_file = TextTable::new(&["result file", "lines"]);
+            for file in files {
+                let lines = std::fs::read_to_string(&file)
+                    .map(|t| t.lines().filter(|l| !l.trim().is_empty()).count())
+                    .unwrap_or(0);
+                per_file.push_row(vec![
+                    file.file_name()
+                        .map(|n| n.to_string_lossy().into_owned())
+                        .unwrap_or_default(),
+                    lines.to_string(),
+                ]);
+            }
+            let _ = write!(out, "{per_file}");
+        }
+    }
+    out
+}

@@ -1,0 +1,406 @@
+//! Deterministic decomposition of a campaign into work units.
+//!
+//! A [`SweepPlan`] expands a campaign kind over its bit-error-rate grid into
+//! a stably ordered table of [`WorkUnit`]s — one (algorithm, BER,
+//! granularity, protection, image-chunk) cell each. The table depends only on
+//! the plan inputs, never on execution order, sharding or restarts, so two
+//! processes that agree on the manifest agree on every unit id.
+
+use serde::{Deserialize, Serialize};
+use wgft_core::FaultToleranceCampaign;
+use wgft_faultsim::{OpType, ProtectionPlan};
+use wgft_winograd::ConvAlgorithm;
+
+/// Fault-injection granularity of a cell (the Figure 1 axis).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Granularity {
+    /// Operation-level injection (every multiply/add result can flip).
+    OpLevel,
+    /// Neuron-level injection (only layer outputs can flip).
+    NeuronLevel,
+}
+
+impl Granularity {
+    /// Short label used in progress output.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Granularity::OpLevel => "op",
+            Granularity::NeuronLevel => "neuron",
+        }
+    }
+}
+
+/// Protection applied to a cell, as a serializable tag that reconstructs the
+/// same [`ProtectionPlan`] the monolithic campaign loops build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellProtection {
+    /// No protection.
+    Unprotected,
+    /// All multiplications kept fault-free (Figure 4).
+    MulFaultFree,
+    /// All additions kept fault-free (Figure 4).
+    AddFaultFree,
+}
+
+impl CellProtection {
+    /// The protection plan this tag denotes.
+    #[must_use]
+    pub fn plan(self) -> ProtectionPlan {
+        match self {
+            CellProtection::Unprotected => ProtectionPlan::none(),
+            CellProtection::MulFaultFree => {
+                ProtectionPlan::none().with_fault_free_op_type(OpType::Mul)
+            }
+            CellProtection::AddFaultFree => {
+                ProtectionPlan::none().with_fault_free_op_type(OpType::Add)
+            }
+        }
+    }
+
+    /// Short label used in progress output.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            CellProtection::Unprotected => "none",
+            CellProtection::MulFaultFree => "mul-free",
+            CellProtection::AddFaultFree => "add-free",
+        }
+    }
+}
+
+/// One accuracy cell of a campaign: every evaluation image of the campaign is
+/// classified once under this exact fault configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UnitCell {
+    /// Convolution algorithm under test.
+    pub algo: ConvAlgorithm,
+    /// Bit error rate.
+    pub ber: f64,
+    /// Injection granularity.
+    pub granularity: Granularity,
+    /// Protection applied.
+    pub protection: CellProtection,
+}
+
+impl UnitCell {
+    /// Compact human-readable label (progress lines and status tables).
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{} ber={:.2e} {} {}",
+            self.algo.label(),
+            self.ber,
+            self.granularity.label(),
+            self.protection.label()
+        )
+    }
+}
+
+/// Which campaign a sweep decomposes (the reduce step rebuilds the matching
+/// monolithic report type).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SweepKind {
+    /// Figure 2: standard vs winograd accuracy across bit error rates,
+    /// reduced into a `NetworkSweepReport`.
+    NetworkSweep,
+    /// Figure 1: operation-level vs neuron-level injection, reduced into a
+    /// `GranularityReport`.
+    InjectionGranularity,
+    /// Figure 4: add/mul fault-free protection, reduced into an
+    /// `OpTypeReport`.
+    OpTypeSensitivity,
+    /// Accuracy-cliff search on the fixed geometric grid of
+    /// `FaultToleranceCampaign::find_critical_ber`, reduced into a
+    /// `CriticalBerReport`.
+    FindCriticalBer {
+        /// Algorithm whose cliff is located.
+        algo: ConvAlgorithm,
+        /// Fraction of the clean-minus-chance margin to keep (clamped to
+        /// `[0, 1]` exactly like the monolithic search).
+        keep_fraction: f64,
+    },
+}
+
+impl SweepKind {
+    /// Snake-case label (CLI values and status output).
+    #[must_use]
+    pub const fn label(&self) -> &'static str {
+        match self {
+            SweepKind::NetworkSweep => "network_sweep",
+            SweepKind::InjectionGranularity => "injection_granularity",
+            SweepKind::OpTypeSensitivity => "op_type_sensitivity",
+            SweepKind::FindCriticalBer { .. } => "find_critical_ber",
+        }
+    }
+
+    /// The bit error rates this kind actually evaluates.
+    ///
+    /// Report-style sweeps use the requested grid verbatim; the critical-BER
+    /// search ignores it and walks the same geometric grid as the monolithic
+    /// `find_critical_ber` (1e-8 doubling until 1e-2), so the merged result
+    /// is bit-identical to the in-memory search.
+    #[must_use]
+    pub fn effective_bers(&self, requested: &[f64]) -> Vec<f64> {
+        match self {
+            SweepKind::FindCriticalBer { .. } => {
+                let mut grid = Vec::new();
+                let mut ber = 1e-8;
+                while ber < 1e-2 {
+                    grid.push(ber);
+                    ber *= 2.0;
+                }
+                grid
+            }
+            _ => requested.to_vec(),
+        }
+    }
+
+    /// The cells evaluated at one bit error rate, in stable report order.
+    #[must_use]
+    pub fn cells_for_ber(&self, ber: f64) -> Vec<UnitCell> {
+        let std = ConvAlgorithm::Standard;
+        let wg = ConvAlgorithm::winograd_default();
+        let cell = |algo, granularity, protection| UnitCell {
+            algo,
+            ber,
+            granularity,
+            protection,
+        };
+        match self {
+            SweepKind::NetworkSweep => vec![
+                cell(std, Granularity::OpLevel, CellProtection::Unprotected),
+                cell(wg, Granularity::OpLevel, CellProtection::Unprotected),
+            ],
+            SweepKind::InjectionGranularity => vec![
+                cell(std, Granularity::OpLevel, CellProtection::Unprotected),
+                cell(wg, Granularity::OpLevel, CellProtection::Unprotected),
+                cell(std, Granularity::NeuronLevel, CellProtection::Unprotected),
+                cell(wg, Granularity::NeuronLevel, CellProtection::Unprotected),
+            ],
+            SweepKind::OpTypeSensitivity => vec![
+                cell(std, Granularity::OpLevel, CellProtection::MulFaultFree),
+                cell(std, Granularity::OpLevel, CellProtection::AddFaultFree),
+                cell(wg, Granularity::OpLevel, CellProtection::MulFaultFree),
+                cell(wg, Granularity::OpLevel, CellProtection::AddFaultFree),
+                cell(std, Granularity::OpLevel, CellProtection::Unprotected),
+                cell(wg, Granularity::OpLevel, CellProtection::Unprotected),
+            ],
+            SweepKind::FindCriticalBer { algo, .. } => vec![cell(
+                *algo,
+                Granularity::OpLevel,
+                CellProtection::Unprotected,
+            )],
+        }
+    }
+}
+
+/// One schedulable unit of work: one cell restricted to a contiguous chunk of
+/// evaluation images.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkUnit {
+    /// Stable unit id — the unit's position in the plan table. Results are
+    /// journaled under this id, and sharding assigns units by `id % shards`.
+    pub id: u64,
+    /// Index of the unit's cell in [`SweepPlan::cells`].
+    pub cell_index: usize,
+    /// The cell this unit evaluates.
+    pub cell: UnitCell,
+    /// First evaluation-image index (inclusive).
+    pub start: usize,
+    /// Number of evaluation images in this unit.
+    pub len: usize,
+}
+
+impl WorkUnit {
+    /// The fault seed of image `offset` (0-based within the unit).
+    ///
+    /// Derived from the campaign base seed and the unit's own coordinates
+    /// (`start + offset` is the global image index), so it is identical no
+    /// matter which shard evaluates the unit, in which order, after how many
+    /// restarts — and identical to the seed the monolithic campaign loops
+    /// derive for the same image.
+    #[must_use]
+    pub fn image_seed(&self, base_seed: u64, offset: usize) -> u64 {
+        let image_index = self.start + offset;
+        match self.cell.granularity {
+            Granularity::OpLevel => {
+                FaultToleranceCampaign::op_level_fault_seed(base_seed, image_index)
+            }
+            Granularity::NeuronLevel => {
+                FaultToleranceCampaign::neuron_level_fault_seed(base_seed, image_index)
+            }
+        }
+    }
+}
+
+/// The full, stably ordered unit table of one campaign run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPlan {
+    kind: SweepKind,
+    bers: Vec<f64>,
+    images: usize,
+    chunk: usize,
+    cells: Vec<UnitCell>,
+    units: Vec<WorkUnit>,
+}
+
+impl SweepPlan {
+    /// Expand `kind` over its BER grid into the unit table.
+    ///
+    /// `images` is the evaluation-set size and `chunk` the images per unit
+    /// (floored at one). Ordering is BER-major, then report cell order, then
+    /// ascending image chunks; unit ids are the positions in that order.
+    #[must_use]
+    pub fn new(kind: SweepKind, requested_bers: &[f64], images: usize, chunk: usize) -> Self {
+        let bers = kind.effective_bers(requested_bers);
+        let chunk = chunk.max(1);
+        let mut cells = Vec::new();
+        let mut units = Vec::new();
+        for &ber in &bers {
+            for cell in kind.cells_for_ber(ber) {
+                let cell_index = cells.len();
+                cells.push(cell);
+                let mut start = 0usize;
+                while start < images {
+                    let len = chunk.min(images - start);
+                    units.push(WorkUnit {
+                        id: units.len() as u64,
+                        cell_index,
+                        cell,
+                        start,
+                        len,
+                    });
+                    start += len;
+                }
+            }
+        }
+        Self {
+            kind,
+            bers,
+            images,
+            chunk,
+            cells,
+            units,
+        }
+    }
+
+    /// The campaign kind this plan decomposes.
+    #[must_use]
+    pub fn kind(&self) -> SweepKind {
+        self.kind
+    }
+
+    /// The effective BER grid (see [`SweepKind::effective_bers`]).
+    #[must_use]
+    pub fn bers(&self) -> &[f64] {
+        &self.bers
+    }
+
+    /// Evaluation-set size the plan was built for.
+    #[must_use]
+    pub fn images(&self) -> usize {
+        self.images
+    }
+
+    /// Images per unit.
+    #[must_use]
+    pub fn chunk(&self) -> usize {
+        self.chunk
+    }
+
+    /// All cells in stable order.
+    #[must_use]
+    pub fn cells(&self) -> &[UnitCell] {
+        &self.cells
+    }
+
+    /// The unit table in stable id order.
+    #[must_use]
+    pub fn units(&self) -> &[WorkUnit] {
+        &self.units
+    }
+
+    /// Units of one cell, in ascending image order.
+    pub fn units_of_cell(&self, cell_index: usize) -> impl Iterator<Item = &WorkUnit> {
+        self.units
+            .iter()
+            .filter(move |u| u.cell_index == cell_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_stable_and_covers_every_image_once() {
+        let plan = SweepPlan::new(SweepKind::InjectionGranularity, &[0.0, 1e-4], 10, 4);
+        assert_eq!(plan.cells().len(), 2 * 4);
+        // 10 images in chunks of 4 -> 3 units per cell.
+        assert_eq!(plan.units().len(), 8 * 3);
+        for (i, unit) in plan.units().iter().enumerate() {
+            assert_eq!(unit.id, i as u64, "ids are table positions");
+        }
+        for cell_index in 0..plan.cells().len() {
+            let covered: usize = plan.units_of_cell(cell_index).map(|u| u.len).sum();
+            assert_eq!(covered, 10, "every cell covers the whole eval set");
+            let mut next = 0usize;
+            for unit in plan.units_of_cell(cell_index) {
+                assert_eq!(unit.start, next, "chunks are contiguous and ordered");
+                next += unit.len;
+            }
+        }
+        // Rebuilding the plan yields the identical table.
+        let again = SweepPlan::new(SweepKind::InjectionGranularity, &[0.0, 1e-4], 10, 4);
+        assert_eq!(again, plan);
+    }
+
+    #[test]
+    fn critical_ber_grid_matches_the_monolithic_search() {
+        let kind = SweepKind::FindCriticalBer {
+            algo: ConvAlgorithm::Standard,
+            keep_fraction: 0.5,
+        };
+        let grid = kind.effective_bers(&[123.0]);
+        // Replicates `find_critical_ber`: 1e-8 doubling while < 1e-2.
+        let mut expect = Vec::new();
+        let mut ber = 1e-8;
+        while ber < 1e-2 {
+            expect.push(ber);
+            ber *= 2.0;
+        }
+        assert_eq!(grid, expect);
+        assert_eq!(kind.cells_for_ber(1e-8).len(), 1);
+    }
+
+    #[test]
+    fn unit_seed_is_a_pure_function_of_global_image_index() {
+        let plan = SweepPlan::new(SweepKind::NetworkSweep, &[1e-5], 9, 2);
+        let base = 0xC0FFEE;
+        for unit in plan.units() {
+            for offset in 0..unit.len {
+                let expect = match unit.cell.granularity {
+                    Granularity::OpLevel => {
+                        FaultToleranceCampaign::op_level_fault_seed(base, unit.start + offset)
+                    }
+                    Granularity::NeuronLevel => {
+                        FaultToleranceCampaign::neuron_level_fault_seed(base, unit.start + offset)
+                    }
+                };
+                assert_eq!(unit.image_seed(base, offset), expect);
+            }
+        }
+    }
+
+    #[test]
+    fn protection_tags_rebuild_the_monolithic_plans() {
+        assert!(CellProtection::Unprotected.plan().is_empty());
+        assert!(CellProtection::MulFaultFree
+            .plan()
+            .is_op_type_fault_free(OpType::Mul));
+        assert!(CellProtection::AddFaultFree
+            .plan()
+            .is_op_type_fault_free(OpType::Add));
+    }
+}

@@ -1,0 +1,453 @@
+//! Integration tests for the sharded sweep subsystem: bit-identical parity
+//! with the monolithic campaign loops, kill/resume recovery (including a
+//! corrupted trailing JSONL line), and journal-compatible resharding.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use wgft_core::{CampaignConfig, FaultToleranceCampaign};
+use wgft_fixedpoint::BitWidth;
+use wgft_nn::models::ModelKind;
+use wgft_sweep::{
+    evaluate_unit, manifest_for, merge, merge_sweep, resume_sweep, run_shard, run_sweep, Journal,
+    MergedReport, ShardSpec, SilentProgress, SweepError, SweepKind, UnitResult,
+};
+use wgft_winograd::ConvAlgorithm;
+
+/// Evaluation images per campaign — small enough for CI, uneven against the
+/// 3-image chunk so chunk-tail handling is exercised.
+const IMAGES: usize = 8;
+/// Images per work unit (deliberately not a divisor of IMAGES).
+const CHUNK: usize = 3;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> CampaignConfig {
+    CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W8)
+        .with_images(IMAGES)
+        .with_cache_dir(PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("model-cache"))
+}
+
+/// One shared prepared campaign per test binary: the first caller trains and
+/// populates the model cache, so every in-test `run_sweep`/`resume_sweep`
+/// preparation afterwards loads from the cache.
+fn campaign() -> &'static FaultToleranceCampaign {
+    static CAMPAIGN: OnceLock<FaultToleranceCampaign> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| {
+        FaultToleranceCampaign::prepare(&config()).expect("campaign preparation must succeed")
+    })
+}
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serialization must succeed")
+}
+
+#[test]
+fn range_counts_partition_the_monolithic_accuracy() {
+    // The per-unit primitive must sum to the monolithic accuracy for any
+    // partition and any evaluation order — this is the property every other
+    // guarantee in this file rests on.
+    let campaign = campaign();
+    let ber = wgft_faultsim::BitErrorRate::new(3e-3);
+    let protection = wgft_faultsim::ProtectionPlan::none();
+    let algo = ConvAlgorithm::winograd_default();
+    let full = campaign.accuracy_under(algo, ber, &protection);
+    for split in [1usize, 3, 5, IMAGES] {
+        // Evaluate the ranges back to front: order must not matter.
+        let mut correct = 0usize;
+        let mut starts: Vec<usize> = (0..IMAGES).step_by(split).collect();
+        starts.reverse();
+        for start in starts {
+            correct += campaign.correct_op_level(algo, ber, &protection, start, split);
+        }
+        assert!(
+            (full - correct as f64 / IMAGES as f64).abs() == 0.0,
+            "partition with stride {split} must reproduce the accuracy bit for bit"
+        );
+    }
+}
+
+#[test]
+fn sharded_network_sweep_matches_monolithic_bit_for_bit() {
+    let campaign = campaign();
+    let bers = [0.0, 3e-3];
+    let dir = tmp_dir("network-parity");
+    // Two shards, run one after the other like two independent processes.
+    for index in 0..2 {
+        let outcome = run_sweep(
+            &dir,
+            SweepKind::NetworkSweep,
+            &config(),
+            &bers,
+            CHUNK,
+            ShardSpec::new(2, index).unwrap(),
+            &SilentProgress,
+        )
+        .expect("shard must run");
+        assert_eq!(outcome.skipped, 0, "fresh run has nothing to skip");
+    }
+    let merged = merge_sweep(&dir).expect("complete journal must merge");
+    let MergedReport::NetworkSweep(merged) = merged else {
+        panic!("network sweep must merge into a NetworkSweepReport");
+    };
+    let monolithic = campaign.network_sweep(&bers);
+    assert_eq!(json(&merged), json(&monolithic), "byte-identical report");
+}
+
+#[test]
+fn sharded_granularity_and_op_type_match_monolithic_bit_for_bit() {
+    let campaign = campaign();
+    let bers = [3e-3];
+
+    let dir = tmp_dir("granularity-parity");
+    run_sweep(
+        &dir,
+        SweepKind::InjectionGranularity,
+        &config(),
+        &bers,
+        CHUNK,
+        ShardSpec::single(),
+        &SilentProgress,
+    )
+    .expect("run must succeed");
+    let MergedReport::Granularity(merged) = merge_sweep(&dir).expect("merge") else {
+        panic!("granularity sweep must merge into a GranularityReport");
+    };
+    assert_eq!(json(&merged), json(&campaign.injection_granularity(&bers)));
+
+    let dir = tmp_dir("optype-parity");
+    run_sweep(
+        &dir,
+        SweepKind::OpTypeSensitivity,
+        &config(),
+        &bers,
+        CHUNK,
+        ShardSpec::single(),
+        &SilentProgress,
+    )
+    .expect("run must succeed");
+    let MergedReport::OpType(merged) = merge_sweep(&dir).expect("merge") else {
+        panic!("op-type sweep must merge into an OpTypeReport");
+    };
+    assert_eq!(json(&merged), json(&campaign.op_type_sensitivity(&bers)));
+}
+
+#[test]
+fn sharded_critical_ber_matches_monolithic_search() {
+    let campaign = campaign();
+    let kind = SweepKind::FindCriticalBer {
+        algo: ConvAlgorithm::Standard,
+        keep_fraction: 0.5,
+    };
+    let dir = tmp_dir("critical-parity");
+    run_sweep(
+        &dir,
+        kind,
+        &config(),
+        &[],
+        IMAGES, // one unit per grid point
+        ShardSpec::single(),
+        &SilentProgress,
+    )
+    .expect("run must succeed");
+    let MergedReport::CriticalBer(merged) = merge_sweep(&dir).expect("merge") else {
+        panic!("critical-BER sweep must merge into a CriticalBerReport");
+    };
+    let monolithic = campaign.find_critical_ber(ConvAlgorithm::Standard, 0.5);
+    assert_eq!(
+        merged.critical_ber.to_bits(),
+        monolithic.to_bits(),
+        "merged cliff must equal the in-memory search bit for bit"
+    );
+}
+
+/// Kill/resume drill: interrupt a run by truncating its journal mid-way —
+/// once at a line boundary (results lost) and once mid-line (the footprint
+/// of a killed writer) — then resume and require the merged report to be
+/// byte-identical to an uninterrupted run.
+#[test]
+fn killed_run_resumes_to_a_bit_identical_report() {
+    let campaign = campaign();
+    let bers = [0.0, 3e-3];
+    let monolithic = json(&campaign.network_sweep(&bers));
+
+    let dir = tmp_dir("kill-resume");
+    run_sweep(
+        &dir,
+        SweepKind::NetworkSweep,
+        &config(),
+        &bers,
+        CHUNK,
+        ShardSpec::single(),
+        &SilentProgress,
+    )
+    .expect("run must succeed");
+
+    let results = result_file(&dir);
+    let full = fs::read_to_string(&results).expect("result file exists");
+    let lines: Vec<&str> = full.lines().collect();
+    assert!(lines.len() >= 4, "need enough units to truncate mid-way");
+
+    // 1. Truncate at a line boundary: half the results vanish.
+    let keep = lines.len() / 2;
+    fs::write(&results, lines[..keep].join("\n") + "\n").unwrap();
+    let err = merge_sweep(&dir).expect_err("incomplete journal must not merge");
+    assert!(matches!(err, SweepError::Incomplete { .. }), "got {err}");
+
+    // 2. Corrupt the tail the way a kill does: a partial line with no
+    //    trailing newline.
+    let mut partial = fs::read_to_string(&results).unwrap();
+    partial.push_str("{\"unit\":3,\"corr");
+    fs::write(&results, partial).unwrap();
+
+    // Resume with a *different* shard count than the original writer — the
+    // journal is shard-agnostic.
+    let outcome = resume_sweep(&dir, ShardSpec::new(2, 0).unwrap(), &SilentProgress)
+        .expect("resume shard 0 must succeed");
+    assert!(outcome.evaluated > 0, "resume must re-evaluate lost units");
+    let outcome = resume_sweep(&dir, ShardSpec::new(2, 1).unwrap(), &SilentProgress)
+        .expect("resume shard 1 must succeed");
+    assert!(outcome.run_complete(), "both shards finish the run");
+
+    let MergedReport::NetworkSweep(merged) = merge_sweep(&dir).expect("merge") else {
+        panic!("network sweep must merge into a NetworkSweepReport");
+    };
+    assert_eq!(
+        json(&merged),
+        monolithic,
+        "resumed run must be byte-identical to the uninterrupted one"
+    );
+}
+
+/// A kill can land between a line's JSON bytes and its newline, leaving a
+/// *parseable* unterminated tail. The reader must drop it exactly like the
+/// appender's tail repair does — counting it as done would let a resume
+/// skip the unit and then delete its bytes from disk, wedging the journal.
+#[test]
+fn parseable_unterminated_tail_is_dropped_and_reevaluated() {
+    let campaign = campaign();
+    let bers = [0.0, 3e-3];
+    let monolithic = json(&campaign.network_sweep(&bers));
+    let dir = tmp_dir("parseable-tail");
+    run_sweep(
+        &dir,
+        SweepKind::NetworkSweep,
+        &config(),
+        &bers,
+        CHUNK,
+        ShardSpec::single(),
+        &SilentProgress,
+    )
+    .expect("run must succeed");
+    let results = result_file(&dir);
+    let text = fs::read_to_string(&results).unwrap();
+    assert!(text.ends_with('\n'));
+    // Strip only the final newline: the last line still parses.
+    fs::write(&results, &text[..text.len() - 1]).unwrap();
+
+    let journal = Journal::open(&dir).expect("journal opens");
+    let completed = journal.completed().expect("read back");
+    assert_eq!(completed.dropped_partial_lines, 1);
+    let total = journal.manifest().plan().units().len();
+    assert_eq!(completed.results.len(), total - 1, "tail unit not counted");
+
+    // Resume with the same shard layout (the reported bug scenario): the
+    // unit must be re-evaluated, not skipped-then-truncated.
+    let outcome = resume_sweep(&dir, ShardSpec::single(), &SilentProgress).expect("resume");
+    assert_eq!(outcome.evaluated, 1);
+    assert!(outcome.run_complete());
+    let MergedReport::NetworkSweep(merged) = merge_sweep(&dir).expect("merge") else {
+        panic!("wrong report kind");
+    };
+    assert_eq!(json(&merged), monolithic);
+}
+
+/// A corrupted *complete* line (newline-terminated garbage) is beyond what a
+/// kill can produce and must be a hard error, not silent recovery.
+#[test]
+fn corrupt_interior_line_is_a_hard_error() {
+    let campaign = campaign();
+    let _ = campaign; // shared cache priming
+    let dir = tmp_dir("corrupt-interior");
+    run_sweep(
+        &dir,
+        SweepKind::NetworkSweep,
+        &config(),
+        &[0.0],
+        CHUNK,
+        ShardSpec::single(),
+        &SilentProgress,
+    )
+    .expect("run must succeed");
+    let results = result_file(&dir);
+    let mut text = fs::read_to_string(&results).unwrap();
+    text.insert_str(0, "not json at all\n");
+    fs::write(&results, text).unwrap();
+    let err = merge_sweep(&dir).expect_err("corrupt interior line must fail");
+    assert!(matches!(err, SweepError::Journal { .. }), "got {err}");
+}
+
+/// Two journaled results for the same unit must agree; a disagreement means
+/// the journal mixes incompatible runs and must be rejected.
+#[test]
+fn conflicting_duplicate_results_are_rejected() {
+    let campaign = campaign();
+    let cfg = config();
+    let manifest = manifest_for(SweepKind::NetworkSweep, &cfg, &[0.0], CHUNK, campaign);
+    let dir = tmp_dir("conflicting-dup");
+    let journal = Journal::create(&dir, manifest).expect("create");
+    let unit = journal.manifest().plan().units()[0].clone();
+    let result = evaluate_unit(campaign, &unit);
+    let mut appender = journal.appender(1, 0).expect("appender");
+    appender.append(&result).unwrap();
+    appender
+        .append(&UnitResult {
+            correct: result.correct + 1,
+            ..result
+        })
+        .unwrap();
+    let err = journal.completed().expect_err("conflict must be detected");
+    assert!(matches!(err, SweepError::Journal { .. }), "got {err}");
+
+    // An *agreeing* duplicate (e.g. overlapping shard specs) is fine.
+    let dir = tmp_dir("agreeing-dup");
+    let manifest = manifest_for(SweepKind::NetworkSweep, &cfg, &[0.0], CHUNK, campaign);
+    let journal = Journal::create(&dir, manifest).expect("create");
+    let mut appender = journal.appender(1, 0).expect("appender");
+    appender.append(&result).unwrap();
+    appender.append(&result).unwrap();
+    let completed = journal.completed().expect("agreeing duplicates are fine");
+    assert_eq!(completed.results.len(), 1);
+}
+
+/// `run` against a directory journaling a different plan must refuse.
+#[test]
+fn mismatched_journal_directory_is_rejected() {
+    let campaign = campaign();
+    let _ = campaign;
+    let dir = tmp_dir("mismatched-dir");
+    run_sweep(
+        &dir,
+        SweepKind::NetworkSweep,
+        &config(),
+        &[0.0],
+        CHUNK,
+        ShardSpec::single(),
+        &SilentProgress,
+    )
+    .expect("first run must succeed");
+    let err = run_sweep(
+        &dir,
+        SweepKind::NetworkSweep,
+        &config(),
+        &[0.0, 3e-3], // different BER grid -> different plan hash
+        CHUNK,
+        ShardSpec::single(),
+        &SilentProgress,
+    )
+    .expect_err("a different plan must not reuse the journal");
+    assert!(matches!(err, SweepError::Manifest { .. }), "got {err}");
+
+    // Re-running the *same* plan is idempotent: everything is skipped.
+    let outcome = run_sweep(
+        &dir,
+        SweepKind::NetworkSweep,
+        &config(),
+        &[0.0],
+        CHUNK,
+        ShardSpec::single(),
+        &SilentProgress,
+    )
+    .expect("identical re-run must succeed");
+    assert_eq!(outcome.evaluated, 0);
+    assert_eq!(outcome.skipped, outcome.owned);
+}
+
+/// Executing units out of order (and merging from a hand-built journal) is
+/// bit-identical to in-order execution: nothing about a unit depends on when
+/// it runs.
+#[test]
+fn out_of_order_unit_execution_is_bit_identical() {
+    let campaign = campaign();
+    let cfg = config();
+    let bers = [3e-3];
+    let manifest = manifest_for(SweepKind::NetworkSweep, &cfg, &bers, CHUNK, campaign);
+    let plan = manifest.plan();
+
+    let dir = tmp_dir("out-of-order");
+    let journal = Journal::create(&dir, manifest).expect("create");
+    let mut units: Vec<_> = plan.units().to_vec();
+    units.reverse();
+    let mut appender = journal.appender(1, 0).expect("appender");
+    for unit in &units {
+        appender.append(&evaluate_unit(campaign, unit)).unwrap();
+    }
+    let completed = journal.completed().expect("read back");
+    let MergedReport::NetworkSweep(merged) = merge(journal.manifest(), &completed).expect("merge")
+    else {
+        panic!("wrong report kind");
+    };
+    assert_eq!(json(&merged), json(&campaign.network_sweep(&bers)));
+}
+
+/// Every unit belongs to exactly one shard, for any shard count.
+#[test]
+fn shards_partition_the_unit_table() {
+    let campaign = campaign();
+    let manifest = manifest_for(
+        SweepKind::InjectionGranularity,
+        &config(),
+        &[0.0, 1e-4, 3e-3],
+        CHUNK,
+        campaign,
+    );
+    let plan = manifest.plan();
+    for shards in 1..=5u64 {
+        let mut owners = vec![0usize; plan.units().len()];
+        for index in 0..shards {
+            let shard = ShardSpec::new(shards, index).unwrap();
+            for unit in plan.units() {
+                if shard.owns(unit.id) {
+                    owners[unit.id as usize] += 1;
+                }
+            }
+        }
+        assert!(
+            owners.iter().all(|&n| n == 1),
+            "{shards} shards must partition the table exactly"
+        );
+    }
+    assert!(ShardSpec::new(0, 0).is_err());
+    assert!(ShardSpec::new(2, 2).is_err());
+}
+
+/// `run_shard` with a stale manifest baseline must be rejected (the
+/// environment no longer reproduces the original run).
+#[test]
+fn tampered_baseline_is_rejected_on_resume() {
+    let campaign = campaign();
+    let mut manifest = manifest_for(SweepKind::NetworkSweep, &config(), &[0.0], CHUNK, campaign);
+    manifest.clean_accuracy += 0.25;
+    let err = wgft_sweep::validate_baseline(&manifest, campaign)
+        .expect_err("baseline mismatch must be rejected");
+    assert!(matches!(err, SweepError::Manifest { .. }), "got {err}");
+
+    // And run_shard on an agreeing journal works end to end.
+    let manifest = manifest_for(SweepKind::NetworkSweep, &config(), &[0.0], CHUNK, campaign);
+    let dir = tmp_dir("runshard-direct");
+    let journal = Journal::create(&dir, manifest).expect("create");
+    let outcome =
+        run_shard(&journal, campaign, ShardSpec::single(), &SilentProgress).expect("run_shard");
+    assert!(outcome.run_complete());
+}
+
+fn result_file(dir: &Path) -> PathBuf {
+    let journal = Journal::open(dir).expect("journal opens");
+    let files = journal.result_files().expect("listable");
+    assert_eq!(files.len(), 1, "single-writer journal has one result file");
+    files.into_iter().next().unwrap()
+}

@@ -12,7 +12,10 @@
 //! * [`data`] — synthetic datasets and accuracy evaluation,
 //! * [`accel`] — systolic-array timing, voltage/error and power models,
 //! * [`core`] — fault-tolerance campaigns, fine-grained TMR and
-//!   voltage-scaling energy optimization (the paper's contribution).
+//!   voltage-scaling energy optimization (the paper's contribution),
+//! * [`sweep`] — sharded, checkpointable campaign orchestration with a
+//!   persistent run journal, resume, and bit-identical merging (also the
+//!   `wgft-sweep` CLI).
 //!
 //! # Quickstart
 //!
@@ -39,5 +42,6 @@ pub use wgft_data as data;
 pub use wgft_faultsim as faultsim;
 pub use wgft_fixedpoint as fixedpoint;
 pub use wgft_nn as nn;
+pub use wgft_sweep as sweep;
 pub use wgft_tensor as tensor;
 pub use wgft_winograd as winograd;
