@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Kill/resume drill for the sharded sweep subsystem (`wgft-sweep`).
 #
-# Runs a reduced-scale network sweep twice: once uninterrupted, and once
-# SIGKILLed mid-run and then resumed as two shards. The two merged reports
-# must be byte-identical — the headline guarantee of the run journal.
+# For each drilled campaign kind: run a reduced-scale sweep twice — once
+# uninterrupted, and once SIGKILLed mid-run and then resumed as two shards.
+# The two merged reports must be byte-identical — the headline guarantee of
+# the run journal. The `protection_tradeoff` kind additionally journals ABFT
+# event counters, so the diff also certifies that detection/correction
+# bookkeeping merges bit-identically across kills and reshards.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,39 +15,54 @@ cargo build --release -p wgft-sweep
 BIN=target/release/wgft-sweep
 ROOT=target/sweeps/ci-kill-resume
 rm -rf "$ROOT"
-ARGS=(--campaign network_sweep --model vgg_small --width 8 --scale test
-      --images 32 --chunk 2 --bers 0,1e-5,1e-4,1e-3,3e-3
-      --cache-dir target/wgft-models --quiet)
 
-# Clean reference run (single process, uninterrupted). Also trains the model
-# into the shared cache so the interrupted run skips straight to sweeping.
-"$BIN" run --dir "$ROOT/clean" "${ARGS[@]}"
-"$BIN" merge --dir "$ROOT/clean" --out "$ROOT/clean.json" > /dev/null
+drill() {
+  local kind=$1
+  shift
+  local args=(--campaign "$kind" --model vgg_small --width 8 --scale test
+              --images 32 --chunk 2 "$@"
+              --cache-dir target/wgft-models --quiet)
+  local dir="$ROOT/$kind"
 
-# Interrupted run: start single-threaded (so the kill lands mid-sweep even on
-# fast machines), SIGKILL once the journal holds a few results, then resume
-# with a different shard layout than the original writer.
-RAYON_NUM_THREADS=1 "$BIN" run --dir "$ROOT/killed" "${ARGS[@]}" &
-PID=$!
-for _ in $(seq 1 1200); do
-  if [ "$(cat "$ROOT"/killed/results-*.jsonl 2>/dev/null | wc -l)" -ge 3 ]; then
-    break
+  # Clean reference run (single process, uninterrupted). Also trains the
+  # model into the shared cache so the interrupted run skips to sweeping.
+  "$BIN" run --dir "$dir/clean" "${args[@]}"
+  "$BIN" merge --dir "$dir/clean" --out "$dir/clean.json" > /dev/null
+
+  # Interrupted run: start single-threaded (so the kill lands mid-sweep even
+  # on fast machines), SIGKILL once the journal holds a few results, then
+  # resume with a different shard layout than the original writer.
+  RAYON_NUM_THREADS=1 "$BIN" run --dir "$dir/killed" "${args[@]}" &
+  local pid=$!
+  for _ in $(seq 1 1200); do
+    if [ "$(cat "$dir"/killed/results-*.jsonl 2>/dev/null | wc -l)" -ge 3 ]; then
+      break
+    fi
+    kill -0 "$pid" 2>/dev/null || break
+    sleep 0.1
+  done
+  if kill -0 "$pid" 2>/dev/null; then
+    kill -9 "$pid"
+    echo "[$kind] SIGKILLed sweep (pid $pid) mid-run"
+  else
+    echo "[$kind] WARNING: sweep finished before the kill fired; resume is still exercised"
   fi
-  kill -0 "$PID" 2>/dev/null || break
-  sleep 0.1
-done
-if kill -0 "$PID" 2>/dev/null; then
-  kill -9 "$PID"
-  echo "SIGKILLed sweep (pid $PID) mid-run"
-else
-  echo "WARNING: sweep finished before the kill fired; resume is still exercised"
-fi
-wait "$PID" 2>/dev/null || true
+  wait "$pid" 2>/dev/null || true
 
-"$BIN" status --dir "$ROOT/killed"
-"$BIN" resume --dir "$ROOT/killed" --shards 2 --shard-index 0 --quiet
-"$BIN" resume --dir "$ROOT/killed" --shards 2 --shard-index 1 --quiet
-"$BIN" merge --dir "$ROOT/killed" --out "$ROOT/killed.json" > /dev/null
+  "$BIN" status --dir "$dir/killed"
+  "$BIN" resume --dir "$dir/killed" --shards 2 --shard-index 0 --quiet
+  "$BIN" resume --dir "$dir/killed" --shards 2 --shard-index 1 --quiet
+  "$BIN" merge --dir "$dir/killed" --out "$dir/killed.json" > /dev/null
 
-diff "$ROOT/clean.json" "$ROOT/killed.json"
-echo "kill/resume drill passed: merged reports are byte-identical"
+  diff "$dir/clean.json" "$dir/killed.json"
+  echo "[$kind] kill/resume drill passed: merged reports are byte-identical"
+}
+
+drill network_sweep --bers 0,1e-5,1e-4,1e-3,3e-3
+# The fifth campaign kind: 8 (scheme, algo) cells per BER with journaled
+# ABFT events; one BER point keeps the executable-protection work in budget.
+drill protection_tradeoff --bers 1e-3
+
+# The aggregate status view over a directory holding several journals.
+"$BIN" status --dir "$ROOT/network_sweep"
+echo "kill/resume drills passed for all campaign kinds"

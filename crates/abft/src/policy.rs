@@ -1,0 +1,394 @@
+//! Protection policies and event accounting for the executable ABFT engine.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::AddAssign;
+use wgft_faultsim::OpCount;
+
+/// How one layer's multiply-accumulate work is protected at execution time.
+///
+/// Unlike [`wgft_faultsim::ProtectionPlan`] — which *masks* faults before
+/// they strike (an idealized model of hardware redundancy) — every mode here
+/// runs real detection/correction code around the faulty computation and
+/// pays for it in counted arithmetic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AbftMode {
+    /// No execution-time protection.
+    #[default]
+    Off,
+    /// Range restriction only: winograd-domain values and output
+    /// accumulators are clipped to a calibrated per-layer range. Detector
+    /// free — a fault that stays in range passes through.
+    Range,
+    /// Checksummed GEMMs plus transform guards: single errors in a GEMM
+    /// output are located and corrected exactly; transform faults and
+    /// multi-error GEMMs fall back to recompute (when enabled on the
+    /// policy).
+    Checksum,
+    /// [`AbftMode::Checksum`] and [`AbftMode::Range`] composed.
+    ChecksumRange,
+}
+
+impl AbftMode {
+    /// Whether checksummed GEMMs and transform guards run.
+    #[must_use]
+    pub const fn checks(self) -> bool {
+        matches!(self, AbftMode::Checksum | AbftMode::ChecksumRange)
+    }
+
+    /// Whether range-restriction clipping runs.
+    #[must_use]
+    pub const fn clips(self) -> bool {
+        matches!(self, AbftMode::Range | AbftMode::ChecksumRange)
+    }
+
+    /// Short label used in reports.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            AbftMode::Off => "off",
+            AbftMode::Range => "range",
+            AbftMode::Checksum => "checksum",
+            AbftMode::ChecksumRange => "checksum+range",
+        }
+    }
+}
+
+impl fmt::Display for AbftMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+/// Per-layer execution-time protection policy.
+///
+/// Composes with a [`wgft_faultsim::ProtectionPlan`]: the plan decides which
+/// faults are masked *inside* the arithmetic, the policy decides which
+/// detection/correction machinery runs *around* it. A default mode applies
+/// to every compute layer unless overridden per layer id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AbftPolicy {
+    default_mode: AbftMode,
+    overrides: BTreeMap<usize, AbftMode>,
+    /// Whether an uncorrectable detection (multi-error GEMM, failed
+    /// transform guard) triggers a recompute of the affected stage.
+    pub recompute_on_detect: bool,
+    /// Headroom multiplier applied to calibrated ranges before clipping
+    /// (guards against evaluation images exceeding the calibration set).
+    pub range_margin: f64,
+}
+
+impl Default for AbftPolicy {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl AbftPolicy {
+    /// No execution-time protection on any layer.
+    #[must_use]
+    pub fn off() -> Self {
+        Self {
+            default_mode: AbftMode::Off,
+            overrides: BTreeMap::new(),
+            recompute_on_detect: false,
+            range_margin: 2.0,
+        }
+    }
+
+    /// The given mode on every layer, with recompute-on-detect enabled for
+    /// checksummed modes.
+    #[must_use]
+    pub fn uniform(mode: AbftMode) -> Self {
+        Self {
+            default_mode: mode,
+            recompute_on_detect: mode.checks(),
+            ..Self::off()
+        }
+    }
+
+    /// Checksummed GEMMs + transform guards + recompute on every layer (the
+    /// strongest executable scheme).
+    #[must_use]
+    pub fn checksum() -> Self {
+        Self::uniform(AbftMode::Checksum)
+    }
+
+    /// Range restriction only, on every layer (the detector-free baseline).
+    #[must_use]
+    pub fn range_only() -> Self {
+        Self::uniform(AbftMode::Range)
+    }
+
+    /// Checksum + range restriction on every layer.
+    #[must_use]
+    pub fn checksum_range() -> Self {
+        Self::uniform(AbftMode::ChecksumRange)
+    }
+
+    /// Override the mode of one layer.
+    #[must_use]
+    pub fn with_layer_mode(mut self, layer: usize, mode: AbftMode) -> Self {
+        self.overrides.insert(layer, mode);
+        self
+    }
+
+    /// Disable or enable the recompute fallback.
+    #[must_use]
+    pub fn with_recompute(mut self, recompute: bool) -> Self {
+        self.recompute_on_detect = recompute;
+        self
+    }
+
+    /// Replace the range-clipping headroom multiplier (floored at 1.0).
+    #[must_use]
+    pub fn with_range_margin(mut self, margin: f64) -> Self {
+        self.range_margin = if margin.is_finite() {
+            margin.max(1.0)
+        } else {
+            1.0
+        };
+        self
+    }
+
+    /// The mode applied to `layer`.
+    #[must_use]
+    pub fn mode_for(&self, layer: usize) -> AbftMode {
+        self.overrides
+            .get(&layer)
+            .copied()
+            .unwrap_or(self.default_mode)
+    }
+
+    /// Whether the policy protects nothing at all.
+    #[must_use]
+    pub fn is_off(&self) -> bool {
+        self.default_mode == AbftMode::Off && self.overrides.values().all(|m| *m == AbftMode::Off)
+    }
+}
+
+/// Everything the protection engine observed during one or more protected
+/// executions: detection/correction events plus the exact extra arithmetic
+/// the protection itself performed.
+///
+/// Counts are plain sums, so events from shards, batches or images can be
+/// merged in any order with identical results — the property the sharded
+/// `protection_tradeoff` sweep relies on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbftEvents {
+    /// Checksum or guard mismatches observed (one per failed verification).
+    pub detected: u64,
+    /// Errors repaired — located-and-corrected exactly, or cleaned by a
+    /// recompute that subsequently verified.
+    pub corrected: u64,
+    /// Detections that could not be repaired (no recompute, or the recompute
+    /// itself failed verification).
+    pub uncorrected: u64,
+    /// Recompute fallbacks taken.
+    pub recomputes: u64,
+    /// Values clamped by range restriction.
+    pub clipped: u64,
+    /// Extra multiply/add work performed by checksums, guards, range checks
+    /// and recomputes — the measured arithmetic cost of the protection.
+    pub overhead: OpCount,
+}
+
+impl AbftEvents {
+    /// Fresh, empty event record.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge protection arithmetic to the overhead tally.
+    pub fn charge(&mut self, mul: u64, add: u64) {
+        self.overhead.mul += mul;
+        self.overhead.add += add;
+    }
+
+    /// Total detection-pipeline events (useful in assertions).
+    #[must_use]
+    pub fn total_detected(&self) -> u64 {
+        self.detected
+    }
+}
+
+impl AddAssign for AbftEvents {
+    fn add_assign(&mut self, rhs: Self) {
+        self.detected += rhs.detected;
+        self.corrected += rhs.corrected;
+        self.uncorrected += rhs.uncorrected;
+        self.recomputes += rhs.recomputes;
+        self.clipped += rhs.clipped;
+        self.overhead += rhs.overhead;
+    }
+}
+
+impl fmt::Display for AbftEvents {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "detected {} corrected {} uncorrected {} recomputes {} clipped {} overhead {}mul+{}add",
+            self.detected,
+            self.corrected,
+            self.uncorrected,
+            self.recomputes,
+            self.clipped,
+            self.overhead.mul,
+            self.overhead.add
+        )
+    }
+}
+
+/// Calibrated value ranges of one compute layer (maxima of fault-free
+/// absolute values, before the policy's margin is applied).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerRanges {
+    /// Max |value| of winograd-domain transformed inputs (`V = Bᵀ d B`).
+    pub v_max: i64,
+    /// Max |value| of winograd-domain GEMM outputs (before `Aᵀ M A`).
+    pub gemm_max: i64,
+    /// Max |value| of the layer's output accumulators.
+    pub acc_max: i64,
+}
+
+impl LayerRanges {
+    /// Fold another observation into the maxima.
+    pub fn observe(&mut self, other: &LayerRanges) {
+        self.v_max = self.v_max.max(other.v_max);
+        self.gemm_max = self.gemm_max.max(other.gemm_max);
+        self.acc_max = self.acc_max.max(other.acc_max);
+    }
+
+    /// The clipping bound for a calibrated maximum under `margin`.
+    #[must_use]
+    pub fn bound(max: i64, margin: f64) -> i64 {
+        let scaled = (max.max(1) as f64 * margin.max(1.0)).ceil();
+        if scaled >= i64::MAX as f64 {
+            i64::MAX
+        } else {
+            scaled as i64
+        }
+    }
+}
+
+/// Per-layer calibrated ranges for one (network, algorithm) pair, produced
+/// by a fault-free calibration pass and consumed by range restriction.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AbftCalibration {
+    layers: Vec<LayerRanges>,
+}
+
+impl AbftCalibration {
+    /// Empty calibration for `layer_count` compute layers.
+    #[must_use]
+    pub fn new(layer_count: usize) -> Self {
+        Self {
+            layers: vec![LayerRanges::default(); layer_count],
+        }
+    }
+
+    /// Ranges of one layer (`None` past the calibrated layer count).
+    #[must_use]
+    pub fn layer(&self, layer: usize) -> Option<&LayerRanges> {
+        self.layers.get(layer)
+    }
+
+    /// Mutable ranges of one layer, growing the table on demand (used by the
+    /// calibration recorder).
+    pub fn layer_mut(&mut self, layer: usize) -> &mut LayerRanges {
+        if layer >= self.layers.len() {
+            self.layers.resize(layer + 1, LayerRanges::default());
+        }
+        &mut self.layers[layer]
+    }
+
+    /// Number of calibrated layers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether no layer has been calibrated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_predicates_and_labels() {
+        assert!(!AbftMode::Off.checks() && !AbftMode::Off.clips());
+        assert!(AbftMode::Range.clips() && !AbftMode::Range.checks());
+        assert!(AbftMode::Checksum.checks() && !AbftMode::Checksum.clips());
+        assert!(AbftMode::ChecksumRange.checks() && AbftMode::ChecksumRange.clips());
+        assert_eq!(AbftMode::ChecksumRange.to_string(), "checksum+range");
+    }
+
+    #[test]
+    fn policy_defaults_and_overrides() {
+        let policy = AbftPolicy::checksum().with_layer_mode(2, AbftMode::Off);
+        assert_eq!(policy.mode_for(0), AbftMode::Checksum);
+        assert_eq!(policy.mode_for(2), AbftMode::Off);
+        assert!(policy.recompute_on_detect);
+        assert!(!policy.is_off());
+        assert!(AbftPolicy::off().is_off());
+        assert!(!AbftPolicy::range_only().recompute_on_detect);
+        assert!(AbftPolicy::checksum_range().mode_for(9).clips());
+    }
+
+    #[test]
+    fn range_margin_is_floored_and_sanitized() {
+        assert_eq!(AbftPolicy::off().with_range_margin(0.5).range_margin, 1.0);
+        assert_eq!(
+            AbftPolicy::off().with_range_margin(f64::NAN).range_margin,
+            1.0
+        );
+        assert_eq!(AbftPolicy::off().with_range_margin(3.0).range_margin, 3.0);
+    }
+
+    #[test]
+    fn events_merge_additively() {
+        let mut a = AbftEvents::new();
+        a.detected = 1;
+        a.charge(10, 20);
+        let mut b = AbftEvents::new();
+        b.corrected = 2;
+        b.clipped = 3;
+        b.charge(1, 2);
+        a += b;
+        assert_eq!(a.detected, 1);
+        assert_eq!(a.corrected, 2);
+        assert_eq!(a.clipped, 3);
+        assert_eq!(a.overhead, OpCount { mul: 11, add: 22 });
+        assert!(a.to_string().contains("corrected 2"));
+    }
+
+    #[test]
+    fn calibration_grows_and_bounds_apply_margin() {
+        let mut cal = AbftCalibration::new(1);
+        cal.layer_mut(3).acc_max = 100;
+        assert_eq!(cal.len(), 4);
+        assert_eq!(cal.layer(3).unwrap().acc_max, 100);
+        assert!(cal.layer(9).is_none());
+        assert_eq!(LayerRanges::bound(100, 2.0), 200);
+        assert_eq!(LayerRanges::bound(0, 2.0), 2, "floored at 1 before margin");
+        assert!(!cal.is_empty());
+    }
+
+    #[test]
+    fn policy_serde_round_trip() {
+        let policy = AbftPolicy::checksum_range()
+            .with_layer_mode(1, AbftMode::Range)
+            .with_range_margin(1.5)
+            .with_recompute(false);
+        let json = serde_json::to_string(&policy).unwrap();
+        let back: AbftPolicy = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, policy);
+    }
+}

@@ -266,12 +266,80 @@ fn bench_gemm(c: &mut Criterion) {
     group.finish();
 }
 
+/// ABFT checksum overhead on the GEMM shapes the protected executors run:
+/// the instrumented integer GEMM with and without checksums, and the fast
+/// `f32` GEMM with and without post-hoc verification. The overhead ratios
+/// land in `BENCH_kernels.json` so protection-cost regressions show up as
+/// data.
+fn bench_abft_checksum(c: &mut Criterion) {
+    use wgft_abft::{checked_gemm_i64, plain_gemm_i64, verify_gemm_f32, AbftEvents};
+    use wgft_faultsim::ExactArithmetic;
+
+    // The winograd-domain GEMM of a 32->32-channel layer on a 32x32 feature
+    // map: U_k (32x32) times V_k (32 x 256 tiles).
+    let (m, k, p) = (32usize, 32usize, 256usize);
+    let a_i: Vec<i64> = (0..m * k).map(|i| ((i * 7 % 251) as i64) - 125).collect();
+    let b_i: Vec<i64> = (0..k * p).map(|i| ((i * 13 % 127) as i64) - 63).collect();
+    let mut out_i = vec![0i64; m * p];
+    let mut group = c.benchmark_group("abft_gemm_checksum");
+    group.sample_size(samples(10));
+    group.bench_function("plain_i64", |bench| {
+        bench.iter(|| {
+            let mut arith = ExactArithmetic::new();
+            plain_gemm_i64(&mut arith, &a_i, &b_i, &mut out_i, m, k, p);
+            black_box(out_i[0])
+        })
+    });
+    group.bench_function("checked_i64", |bench| {
+        bench.iter(|| {
+            let mut arith = ExactArithmetic::new();
+            let mut events = AbftEvents::new();
+            checked_gemm_i64(
+                &mut arith,
+                &a_i,
+                &b_i,
+                &mut out_i,
+                m,
+                k,
+                p,
+                true,
+                &mut events,
+            );
+            black_box((out_i[0], events.overhead.mul))
+        })
+    });
+
+    let a_f: Vec<f32> = (0..m * k)
+        .map(|i| ((i * 7 % 251) as f32) * 0.01 - 1.2)
+        .collect();
+    let b_f: Vec<f32> = (0..k * p)
+        .map(|i| ((i * 13 % 127) as f32) * 0.02 - 1.3)
+        .collect();
+    let mut out_f = vec![0f32; m * p];
+    group.bench_function("gemm_f32", |bench| {
+        bench.iter(|| {
+            gemm_f32(&a_f, &b_f, &mut out_f, m, k, p);
+            black_box(out_f[0])
+        })
+    });
+    group.bench_function("gemm_f32_verified", |bench| {
+        bench.iter(|| {
+            gemm_f32(&a_f, &b_f, &mut out_f, m, k, p);
+            let mut events = AbftEvents::new();
+            verify_gemm_f32(&a_f, &b_f, &mut out_f, m, k, p, true, &mut events);
+            black_box((out_f[0], events.detected))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_kernels,
     bench_planned_vs_naive,
     bench_planned_batch,
-    bench_gemm
+    bench_gemm,
+    bench_abft_checksum
 );
 
 fn main() {
@@ -312,6 +380,30 @@ fn report(c: &Criterion) {
             "batched f32 winograd (32c, 64x64): batch32 {batch_img_per_sec:.1} images/s vs \
              {seq_img_per_sec:.1} images/s for 32 sequential execute_into this run ({:.2}x)",
             batch_img_per_sec / seq_img_per_sec,
+        );
+    }
+    if let (Some(plain), Some(checked)) = (
+        find("abft_gemm_checksum/plain_i64"),
+        find("abft_gemm_checksum/checked_i64"),
+    ) {
+        println!(
+            "ABFT checksum overhead on the instrumented 32x32x256 GEMM: \
+             {:.1} % on means ({:.0} ns -> {:.0} ns)",
+            (checked.mean_ns / plain.mean_ns - 1.0) * 100.0,
+            plain.mean_ns,
+            checked.mean_ns,
+        );
+    }
+    if let (Some(plain), Some(verified)) = (
+        find("abft_gemm_checksum/gemm_f32"),
+        find("abft_gemm_checksum/gemm_f32_verified"),
+    ) {
+        println!(
+            "ABFT verification overhead on the fast f32 32x32x256 GEMM: \
+             {:.1} % on means ({:.0} ns -> {:.0} ns)",
+            (verified.mean_ns / plain.mean_ns - 1.0) * 100.0,
+            plain.mean_ns,
+            verified.mean_ns,
         );
     }
     if let (Some(naive), Some(blocked)) = (

@@ -5,6 +5,7 @@ use crate::{CampaignConfig, CoreError, TextTable};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use wgft_abft::{AbftCalibration, AbftEvents, AbftPolicy, AbftScratch};
 use wgft_data::{Dataset, Sample};
 use wgft_faultsim::{
     BitErrorRate, FaultConfig, FaultyArithmetic, NeuronLevelInjector, OpType, ProtectionPlan,
@@ -26,6 +27,16 @@ pub struct FaultToleranceCampaign {
     quantized: QuantizedNetwork,
     eval_set: Dataset,
     clean_accuracy: f64,
+    /// The quantization-calibration images, retained so the ABFT value-range
+    /// calibration can run lazily — most campaign kinds never touch ABFT,
+    /// and `wgft-sweep` re-prepares campaigns on every resume.
+    calibration_images: Vec<Tensor>,
+    /// Fault-free value ranges per (algorithm, layer), computed on first use
+    /// from `calibration_images` — what the executable range restriction of
+    /// `wgft-abft` clips against. Deterministic, so laziness cannot change
+    /// any result.
+    abft_standard: std::sync::OnceLock<AbftCalibration>,
+    abft_winograd: std::sync::OnceLock<AbftCalibration>,
 }
 
 impl FaultToleranceCampaign {
@@ -66,6 +77,9 @@ impl FaultToleranceCampaign {
             quantized,
             eval_set,
             clean_accuracy: 0.0,
+            calibration_images: calibration,
+            abft_standard: std::sync::OnceLock::new(),
+            abft_winograd: std::sync::OnceLock::new(),
         };
         campaign.clean_accuracy = campaign.accuracy_under(
             ConvAlgorithm::Standard,
@@ -203,6 +217,132 @@ impl FaultToleranceCampaign {
         self.correct_neuron_level_span(algo, ber, start, &samples[start..end])
     }
 
+    /// The ABFT value-range calibration for one algorithm, computed on first
+    /// use from the quantization-calibration images (a fault-free pass, so
+    /// the result is deterministic no matter when — or on which thread — it
+    /// is first requested).
+    #[must_use]
+    pub fn abft_calibration(&self, algo: ConvAlgorithm) -> &AbftCalibration {
+        let cell = match algo {
+            ConvAlgorithm::Standard => &self.abft_standard,
+            ConvAlgorithm::Winograd(_) => &self.abft_winograd,
+        };
+        cell.get_or_init(|| {
+            self.quantized
+                .calibrate_abft(&self.calibration_images, algo)
+                .expect(
+                    "ABFT calibration forwards the same images that already calibrated \
+                     quantization; they cannot fail",
+                )
+        })
+    }
+
+    /// Number of correct predictions — plus the accumulated ABFT events —
+    /// under operation-level fault injection with an executable
+    /// [`AbftPolicy`] running around the faulty arithmetic, on the
+    /// evaluation-image range `[start, start + len)` (clamped).
+    ///
+    /// Per-image fault seeds are exactly the ones
+    /// [`Self::correct_op_level`] derives, so protected and unprotected
+    /// accuracy are measured against the *same* fault streams. Event counts
+    /// are plain sums over images, so any partition of the evaluation set
+    /// reproduces the full-set totals — the work-unit primitive behind the
+    /// sharded `protection_tradeoff` campaign.
+    #[must_use]
+    pub fn correct_op_level_abft(
+        &self,
+        algo: ConvAlgorithm,
+        ber: BitErrorRate,
+        protection: &ProtectionPlan,
+        policy: &AbftPolicy,
+        start: usize,
+        len: usize,
+    ) -> (usize, AbftEvents) {
+        let samples = self.eval_set.samples();
+        let start = start.min(samples.len());
+        let end = start.saturating_add(len).min(samples.len());
+        self.correct_op_level_abft_span(algo, ber, protection, policy, start, &samples[start..end])
+    }
+
+    fn correct_op_level_abft_span(
+        &self,
+        algo: ConvAlgorithm,
+        ber: BitErrorRate,
+        protection: &ProtectionPlan,
+        policy: &AbftPolicy,
+        start: usize,
+        samples: &[Sample],
+    ) -> (usize, AbftEvents) {
+        let calibration = self.abft_calibration(algo);
+        let mut scratch = AbftScratch::new();
+        let mut events = AbftEvents::new();
+        let mut correct = 0usize;
+        for (offset, sample) in samples.iter().enumerate() {
+            let i = start + offset;
+            let config = FaultConfig {
+                ber,
+                width: self.config.width,
+                model: self.config.fault_model,
+                protection: protection.clone(),
+            };
+            let seed = Self::op_level_fault_seed(self.config.base_seed, i);
+            let mut arith = FaultyArithmetic::new(config, seed);
+            let predicted = self
+                .quantized
+                .classify_abft(
+                    &sample.image,
+                    &mut arith,
+                    algo,
+                    policy,
+                    Some(calibration),
+                    &mut scratch,
+                    &mut events,
+                )
+                .unwrap_or(usize::MAX);
+            correct += usize::from(predicted == sample.label);
+        }
+        (correct, events)
+    }
+
+    /// Accuracy (and summed ABFT events) under operation-level fault
+    /// injection with an executable [`AbftPolicy`]. The protected
+    /// counterpart of [`Self::accuracy_under`]: same seeds, same batched
+    /// parallel evaluation, bit-identical for any batch size or thread
+    /// count because both the correct counts and the event counters are
+    /// order-independent sums.
+    #[must_use]
+    pub fn accuracy_under_abft(
+        &self,
+        algo: ConvAlgorithm,
+        ber: BitErrorRate,
+        protection: &ProtectionPlan,
+        policy: &AbftPolicy,
+    ) -> (f64, AbftEvents) {
+        let samples = self.eval_set.samples();
+        let batch = self.config.batch_size.max(1);
+        let spans: Vec<(usize, AbftEvents)> = samples
+            .par_chunks(batch)
+            .enumerate()
+            .map(|(chunk_idx, chunk)| {
+                self.correct_op_level_abft_span(
+                    algo,
+                    ber,
+                    protection,
+                    policy,
+                    chunk_idx * batch,
+                    chunk,
+                )
+            })
+            .collect();
+        let mut correct = 0usize;
+        let mut events = AbftEvents::new();
+        for (span_correct, span_events) in spans {
+            correct += span_correct;
+            events += span_events;
+        }
+        (correct as f64 / self.eval_set.len().max(1) as f64, events)
+    }
+
     fn correct_op_level_span(
         &self,
         algo: ConvAlgorithm,
@@ -293,13 +433,33 @@ impl FaultToleranceCampaign {
     /// be centred on the interesting region regardless of model size.
     #[must_use]
     pub fn find_critical_ber(&self, algo: ConvAlgorithm, keep_fraction: f64) -> f64 {
+        self.find_critical_ber_under(algo, keep_fraction, &ProtectionPlan::none(), None)
+    }
+
+    /// [`Self::find_critical_ber`] under protection: the accuracy at every
+    /// probe point is measured with the given (idealized)
+    /// [`ProtectionPlan`] and, when supplied, an executable [`AbftPolicy`]
+    /// running detection/correction around the faults. This is how the
+    /// `protection_tradeoff` experiments locate the cliff a *protected*
+    /// network actually falls off — protection pushes it to a higher rate.
+    #[must_use]
+    pub fn find_critical_ber_under(
+        &self,
+        algo: ConvAlgorithm,
+        keep_fraction: f64,
+        protection: &ProtectionPlan,
+        abft: Option<&AbftPolicy>,
+    ) -> f64 {
         let clean = self.clean_accuracy;
         let chance = 1.0 / self.config.spec.num_classes.max(1) as f64;
         let threshold = chance + keep_fraction.clamp(0.0, 1.0) * (clean - chance);
         let mut ber = 1e-8;
         while ber < 1e-2 {
-            let accuracy =
-                self.accuracy_under(algo, BitErrorRate::new(ber), &ProtectionPlan::none());
+            let rate = BitErrorRate::new(ber);
+            let accuracy = match abft {
+                None => self.accuracy_under(algo, rate, protection),
+                Some(policy) => self.accuracy_under_abft(algo, rate, protection, policy).0,
+            };
             if accuracy < threshold {
                 return ber;
             }

@@ -29,6 +29,7 @@ mod energy;
 mod error;
 mod report;
 mod tmr;
+mod tradeoff;
 mod vulnerability;
 
 pub use campaign::{
@@ -40,4 +41,8 @@ pub use energy::{EnergyTableReport, ScalingScheme, VoltageScalingStudy, VoltageS
 pub use error::CoreError;
 pub use report::TextTable;
 pub use tmr::{TmrPlanner, TmrReport, TmrResult, TmrScheme};
+pub use tradeoff::{
+    scheme_overhead, weighted_cost, ProtectionTradeoffReport, ProtectionTradeoffRow,
+    TradeoffScheme, ADD_COST, MUL_COST,
+};
 pub use vulnerability::{LayerVulnerabilityReport, LayerVulnerabilityRow};

@@ -371,3 +371,70 @@ impl fmt::Display for TmrReport {
         )
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result(scheme: TmrScheme, overhead: f64) -> TmrResult {
+        TmrResult {
+            scheme,
+            target_accuracy: 0.9,
+            achieved_accuracy: 0.925,
+            target_met: true,
+            plan: ProtectionPlan::none()
+                .with_fraction(0, OpType::Mul, 1.0)
+                .unwrap()
+                .with_fraction(2, OpType::Add, 0.5)
+                .unwrap(),
+            overhead_cost: overhead,
+            iterations: 7,
+        }
+    }
+
+    /// Sweep journals and cached experiment outputs serialize planner
+    /// configuration and TMR plans; both must round-trip losslessly,
+    /// including the embedded `ProtectionPlan` and boundary fractions.
+    #[test]
+    fn planner_and_result_serde_round_trip() {
+        let planner = TmrPlanner {
+            step_fraction: 0.25,
+            mul_cost: 1.5,
+            add_cost: 0.125,
+            max_iterations: 11,
+        };
+        let json = serde_json::to_string(&planner).expect("serialize planner");
+        let back: TmrPlanner = serde_json::from_str(&json).expect("deserialize planner");
+        assert_eq!(back, planner);
+
+        let result = sample_result(TmrScheme::WinogradAware, 123.5);
+        let json = serde_json::to_string(&result).expect("serialize result");
+        let back: TmrResult = serde_json::from_str(&json).expect("deserialize result");
+        assert_eq!(back, result);
+        assert_eq!(back.plan.tmr_fraction(0, OpType::Mul), 1.0);
+        assert_eq!(back.plan.tmr_fraction(2, OpType::Add), 0.5);
+        assert_eq!(back.plan.tmr_fraction(1, OpType::Mul), 0.0, "unknown layer");
+        // Canonical: a second serialization is byte-identical.
+        assert_eq!(serde_json::to_string(&back).expect("serialize"), json);
+    }
+
+    #[test]
+    fn report_serde_round_trip_and_display() {
+        let report = TmrReport {
+            model: "vgg_small".to_string(),
+            ber: 1e-4,
+            rows: vec![TmrTableRow {
+                target: 0.9,
+                standard: sample_result(TmrScheme::Standard, 100.0),
+                unaware: sample_result(TmrScheme::WinogradUnaware, 80.0),
+                aware: sample_result(TmrScheme::WinogradAware, 40.0),
+            }],
+        };
+        let json = serde_json::to_string(&report).expect("serialize report");
+        let back: TmrReport = serde_json::from_str(&json).expect("deserialize report");
+        assert_eq!(back, report);
+        assert!((back.rows[0].unaware_normalized() - 0.8).abs() < 1e-12);
+        assert!((back.rows[0].aware_normalized() - 0.4).abs() < 1e-12);
+        assert!(back.to_string().contains("WG-Conv-W/AFT"));
+    }
+}

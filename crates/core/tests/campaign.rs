@@ -283,6 +283,170 @@ fn tmr_scheme_and_scaling_scheme_labels_match_the_paper() {
     );
 }
 
+/// The headline acceptance test of the executable protection engine: at a
+/// bit error rate where unprotected winograd accuracy measurably drops, the
+/// *same* per-image fault seeds under checksum+recompute ABFT restore
+/// accuracy to within noise of fault-free — because the faults are located
+/// and corrected (or recomputed away) at runtime, not masked before they
+/// strike.
+#[test]
+fn abft_restores_accuracy_the_faults_took_away() {
+    let campaign = campaign();
+    let clean = campaign.clean_accuracy();
+    // On the accuracy cliff: faults measurably hurt, and the per-GEMM fault
+    // density is in the regime ABFT is built for (far past the cliff every
+    // recompute attempt is struck again and *no* executable scheme can win —
+    // that regime is covered by the frontier test below).
+    let cliff_ber = 3e-4;
+    let ber = BitErrorRate::new(cliff_ber);
+    let algo = ConvAlgorithm::winograd_default();
+    let unprotected = campaign.accuracy_under(algo, ber, &ProtectionPlan::none());
+    assert!(
+        clean - unprotected >= 0.1,
+        "BER {cliff_ber} must measurably hurt unprotected accuracy \
+         (clean {clean}, unprotected {unprotected})"
+    );
+    let policy = wgft_abft::AbftPolicy::checksum();
+    let (protected, events) =
+        campaign.accuracy_under_abft(algo, ber, &ProtectionPlan::none(), &policy);
+    assert!(
+        events.detected > 0 && events.corrected > 0,
+        "protection must actually fire: {events}"
+    );
+    assert!(
+        protected >= clean - 0.1,
+        "checksum+recompute must restore accuracy to within noise of \
+         fault-free (clean {clean}, protected {protected}, events {events})"
+    );
+    assert!(
+        protected > unprotected,
+        "protected ({protected}) must beat unprotected ({unprotected})"
+    );
+}
+
+/// Zero false alarms: at BER 0 every ABFT mode verifies every layer of
+/// every evaluation image without a single detection or clipped value, and
+/// accuracy equals the clean accuracy bit for bit.
+#[test]
+fn abft_never_false_positives_at_zero_ber() {
+    let campaign = campaign();
+    for algo in [ConvAlgorithm::Standard, ConvAlgorithm::winograd_default()] {
+        for policy in [
+            wgft_abft::AbftPolicy::checksum(),
+            wgft_abft::AbftPolicy::range_only(),
+            wgft_abft::AbftPolicy::checksum_range(),
+        ] {
+            let (accuracy, events) = campaign.accuracy_under_abft(
+                algo,
+                BitErrorRate::ZERO,
+                &ProtectionPlan::none(),
+                &policy,
+            );
+            assert_eq!(events.detected, 0, "{algo:?}: no false detections");
+            assert_eq!(events.clipped, 0, "{algo:?}: no false clips");
+            assert_eq!(events.uncorrected, 0);
+            assert!(
+                (accuracy - campaign.clean_accuracy()).abs() < 1e-12,
+                "{algo:?}: fault-free protected accuracy must equal clean"
+            );
+            assert!(
+                events.overhead.total() > 0,
+                "checksums are charged even when quiet"
+            );
+        }
+    }
+}
+
+/// The protection trade-off frontier at two operating points. At a quiet
+/// BER the overhead ordering is the paper's cost argument made executable:
+/// idealized TMR pays two full redundant copies, ABFT pays its checksums —
+/// and winograd ABFT pays far less than standard-conv ABFT because there
+/// are fewer multiplications to checksum. At the cliff, the executable
+/// schemes actually win accuracy back (TMR trivially restores everything).
+#[test]
+fn protection_tradeoff_frontier_orders_schemes_sensibly() {
+    let campaign = campaign();
+    let quiet_ber = 1e-6;
+    let cliff_ber = 3e-4;
+    let report = campaign.protection_tradeoff(&[quiet_ber, cliff_ber]);
+    let schemes = wgft_core::TradeoffScheme::all().len();
+    assert_eq!(report.rows.len(), 2 * schemes);
+    let row = |ber: f64, scheme| {
+        report
+            .rows
+            .iter()
+            .find(|r| r.ber == ber && r.scheme == scheme)
+            .expect("every (ber, scheme) cell present")
+    };
+
+    // Quiet BER: protection barely fires, so measured overhead is the
+    // standing cost of the scheme.
+    let unprotected = row(quiet_ber, wgft_core::TradeoffScheme::Unprotected);
+    let tmr = row(quiet_ber, wgft_core::TradeoffScheme::IdealizedTmr);
+    let abft = row(quiet_ber, wgft_core::TradeoffScheme::Abft);
+    let range = row(quiet_ber, wgft_core::TradeoffScheme::RangeOnly);
+    assert_eq!(unprotected.winograd_overhead, 0.0);
+    assert!(abft.winograd_overhead > 0.0 && range.winograd_overhead > 0.0);
+    assert!(
+        tmr.winograd_overhead > 2.0 * abft.winograd_overhead,
+        "idealized TMR ({}) must dwarf quiet ABFT ({})",
+        tmr.winograd_overhead,
+        abft.winograd_overhead
+    );
+    assert!(
+        2.0 * abft.winograd_overhead < abft.standard_overhead,
+        "winograd ABFT ({}) must be far cheaper than standard-conv ABFT ({}) — \
+         fewer multiplications to checksum",
+        abft.winograd_overhead,
+        abft.standard_overhead
+    );
+    assert!(
+        range.winograd_overhead < abft.winograd_overhead,
+        "range restriction is the cheap detector-free baseline"
+    );
+
+    // Cliff BER: the executable schemes earn accuracy back at runtime.
+    let unprotected = row(cliff_ber, wgft_core::TradeoffScheme::Unprotected);
+    let tmr = row(cliff_ber, wgft_core::TradeoffScheme::IdealizedTmr);
+    let abft = row(cliff_ber, wgft_core::TradeoffScheme::Abft);
+    let range = row(cliff_ber, wgft_core::TradeoffScheme::RangeOnly);
+    assert!((tmr.winograd_accuracy - campaign.clean_accuracy()).abs() < 1e-9);
+    assert!(
+        abft.winograd_accuracy > unprotected.winograd_accuracy,
+        "ABFT ({}) must beat unprotected ({}) at the cliff",
+        abft.winograd_accuracy,
+        unprotected.winograd_accuracy
+    );
+    assert!(
+        range.winograd_accuracy >= unprotected.winograd_accuracy,
+        "range restriction ({}) must not lose to unprotected ({})",
+        range.winograd_accuracy,
+        unprotected.winograd_accuracy
+    );
+    let rendered = report.to_string();
+    assert!(rendered.contains("ideal-TMR") && rendered.contains("ABFT"));
+}
+
+/// `find_critical_ber` under protection: the protected cliff sits at or
+/// above the unprotected one, and the unprotected delegate matches the
+/// original search bit for bit.
+#[test]
+fn protected_critical_ber_sits_at_or_above_the_unprotected_cliff() {
+    let campaign = campaign();
+    let algo = ConvAlgorithm::winograd_default();
+    let unprotected = campaign.find_critical_ber(algo, 0.5);
+    let delegate = campaign.find_critical_ber_under(algo, 0.5, &ProtectionPlan::none(), None);
+    assert_eq!(unprotected.to_bits(), delegate.to_bits());
+    let policy = wgft_abft::AbftPolicy::checksum();
+    let protected =
+        campaign.find_critical_ber_under(algo, 0.5, &ProtectionPlan::none(), Some(&policy));
+    assert!(
+        protected >= unprotected,
+        "executable ABFT must push the cliff out (unprotected {unprotected:.2e}, \
+         protected {protected:.2e})"
+    );
+}
+
 /// The rayon-parallel `accuracy_under` must be bit-identical to a serial
 /// evaluation: every image derives its own fault seed from the base seed, so
 /// parallelism cannot change any per-image outcome, and the outcomes are

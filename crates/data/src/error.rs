@@ -1,0 +1,54 @@
+//! Error type for dataset loading.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors raised by the on-disk dataset loaders.
+#[derive(Debug)]
+pub enum DataError {
+    /// The file could not be read.
+    Io {
+        /// Offending path.
+        path: PathBuf,
+        /// Underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The file's bytes do not form a valid dataset.
+    Format {
+        /// Offending path.
+        path: PathBuf,
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl DataError {
+    pub(crate) fn format(path: impl Into<PathBuf>, reason: impl Into<String>) -> Self {
+        DataError::Format {
+            path: path.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::Io { path, source } => {
+                write!(f, "cannot read {}: {source}", path.display())
+            }
+            DataError::Format { path, reason } => {
+                write!(f, "{} is not a valid dataset: {reason}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Io { source, .. } => Some(source),
+            DataError::Format { .. } => None,
+        }
+    }
+}

@@ -25,10 +25,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cifar;
 mod dataset;
+mod error;
 mod eval;
 mod synthetic;
 
+pub use cifar::{
+    cifar10_or_synthetic, load_cifar10_bin, load_cifar10_dir, CIFAR10_CLASSES, CIFAR10_IMAGE_BYTES,
+    CIFAR10_RECORD_BYTES,
+};
 pub use dataset::{Dataset, Sample};
+pub use error::DataError;
 pub use eval::{accuracy, argmax, confusion_matrix};
 pub use synthetic::SyntheticSpec;

@@ -1,0 +1,180 @@
+//! Fault hooks for GEMM output buffers: attack the *fast planned* winograd
+//! path, not just the scalar instrumented kernel.
+//!
+//! The instrumented datapath ([`crate::FaultyArithmetic`]) corrupts every
+//! primitive operation, but the planned scatter–GEMM–gather engine runs on
+//! plain `f32` kernels that never touch an [`crate::Arithmetic`] backend.
+//! [`GemmFaultInjector`] models soft errors striking a matrix engine's
+//! output latches instead: each element of a freshly produced GEMM product
+//! flips a uniformly chosen bit of its 32-bit word with probability
+//! `1 - (1 - BER)^32`, using the same geometric gap sampling as the
+//! operation-level injector so the common no-fault path is a single counter
+//! decrement per element.
+
+use crate::BitErrorRate;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Bit-flip injector for `f32` GEMM output buffers.
+#[derive(Debug, Clone)]
+pub struct GemmFaultInjector {
+    ber: BitErrorRate,
+    probability: f64,
+    rng: SmallRng,
+    elements_until_fault: u64,
+    faults: u64,
+}
+
+impl GemmFaultInjector {
+    /// An injector with a deterministic seed.
+    #[must_use]
+    pub fn new(ber: BitErrorRate, seed: u64) -> Self {
+        let probability = ber.fault_probability(32);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let elements_until_fault = sample_gap(probability, &mut rng);
+        Self {
+            ber,
+            probability,
+            rng,
+            elements_until_fault,
+            faults: 0,
+        }
+    }
+
+    /// The configured bit error rate.
+    #[must_use]
+    pub fn ber(&self) -> BitErrorRate {
+        self.ber
+    }
+
+    /// Number of elements corrupted so far.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults
+    }
+
+    /// Corrupt a GEMM output buffer in place; returns how many elements were
+    /// struck. Deterministic given the construction seed and the sequence of
+    /// buffer lengths — independent of the values themselves.
+    pub fn corrupt(&mut self, out: &mut [f32]) -> u64 {
+        if self.probability <= 0.0 {
+            return 0;
+        }
+        let mut struck = 0u64;
+        let mut index = 0usize;
+        loop {
+            let remaining = (out.len() - index) as u64;
+            if self.elements_until_fault > remaining {
+                self.elements_until_fault -= remaining;
+                break;
+            }
+            index += (self.elements_until_fault - 1) as usize;
+            let bit = self.rng.gen_range(0..32u32);
+            out[index] = f32::from_bits(out[index].to_bits() ^ (1 << bit));
+            struck += 1;
+            self.faults += 1;
+            index += 1;
+            self.elements_until_fault = sample_gap(self.probability, &mut self.rng);
+            if index >= out.len() {
+                break;
+            }
+        }
+        struck
+    }
+}
+
+/// Elements until the next fault (inclusive), geometric with parameter `p`.
+fn sample_gap<R: Rng + ?Sized>(p: f64, rng: &mut R) -> u64 {
+    if p <= 0.0 {
+        return u64::MAX;
+    }
+    if p >= 1.0 {
+        return 1;
+    }
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let gap = (u.ln() / (1.0 - p).ln()).floor();
+    if gap >= u64::MAX as f64 - 1.0 {
+        u64::MAX
+    } else {
+        gap as u64 + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_ber_never_corrupts() {
+        let mut injector = GemmFaultInjector::new(BitErrorRate::ZERO, 1);
+        let mut buf = vec![1.5f32; 4096];
+        assert_eq!(injector.corrupt(&mut buf), 0);
+        assert!(buf.iter().all(|&v| v == 1.5));
+        assert_eq!(injector.faults_injected(), 0);
+        assert_eq!(injector.ber(), BitErrorRate::ZERO);
+    }
+
+    #[test]
+    fn certain_ber_corrupts_every_element() {
+        let mut injector = GemmFaultInjector::new(BitErrorRate::new(1.0), 2);
+        let mut buf = vec![1.0f32; 64];
+        assert_eq!(injector.corrupt(&mut buf), 64);
+        assert!(
+            buf.iter().all(|&v| v != 1.0),
+            "a flipped bit always changes the word"
+        );
+    }
+
+    #[test]
+    fn fault_count_matches_expectation_statistically() {
+        let ber = BitErrorRate::new(1e-4);
+        let p = ber.fault_probability(32);
+        let mut injector = GemmFaultInjector::new(ber, 3);
+        let n = 400_000usize;
+        let mut buf = vec![0.25f32; 4096];
+        let mut total = 0u64;
+        for _ in 0..n / buf.len() {
+            total += injector.corrupt(&mut buf);
+            buf.fill(0.25);
+        }
+        let expected = p * n as f64;
+        let sigma = expected.sqrt();
+        assert!(
+            (total as f64 - expected).abs() < 5.0 * sigma + 5.0,
+            "expected ~{expected} faults, got {total}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_independent_of_values() {
+        let run = |seed: u64, fill: f32| {
+            let mut injector = GemmFaultInjector::new(BitErrorRate::new(5e-3), seed);
+            let mut struck_at = Vec::new();
+            for round in 0..8 {
+                let mut buf = vec![fill; 257];
+                injector.corrupt(&mut buf);
+                for (i, &v) in buf.iter().enumerate() {
+                    if v != fill {
+                        struck_at.push((round, i));
+                    }
+                }
+            }
+            struck_at
+        };
+        assert_eq!(run(7, 1.0), run(7, 1.0));
+        assert_eq!(
+            run(7, 1.0),
+            run(7, -3.25),
+            "positions depend only on the seed"
+        );
+        assert_ne!(run(7, 1.0), run(8, 1.0));
+    }
+
+    #[test]
+    fn gap_sampler_edge_cases() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(sample_gap(0.0, &mut rng), u64::MAX);
+        assert_eq!(sample_gap(1.0, &mut rng), 1);
+        assert!(sample_gap(0.5, &mut rng) >= 1);
+    }
+}

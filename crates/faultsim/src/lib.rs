@@ -66,6 +66,7 @@ mod ber;
 mod bitflip;
 mod counter;
 mod error;
+mod gemm;
 mod neuron;
 mod protection;
 
@@ -74,5 +75,6 @@ pub use ber::BitErrorRate;
 pub use bitflip::{flip_bit_within, FaultModel};
 pub use counter::{LayerOpCount, OpCount, OpCounters};
 pub use error::FaultSimError;
+pub use gemm::GemmFaultInjector;
 pub use neuron::NeuronLevelInjector;
 pub use protection::{OpType, ProtectionPlan};

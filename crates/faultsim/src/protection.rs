@@ -274,6 +274,81 @@ mod tests {
         assert_eq!(plan.fault_free_layers(), &[1]);
     }
 
+    /// The sweep journal and the ABFT trade-off campaign both serialize
+    /// protection plans; the round trip must be lossless for every
+    /// granularity the plan expresses, and canonical (re-serializing the
+    /// round-tripped plan yields the same bytes — what journal content
+    /// hashes rely on).
+    #[test]
+    fn protection_plan_serde_round_trips_losslessly() {
+        let mut plan = ProtectionPlan::none()
+            .with_fault_free_layer(3)
+            .with_fault_free_layer(0)
+            .with_fault_free_op_type(OpType::Add);
+        plan.protect_fraction(2, OpType::Mul, 0.25).unwrap();
+        plan.protect_fraction(5, OpType::Add, 1.0).unwrap();
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: ProtectionPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, plan);
+        assert_eq!(serde_json::to_string(&back).expect("serialize"), json);
+        // Behaviour survives the round trip, not just equality.
+        assert_eq!(back.protection_probability(2, OpType::Mul), 0.25);
+        assert_eq!(back.protection_probability(7, OpType::Add), 1.0);
+        assert_eq!(back.fault_free_layers(), &[3, 0]);
+    }
+
+    #[test]
+    fn empty_plan_serde_round_trip_stays_empty() {
+        let plan = ProtectionPlan::none();
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: ProtectionPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, plan);
+        assert!(back.is_empty());
+    }
+
+    /// Boundary fractions (exactly 0.0 and 1.0) are valid, survive the round
+    /// trip exactly, and a fraction of 0.0 still leaves the plan "empty".
+    #[test]
+    fn boundary_fractions_round_trip_exactly() {
+        let mut plan = ProtectionPlan::none();
+        plan.protect_fraction(1, OpType::Mul, 0.0).unwrap();
+        plan.protect_fraction(1, OpType::Add, 1.0).unwrap();
+        let json = serde_json::to_string(&plan).expect("serialize");
+        let back: ProtectionPlan = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(
+            back.tmr_fraction(1, OpType::Mul).to_bits(),
+            0.0f64.to_bits()
+        );
+        assert_eq!(
+            back.tmr_fraction(1, OpType::Add).to_bits(),
+            1.0f64.to_bits()
+        );
+        let mut zero_only = ProtectionPlan::none();
+        zero_only.protect_fraction(4, OpType::Mul, 0.0).unwrap();
+        let back: ProtectionPlan =
+            serde_json::from_str(&serde_json::to_string(&zero_only).unwrap()).unwrap();
+        assert!(
+            back.is_empty(),
+            "an all-zero-fraction plan protects nothing"
+        );
+    }
+
+    /// Layer ids with no entry in the plan — e.g. a plan serialized for a
+    /// deeper network and applied to a shallower one — degrade to
+    /// "unprotected", never panic.
+    #[test]
+    fn unknown_layer_ids_are_unprotected_after_round_trip() {
+        let plan = ProtectionPlan::none()
+            .with_fraction(1000, OpType::Mul, 0.5)
+            .unwrap();
+        let back: ProtectionPlan =
+            serde_json::from_str(&serde_json::to_string(&plan).unwrap()).unwrap();
+        assert_eq!(back.protection_probability(1000, OpType::Mul), 0.5);
+        assert_eq!(back.protection_probability(0, OpType::Mul), 0.0);
+        assert_eq!(back.protection_probability(usize::MAX, OpType::Add), 0.0);
+        assert_eq!(back.tmr_fraction(999, OpType::Mul), 0.0);
+    }
+
     #[test]
     fn protected_ops_counts_expected_tmr_coverage() {
         let mut plan = ProtectionPlan::none();

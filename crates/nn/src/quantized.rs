@@ -13,6 +13,10 @@
 
 use crate::{InputRef, Layer, Network, NnError};
 use serde::{Deserialize, Serialize};
+use wgft_abft::{
+    abft_direct_conv, abft_linear, abft_winograd_conv, AbftCalibration, AbftEvents, AbftMode,
+    AbftPolicy, AbftRun, AbftScratch,
+};
 use wgft_data::argmax;
 use wgft_faultsim::{Arithmetic, ExactArithmetic, NeuronLevelInjector, OpCount};
 use wgft_fixedpoint::{BitWidth, QFormat, Quantizer};
@@ -86,6 +90,66 @@ struct QNode {
     op: QOp,
     inputs: Vec<InputRef>,
     out_format: QFormat,
+}
+
+impl QNode {
+    /// Evaluate the non-compute ops (activation / pooling / join) shared
+    /// verbatim by every forward path — there must be exactly one copy of
+    /// these semantics, or the protected and unprotected paths drift apart.
+    /// Returns `None` for Conv/Linear, which each path executes through its
+    /// own kernels.
+    fn forward_simple<'a, G>(&self, gather: G) -> Option<(Vec<i32>, QFormat)>
+    where
+        G: Fn(&InputRef) -> (&'a [i32], QFormat),
+    {
+        Some(match &self.op {
+            QOp::Conv { .. } | QOp::Linear { .. } => return None,
+            QOp::Relu => {
+                let (input, in_format) = gather(&self.inputs[0]);
+                (input.iter().map(|&v| v.max(0)).collect(), in_format)
+            }
+            QOp::MaxPool {
+                channels,
+                in_h,
+                in_w,
+            } => {
+                let (input, in_format) = gather(&self.inputs[0]);
+                (maxpool_raw(input, *channels, *in_h, *in_w), in_format)
+            }
+            QOp::GlobalAvgPool {
+                channels,
+                in_h,
+                in_w,
+            } => {
+                let (input, in_format) = gather(&self.inputs[0]);
+                (gap_raw(input, *channels, *in_h, *in_w), in_format)
+            }
+            QOp::Add => {
+                let (a, fa) = gather(&self.inputs[0]);
+                let (b, fb) = gather(&self.inputs[1]);
+                let out = a
+                    .iter()
+                    .zip(b.iter())
+                    .map(|(&x, &y)| {
+                        let sum = fa.dequantize(x) + fb.dequantize(y);
+                        self.out_format.quantize(sum)
+                    })
+                    .collect();
+                (out, self.out_format)
+            }
+            QOp::Concat => {
+                let mut out = Vec::new();
+                for input_ref in &self.inputs {
+                    let (data, fmt) = gather(input_ref);
+                    out.extend(data.iter().map(|&v| {
+                        self.out_format
+                            .requantize_accumulator(i64::from(v), fmt.frac_bits())
+                    }));
+                }
+                (out, self.out_format)
+            }
+        })
+    }
 }
 
 /// A fixed-point network ready for instrumented inference.
@@ -408,6 +472,249 @@ impl QuantizedNetwork {
         self.forward_internal(image, &mut exact, algo, Some(injector), scratch)
     }
 
+    /// Run inference under an executable [`AbftPolicy`]: convolution and
+    /// fully-connected layers whose mode is not [`AbftMode::Off`] execute
+    /// through the protected `wgft-abft` engines (checksummed GEMMs,
+    /// transform guards, range restriction), still issuing every primitive
+    /// operation through `arith` so injected faults strike the protected
+    /// datapath exactly as they strike the unprotected one.
+    ///
+    /// `calibration` supplies the per-layer value ranges that range
+    /// restriction clips against (obtain one from
+    /// [`QuantizedNetwork::calibrate_abft`]); without it, clipping modes run
+    /// their checks but never clip. Detection/correction/clip events and the
+    /// exact protection overhead accumulate into `events`.
+    ///
+    /// With an all-[`AbftMode::Off`] policy the layers run the stock
+    /// instrumented kernels and perform exactly the operation counts of
+    /// [`QuantizedNetwork::forward`] (the fully-connected layer issues its
+    /// multiplies with the operand order swapped, so under fault injection
+    /// the two unprotected paths are statistically — not bit — identical).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::forward`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_abft<A: Arithmetic>(
+        &self,
+        image: &Tensor,
+        arith: &mut A,
+        algo: ConvAlgorithm,
+        policy: &AbftPolicy,
+        calibration: Option<&AbftCalibration>,
+        scratch: &mut AbftScratch,
+        events: &mut AbftEvents,
+    ) -> Result<Vec<f32>, NnError> {
+        self.forward_abft_internal(
+            image,
+            arith,
+            algo,
+            policy,
+            calibration,
+            scratch,
+            events,
+            None,
+        )
+    }
+
+    /// [`QuantizedNetwork::forward_abft`] returning the predicted class.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::forward`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn classify_abft<A: Arithmetic>(
+        &self,
+        image: &Tensor,
+        arith: &mut A,
+        algo: ConvAlgorithm,
+        policy: &AbftPolicy,
+        calibration: Option<&AbftCalibration>,
+        scratch: &mut AbftScratch,
+        events: &mut AbftEvents,
+    ) -> Result<usize, NnError> {
+        Ok(argmax(&self.forward_abft(
+            image,
+            arith,
+            algo,
+            policy,
+            calibration,
+            scratch,
+            events,
+        )?))
+    }
+
+    /// Record the fault-free per-layer value ranges (winograd-domain inputs,
+    /// GEMM products, output accumulators) over a set of calibration images
+    /// — the bounds range restriction clips against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::forward`].
+    pub fn calibrate_abft(
+        &self,
+        images: &[Tensor],
+        algo: ConvAlgorithm,
+    ) -> Result<AbftCalibration, NnError> {
+        let mut calibration = AbftCalibration::new(self.compute_layers);
+        let mut scratch = AbftScratch::new();
+        let policy = AbftPolicy::off();
+        for image in images {
+            let mut arith = ExactArithmetic::new();
+            let mut events = AbftEvents::new();
+            self.forward_abft_internal(
+                image,
+                &mut arith,
+                algo,
+                &policy,
+                None,
+                &mut scratch,
+                &mut events,
+                Some(&mut calibration),
+            )?;
+        }
+        Ok(calibration)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn forward_abft_internal<A: Arithmetic>(
+        &self,
+        image: &Tensor,
+        arith: &mut A,
+        algo: ConvAlgorithm,
+        policy: &AbftPolicy,
+        calibration: Option<&AbftCalibration>,
+        scratch: &mut AbftScratch,
+        events: &mut AbftEvents,
+        mut record: Option<&mut AbftCalibration>,
+    ) -> Result<Vec<f32>, NnError> {
+        let image_q = self.input_format.quantize_slice(image.data());
+        let mut outputs: Vec<(Vec<i32>, QFormat)> = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            let gather = |r: &InputRef| -> (&[i32], QFormat) {
+                match r {
+                    InputRef::Image => (&image_q, self.input_format),
+                    InputRef::Node(n) => (&outputs[*n].0, outputs[*n].1),
+                }
+            };
+            let produced: (Vec<i32>, QFormat) = match &node.op {
+                QOp::Conv {
+                    shape,
+                    weights,
+                    weight_frac,
+                    winograd,
+                    winograd_frac,
+                    bias,
+                    layer_id,
+                } => {
+                    let (input, in_format) = gather(&node.inputs[0]);
+                    let use_winograd = matches!(algo, ConvAlgorithm::Winograd(_))
+                        && winograd.is_some()
+                        && shape.geometry.is_unit_stride_3x3();
+                    let mode = policy.mode_for(*layer_id);
+                    let run = AbftRun {
+                        mode,
+                        recompute: policy.recompute_on_detect,
+                        margin: policy.range_margin,
+                        ranges: calibration.and_then(|c| c.layer(*layer_id)),
+                    };
+                    let engine = mode != AbftMode::Off || record.is_some();
+                    let rec = record.as_deref_mut().map(|c| c.layer_mut(*layer_id));
+                    let (acc, acc_frac) = if use_winograd {
+                        let w = winograd.as_ref().expect("checked above");
+                        let acc = if engine {
+                            abft_winograd_conv(
+                                arith, *layer_id, input, w, shape, scratch, run, rec, events,
+                            )?
+                        } else {
+                            winograd_conv_quantized_with_scratch(
+                                arith,
+                                *layer_id,
+                                input,
+                                w,
+                                shape,
+                                &mut scratch.wino,
+                            )?
+                        };
+                        (acc, in_format.frac_bits() + winograd_frac)
+                    } else {
+                        let acc = if engine {
+                            abft_direct_conv(
+                                arith, *layer_id, input, weights, shape, scratch, run, rec, events,
+                            )?
+                        } else {
+                            direct_conv_quantized(arith, *layer_id, input, weights, shape)?
+                        };
+                        (acc, in_format.frac_bits() + weight_frac)
+                    };
+                    let raw = requantize_with_bias(
+                        &acc,
+                        acc_frac,
+                        bias,
+                        shape.geometry.out_pixels(),
+                        node.out_format,
+                    );
+                    (raw, node.out_format)
+                }
+                QOp::Linear {
+                    in_features,
+                    out_features,
+                    weights,
+                    weight_frac,
+                    bias,
+                    layer_id,
+                } => {
+                    let (input, in_format) = gather(&node.inputs[0]);
+                    if input.len() != *in_features {
+                        return Err(NnError::WrongInputCount {
+                            layer: "quantized linear",
+                            expected: *in_features,
+                            actual: input.len(),
+                        });
+                    }
+                    let mode = policy.mode_for(*layer_id);
+                    let run = AbftRun {
+                        mode,
+                        recompute: policy.recompute_on_detect,
+                        margin: policy.range_margin,
+                        ranges: calibration.and_then(|c| c.layer(*layer_id)),
+                    };
+                    let rec = record.as_deref_mut().map(|c| c.layer_mut(*layer_id));
+                    let acc_frac = in_format.frac_bits() + weight_frac;
+                    let acc = abft_linear(
+                        arith,
+                        *layer_id,
+                        input,
+                        weights,
+                        *in_features,
+                        *out_features,
+                        scratch,
+                        run,
+                        rec,
+                        events,
+                    );
+                    let raw: Vec<i32> = acc
+                        .iter()
+                        .enumerate()
+                        .map(|(o, &a)| {
+                            let bias_acc =
+                                (f64::from(bias[o]) * (1u64 << acc_frac) as f64).round() as i64;
+                            node.out_format
+                                .requantize_accumulator(a + bias_acc, acc_frac)
+                        })
+                        .collect();
+                    (raw, node.out_format)
+                }
+                _ => node
+                    .forward_simple(gather)
+                    .expect("non-compute ops handled by forward_simple"),
+            };
+            outputs.push(produced);
+        }
+        let (raw, format) = outputs.last().ok_or(NnError::EmptyNetwork)?;
+        Ok(raw.iter().map(|&v| format.dequantize(v)).collect())
+    }
+
     fn forward_internal<A: Arithmetic>(
         &self,
         image: &Tensor,
@@ -521,50 +828,9 @@ impl QuantizedNetwork {
                     }
                     (raw, node.out_format)
                 }
-                QOp::Relu => {
-                    let (input, in_format) = gather(&node.inputs[0]);
-                    (input.iter().map(|&v| v.max(0)).collect(), in_format)
-                }
-                QOp::MaxPool {
-                    channels,
-                    in_h,
-                    in_w,
-                } => {
-                    let (input, in_format) = gather(&node.inputs[0]);
-                    (maxpool_raw(input, *channels, *in_h, *in_w), in_format)
-                }
-                QOp::GlobalAvgPool {
-                    channels,
-                    in_h,
-                    in_w,
-                } => {
-                    let (input, in_format) = gather(&node.inputs[0]);
-                    (gap_raw(input, *channels, *in_h, *in_w), in_format)
-                }
-                QOp::Add => {
-                    let (a, fa) = gather(&node.inputs[0]);
-                    let (b, fb) = gather(&node.inputs[1]);
-                    let out = a
-                        .iter()
-                        .zip(b.iter())
-                        .map(|(&x, &y)| {
-                            let sum = fa.dequantize(x) + fb.dequantize(y);
-                            node.out_format.quantize(sum)
-                        })
-                        .collect();
-                    (out, node.out_format)
-                }
-                QOp::Concat => {
-                    let mut out = Vec::new();
-                    for input_ref in &node.inputs {
-                        let (data, fmt) = gather(input_ref);
-                        out.extend(data.iter().map(|&v| {
-                            node.out_format
-                                .requantize_accumulator(i64::from(v), fmt.frac_bits())
-                        }));
-                    }
-                    (out, node.out_format)
-                }
+                _ => node
+                    .forward_simple(gather)
+                    .expect("non-compute ops handled by forward_simple"),
             };
             outputs.push(produced);
         }
@@ -852,6 +1118,83 @@ mod tests {
             clean, corrupted,
             "heavy neuron corruption must perturb the logits"
         );
+    }
+
+    #[test]
+    fn abft_forward_matches_plain_forward_when_fault_free() {
+        let (mut net, data, _) = trained_tiny();
+        let calibration_images: Vec<Tensor> = data
+            .samples()
+            .iter()
+            .take(8)
+            .map(|s| s.image.clone())
+            .collect();
+        let qnet = QuantizedNetwork::from_network(
+            &mut net,
+            &calibration_images,
+            QuantizerOptions::new(BitWidth::W16),
+        )
+        .unwrap();
+        for algo in [ConvAlgorithm::Standard, ConvAlgorithm::winograd_default()] {
+            let calibration = qnet.calibrate_abft(&calibration_images, algo).unwrap();
+            assert_eq!(calibration.len(), qnet.compute_layer_count());
+            for policy in [
+                wgft_abft::AbftPolicy::off(),
+                wgft_abft::AbftPolicy::checksum(),
+                wgft_abft::AbftPolicy::range_only(),
+                wgft_abft::AbftPolicy::checksum_range(),
+            ] {
+                let sample = &data.samples()[0];
+                let mut plain_arith = ExactArithmetic::new();
+                let plain = qnet.forward(&sample.image, &mut plain_arith, algo).unwrap();
+                let mut arith = ExactArithmetic::new();
+                let mut scratch = wgft_abft::AbftScratch::new();
+                let mut events = wgft_abft::AbftEvents::new();
+                let protected = qnet
+                    .forward_abft(
+                        &sample.image,
+                        &mut arith,
+                        algo,
+                        &policy,
+                        Some(&calibration),
+                        &mut scratch,
+                        &mut events,
+                    )
+                    .unwrap();
+                assert_eq!(plain, protected, "{algo:?}: fault-free logits must agree");
+                assert_eq!(events.detected, 0, "no false detections at BER 0");
+                assert_eq!(events.clipped, 0, "calibrated ranges never clip clean runs");
+                if policy.is_off() {
+                    assert_eq!(events.overhead.total(), 0, "off policy is free");
+                } else {
+                    assert!(events.overhead.total() > 0, "protection is never free");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn observed_float_inference_is_bit_identical_when_unperturbed() {
+        let (mut net, data, _) = trained_tiny();
+        struct NullObserver;
+        impl wgft_winograd::GemmObserver for NullObserver {
+            fn after_gemm(
+                &mut self,
+                _a: &[f32],
+                _b: &[f32],
+                _out: &mut [f32],
+                _m: usize,
+                _k: usize,
+                _p: usize,
+            ) {
+            }
+        }
+        let image = &data.samples()[0].image;
+        let plain = net.forward_inference(image).unwrap();
+        let observed = net
+            .forward_inference_observed(image, &mut NullObserver)
+            .unwrap();
+        assert_eq!(plain.data(), observed.data());
     }
 
     #[test]

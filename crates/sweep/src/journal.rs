@@ -26,7 +26,11 @@ use std::path::{Path, PathBuf};
 use wgft_core::CampaignConfig;
 
 /// Journal format version (bumped on any incompatible layout change).
-pub const JOURNAL_VERSION: u32 = 1;
+///
+/// Version 2: unit results journal ABFT event counters and manifests record
+/// the network's per-algorithm operation counts (the `protection_tradeoff`
+/// campaign kind needs both to merge bit-identically).
+pub const JOURNAL_VERSION: u32 = 2;
 
 /// File name of the manifest inside a run directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
@@ -43,9 +47,14 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// One completed work unit, as journaled: the unit id plus the number of
-/// correctly classified images out of the unit's `len`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// One completed work unit, as journaled: the unit id, the number of
+/// correctly classified images out of the unit's `len`, and the ABFT events
+/// the unit's protected executions accumulated (all zero for unprotected
+/// cells).
+///
+/// Every field is an order-independent sum over the unit's images, so any
+/// shard layout, execution order or restart merges to the same totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UnitResult {
     /// Stable unit id from the plan table.
     pub unit: u64,
@@ -53,6 +62,35 @@ pub struct UnitResult {
     pub correct: u64,
     /// Images evaluated (the unit's `len`; recorded for integrity checks).
     pub len: u64,
+    /// ABFT checksum/guard mismatches detected.
+    pub detected: u64,
+    /// ABFT errors corrected (located-and-fixed or clean recompute).
+    pub corrected: u64,
+    /// ABFT detections left uncorrected.
+    pub uncorrected: u64,
+    /// ABFT recompute fallbacks taken.
+    pub recomputes: u64,
+    /// Values clamped by range restriction.
+    pub clipped: u64,
+    /// Extra protection multiplies.
+    pub overhead_mul: u64,
+    /// Extra protection additions.
+    pub overhead_add: u64,
+}
+
+impl UnitResult {
+    /// Rebuild the event record the unit's protected executions summed to.
+    #[must_use]
+    pub fn events(&self) -> wgft_abft::AbftEvents {
+        let mut events = wgft_abft::AbftEvents::new();
+        events.detected = self.detected;
+        events.corrected = self.corrected;
+        events.uncorrected = self.uncorrected;
+        events.recomputes = self.recomputes;
+        events.clipped = self.clipped;
+        events.charge(self.overhead_mul, self.overhead_add);
+        events
+    }
 }
 
 /// The run manifest: everything needed to rebuild the unit table and verify
@@ -80,6 +118,12 @@ pub struct Manifest {
     pub width: String,
     /// Fault-free baseline accuracy of the prepared campaign.
     pub clean_accuracy: f64,
+    /// Total operation count of the prepared network under standard
+    /// convolution (the idealized-TMR overhead of the `protection_tradeoff`
+    /// merge derives from it).
+    pub standard_ops: wgft_faultsim::OpCount,
+    /// Total operation count under winograd convolution.
+    pub winograd_ops: wgft_faultsim::OpCount,
     /// FNV-1a hash (hex) over the plan identity; see [`Manifest::plan_hash`].
     pub content_hash: String,
 }
@@ -97,6 +141,8 @@ impl Manifest {
         model: String,
         width: String,
         clean_accuracy: f64,
+        standard_ops: wgft_faultsim::OpCount,
+        winograd_ops: wgft_faultsim::OpCount,
     ) -> Self {
         let mut manifest = Self {
             version: JOURNAL_VERSION,
@@ -109,6 +155,8 @@ impl Manifest {
             model,
             width,
             clean_accuracy,
+            standard_ops,
+            winograd_ops,
             content_hash: String::new(),
         };
         manifest.unit_count = manifest.plan().units().len() as u64;

@@ -76,9 +76,10 @@ pub use progress::{render_status, ProgressSink, ProgressSnapshot, SilentProgress
 pub use runner::{
     evaluate_unit, prepare_campaign, run_shard, validate_baseline, ShardOutcome, ShardSpec,
 };
-pub use unit::{CellProtection, Granularity, SweepKind, SweepPlan, UnitCell, WorkUnit};
+pub use unit::{CellAbft, CellProtection, Granularity, SweepKind, SweepPlan, UnitCell, WorkUnit};
 
 use wgft_core::{CampaignConfig, FaultToleranceCampaign};
+use wgft_winograd::ConvAlgorithm;
 
 /// Build the manifest for a freshly prepared campaign.
 #[must_use]
@@ -98,6 +99,10 @@ pub fn manifest_for(
         campaign.quantized().name().to_string(),
         config.width.to_string(),
         campaign.clean_accuracy(),
+        campaign.quantized().total_op_count(ConvAlgorithm::Standard),
+        campaign
+            .quantized()
+            .total_op_count(ConvAlgorithm::winograd_default()),
     )
 }
 

@@ -39,7 +39,8 @@ fn usage() -> &'static str {
         "\n",
         "USAGE:\n",
         "wgft-sweep run    --dir DIR [--campaign network_sweep|injection_granularity|\n",
-        "                   op_type_sensitivity|find_critical_ber] [--model vgg_small|\n",
+        "                   op_type_sensitivity|find_critical_ber|protection_tradeoff]\n",
+        "                   [--model vgg_small|\n",
         "                   resnet_small|densenet_small|googlenet_small] [--width 8|16]\n",
         "                   [--scale test|full] [--images N] [--chunk N] [--seed S]\n",
         "                   [--bers 0,1e-5,1e-4] [--algo standard|winograd]\n",
@@ -182,9 +183,11 @@ fn parse_kind(args: &Args) -> Result<SweepKind, String> {
             algo: algo.unwrap_or(ConvAlgorithm::Standard),
             keep_fraction: keep_fraction.unwrap_or(0.5),
         }),
+        "protection_tradeoff" => Ok(SweepKind::ProtectionTradeoff),
         other => Err(format!(
             "unknown campaign `{other}` (expected network_sweep, \
-             injection_granularity, op_type_sensitivity or find_critical_ber)"
+             injection_granularity, op_type_sensitivity, find_critical_ber \
+             or protection_tradeoff)"
         )),
     }
 }
@@ -292,7 +295,46 @@ fn cmd_resume(args: &Args) -> Result<(), String> {
 
 fn cmd_status(args: &Args) -> Result<(), String> {
     args.reject_unknown(&["--dir"])?;
-    let journal = Journal::open(args.dir()?).map_err(|e| e.to_string())?;
+    let dir = args.dir()?;
+    // A directory holding several run journals (one per campaign kind, say)
+    // gets a per-kind summary table; a single journal gets the full view.
+    if !dir.join(wgft_sweep::MANIFEST_FILE).exists() {
+        let mut sub_journals = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            let mut subdirs: Vec<PathBuf> = entries
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.join(wgft_sweep::MANIFEST_FILE).exists())
+                .collect();
+            subdirs.sort();
+            for sub in subdirs {
+                let journal = Journal::open(&sub).map_err(|e| e.to_string())?;
+                let completed = journal.completed().map_err(|e| e.to_string())?;
+                sub_journals.push((sub, journal, completed));
+            }
+        }
+        if sub_journals.is_empty() {
+            return Err(format!(
+                "{} holds neither a run journal nor subdirectories with one",
+                dir.display()
+            ));
+        }
+        let mut table =
+            wgft_core::TextTable::new(&["campaign", "run", "units done", "units total"]);
+        for (sub, journal, completed) in &sub_journals {
+            let total = journal.manifest().plan().units().len();
+            table.push_row(vec![
+                journal.manifest().kind.label().to_string(),
+                sub.file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default(),
+                completed.results.len().to_string(),
+                total.to_string(),
+            ]);
+        }
+        print!("{table}");
+        return Ok(());
+    }
+    let journal = Journal::open(dir).map_err(|e| e.to_string())?;
     let completed = journal.completed().map_err(|e| e.to_string())?;
     print!("{}", render_status(&journal, &completed));
     Ok(())

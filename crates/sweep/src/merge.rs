@@ -12,9 +12,11 @@ use crate::journal::{CompletedSet, Manifest};
 use crate::unit::SweepKind;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use wgft_abft::AbftEvents;
 use wgft_core::{
-    GranularityReport, GranularityRow, NetworkSweepReport, NetworkSweepRow, OpTypeReport,
-    OpTypeRow, TextTable,
+    scheme_overhead, GranularityReport, GranularityRow, NetworkSweepReport, NetworkSweepRow,
+    OpTypeReport, OpTypeRow, ProtectionTradeoffReport, ProtectionTradeoffRow, TextTable,
+    TradeoffScheme,
 };
 use wgft_faultsim::BitErrorRate;
 
@@ -85,6 +87,8 @@ pub enum MergedReport {
     OpType(OpTypeReport),
     /// Accuracy-cliff search (`find_critical_ber`).
     CriticalBer(CriticalBerReport),
+    /// Protection frontier (`protection_tradeoff`).
+    ProtectionTradeoff(ProtectionTradeoffReport),
 }
 
 impl fmt::Display for MergedReport {
@@ -94,6 +98,7 @@ impl fmt::Display for MergedReport {
             MergedReport::Granularity(r) => r.fmt(f),
             MergedReport::OpType(r) => r.fmt(f),
             MergedReport::CriticalBer(r) => r.fmt(f),
+            MergedReport::ProtectionTradeoff(r) => r.fmt(f),
         }
     }
 }
@@ -118,6 +123,7 @@ pub fn merge(manifest: &Manifest, completed: &CompletedSet) -> Result<MergedRepo
     // the sum.
     let mut correct = vec![0u64; plan.cells().len()];
     let mut covered = vec![0u64; plan.cells().len()];
+    let mut cell_events = vec![AbftEvents::new(); plan.cells().len()];
     for unit in plan.units() {
         let result = completed
             .results
@@ -125,6 +131,7 @@ pub fn merge(manifest: &Manifest, completed: &CompletedSet) -> Result<MergedRepo
             .expect("presence checked above");
         correct[unit.cell_index] += result.correct;
         covered[unit.cell_index] += result.len;
+        cell_events[unit.cell_index] += result.events();
     }
     for (cell_index, &images) in covered.iter().enumerate() {
         if images != plan.images() as u64 {
@@ -231,6 +238,50 @@ pub fn merge(manifest: &Manifest, completed: &CompletedSet) -> Result<MergedRepo
                 keep_fraction,
                 threshold,
                 critical_ber,
+                rows,
+            })
+        }
+        SweepKind::ProtectionTradeoff => {
+            // Cells per BER are (scheme-major, ST-then-WG) — see
+            // `SweepKind::cells_for_ber` — so scheme `s` of BER `i` sits at
+            // `cell_base(i) + 2s` (standard) and `+ 2s + 1` (winograd).
+            // Accuracy, events and overhead reproduce the monolithic
+            // `protection_tradeoff` computation exactly: integer sums, then
+            // the same divisions and `scheme_overhead` formula.
+            let mut rows = Vec::new();
+            for (i, &ber) in plan.bers().iter().enumerate() {
+                for (s, scheme) in TradeoffScheme::all().into_iter().enumerate() {
+                    let st = cell_base(i) + 2 * s;
+                    let wg = st + 1;
+                    let standard_events = cell_events[st];
+                    let winograd_events = cell_events[wg];
+                    rows.push(ProtectionTradeoffRow {
+                        ber: BitErrorRate::new(ber).rate(),
+                        scheme,
+                        standard_accuracy: accuracy(st),
+                        winograd_accuracy: accuracy(wg),
+                        standard_overhead: scheme_overhead(
+                            scheme,
+                            &standard_events,
+                            manifest.standard_ops,
+                            manifest.images,
+                        ),
+                        winograd_overhead: scheme_overhead(
+                            scheme,
+                            &winograd_events,
+                            manifest.winograd_ops,
+                            manifest.images,
+                        ),
+                        standard_events,
+                        winograd_events,
+                    });
+                }
+            }
+            MergedReport::ProtectionTradeoff(ProtectionTradeoffReport {
+                model: manifest.model.clone(),
+                width: manifest.width.clone(),
+                clean_accuracy: manifest.clean_accuracy,
+                images: manifest.images,
                 rows,
             })
         }

@@ -170,6 +170,32 @@ pub fn render_status(journal: &Journal, completed: &CompletedSet) -> String {
     }
     let _ = write!(out, "{table}");
 
+    // Per-cell-kind breakdown: a campaign kind mixes several cell kinds
+    // (algorithm × granularity × protection × ABFT — the protection
+    // trade-off alone has eight), and an aggregate count cannot say *which*
+    // of them a stalled shard still owes. Group unit counts by the
+    // BER-independent cell label, in first-appearance (plan) order.
+    let mut kinds: Vec<(String, u64, u64)> = Vec::new();
+    for unit in plan.units() {
+        let label = unit.cell.kind_label();
+        let entry = match kinds.iter_mut().find(|(l, _, _)| *l == label) {
+            Some(entry) => entry,
+            None => {
+                kinds.push((label, 0, 0));
+                kinds.last_mut().expect("just pushed")
+            }
+        };
+        entry.2 += 1;
+        if completed.results.contains_key(&unit.id) {
+            entry.1 += 1;
+        }
+    }
+    let mut per_kind = TextTable::new(&["cell kind", "units done", "units total"]);
+    for (label, done_units, total_units) in kinds {
+        per_kind.push_row(vec![label, done_units.to_string(), total_units.to_string()]);
+    }
+    let _ = write!(out, "{per_kind}");
+
     if let Ok(files) = journal.result_files() {
         if !files.is_empty() {
             let mut per_file = TextTable::new(&["result file", "lines"]);

@@ -118,6 +118,19 @@ pub fn validate_baseline(
             manifest.clean_accuracy
         )));
     }
+    let st_ops = campaign
+        .quantized()
+        .total_op_count(wgft_winograd::ConvAlgorithm::Standard);
+    let wg_ops = campaign
+        .quantized()
+        .total_op_count(wgft_winograd::ConvAlgorithm::winograd_default());
+    if st_ops != manifest.standard_ops || wg_ops != manifest.winograd_ops {
+        return Err(SweepError::manifest(format!(
+            "prepared campaign's operation counts (ST {st_ops:?}, WG {wg_ops:?}) differ from \
+             the manifest's (ST {:?}, WG {:?})",
+            manifest.standard_ops, manifest.winograd_ops
+        )));
+    }
     Ok(())
 }
 
@@ -144,22 +157,45 @@ pub fn evaluate_unit(campaign: &FaultToleranceCampaign, unit: &WorkUnit) -> Unit
         "unit seed derivation must match the campaign's global-index derivation"
     );
     let ber = BitErrorRate::new(unit.cell.ber);
-    let correct = match unit.cell.granularity {
-        Granularity::OpLevel => campaign.correct_op_level(
-            unit.cell.algo,
-            ber,
-            &unit.cell.protection.plan(),
-            unit.start,
-            unit.len,
-        ),
-        Granularity::NeuronLevel => {
-            campaign.correct_neuron_level(unit.cell.algo, ber, unit.start, unit.len)
+    let (correct, events) = match (unit.cell.granularity, unit.cell.abft.policy()) {
+        (Granularity::OpLevel, Some(policy)) => {
+            let (correct, events) = campaign.correct_op_level_abft(
+                unit.cell.algo,
+                ber,
+                &unit.cell.protection.plan(),
+                &policy,
+                unit.start,
+                unit.len,
+            );
+            (correct, Some(events))
         }
+        (Granularity::OpLevel, None) => (
+            campaign.correct_op_level(
+                unit.cell.algo,
+                ber,
+                &unit.cell.protection.plan(),
+                unit.start,
+                unit.len,
+            ),
+            None,
+        ),
+        (Granularity::NeuronLevel, _) => (
+            campaign.correct_neuron_level(unit.cell.algo, ber, unit.start, unit.len),
+            None,
+        ),
     };
+    let events = events.unwrap_or_default();
     UnitResult {
         unit: unit.id,
         correct: correct as u64,
         len: unit.len as u64,
+        detected: events.detected,
+        corrected: events.corrected,
+        uncorrected: events.uncorrected,
+        recomputes: events.recomputes,
+        clipped: events.clipped,
+        overhead_mul: events.overhead.mul,
+        overhead_add: events.overhead.add,
     }
 }
 

@@ -7,6 +7,7 @@
 //! processes that agree on the manifest agree on every unit id.
 
 use serde::{Deserialize, Serialize};
+use wgft_abft::AbftPolicy;
 use wgft_core::FaultToleranceCampaign;
 use wgft_faultsim::{OpType, ProtectionPlan};
 use wgft_winograd::ConvAlgorithm;
@@ -41,6 +42,9 @@ pub enum CellProtection {
     MulFaultFree,
     /// All additions kept fault-free (Figure 4).
     AddFaultFree,
+    /// Every operation kept fault-free — the idealized full-TMR reference
+    /// of the protection trade-off campaign.
+    AllFaultFree,
 }
 
 impl CellProtection {
@@ -55,6 +59,9 @@ impl CellProtection {
             CellProtection::AddFaultFree => {
                 ProtectionPlan::none().with_fault_free_op_type(OpType::Add)
             }
+            CellProtection::AllFaultFree => ProtectionPlan::none()
+                .with_fault_free_op_type(OpType::Mul)
+                .with_fault_free_op_type(OpType::Add),
         }
     }
 
@@ -65,6 +72,43 @@ impl CellProtection {
             CellProtection::Unprotected => "none",
             CellProtection::MulFaultFree => "mul-free",
             CellProtection::AddFaultFree => "add-free",
+            CellProtection::AllFaultFree => "all-free",
+        }
+    }
+}
+
+/// Executable ABFT applied to a cell, as a serializable tag that
+/// reconstructs the same [`AbftPolicy`] the monolithic
+/// `protection_tradeoff` loop builds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellAbft {
+    /// No executable protection — the cell runs the stock datapath.
+    #[default]
+    Off,
+    /// Range restriction only.
+    RangeOnly,
+    /// Checksummed GEMMs + transform guards + recompute.
+    Checksum,
+}
+
+impl CellAbft {
+    /// The policy this tag denotes (`None` runs the stock datapath).
+    #[must_use]
+    pub fn policy(self) -> Option<AbftPolicy> {
+        match self {
+            CellAbft::Off => None,
+            CellAbft::RangeOnly => Some(AbftPolicy::range_only()),
+            CellAbft::Checksum => Some(AbftPolicy::checksum()),
+        }
+    }
+
+    /// Short label used in progress output.
+    #[must_use]
+    pub const fn label(self) -> &'static str {
+        match self {
+            CellAbft::Off => "no-abft",
+            CellAbft::RangeOnly => "range",
+            CellAbft::Checksum => "checksum",
         }
     }
 }
@@ -79,21 +123,35 @@ pub struct UnitCell {
     pub ber: f64,
     /// Injection granularity.
     pub granularity: Granularity,
-    /// Protection applied.
+    /// Idealized protection applied inside the arithmetic.
     pub protection: CellProtection,
+    /// Executable ABFT running around the arithmetic.
+    pub abft: CellAbft,
 }
 
 impl UnitCell {
     /// Compact human-readable label (progress lines and status tables).
     #[must_use]
     pub fn label(&self) -> String {
-        format!(
-            "{} ber={:.2e} {} {}",
+        format!("ber={:.2e} {}", self.ber, self.kind_label())
+    }
+
+    /// The BER-independent part of the label: what *kind* of cell this is
+    /// (algorithm, granularity, protection, ABFT). `status` groups unit
+    /// counts by this so mixed-cell journals stay debuggable.
+    #[must_use]
+    pub fn kind_label(&self) -> String {
+        let mut label = format!(
+            "{} {} {}",
             self.algo.label(),
-            self.ber,
             self.granularity.label(),
             self.protection.label()
-        )
+        );
+        if self.abft != CellAbft::Off {
+            label.push(' ');
+            label.push_str(self.abft.label());
+        }
+        label
     }
 }
 
@@ -120,6 +178,10 @@ pub enum SweepKind {
         /// `[0, 1]` exactly like the monolithic search).
         keep_fraction: f64,
     },
+    /// The accuracy-versus-overhead protection frontier (unprotected /
+    /// idealized TMR / executable range restriction / executable ABFT,
+    /// standard vs winograd), reduced into a `ProtectionTradeoffReport`.
+    ProtectionTradeoff,
 }
 
 impl SweepKind {
@@ -131,6 +193,7 @@ impl SweepKind {
             SweepKind::InjectionGranularity => "injection_granularity",
             SweepKind::OpTypeSensitivity => "op_type_sensitivity",
             SweepKind::FindCriticalBer { .. } => "find_critical_ber",
+            SweepKind::ProtectionTradeoff => "protection_tradeoff",
         }
     }
 
@@ -166,6 +229,7 @@ impl SweepKind {
             ber,
             granularity,
             protection,
+            abft: CellAbft::Off,
         };
         match self {
             SweepKind::NetworkSweep => vec![
@@ -191,6 +255,32 @@ impl SweepKind {
                 Granularity::OpLevel,
                 CellProtection::Unprotected,
             )],
+            // One (scheme, algo) cell pair per frontier scheme, in the
+            // monolithic report's scheme order (see
+            // `wgft_core::TradeoffScheme::all`): the scheme is encoded as a
+            // (protection, abft) tag pair so the merge can rebuild the
+            // exact policies the monolithic loop evaluates.
+            SweepKind::ProtectionTradeoff => {
+                let schemes = [
+                    (CellProtection::Unprotected, CellAbft::Off),
+                    (CellProtection::AllFaultFree, CellAbft::Off),
+                    (CellProtection::Unprotected, CellAbft::RangeOnly),
+                    (CellProtection::Unprotected, CellAbft::Checksum),
+                ];
+                let mut cells = Vec::with_capacity(schemes.len() * 2);
+                for (protection, abft) in schemes {
+                    for algo in [std, wg] {
+                        cells.push(UnitCell {
+                            algo,
+                            ber,
+                            granularity: Granularity::OpLevel,
+                            protection,
+                            abft,
+                        });
+                    }
+                }
+                cells
+            }
         }
     }
 }

@@ -165,6 +165,90 @@ fn sharded_critical_ber_matches_monolithic_search() {
     );
 }
 
+#[test]
+fn sharded_protection_tradeoff_matches_monolithic_bit_for_bit() {
+    let campaign = campaign();
+    let bers = [3e-3];
+    let dir = tmp_dir("tradeoff-parity");
+    // Two shards, run one after the other like two independent processes.
+    for index in 0..2 {
+        run_sweep(
+            &dir,
+            SweepKind::ProtectionTradeoff,
+            &config(),
+            &bers,
+            CHUNK,
+            ShardSpec::new(2, index).unwrap(),
+            &SilentProgress,
+        )
+        .expect("shard must run");
+    }
+    let MergedReport::ProtectionTradeoff(merged) = merge_sweep(&dir).expect("merge") else {
+        panic!("protection tradeoff must merge into a ProtectionTradeoffReport");
+    };
+    let monolithic = campaign.protection_tradeoff(&bers);
+    assert_eq!(
+        json(&merged),
+        json(&monolithic),
+        "byte-identical frontier report, events and overheads included"
+    );
+    // The merged report carries real executable-protection evidence: the
+    // ABFT scheme pays measured overhead at this heavy BER.
+    let abft_row = merged
+        .rows
+        .iter()
+        .find(|r| r.scheme == wgft_core::TradeoffScheme::Abft)
+        .expect("ABFT row present");
+    assert!(abft_row.winograd_overhead > 0.0);
+}
+
+/// The fifth campaign kind honours the same kill/resume contract as the
+/// first four: a journal truncated at a line boundary *and* torn mid-line
+/// resumes — under a different shard layout — to a byte-identical report.
+#[test]
+fn killed_tradeoff_run_resumes_to_a_bit_identical_report() {
+    let campaign = campaign();
+    let bers = [3e-3];
+    let monolithic = json(&campaign.protection_tradeoff(&bers));
+    let dir = tmp_dir("tradeoff-kill-resume");
+    run_sweep(
+        &dir,
+        SweepKind::ProtectionTradeoff,
+        &config(),
+        &bers,
+        CHUNK,
+        ShardSpec::single(),
+        &SilentProgress,
+    )
+    .expect("run must succeed");
+
+    let results = result_file(&dir);
+    let full = fs::read_to_string(&results).expect("result file exists");
+    let lines: Vec<&str> = full.lines().collect();
+    assert!(lines.len() >= 4, "need enough units to truncate mid-way");
+    let keep = lines.len() / 2;
+    let mut truncated = lines[..keep].join("\n") + "\n";
+    // Torn trailing line, the footprint of a SIGKILLed writer.
+    truncated.push_str("{\"unit\":1,\"corr");
+    fs::write(&results, truncated).unwrap();
+
+    let outcome = resume_sweep(&dir, ShardSpec::new(3, 0).unwrap(), &SilentProgress)
+        .expect("resume shard 0 must succeed");
+    assert!(outcome.evaluated > 0, "resume must re-evaluate lost units");
+    for index in 1..3 {
+        resume_sweep(&dir, ShardSpec::new(3, index).unwrap(), &SilentProgress)
+            .expect("resume must succeed");
+    }
+    let MergedReport::ProtectionTradeoff(merged) = merge_sweep(&dir).expect("merge") else {
+        panic!("wrong report kind");
+    };
+    assert_eq!(
+        json(&merged),
+        monolithic,
+        "resumed tradeoff run must be byte-identical to the monolithic loop"
+    );
+}
+
 /// Kill/resume drill: interrupt a run by truncating its journal mid-way —
 /// once at a line boundary (results lost) and once mid-line (the footprint
 /// of a killed writer) — then resume and require the merged report to be

@@ -400,7 +400,8 @@ pub fn winograd_conv_quantized_with_scratch<A: Arithmetic>(
 }
 
 /// Which side the constant matrix sits on in an integer transform.
-enum MatrixSide {
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatrixSide {
     /// `out = Coef (rows x inner) * data (inner x cols)`.
     Left,
     /// `out = data (rows x inner) * Coefᵀ`, i.e.
@@ -412,8 +413,12 @@ enum MatrixSide {
 /// backend. Coefficients 0 are skipped, ±1 are additions/subtractions, other
 /// small integers are issued as multiplications (they are shift-add networks
 /// in hardware, but a latch fault corrupts them the same way).
+///
+/// Public because the executable ABFT engine (`wgft-abft`) re-runs the same
+/// instrumented transforms around its checksummed GEMMs — protected and
+/// unprotected execution must corrupt the transform stage identically.
 #[allow(clippy::too_many_arguments)]
-fn integer_transform<A: Arithmetic>(
+pub fn integer_transform<A: Arithmetic>(
     arith: &mut A,
     coef: &[i32],
     data: &[i64],

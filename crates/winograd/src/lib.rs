@@ -43,11 +43,13 @@ mod transform;
 
 pub use conv_standard::{direct_conv_f32, direct_conv_quantized, ConvShape};
 pub use conv_winograd::{
-    transform_weights_f32, winograd_conv_f32, winograd_conv_f32_reference, winograd_conv_quantized,
-    winograd_conv_quantized_with_scratch, WinogradWeights,
+    integer_transform, transform_weights_f32, winograd_conv_f32, winograd_conv_f32_reference,
+    winograd_conv_quantized, winograd_conv_quantized_with_scratch, MatrixSide, WinogradWeights,
 };
 pub use dwm::{decompose_kernel, dwm_conv_f32, KernelTile};
 pub use error::WinogradError;
 pub use opcount::{ConvAlgorithm, ConvOpModel};
-pub use plan::{PreparedConvF32, PreparedConvQuantized, WinogradPlan, WinogradScratch};
+pub use plan::{
+    GemmObserver, PreparedConvF32, PreparedConvQuantized, WinogradPlan, WinogradScratch,
+};
 pub use transform::{WinogradVariant, F2X2_3X3, F4X4_3X3};

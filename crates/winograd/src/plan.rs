@@ -27,6 +27,21 @@ use crate::WinogradError;
 use wgft_faultsim::Arithmetic;
 use wgft_tensor::gemm_f32;
 
+/// Observes (and may mutate) every GEMM product of a planned winograd
+/// execution, right after the GEMM writes it and before the gather phase
+/// consumes it.
+///
+/// This is the fast path's fault-injection and protection hook: a
+/// `wgft_faultsim::GemmFaultInjector` corrupts the product buffer the way a
+/// soft error in a matrix engine's output latches would, and the `wgft-abft`
+/// checksum guard verifies/repairs it — both without slowing down the
+/// unobserved hot path, which never takes this entry point.
+pub trait GemmObserver {
+    /// Called once per winograd-coordinate GEMM with the operands
+    /// `a (m×k)`, `b (k×p)` and the freshly computed product `out (m×p)`.
+    fn after_gemm(&mut self, a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, p: usize);
+}
+
 /// Tile-level execution geometry of one planned winograd convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct WinogradPlan {
@@ -336,6 +351,52 @@ impl PreparedConvF32 {
         Ok(())
     }
 
+    /// Execute a single image with a [`GemmObserver`] attached to every
+    /// winograd-coordinate GEMM.
+    ///
+    /// Runs the serial single-chunk schedule (observation points must be
+    /// deterministic and ordered), so the observed execution is bit-identical
+    /// to [`PreparedConvF32::execute_into`] whenever the observer leaves the
+    /// product untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WinogradError::BufferSizeMismatch`] on a wrong input or
+    /// output length.
+    pub fn execute_observed(
+        &mut self,
+        input: &[f32],
+        output: &mut [f32],
+        obs: &mut dyn GemmObserver,
+    ) -> Result<(), WinogradError> {
+        self.validate_batch(input, 1, output)?;
+        let shape = self.plan.shape;
+        let (o, c) = (shape.out_channels, shape.in_channels);
+        let t2 = self.plan.variant.input_tile() * self.plan.variant.input_tile();
+        let bp = self.block_for(self.plan.num_tiles());
+        if self.v.len() < t2 * c * bp {
+            self.v.resize(t2 * c * bp, 0.0);
+        }
+        if self.prod.len() < t2 * o * bp {
+            self.prod.resize(t2 * o * bp, 0.0);
+        }
+        run_images_f32(
+            &self.plan,
+            &self.u,
+            &self.bt,
+            &self.at,
+            bp,
+            &mut self.v,
+            &mut self.prod,
+            input,
+            1,
+            output,
+            false,
+            Some(obs),
+        );
+        Ok(())
+    }
+
     /// How many times [`PreparedConvF32::execute_batch_into`] has run. The
     /// batched inference layers assert on this to catch a silent fallback to
     /// per-image execution.
@@ -420,6 +481,7 @@ impl PreparedConvF32 {
                 n_images,
                 output,
                 parallel_gemms,
+                None,
             );
             return;
         }
@@ -439,6 +501,7 @@ impl PreparedConvF32 {
                 // Workers are the parallelism here; their GEMMs stay serial.
                 run_images_f32(
                     plan, u, bt, at, bp, &mut v, &mut prod, in_chunk, images, out_chunk, false,
+                    None,
                 );
             })
             .collect::<Vec<()>>();
@@ -461,6 +524,7 @@ fn run_images_f32(
     n_images: usize,
     output: &mut [f32],
     parallel_gemms: bool,
+    mut obs: Option<&mut dyn GemmObserver>,
 ) {
     let shape = plan.shape;
     let (o, c) = (shape.out_channels, shape.in_channels);
@@ -530,6 +594,7 @@ fn run_images_f32(
         // a single fork/join per block (disjoint `prod` chunks); striping
         // inside each GEMM would pay t² fork/joins plus stitch copies.
         if parallel_gemms {
+            debug_assert!(obs.is_none(), "observed execution is always serial");
             use rayon::prelude::*;
             let v_ro: &[f32] = v;
             let jobs: Vec<(usize, &mut [f32])> =
@@ -556,6 +621,16 @@ fn run_images_f32(
                     c,
                     bp,
                 );
+                if let Some(observer) = obs.as_deref_mut() {
+                    observer.after_gemm(
+                        &u[k * o * c..(k + 1) * o * c],
+                        &v[k * c * bp..(k + 1) * c * bp],
+                        &mut prod[k * o * bp..(k + 1) * o * bp],
+                        o,
+                        c,
+                        bp,
+                    );
+                }
             }
         }
 

@@ -1,0 +1,43 @@
+//! Run the executable-protection trade-off frontier: unprotected vs
+//! idealized TMR vs range restriction vs checksummed-GEMM ABFT, standard vs
+//! winograd convolution, centred on the accuracy cliff.
+//!
+//! Unlike the idealized `ProtectionPlan` experiments, the range and ABFT
+//! rows *execute* their protection — checksums are computed, mismatches are
+//! located, corrected or recomputed, out-of-range values are clipped — and
+//! the overhead column is the measured extra arithmetic, not a cost model.
+//!
+//! Run with `cargo run --release --example protection_tradeoff`.
+
+use winograd_ft::abft::AbftPolicy;
+use winograd_ft::core::{CampaignConfig, FaultToleranceCampaign};
+use winograd_ft::faultsim::ProtectionPlan;
+use winograd_ft::fixedpoint::BitWidth;
+use winograd_ft::nn::models::ModelKind;
+use winograd_ft::winograd::ConvAlgorithm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W16)
+        .with_cache_dir("target/wgft-models");
+    let campaign = FaultToleranceCampaign::prepare(&config)?;
+    let wg = ConvAlgorithm::winograd_default();
+
+    // Centre the frontier on the cliff: the unprotected breaking point and
+    // the (higher) rate the ABFT-protected network survives to.
+    let unprotected_cliff = campaign.find_critical_ber(wg, 0.5);
+    let protected_cliff = campaign.find_critical_ber_under(
+        wg,
+        0.5,
+        &ProtectionPlan::none(),
+        Some(&AbftPolicy::checksum()),
+    );
+    println!(
+        "unprotected WG-Conv cliff at BER {unprotected_cliff:.2e}, \
+         ABFT-protected cliff at BER {protected_cliff:.2e}\n"
+    );
+
+    let bers = [unprotected_cliff / 4.0, unprotected_cliff, protected_cliff];
+    let report = campaign.protection_tradeoff(&bers);
+    println!("{report}");
+    Ok(())
+}

@@ -4,6 +4,8 @@
 //! A Perspective from Fault Tolerance"* (DAC 2022) under one roof so that
 //! examples and downstream users can depend on a single crate:
 //!
+//! * [`abft`] — executable algorithm-based fault tolerance (checksummed
+//!   GEMMs, transform guards, range restriction),
 //! * [`fixedpoint`] — Q-format fixed-point arithmetic,
 //! * [`tensor`] — dense NCHW tensors and im2col,
 //! * [`faultsim`] — operation-level and neuron-level fault injection,
@@ -36,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use wgft_abft as abft;
 pub use wgft_accel as accel;
 pub use wgft_core as core;
 pub use wgft_data as data;
