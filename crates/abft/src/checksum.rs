@@ -69,9 +69,16 @@ type Mismatches<T> = (Vec<(usize, T)>, Vec<(usize, T)>);
 
 /// Exact (hardened) checksum state of one `m×k · k×p` product, with every
 /// checksum operation charged to the overhead tally.
+///
+/// All checksum sums accumulate in `i128`: a row checksum is a sum of `K·P`
+/// products of worst-case accumulator-domain magnitudes, which can exceed
+/// `i64` even when every individual product element fits (e.g. winograd
+/// accumulators near `2⁵⁶` summed over a few hundred tiles) — in a debug
+/// build the old `i64` accumulation panicked on overflow, in release it
+/// wrapped and could silently mask or invent detections.
 struct GemmChecksums {
-    exp_row: Vec<i64>,
-    exp_col: Vec<i64>,
+    exp_row: Vec<i128>,
+    exp_col: Vec<i128>,
 }
 
 impl GemmChecksums {
@@ -84,31 +91,31 @@ impl GemmChecksums {
         events: &mut AbftEvents,
     ) -> Self {
         // e^T A — column checksums of A.
-        let mut col_a = vec![0i64; k];
+        let mut col_a = vec![0i128; k];
         for o in 0..m {
             for (q, ca) in col_a.iter_mut().enumerate() {
-                *ca += a[o * k + q];
+                *ca += i128::from(a[o * k + q]);
             }
         }
         // B e — row sums of B.
-        let mut row_b = vec![0i64; k];
+        let mut row_b = vec![0i128; k];
         for (q, rb) in row_b.iter_mut().enumerate() {
             for j in 0..p {
-                *rb += b[q * p + j];
+                *rb += i128::from(b[q * p + j]);
             }
         }
         // Expected row sums: A · (B e).
-        let mut exp_row = vec![0i64; m];
+        let mut exp_row = vec![0i128; m];
         for (o, er) in exp_row.iter_mut().enumerate() {
             for (q, &rb) in row_b.iter().enumerate() {
-                *er += a[o * k + q] * rb;
+                *er += i128::from(a[o * k + q]) * rb;
             }
         }
         // Expected column sums: (e^T A) · B.
-        let mut exp_col = vec![0i64; p];
+        let mut exp_col = vec![0i128; p];
         for (q, &ca) in col_a.iter().enumerate() {
             for (j, ec) in exp_col.iter_mut().enumerate() {
-                *ec += ca * b[q * p + j];
+                *ec += ca * i128::from(b[q * p + j]);
             }
         }
         let (m64, k64, p64) = (m as u64, k as u64, p as u64);
@@ -132,19 +139,19 @@ impl GemmChecksums {
         m: usize,
         p: usize,
         events: &mut AbftEvents,
-    ) -> Mismatches<i64> {
+    ) -> Mismatches<i128> {
         let mut bad_rows = Vec::new();
         for (o, &exp) in self.exp_row.iter().enumerate() {
-            let actual: i64 = out[o * p..(o + 1) * p].iter().sum();
+            let actual: i128 = out[o * p..(o + 1) * p].iter().map(|&v| i128::from(v)).sum();
             if actual != exp {
                 bad_rows.push((o, exp - actual));
             }
         }
         let mut bad_cols = Vec::new();
         for (j, &exp) in self.exp_col.iter().enumerate() {
-            let mut actual = 0i64;
+            let mut actual = 0i128;
             for o in 0..m {
-                actual += out[o * p + j];
+                actual += i128::from(out[o * p + j]);
             }
             if actual != exp {
                 bad_cols.push((j, exp - actual));
@@ -157,17 +164,22 @@ impl GemmChecksums {
 }
 
 /// Try to repair `out` from a mismatch signature; returns `true` when the
-/// signature names exactly one element and the two deltas agree.
+/// signature names exactly one element, the two deltas agree and the
+/// repaired value fits the accumulator domain (a delta that would push the
+/// element out of `i64` cannot come from a single corrupted element, so it
+/// falls through to the recompute path instead).
 fn correct_single(
     out: &mut [i64],
     p: usize,
-    bad_rows: &[(usize, i64)],
-    bad_cols: &[(usize, i64)],
+    bad_rows: &[(usize, i128)],
+    bad_cols: &[(usize, i128)],
 ) -> bool {
     if let ([(o, dr)], [(j, dc)]) = (bad_rows, bad_cols) {
         if dr == dc {
-            out[o * p + j] += dr;
-            return true;
+            if let Ok(fixed) = i64::try_from(i128::from(out[o * p + j]) + dr) {
+                out[o * p + j] = fixed;
+                return true;
+            }
         }
     }
     false
@@ -253,21 +265,27 @@ fn checked_gemv_verify<A: Arithmetic>(
     recompute_on_detect: bool,
     events: &mut AbftEvents,
 ) {
-    let expected = |events: &mut AbftEvents| -> i64 {
-        let mut col_a = vec![0i64; k];
+    // `i128` accumulation for the same reason as `GemmChecksums`: the single
+    // column checksum sums K·M products of worst-case magnitudes.
+    let expected = |events: &mut AbftEvents| -> i128 {
+        let mut col_a = vec![0i128; k];
         for o in 0..m {
             for (q, ca) in col_a.iter_mut().enumerate() {
-                *ca += a[o * k + q];
+                *ca += i128::from(a[o * k + q]);
             }
         }
-        let exp: i64 = col_a.iter().zip(b.iter()).map(|(&ca, &bv)| ca * bv).sum();
+        let exp: i128 = col_a
+            .iter()
+            .zip(b.iter())
+            .map(|(&ca, &bv)| ca * i128::from(bv))
+            .sum();
         let (m64, k64) = (m as u64, k as u64);
         events.charge(k64, k64 * m64.saturating_sub(1) + k64.saturating_sub(1));
         exp
     };
-    let actual = |out: &[i64], events: &mut AbftEvents| -> i64 {
+    let actual = |out: &[i64], events: &mut AbftEvents| -> i128 {
         events.charge(0, (m as u64).saturating_sub(1));
-        out.iter().sum()
+        out.iter().map(|&v| i128::from(v)).sum()
     };
     let exp = expected(events);
     if actual(out, events) == exp {
@@ -571,6 +589,84 @@ mod tests {
         );
     }
 
+    /// The i128-accumulation regression: checksum sums over K·M / K·P
+    /// products of extreme accumulator-domain magnitudes exceed `i64` even
+    /// though every product element fits. The old `i64` accumulation
+    /// panicked here in debug builds (and wrapped in release); with `i128`
+    /// the clean product verifies quietly and a single injected error is
+    /// still located and corrected exactly.
+    #[test]
+    fn checksums_survive_extreme_magnitudes_without_overflow() {
+        // Every product element ≈ 2·2^60 fits i64, but a row checksum sums
+        // p = 4 of them (≈ 2^63) and the expected-row accumulation sums
+        // k·A·B terms of the same size — both beyond i64.
+        let (m, k, p) = (3usize, 2usize, 4usize);
+        let big = 1i64 << 30;
+        let a: Vec<i64> = (0..m * k).map(|i| big + i as i64).collect();
+        let b: Vec<i64> = (0..k * p).map(|i| big - i as i64 * 13).collect();
+        let truth = reference(&a, &b, m, k, p);
+        assert!(
+            truth.iter().all(|&v| v > 1i64 << 60),
+            "fixture must exercise near-full accumulators"
+        );
+
+        // Clean pass: no detections, no corrections.
+        let mut arith = ExactArithmetic::new();
+        let mut out = vec![0i64; m * p];
+        let mut events = AbftEvents::new();
+        checked_gemm_i64(&mut arith, &a, &b, &mut out, m, k, p, true, &mut events);
+        assert_eq!(out, truth);
+        assert_eq!(events.detected, 0, "extreme magnitudes must not overflow");
+
+        // A single injected error at extreme magnitude is repaired exactly.
+        for victim in [0usize, m * p - 1] {
+            let mut corrupted = truth.clone();
+            corrupted[victim] ^= 1 << 37;
+            let sums = GemmChecksums::prepare(&a, &b, m, k, p, &mut AbftEvents::new());
+            let (bad_rows, bad_cols) = sums.mismatches(&corrupted, m, p, &mut AbftEvents::new());
+            assert!(correct_single(&mut corrupted, p, &bad_rows, &bad_cols));
+            assert_eq!(corrupted, truth, "victim {victim} must repair exactly");
+        }
+
+        // The GEMV invariant survives large K at extreme Q-format values:
+        // each output fits (700 · 2^52 ≈ 2^61.5) but the column checksum
+        // sums k·m ≈ 2^18.7 products of ~2^52 — beyond i64.
+        let (m, k) = (600usize, 700usize);
+        let a: Vec<i64> = (0..m * k).map(|i| (1i64 << 40) - (i as i64 % 97)).collect();
+        let bvec: Vec<i64> = (0..k).map(|i| (1i64 << 12) + i as i64 % 31).collect();
+        let mut out = vec![0i64; m];
+        let mut arith = ExactArithmetic::new();
+        let mut events = AbftEvents::new();
+        checked_gemm_i64(&mut arith, &a, &bvec, &mut out, m, k, 1, true, &mut events);
+        assert_eq!(out, reference(&a, &bvec, m, k, 1));
+        assert_eq!(events.detected, 0);
+        // And still detects a flip at those magnitudes.
+        out[17] ^= 1 << 50;
+        let mut arith = ExactArithmetic::new();
+        let mut events = AbftEvents::new();
+        checked_gemv_verify(&mut arith, &a, &bvec, &mut out, m, k, true, &mut events);
+        assert_eq!(events.detected, 1);
+        assert_eq!(events.corrected, 1, "recompute on exact arithmetic repairs");
+        assert_eq!(out, reference(&a, &bvec, m, k, 1));
+    }
+
+    /// A delta that would push the repaired element outside `i64` cannot be
+    /// a single corrupted element; the repair must refuse it (and recompute)
+    /// instead of wrapping.
+    #[test]
+    fn out_of_domain_repair_delta_is_refused() {
+        let (m, k, p) = (3usize, 2usize, 4usize);
+        let (a, b) = fixture(m, k, p);
+        let truth = reference(&a, &b, m, k, p);
+        // Fabricate a mismatch signature whose delta overflows the element.
+        let bad_rows = [(1usize, i128::from(i64::MAX))];
+        let bad_cols = [(2usize, i128::from(i64::MAX))];
+        let mut out = truth.clone();
+        out[p + 2] = i64::MAX - 5;
+        assert!(!correct_single(&mut out, p, &bad_rows, &bad_cols));
+        assert_eq!(out[p + 2], i64::MAX - 5, "no partial repair");
+    }
+
     #[test]
     fn f32_verification_never_false_positives_on_clean_products() {
         // The BER-0 half of the acceptance criterion: across sizes and value
@@ -599,6 +695,84 @@ mod tests {
                 assert_eq!(events.corrected + events.uncorrected, 0);
             }
         }
+    }
+
+    /// Degenerate value ranges — all-zero operands, constant-valued
+    /// operands, an all-zero row inside an otherwise live GEMM — collapse
+    /// the value-range-derived tolerance to (near) zero. That zero-width
+    /// tolerance must neither flag fault-free products (the invariant holds
+    /// *exactly* when no rounding is possible) nor miss real flips (any
+    /// nonzero deviation from an exact-zero expectation is a fault).
+    #[test]
+    fn f32_degenerate_ranges_neither_false_positive_nor_miss_flips() {
+        let (m, k, p) = (4usize, 8usize, 6usize);
+
+        // All-zero operands: zero-width range everywhere.
+        let a = vec![0f32; m * k];
+        let b = vec![0f32; k * p];
+        let mut out = vec![0f32; m * p];
+        wgft_tensor::gemm_f32(&a, &b, &mut out, m, k, p);
+        let mut events = AbftEvents::new();
+        verify_gemm_f32(&a, &b, &mut out, m, k, p, true, &mut events);
+        assert_eq!(events.detected, 0, "all-zero GEMM must verify quietly");
+        // A flip of an exactly-zero product element — even one landing on a
+        // tiny denormal — must be detected and repaired to zero.
+        for bit in [27u32, 30, 10] {
+            let mut corrupted = vec![0f32; m * p];
+            let victim = 2 * p + 3;
+            corrupted[victim] = f32::from_bits(corrupted[victim].to_bits() ^ (1 << bit));
+            let mut events = AbftEvents::new();
+            verify_gemm_f32(&a, &b, &mut corrupted, m, k, p, true, &mut events);
+            assert_eq!(events.detected, 1, "bit {bit}: flip in a zero GEMM");
+            assert_eq!(events.corrected, 1);
+            assert_eq!(corrupted[victim], 0.0, "bit {bit}: repaired to zero");
+        }
+
+        // Constant-valued operands (constant layer output): the checksums
+        // are exact multiples, rounding is still covered by the bound.
+        let a = vec![0.1f32; m * k];
+        let b = vec![-0.3f32; k * p];
+        let mut out = vec![0f32; m * p];
+        wgft_tensor::gemm_f32(&a, &b, &mut out, m, k, p);
+        let mut events = AbftEvents::new();
+        verify_gemm_f32(&a, &b, &mut out, m, k, p, true, &mut events);
+        assert_eq!(events.detected, 0, "constant GEMM must verify quietly");
+        let mut corrupted = out.clone();
+        corrupted[5] = f32::from_bits(corrupted[5].to_bits() ^ (1 << 28));
+        let mut events = AbftEvents::new();
+        verify_gemm_f32(&a, &b, &mut corrupted, m, k, p, true, &mut events);
+        assert_eq!(events.detected, 1);
+        assert!(events.corrected >= 1);
+        // Delta-based repair restores the value to within float rounding
+        // (the documented contract of the f32 repair path).
+        for (i, (got, want)) in corrupted.iter().zip(out.iter()).enumerate() {
+            assert!(
+                (got - want).abs() <= 1e-6 * want.abs().max(1.0),
+                "element {i}: {got} vs {want}"
+            );
+        }
+
+        // A zero row inside an otherwise live GEMM: that row's tolerance is
+        // exactly zero while its neighbours' is not.
+        let mut a: Vec<f32> = (0..m * k)
+            .map(|i| ((i * 13 % 29) as f32) * 0.21 - 2.9)
+            .collect();
+        a[k..2 * k].fill(0.0); // row 1 of `a` is dead
+        let b: Vec<f32> = (0..k * p)
+            .map(|i| ((i * 7 % 31) as f32) * 0.17 - 2.5)
+            .collect();
+        let mut out = vec![0f32; m * p];
+        wgft_tensor::gemm_f32(&a, &b, &mut out, m, k, p);
+        assert!(out[p..2 * p].iter().all(|&v| v == 0.0));
+        let mut events = AbftEvents::new();
+        verify_gemm_f32(&a, &b, &mut out, m, k, p, true, &mut events);
+        assert_eq!(events.detected, 0, "dead row must not false-positive");
+        let mut corrupted = out.clone();
+        corrupted[p + 2] = f32::from_bits(corrupted[p + 2].to_bits() ^ (1 << 26));
+        let mut events = AbftEvents::new();
+        verify_gemm_f32(&a, &b, &mut corrupted, m, k, p, true, &mut events);
+        assert_eq!(events.detected, 1, "flip in the dead row is a fault");
+        assert_eq!(corrupted[p + 2], 0.0, "repaired back to exact zero");
     }
 
     /// Two errors aliasing as one (one large flip plus a second, sub-column-

@@ -186,7 +186,13 @@ fn clip_slice(values: &mut [i64], bound: i64, events: &mut AbftEvents) {
     events.charge(0, values.len() as u64);
 }
 
-fn observe_max(values: &[i64]) -> i64 {
+/// Max |value| of a slice of accumulator-domain words, saturating at
+/// `i64::MAX` — the observation the calibration recorders fold into
+/// [`LayerRanges`]. Public so the fast uninstrumented calibration pass
+/// (`QuantizedNetwork::calibrate_abft`) observes *exactly* the same
+/// quantity as the instrumented recorders here.
+#[must_use]
+pub fn observe_max(values: &[i64]) -> i64 {
     values
         .iter()
         .map(|v| v.unsigned_abs().min(i64::MAX as u64) as i64)
@@ -471,38 +477,14 @@ pub fn abft_direct_conv<A: Arithmetic>(
         });
     }
     arith.begin_layer(layer);
-    let (out_h, out_w) = (g.out_h(), g.out_w());
-    let p = out_h * out_w;
+    let p = g.out_pixels();
     let o = shape.out_channels;
     let kdim = shape.in_channels * g.k_h * g.k_w;
-    let pad = g.padding as isize;
     resize(&mut scratch.a_mat, o * kdim);
     for (dst, &w) in scratch.a_mat.iter_mut().zip(weights.iter()) {
         *dst = i64::from(w);
     }
-    resize(&mut scratch.im2col, kdim * p);
-    for ic in 0..shape.in_channels {
-        for ky in 0..g.k_h {
-            for kx in 0..g.k_w {
-                let row = (ic * g.k_h + ky) * g.k_w + kx;
-                for oy in 0..out_h {
-                    let iy = (oy * g.stride + ky) as isize - pad;
-                    for ox in 0..out_w {
-                        let ix = (ox * g.stride + kx) as isize - pad;
-                        scratch.im2col[row * p + oy * out_w + ox] = if iy >= 0
-                            && ix >= 0
-                            && (iy as usize) < g.in_h
-                            && (ix as usize) < g.in_w
-                        {
-                            i64::from(input[(ic * g.in_h + iy as usize) * g.in_w + ix as usize])
-                        } else {
-                            0
-                        };
-                    }
-                }
-            }
-        }
-    }
+    wgft_tensor::im2col_quantized(input, shape.in_channels, g, &mut scratch.im2col);
     let mut output = vec![0i64; shape.output_len()];
     if run.mode.checks() {
         checked_gemm_i64(

@@ -46,7 +46,9 @@ mod engine;
 mod policy;
 
 pub use checksum::{checked_gemm_i64, plain_gemm_i64, verify_gemm_f32, MAX_RECOMPUTES};
-pub use engine::{abft_direct_conv, abft_linear, abft_winograd_conv, AbftRun, AbftScratch};
+pub use engine::{
+    abft_direct_conv, abft_linear, abft_winograd_conv, observe_max, AbftRun, AbftScratch,
+};
 pub use policy::{AbftCalibration, AbftEvents, AbftMode, AbftPolicy, LayerRanges};
 
 use wgft_faultsim::GemmFaultInjector;

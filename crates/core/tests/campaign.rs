@@ -491,3 +491,77 @@ fn parallel_accuracy_is_bit_identical_to_serial() {
         assert_eq!(parallel.to_bits(), again.to_bits());
     }
 }
+
+/// The fast-path routing regression: at BER 0 every span routes onto the
+/// uninstrumented quantized path, which must reproduce the instrumented
+/// execution **bit for bit** — the guarantee that keeps clean baselines,
+/// BER=0 sweep cells and resumed journal manifests identical to pre-routing
+/// runs, for both injection granularities and both algorithms.
+#[test]
+fn zero_ber_fast_routing_is_bit_identical_to_instrumented_evaluation() {
+    use wgft_faultsim::{FaultConfig, FaultyArithmetic, NeuronLevelInjector};
+
+    let campaign = campaign();
+    let protection = ProtectionPlan::none();
+    for algo in [ConvAlgorithm::Standard, ConvAlgorithm::winograd_default()] {
+        // Instrumented reference: the exact code the op-level span ran
+        // before fault-free work was routed onto the fast path.
+        let mut correct = 0usize;
+        for (i, sample) in campaign.eval_set().iter().enumerate() {
+            let config = FaultConfig {
+                ber: BitErrorRate::ZERO,
+                width: campaign.config().width,
+                model: campaign.config().fault_model,
+                protection: protection.clone(),
+            };
+            let seed = campaign.config().base_seed.wrapping_add(1 + i as u64);
+            let mut arith = FaultyArithmetic::new(config, seed);
+            let predicted = campaign
+                .quantized()
+                .classify(&sample.image, &mut arith, algo)
+                .unwrap_or(usize::MAX);
+            if predicted == sample.label {
+                correct += 1;
+            }
+        }
+
+        let routed = campaign.correct_op_level(
+            algo,
+            BitErrorRate::ZERO,
+            &protection,
+            0,
+            campaign.eval_set().len(),
+        );
+        assert_eq!(routed, correct, "{algo:?}: op-level BER-0 routing diverged");
+        let accuracy = campaign.accuracy_under(algo, BitErrorRate::ZERO, &protection);
+        let expect = correct as f64 / campaign.eval_set().len().max(1) as f64;
+        assert_eq!(accuracy.to_bits(), expect.to_bits());
+
+        // Neuron-level reference: a zero-rate injector never flips.
+        let mut neuron_correct = 0usize;
+        for (i, sample) in campaign.eval_set().iter().enumerate() {
+            let seed = campaign.config().base_seed.wrapping_add(0x9000 + i as u64);
+            let mut injector =
+                NeuronLevelInjector::new(BitErrorRate::ZERO, campaign.config().width, seed);
+            let predicted = campaign
+                .quantized()
+                .forward_with_neuron_faults(&sample.image, &mut injector, algo)
+                .map_or(usize::MAX, |logits| {
+                    if logits.is_empty() {
+                        usize::MAX
+                    } else {
+                        wgft_data::argmax(&logits)
+                    }
+                });
+            if predicted == sample.label {
+                neuron_correct += 1;
+            }
+        }
+        let routed_neuron =
+            campaign.correct_neuron_level(algo, BitErrorRate::ZERO, 0, campaign.eval_set().len());
+        assert_eq!(
+            routed_neuron, neuron_correct,
+            "{algo:?}: neuron-level BER-0 routing diverged"
+        );
+    }
+}

@@ -14,16 +14,17 @@
 use crate::{InputRef, Layer, Network, NnError};
 use serde::{Deserialize, Serialize};
 use wgft_abft::{
-    abft_direct_conv, abft_linear, abft_winograd_conv, AbftCalibration, AbftEvents, AbftMode,
-    AbftPolicy, AbftRun, AbftScratch,
+    abft_direct_conv, abft_linear, abft_winograd_conv, observe_max, AbftCalibration, AbftEvents,
+    AbftMode, AbftPolicy, AbftRun, AbftScratch,
 };
 use wgft_data::argmax;
 use wgft_faultsim::{Arithmetic, ExactArithmetic, NeuronLevelInjector, OpCount};
 use wgft_fixedpoint::{BitWidth, QFormat, Quantizer};
-use wgft_tensor::Tensor;
+use wgft_tensor::{gemm_i32, im2col_quantized, Tensor};
 use wgft_winograd::{
     direct_conv_quantized, transform_weights_f32, winograd_conv_quantized_with_scratch,
-    ConvAlgorithm, ConvOpModel, ConvShape, WinogradScratch, WinogradVariant, WinogradWeights,
+    ConvAlgorithm, ConvOpModel, ConvShape, PreparedConvQuantizedFast, QuantizedRangeRecord,
+    WinogradScratch, WinogradVariant, WinogradWeights,
 };
 
 /// Options controlling the float → fixed-point conversion.
@@ -150,6 +151,26 @@ impl QNode {
             }
         })
     }
+}
+
+/// Prepared per-network state for the **fast uninstrumented** forward pass
+/// ([`QuantizedNetwork::forward_fast`]): cached
+/// [`PreparedConvQuantizedFast`] plans for every winograd-capable
+/// convolution node plus reusable im2col / accumulator scratch, so repeated
+/// fault-free inferences allocate nothing per image.
+///
+/// Obtain one from [`QuantizedNetwork::prepare_fast`]; it is only valid for
+/// the network that prepared it. Cloning gives an independent scratch for
+/// another worker thread.
+#[derive(Debug, Clone)]
+pub struct FastInference {
+    /// Node index → prepared fast winograd plan (3x3 unit-stride conv nodes
+    /// with winograd weights only).
+    wino: Vec<Option<PreparedConvQuantizedFast>>,
+    /// im2col patch matrix scratch for fast direct convolution, `(C·k², P)`.
+    im2col: Vec<i32>,
+    /// Wide-accumulator scratch shared by all compute layers.
+    acc: Vec<i64>,
 }
 
 /// A fixed-point network ready for instrumented inference.
@@ -439,6 +460,201 @@ impl QuantizedNetwork {
         ))
     }
 
+    /// Prepare the cached plans and scratch of the fast uninstrumented
+    /// forward pass ([`QuantizedNetwork::forward_fast`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`NnError`] if a winograd-capable layer's cached weights
+    /// are inconsistent with its shape (cannot happen for a network built by
+    /// [`QuantizedNetwork::from_network`]).
+    pub fn prepare_fast(&self) -> Result<FastInference, NnError> {
+        let mut wino = Vec::with_capacity(self.nodes.len());
+        for node in &self.nodes {
+            wino.push(match &node.op {
+                QOp::Conv {
+                    shape,
+                    winograd: Some(w),
+                    ..
+                } if shape.geometry.is_unit_stride_3x3() => {
+                    Some(PreparedConvQuantizedFast::new(w, shape)?)
+                }
+                _ => None,
+            });
+        }
+        Ok(FastInference {
+            wino,
+            im2col: Vec::new(),
+            acc: Vec::new(),
+        })
+    }
+
+    /// Run **fault-free** inference on the fast uninstrumented path and
+    /// return the dequantized logits.
+    ///
+    /// Convolution layers execute through [`PreparedConvQuantizedFast`]
+    /// (winograd) or an im2col [`gemm_i32`] factorization (standard /
+    /// non-winograd geometries); fully-connected layers run plain widening
+    /// dot products. No [`Arithmetic`] backend is involved, so nothing can
+    /// be injected — which is exactly why this path may only stand in for
+    /// the instrumented one at BER 0.
+    ///
+    /// The logits are **bit-identical** to
+    /// [`QuantizedNetwork::forward`] over [`ExactArithmetic`] (integer
+    /// kernels are exact; the activation/pooling/join semantics are the
+    /// literal same code) — the tested guarantee that lets campaign clean
+    /// baselines, BER=0 sweep cells and ABFT calibration route here without
+    /// changing a single journaled result.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::forward`].
+    pub fn forward_fast(
+        &self,
+        image: &Tensor,
+        algo: ConvAlgorithm,
+        fast: &mut FastInference,
+    ) -> Result<Vec<f32>, NnError> {
+        self.forward_fast_internal(image, algo, fast, None)
+    }
+
+    /// [`QuantizedNetwork::forward_fast`] returning the predicted class.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::forward`].
+    pub fn classify_fast(
+        &self,
+        image: &Tensor,
+        algo: ConvAlgorithm,
+        fast: &mut FastInference,
+    ) -> Result<usize, NnError> {
+        Ok(argmax(&self.forward_fast(image, algo, fast)?))
+    }
+
+    fn forward_fast_internal(
+        &self,
+        image: &Tensor,
+        algo: ConvAlgorithm,
+        fast: &mut FastInference,
+        mut record: Option<&mut AbftCalibration>,
+    ) -> Result<Vec<f32>, NnError> {
+        let FastInference { wino, im2col, acc } = fast;
+        let image_q = self.input_format.quantize_slice(image.data());
+        let mut outputs: Vec<(Vec<i32>, QFormat)> = Vec::with_capacity(self.nodes.len());
+        for (node_idx, node) in self.nodes.iter().enumerate() {
+            let gather = |r: &InputRef| -> (&[i32], QFormat) {
+                match r {
+                    InputRef::Image => (&image_q, self.input_format),
+                    InputRef::Node(n) => (&outputs[*n].0, outputs[*n].1),
+                }
+            };
+            let produced: (Vec<i32>, QFormat) = match &node.op {
+                QOp::Conv {
+                    shape,
+                    weights,
+                    weight_frac,
+                    winograd,
+                    winograd_frac,
+                    bias,
+                    layer_id,
+                } => {
+                    let (input, in_format) = gather(&node.inputs[0]);
+                    let use_winograd = matches!(algo, ConvAlgorithm::Winograd(_))
+                        && winograd.is_some()
+                        && shape.geometry.is_unit_stride_3x3();
+                    let out_len = shape.output_len();
+                    resize_acc(acc, out_len);
+                    if input.len() != shape.input_len() {
+                        // The winograd arm validates inside `execute_into`;
+                        // this keeps the direct arm on the same "# Errors"
+                        // contract as the instrumented forward instead of
+                        // panicking inside the im2col indexing.
+                        return Err(wgft_winograd::WinogradError::BufferSizeMismatch {
+                            what: "input",
+                            expected: shape.input_len(),
+                            actual: input.len(),
+                        }
+                        .into());
+                    }
+                    let acc_frac = if use_winograd {
+                        let plan = wino[node_idx]
+                            .as_mut()
+                            .expect("prepare_fast plans every winograd-capable node");
+                        if let Some(cal) = record.as_deref_mut() {
+                            let mut ranges = QuantizedRangeRecord::new();
+                            plan.execute_into_recording(input, &mut acc[..out_len], &mut ranges)?;
+                            let layer = cal.layer_mut(*layer_id);
+                            layer.v_max = layer.v_max.max(ranges.v_max);
+                            layer.gemm_max = layer.gemm_max.max(ranges.gemm_max);
+                        } else {
+                            plan.execute_into(input, &mut acc[..out_len])?;
+                        }
+                        in_format.frac_bits() + winograd_frac
+                    } else {
+                        fast_direct_conv(input, weights, shape, im2col, &mut acc[..out_len]);
+                        in_format.frac_bits() + weight_frac
+                    };
+                    if let Some(cal) = record.as_deref_mut() {
+                        let layer = cal.layer_mut(*layer_id);
+                        layer.acc_max = layer.acc_max.max(observe_max(&acc[..out_len]));
+                    }
+                    let raw = requantize_with_bias(
+                        &acc[..out_len],
+                        acc_frac,
+                        bias,
+                        shape.geometry.out_pixels(),
+                        node.out_format,
+                    );
+                    (raw, node.out_format)
+                }
+                QOp::Linear {
+                    in_features,
+                    out_features,
+                    weights,
+                    weight_frac,
+                    bias,
+                    layer_id,
+                } => {
+                    let (input, in_format) = gather(&node.inputs[0]);
+                    if input.len() != *in_features {
+                        return Err(NnError::WrongInputCount {
+                            layer: "quantized linear",
+                            expected: *in_features,
+                            actual: input.len(),
+                        });
+                    }
+                    resize_acc(acc, *out_features);
+                    for (o, acc_v) in acc[..*out_features].iter_mut().enumerate() {
+                        let row = &weights[o * in_features..(o + 1) * in_features];
+                        let mut sum = 0i64;
+                        for (&w, &x) in row.iter().zip(input.iter()) {
+                            sum += i64::from(x) * i64::from(w);
+                        }
+                        *acc_v = sum;
+                    }
+                    if let Some(cal) = record.as_deref_mut() {
+                        let layer = cal.layer_mut(*layer_id);
+                        layer.acc_max = layer.acc_max.max(observe_max(&acc[..*out_features]));
+                    }
+                    let acc_frac = in_format.frac_bits() + weight_frac;
+                    let raw: Vec<i32> = acc[..*out_features]
+                        .iter()
+                        .enumerate()
+                        .map(|(o, &a)| requantize_linear_acc(a, bias[o], acc_frac, node.out_format))
+                        .collect();
+                    (raw, node.out_format)
+                }
+                _ => node
+                    .forward_simple(gather)
+                    .expect("non-compute ops handled by forward_simple"),
+            };
+            outputs.push(produced);
+        }
+        let (raw, format) = outputs.last().ok_or(NnError::EmptyNetwork)?;
+        Ok(raw.iter().map(|&v| format.dequantize(v)).collect())
+    }
+
     /// Run inference with a *neuron-level* injector corrupting every compute
     /// layer's output values (the TensorFI/PyTorchFI-style baseline of
     /// Figure 1). The arithmetic itself is exact.
@@ -548,10 +764,39 @@ impl QuantizedNetwork {
     /// GEMM products, output accumulators) over a set of calibration images
     /// — the bounds range restriction clips against.
     ///
+    /// Calibration is inherently fault-free, so it runs on the fast
+    /// uninstrumented path ([`QuantizedNetwork::forward_fast`]) with a range
+    /// recorder attached; the resulting [`AbftCalibration`] is identical to
+    /// the instrumented reference pass
+    /// ([`QuantizedNetwork::calibrate_abft_instrumented`]) because both
+    /// observe the same exact integer values — tested.
+    ///
     /// # Errors
     ///
     /// Same as [`QuantizedNetwork::forward`].
     pub fn calibrate_abft(
+        &self,
+        images: &[Tensor],
+        algo: ConvAlgorithm,
+    ) -> Result<AbftCalibration, NnError> {
+        let mut calibration = AbftCalibration::new(self.compute_layers);
+        let mut fast = self.prepare_fast()?;
+        for image in images {
+            self.forward_fast_internal(image, algo, &mut fast, Some(&mut calibration))?;
+        }
+        Ok(calibration)
+    }
+
+    /// The instrumented reference implementation of
+    /// [`QuantizedNetwork::calibrate_abft`]: a fault-free pass through the
+    /// protected executors with their range recorders attached. Kept (and
+    /// tested) as the ground truth the fast calibration must reproduce
+    /// exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::forward`].
+    pub fn calibrate_abft_instrumented(
         &self,
         images: &[Tensor],
         algo: ConvAlgorithm,
@@ -696,12 +941,7 @@ impl QuantizedNetwork {
                     let raw: Vec<i32> = acc
                         .iter()
                         .enumerate()
-                        .map(|(o, &a)| {
-                            let bias_acc =
-                                (f64::from(bias[o]) * (1u64 << acc_frac) as f64).round() as i64;
-                            node.out_format
-                                .requantize_accumulator(a + bias_acc, acc_frac)
-                        })
+                        .map(|(o, &a)| requantize_linear_acc(a, bias[o], acc_frac, node.out_format))
                         .collect();
                     (raw, node.out_format)
                 }
@@ -814,12 +1054,12 @@ impl QuantizedNetwork {
                             let product = arith.mul(i64::from(x), i64::from(w));
                             acc = arith.add(acc, product);
                         }
-                        let bias_acc =
-                            (f64::from(bias[o]) * (1u64 << acc_frac) as f64).round() as i64;
-                        raw.push(
-                            node.out_format
-                                .requantize_accumulator(acc + bias_acc, acc_frac),
-                        );
+                        raw.push(requantize_linear_acc(
+                            acc,
+                            bias[o],
+                            acc_frac,
+                            node.out_format,
+                        ));
                     }
                     if let Some(injector) = neuron_injector.as_deref_mut() {
                         let ops = &standard_counts[*layer_id];
@@ -838,6 +1078,41 @@ impl QuantizedNetwork {
         let (raw, format) = outputs.last().ok_or(NnError::EmptyNetwork)?;
         Ok(raw.iter().map(|&v| format.dequantize(v)).collect())
     }
+}
+
+/// Grow-and-clear the shared accumulator scratch for one layer.
+fn resize_acc(acc: &mut Vec<i64>, len: usize) {
+    acc.clear();
+    acc.resize(len, 0);
+}
+
+/// Fast uninstrumented direct convolution: the im2col factorization —
+/// weights `(O × C·k²)` times patches `(C·k² × P)` — through the blocked
+/// [`gemm_i32`] microkernel. Padding taps multiply zeros instead of being
+/// skipped, so the accumulators are *bit-identical* to
+/// [`direct_conv_quantized`] over exact arithmetic (zero products contribute
+/// nothing to exact integer sums).
+fn fast_direct_conv(
+    input: &[i32],
+    weights: &[i32],
+    shape: &ConvShape,
+    im2col: &mut Vec<i32>,
+    acc: &mut [i64],
+) {
+    let g = &shape.geometry;
+    let p = g.out_pixels();
+    let kdim = shape.in_channels * g.k_h * g.k_w;
+    im2col_quantized(input, shape.in_channels, g, im2col);
+    gemm_i32(weights, im2col, acc, shape.out_channels, kdim, p);
+}
+
+/// Requantize one fully-connected accumulator, adding its bias in the
+/// accumulator domain — the single copy of the bias-rounding expression all
+/// three linear paths (instrumented, protected, fast) share, so the tested
+/// bit-identity between them cannot drift.
+fn requantize_linear_acc(acc: i64, bias: f32, acc_frac: u32, out_format: QFormat) -> i32 {
+    let bias_acc = (f64::from(bias) * (1u64 << acc_frac) as f64).round() as i64;
+    out_format.requantize_accumulator(acc + bias_acc, acc_frac)
 }
 
 /// Requantize a conv accumulator buffer, adding the per-channel bias in the
@@ -1118,6 +1393,95 @@ mod tests {
             clean, corrupted,
             "heavy neuron corruption must perturb the logits"
         );
+    }
+
+    /// The tentpole guarantee at network level: the fast uninstrumented
+    /// forward pass must produce **bit-identical** logits to the
+    /// instrumented forward pass on exact arithmetic, for both algorithms
+    /// and both storage widths, across the evaluation set.
+    #[test]
+    fn fast_forward_is_bit_identical_to_instrumented_forward() {
+        let (mut net, data, _) = trained_tiny();
+        let calibration: Vec<Tensor> = data
+            .samples()
+            .iter()
+            .take(8)
+            .map(|s| s.image.clone())
+            .collect();
+        for width in [BitWidth::W8, BitWidth::W16] {
+            let qnet = QuantizedNetwork::from_network(
+                &mut net,
+                &calibration,
+                QuantizerOptions::new(width),
+            )
+            .unwrap();
+            let mut fast = qnet.prepare_fast().unwrap();
+            for algo in [ConvAlgorithm::Standard, ConvAlgorithm::winograd_default()] {
+                for sample in data.samples().iter().take(12) {
+                    let mut arith = ExactArithmetic::new();
+                    let reference = qnet.forward(&sample.image, &mut arith, algo).unwrap();
+                    let fast_logits = qnet.forward_fast(&sample.image, algo, &mut fast).unwrap();
+                    assert_eq!(
+                        reference, fast_logits,
+                        "{width:?} {algo:?}: fast logits diverged"
+                    );
+                    assert_eq!(
+                        argmax(&reference),
+                        qnet.classify_fast(&sample.image, algo, &mut fast).unwrap()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The fast path must keep the instrumented forward's error contract: a
+    /// wrong-sized image returns `Err` on both paths (never a panic), for
+    /// both conv algorithms.
+    #[test]
+    fn fast_forward_rejects_wrong_sized_images_like_instrumented() {
+        let (mut net, data, _) = trained_tiny();
+        let calibration: Vec<Tensor> = data
+            .samples()
+            .iter()
+            .take(2)
+            .map(|s| s.image.clone())
+            .collect();
+        let qnet = QuantizedNetwork::from_network(
+            &mut net,
+            &calibration,
+            QuantizerOptions::new(BitWidth::W16),
+        )
+        .unwrap();
+        let mut fast = qnet.prepare_fast().unwrap();
+        let short = Tensor::zeros(wgft_tensor::Shape::nchw(1, 1, 2, 2));
+        for algo in [ConvAlgorithm::Standard, ConvAlgorithm::winograd_default()] {
+            let mut arith = ExactArithmetic::new();
+            assert!(qnet.forward(&short, &mut arith, algo).is_err());
+            assert!(qnet.forward_fast(&short, algo, &mut fast).is_err());
+        }
+    }
+
+    /// The fast ABFT calibration must reproduce the instrumented reference
+    /// calibration exactly — every layer's `v_max`, `gemm_max` and
+    /// `acc_max` — for both algorithms.
+    #[test]
+    fn fast_abft_calibration_matches_instrumented_reference() {
+        let (mut net, data, _) = trained_tiny();
+        let images: Vec<Tensor> = data
+            .samples()
+            .iter()
+            .take(6)
+            .map(|s| s.image.clone())
+            .collect();
+        let qnet =
+            QuantizedNetwork::from_network(&mut net, &images, QuantizerOptions::new(BitWidth::W16))
+                .unwrap();
+        for algo in [ConvAlgorithm::Standard, ConvAlgorithm::winograd_default()] {
+            let fast = qnet.calibrate_abft(&images, algo).unwrap();
+            let reference = qnet.calibrate_abft_instrumented(&images, algo).unwrap();
+            assert_eq!(fast, reference, "{algo:?}: calibration diverged");
+            assert_eq!(fast.len(), qnet.compute_layer_count());
+        }
     }
 
     #[test]

@@ -535,3 +535,68 @@ fn result_file(dir: &Path) -> PathBuf {
     assert_eq!(files.len(), 1, "single-writer journal has one result file");
     files.into_iter().next().unwrap()
 }
+
+/// Journal parity across the fast-path routing change: a BER=0 work unit —
+/// the cells that now execute on the uninstrumented quantized path — must
+/// journal exactly the `correct` counts the instrumented datapath produces,
+/// for both algorithms and both granularities. (A pre-routing journal
+/// resumed today therefore merges bit-identically.)
+#[test]
+fn zero_ber_units_journal_identically_to_the_instrumented_datapath() {
+    use wgft_faultsim::{BitErrorRate, FaultConfig, FaultyArithmetic, NeuronLevelInjector};
+    use wgft_sweep::SweepPlan;
+
+    let campaign = campaign();
+    let plan = SweepPlan::new(SweepKind::InjectionGranularity, &[0.0], IMAGES, CHUNK);
+    assert!(plan.units().iter().all(|u| u.cell.ber == 0.0));
+    for unit in plan.units() {
+        let result = evaluate_unit(campaign, unit);
+        // Instrumented reference for exactly this unit's image range.
+        let mut correct = 0u64;
+        for offset in 0..unit.len {
+            let image_index = unit.start + offset;
+            let sample = &campaign.eval_set().samples()[image_index];
+            let predicted = match unit.cell.granularity {
+                wgft_sweep::Granularity::OpLevel => {
+                    let config = FaultConfig {
+                        ber: BitErrorRate::ZERO,
+                        width: campaign.config().width,
+                        model: campaign.config().fault_model,
+                        protection: unit.cell.protection.plan(),
+                    };
+                    let seed = unit.image_seed(campaign.config().base_seed, offset);
+                    let mut arith = FaultyArithmetic::new(config, seed);
+                    campaign
+                        .quantized()
+                        .classify(&sample.image, &mut arith, unit.cell.algo)
+                        .unwrap_or(usize::MAX)
+                }
+                wgft_sweep::Granularity::NeuronLevel => {
+                    let seed = unit.image_seed(campaign.config().base_seed, offset);
+                    let mut injector =
+                        NeuronLevelInjector::new(BitErrorRate::ZERO, campaign.config().width, seed);
+                    campaign
+                        .quantized()
+                        .forward_with_neuron_faults(&sample.image, &mut injector, unit.cell.algo)
+                        .map_or(usize::MAX, |logits| {
+                            if logits.is_empty() {
+                                usize::MAX
+                            } else {
+                                wgft_data::argmax(&logits)
+                            }
+                        })
+                }
+            };
+            correct += u64::from(predicted == sample.label);
+        }
+        assert_eq!(
+            result.correct,
+            correct,
+            "unit {} ({}) diverged from the instrumented datapath",
+            unit.id,
+            unit.cell.label()
+        );
+        assert_eq!(result.len, unit.len as u64);
+        assert_eq!(result.detected + result.corrected + result.uncorrected, 0);
+    }
+}

@@ -71,6 +71,52 @@ pub fn im2col(x: &Tensor, geom: &ConvGeometry) -> Result<Tensor, TensorError> {
     Tensor::from_vec(Shape::d2(layout.rows, layout.cols), out)
 }
 
+/// Padding-aware im2col for raw quantized words: expand a `(C, H, W)` input
+/// into the `(C·k_h·k_w, out_h·out_w)` patch matrix, widening each word with
+/// `T::from` (`i32` for the fast uninstrumented direct-conv path, `i64` for
+/// the protected ABFT executors). Out-of-image taps become zeros, so a dense
+/// GEMM over the result computes exactly the padding-skipping scalar
+/// kernel's accumulators.
+///
+/// This is the single copy of the integer patch-extraction loop — the fast
+/// and protected direct-conv paths must index patches identically or their
+/// documented bit-identity breaks.
+pub fn im2col_quantized<T: Copy + Default + From<i32>>(
+    input: &[i32],
+    in_channels: usize,
+    g: &ConvGeometry,
+    out: &mut Vec<T>,
+) {
+    let (out_h, out_w) = (g.out_h(), g.out_w());
+    let p = out_h * out_w;
+    let kdim = in_channels * g.k_h * g.k_w;
+    let pad = g.padding as isize;
+    out.clear();
+    out.resize(kdim * p, T::default());
+    for ic in 0..in_channels {
+        for ky in 0..g.k_h {
+            for kx in 0..g.k_w {
+                let row = (ic * g.k_h + ky) * g.k_w + kx;
+                for oy in 0..out_h {
+                    let iy = (oy * g.stride + ky) as isize - pad;
+                    for ox in 0..out_w {
+                        let ix = (ox * g.stride + kx) as isize - pad;
+                        out[row * p + oy * out_w + ox] = if iy >= 0
+                            && ix >= 0
+                            && (iy as usize) < g.in_h
+                            && (ix as usize) < g.in_w
+                        {
+                            T::from(input[(ic * g.in_h + iy as usize) * g.in_w + ix as usize])
+                        } else {
+                            T::default()
+                        };
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,7 +33,7 @@ mod shape;
 mod tensor;
 
 pub use error::TensorError;
-pub use im2col::{im2col, Im2ColLayout};
-pub use ops::{gemm_f32, matmul, pad2d, par_gemm_f32, ConvGeometry};
+pub use im2col::{im2col, im2col_quantized, Im2ColLayout};
+pub use ops::{gemm_f32, gemm_i32, matmul, pad2d, par_gemm_f32, ConvGeometry};
 pub use shape::Shape;
 pub use tensor::{IntTensor, Tensor};

@@ -224,6 +224,124 @@ fn gemm_stripe(
     }
 }
 
+/// Rows per register tile of the integer GEMM microkernel.
+const GEMM_I32_MR: usize = 4;
+/// Columns per register tile of the integer GEMM microkernel: four rows of
+/// eight `i64` accumulator lanes map onto 4×(2×ymm) with AVX2 or 4×zmm with
+/// AVX-512.
+const GEMM_I32_NR: usize = 8;
+
+/// Dense row-major integer matrix multiply on raw slices:
+/// `c = a (m×k) · b (k×n)` with `i32` operands and `i64` accumulators,
+/// overwriting `c`.
+///
+/// This is the hot inner kernel of the fast (uninstrumented) quantized
+/// winograd path: one call per winograd-domain coordinate, with quantized
+/// `i32` words in and wide `i64` accumulators out — the same accumulator
+/// domain the instrumented scalar kernels produce. It is cache-blocked
+/// exactly like [`gemm_f32`] ([`GEMM_KC`]-deep panels consumed by a
+/// [`GEMM_I32_MR`]`×`[`GEMM_I32_NR`] register tile), and because integer
+/// addition is associative the result is *bit-identical* to a naive `i-j-k`
+/// triple loop — and to the instrumented kernels run on exact arithmetic —
+/// for every blocking, provided no intermediate sum overflows `i64`
+/// (full-scale `i32` operands already reach `2⁶²` per product, so only
+/// trivial depths survive at full scale — but real quantized words are
+/// bounded by the storage width at ≤ 2¹⁷, leaving headroom for `k` beyond
+/// `2²⁸`).
+///
+/// # Panics
+///
+/// Panics if a slice is shorter than its declared shape.
+pub fn gemm_i32(a: &[i32], b: &[i32], c: &mut [i64], m: usize, k: usize, n: usize) {
+    assert!(a.len() >= m * k, "gemm_i32: lhs too short");
+    assert!(b.len() >= k * n, "gemm_i32: rhs too short");
+    assert!(c.len() >= m * n, "gemm_i32: out too short");
+    c[..m * n].fill(0);
+    let mut pb = 0usize;
+    while pb < k {
+        let kc = GEMM_KC.min(k - pb);
+        let mut i = 0usize;
+        while i < m {
+            let mr = GEMM_I32_MR.min(m - i);
+            let mut j = 0usize;
+            while j < n {
+                let nr = GEMM_I32_NR.min(n - j);
+                if mr == GEMM_I32_MR && nr == GEMM_I32_NR {
+                    gemm_i32_microkernel(a, b, c, k, n, i, j, pb, kc);
+                } else {
+                    // Tail rows/columns: scalar accumulation over the same
+                    // panel depth.
+                    for r in 0..mr {
+                        let arow = &a[(i + r) * k..(i + r + 1) * k];
+                        let crow = &mut c[(i + r) * n + j..(i + r) * n + j + nr];
+                        for (q, cv) in crow.iter_mut().enumerate() {
+                            let mut acc = *cv;
+                            for p in pb..pb + kc {
+                                acc += i64::from(arow[p]) * i64::from(b[p * n + j + q]);
+                            }
+                            *cv = acc;
+                        }
+                    }
+                }
+                j += nr;
+            }
+            i += mr;
+        }
+        pb += kc;
+    }
+}
+
+/// The 4×8 integer register tile: widening `i32·i32 → i64` multiplies
+/// accumulated in registers, stored back to `c` once per k-block.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn gemm_i32_microkernel(
+    a: &[i32],
+    b: &[i32],
+    c: &mut [i64],
+    k: usize,
+    ldc: usize,
+    i: usize,
+    j: usize,
+    pb: usize,
+    kc: usize,
+) {
+    let mut acc0 = [0i64; GEMM_I32_NR];
+    let mut acc1 = [0i64; GEMM_I32_NR];
+    let mut acc2 = [0i64; GEMM_I32_NR];
+    let mut acc3 = [0i64; GEMM_I32_NR];
+    acc0.copy_from_slice(&c[i * ldc + j..i * ldc + j + GEMM_I32_NR]);
+    acc1.copy_from_slice(&c[(i + 1) * ldc + j..(i + 1) * ldc + j + GEMM_I32_NR]);
+    acc2.copy_from_slice(&c[(i + 2) * ldc + j..(i + 2) * ldc + j + GEMM_I32_NR]);
+    acc3.copy_from_slice(&c[(i + 3) * ldc + j..(i + 3) * ldc + j + GEMM_I32_NR]);
+    let a0 = &a[i * k..(i + 1) * k];
+    let a1 = &a[(i + 1) * k..(i + 2) * k];
+    let a2 = &a[(i + 2) * k..(i + 3) * k];
+    let a3 = &a[(i + 3) * k..(i + 4) * k];
+    for p in pb..pb + kc {
+        let brow: &[i32; GEMM_I32_NR] = b[p * ldc + j..p * ldc + j + GEMM_I32_NR]
+            .try_into()
+            .expect("panel row is GEMM_I32_NR wide");
+        let (av0, av1, av2, av3) = (
+            i64::from(a0[p]),
+            i64::from(a1[p]),
+            i64::from(a2[p]),
+            i64::from(a3[p]),
+        );
+        for q in 0..GEMM_I32_NR {
+            let bv = i64::from(brow[q]);
+            acc0[q] += av0 * bv;
+            acc1[q] += av1 * bv;
+            acc2[q] += av2 * bv;
+            acc3[q] += av3 * bv;
+        }
+    }
+    c[i * ldc + j..i * ldc + j + GEMM_I32_NR].copy_from_slice(&acc0);
+    c[(i + 1) * ldc + j..(i + 1) * ldc + j + GEMM_I32_NR].copy_from_slice(&acc1);
+    c[(i + 2) * ldc + j..(i + 2) * ldc + j + GEMM_I32_NR].copy_from_slice(&acc2);
+    c[(i + 3) * ldc + j..(i + 3) * ldc + j + GEMM_I32_NR].copy_from_slice(&acc3);
+}
+
 /// The 4×8 register tile: loads `c`, streams one `b` panel row per `p`, and
 /// stores `c` back once per k-block. `jc` is the tile's column inside the
 /// stripe, `jb` its absolute column in `b`.
@@ -447,6 +565,106 @@ mod tests {
             par_gemm_f32(&a, &b, &mut par, m, k, n);
             assert_eq!(serial, par, "m={m} k={k} n={n}");
         }
+    }
+
+    /// Degenerate shapes — `m` or `n` (or both) smaller than the 4×16
+    /// register tile, GEMV-shaped products, single elements — must take the
+    /// tail paths without misindexing, for the serial, striped and parallel
+    /// entry points alike.
+    #[test]
+    fn degenerate_shapes_are_bit_identical_to_naive_for_every_entry_point() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (1, 5, 17),
+            (1, 300, 17), // one row, k spans two GEMM_KC panels
+            (3, 5, 5),
+            (2, 9, 1), // GEMV: single output column
+            (5, 7, 1),
+            (17, 3, 1),
+            (1, 1, 16),
+            (16, 1, 1),
+            (4, 300, 3),
+            (3, 7, 15), // one short of the full tile width
+            (5, 2, 16), // exactly one tile wide, ragged rows
+        ] {
+            let (a, b) = gemm_fixture(m, k, n);
+            let expect = naive_gemm(&a, &b, m, k, n);
+            let mut c = vec![f32::NAN; m * n];
+            gemm_f32(&a, &b, &mut c, m, k, n);
+            assert_eq!(c, expect, "gemm_f32 m={m} k={k} n={n}");
+            let mut c = vec![f32::NAN; m * n];
+            par_gemm_f32(&a, &b, &mut c, m, k, n);
+            assert_eq!(c, expect, "par_gemm_f32 m={m} k={k} n={n}");
+            for stripes in [1usize, 2, 3, 7] {
+                let mut c = vec![f32::NAN; m * n];
+                gemm_f32_striped(&a, &b, &mut c, m, k, n, stripes);
+                assert_eq!(c, expect, "striped({stripes}) m={m} k={k} n={n}");
+            }
+        }
+    }
+
+    /// Naive integer reference for [`gemm_i32`].
+    fn naive_gemm_i32(a: &[i32], b: &[i32], m: usize, k: usize, n: usize) -> Vec<i64> {
+        let mut c = vec![0i64; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                c[i * n + j] = (0..k)
+                    .map(|p| i64::from(a[i * k + p]) * i64::from(b[p * n + j]))
+                    .sum();
+            }
+        }
+        c
+    }
+
+    fn gemm_i32_fixture(m: usize, k: usize, n: usize) -> (Vec<i32>, Vec<i32>) {
+        let a: Vec<i32> = (0..m * k).map(|i| ((i * 31 % 19) as i32) - 9).collect();
+        let b: Vec<i32> = (0..k * n).map(|i| ((i * 17 % 23) as i32) - 11).collect();
+        (a, b)
+    }
+
+    /// The blocked integer kernel must agree with the naive reference exactly
+    /// over the same degenerate and tail-exercising shape grid as the f32
+    /// kernel, plus a depth beyond one k-block.
+    #[test]
+    fn blocked_gemm_i32_matches_naive_across_shape_grid() {
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (1, 7, 13),
+            (1, 5, 17),
+            (3, 5, 9),
+            (2, 9, 1), // GEMV
+            (5, 7, 1),
+            (4, 8, 8),
+            (5, 3, 17),
+            (7, 11, 7),
+            (8, 16, 24),
+            (9, 13, 31),
+            (17, 300, 23), // k spans two GEMM_KC blocks
+            (33, 5, 41),
+        ] {
+            let (a, b) = gemm_i32_fixture(m, k, n);
+            let mut c = vec![i64::MIN; m * n]; // stale values must be overwritten
+            gemm_i32(&a, &b, &mut c, m, k, n);
+            assert_eq!(
+                c,
+                naive_gemm_i32(&a, &b, m, k, n),
+                "gemm_i32 diverged at m={m} k={k} n={n}"
+            );
+        }
+    }
+
+    /// Extreme magnitudes: the widening multiply itself must not overflow
+    /// for full-scale `i32` operands (the shallowest depth where the `i64`
+    /// accumulator still holds the sum).
+    #[test]
+    fn gemm_i32_survives_full_scale_operands() {
+        let (m, k, n) = (3usize, 2usize, 9usize);
+        let a = vec![i32::MAX; m * k];
+        let b = vec![i32::MIN + 1; k * n];
+        let mut c = vec![0i64; m * n];
+        gemm_i32(&a, &b, &mut c, m, k, n);
+        let expect = i64::from(i32::MAX) * i64::from(i32::MIN + 1) * k as i64;
+        assert!(c.iter().all(|&v| v == expect));
     }
 
     #[test]

@@ -39,6 +39,7 @@ mod dwm;
 mod error;
 mod opcount;
 mod plan;
+mod quantized_fast;
 mod transform;
 
 pub use conv_standard::{direct_conv_f32, direct_conv_quantized, ConvShape};
@@ -52,4 +53,5 @@ pub use opcount::{ConvAlgorithm, ConvOpModel};
 pub use plan::{
     GemmObserver, PreparedConvF32, PreparedConvQuantized, WinogradPlan, WinogradScratch,
 };
+pub use quantized_fast::{PreparedConvQuantizedFast, QuantizedRangeRecord, MAX_FAST_INPUT};
 pub use transform::{WinogradVariant, F2X2_3X3, F4X4_3X3};

@@ -105,11 +105,19 @@ impl WinogradPlan {
         self.tiles_y * self.tiles_x
     }
 
-    /// Extract one `t×t` input tile (with zero padding) into `out`.
+    /// Extract one `t×t` input tile (with zero padding) into `out` — shared
+    /// by the f32 engine and the fast uninstrumented quantized engine, so the
+    /// border/padding logic cannot desynchronize between them.
     ///
     /// `tile` indexes the row-major tile grid; `channel` selects the input
     /// feature map.
-    fn load_tile_f32(&self, input: &[f32], tile: usize, channel: usize, out: &mut [f32]) {
+    pub(crate) fn load_tile<T: Copy + Default>(
+        &self,
+        input: &[T],
+        tile: usize,
+        channel: usize,
+        out: &mut [T],
+    ) {
         let g = &self.shape.geometry;
         let t = self.variant.input_tile();
         let m = self.variant.output_tile();
@@ -138,7 +146,7 @@ impl WinogradPlan {
             let iy = base_y + dy as isize;
             let row = &mut out[dy * t..(dy + 1) * t];
             if iy < 0 || iy >= g.in_h as isize {
-                row.fill(0.0);
+                row.fill(T::default());
                 continue;
             }
             let irow = &plane[(iy as usize) * g.in_w..(iy as usize + 1) * g.in_w];
@@ -147,7 +155,7 @@ impl WinogradPlan {
                 *value = if ix >= 0 && ix < g.in_w as isize {
                     irow[ix as usize]
                 } else {
-                    0.0
+                    T::default()
                 };
             }
         }
@@ -199,15 +207,15 @@ pub struct PreparedConvF32 {
 }
 
 /// Largest per-tile buffer any variant needs (`t² = 36` for F(4x4,3x3)).
-const MAX_TILE: usize = 36;
+pub(crate) const MAX_TILE: usize = 36;
 
 /// Target size (in f32 elements) of the per-block scatter buffer — roughly
 /// half a typical L2 so the product buffer fits alongside it.
-const BLOCK_BUDGET: usize = 64 * 1024;
+pub(crate) const BLOCK_BUDGET: usize = 64 * 1024;
 
 /// Minimum `O·C·bp` per GEMM before a block's t² GEMMs fan out across the
 /// rayon pool; below this the fork/join costs more than the multiply.
-const PAR_GEMM_MIN_BLOCK: usize = 1 << 16;
+pub(crate) const PAR_GEMM_MIN_BLOCK: usize = 1 << 16;
 
 /// Equality is defined by what the plan *computes* — the geometry and the
 /// cached transformed weights — not by whatever a previous `execute` left in
@@ -571,7 +579,7 @@ fn run_images_f32(
                 }
                 let g = block_start + b;
                 let image_input = &input[(g / p) * in_len..(g / p + 1) * in_len];
-                plan.load_tile_f32(image_input, g % p, ic, &mut tile_d[..t2]);
+                plan.load_tile(image_input, g % p, ic, &mut tile_d[..t2]);
                 match variant {
                     WinogradVariant::F2x2 => {
                         input_transform_f2x2(&tile_d, &mut tile_tmp2, &mut tile_tmp);
@@ -675,7 +683,7 @@ fn run_images_f32(
 /// Tiles per SoA transform group: one f32 lane per tile, sized to a full
 /// AVX-512 register (and two AVX2 registers) so the F(2x2) transform's adds
 /// vectorize across tiles.
-const SOA_GROUP: usize = 16;
+pub(crate) const SOA_GROUP: usize = 16;
 
 /// F(2x2) input transform for [`SOA_GROUP`] consecutive tiles of one channel,
 /// lane-per-tile: the 32 adds of `Bᵀ d B` become 32 group-wide vector adds and
@@ -703,7 +711,7 @@ fn scatter_f2x2_group(
     for gi in 0..SOA_GROUP {
         let g = g0 + gi;
         let image_input = &input[(g / p) * in_len..(g / p + 1) * in_len];
-        plan.load_tile_f32(image_input, g % p, ic, &mut tile_d);
+        plan.load_tile(image_input, g % p, ic, &mut tile_d);
         for (pos, &value) in tile_d.iter().enumerate() {
             dsoa[pos][gi] = value;
         }
@@ -796,13 +804,15 @@ fn gather_f2x2_group(
     }
 }
 
-/// Write one `m×m` output tile, clipping at the feature-map border.
+/// Write one `m×m` output tile, clipping at the feature-map border —
+/// shared by the f32 engine and the fast quantized engine (`T = i64`), so
+/// the border-clipping logic cannot desynchronize between them.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn store_output_tile(
-    output: &mut [f32],
+pub(crate) fn store_output_tile<T: Copy>(
+    output: &mut [T],
     out_base: usize,
-    tile_y: &[f32],
+    tile_y: &[T],
     oc: usize,
     ty: usize,
     tx: usize,
