@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Chaos drill for the distributed sweep fabric (`wgft-sweep serve`/`work`).
+#
+# Runs one network-sweep campaign twice: once as a clean single-process
+# reference, and once through the TCP fabric under deliberate abuse — two
+# workers with seeded transport chaos (dropped requests, duplicated
+# deliveries, lost responses) plus one victim worker SIGKILLed mid-lease so
+# its units expire and are stolen. The two merged reports must be
+# byte-identical; the diff (and on mismatch, the full journal) goes through
+# the same harness as the kill/resume drill (ci/report_diff.sh).
+#
+# WGFT_FABRIC_SMOKE=1 shrinks the campaign for the main CI job; the
+# dedicated fabric job runs the full size.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ "${WGFT_FABRIC_SMOKE:-0}" = "1" ]; then
+  IMAGES=16
+else
+  IMAGES=32
+fi
+
+cargo build --release -p wgft-fabric
+
+BIN=target/release/wgft-sweep
+ROOT=target/sweeps/ci-fabric-chaos
+rm -rf "$ROOT"
+mkdir -p "$ROOT"
+
+ARGS=(--campaign network_sweep --model vgg_small --width 8 --scale test
+      --images "$IMAGES" --chunk 2 --bers 0,1e-4,3e-3
+      --cache-dir target/wgft-models)
+
+# Clean single-process reference (also trains the shared model cache).
+"$BIN" run --dir "$ROOT/clean" "${ARGS[@]}" --quiet
+"$BIN" merge --dir "$ROOT/clean" --out "$ROOT/clean.json" > /dev/null
+
+# Coordinator: short leases so the SIGKILLed worker's units are stolen
+# quickly; exits on its own once every unit is journaled.
+"$BIN" serve --dir "$ROOT/fabric" "${ARGS[@]}" --listen 127.0.0.1:0 \
+  --port-file "$ROOT/addr" --lease-ms 3000 --quiet &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 600); do
+  [ -f "$ROOT/addr" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null || { echo "serve died before binding" >&2; exit 1; }
+  sleep 0.1
+done
+ADDR=$(cat "$ROOT/addr")
+echo "coordinator at $ADDR"
+
+# Victim first: single-threaded (so the kill lands mid-unit even on fast
+# machines), holding two leases. SIGKILL it once the journal proves the
+# campaign is underway — a real mid-lease crash, torn TCP frame included.
+RAYON_NUM_THREADS=1 "$BIN" work --connect "$ADDR" --name victim --max-units 2 &
+VICTIM=$!
+for _ in $(seq 1 600); do
+  if [ "$(cat "$ROOT"/fabric/results-*.jsonl 2>/dev/null | wc -l)" -ge 1 ]; then
+    break
+  fi
+  kill -0 "$VICTIM" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$VICTIM" 2>/dev/null; then
+  kill -9 "$VICTIM"
+  echo "SIGKILLed victim worker (pid $VICTIM) mid-lease"
+else
+  echo "WARNING: victim exited before the kill fired; chaos workers still drill the fabric"
+fi
+wait "$VICTIM" 2>/dev/null || true
+
+# Two chaos workers finish the campaign under seeded transport faults.
+"$BIN" work --connect "$ADDR" --name chaos-w1 \
+  --chaos seed=11,drop=0.15,dup=0.15,lost=0.15 &
+W1=$!
+"$BIN" work --connect "$ADDR" --name chaos-w2 \
+  --chaos seed=22,drop=0.15,dup=0.15,lost=0.15 &
+W2=$!
+
+wait "$W1"
+wait "$W2"
+wait "$SERVE_PID"
+trap - EXIT
+
+"$BIN" merge --dir "$ROOT/fabric" --out "$ROOT/fabric.json" > /dev/null
+bash ci/report_diff.sh "$ROOT/clean.json" "$ROOT/fabric.json" fabric-chaos "$ROOT/fabric"
+echo "fabric chaos drill passed"

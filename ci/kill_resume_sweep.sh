@@ -7,10 +7,25 @@
 # the run journal. The `protection_tradeoff` kind additionally journals ABFT
 # event counters, so the diff also certifies that detection/correction
 # bookkeeping merges bit-identically across kills and reshards.
+#
+# With `--fabric`, the distributed-fabric chaos drill (ci/fabric_chaos.sh —
+# TCP workers under seeded transport faults, one SIGKILLed mid-lease) runs
+# afterwards; both drills report through the same diff harness
+# (ci/report_diff.sh), so a mismatch in either prints the journal diff.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release -p wgft-sweep
+RUN_FABRIC=0
+for arg in "$@"; do
+  case "$arg" in
+    --fabric) RUN_FABRIC=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+# The `wgft-sweep` binary lives in the wgft-fabric package (its serve/work
+# subcommands need the fabric library, which builds on the sweep library).
+cargo build --release -p wgft-fabric
 
 BIN=target/release/wgft-sweep
 ROOT=target/sweeps/ci-kill-resume
@@ -54,8 +69,8 @@ drill() {
   "$BIN" resume --dir "$dir/killed" --shards 2 --shard-index 1 --quiet
   "$BIN" merge --dir "$dir/killed" --out "$dir/killed.json" > /dev/null
 
-  diff "$dir/clean.json" "$dir/killed.json"
-  echo "[$kind] kill/resume drill passed: merged reports are byte-identical"
+  bash ci/report_diff.sh "$dir/clean.json" "$dir/killed.json" "$kind" "$dir/killed"
+  echo "[$kind] kill/resume drill passed"
 }
 
 drill network_sweep --bers 0,1e-5,1e-4,1e-3,3e-3
@@ -66,3 +81,7 @@ drill protection_tradeoff --bers 1e-3
 # The aggregate status view over a directory holding several journals.
 "$BIN" status --dir "$ROOT/network_sweep"
 echo "kill/resume drills passed for all campaign kinds"
+
+if [ "$RUN_FABRIC" = "1" ]; then
+  bash ci/fabric_chaos.sh
+fi

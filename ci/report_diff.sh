@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Shared diff harness for the sweep drills (kill/resume and fabric chaos).
+#
+# Usage: report_diff.sh CLEAN_JSON OTHER_JSON LABEL [JOURNAL_DIR]
+#
+# Byte-compares the two merged reports. On mismatch, prints the unified
+# diff plus — when a journal directory is given — its manifest and every
+# result shard, so a CI failure is diagnosable from the log alone; then
+# exits non-zero.
+set -euo pipefail
+
+clean=$1
+other=$2
+label=$3
+journal=${4:-}
+
+if diff -u "$clean" "$other"; then
+  echo "[$label] merged reports are byte-identical"
+  exit 0
+fi
+
+echo "[$label] MERGE MISMATCH: $other differs from $clean" >&2
+if [ -n "$journal" ] && [ -d "$journal" ]; then
+  echo "--- journal manifest ($journal/manifest.json) ---" >&2
+  cat "$journal/manifest.json" >&2 || true
+  echo >&2
+  for f in "$journal"/results-*.jsonl; do
+    [ -e "$f" ] || continue
+    echo "--- $f ---" >&2
+    cat "$f" >&2 || true
+  done
+fi
+exit 1

@@ -1,0 +1,227 @@
+//! Capped exponential backoff with jitter for client RPCs.
+//!
+//! Every request in the wire protocol is idempotent at the coordinator, so
+//! [`RetryTransport`] may blindly re-send after any transient
+//! ([`FabricError::is_retryable`]) failure. Deterministic errors — protocol
+//! violations, incompatibility — surface immediately. Jitter is seeded so
+//! chaos drills replay the exact same retry timing.
+
+use crate::clock::Sleeper;
+use crate::error::FabricError;
+use crate::transport::SweepTransport;
+use crate::wire::{Request, Response};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Backoff shape for retried RPCs.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// First retry delay in milliseconds (doubles per attempt).
+    pub base_ms: u64,
+    /// Ceiling on a single delay.
+    pub cap_ms: u64,
+    /// Attempts before giving up (including the first).
+    pub max_attempts: u32,
+    /// Jitter seed: each delay is scaled by a factor drawn from [0.5, 1.0].
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            base_ms: 50,
+            cap_ms: 2_000,
+            max_attempts: 8,
+            seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay before retry number `attempt` (1-based), before
+    /// jitter: `min(cap, base << (attempt - 1))`.
+    #[must_use]
+    pub fn raw_delay_ms(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1).min(20);
+        self.base_ms.saturating_mul(1 << shift).min(self.cap_ms)
+    }
+}
+
+/// A transport wrapper that retries transient failures with capped
+/// exponential backoff and seeded jitter.
+pub struct RetryTransport<T: SweepTransport> {
+    inner: T,
+    policy: RetryPolicy,
+    sleeper: Arc<dyn Sleeper>,
+    rng: SmallRng,
+    retries: u64,
+}
+
+impl<T: SweepTransport> RetryTransport<T> {
+    /// Wrap `inner` with `policy`, passing time through `sleeper`.
+    #[must_use]
+    pub fn new(inner: T, policy: RetryPolicy, sleeper: Arc<dyn Sleeper>) -> Self {
+        Self {
+            inner,
+            policy,
+            sleeper,
+            rng: SmallRng::seed_from_u64(policy.seed),
+            retries: 0,
+        }
+    }
+
+    /// Retries performed so far (across all calls).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The wrapped transport (for stats on fault-injecting inners).
+    #[must_use]
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: SweepTransport> SweepTransport for RetryTransport<T> {
+    fn call(&mut self, request: &Request) -> Result<Response, FabricError> {
+        let mut attempt = 1u32;
+        loop {
+            match self.inner.call(request) {
+                Ok(response) => return Ok(response),
+                Err(e) if !e.is_retryable() => return Err(e),
+                Err(e) => {
+                    if attempt >= self.policy.max_attempts {
+                        return Err(FabricError::RetriesExhausted {
+                            attempts: attempt,
+                            last: e.to_string(),
+                        });
+                    }
+                    let raw = self.policy.raw_delay_ms(attempt);
+                    // Jitter scales into [0.5, 1.0] so delays stay ordered
+                    // by attempt while desynchronizing concurrent workers.
+                    let jitter = 0.5 + 0.5 * self.rng.gen::<f64>();
+                    let ms = ((raw as f64) * jitter).round() as u64;
+                    self.sleeper.sleep(Duration::from_millis(ms));
+                    self.retries += 1;
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+impl<T: SweepTransport> std::fmt::Debug for RetryTransport<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetryTransport")
+            .field("policy", &self.policy)
+            .field("retries", &self.retries)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{Clock, ClockSleeper, ManualClock};
+
+    /// A transport that fails a scripted number of times, then succeeds.
+    struct Flaky {
+        failures_left: u32,
+        error: fn() -> FabricError,
+        calls: u32,
+    }
+
+    impl SweepTransport for Flaky {
+        fn call(&mut self, _request: &Request) -> Result<Response, FabricError> {
+            self.calls += 1;
+            if self.failures_left > 0 {
+                self.failures_left -= 1;
+                Err((self.error)())
+            } else {
+                Ok(Response::Status {
+                    done: 0,
+                    total: 0,
+                    leased: 0,
+                    workers: 0,
+                })
+            }
+        }
+    }
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            base_ms: 10,
+            cap_ms: 80,
+            max_attempts: 4,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn transient_failures_are_retried_to_success() {
+        let clock = Arc::new(ManualClock::new());
+        let flaky = Flaky {
+            failures_left: 3,
+            error: || FabricError::connection("down"),
+            calls: 0,
+        };
+        let mut transport = RetryTransport::new(
+            flaky,
+            policy(),
+            Arc::new(ClockSleeper::new(Arc::clone(&clock))),
+        );
+        transport.call(&Request::Status).expect("must succeed");
+        assert_eq!(transport.retries(), 3);
+        assert_eq!(transport.inner().calls, 4);
+        assert!(clock.now_ms() > 0, "backoff must pass (simulated) time");
+    }
+
+    #[test]
+    fn retries_are_capped() {
+        let clock = Arc::new(ManualClock::new());
+        let flaky = Flaky {
+            failures_left: u32::MAX,
+            error: || FabricError::wire("garbage"),
+            calls: 0,
+        };
+        let mut transport =
+            RetryTransport::new(flaky, policy(), Arc::new(ClockSleeper::new(clock)));
+        let err = transport.call(&Request::Status).expect_err("must give up");
+        match err {
+            FabricError::RetriesExhausted { attempts, .. } => assert_eq!(attempts, 4),
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_errors_are_not_retried() {
+        let clock = Arc::new(ManualClock::new());
+        let flaky = Flaky {
+            failures_left: u32::MAX,
+            error: || FabricError::protocol("refused"),
+            calls: 0,
+        };
+        let mut transport = RetryTransport::new(
+            flaky,
+            policy(),
+            Arc::new(ClockSleeper::new(Arc::clone(&clock))),
+        );
+        let err = transport.call(&Request::Status).expect_err("must fail");
+        assert!(matches!(err, FabricError::Protocol { .. }), "got {err}");
+        assert_eq!(transport.inner().calls, 1, "no retry on protocol errors");
+        assert_eq!(clock.now_ms(), 0, "no backoff on protocol errors");
+    }
+
+    #[test]
+    fn delays_grow_exponentially_to_the_cap() {
+        let p = policy();
+        assert_eq!(p.raw_delay_ms(1), 10);
+        assert_eq!(p.raw_delay_ms(2), 20);
+        assert_eq!(p.raw_delay_ms(3), 40);
+        assert_eq!(p.raw_delay_ms(4), 80);
+        assert_eq!(p.raw_delay_ms(10), 80, "capped");
+    }
+}

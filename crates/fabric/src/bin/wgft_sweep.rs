@@ -1,5 +1,5 @@
 //! `wgft-sweep` — CLI driver for sharded, checkpointable fault-tolerance
-//! sweeps.
+//! sweeps, local or distributed.
 //!
 //! ```text
 //! wgft-sweep run    --dir DIR [--campaign KIND] [--model M] [--width 8|16]
@@ -8,24 +8,38 @@
 //!                   [--keep-fraction F] [--shards K --shard-index I]
 //!                   [--cache-dir DIR] [--quiet]
 //! wgft-sweep resume --dir DIR [--shards K --shard-index I] [--quiet]
-//! wgft-sweep status --dir DIR
+//! wgft-sweep status --dir DIR | --connect ADDR
 //! wgft-sweep merge  --dir DIR [--out FILE]
+//! wgft-sweep serve  --dir DIR [campaign flags] [--listen ADDR]
+//!                   [--port-file F] [--lease-ms N] [--max-units N]
+//!                   [--session TAG] [--quiet]
+//! wgft-sweep work   --connect ADDR [--name N] [--cache-dir DIR]
+//!                   [--max-units N] [--chaos SPEC]
 //! ```
 //!
 //! `run` creates the journal (idempotently: re-running the same plan against
 //! the same directory resumes it) and executes one shard; `K` concurrent
 //! processes with `--shards K --shard-index 0..K` split the same journal.
 //! `resume` needs no campaign flags — everything is reloaded from the
-//! manifest and validated against it.
+//! manifest and validated against it. `serve` exposes the same journal to
+//! TCP workers (`work --connect`) through the lease-based fabric; a served
+//! run that is killed resumes with `serve` on the same directory, and its
+//! merged report is bit-identical to a local run of the same plan.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
 use wgft_core::CampaignConfig;
+use wgft_fabric::{
+    run_worker, Coordinator, FabricConfig, FabricServer, FaultConfig, FaultSchedule,
+    FaultyTransport, RemoteTransport, Request, Response, RetryPolicy, RetryTransport,
+    SweepTransport, SystemClock, ThreadSleeper, WorkerConfig,
+};
 use wgft_fixedpoint::BitWidth;
 use wgft_nn::models::ModelKind;
 use wgft_sweep::{
-    merge_sweep, render_status, resume_sweep, run_sweep, Journal, ProgressSink, ShardOutcome,
-    ShardSpec, SilentProgress, SweepKind, TableProgress,
+    manifest_for, merge_sweep, render_status, resume_sweep, run_sweep, Journal, ProgressSink,
+    ShardOutcome, ShardSpec, SilentProgress, SweepKind, TableProgress,
 };
 use wgft_winograd::ConvAlgorithm;
 
@@ -47,12 +61,22 @@ fn usage() -> &'static str {
         "                   [--keep-fraction F] [--shards K --shard-index I]\n",
         "                   [--cache-dir DIR] [--quiet]\n",
         "wgft-sweep resume --dir DIR [--shards K --shard-index I] [--quiet]\n",
-        "wgft-sweep status --dir DIR\n",
+        "wgft-sweep status --dir DIR | --connect ADDR\n",
         "wgft-sweep merge  --dir DIR [--out FILE]\n",
+        "wgft-sweep serve  --dir DIR [campaign flags as for run] [--listen ADDR]\n",
+        "                  [--port-file FILE] [--lease-ms N] [--max-units N]\n",
+        "                  [--session TAG] [--quiet]\n",
+        "wgft-sweep work   --connect ADDR [--name NAME] [--cache-dir DIR]\n",
+        "                  [--max-units N] [--chaos seed=S,drop=P,torn=P,dup=P,\n",
+        "                  lost=P,delay=P:MS]\n",
         "\n",
         "A killed run (or shard) resumes from its journal; `merge` reduces the\n",
         "completed journal into the campaign report, bit-identical to a\n",
-        "single-process in-memory run of the same configuration."
+        "single-process in-memory run of the same configuration. `serve` leases\n",
+        "units of the same journal to TCP `work` processes (heartbeats renew\n",
+        "leases; missed heartbeats expire them so other workers steal the unit)\n",
+        "and exits once every unit is journaled. `--chaos` injects seeded\n",
+        "transport faults into a worker for drills."
     )
 }
 
@@ -293,7 +317,198 @@ fn cmd_resume(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[
+        "--dir",
+        "--campaign",
+        "--model",
+        "--width",
+        "--scale",
+        "--images",
+        "--chunk",
+        "--seed",
+        "--bers",
+        "--algo",
+        "--keep-fraction",
+        "--cache-dir",
+        "--listen",
+        "--port-file",
+        "--lease-ms",
+        "--max-units",
+        "--session",
+        "--quiet",
+    ])?;
+    let dir = args.dir()?;
+    let kind = parse_kind(args)?;
+    let config = build_config(args, &dir)?;
+    let bers = args
+        .get("--bers")
+        .map(parse_bers)
+        .transpose()?
+        .unwrap_or_else(|| DEFAULT_BERS.to_vec());
+    let chunk = parse_flag::<usize>(args, "--chunk")?.unwrap_or(8);
+    let session = args
+        .get("--session")
+        .map_or_else(|| format!("serve-pid{}", std::process::id()), String::from);
+    let fabric_config = FabricConfig {
+        lease_ms: parse_flag::<u64>(args, "--lease-ms")?.unwrap_or(10_000),
+        max_units_per_lease: parse_flag::<u32>(args, "--max-units")?.unwrap_or(2),
+    };
+    let quiet = args.has("--quiet");
+
+    let campaign =
+        wgft_core::FaultToleranceCampaign::prepare(&config).map_err(|e| e.to_string())?;
+    let manifest =
+        manifest_for(kind, &config, &bers, chunk, &campaign).with_fabric_session(&session);
+    let journal = Journal::create(&dir, manifest).map_err(|e| e.to_string())?;
+    wgft_sweep::validate_baseline(journal.manifest(), &campaign).map_err(|e| e.to_string())?;
+    drop(campaign);
+
+    let coordinator = Coordinator::new(
+        journal,
+        Arc::new(SystemClock::new()),
+        fabric_config,
+        &session,
+    )
+    .map_err(|e| e.to_string())?;
+    let coordinator = Arc::new(Mutex::new(coordinator));
+    let listen = args.get("--listen").unwrap_or("127.0.0.1:0");
+    let mut server =
+        FabricServer::spawn(Arc::clone(&coordinator), listen).map_err(|e| e.to_string())?;
+    let addr = server.addr();
+    eprintln!(
+        "[wgft-sweep] serving {} on {addr} (session {session})",
+        dir.display()
+    );
+    if let Some(port_file) = args.get("--port-file") {
+        // Written atomically (write + rename) so a watcher never reads a
+        // half-written address.
+        let tmp = PathBuf::from(format!("{port_file}.tmp"));
+        std::fs::write(&tmp, format!("{addr}\n"))
+            .and_then(|()| std::fs::rename(&tmp, port_file))
+            .map_err(|e| format!("cannot write {port_file}: {e}"))?;
+    }
+
+    let mut last_done = u64::MAX;
+    loop {
+        let (done, total, complete, stats) = {
+            let coordinator = coordinator
+                .lock()
+                .map_err(|_| "coordinator mutex poisoned".to_string())?;
+            let completed = coordinator
+                .journal()
+                .completed()
+                .map_err(|e| e.to_string())?;
+            let total = coordinator.journal().manifest().unit_count;
+            (
+                completed.results.len() as u64,
+                total,
+                coordinator.done(),
+                coordinator.stats(),
+            )
+        };
+        if !quiet && done != last_done {
+            eprintln!("[wgft-sweep] {done}/{total} unit(s) journaled");
+            last_done = done;
+        }
+        if complete {
+            eprintln!(
+                "[wgft-sweep] campaign complete: {} journaled, {} duplicate(s), \
+                 {} expired lease(s), {} conflict(s) — ready to merge",
+                stats.results_journaled,
+                stats.duplicates_identical,
+                stats.leases_expired,
+                stats.conflicts_rejected
+            );
+            // Linger one lease period so workers idling in their NoWork
+            // poll loop (retry interval: lease_ms / 4) observe `done` and
+            // exit cleanly instead of hitting a vanished server.
+            std::thread::sleep(std::time::Duration::from_millis(fabric_config.lease_ms));
+            server.stop();
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+}
+
+fn cmd_work(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&[
+        "--connect",
+        "--name",
+        "--cache-dir",
+        "--max-units",
+        "--chaos",
+    ])?;
+    let addr = args
+        .get("--connect")
+        .ok_or_else(|| "--connect is required".to_string())?;
+    let name = args
+        .get("--name")
+        .map_or_else(|| format!("worker-pid{}", std::process::id()), String::from);
+    let chaos = args.get("--chaos").map(FaultConfig::parse).transpose()?;
+
+    let remote = RemoteTransport::new(addr);
+    let faulty = FaultyTransport::new(
+        remote,
+        chaos.map_or(FaultSchedule::None, FaultSchedule::seeded),
+        None,
+    );
+    let policy = RetryPolicy {
+        seed: chaos.map_or(0, |c| c.seed),
+        ..RetryPolicy::default()
+    };
+    let mut transport = RetryTransport::new(faulty, policy, Arc::new(ThreadSleeper));
+
+    let worker_config = WorkerConfig {
+        name: name.clone(),
+        max_units: parse_flag::<u32>(args, "--max-units")?.unwrap_or(1),
+        cache_dir: args.get("--cache-dir").map(PathBuf::from),
+        sleeper: Arc::new(ThreadSleeper),
+    };
+    let summary = run_worker(&mut transport, &worker_config).map_err(|e| e.to_string())?;
+    let faults = transport.inner().stats();
+    eprintln!(
+        "[wgft-sweep] worker {name} (id {}) done: {} unit(s) journaled, \
+         {} duplicate(s), {} lost lease(s), {} registration(s), {} retry(ies), \
+         {} injected fault(s)",
+        summary.worker_id,
+        summary.units_completed,
+        summary.duplicates,
+        summary.lost_leases,
+        summary.registrations,
+        transport.retries(),
+        faults.total_faults(),
+    );
+    Ok(())
+}
+
+fn cmd_remote_status(args: &Args, addr: &str) -> Result<(), String> {
+    args.reject_unknown(&["--connect"])?;
+    let mut transport = RemoteTransport::new(addr);
+    match transport
+        .call(&Request::Status)
+        .map_err(|e| e.to_string())?
+    {
+        Response::Status {
+            done,
+            total,
+            leased,
+            workers,
+        } => {
+            println!(
+                "{done}/{total} unit(s) journaled, {leased} under lease, \
+                 {workers} worker(s) registered"
+            );
+            Ok(())
+        }
+        other => Err(format!("unexpected response to Status: {other:?}")),
+    }
+}
+
 fn cmd_status(args: &Args) -> Result<(), String> {
+    if let Some(addr) = args.get("--connect") {
+        return cmd_remote_status(args, addr);
+    }
     args.reject_unknown(&["--dir"])?;
     let dir = args.dir()?;
     // A directory holding several run journals (one per campaign kind, say)
@@ -378,6 +593,8 @@ fn main() -> ExitCode {
         "resume" => cmd_resume(&args),
         "status" => cmd_status(&args),
         "merge" => cmd_merge(&args),
+        "serve" => cmd_serve(&args),
+        "work" => cmd_work(&args),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {

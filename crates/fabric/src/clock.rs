@@ -1,0 +1,150 @@
+//! Time sources for lease accounting.
+//!
+//! Lease expiry is the one place the fabric depends on wall time, so it goes
+//! through a [`Clock`] trait: production code uses [`SystemClock`], while the
+//! fault-injection tests drive a [`ManualClock`] to place heartbeats exactly
+//! on lease-expiry boundaries and to make "slow" workers deterministically
+//! slow. The same split covers sleeping: retry backoff and idle polls go
+//! through a [`Sleeper`], which tests replace with a clock-advancing no-op.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic millisecond clock.
+pub trait Clock: Send + Sync {
+    /// Milliseconds since an arbitrary but fixed origin.
+    fn now_ms(&self) -> u64;
+}
+
+/// Wall-clock time relative to construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock anchored at "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A clock that only moves when told to — the deterministic test time
+/// source. Shared via `Arc` between the coordinator, fault schedules (delay
+/// faults advance it) and worker sleepers.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advance the clock by `ms` milliseconds.
+    pub fn advance(&self, ms: u64) {
+        self.now.fetch_add(ms, Ordering::SeqCst);
+    }
+
+    /// Set the clock to an absolute time (must not move backwards in tests
+    /// that share the clock across threads; no check is enforced).
+    pub fn set(&self, ms: u64) {
+        self.now.store(ms, Ordering::SeqCst);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ms(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+/// How a client passes time between retries and idle polls.
+pub trait Sleeper: Send + Sync {
+    /// Block (or simulate blocking) for `duration`.
+    fn sleep(&self, duration: Duration);
+}
+
+/// Real `std::thread::sleep`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ThreadSleeper;
+
+impl Sleeper for ThreadSleeper {
+    fn sleep(&self, duration: Duration) {
+        std::thread::sleep(duration);
+    }
+}
+
+/// A sleeper that advances a [`ManualClock`] instead of blocking. This is
+/// what lets deterministic tests express "the worker went quiet for longer
+/// than its lease": every simulated sleep is visible to the coordinator's
+/// expiry logic, and no test ever waits on real time.
+#[derive(Debug, Clone)]
+pub struct ClockSleeper {
+    clock: Arc<ManualClock>,
+}
+
+impl ClockSleeper {
+    /// A sleeper advancing `clock`.
+    #[must_use]
+    pub fn new(clock: Arc<ManualClock>) -> Self {
+        Self { clock }
+    }
+}
+
+impl Sleeper for ClockSleeper {
+    fn sleep(&self, duration: Duration) {
+        self.clock
+            .advance(u64::try_from(duration.as_millis()).unwrap_or(u64::MAX));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manual_clock_advances_and_sets() {
+        let clock = ManualClock::new();
+        assert_eq!(clock.now_ms(), 0);
+        clock.advance(250);
+        assert_eq!(clock.now_ms(), 250);
+        clock.set(1_000);
+        assert_eq!(clock.now_ms(), 1_000);
+    }
+
+    #[test]
+    fn clock_sleeper_advances_instead_of_blocking() {
+        let clock = Arc::new(ManualClock::new());
+        let sleeper = ClockSleeper::new(Arc::clone(&clock));
+        sleeper.sleep(Duration::from_millis(4_000));
+        assert_eq!(clock.now_ms(), 4_000);
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let clock = SystemClock::new();
+        let a = clock.now_ms();
+        let b = clock.now_ms();
+        assert!(b >= a);
+    }
+}

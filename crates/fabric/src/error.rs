@@ -1,0 +1,131 @@
+//! Error type for the distributed sweep fabric.
+
+use std::error::Error;
+use std::fmt;
+use wgft_sweep::SweepError;
+
+/// Errors produced by the fabric transport, coordinator or worker loop.
+#[derive(Debug)]
+pub enum FabricError {
+    /// The connection to the peer failed or was lost mid-exchange. Client
+    /// RPCs treat this as retryable (the protocol is idempotent end to end).
+    Connection {
+        /// What happened.
+        reason: String,
+    },
+    /// A frame or message on the wire was malformed (bad magic, checksum
+    /// mismatch, truncated payload, unparseable JSON). Not retryable on the
+    /// same bytes; the connection is dropped and re-established instead.
+    Wire {
+        /// What is wrong with the bytes.
+        reason: String,
+    },
+    /// The peer answered with something the protocol does not allow at this
+    /// point (including an explicit `Response::Error`).
+    Protocol {
+        /// What the peer said, or why it is unacceptable.
+        reason: String,
+    },
+    /// A retried RPC ran out of attempts.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The final error's description.
+        last: String,
+    },
+    /// This build cannot participate in the run (arithmetic-mode mismatch,
+    /// drifted manifest, conflicting results).
+    Incompatible {
+        /// Why the build or result set is incompatible.
+        reason: String,
+    },
+    /// An underlying sweep (journal/campaign) operation failed.
+    Sweep(SweepError),
+    /// Raw I/O outside the framed protocol (listener setup, port files).
+    Io(std::io::Error),
+}
+
+impl FabricError {
+    /// Convenience constructor for [`FabricError::Connection`].
+    #[must_use]
+    pub fn connection(reason: impl Into<String>) -> Self {
+        FabricError::Connection {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`FabricError::Wire`].
+    #[must_use]
+    pub fn wire(reason: impl Into<String>) -> Self {
+        FabricError::Wire {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`FabricError::Protocol`].
+    #[must_use]
+    pub fn protocol(reason: impl Into<String>) -> Self {
+        FabricError::Protocol {
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`FabricError::Incompatible`].
+    #[must_use]
+    pub fn incompatible(reason: impl Into<String>) -> Self {
+        FabricError::Incompatible {
+            reason: reason.into(),
+        }
+    }
+
+    /// Whether a client RPC may transparently retry after this error.
+    ///
+    /// Connection and wire faults are transient (every request in the
+    /// protocol is idempotent, so re-sending is always safe); protocol and
+    /// compatibility errors are deterministic and must surface.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            FabricError::Connection { .. } | FabricError::Wire { .. }
+        )
+    }
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Connection { reason } => write!(f, "connection error: {reason}"),
+            FabricError::Wire { reason } => write!(f, "wire error: {reason}"),
+            FabricError::Protocol { reason } => write!(f, "protocol error: {reason}"),
+            FabricError::RetriesExhausted { attempts, last } => {
+                write!(f, "RPC failed after {attempts} attempt(s): {last}")
+            }
+            FabricError::Incompatible { reason } => write!(f, "incompatible: {reason}"),
+            FabricError::Sweep(e) => write!(f, "sweep error: {e}"),
+            FabricError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl Error for FabricError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FabricError::Sweep(e) => Some(e),
+            FabricError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SweepError> for FabricError {
+    fn from(e: SweepError) -> Self {
+        FabricError::Sweep(e)
+    }
+}
+
+impl From<std::io::Error> for FabricError {
+    fn from(e: std::io::Error) -> Self {
+        FabricError::Io(e)
+    }
+}

@@ -1,0 +1,356 @@
+//! Deterministic fault injection for transports.
+//!
+//! [`FaultyTransport`] wraps any [`SweepTransport`] and perturbs calls
+//! according to a seeded or scripted [`FaultSchedule`]: requests dropped
+//! before delivery, frames torn mid-write, responses lost after the
+//! coordinator applied the request, duplicated sends, and injected delays
+//! that advance a shared [`ManualClock`] (so "slow network" is visible to
+//! lease expiry without real time passing). Because the schedule is a pure
+//! function of its seed and the call sequence, every chaotic run is exactly
+//! reproducible — which is what lets the integration tests assert that the
+//! merged report under any fault schedule is bit-identical to a fault-free
+//! monolithic run.
+
+use crate::clock::ManualClock;
+use crate::error::FabricError;
+use crate::transport::SweepTransport;
+use crate::wire::{Request, Response};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One injected fault, applied to a single `call`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The request never reaches the coordinator (connection refused or the
+    /// packet vanished). The coordinator state does not change.
+    Drop,
+    /// The request frame is torn mid-write: the coordinator sees a truncated
+    /// frame and drops the connection; the request is not applied.
+    TruncateMidFrame,
+    /// The request is applied, but the response is lost (worker crashed on
+    /// read, or the connection died between apply and reply). The client
+    /// must retry an already-applied request — the idempotence stress case.
+    DropResponse,
+    /// The connection dies after a few response bytes: same observable
+    /// outcome as [`FaultKind::DropResponse`] but surfaced as a torn-frame
+    /// wire error rather than a connection error.
+    DisconnectAfterBytes,
+    /// The request is delivered twice back-to-back (a retransmit racing its
+    /// original). The client sees the second response.
+    Duplicate,
+    /// The call is delayed by this many milliseconds before delivery. With a
+    /// shared [`ManualClock`] this is how tests force lease expiry.
+    Delay {
+        /// Injected delay in milliseconds.
+        ms: u64,
+    },
+}
+
+/// Probabilities for a seeded schedule. All default to zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FaultConfig {
+    /// RNG seed; two transports with the same seed and call sequence inject
+    /// identical faults.
+    pub seed: u64,
+    /// Probability a request is dropped before delivery.
+    pub drop: f64,
+    /// Probability a request frame is torn mid-write.
+    pub torn: f64,
+    /// Probability the response is lost after the request applied.
+    pub lost: f64,
+    /// Probability the request is delivered twice.
+    pub duplicate: f64,
+    /// Probability of an injected delay.
+    pub delay: f64,
+    /// Injected delay length in milliseconds.
+    pub delay_ms: u64,
+}
+
+impl FaultConfig {
+    /// Parse a `key=value,...` chaos spec, e.g.
+    /// `seed=7,drop=0.2,dup=0.1,lost=0.1,delay=0.05:40`.
+    ///
+    /// Keys: `seed=N`, `drop=P`, `torn=P`, `dup=P`, `lost=P`,
+    /// `delay=P:MS`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with a description of the offending clause.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut config = FaultConfig::default();
+        for clause in spec.split(',').filter(|c| !c.is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("chaos clause `{clause}` is not key=value"))?;
+            let prob = |v: &str| -> Result<f64, String> {
+                let p: f64 = v
+                    .parse()
+                    .map_err(|_| format!("chaos `{key}` value `{v}` is not a number"))?;
+                if (0.0..=1.0).contains(&p) {
+                    Ok(p)
+                } else {
+                    Err(format!("chaos `{key}` probability {p} outside [0, 1]"))
+                }
+            };
+            match key {
+                "seed" => {
+                    config.seed = value
+                        .parse()
+                        .map_err(|_| format!("chaos seed `{value}` is not an integer"))?;
+                }
+                "drop" => config.drop = prob(value)?,
+                "torn" => config.torn = prob(value)?,
+                "dup" => config.duplicate = prob(value)?,
+                "lost" => config.lost = prob(value)?,
+                "delay" => {
+                    let (p, ms) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("chaos delay `{value}` is not P:MS"))?;
+                    config.delay = prob(p)?;
+                    config.delay_ms = ms
+                        .parse()
+                        .map_err(|_| format!("chaos delay ms `{ms}` is not an integer"))?;
+                }
+                other => return Err(format!("unknown chaos key `{other}`")),
+            }
+        }
+        Ok(config)
+    }
+}
+
+/// Decides which fault (if any) to inject into each successive call.
+#[derive(Debug)]
+pub enum FaultSchedule {
+    /// Never inject anything (a transparent wrapper).
+    None,
+    /// Draw independently per call from seeded probabilities, checked in a
+    /// fixed order (drop, torn, lost, duplicate, delay) so the draw sequence
+    /// is stable across runs.
+    Seeded {
+        /// The probabilities.
+        config: FaultConfig,
+        /// The deterministic RNG (created from `config.seed`).
+        rng: SmallRng,
+    },
+    /// Pop a scripted fault per call; `None` entries and exhaustion mean a
+    /// clean call. Used by tests that need one exact fault at one exact
+    /// point.
+    Scripted(VecDeque<Option<FaultKind>>),
+}
+
+impl FaultSchedule {
+    /// A seeded schedule from its config.
+    #[must_use]
+    pub fn seeded(config: FaultConfig) -> Self {
+        FaultSchedule::Seeded {
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+        }
+    }
+
+    /// A scripted schedule: entry `i` applies to call `i`.
+    #[must_use]
+    pub fn scripted(faults: impl IntoIterator<Item = Option<FaultKind>>) -> Self {
+        FaultSchedule::Scripted(faults.into_iter().collect())
+    }
+
+    fn next_fault(&mut self) -> Option<FaultKind> {
+        match self {
+            FaultSchedule::None => None,
+            FaultSchedule::Seeded { config, rng } => {
+                // One draw per category regardless of earlier hits keeps the
+                // RNG stream aligned per call, so tweaking one probability
+                // does not reshuffle every later draw.
+                let drop = rng.gen_bool(config.drop);
+                let torn = rng.gen_bool(config.torn);
+                let lost = rng.gen_bool(config.lost);
+                let duplicate = rng.gen_bool(config.duplicate);
+                let delay = rng.gen_bool(config.delay);
+                if drop {
+                    Some(FaultKind::Drop)
+                } else if torn {
+                    Some(FaultKind::TruncateMidFrame)
+                } else if lost {
+                    Some(FaultKind::DropResponse)
+                } else if duplicate {
+                    Some(FaultKind::Duplicate)
+                } else if delay {
+                    Some(FaultKind::Delay {
+                        ms: config.delay_ms,
+                    })
+                } else {
+                    None
+                }
+            }
+            FaultSchedule::Scripted(faults) => faults.pop_front().flatten(),
+        }
+    }
+}
+
+/// Counters of what a [`FaultyTransport`] actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Requests dropped before delivery.
+    pub drops: u64,
+    /// Frames torn mid-write.
+    pub torn_frames: u64,
+    /// Responses lost after the request applied.
+    pub lost_responses: u64,
+    /// Requests delivered twice.
+    pub duplicates: u64,
+    /// Delays injected.
+    pub delays: u64,
+    /// Calls that went through untouched.
+    pub clean_calls: u64,
+}
+
+impl FaultStats {
+    /// Total faults injected (excludes clean calls).
+    #[must_use]
+    pub fn total_faults(&self) -> u64 {
+        self.drops + self.torn_frames + self.lost_responses + self.duplicates + self.delays
+    }
+}
+
+/// A transport wrapper that injects faults per its schedule.
+pub struct FaultyTransport<T: SweepTransport> {
+    inner: T,
+    schedule: FaultSchedule,
+    clock: Option<Arc<ManualClock>>,
+    stats: FaultStats,
+}
+
+impl<T: SweepTransport> FaultyTransport<T> {
+    /// Wrap `inner` with `schedule`. Injected delays advance `clock` when
+    /// one is given (deterministic tests); without a clock they are
+    /// recorded but otherwise free.
+    #[must_use]
+    pub fn new(inner: T, schedule: FaultSchedule, clock: Option<Arc<ManualClock>>) -> Self {
+        Self {
+            inner,
+            schedule,
+            clock,
+            stats: FaultStats::default(),
+        }
+    }
+
+    /// What was injected so far.
+    #[must_use]
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+}
+
+impl<T: SweepTransport> SweepTransport for FaultyTransport<T> {
+    fn call(&mut self, request: &Request) -> Result<Response, FabricError> {
+        match self.schedule.next_fault() {
+            None => {
+                self.stats.clean_calls += 1;
+                self.inner.call(request)
+            }
+            Some(FaultKind::Drop) => {
+                self.stats.drops += 1;
+                Err(FabricError::connection(
+                    "[fault-injected] request dropped before delivery",
+                ))
+            }
+            Some(FaultKind::TruncateMidFrame) => {
+                self.stats.torn_frames += 1;
+                Err(FabricError::wire(
+                    "[fault-injected] request frame torn mid-write",
+                ))
+            }
+            Some(FaultKind::DropResponse) => {
+                self.stats.lost_responses += 1;
+                // The request reaches and mutates the coordinator; only the
+                // response is lost.
+                let _ = self.inner.call(request)?;
+                Err(FabricError::connection(
+                    "[fault-injected] response lost after the request applied",
+                ))
+            }
+            Some(FaultKind::DisconnectAfterBytes) => {
+                self.stats.lost_responses += 1;
+                let _ = self.inner.call(request)?;
+                Err(FabricError::wire(
+                    "[fault-injected] connection died mid-response (torn frame)",
+                ))
+            }
+            Some(FaultKind::Duplicate) => {
+                self.stats.duplicates += 1;
+                let _first = self.inner.call(request)?;
+                self.inner.call(request)
+            }
+            Some(FaultKind::Delay { ms }) => {
+                self.stats.delays += 1;
+                if let Some(clock) = &self.clock {
+                    clock.advance(ms);
+                }
+                self.inner.call(request)
+            }
+        }
+    }
+}
+
+impl<T: SweepTransport> std::fmt::Debug for FaultyTransport<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyTransport")
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_spec_parses_every_key() {
+        let config = FaultConfig::parse("seed=7,drop=0.2,torn=0.05,dup=0.1,lost=0.15,delay=0.3:40")
+            .expect("spec must parse");
+        assert_eq!(config.seed, 7);
+        assert!((config.drop - 0.2).abs() < 1e-12);
+        assert!((config.torn - 0.05).abs() < 1e-12);
+        assert!((config.duplicate - 0.1).abs() < 1e-12);
+        assert!((config.lost - 0.15).abs() < 1e-12);
+        assert!((config.delay - 0.3).abs() < 1e-12);
+        assert_eq!(config.delay_ms, 40);
+    }
+
+    #[test]
+    fn chaos_spec_rejects_bad_clauses() {
+        for bad in [
+            "drop",
+            "drop=2.0",
+            "seed=x",
+            "delay=0.5",
+            "delay=0.5:x",
+            "unknown=1",
+        ] {
+            assert!(FaultConfig::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn seeded_schedule_is_reproducible() {
+        let config = FaultConfig {
+            seed: 99,
+            drop: 0.3,
+            lost: 0.2,
+            duplicate: 0.2,
+            ..FaultConfig::default()
+        };
+        let draw = |mut schedule: FaultSchedule| -> Vec<Option<FaultKind>> {
+            (0..64).map(|_| schedule.next_fault()).collect()
+        };
+        let a = draw(FaultSchedule::seeded(config));
+        let b = draw(FaultSchedule::seeded(config));
+        assert_eq!(a, b, "same seed must inject the same fault sequence");
+        assert!(
+            a.iter().any(Option::is_some) && a.iter().any(Option::is_none),
+            "schedule should mix faulty and clean calls: {a:?}"
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Distributed sweep fabric for the winograd fault-tolerance campaigns.
+//!
+//! This crate turns the sharded, checkpointable sweeps of `wgft-sweep` into
+//! a coordinator/worker system that spans processes and machines while
+//! keeping the load-bearing guarantee of the whole reproduction: **the
+//! merged report of any fabric run is bit-identical to the monolithic
+//! in-memory campaign**, regardless of worker count, scheduling, restarts,
+//! or injected transport faults.
+//!
+//! The pieces, bottom-up:
+//!
+//! * [`wire`] — length-prefixed, FNV-1a-checksummed frames carrying JSON
+//!   [`Request`]/[`Response`] messages; every request is idempotent.
+//! * [`Coordinator`] — owns the run journal (its single writer), leases
+//!   work units, expires leases on missed heartbeats (re-leasing is how
+//!   stragglers and SIGKILLed workers are stolen from), and resolves
+//!   duplicate uploads exactly like the journal's duplicate rule:
+//!   bit-identical duplicates are accepted, conflicts rejected.
+//! * [`SweepTransport`] — the client-side channel: [`LocalTransport`]
+//!   (in-process, deterministic tests), [`RemoteTransport`] (TCP with lazy
+//!   reconnect) behind a [`FabricServer`].
+//! * [`FaultyTransport`] — seeded or scripted fault injection (drops, torn
+//!   frames, lost responses, duplicated deliveries, clock-advancing delays)
+//!   around any transport; [`RetryTransport`] — capped exponential backoff
+//!   with seeded jitter around any transport.
+//! * [`run_worker`] — the register → lease → heartbeat → evaluate → upload
+//!   loop, with re-registration after coordinator restarts.
+//!
+//! Determinism end to end: unit results are pure functions of the manifest
+//! (per-image fault seeds derive from the campaign base seed and global
+//! image indices), the manifest embeds the build's arithmetic mode (workers
+//! with a different mode are refused at registration), and the journal's
+//! merge is order-independent — so chaos only changes *who* computes a
+//! unit, never *what* it computes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod backoff;
+mod clock;
+mod coordinator;
+mod error;
+mod faulty;
+mod remote;
+mod transport;
+pub mod wire;
+mod worker;
+
+pub use backoff::{RetryPolicy, RetryTransport};
+pub use clock::{Clock, ClockSleeper, ManualClock, Sleeper, SystemClock, ThreadSleeper};
+pub use coordinator::{Coordinator, CoordinatorStats, FabricConfig};
+pub use error::FabricError;
+pub use faulty::{FaultConfig, FaultKind, FaultSchedule, FaultStats, FaultyTransport};
+pub use remote::{FabricServer, RemoteTransport};
+pub use transport::{LocalTransport, SweepTransport};
+pub use wire::{Request, Response, UploadOutcome};
+pub use worker::{run_worker, run_worker_prepared, WorkerConfig, WorkerSummary};

@@ -1,0 +1,62 @@
+//! The transport abstraction: how a worker's requests reach a coordinator.
+//!
+//! Everything above this trait — the worker loop, retry/backoff, fault
+//! injection — is transport-agnostic, which is what lets the integration
+//! tests drive the full distributed protocol (including every failure path)
+//! in-process and deterministically, then reuse the identical worker code
+//! over TCP.
+
+use crate::coordinator::Coordinator;
+use crate::error::FabricError;
+use crate::wire::{Request, Response};
+use std::sync::{Arc, Mutex};
+
+/// A bidirectional request/response channel to a coordinator.
+pub trait SweepTransport: Send {
+    /// Send one request and wait for the coordinator's response.
+    ///
+    /// # Errors
+    ///
+    /// [`FabricError::Connection`] / [`FabricError::Wire`] for transient
+    /// transport faults (retryable — the protocol is idempotent);
+    /// [`FabricError::Protocol`] when the exchange itself is broken.
+    fn call(&mut self, request: &Request) -> Result<Response, FabricError>;
+}
+
+/// An in-process transport: requests go straight to a shared coordinator
+/// under a mutex. Several workers (threads) can clone handles to the same
+/// coordinator, so the full multi-worker protocol runs without sockets.
+#[derive(Clone)]
+pub struct LocalTransport {
+    coordinator: Arc<Mutex<Coordinator>>,
+}
+
+impl LocalTransport {
+    /// A transport into `coordinator`.
+    #[must_use]
+    pub fn new(coordinator: Arc<Mutex<Coordinator>>) -> Self {
+        Self { coordinator }
+    }
+
+    /// The shared coordinator (for assertions and shutdown checks).
+    #[must_use]
+    pub fn coordinator(&self) -> Arc<Mutex<Coordinator>> {
+        Arc::clone(&self.coordinator)
+    }
+}
+
+impl SweepTransport for LocalTransport {
+    fn call(&mut self, request: &Request) -> Result<Response, FabricError> {
+        let mut coordinator = self
+            .coordinator
+            .lock()
+            .map_err(|_| FabricError::protocol("coordinator mutex poisoned"))?;
+        Ok(coordinator.handle(request))
+    }
+}
+
+impl std::fmt::Debug for LocalTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalTransport").finish_non_exhaustive()
+    }
+}

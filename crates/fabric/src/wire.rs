@@ -1,0 +1,349 @@
+//! The wire protocol: length-prefixed, checksummed frames carrying the
+//! coordinator/worker messages.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! +------+----------+------------------+----------------------+
+//! | MAGIC "WGFB" (4) | len: u32 (4)    | payload (len bytes)  |
+//! +------+----------+------------------+----------------------+
+//! | checksum: u64 (8) = FNV-1a over the payload bytes         |
+//! +-----------------------------------------------------------+
+//! ```
+//!
+//! The payload is one JSON-encoded [`Request`] or [`Response`]. A reader
+//! rejects bad magic, oversized lengths, truncated payloads and checksum
+//! mismatches as [`FabricError::Wire`] — the footprint of a torn upload or a
+//! corrupted stream — and distinguishes a clean close at a frame boundary
+//! (EOF before any magic byte) as [`FabricError::Connection`], so servers
+//! can tell a finished peer from a killed one.
+
+use crate::error::FabricError;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use wgft_sweep::{fnv1a64, UnitResult};
+
+/// Frame magic: "WGFB" (winograd-ft fabric).
+pub const MAGIC: [u8; 4] = *b"WGFB";
+
+/// Upper bound on a frame payload. The largest real message is a manifest
+/// (a few KiB); anything near this bound is a corrupted length prefix.
+pub const MAX_FRAME_LEN: u32 = 4 * 1024 * 1024;
+
+/// Write one frame.
+///
+/// # Errors
+///
+/// Fails on I/O errors (mapped to [`FabricError::Connection`]).
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FabricError> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| {
+            FabricError::wire(format!(
+                "frame payload of {} bytes is oversized",
+                payload.len()
+            ))
+        })?;
+    let mut frame = Vec::with_capacity(4 + 4 + payload.len() + 8);
+    frame.extend_from_slice(&MAGIC);
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    w.write_all(&frame)
+        .and_then(|()| w.flush())
+        .map_err(|e| FabricError::connection(format!("frame write failed: {e}")))
+}
+
+/// Read one frame's payload.
+///
+/// # Errors
+///
+/// [`FabricError::Connection`] on a clean close before the first magic byte
+/// or on I/O errors; [`FabricError::Wire`] on bad magic, an oversized
+/// length, a truncated payload or a checksum mismatch.
+pub fn read_frame(r: &mut impl Read) -> Result<Vec<u8>, FabricError> {
+    // The first byte alone decides boundary-vs-torn: `read_exact` cannot
+    // distinguish "EOF before any byte" from "EOF after a partial read", so
+    // the magic is read in two steps.
+    let mut magic = [0u8; 4];
+    read_exact_or(r, &mut magic[..1], true)?;
+    read_exact_or(r, &mut magic[1..], false)?;
+    if magic != MAGIC {
+        return Err(FabricError::wire(format!(
+            "bad frame magic {magic:02x?} (expected {MAGIC:02x?})"
+        )));
+    }
+    let mut len_bytes = [0u8; 4];
+    read_exact_or(r, &mut len_bytes, false)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(FabricError::wire(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or(r, &mut payload, false)?;
+    let mut checksum_bytes = [0u8; 8];
+    read_exact_or(r, &mut checksum_bytes, false)?;
+    let expect = fnv1a64(&payload);
+    let found = u64::from_le_bytes(checksum_bytes);
+    if expect != found {
+        return Err(FabricError::wire(format!(
+            "frame checksum mismatch: expected {expect:016x}, found {found:016x}"
+        )));
+    }
+    Ok(payload)
+}
+
+/// `read_exact` that maps a clean EOF to [`FabricError::Connection`] when it
+/// lands at a frame boundary (`at_boundary`) and to [`FabricError::Wire`]
+/// (a torn frame) when it lands inside one.
+fn read_exact_or(r: &mut impl Read, buf: &mut [u8], at_boundary: bool) -> Result<(), FabricError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            if at_boundary {
+                FabricError::connection("peer closed the connection")
+            } else {
+                FabricError::wire("stream ended mid-frame (torn frame)")
+            }
+        } else {
+            FabricError::connection(format!("frame read failed: {e}"))
+        }
+    })
+}
+
+/// Encode a message as a frame payload.
+///
+/// # Errors
+///
+/// Fails if JSON encoding fails (never for well-formed messages).
+pub fn encode<T: Serialize>(message: &T) -> Result<Vec<u8>, FabricError> {
+    serde_json::to_vec(message)
+        .map_err(|e| FabricError::wire(format!("message encoding failed: {e}")))
+}
+
+/// Decode a frame payload into a message.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a message shape mismatch.
+pub fn decode<T: Deserialize>(payload: &[u8]) -> Result<T, FabricError> {
+    serde_json::from_slice(payload)
+        .map_err(|e| FabricError::wire(format!("message decoding failed: {e}")))
+}
+
+/// A client-to-coordinator request. Every request is idempotent at the
+/// coordinator, so a client that loses a response may always re-send.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Join the campaign. The coordinator replies with the worker's id and
+    /// the full manifest; the worker refuses to proceed if its own build's
+    /// arithmetic mode differs from the manifest's.
+    Register {
+        /// Human-readable worker name (logs and status only).
+        worker: String,
+        /// The registering build's arithmetic mode tag.
+        arithmetic_mode: String,
+    },
+    /// Ask for up to `max_units` pending unit leases.
+    Lease {
+        /// The id `Register` assigned.
+        worker_id: u64,
+        /// Upper bound on units to lease in this call.
+        max_units: u32,
+    },
+    /// Renew the leases on `units` (sent between unit evaluations).
+    Heartbeat {
+        /// The id `Register` assigned.
+        worker_id: u64,
+        /// Unit ids the worker still holds and is working on.
+        units: Vec<u64>,
+    },
+    /// Upload one completed unit result.
+    Upload {
+        /// The id `Register` assigned.
+        worker_id: u64,
+        /// The completed result.
+        result: UnitResult,
+    },
+    /// Ask for run progress (CLI status and drills).
+    Status,
+}
+
+/// How the coordinator disposed of an uploaded result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UploadOutcome {
+    /// First result for the unit: journaled.
+    Journaled,
+    /// The unit was already journaled with a bit-identical result (late
+    /// upload after a lease expired and the unit was re-run, overlapping
+    /// workers, or a retried upload whose first response was lost). Safe.
+    DuplicateIdentical,
+    /// The unit was already journaled with a *different* result. The upload
+    /// is rejected: two correct workers can never disagree, so one side is
+    /// broken or incompatible.
+    Conflict,
+}
+
+/// A coordinator-to-client response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Registration accepted.
+    Registered {
+        /// The id the worker uses in every subsequent request.
+        worker_id: u64,
+        /// Coordinator session tag (diagnostics; identity lives in the
+        /// manifest content hash).
+        session: String,
+        /// Lease duration workers must out-heartbeat.
+        lease_ms: u64,
+        /// The run manifest, verbatim JSON. Sent as the exact serialized
+        /// bytes so the worker can validate the embedded content hash.
+        manifest_json: String,
+    },
+    /// Units leased to the worker until `expires_in_ms` from now.
+    Leased {
+        /// Leased unit ids (evaluate in order, upload as completed).
+        units: Vec<u64>,
+        /// Lease duration from the coordinator's "now".
+        expires_in_ms: u64,
+    },
+    /// Nothing to lease right now.
+    NoWork {
+        /// `true` once every unit is journaled: the worker should exit.
+        done: bool,
+        /// Suggested poll delay before asking again when `done` is false
+        /// (other workers hold live leases that may yet expire).
+        retry_ms: u64,
+    },
+    /// Heartbeat processed.
+    HeartbeatAck {
+        /// Units whose lease was renewed.
+        renewed: Vec<u64>,
+        /// Units this worker no longer holds (lease expired and was stolen,
+        /// or the unit completed). The worker should stop evaluating them —
+        /// an upload of an already-finished evaluation is still safe.
+        lost: Vec<u64>,
+    },
+    /// Upload processed.
+    UploadAck {
+        /// The unit the ack is for.
+        unit: u64,
+        /// What happened to the result.
+        outcome: UploadOutcome,
+    },
+    /// Run progress.
+    Status {
+        /// Units journaled.
+        done: u64,
+        /// Units in the plan.
+        total: u64,
+        /// Units currently under unexpired leases.
+        leased: u64,
+        /// Workers registered since the coordinator started.
+        workers: u64,
+    },
+    /// The worker id is not known to this coordinator (it restarted, or the
+    /// registration was lost). The worker should re-register and continue.
+    UnknownWorker {
+        /// The offending id.
+        worker_id: u64,
+    },
+    /// The request was understood but refused.
+    Error {
+        /// Why.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(req: &Request) -> Request {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &encode(req).unwrap()).unwrap();
+        let payload = read_frame(&mut buf.as_slice()).unwrap();
+        decode(&payload).unwrap()
+    }
+
+    #[test]
+    fn frames_roundtrip_every_request_kind() {
+        let requests = [
+            Request::Register {
+                worker: "w0".to_string(),
+                arithmetic_mode: wgft_sweep::ARITHMETIC_MODE.to_string(),
+            },
+            Request::Lease {
+                worker_id: 3,
+                max_units: 2,
+            },
+            Request::Heartbeat {
+                worker_id: 3,
+                units: vec![1, 2, 5],
+            },
+            Request::Upload {
+                worker_id: 3,
+                result: UnitResult {
+                    unit: 7,
+                    correct: 2,
+                    len: 3,
+                    ..UnitResult::default()
+                },
+            },
+            Request::Status,
+        ];
+        for req in &requests {
+            assert_eq!(&roundtrip(req), req, "roundtrip must preserve {req:?}");
+        }
+    }
+
+    #[test]
+    fn torn_frame_is_a_wire_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello fabric").unwrap();
+        for cut in 1..buf.len() {
+            let err = read_frame(&mut &buf[..cut]).expect_err("torn frame must fail");
+            assert!(
+                matches!(err, FabricError::Wire { .. }),
+                "cut at {cut}: got {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_close_at_boundary_is_a_connection_error() {
+        let err = read_frame(&mut std::io::empty()).expect_err("EOF must fail");
+        assert!(matches!(err, FabricError::Connection { .. }), "got {err}");
+    }
+
+    #[test]
+    fn corrupted_payload_fails_the_checksum() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload bytes").unwrap();
+        let flip = 8 + 3; // inside the payload
+        buf[flip] ^= 0x40;
+        let err = read_frame(&mut buf.as_slice()).expect_err("corruption must fail");
+        let text = err.to_string();
+        assert!(
+            text.contains("checksum mismatch"),
+            "error must name the checksum: {text}"
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_oversized_length_are_rejected() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"x").unwrap();
+        buf[0] = b'?';
+        let err = read_frame(&mut buf.as_slice()).expect_err("bad magic must fail");
+        assert!(err.to_string().contains("magic"), "got {err}");
+
+        let mut oversized = Vec::new();
+        oversized.extend_from_slice(&MAGIC);
+        oversized.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        let err = read_frame(&mut oversized.as_slice()).expect_err("oversized must fail");
+        assert!(err.to_string().contains("cap"), "got {err}");
+    }
+}

@@ -1,0 +1,552 @@
+//! Integration tests for the distributed sweep fabric: bit-identity of the
+//! merged report with the monolithic in-memory campaign under clean runs,
+//! seeded fault schedules, lease-expiry/work-stealing races, coordinator
+//! restarts and raw-TCP abuse.
+//!
+//! The fault-schedule matrix is gated: a small smoke subset runs by
+//! default, the full matrix under `WGFT_FABRIC_FULL=1` (CI runs it on the
+//! dedicated fabric job).
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
+use wgft_core::{CampaignConfig, FaultToleranceCampaign};
+use wgft_fabric::{
+    run_worker_prepared, ClockSleeper, Coordinator, FabricConfig, FabricServer, FaultConfig,
+    FaultSchedule, FaultyTransport, LocalTransport, ManualClock, RemoteTransport, Request,
+    Response, RetryPolicy, RetryTransport, SweepTransport, SystemClock, ThreadSleeper,
+    UploadOutcome, WorkerConfig,
+};
+use wgft_fixedpoint::BitWidth;
+use wgft_nn::models::ModelKind;
+use wgft_sweep::{
+    evaluate_unit, manifest_for, merge_sweep, Journal, MergedReport, SweepKind, UnitResult,
+};
+
+/// Evaluation images per campaign; uneven against the 3-image chunk.
+const IMAGES: usize = 8;
+/// Images per work unit (deliberately not a divisor of IMAGES).
+const CHUNK: usize = 3;
+/// BER grid: fault-free plus one rate high enough to perturb accuracy.
+const BERS: [f64; 2] = [0.0, 3e-3];
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config() -> CampaignConfig {
+    CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W8)
+        .with_images(IMAGES)
+        .with_cache_dir(PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("model-cache"))
+}
+
+/// One shared prepared campaign per test binary (first caller trains and
+/// fills the model cache).
+fn campaign() -> &'static FaultToleranceCampaign {
+    static CAMPAIGN: OnceLock<FaultToleranceCampaign> = OnceLock::new();
+    CAMPAIGN.get_or_init(|| {
+        FaultToleranceCampaign::prepare(&config()).expect("campaign preparation must succeed")
+    })
+}
+
+fn json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serialization must succeed")
+}
+
+/// The monolithic reference: the in-memory network sweep, serialized.
+fn monolithic_json() -> &'static String {
+    static REPORT: OnceLock<String> = OnceLock::new();
+    REPORT.get_or_init(|| json(&campaign().network_sweep(&BERS)))
+}
+
+fn make_journal(dir: &PathBuf) -> Journal {
+    let manifest = manifest_for(SweepKind::NetworkSweep, &config(), &BERS, CHUNK, campaign())
+        .with_fabric_session("fabric-test");
+    Journal::create(dir, manifest).expect("journal must be created")
+}
+
+fn make_coordinator(journal: Journal, clock: Arc<ManualClock>, lease_ms: u64) -> Coordinator {
+    Coordinator::new(
+        journal,
+        clock,
+        FabricConfig {
+            lease_ms,
+            max_units_per_lease: 2,
+        },
+        "fabric-test",
+    )
+    .expect("coordinator must build")
+}
+
+fn merged_json(dir: &PathBuf) -> String {
+    let MergedReport::NetworkSweep(report) = merge_sweep(dir).expect("journal must merge") else {
+        panic!("network sweep must merge into a NetworkSweepReport");
+    };
+    json(&report)
+}
+
+/// Drive a full campaign through `LocalTransport` workers, each wrapped in
+/// a `FaultyTransport` (its schedule) and a `RetryTransport`. Returns the
+/// per-worker fault counts actually injected.
+fn run_local_fabric(dir: &PathBuf, schedules: Vec<FaultSchedule>, lease_ms: u64) -> Vec<u64> {
+    let clock = Arc::new(ManualClock::new());
+    let coordinator = Arc::new(Mutex::new(make_coordinator(
+        make_journal(dir),
+        Arc::clone(&clock),
+        lease_ms,
+    )));
+    let mut threads = Vec::new();
+    for (index, schedule) in schedules.into_iter().enumerate() {
+        let coordinator = Arc::clone(&coordinator);
+        let clock = Arc::clone(&clock);
+        threads.push(std::thread::spawn(move || {
+            let sleeper = Arc::new(ClockSleeper::new(Arc::clone(&clock)));
+            let faulty = FaultyTransport::new(
+                LocalTransport::new(coordinator),
+                schedule,
+                Some(Arc::clone(&clock)),
+            );
+            let mut transport = RetryTransport::new(
+                faulty,
+                RetryPolicy {
+                    seed: index as u64,
+                    max_attempts: 12,
+                    ..RetryPolicy::default()
+                },
+                sleeper.clone(),
+            );
+            let worker_config = WorkerConfig {
+                name: format!("w{index}"),
+                max_units: 2,
+                cache_dir: None,
+                sleeper,
+            };
+            let summary = run_worker_prepared(&mut transport, &worker_config, campaign())
+                .expect("worker loop must complete");
+            assert!(summary.registrations >= 1);
+            transport.inner().stats().total_faults()
+        }));
+    }
+    let faults: Vec<u64> = threads
+        .into_iter()
+        .map(|t| t.join().expect("worker thread must not panic"))
+        .collect();
+    assert!(
+        coordinator.lock().unwrap().done(),
+        "all units must be journaled when every worker exits"
+    );
+    faults
+}
+
+#[test]
+fn two_local_workers_match_the_monolithic_report_bit_for_bit() {
+    let dir = tmp_dir("fabric-clean");
+    run_local_fabric(&dir, vec![FaultSchedule::None, FaultSchedule::None], 5_000);
+    assert_eq!(
+        &merged_json(&dir),
+        monolithic_json(),
+        "fabric merge must be byte-identical to the monolithic report"
+    );
+}
+
+/// The fault-schedule matrix: each entry is one campaign run with 2-3
+/// chaotic workers. Smoke subset by default; full under WGFT_FABRIC_FULL=1.
+fn fault_matrix() -> Vec<Vec<FaultConfig>> {
+    let cfg = |seed, drop, torn, dup, lost, delay, delay_ms| FaultConfig {
+        seed,
+        drop,
+        torn,
+        duplicate: dup,
+        lost,
+        delay,
+        delay_ms,
+    };
+    let mut matrix = vec![
+        // Drops + duplicated deliveries on both workers.
+        vec![
+            cfg(1, 0.25, 0.0, 0.2, 0.0, 0.0, 0),
+            cfg(2, 0.25, 0.0, 0.2, 0.0, 0.0, 0),
+        ],
+        // Lost responses (idempotent-retry stress) + delays long enough to
+        // expire leases mid-unit on a third, slow worker.
+        vec![
+            cfg(3, 0.0, 0.1, 0.0, 0.3, 0.0, 0),
+            cfg(4, 0.1, 0.0, 0.0, 0.2, 0.0, 0),
+            cfg(5, 0.0, 0.0, 0.0, 0.0, 0.6, 1_500),
+        ],
+    ];
+    if std::env::var("WGFT_FABRIC_FULL").as_deref() == Ok("1") {
+        matrix.extend([
+            // Torn frames everywhere.
+            vec![
+                cfg(6, 0.0, 0.3, 0.0, 0.0, 0.0, 0),
+                cfg(7, 0.0, 0.3, 0.0, 0.0, 0.0, 0),
+            ],
+            // Everything at once, three workers.
+            vec![
+                cfg(8, 0.15, 0.1, 0.15, 0.15, 0.2, 800),
+                cfg(9, 0.15, 0.1, 0.15, 0.15, 0.2, 800),
+                cfg(10, 0.15, 0.1, 0.15, 0.15, 0.2, 800),
+            ],
+            // Asymmetric: one clean fast worker, one heavily faulted.
+            vec![
+                cfg(11, 0.0, 0.0, 0.0, 0.0, 0.0, 0),
+                cfg(12, 0.3, 0.1, 0.2, 0.3, 0.4, 1_200),
+            ],
+            // Delay-only: pure lease-expiry/work-stealing churn.
+            vec![
+                cfg(13, 0.0, 0.0, 0.0, 0.0, 0.8, 2_000),
+                cfg(14, 0.0, 0.0, 0.0, 0.0, 0.8, 2_000),
+            ],
+        ]);
+    }
+    matrix
+}
+
+#[test]
+fn every_fault_schedule_preserves_bit_identity() {
+    for (index, worker_configs) in fault_matrix().into_iter().enumerate() {
+        let dir = tmp_dir(&format!("fabric-chaos-{index}"));
+        let schedules = worker_configs
+            .into_iter()
+            .map(FaultSchedule::seeded)
+            .collect();
+        let faults = run_local_fabric(&dir, schedules, 1_000);
+        assert!(
+            faults.iter().sum::<u64>() > 0,
+            "schedule {index} must actually inject faults, got {faults:?}"
+        );
+        assert_eq!(
+            &merged_json(&dir),
+            monolithic_json(),
+            "schedule {index}: fabric merge must be byte-identical to the monolithic report"
+        );
+    }
+}
+
+/// Register a worker directly against a coordinator, returning its id.
+fn register(coordinator: &mut Coordinator, name: &str) -> u64 {
+    match coordinator.handle(&Request::Register {
+        worker: name.to_string(),
+        arithmetic_mode: wgft_sweep::ARITHMETIC_MODE.to_string(),
+    }) {
+        Response::Registered { worker_id, .. } => worker_id,
+        other => panic!("registration must succeed, got {other:?}"),
+    }
+}
+
+fn lease_units(coordinator: &mut Coordinator, worker_id: u64, max_units: u32) -> Vec<u64> {
+    match coordinator.handle(&Request::Lease {
+        worker_id,
+        max_units,
+    }) {
+        Response::Leased { units, .. } => units,
+        other => panic!("lease must succeed, got {other:?}"),
+    }
+}
+
+fn upload(coordinator: &mut Coordinator, worker_id: u64, result: UnitResult) -> UploadOutcome {
+    match coordinator.handle(&Request::Upload { worker_id, result }) {
+        Response::UploadAck { outcome, .. } => outcome,
+        other => panic!("upload must be acked, got {other:?}"),
+    }
+}
+
+#[test]
+fn late_result_after_expiry_and_re_lease_is_accepted_iff_identical() {
+    let dir = tmp_dir("fabric-late-upload");
+    let clock = Arc::new(ManualClock::new());
+    let mut coordinator = make_coordinator(make_journal(&dir), Arc::clone(&clock), 1_000);
+    let plan = coordinator.journal().manifest().plan();
+    let units = plan.units().to_vec();
+
+    let slow = register(&mut coordinator, "slow");
+    let fast = register(&mut coordinator, "fast");
+
+    // `slow` leases two units, then goes quiet past the lease deadline.
+    let slow_units = lease_units(&mut coordinator, slow, 2);
+    assert_eq!(slow_units, vec![0, 1]);
+    clock.advance(1_001);
+
+    // `fast` steals both expired units and completes them.
+    let stolen = lease_units(&mut coordinator, fast, 2);
+    assert_eq!(stolen, vec![0, 1], "expired leases must be re-leased");
+    for &unit_id in &stolen {
+        let result = evaluate_unit(campaign(), &units[unit_id as usize]);
+        assert_eq!(
+            upload(&mut coordinator, fast, result),
+            UploadOutcome::Journaled
+        );
+    }
+    assert_eq!(coordinator.stats().leases_expired, 2);
+
+    // `slow` wakes up and uploads its (identical, deterministic) result for
+    // unit 0: accepted as a duplicate.
+    let late_identical = evaluate_unit(campaign(), &units[0]);
+    assert_eq!(
+        upload(&mut coordinator, slow, late_identical),
+        UploadOutcome::DuplicateIdentical
+    );
+
+    // A *conflicting* late result for unit 1 (a corrupted worker) is
+    // rejected and does not touch the journal.
+    let mut tampered = evaluate_unit(campaign(), &units[1]);
+    tampered.correct = (tampered.correct + 1) % (tampered.len + 1);
+    assert_eq!(
+        upload(&mut coordinator, slow, tampered),
+        UploadOutcome::Conflict
+    );
+    let journaled = coordinator
+        .journal()
+        .completed()
+        .expect("journal must read back")
+        .results;
+    assert_eq!(
+        journaled.get(&1),
+        Some(&evaluate_unit(campaign(), &units[1])),
+        "the journaled result must be the first (untampered) one"
+    );
+}
+
+#[test]
+fn heartbeat_exactly_at_expiry_renews_and_one_ms_later_loses() {
+    let dir = tmp_dir("fabric-heartbeat-edge");
+    let clock = Arc::new(ManualClock::new());
+    let mut coordinator = make_coordinator(make_journal(&dir), Arc::clone(&clock), 1_000);
+    let worker = register(&mut coordinator, "edge");
+    let units = lease_units(&mut coordinator, worker, 1);
+    assert_eq!(units, vec![0]);
+
+    // Exactly at the deadline (now == expires_at): a lease is expired only
+    // when now > expires_at, so this heartbeat still renews.
+    clock.advance(1_000);
+    match coordinator.handle(&Request::Heartbeat {
+        worker_id: worker,
+        units: units.clone(),
+    }) {
+        Response::HeartbeatAck { renewed, lost } => {
+            assert_eq!(renewed, vec![0], "heartbeat at the exact deadline renews");
+            assert!(lost.is_empty());
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // One millisecond past the renewed deadline: the lease is gone.
+    clock.advance(1_001);
+    match coordinator.handle(&Request::Heartbeat {
+        worker_id: worker,
+        units,
+    }) {
+        Response::HeartbeatAck { renewed, lost } => {
+            assert!(
+                renewed.is_empty(),
+                "heartbeat past the deadline cannot renew"
+            );
+            assert_eq!(lost, vec![0]);
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+    assert_eq!(coordinator.stats().leases_expired, 1);
+}
+
+/// A transport that talks to one coordinator for its first `switch_after`
+/// calls, then to a second one — simulating a coordinator process restart
+/// under a live worker.
+struct SwitchingTransport {
+    first: LocalTransport,
+    second: LocalTransport,
+    calls: u64,
+    switch_after: u64,
+}
+
+impl SweepTransport for SwitchingTransport {
+    fn call(&mut self, request: &Request) -> Result<Response, wgft_fabric::FabricError> {
+        self.calls += 1;
+        if self.calls <= self.switch_after {
+            self.first.call(request)
+        } else {
+            self.second.call(request)
+        }
+    }
+}
+
+#[test]
+fn coordinator_restart_resumes_from_journal_and_workers_reregister() {
+    let dir = tmp_dir("fabric-restart");
+    let clock = Arc::new(ManualClock::new());
+
+    // First coordinator incarnation: one worker completes two units.
+    let first = Arc::new(Mutex::new(make_coordinator(
+        make_journal(&dir),
+        Arc::clone(&clock),
+        5_000,
+    )));
+    {
+        let mut coordinator = first.lock().unwrap();
+        let plan = coordinator.journal().manifest().plan();
+        let units = plan.units().to_vec();
+        let w = register(&mut coordinator, "pre-restart");
+        for unit_id in lease_units(&mut coordinator, w, 2) {
+            let result = evaluate_unit(campaign(), &units[unit_id as usize]);
+            assert_eq!(
+                upload(&mut coordinator, w, result),
+                UploadOutcome::Journaled
+            );
+        }
+    }
+    // "Kill" the first coordinator (drop releases its journal handle) and
+    // restart on the same directory: the journal is the only state.
+    let second = Arc::new(Mutex::new(make_coordinator(
+        Journal::open(&dir).expect("journal must reopen"),
+        Arc::clone(&clock),
+        5_000,
+    )));
+    {
+        let coordinator = second.lock().unwrap();
+        let recovered = coordinator
+            .journal()
+            .completed()
+            .expect("journal must read back")
+            .results
+            .len();
+        assert_eq!(recovered, 2, "restart must recover the journaled units");
+        assert!(!coordinator.done());
+    }
+
+    // A worker whose first two RPCs (register + first lease) hit the old
+    // coordinator, then finds the new one: it must re-register (the new
+    // coordinator answers UnknownWorker) and finish the campaign.
+    let mut transport = SwitchingTransport {
+        first: LocalTransport::new(Arc::clone(&first)),
+        second: LocalTransport::new(Arc::clone(&second)),
+        calls: 0,
+        switch_after: 2,
+    };
+    let sleeper = Arc::new(ClockSleeper::new(Arc::clone(&clock)));
+    let worker_config = WorkerConfig {
+        name: "post-restart".to_string(),
+        max_units: 2,
+        cache_dir: None,
+        sleeper,
+    };
+    let summary = run_worker_prepared(&mut transport, &worker_config, campaign())
+        .expect("worker must survive the restart");
+    assert!(
+        summary.registrations >= 2,
+        "the worker must have re-registered after the restart, got {summary:?}"
+    );
+    assert!(second.lock().unwrap().done());
+    assert_eq!(
+        &merged_json(&dir),
+        monolithic_json(),
+        "the restarted campaign must still merge bit-identically"
+    );
+}
+
+#[test]
+fn registration_with_a_different_arithmetic_mode_is_refused() {
+    let dir = tmp_dir("fabric-arith-mode");
+    let clock = Arc::new(ManualClock::new());
+    let mut coordinator = make_coordinator(make_journal(&dir), clock, 1_000);
+    match coordinator.handle(&Request::Register {
+        worker: "wrong-build".to_string(),
+        arithmetic_mode: "float-fast-v0".to_string(),
+    }) {
+        Response::Error { message } => {
+            assert!(
+                message.contains("arithmetic mode") && message.contains("bit-identically"),
+                "refusal must explain the incompatibility: {message}"
+            );
+        }
+        other => panic!("mismatched arithmetic mode must be refused, got {other:?}"),
+    }
+}
+
+#[test]
+fn tcp_server_survives_garbage_then_serves_real_workers_bit_identically() {
+    use std::io::Write;
+
+    let dir = tmp_dir("fabric-tcp");
+    let clock = Arc::new(SystemClock::new());
+    let coordinator = Arc::new(Mutex::new(
+        Coordinator::new(
+            make_journal(&dir),
+            clock,
+            FabricConfig {
+                lease_ms: 30_000,
+                max_units_per_lease: 2,
+            },
+            "fabric-tcp-test",
+        )
+        .expect("coordinator must build"),
+    ));
+    let mut server =
+        FabricServer::spawn(Arc::clone(&coordinator), "127.0.0.1:0").expect("server must bind");
+    let addr = server.addr();
+
+    // Abuse the server first: raw garbage, then a torn frame (valid magic
+    // and length, missing payload — what a SIGKILLed worker leaves behind).
+    {
+        let mut garbage = std::net::TcpStream::connect(addr).expect("connect");
+        garbage.write_all(b"not a frame at all").expect("write");
+    }
+    {
+        let mut torn = std::net::TcpStream::connect(addr).expect("connect");
+        torn.write_all(&wgft_fabric::wire::MAGIC).expect("write");
+        torn.write_all(&64u32.to_le_bytes()).expect("write");
+        torn.write_all(&[0u8; 10]).expect("write");
+        // Dropped here: 54 payload bytes never arrive.
+    }
+
+    // The server must still answer a status probe...
+    let mut probe = RemoteTransport::new(addr.to_string());
+    match probe.call(&Request::Status).expect("status must answer") {
+        Response::Status { done, total, .. } => {
+            assert_eq!(done, 0);
+            assert!(total > 0);
+        }
+        other => panic!("unexpected response: {other:?}"),
+    }
+
+    // ...and then serve two real TCP workers to completion.
+    let mut threads = Vec::new();
+    for index in 0..2 {
+        let addr = addr.to_string();
+        threads.push(std::thread::spawn(move || {
+            let mut transport = RetryTransport::new(
+                RemoteTransport::new(addr),
+                RetryPolicy {
+                    base_ms: 5,
+                    cap_ms: 50,
+                    max_attempts: 8,
+                    seed: index,
+                },
+                Arc::new(ThreadSleeper),
+            );
+            let worker_config = WorkerConfig {
+                name: format!("tcp-w{index}"),
+                max_units: 1,
+                cache_dir: None,
+                sleeper: Arc::new(ThreadSleeper),
+            };
+            run_worker_prepared(&mut transport, &worker_config, campaign())
+                .expect("TCP worker must complete")
+        }));
+    }
+    let summaries: Vec<_> = threads
+        .into_iter()
+        .map(|t| t.join().expect("worker thread must not panic"))
+        .collect();
+    assert!(
+        summaries.iter().map(|s| s.units_completed).sum::<u64>() > 0,
+        "the workers must have journaled the campaign: {summaries:?}"
+    );
+    server.stop();
+    assert_eq!(
+        &merged_json(&dir),
+        monolithic_json(),
+        "the TCP fabric merge must be byte-identical to the monolithic report"
+    );
+}

@@ -69,6 +69,24 @@ impl SweepError {
             reason: reason.into(),
         }
     }
+
+    /// Prefix a [`SweepError::Manifest`] or [`SweepError::Journal`] reason
+    /// with the file it was detected in, so the offending path appears in
+    /// the display without the caller re-deriving which file drifted. Other
+    /// variants (which already carry their own context) pass through.
+    #[must_use]
+    pub fn at_path(self, path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        match self {
+            SweepError::Manifest { reason } => SweepError::Manifest {
+                reason: format!("{}: {reason}", path.display()),
+            },
+            SweepError::Journal { reason } => SweepError::Journal {
+                reason: format!("{}: {reason}", path.display()),
+            },
+            other => other,
+        }
+    }
 }
 
 impl fmt::Display for SweepError {

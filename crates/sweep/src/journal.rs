@@ -30,7 +30,22 @@ use wgft_core::CampaignConfig;
 /// Version 2: unit results journal ABFT event counters and manifests record
 /// the network's per-algorithm operation counts (the `protection_tradeoff`
 /// campaign kind needs both to merge bit-identically).
-pub const JOURNAL_VERSION: u32 = 2;
+///
+/// Version 3: manifests record the arithmetic mode their results were
+/// computed under (merging refuses a journal whose mode this build cannot
+/// reproduce bit-identically) and an optional fabric-session tag naming the
+/// distributed coordinator that created the run.
+pub const JOURNAL_VERSION: u32 = 3;
+
+/// The arithmetic mode this build journals results under.
+///
+/// Every campaign-visible number is computed in quantized integer/fixed-point
+/// arithmetic with order-independent integer reductions, so results are
+/// bit-identical across execution orders, thread counts and machines that
+/// agree on this tag. A distributed worker whose build reports a different
+/// mode must not contribute results, and `merge` refuses a journal recorded
+/// under a mode the merging build cannot reproduce.
+pub const ARITHMETIC_MODE: &str = "quantized-exact-v1";
 
 /// File name of the manifest inside a run directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
@@ -124,6 +139,14 @@ pub struct Manifest {
     pub standard_ops: wgft_faultsim::OpCount,
     /// Total operation count under winograd convolution.
     pub winograd_ops: wgft_faultsim::OpCount,
+    /// Arithmetic mode the results are computed under (see
+    /// [`ARITHMETIC_MODE`]). Part of the content hash: a journal recorded
+    /// under a different mode is a different, incompatible run.
+    pub arithmetic_mode: String,
+    /// Session tag of the distributed coordinator that created this run
+    /// (`None` for single-machine journals). Metadata only — two sessions
+    /// that agree on the plan hash journal interchangeable results.
+    pub fabric_session: Option<String>,
     /// FNV-1a hash (hex) over the plan identity; see [`Manifest::plan_hash`].
     pub content_hash: String,
 }
@@ -157,6 +180,8 @@ impl Manifest {
             clean_accuracy,
             standard_ops,
             winograd_ops,
+            arithmetic_mode: ARITHMETIC_MODE.to_string(),
+            fabric_session: None,
             content_hash: String::new(),
         };
         manifest.unit_count = manifest.plan().units().len() as u64;
@@ -164,17 +189,27 @@ impl Manifest {
         manifest
     }
 
-    /// The content hash over the fields that determine the unit table: kind,
-    /// config, BER grid, chunking and image count, each in its canonical
-    /// JSON form.
+    /// Tag this manifest with the fabric session that created the run.
+    ///
+    /// The tag is metadata outside the content hash, so a fabric journal and
+    /// a single-machine journal of the same plan stay interchangeable.
+    #[must_use]
+    pub fn with_fabric_session(mut self, session: impl Into<String>) -> Self {
+        self.fabric_session = Some(session.into());
+        self
+    }
+
+    /// The content hash over the fields that determine the unit table and
+    /// result compatibility: kind, config, BER grid, chunking, image count
+    /// and arithmetic mode, each in its canonical JSON form.
     #[must_use]
     pub fn plan_hash(&self) -> String {
         let kind = serde_json::to_string(&self.kind).unwrap_or_default();
         let config = serde_json::to_string(&self.config).unwrap_or_default();
         let bers = serde_json::to_string(&self.bers).unwrap_or_default();
         let identity = format!(
-            "v{}\n{kind}\n{config}\n{bers}\nchunk={}\nimages={}",
-            self.version, self.chunk, self.images
+            "v{}\n{kind}\n{config}\n{bers}\nchunk={}\nimages={}\narithmetic={}",
+            self.version, self.chunk, self.images, self.arithmetic_mode
         );
         format!("{:016x}", fnv1a64(identity.as_bytes()))
     }
@@ -200,8 +235,8 @@ impl Manifest {
         let expect = self.plan_hash();
         if self.content_hash != expect {
             return Err(SweepError::manifest(format!(
-                "content hash mismatch: manifest says {}, plan derives {expect} — \
-                 the manifest was edited or produced by an incompatible build",
+                "content hash mismatch: expected {expect} (derived from the plan), \
+                 found {} — the manifest was edited or produced by an incompatible build",
                 self.content_hash
             )));
         }
@@ -252,12 +287,11 @@ impl Journal {
             let existing = Self::open(&dir)?;
             if existing.manifest.content_hash != manifest.content_hash {
                 return Err(SweepError::manifest(format!(
-                    "{} already holds a different run (hash {}, new plan hashes {}) — \
-                     choose a fresh directory or resume the existing run",
-                    dir.display(),
-                    existing.manifest.content_hash,
-                    manifest.content_hash
-                )));
+                    "already holds a different run (found content hash {}, new plan \
+                     expects {}) — choose a fresh directory or resume the existing run",
+                    existing.manifest.content_hash, manifest.content_hash
+                ))
+                .at_path(&path));
             }
             return Ok(existing);
         }
@@ -289,9 +323,10 @@ impl Journal {
         let dir = dir.into();
         let path = dir.join(MANIFEST_FILE);
         let text = fs::read_to_string(&path).map_err(|e| SweepError::io(&path, e))?;
-        let manifest: Manifest = serde_json::from_str(text.trim_end())
-            .map_err(|e| SweepError::manifest(format!("manifest does not parse: {e}")))?;
-        manifest.validate()?;
+        let manifest: Manifest = serde_json::from_str(text.trim_end()).map_err(|e| {
+            SweepError::manifest(format!("manifest does not parse: {e}")).at_path(&path)
+        })?;
+        manifest.validate().map_err(|e| e.at_path(&path))?;
         Ok(Self { dir, manifest })
     }
 

@@ -68,8 +68,8 @@ mod unit;
 
 pub use error::SweepError;
 pub use journal::{
-    fnv1a64, CompletedSet, Journal, Manifest, ResultAppender, UnitResult, JOURNAL_VERSION,
-    MANIFEST_FILE,
+    fnv1a64, CompletedSet, Journal, Manifest, ResultAppender, UnitResult, ARITHMETIC_MODE,
+    JOURNAL_VERSION, MANIFEST_FILE,
 };
 pub use merge::{merge, CriticalBerReport, CriticalBerRow, MergedReport};
 pub use progress::{render_status, ProgressSink, ProgressSnapshot, SilentProgress, TableProgress};

@@ -111,6 +111,18 @@ impl fmt::Display for MergedReport {
 /// [`SweepError::Journal`] if the journaled image counts do not add up to
 /// the evaluation-set size.
 pub fn merge(manifest: &Manifest, completed: &CompletedSet) -> Result<MergedReport, SweepError> {
+    // A journal recorded under a different arithmetic mode was produced by a
+    // build whose numbers this build cannot reproduce bit-identically;
+    // merging it would silently mix incomparable results. This is the gate
+    // the distributed fabric relies on to keep heterogeneous workers honest.
+    if manifest.arithmetic_mode != crate::journal::ARITHMETIC_MODE {
+        return Err(SweepError::manifest(format!(
+            "journal was recorded under arithmetic mode `{}`, but this build computes \
+             `{}` — the merged report would not be bit-identical to a monolithic run",
+            manifest.arithmetic_mode,
+            crate::journal::ARITHMETIC_MODE
+        )));
+    }
     let plan = manifest.plan();
     let total = plan.units().len() as u64;
     let done = completed.results.len() as u64;

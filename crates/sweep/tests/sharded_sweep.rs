@@ -529,6 +529,70 @@ fn tampered_baseline_is_rejected_on_resume() {
     assert!(outcome.run_complete());
 }
 
+/// Manifest validation failures must name the offending file and both
+/// content hashes (expected-from-plan vs found-on-disk), so a drifted or
+/// hand-edited journal is diagnosable from the error alone.
+#[test]
+fn manifest_errors_name_the_path_and_both_content_hashes() {
+    let campaign = campaign();
+    let manifest = manifest_for(SweepKind::NetworkSweep, &config(), &[0.0], CHUNK, campaign);
+    let expected_hash = manifest.content_hash.clone();
+    let dir = tmp_dir("manifest-error-detail");
+    drop(Journal::create(&dir, manifest).expect("create"));
+
+    // Tamper with a hashed field on disk (the BER grid) without updating
+    // the recorded content hash.
+    let manifest_path = dir.join(wgft_sweep::MANIFEST_FILE);
+    let text = fs::read_to_string(&manifest_path).expect("manifest readable");
+    assert!(text.contains("[0.0]"), "fixture expects a [0.0] BER grid");
+    fs::write(&manifest_path, text.replace("[0.0]", "[0.5]")).expect("manifest writable");
+
+    let err = Journal::open(&dir).expect_err("tampered manifest must be rejected");
+    let message = err.to_string();
+    assert!(
+        message.contains(manifest_path.display().to_string().as_str()),
+        "error must name the offending file: {message}"
+    );
+    assert!(
+        message.contains(&expected_hash) || message.contains("expected"),
+        "error must state the found-on-disk hash and what was expected: {message}"
+    );
+    assert!(
+        message.contains("content hash mismatch"),
+        "error must say what kind of mismatch this is: {message}"
+    );
+
+    // Creating a *different* run over an existing journal must name both
+    // hashes and the manifest path too.
+    let other = manifest_for(
+        SweepKind::NetworkSweep,
+        &config(),
+        &[0.0, 1e-4],
+        CHUNK,
+        campaign,
+    );
+    let other_hash = other.content_hash.clone();
+    let dir = tmp_dir("manifest-error-conflict");
+    let first = manifest_for(SweepKind::NetworkSweep, &config(), &[0.0], CHUNK, campaign);
+    let first_hash = first.content_hash.clone();
+    drop(Journal::create(&dir, first).expect("create"));
+    let err = Journal::create(&dir, other).expect_err("conflicting plan must be rejected");
+    let message = err.to_string();
+    assert!(
+        message.contains(&other_hash) && message.contains(&first_hash),
+        "error must show the found and expected hashes: {message}"
+    );
+    assert!(
+        message.contains(
+            dir.join(wgft_sweep::MANIFEST_FILE)
+                .display()
+                .to_string()
+                .as_str()
+        ),
+        "error must name the manifest path: {message}"
+    );
+}
+
 fn result_file(dir: &Path) -> PathBuf {
     let journal = Journal::open(dir).expect("journal opens");
     let files = journal.result_files().expect("listable");

@@ -1,10 +1,15 @@
 //! Demonstrates the sharded, checkpointable sweep subsystem end to end:
-//! split one `network_sweep` campaign across two shard "processes",
+//! split one `network_sweep` campaign across shard "processes",
 //! interrupt the journal the way a kill does, resume with a different shard
 //! count, and merge — then verify the merged report is bit-identical to the
 //! monolithic in-memory campaign.
 //!
-//! Run with `cargo run --release --example sharded_sweep`.
+//! Run with `cargo run --release --example sharded_sweep`. The journal
+//! directory, shard count, image count and chunk size are configurable via
+//! `--dir/--shards/--images/--chunk` flags or the corresponding
+//! `WGFT_SWEEP_{DIR,SHARDS,IMAGES,CHUNK}` environment variables — the same
+//! invocation shape as the `fabric_sweep` example, so CI drives both
+//! through one harness.
 
 use std::fs;
 use std::io::Write as _;
@@ -17,30 +22,48 @@ use winograd_ft::sweep::{
     SilentProgress, SweepKind,
 };
 
+/// `--flag value` from `args`, else `env_var`, else `default`. Shared
+/// invocation shape of the sweep/fabric examples.
+fn arg_or_env(args: &[String], flag: &str, env_var: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+        .or_else(|| std::env::var(env_var).ok())
+        .unwrap_or_else(|| default.to_string())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let dir = PathBuf::from("target/sweeps/sharded_sweep_example");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let dir = PathBuf::from(arg_or_env(
+        &args,
+        "--dir",
+        "WGFT_SWEEP_DIR",
+        "target/sweeps/sharded_sweep_example",
+    ));
+    let shards: u64 = arg_or_env(&args, "--shards", "WGFT_SWEEP_SHARDS", "2").parse()?;
+    let images: usize = arg_or_env(&args, "--images", "WGFT_SWEEP_IMAGES", "16").parse()?;
+    let chunk: usize = arg_or_env(&args, "--chunk", "WGFT_SWEEP_CHUNK", "4").parse()?;
     let _ = fs::remove_dir_all(&dir);
     let config = CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W8)
-        .with_images(16)
+        .with_images(images)
         .with_cache_dir("target/wgft-models");
     let bers = [0.0, 1e-4, 3e-3];
-    let chunk = 4;
 
-    // Two shards of the same journal, as two independent "processes" would
-    // run them (`wgft-sweep run --shards 2 --shard-index {0,1}`).
-    println!("running shard 0/2 and 1/2 of a network sweep ...");
-    for index in 0..2 {
+    // All shards of the same journal, as independent "processes" would run
+    // them (`wgft-sweep run --shards K --shard-index {0..K}`).
+    println!("running {shards} shard(s) of a network sweep ...");
+    for index in 0..shards {
         let outcome = run_sweep(
             &dir,
             SweepKind::NetworkSweep,
             &config,
             &bers,
             chunk,
-            ShardSpec::new(2, index)?,
+            ShardSpec::new(shards, index)?,
             &SilentProgress,
         )?;
         println!(
-            "  shard {index}/2: evaluated {} unit(s), run {}/{} complete",
+            "  shard {index}/{shards}: evaluated {} unit(s), run {}/{} complete",
             outcome.evaluated, outcome.run_done, outcome.run_total
         );
     }

@@ -16,8 +16,12 @@
 //! * [`core`] — fault-tolerance campaigns, fine-grained TMR and
 //!   voltage-scaling energy optimization (the paper's contribution),
 //! * [`sweep`] — sharded, checkpointable campaign orchestration with a
-//!   persistent run journal, resume, and bit-identical merging (also the
-//!   `wgft-sweep` CLI).
+//!   persistent run journal, resume, and bit-identical merging,
+//! * [`fabric`] — the distributed sweep fabric: a lease-based
+//!   coordinator/worker protocol over TCP (or in-process) with heartbeats,
+//!   work stealing, fault injection and retry — merged reports stay
+//!   bit-identical to monolithic runs (also the `wgft-sweep` CLI, whose
+//!   `serve`/`work` subcommands drive it).
 //!
 //! # Quickstart
 //!
@@ -42,6 +46,7 @@ pub use wgft_abft as abft;
 pub use wgft_accel as accel;
 pub use wgft_core as core;
 pub use wgft_data as data;
+pub use wgft_fabric as fabric;
 pub use wgft_faultsim as faultsim;
 pub use wgft_fixedpoint as fixedpoint;
 pub use wgft_nn as nn;
