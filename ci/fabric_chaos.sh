@@ -36,7 +36,8 @@ ARGS=(--campaign network_sweep --model vgg_small --width 8 --scale test
 "$BIN" merge --dir "$ROOT/clean" --out "$ROOT/clean.json" > /dev/null
 
 # Coordinator: short leases so the SIGKILLed worker's units are stolen
-# quickly; exits on its own once every unit is journaled.
+# quickly; drains on the explicit `shutdown` request sent after the workers
+# finish.
 "$BIN" serve --dir "$ROOT/fabric" "${ARGS[@]}" --listen 127.0.0.1:0 \
   --port-file "$ROOT/addr" --lease-ms 3000 --quiet &
 SERVE_PID=$!
@@ -80,6 +81,9 @@ W2=$!
 
 wait "$W1"
 wait "$W2"
+# Explicit drain: every worker is done, so tell the coordinator to stop
+# serving instead of relying on a timed linger.
+"$BIN" shutdown --connect "$ADDR"
 wait "$SERVE_PID"
 trap - EXIT
 

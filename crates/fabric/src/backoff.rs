@@ -49,22 +49,25 @@ impl RetryPolicy {
     }
 }
 
-/// A transport wrapper that retries transient failures with capped
-/// exponential backoff and seeded jitter.
-pub struct RetryTransport<T: SweepTransport> {
-    inner: T,
+/// The protocol-agnostic retry executor: capped exponential backoff with
+/// seeded jitter around any fallible operation.
+///
+/// [`RetryTransport`] wraps it for the sweep protocol; `wgft-serve`'s client
+/// wraps it for the serving protocol. Retries transient
+/// ([`FabricError::is_retryable`]) failures only — deterministic errors
+/// surface immediately.
+pub struct Backoff {
     policy: RetryPolicy,
     sleeper: Arc<dyn Sleeper>,
     rng: SmallRng,
     retries: u64,
 }
 
-impl<T: SweepTransport> RetryTransport<T> {
-    /// Wrap `inner` with `policy`, passing time through `sleeper`.
+impl Backoff {
+    /// A backoff executor with `policy`, passing time through `sleeper`.
     #[must_use]
-    pub fn new(inner: T, policy: RetryPolicy, sleeper: Arc<dyn Sleeper>) -> Self {
+    pub fn new(policy: RetryPolicy, sleeper: Arc<dyn Sleeper>) -> Self {
         Self {
-            inner,
             policy,
             sleeper,
             rng: SmallRng::seed_from_u64(policy.seed),
@@ -72,25 +75,34 @@ impl<T: SweepTransport> RetryTransport<T> {
         }
     }
 
-    /// Retries performed so far (across all calls).
+    /// Retries performed so far (across all `run` calls).
     #[must_use]
     pub fn retries(&self) -> u64 {
         self.retries
     }
 
-    /// The wrapped transport (for stats on fault-injecting inners).
+    /// The configured policy.
     #[must_use]
-    pub fn inner(&self) -> &T {
-        &self.inner
+    pub fn policy(&self) -> RetryPolicy {
+        self.policy
     }
-}
 
-impl<T: SweepTransport> SweepTransport for RetryTransport<T> {
-    fn call(&mut self, request: &Request) -> Result<Response, FabricError> {
+    /// Run `op`, retrying transient failures up to the policy's attempt
+    /// budget with capped exponential backoff and seeded jitter in
+    /// `[0.5, 1.0] ×` the raw delay.
+    ///
+    /// # Errors
+    ///
+    /// The first non-retryable error verbatim, or
+    /// [`FabricError::RetriesExhausted`] after the final attempt fails.
+    pub fn run<R>(
+        &mut self,
+        mut op: impl FnMut() -> Result<R, FabricError>,
+    ) -> Result<R, FabricError> {
         let mut attempt = 1u32;
         loop {
-            match self.inner.call(request) {
-                Ok(response) => return Ok(response),
+            match op() {
+                Ok(value) => return Ok(value),
                 Err(e) if !e.is_retryable() => return Err(e),
                 Err(e) => {
                     if attempt >= self.policy.max_attempts {
@@ -113,11 +125,56 @@ impl<T: SweepTransport> SweepTransport for RetryTransport<T> {
     }
 }
 
+impl std::fmt::Debug for Backoff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backoff")
+            .field("policy", &self.policy)
+            .field("retries", &self.retries)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A transport wrapper that retries transient failures with capped
+/// exponential backoff and seeded jitter.
+pub struct RetryTransport<T: SweepTransport> {
+    inner: T,
+    backoff: Backoff,
+}
+
+impl<T: SweepTransport> RetryTransport<T> {
+    /// Wrap `inner` with `policy`, passing time through `sleeper`.
+    #[must_use]
+    pub fn new(inner: T, policy: RetryPolicy, sleeper: Arc<dyn Sleeper>) -> Self {
+        Self {
+            inner,
+            backoff: Backoff::new(policy, sleeper),
+        }
+    }
+
+    /// Retries performed so far (across all calls).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.backoff.retries()
+    }
+
+    /// The wrapped transport (for stats on fault-injecting inners).
+    #[must_use]
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: SweepTransport> SweepTransport for RetryTransport<T> {
+    fn call(&mut self, request: &Request) -> Result<Response, FabricError> {
+        let inner = &mut self.inner;
+        self.backoff.run(|| inner.call(request))
+    }
+}
+
 impl<T: SweepTransport> std::fmt::Debug for RetryTransport<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RetryTransport")
-            .field("policy", &self.policy)
-            .field("retries", &self.retries)
+            .field("backoff", &self.backoff)
             .finish_non_exhaustive()
     }
 }
@@ -223,5 +280,120 @@ mod tests {
         assert_eq!(p.raw_delay_ms(3), 40);
         assert_eq!(p.raw_delay_ms(4), 80);
         assert_eq!(p.raw_delay_ms(10), 80, "capped");
+    }
+
+    /// A sleeper that records every requested delay (milliseconds).
+    #[derive(Default)]
+    struct RecordingSleeper {
+        slept_ms: std::sync::Mutex<Vec<u64>>,
+    }
+
+    impl RecordingSleeper {
+        fn slept(&self) -> Vec<u64> {
+            self.slept_ms.lock().unwrap().clone()
+        }
+    }
+
+    impl Sleeper for RecordingSleeper {
+        fn sleep(&self, duration: Duration) {
+            self.slept_ms
+                .lock()
+                .unwrap()
+                .push(u64::try_from(duration.as_millis()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Drive `Backoff::run` through `attempts - 1` failures and return the
+    /// recorded sleep schedule.
+    fn sleeps_for(policy: RetryPolicy) -> Vec<u64> {
+        let sleeper = Arc::new(RecordingSleeper::default());
+        let mut backoff = Backoff::new(policy, Arc::<RecordingSleeper>::clone(&sleeper));
+        let err = backoff
+            .run::<()>(|| Err(FabricError::connection("down")))
+            .expect_err("always failing");
+        assert!(matches!(err, FabricError::RetriesExhausted { .. }));
+        sleeper.slept()
+    }
+
+    #[test]
+    fn every_jittered_delay_respects_the_exponential_cap_and_bounds() {
+        let p = RetryPolicy {
+            base_ms: 10,
+            cap_ms: 80,
+            max_attempts: 12,
+            seed: 42,
+        };
+        let slept = sleeps_for(p);
+        assert_eq!(slept.len() as u32, p.max_attempts - 1);
+        for (i, &ms) in slept.iter().enumerate() {
+            let attempt = u32::try_from(i).unwrap() + 1;
+            let raw = p.raw_delay_ms(attempt);
+            assert!(ms <= p.cap_ms, "attempt {attempt}: {ms}ms exceeds the cap");
+            // Jitter scales by a factor in [0.5, 1.0]; rounding adds at most
+            // half a millisecond on either side.
+            let lo = (raw as f64 * 0.5).floor() as u64;
+            assert!(
+                ms >= lo && ms <= raw,
+                "attempt {attempt}: {ms}ms outside [{lo}, {raw}]"
+            );
+        }
+        // The later attempts must actually reach the cap region (the cap is
+        // exercised, not just never violated).
+        assert!(
+            slept.iter().rev().take(5).all(|&ms| ms >= p.cap_ms / 2),
+            "capped attempts must sleep in [cap/2, cap]: {slept:?}"
+        );
+    }
+
+    #[test]
+    fn jitter_is_seed_deterministic() {
+        let p = policy();
+        assert_eq!(sleeps_for(p), sleeps_for(p), "same seed, same schedule");
+        let other = RetryPolicy { seed: 6, ..p };
+        assert_ne!(
+            sleeps_for(p),
+            sleeps_for(other),
+            "different seed must desynchronize the schedule"
+        );
+    }
+
+    #[test]
+    fn retry_counts_match_a_scripted_failure_sequence() {
+        // Script: per call, how many failures precede the success.
+        let script = [0u32, 2, 0, 3, 1];
+        let sleeper = Arc::new(RecordingSleeper::default());
+        let mut failures_left;
+        let total: u32 = script.iter().sum();
+        let mut backoff = Backoff::new(
+            RetryPolicy {
+                base_ms: 10,
+                cap_ms: 80,
+                max_attempts: 8,
+                seed: 9,
+            },
+            Arc::<RecordingSleeper>::clone(&sleeper),
+        );
+        for &failures in &script {
+            failures_left = failures;
+            backoff
+                .run(|| {
+                    if failures_left > 0 {
+                        failures_left -= 1;
+                        Err(FabricError::connection("down"))
+                    } else {
+                        Ok(())
+                    }
+                })
+                .expect("script always ends in success");
+        }
+        assert_eq!(backoff.retries(), u64::from(total));
+        let slept = sleeper.slept();
+        assert_eq!(slept.len() as u32, total, "one sleep per retry");
+        // Each call's backoff restarts at attempt 1, so the first retry of
+        // every failing call sleeps within the base delay.
+        assert!(
+            slept[0] <= 10 && slept[2] <= 10 && slept[5] <= 10,
+            "{slept:?}"
+        );
     }
 }

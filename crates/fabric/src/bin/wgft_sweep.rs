@@ -15,6 +15,7 @@
 //!                   [--session TAG] [--quiet]
 //! wgft-sweep work   --connect ADDR [--name N] [--cache-dir DIR]
 //!                   [--max-units N] [--chaos SPEC]
+//! wgft-sweep shutdown --connect ADDR
 //! ```
 //!
 //! `run` creates the journal (idempotently: re-running the same plan against
@@ -69,6 +70,7 @@ fn usage() -> &'static str {
         "wgft-sweep work   --connect ADDR [--name NAME] [--cache-dir DIR]\n",
         "                  [--max-units N] [--chaos seed=S,drop=P,torn=P,dup=P,\n",
         "                  lost=P,delay=P:MS]\n",
+        "wgft-sweep shutdown --connect ADDR\n",
         "\n",
         "A killed run (or shard) resumes from its journal; `merge` reduces the\n",
         "completed journal into the campaign report, bit-identical to a\n",
@@ -420,14 +422,47 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 stats.leases_expired,
                 stats.conflicts_rejected
             );
-            // Linger one lease period so workers idling in their NoWork
-            // poll loop (retry interval: lease_ms / 4) observe `done` and
-            // exit cleanly instead of hitting a vanished server.
-            std::thread::sleep(std::time::Duration::from_millis(fabric_config.lease_ms));
+            // Keep serving until a `shutdown` request arrives: workers
+            // idling in their NoWork poll loop observe `done` and exit, and
+            // the drill driver (or an operator) sends the explicit drain —
+            // no timing heuristic. A bounded fallback (3 lease periods)
+            // still ends an unattended run.
+            let deadline = std::time::Instant::now()
+                + std::time::Duration::from_millis(fabric_config.lease_ms.saturating_mul(3));
+            while !server.shutdown_requested().map_err(|e| e.to_string())?
+                && std::time::Instant::now() < deadline
+            {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
             server.stop();
             return Ok(());
         }
         std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+}
+
+fn cmd_shutdown(args: &Args) -> Result<(), String> {
+    args.reject_unknown(&["--connect"])?;
+    let addr = args
+        .get("--connect")
+        .ok_or_else(|| "--connect is required".to_string())?;
+    let mut transport = RemoteTransport::new(addr);
+    match transport
+        .call(&Request::Shutdown)
+        .map_err(|e| e.to_string())?
+    {
+        Response::ShutdownAck { done } => {
+            eprintln!(
+                "[wgft-sweep] shutdown acknowledged ({})",
+                if done {
+                    "plan complete — server draining"
+                } else {
+                    "plan incomplete — server drains once every unit is journaled"
+                }
+            );
+            Ok(())
+        }
+        other => Err(format!("unexpected response to Shutdown: {other:?}")),
     }
 }
 
@@ -595,6 +630,7 @@ fn main() -> ExitCode {
         "merge" => cmd_merge(&args),
         "serve" => cmd_serve(&args),
         "work" => cmd_work(&args),
+        "shutdown" => cmd_shutdown(&args),
         other => Err(format!("unknown command `{other}`")),
     };
     match result {

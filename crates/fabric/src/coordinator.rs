@@ -80,6 +80,7 @@ pub struct Coordinator {
     config: FabricConfig,
     session: String,
     stats: CoordinatorStats,
+    shutdown_requested: bool,
 }
 
 impl Coordinator {
@@ -123,6 +124,7 @@ impl Coordinator {
             config,
             session: session.into(),
             stats: CoordinatorStats::default(),
+            shutdown_requested: false,
         })
     }
 
@@ -142,6 +144,14 @@ impl Coordinator {
     #[must_use]
     pub fn stats(&self) -> CoordinatorStats {
         self.stats
+    }
+
+    /// Whether a drain ([`Request::Shutdown`]) has been recorded. The serve
+    /// loop combines this with [`Coordinator::done`] to exit promptly once
+    /// the plan completes, instead of lingering on a timing heuristic.
+    #[must_use]
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown_requested
     }
 
     /// Drop every lease whose deadline has passed (strictly: expired means
@@ -175,6 +185,12 @@ impl Coordinator {
                 leased: self.leases.len() as u64,
                 workers: self.workers.len() as u64,
             },
+            Request::Shutdown => {
+                // Idempotent: the first request and every re-send flip the
+                // same flag and report the same observable state.
+                self.shutdown_requested = true;
+                Response::ShutdownAck { done: self.done() }
+            }
         }
     }
 

@@ -1,0 +1,341 @@
+//! Protocol-agnostic framed TCP plumbing shared by every daemon in the
+//! workspace.
+//!
+//! The sweep fabric and the serving daemon speak different message types but
+//! the same transport discipline: `WGFB` length-prefixed FNV-1a-checksummed
+//! frames, a threaded accept loop that drops a connection on any torn or
+//! malformed frame (never the server), and a lazily reconnecting client that
+//! refuses to reuse a stream in an unknown framing state. This module holds
+//! that plumbing once — [`FramedTcpServer`] and [`FramedTcpClient`] — so
+//! `wgft-serve` reuses the fabric's transport guarantees instead of copying
+//! them. The typed sweep wrappers live in [`crate::remote`].
+
+use crate::error::FabricError;
+use crate::wire::{read_frame, write_frame};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a server connection handler blocks waiting for the next frame
+/// before re-checking the shutdown flag.
+const SERVER_POLL: Duration = Duration::from_millis(100);
+
+/// How long the server waits for the rest of a frame once its first byte has
+/// arrived (a SIGKILLed peer leaves a torn frame, which times out here).
+const MID_FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A request/response handler behind a [`FramedTcpServer`].
+///
+/// `handle_frame` receives one decoded frame payload and returns the payload
+/// of the response frame, or `None` to drop the connection (the standard
+/// answer to a payload that does not decode — a client sending garbage only
+/// loses its own connection). Handlers are shared across connection threads,
+/// so interior state needs its own synchronization.
+pub trait FrameHandler: Send + Sync {
+    /// Handle one request payload; `None` drops the connection.
+    fn handle_frame(&self, payload: &[u8]) -> Option<Vec<u8>>;
+}
+
+/// A threaded TCP server speaking the framed wire protocol for one
+/// [`FrameHandler`]: nonblocking accept loop, one thread per connection,
+/// malformed input costs only the offending connection.
+pub struct FramedTcpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl FramedTcpServer {
+    /// Bind `addr` (use port 0 for an ephemeral port) and start serving
+    /// `handler` on a background accept loop.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the listener cannot bind.
+    pub fn spawn(handler: Arc<dyn FrameHandler>, addr: &str) -> Result<Self, FabricError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_handlers = Arc::clone(&handlers);
+        let accept_thread = std::thread::spawn(move || {
+            while !accept_shutdown.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        let conn_shutdown = Arc::clone(&accept_shutdown);
+                        let conn_handler = Arc::clone(&handler);
+                        let handle = std::thread::spawn(move || {
+                            serve_connection(&stream, conn_handler.as_ref(), &conn_shutdown);
+                        });
+                        if let Ok(mut handlers) = accept_handlers.lock() {
+                            handlers.push(handle);
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
+                }
+            }
+        });
+
+        Ok(Self {
+            addr: local,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            handlers,
+        })
+    }
+
+    /// The bound address (with the real port when bound to port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wind down connection handlers and join all threads.
+    pub fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.accept_thread.take() {
+            let _ = thread.join();
+        }
+        let handles = match self.handlers.lock() {
+            Ok(mut handlers) => handlers.drain(..).collect::<Vec<_>>(),
+            Err(_) => Vec::new(),
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FramedTcpServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl std::fmt::Debug for FramedTcpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FramedTcpServer")
+            .field("addr", &self.addr)
+            .field("shutdown", &self.shutdown.load(Ordering::SeqCst))
+            .finish_non_exhaustive()
+    }
+}
+
+/// One connection: frames in, frames out, until the peer leaves, a frame is
+/// unrecoverable, the handler drops it, or the server shuts down.
+fn serve_connection(stream: &TcpStream, handler: &dyn FrameHandler, shutdown: &Arc<AtomicBool>) {
+    stream.set_nodelay(true).ok();
+    stream.set_read_timeout(Some(SERVER_POLL)).ok();
+    let mut reader = match stream.try_clone() {
+        Ok(reader) => reader,
+        Err(_) => return,
+    };
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    while !shutdown.load(Ordering::SeqCst) {
+        // Wait (bounded) for the next frame's first byte so shutdown is
+        // honored on idle connections.
+        let mut probe = [0u8; 1];
+        match reader.peek(&mut probe) {
+            Ok(0) => return, // clean close
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                continue;
+            }
+            Err(_) => return,
+        }
+        // A frame has started: give the peer a bounded window to finish it.
+        stream.set_read_timeout(Some(MID_FRAME_TIMEOUT)).ok();
+        let outcome = read_frame(&mut reader).and_then(|payload| {
+            match handler.handle_frame(&payload) {
+                Some(response) => write_frame(&mut writer, &response),
+                // The handler refused the payload (e.g. it did not decode):
+                // surface as a wire error so the connection is dropped.
+                None => Err(FabricError::wire("handler dropped the frame")),
+            }
+        });
+        stream.set_read_timeout(Some(SERVER_POLL)).ok();
+        if outcome.is_err() {
+            // Torn frame, garbage, or a dead writer: drop this connection.
+            return;
+        }
+    }
+}
+
+/// A raw framed TCP client that reconnects lazily.
+///
+/// Any failed call drops the cached connection, so the next attempt (for a
+/// retryable error, typically via a [`crate::Backoff`] loop) dials fresh —
+/// which is what recovers from a daemon restart or a mid-frame disconnect.
+pub struct FramedTcpClient {
+    addr: String,
+    io_timeout: Option<Duration>,
+    stream: Option<TcpStream>,
+}
+
+impl FramedTcpClient {
+    /// A client dialing `addr` (e.g. `127.0.0.1:7070`). No connection is
+    /// made until the first call. The default per-call I/O timeout is 30 s.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            io_timeout: Some(Duration::from_secs(30)),
+            stream: None,
+        }
+    }
+
+    /// Override the per-call read/write timeout (`None` blocks forever).
+    #[must_use]
+    pub fn with_io_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.io_timeout = timeout;
+        self
+    }
+
+    /// The dialed address.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Re-point the client at a new address. A cached connection to the old
+    /// address is dropped; a restarted daemon typically comes back on a
+    /// fresh ephemeral port, so retry loops re-resolve and call this.
+    pub fn set_addr(&mut self, addr: impl Into<String>) {
+        let addr = addr.into();
+        if addr != self.addr {
+            self.addr = addr;
+            self.stream = None;
+        }
+    }
+
+    /// Whether a connection is currently cached.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    fn connected(&mut self) -> Result<&mut TcpStream, FabricError> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(&self.addr).map_err(|e| {
+                FabricError::connection(format!("connect to {} failed: {e}", self.addr))
+            })?;
+            stream.set_nodelay(true).ok();
+            stream.set_read_timeout(self.io_timeout).ok();
+            stream.set_write_timeout(self.io_timeout).ok();
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("stream just ensured"))
+    }
+
+    /// Send one request payload and wait for the response payload. On any
+    /// error the cached connection is dropped — never reuse a stream in an
+    /// unknown framing state.
+    ///
+    /// # Errors
+    ///
+    /// Connection, wire, or I/O failures; all are retryable.
+    pub fn call_raw(&mut self, payload: &[u8]) -> Result<Vec<u8>, FabricError> {
+        let result = (|| {
+            let stream = self.connected()?;
+            write_frame(stream, payload)?;
+            read_frame(stream)
+        })();
+        if result.is_err() {
+            self.stream = None;
+        }
+        result
+    }
+}
+
+impl std::fmt::Debug for FramedTcpClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FramedTcpClient")
+            .field("addr", &self.addr)
+            .field("connected", &self.stream.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::encode;
+
+    /// Echo uppercased ASCII; drop the connection on a payload containing 0.
+    struct Shout;
+
+    impl FrameHandler for Shout {
+        fn handle_frame(&self, payload: &[u8]) -> Option<Vec<u8>> {
+            if payload.contains(&0) {
+                return None;
+            }
+            Some(payload.to_ascii_uppercase())
+        }
+    }
+
+    #[test]
+    fn round_trips_raw_frames() {
+        let mut server = FramedTcpServer::spawn(Arc::new(Shout), "127.0.0.1:0").unwrap();
+        let mut client = FramedTcpClient::new(server.addr().to_string());
+        assert!(!client.is_connected());
+        assert_eq!(client.call_raw(b"hello").unwrap(), b"HELLO");
+        assert!(client.is_connected());
+        assert_eq!(client.call_raw(b"again").unwrap(), b"AGAIN");
+        server.stop();
+    }
+
+    #[test]
+    fn handler_refusal_drops_the_connection_and_client_redials() {
+        let server = FramedTcpServer::spawn(Arc::new(Shout), "127.0.0.1:0").unwrap();
+        let mut client = FramedTcpClient::new(server.addr().to_string())
+            .with_io_timeout(Some(Duration::from_secs(2)));
+        client
+            .call_raw(b"\0poison")
+            .expect_err("dropped connection");
+        assert!(
+            !client.is_connected(),
+            "failed call must not cache a stream"
+        );
+        // The next call dials fresh and succeeds.
+        assert_eq!(client.call_raw(b"ok").unwrap(), b"OK");
+    }
+
+    #[test]
+    fn connection_refused_is_a_retryable_connection_error() {
+        let addr = {
+            let server = FramedTcpServer::spawn(Arc::new(Shout), "127.0.0.1:0").unwrap();
+            server.addr().to_string()
+            // server dropped here: the port is closed again
+        };
+        let mut client = FramedTcpClient::new(addr);
+        let err = client.call_raw(b"x").expect_err("nothing listening");
+        assert!(err.is_retryable(), "got {err}");
+    }
+
+    #[test]
+    fn oversized_payloads_are_rejected_client_side() {
+        let server = FramedTcpServer::spawn(Arc::new(Shout), "127.0.0.1:0").unwrap();
+        let mut client = FramedTcpClient::new(server.addr().to_string());
+        let huge = vec![b'a'; crate::wire::MAX_FRAME_LEN as usize + 1];
+        client.call_raw(&huge).expect_err("must refuse to send");
+        // The typed encode path also produces raw payloads this client ships.
+        let ok = encode(&crate::wire::Request::Status).unwrap();
+        assert!(
+            !client.call_raw(&ok).unwrap().is_empty(),
+            "normal frames still flow"
+        );
+    }
+}

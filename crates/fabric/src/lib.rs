@@ -41,16 +41,18 @@ mod clock;
 mod coordinator;
 mod error;
 mod faulty;
+mod framed;
 mod remote;
 mod transport;
 pub mod wire;
 mod worker;
 
-pub use backoff::{RetryPolicy, RetryTransport};
+pub use backoff::{Backoff, RetryPolicy, RetryTransport};
 pub use clock::{Clock, ClockSleeper, ManualClock, Sleeper, SystemClock, ThreadSleeper};
 pub use coordinator::{Coordinator, CoordinatorStats, FabricConfig};
 pub use error::FabricError;
 pub use faulty::{FaultConfig, FaultKind, FaultSchedule, FaultStats, FaultyTransport};
+pub use framed::{FrameHandler, FramedTcpClient, FramedTcpServer};
 pub use remote::{FabricServer, RemoteTransport};
 pub use transport::{LocalTransport, SweepTransport};
 pub use wire::{Request, Response, UploadOutcome};

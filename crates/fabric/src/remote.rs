@@ -1,36 +1,30 @@
-//! TCP transport: a reconnecting client and a threaded frame server.
+//! TCP transport for the sweep protocol: typed wrappers over the shared
+//! framed plumbing in [`crate::framed`].
 //!
-//! Built on `std::net` only. The server owns the coordinator behind a
-//! mutex and speaks the framed wire protocol on every accepted connection;
-//! a malformed or torn frame costs the offending connection, never the
-//! server. The client reconnects lazily after any failure, so it composes
-//! with [`RetryTransport`](crate::backoff::RetryTransport) for capped
-//! backoff across connection, frame and server loss.
+//! [`RemoteTransport`] is a [`FramedTcpClient`] that speaks
+//! [`Request`]/[`Response`]; [`FabricServer`] is a [`FramedTcpServer`] whose
+//! handler owns the coordinator behind a mutex. The transport discipline —
+//! lazy reconnect after any failure, a malformed frame costing only the
+//! offending connection — lives in the framed layer, so it is shared with
+//! the serving daemon instead of copied.
 
 use crate::coordinator::Coordinator;
 use crate::error::FabricError;
+use crate::framed::{FrameHandler, FramedTcpClient, FramedTcpServer};
 use crate::transport::SweepTransport;
-use crate::wire::{decode, encode, read_frame, write_frame, Request, Response};
-use std::io::ErrorKind;
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use crate::wire::{decode, encode, Request, Response};
+use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::Duration;
-
-/// How long a server connection handler blocks waiting for the next frame
-/// before re-checking the shutdown flag.
-const SERVER_POLL: Duration = Duration::from_millis(100);
 
 /// A TCP client transport that reconnects lazily.
 ///
 /// Any failed call drops the cached connection, so the next attempt (for a
 /// retryable error, typically via `RetryTransport`) dials fresh — which is
 /// what recovers from a coordinator restart or a mid-frame disconnect.
+#[derive(Debug)]
 pub struct RemoteTransport {
-    addr: String,
-    io_timeout: Option<Duration>,
-    stream: Option<TcpStream>,
+    client: FramedTcpClient,
 }
 
 impl RemoteTransport {
@@ -39,67 +33,50 @@ impl RemoteTransport {
     #[must_use]
     pub fn new(addr: impl Into<String>) -> Self {
         Self {
-            addr: addr.into(),
-            io_timeout: Some(Duration::from_secs(30)),
-            stream: None,
+            client: FramedTcpClient::new(addr),
         }
     }
 
     /// Override the per-call read/write timeout (`None` blocks forever).
     #[must_use]
     pub fn with_io_timeout(mut self, timeout: Option<Duration>) -> Self {
-        self.io_timeout = timeout;
+        self.client = self.client.with_io_timeout(timeout);
         self
-    }
-
-    fn connected(&mut self) -> Result<&mut TcpStream, FabricError> {
-        if self.stream.is_none() {
-            let stream = TcpStream::connect(&self.addr).map_err(|e| {
-                FabricError::connection(format!("connect to {} failed: {e}", self.addr))
-            })?;
-            stream.set_nodelay(true).ok();
-            stream.set_read_timeout(self.io_timeout).ok();
-            stream.set_write_timeout(self.io_timeout).ok();
-            self.stream = Some(stream);
-        }
-        Ok(self.stream.as_mut().expect("stream just ensured"))
-    }
-
-    fn try_call(&mut self, request: &Request) -> Result<Response, FabricError> {
-        let payload = encode(request)?;
-        let stream = self.connected()?;
-        write_frame(stream, &payload)?;
-        let response = read_frame(stream)?;
-        decode(&response)
     }
 }
 
 impl SweepTransport for RemoteTransport {
     fn call(&mut self, request: &Request) -> Result<Response, FabricError> {
-        let result = self.try_call(request);
-        if result.is_err() {
-            // Never reuse a stream in an unknown framing state.
-            self.stream = None;
-        }
-        result
+        let payload = encode(request)?;
+        decode(&self.client.call_raw(&payload)?)
     }
 }
 
-impl std::fmt::Debug for RemoteTransport {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RemoteTransport")
-            .field("addr", &self.addr)
-            .field("connected", &self.stream.is_some())
-            .finish()
+/// The frame handler serving one coordinator: decode a [`Request`], run it
+/// under the coordinator mutex, encode the [`Response`].
+struct CoordinatorHandler {
+    coordinator: Arc<Mutex<Coordinator>>,
+}
+
+impl FrameHandler for CoordinatorHandler {
+    fn handle_frame(&self, payload: &[u8]) -> Option<Vec<u8>> {
+        // A payload that does not decode drops the connection (return None):
+        // a client sending garbage only loses its own connection.
+        let request: Request = decode(payload).ok()?;
+        let response = self
+            .coordinator
+            .lock()
+            .map(|mut c| c.handle(&request))
+            .unwrap_or_else(|_| Response::Error {
+                message: "coordinator unavailable (poisoned lock)".to_string(),
+            });
+        encode(&response).ok()
     }
 }
 
 /// A threaded TCP server speaking the framed protocol for one coordinator.
 pub struct FabricServer {
-    addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    server: FramedTcpServer,
     coordinator: Arc<Mutex<Coordinator>>,
 }
 
@@ -111,41 +88,12 @@ impl FabricServer {
     ///
     /// Fails if the listener cannot bind.
     pub fn spawn(coordinator: Arc<Mutex<Coordinator>>, addr: &str) -> Result<Self, FabricError> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        listener.set_nonblocking(true)?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-
-        let accept_shutdown = Arc::clone(&shutdown);
-        let accept_handlers = Arc::clone(&handlers);
-        let accept_coordinator = Arc::clone(&coordinator);
-        let accept_thread = std::thread::spawn(move || {
-            while !accept_shutdown.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _peer)) => {
-                        let conn_shutdown = Arc::clone(&accept_shutdown);
-                        let conn_coordinator = Arc::clone(&accept_coordinator);
-                        let handle = std::thread::spawn(move || {
-                            serve_connection(&stream, &conn_coordinator, &conn_shutdown);
-                        });
-                        if let Ok(mut handlers) = accept_handlers.lock() {
-                            handlers.push(handle);
-                        }
-                    }
-                    Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(10));
-                    }
-                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
-                }
-            }
+        let handler = Arc::new(CoordinatorHandler {
+            coordinator: Arc::clone(&coordinator),
         });
-
+        let server = FramedTcpServer::spawn(handler, addr)?;
         Ok(Self {
-            addr: local,
-            shutdown,
-            accept_thread: Some(accept_thread),
-            handlers,
+            server,
             coordinator,
         })
     }
@@ -153,7 +101,7 @@ impl FabricServer {
     /// The bound address (with the real port when bound to port 0).
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.server.addr()
     }
 
     /// The served coordinator.
@@ -175,86 +123,29 @@ impl FabricServer {
             .done())
     }
 
+    /// Whether a drain ([`Request::Shutdown`]) has been requested.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the coordinator mutex is poisoned.
+    pub fn shutdown_requested(&self) -> Result<bool, FabricError> {
+        Ok(self
+            .coordinator
+            .lock()
+            .map_err(|_| FabricError::protocol("coordinator mutex poisoned"))?
+            .shutdown_requested())
+    }
+
     /// Stop accepting, wind down connection handlers and join all threads.
     pub fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(thread) = self.accept_thread.take() {
-            let _ = thread.join();
-        }
-        let handles = match self.handlers.lock() {
-            Ok(mut handlers) => handlers.drain(..).collect::<Vec<_>>(),
-            Err(_) => Vec::new(),
-        };
-        for handle in handles {
-            let _ = handle.join();
-        }
-    }
-}
-
-impl Drop for FabricServer {
-    fn drop(&mut self) {
-        self.stop();
+        self.server.stop();
     }
 }
 
 impl std::fmt::Debug for FabricServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("FabricServer")
-            .field("addr", &self.addr)
-            .field("shutdown", &self.shutdown.load(Ordering::SeqCst))
+            .field("server", &self.server)
             .finish_non_exhaustive()
-    }
-}
-
-/// One connection: frames in, frames out, until the peer leaves, a frame is
-/// unrecoverable, or the server shuts down. Errors never propagate past the
-/// connection — a client sending garbage only loses its own connection.
-fn serve_connection(
-    stream: &TcpStream,
-    coordinator: &Arc<Mutex<Coordinator>>,
-    shutdown: &Arc<AtomicBool>,
-) {
-    stream.set_nodelay(true).ok();
-    stream.set_read_timeout(Some(SERVER_POLL)).ok();
-    let mut reader = match stream.try_clone() {
-        Ok(reader) => reader,
-        Err(_) => return,
-    };
-    let mut writer = match stream.try_clone() {
-        Ok(writer) => writer,
-        Err(_) => return,
-    };
-    while !shutdown.load(Ordering::SeqCst) {
-        // Wait (bounded) for the next frame's first byte so shutdown is
-        // honored on idle connections.
-        let mut probe = [0u8; 1];
-        match reader.peek(&mut probe) {
-            Ok(0) => return, // clean close
-            Ok(_) => {}
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                continue;
-            }
-            Err(_) => return,
-        }
-        // A frame has started: give the peer a generous window to finish it
-        // (a SIGKILLed worker leaves a torn frame, which times out here and
-        // is dropped below).
-        stream.set_read_timeout(Some(Duration::from_secs(10))).ok();
-        let outcome = read_frame(&mut reader)
-            .and_then(|payload| decode::<Request>(&payload))
-            .and_then(|request| {
-                let response = coordinator
-                    .lock()
-                    .map(|mut c| c.handle(&request))
-                    .unwrap_or_else(|_| Response::Error {
-                        message: "coordinator unavailable (poisoned lock)".to_string(),
-                    });
-                write_frame(&mut writer, &encode(&response)?)
-            });
-        stream.set_read_timeout(Some(SERVER_POLL)).ok();
-        if outcome.is_err() {
-            // Torn frame, garbage, or a dead writer: drop this connection.
-            return;
-        }
     }
 }

@@ -169,6 +169,11 @@ pub enum Request {
     },
     /// Ask for run progress (CLI status and drills).
     Status,
+    /// Ask the coordinator to drain: stop is requested, the serve loop
+    /// should exit as soon as the plan is complete (or immediately when it
+    /// already is). Idempotent like every other request — re-sending after
+    /// a lost response just re-acknowledges.
+    Shutdown,
 }
 
 /// How the coordinator disposed of an uploaded result.
@@ -244,6 +249,13 @@ pub enum Response {
         /// Workers registered since the coordinator started.
         workers: u64,
     },
+    /// Shutdown request recorded (first request and re-sends alike).
+    ShutdownAck {
+        /// Whether every unit in the plan is journaled — `false` means the
+        /// coordinator will keep serving until the plan completes, then
+        /// exit its serve loop.
+        done: bool,
+    },
     /// The worker id is not known to this coordinator (it restarted, or the
     /// registration was lost). The worker should re-register and continue.
     UnknownWorker {
@@ -293,6 +305,7 @@ mod tests {
                 },
             },
             Request::Status,
+            Request::Shutdown,
         ];
         for req in &requests {
             assert_eq!(&roundtrip(req), req, "roundtrip must preserve {req:?}");

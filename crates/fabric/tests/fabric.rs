@@ -465,6 +465,54 @@ fn registration_with_a_different_arithmetic_mode_is_refused() {
 }
 
 #[test]
+fn shutdown_is_idempotent_and_tracks_plan_completion() {
+    let dir = tmp_dir("fabric-shutdown");
+    let clock = Arc::new(ManualClock::new());
+    let mut coordinator = make_coordinator(make_journal(&dir), clock, 1_000);
+    assert!(!coordinator.shutdown_requested());
+
+    // First request and a blind re-send (lost response) are observably
+    // identical — the idempotence rule every request obeys.
+    for _ in 0..2 {
+        match coordinator.handle(&Request::Shutdown) {
+            Response::ShutdownAck { done } => assert!(!done, "plan not complete yet"),
+            other => panic!("shutdown must be acked, got {other:?}"),
+        }
+        assert!(coordinator.shutdown_requested());
+    }
+
+    // Drain: journal every unit (forged results are fine — upload only
+    // validates shape), then a re-sent shutdown reports completion.
+    let lens: Vec<u64> = coordinator
+        .journal()
+        .manifest()
+        .plan()
+        .units()
+        .iter()
+        .map(|u| u.len as u64)
+        .collect();
+    let worker = register(&mut coordinator, "drainer");
+    for (unit, &len) in lens.iter().enumerate() {
+        upload(
+            &mut coordinator,
+            worker,
+            UnitResult {
+                unit: unit as u64,
+                correct: 0,
+                len,
+                ..UnitResult::default()
+            },
+        );
+    }
+    assert!(coordinator.done());
+    match coordinator.handle(&Request::Shutdown) {
+        Response::ShutdownAck { done } => assert!(done, "drained plan must report done"),
+        other => panic!("shutdown must be acked, got {other:?}"),
+    }
+    assert!(coordinator.shutdown_requested());
+}
+
+#[test]
 fn tcp_server_survives_garbage_then_serves_real_workers_bit_identically() {
     use std::io::Write;
 

@@ -15,10 +15,12 @@ use crate::BitErrorRate;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-/// Bit-flip injector for `f32` GEMM output buffers.
+/// Bit-flip injector for GEMM output buffers (`f32` words or `i64` wide
+/// accumulators).
 #[derive(Debug, Clone)]
 pub struct GemmFaultInjector {
     ber: BitErrorRate,
+    bits: u32,
     probability: f64,
     rng: SmallRng,
     elements_until_fault: u64,
@@ -26,14 +28,26 @@ pub struct GemmFaultInjector {
 }
 
 impl GemmFaultInjector {
-    /// An injector with a deterministic seed.
+    /// An injector for 32-bit output words with a deterministic seed.
     #[must_use]
     pub fn new(ber: BitErrorRate, seed: u64) -> Self {
-        let probability = ber.fault_probability(32);
+        Self::new_for_bits(ber, 32, seed)
+    }
+
+    /// An injector whose per-element strike probability is
+    /// `1 - (1 - BER)^bits` — pick `bits` to match the width of the output
+    /// latch being attacked (32 for `f32` GEMMs via [`Self::corrupt`], 64
+    /// for the quantized engine's `i64` accumulators via
+    /// [`Self::corrupt_i64`]).
+    #[must_use]
+    pub fn new_for_bits(ber: BitErrorRate, bits: u32, seed: u64) -> Self {
+        let bits = bits.clamp(1, 64);
+        let probability = ber.fault_probability(bits);
         let mut rng = SmallRng::seed_from_u64(seed);
         let elements_until_fault = sample_gap(probability, &mut rng);
         Self {
             ber,
+            bits,
             probability,
             rng,
             elements_until_fault,
@@ -53,29 +67,51 @@ impl GemmFaultInjector {
         self.faults
     }
 
-    /// Corrupt a GEMM output buffer in place; returns how many elements were
-    /// struck. Deterministic given the construction seed and the sequence of
-    /// buffer lengths — independent of the values themselves.
+    /// Corrupt an `f32` GEMM output buffer in place; returns how many
+    /// elements were struck. Deterministic given the construction seed and
+    /// the sequence of buffer lengths — independent of the values themselves.
     pub fn corrupt(&mut self, out: &mut [f32]) -> u64 {
+        let bits = self.bits.min(32);
+        self.walk(out.len(), |index, rng| {
+            let bit = rng.gen_range(0..bits);
+            out[index] = f32::from_bits(out[index].to_bits() ^ (1 << bit));
+        })
+    }
+
+    /// Corrupt an `i64` accumulator buffer in place — the output-latch
+    /// fault model applied to the quantized engine's wide accumulators
+    /// (construct with [`Self::new_for_bits`]`(ber, 64, seed)` so the
+    /// per-element probability covers the full word). Same determinism
+    /// contract as [`Self::corrupt`].
+    pub fn corrupt_i64(&mut self, out: &mut [i64]) -> u64 {
+        let bits = self.bits;
+        self.walk(out.len(), |index, rng| {
+            let bit = rng.gen_range(0..bits);
+            out[index] ^= 1i64 << bit;
+        })
+    }
+
+    /// Walk `len` elements, striking according to the geometric gap stream
+    /// and applying `flip` at each struck index.
+    fn walk(&mut self, len: usize, mut flip: impl FnMut(usize, &mut SmallRng)) -> u64 {
         if self.probability <= 0.0 {
             return 0;
         }
         let mut struck = 0u64;
         let mut index = 0usize;
         loop {
-            let remaining = (out.len() - index) as u64;
+            let remaining = (len - index) as u64;
             if self.elements_until_fault > remaining {
                 self.elements_until_fault -= remaining;
                 break;
             }
             index += (self.elements_until_fault - 1) as usize;
-            let bit = self.rng.gen_range(0..32u32);
-            out[index] = f32::from_bits(out[index].to_bits() ^ (1 << bit));
+            flip(index, &mut self.rng);
             struck += 1;
             self.faults += 1;
             index += 1;
             self.elements_until_fault = sample_gap(self.probability, &mut self.rng);
-            if index >= out.len() {
+            if index >= len {
                 break;
             }
         }
@@ -168,6 +204,62 @@ mod tests {
             "positions depend only on the seed"
         );
         assert_ne!(run(7, 1.0), run(8, 1.0));
+    }
+
+    #[test]
+    fn i64_corruption_flips_exactly_one_bit_per_strike() {
+        let mut injector = GemmFaultInjector::new_for_bits(BitErrorRate::new(1.0), 64, 5);
+        let mut buf = vec![0i64; 128];
+        assert_eq!(injector.corrupt_i64(&mut buf), 128);
+        assert!(
+            buf.iter().all(|&v| v.count_ones() == 1),
+            "each struck word differs from 0 in exactly one bit"
+        );
+        // With 64-bit words and enough strikes, the high half must be hit
+        // too — the attack covers the full accumulator, not an i32 subset.
+        assert!(
+            buf.iter().any(|&v| (v as u64) >> 32 != 0),
+            "some strikes must land in the high 32 bits"
+        );
+    }
+
+    #[test]
+    fn i64_corruption_is_deterministic_and_value_independent() {
+        let run = |seed: u64, fill: i64| {
+            let mut injector = GemmFaultInjector::new_for_bits(BitErrorRate::new(5e-3), 64, seed);
+            let mut struck_at = Vec::new();
+            for round in 0..8 {
+                let mut buf = vec![fill; 257];
+                injector.corrupt_i64(&mut buf);
+                for (i, &v) in buf.iter().enumerate() {
+                    if v != fill {
+                        struck_at.push((round, i, v ^ fill));
+                    }
+                }
+            }
+            struck_at
+        };
+        assert_eq!(run(7, 42), run(7, 42));
+        assert_eq!(
+            run(7, 42)
+                .iter()
+                .map(|&(r, i, _)| (r, i))
+                .collect::<Vec<_>>(),
+            run(7, -1)
+                .iter()
+                .map(|&(r, i, _)| (r, i))
+                .collect::<Vec<_>>(),
+            "strike positions depend only on the seed"
+        );
+        assert_ne!(run(7, 42), run(9, 42));
+    }
+
+    #[test]
+    fn zero_ber_never_corrupts_i64() {
+        let mut injector = GemmFaultInjector::new_for_bits(BitErrorRate::ZERO, 64, 1);
+        let mut buf = vec![7i64; 512];
+        assert_eq!(injector.corrupt_i64(&mut buf), 0);
+        assert!(buf.iter().all(|&v| v == 7));
     }
 
     #[test]

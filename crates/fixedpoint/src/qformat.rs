@@ -179,11 +179,16 @@ impl QFormat {
     #[must_use]
     pub fn requantize_accumulator(&self, acc: i64, acc_frac_bits: u32) -> i32 {
         let shift = acc_frac_bits as i64 - self.frac_bits as i64;
-        let value = if shift > 0 {
+        // The rounding arithmetic runs in i128: fault injectors hand this
+        // function accumulators with arbitrary high bits set (including
+        // `i64::MIN`, whose negation does not exist in i64), and the
+        // add-half / negate steps must stay total over the whole i64 domain.
+        let acc = i128::from(acc);
+        let wide = if shift > 0 {
             // Round to nearest with the usual add-half trick (symmetric for
             // negative values because of arithmetic shift behaviour on the
             // magnitude).
-            let half = 1i64 << (shift - 1);
+            let half = 1i128 << (shift - 1);
             if acc >= 0 {
                 (acc + half) >> shift
             } else {
@@ -192,6 +197,7 @@ impl QFormat {
         } else {
             acc << (-shift)
         };
+        let value = wide.clamp(i128::from(i64::MIN), i128::from(i64::MAX)) as i64;
         saturate(value, self.width)
     }
 }
@@ -274,6 +280,25 @@ mod tests {
         let fmt = QFormat::new(BitWidth::W8, 0).unwrap();
         assert_eq!(fmt.requantize_accumulator(1 << 40, 8), 127);
         assert_eq!(fmt.requantize_accumulator(-(1 << 40), 8), -128);
+    }
+
+    #[test]
+    fn requantize_accumulator_is_total_over_extreme_inputs() {
+        // Output-latch fault injection can set any accumulator bit, so the
+        // rescale must never overflow — even at the i64 extremes.
+        let fmt = QFormat::new(BitWidth::W8, 4).unwrap();
+        assert_eq!(fmt.requantize_accumulator(i64::MAX, 8), 127);
+        assert_eq!(fmt.requantize_accumulator(i64::MIN, 8), -128);
+        assert_eq!(fmt.requantize_accumulator(i64::MIN, 2), -128);
+        let wide = QFormat::new(BitWidth::W16, 8).unwrap();
+        assert_eq!(
+            wide.requantize_accumulator(i64::MAX, 2),
+            i32::from(i16::MAX)
+        );
+        assert_eq!(
+            wide.requantize_accumulator(i64::MIN, 2),
+            i32::from(i16::MIN)
+        );
     }
 
     #[test]

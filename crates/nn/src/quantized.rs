@@ -153,6 +153,11 @@ impl QNode {
     }
 }
 
+/// An output-latch fault hook: called on each compute layer's wide
+/// accumulator span after the kernel fills it and before requantization
+/// (see [`QuantizedNetwork::forward_fast_with_faults`]).
+pub type AccumulatorHook<'a> = dyn FnMut(&mut [i64]) + 'a;
+
 /// Prepared per-network state for the **fast uninstrumented** forward pass
 /// ([`QuantizedNetwork::forward_fast`]): cached
 /// [`PreparedConvQuantizedFast`] plans for every winograd-capable
@@ -515,7 +520,7 @@ impl QuantizedNetwork {
         algo: ConvAlgorithm,
         fast: &mut FastInference,
     ) -> Result<Vec<f32>, NnError> {
-        self.forward_fast_internal(image, algo, fast, None)
+        self.forward_fast_internal(image, algo, fast, None, None)
     }
 
     /// [`QuantizedNetwork::forward_fast`] returning the predicted class.
@@ -532,12 +537,259 @@ impl QuantizedNetwork {
         Ok(argmax(&self.forward_fast(image, algo, fast)?))
     }
 
+    /// [`QuantizedNetwork::forward_fast`] with an output-latch fault hook:
+    /// after each compute layer's kernel fills its wide accumulators —
+    /// and before requantization — `corrupt` is called on the accumulator
+    /// span, modelling soft errors striking a matrix engine's output
+    /// latches (pass [`wgft_faultsim::GemmFaultInjector::corrupt_i64`]).
+    ///
+    /// With a hook that never writes, the logits are bit-identical to
+    /// [`QuantizedNetwork::forward_fast`] — tested — so the hook's strikes
+    /// are the *only* difference between the faulty and clean executions.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::forward`].
+    pub fn forward_fast_with_faults(
+        &self,
+        image: &Tensor,
+        algo: ConvAlgorithm,
+        fast: &mut FastInference,
+        corrupt: &mut AccumulatorHook<'_>,
+    ) -> Result<Vec<f32>, NnError> {
+        self.forward_fast_internal(image, algo, fast, None, Some(corrupt))
+    }
+
+    /// [`QuantizedNetwork::forward_fast_with_faults`] returning the
+    /// predicted class.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::forward`].
+    pub fn classify_fast_with_faults(
+        &self,
+        image: &Tensor,
+        algo: ConvAlgorithm,
+        fast: &mut FastInference,
+        corrupt: &mut AccumulatorHook<'_>,
+    ) -> Result<usize, NnError> {
+        Ok(argmax(
+            &self.forward_fast_with_faults(image, algo, fast, corrupt)?,
+        ))
+    }
+
+    /// Run **fault-free** inference on the fast path for a whole batch of
+    /// images at once, returning one logits vector per image.
+    ///
+    /// Winograd convolution layers coalesce the batch into the planned
+    /// engine's GEMM free dimension (`N·P` tiles via
+    /// [`PreparedConvQuantizedFast::execute_batch_into`]); every other op
+    /// runs the literal single-image code per image. Both are bit-identical
+    /// to per-image execution — tested — so the logits equal `n` calls to
+    /// [`QuantizedNetwork::forward_fast`] for **any** batch coalescing
+    /// schedule. This is the substrate of `wgft-serve`'s micro-batching:
+    /// how concurrent requests were grouped can never change an answer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::forward`]; additionally rejects batches
+    /// whose images disagree in length.
+    pub fn forward_fast_batch<T: AsRef<Tensor>>(
+        &self,
+        images: &[T],
+        algo: ConvAlgorithm,
+        fast: &mut FastInference,
+    ) -> Result<Vec<Vec<f32>>, NnError> {
+        let n = images.len();
+        if n == 0 {
+            return Ok(Vec::new());
+        }
+        let FastInference { wino, im2col, acc } = fast;
+        let image_len = images[0].as_ref().data().len();
+        let mut image_q = Vec::with_capacity(n * image_len);
+        for image in images {
+            let data = image.as_ref().data();
+            if data.len() != image_len {
+                return Err(NnError::WrongInputCount {
+                    layer: "batched image",
+                    expected: image_len,
+                    actual: data.len(),
+                });
+            }
+            image_q.extend(self.input_format.quantize_slice(data));
+        }
+        // Per node: the batch's outputs stored image-major and contiguous
+        // (image `i` occupies `[i·len, (i+1)·len)`), so a downstream node's
+        // whole input slab is just its producer's buffer.
+        let mut outputs: Vec<(Vec<i32>, QFormat, usize)> = Vec::with_capacity(self.nodes.len());
+        for (node_idx, node) in self.nodes.iter().enumerate() {
+            let slab = |r: &InputRef| -> (&[i32], QFormat, usize) {
+                match r {
+                    InputRef::Image => (&image_q, self.input_format, image_len),
+                    InputRef::Node(nd) => {
+                        let (data, fmt, len) = &outputs[*nd];
+                        (data, *fmt, *len)
+                    }
+                }
+            };
+            let produced: (Vec<i32>, QFormat, usize) = match &node.op {
+                QOp::Conv {
+                    shape,
+                    weights,
+                    weight_frac,
+                    winograd,
+                    winograd_frac,
+                    bias,
+                    ..
+                } => {
+                    let (input_all, in_format, in_len) = slab(&node.inputs[0]);
+                    if in_len != shape.input_len() {
+                        return Err(wgft_winograd::WinogradError::BufferSizeMismatch {
+                            what: "input",
+                            expected: shape.input_len(),
+                            actual: in_len,
+                        }
+                        .into());
+                    }
+                    let use_winograd = matches!(algo, ConvAlgorithm::Winograd(_))
+                        && winograd.is_some()
+                        && shape.geometry.is_unit_stride_3x3();
+                    let out_len = shape.output_len();
+                    resize_acc(acc, n * out_len);
+                    let acc_frac = if use_winograd {
+                        let plan = wino[node_idx]
+                            .as_mut()
+                            .expect("prepare_fast plans every winograd-capable node");
+                        plan.execute_batch_into(input_all, n, &mut acc[..n * out_len])?;
+                        in_format.frac_bits() + winograd_frac
+                    } else {
+                        for i in 0..n {
+                            fast_direct_conv(
+                                &input_all[i * in_len..(i + 1) * in_len],
+                                weights,
+                                shape,
+                                im2col,
+                                &mut acc[i * out_len..(i + 1) * out_len],
+                            );
+                        }
+                        in_format.frac_bits() + weight_frac
+                    };
+                    let mut raw = Vec::with_capacity(n * out_len);
+                    for i in 0..n {
+                        raw.extend(requantize_with_bias(
+                            &acc[i * out_len..(i + 1) * out_len],
+                            acc_frac,
+                            bias,
+                            shape.geometry.out_pixels(),
+                            node.out_format,
+                        ));
+                    }
+                    (raw, node.out_format, out_len)
+                }
+                QOp::Linear {
+                    in_features,
+                    out_features,
+                    weights,
+                    weight_frac,
+                    bias,
+                    ..
+                } => {
+                    let (input_all, in_format, in_len) = slab(&node.inputs[0]);
+                    if in_len != *in_features {
+                        return Err(NnError::WrongInputCount {
+                            layer: "quantized linear",
+                            expected: *in_features,
+                            actual: in_len,
+                        });
+                    }
+                    resize_acc(acc, n * out_features);
+                    for i in 0..n {
+                        let input = &input_all[i * in_len..(i + 1) * in_len];
+                        for (o, acc_v) in acc[i * out_features..(i + 1) * out_features]
+                            .iter_mut()
+                            .enumerate()
+                        {
+                            let row = &weights[o * in_features..(o + 1) * in_features];
+                            let mut sum = 0i64;
+                            for (&w, &x) in row.iter().zip(input.iter()) {
+                                sum += i64::from(x) * i64::from(w);
+                            }
+                            *acc_v = sum;
+                        }
+                    }
+                    let acc_frac = in_format.frac_bits() + weight_frac;
+                    let raw: Vec<i32> = acc[..n * out_features]
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &a)| {
+                            requantize_linear_acc(
+                                a,
+                                bias[j % out_features],
+                                acc_frac,
+                                node.out_format,
+                            )
+                        })
+                        .collect();
+                    (raw, node.out_format, *out_features)
+                }
+                _ => {
+                    let mut raw = Vec::new();
+                    let mut fmt = node.out_format;
+                    let mut per_len = 0usize;
+                    for i in 0..n {
+                        let gather = |r: &InputRef| -> (&[i32], QFormat) {
+                            let (data, f, len) = slab(r);
+                            (&data[i * len..(i + 1) * len], f)
+                        };
+                        let (data, f) = node
+                            .forward_simple(gather)
+                            .expect("non-compute ops handled by forward_simple");
+                        per_len = data.len();
+                        fmt = f;
+                        raw.extend(data);
+                    }
+                    (raw, fmt, per_len)
+                }
+            };
+            outputs.push(produced);
+        }
+        let (raw, format, per_len) = outputs.last().ok_or(NnError::EmptyNetwork)?;
+        Ok((0..n)
+            .map(|i| {
+                raw[i * per_len..(i + 1) * per_len]
+                    .iter()
+                    .map(|&v| format.dequantize(v))
+                    .collect()
+            })
+            .collect())
+    }
+
+    /// [`QuantizedNetwork::forward_fast_batch`] returning one predicted
+    /// class per image.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::forward_fast_batch`].
+    pub fn classify_fast_batch<T: AsRef<Tensor>>(
+        &self,
+        images: &[T],
+        algo: ConvAlgorithm,
+        fast: &mut FastInference,
+    ) -> Result<Vec<usize>, NnError> {
+        Ok(self
+            .forward_fast_batch(images, algo, fast)?
+            .iter()
+            .map(|logits| argmax(logits))
+            .collect())
+    }
+
     fn forward_fast_internal(
         &self,
         image: &Tensor,
         algo: ConvAlgorithm,
         fast: &mut FastInference,
         mut record: Option<&mut AbftCalibration>,
+        mut corrupt: Option<&mut AccumulatorHook<'_>>,
     ) -> Result<Vec<f32>, NnError> {
         let FastInference { wino, im2col, acc } = fast;
         let image_q = self.input_format.quantize_slice(image.data());
@@ -595,6 +847,9 @@ impl QuantizedNetwork {
                         fast_direct_conv(input, weights, shape, im2col, &mut acc[..out_len]);
                         in_format.frac_bits() + weight_frac
                     };
+                    if let Some(hook) = corrupt.as_deref_mut() {
+                        hook(&mut acc[..out_len]);
+                    }
                     if let Some(cal) = record.as_deref_mut() {
                         let layer = cal.layer_mut(*layer_id);
                         layer.acc_max = layer.acc_max.max(observe_max(&acc[..out_len]));
@@ -632,6 +887,9 @@ impl QuantizedNetwork {
                             sum += i64::from(x) * i64::from(w);
                         }
                         *acc_v = sum;
+                    }
+                    if let Some(hook) = corrupt.as_deref_mut() {
+                        hook(&mut acc[..*out_features]);
                     }
                     if let Some(cal) = record.as_deref_mut() {
                         let layer = cal.layer_mut(*layer_id);
@@ -782,7 +1040,7 @@ impl QuantizedNetwork {
         let mut calibration = AbftCalibration::new(self.compute_layers);
         let mut fast = self.prepare_fast()?;
         for image in images {
-            self.forward_fast_internal(image, algo, &mut fast, Some(&mut calibration))?;
+            self.forward_fast_internal(image, algo, &mut fast, Some(&mut calibration), None)?;
         }
         Ok(calibration)
     }
@@ -1112,7 +1370,9 @@ fn fast_direct_conv(
 /// bit-identity between them cannot drift.
 fn requantize_linear_acc(acc: i64, bias: f32, acc_frac: u32, out_format: QFormat) -> i32 {
     let bias_acc = (f64::from(bias) * (1u64 << acc_frac) as f64).round() as i64;
-    out_format.requantize_accumulator(acc + bias_acc, acc_frac)
+    // Saturating for the same reason as `requantize_with_bias`: injected
+    // faults can push `acc` to the i64 extremes.
+    out_format.requantize_accumulator(acc.saturating_add(bias_acc), acc_frac)
 }
 
 /// Requantize a conv accumulator buffer, adding the per-channel bias in the
@@ -1129,7 +1389,10 @@ fn requantize_with_bias(
     for (i, &a) in acc.iter().enumerate() {
         let oc = i / pixels_per_channel.max(1);
         let bias_acc = (f64::from(bias.get(oc).copied().unwrap_or(0.0)) * scale).round() as i64;
-        out.push(out_format.requantize_accumulator(a + bias_acc, acc_frac));
+        // Saturating: fault injection can leave `a` near the i64 extremes,
+        // and the bias add must not overflow (clean accumulators sit far
+        // below the saturation region, so this never changes exact results).
+        out.push(out_format.requantize_accumulator(a.saturating_add(bias_acc), acc_frac));
     }
     out
 }
@@ -1432,6 +1695,142 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// The serving guarantee at network level: batched fast inference must
+    /// be **bit-identical** to per-image fast inference for every batch
+    /// size (i.e. any coalescing schedule), both algorithms, on a trained
+    /// model. `forward_fast` is itself bit-identical to the instrumented
+    /// exact forward (tested above), so this chains all the way down.
+    #[test]
+    fn batched_fast_forward_is_bit_identical_to_sequential() {
+        let (mut net, data, _) = trained_tiny();
+        let calibration: Vec<Tensor> = data
+            .samples()
+            .iter()
+            .take(8)
+            .map(|s| s.image.clone())
+            .collect();
+        let qnet = QuantizedNetwork::from_network(
+            &mut net,
+            &calibration,
+            QuantizerOptions::new(BitWidth::W8),
+        )
+        .unwrap();
+        let images: Vec<Tensor> = data
+            .samples()
+            .iter()
+            .take(7)
+            .map(|s| s.image.clone())
+            .collect();
+        let mut fast = qnet.prepare_fast().unwrap();
+        for algo in [ConvAlgorithm::Standard, ConvAlgorithm::winograd_default()] {
+            let sequential: Vec<Vec<f32>> = images
+                .iter()
+                .map(|img| qnet.forward_fast(img, algo, &mut fast).unwrap())
+                .collect();
+            for batch in [1usize, 2, 3, 5, 7] {
+                let mut batched = Vec::new();
+                for chunk in images.chunks(batch) {
+                    batched.extend(qnet.forward_fast_batch(chunk, algo, &mut fast).unwrap());
+                }
+                assert_eq!(
+                    sequential, batched,
+                    "{algo:?}: batch size {batch} diverged from sequential"
+                );
+            }
+            let preds = qnet.classify_fast_batch(&images, algo, &mut fast).unwrap();
+            let seq_preds: Vec<usize> = sequential.iter().map(|l| argmax(l)).collect();
+            assert_eq!(preds, seq_preds);
+        }
+        assert!(qnet
+            .forward_fast_batch::<Tensor>(&[], ConvAlgorithm::Standard, &mut fast)
+            .unwrap()
+            .is_empty());
+    }
+
+    /// Batched execution must also cover graphs with joins (Add / Concat):
+    /// an untrained residual model exercises them without a training run
+    /// (bit-identity does not depend on the weights).
+    #[test]
+    fn batched_fast_forward_covers_join_graphs() {
+        let spec = SyntheticSpec::tiny();
+        let data = Dataset::synthetic(&spec, 4, 11);
+        let images: Vec<Tensor> = data
+            .samples()
+            .iter()
+            .take(5)
+            .map(|s| s.image.clone())
+            .collect();
+        for kind in [ModelKind::ResNetSmall, ModelKind::GoogLeNetSmall] {
+            let mut net = kind.build(&spec, 5);
+            let qnet = QuantizedNetwork::from_network(
+                &mut net,
+                &images,
+                QuantizerOptions::new(BitWidth::W8),
+            )
+            .unwrap();
+            let mut fast = qnet.prepare_fast().unwrap();
+            for algo in [ConvAlgorithm::Standard, ConvAlgorithm::winograd_default()] {
+                let sequential: Vec<Vec<f32>> = images
+                    .iter()
+                    .map(|img| qnet.forward_fast(img, algo, &mut fast).unwrap())
+                    .collect();
+                let batched = qnet.forward_fast_batch(&images, algo, &mut fast).unwrap();
+                assert_eq!(sequential, batched, "{kind:?} {algo:?}: batch diverged");
+            }
+        }
+    }
+
+    /// The output-latch fault hook: a hook that never writes leaves the fast
+    /// path bit-identical; a hook that flips accumulator bits changes the
+    /// logits; and the deterministic `GemmFaultInjector` stream makes two
+    /// identically-seeded faulty runs agree exactly (the idempotent-retry
+    /// property `wgft-serve` relies on).
+    #[test]
+    fn fast_fault_hook_is_transparent_when_silent_and_deterministic_when_not() {
+        use wgft_faultsim::GemmFaultInjector;
+        let (mut net, data, _) = trained_tiny();
+        let calibration: Vec<Tensor> = data
+            .samples()
+            .iter()
+            .take(8)
+            .map(|s| s.image.clone())
+            .collect();
+        let qnet = QuantizedNetwork::from_network(
+            &mut net,
+            &calibration,
+            QuantizerOptions::new(BitWidth::W16),
+        )
+        .unwrap();
+        let mut fast = qnet.prepare_fast().unwrap();
+        let image = &data.samples()[0].image;
+        let algo = ConvAlgorithm::winograd_default();
+
+        let clean = qnet.forward_fast(image, algo, &mut fast).unwrap();
+        let mut noop = |_acc: &mut [i64]| {};
+        let silent = qnet
+            .forward_fast_with_faults(image, algo, &mut fast, &mut noop)
+            .unwrap();
+        assert_eq!(clean, silent, "a silent hook must not perturb the logits");
+
+        let faulty_run = |seed: u64| {
+            let mut fast = qnet.prepare_fast().unwrap();
+            let mut injector = GemmFaultInjector::new_for_bits(BitErrorRate::new(3e-3), 64, seed);
+            let mut hook = |acc: &mut [i64]| {
+                injector.corrupt_i64(acc);
+            };
+            let logits = qnet
+                .forward_fast_with_faults(image, algo, &mut fast, &mut hook)
+                .unwrap();
+            (logits, injector.faults_injected())
+        };
+        let (a, faults_a) = faulty_run(3);
+        let (b, faults_b) = faulty_run(3);
+        assert_eq!(a, b, "same seed, same strikes, same logits");
+        assert_eq!(faults_a, faults_b);
+        assert!(faults_a > 0, "3e-3 over every accumulator must strike");
+        assert_ne!(a, clean, "heavy accumulator corruption must show");
     }
 
     /// The fast path must keep the instrumented forward's error contract: a

@@ -1,0 +1,225 @@
+//! The serving client: framed TCP calls under the fabric's retry layer.
+//!
+//! Every request is idempotent at the daemon (chaos fault streams are
+//! seeded from the request id), so the client blindly re-sends after any
+//! transient failure — torn connections, daemon restarts, `Overloaded` and
+//! `Degraded` sheds all look the same to the caller: a slower answer, never
+//! a lost one.
+
+use wgft_fabric::wire::{decode, encode};
+use wgft_fabric::{Backoff, FabricError, FramedTcpClient, RetryPolicy, ThreadSleeper};
+
+use crate::counters::CountersSnapshot;
+use crate::error::ServeError;
+use crate::proto::{ServeRequest, ServeResponse};
+use crate::tier::ProtectionTier;
+
+/// One answered classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classification {
+    /// Predicted class index.
+    pub prediction: usize,
+    /// Tier the daemon served the request at.
+    pub tier: ProtectionTier,
+    /// Whether the escalation monitor promoted the request past its
+    /// tenant's base tier.
+    pub promoted: bool,
+}
+
+/// The daemon's health report (see [`ServeResponse::Health`]).
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Served `CampaignConfig`, verbatim JSON.
+    pub config_json: String,
+    /// Conv algorithm label.
+    pub algo: String,
+    /// Fault-free baseline accuracy.
+    pub clean_accuracy: f64,
+    /// Whether chaos injection is active.
+    pub chaos: bool,
+    /// Current escalation level.
+    pub escalation_level: u32,
+}
+
+/// A retrying client for one daemon.
+pub struct ServeClient {
+    client: FramedTcpClient,
+    backoff: Backoff,
+    addr_file: Option<std::path::PathBuf>,
+}
+
+impl ServeClient {
+    /// A client for the daemon at `addr` with the default retry policy.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self::with_policy(addr, RetryPolicy::default())
+    }
+
+    /// A client with an explicit retry policy (seeded jitter makes load
+    /// runs reproducible).
+    #[must_use]
+    pub fn with_policy(addr: impl Into<String>, policy: RetryPolicy) -> Self {
+        Self {
+            client: FramedTcpClient::new(addr),
+            backoff: Backoff::new(policy, std::sync::Arc::new(ThreadSleeper)),
+            addr_file: None,
+        }
+    }
+
+    /// Re-resolve the daemon's address from a port file before every
+    /// reconnect attempt. A restarted daemon comes back on a fresh
+    /// ephemeral port and rewrites its `--port-file`; clients configured
+    /// with this follow it instead of hammering the dead address.
+    #[must_use]
+    pub fn with_addr_file(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.addr_file = Some(path.into());
+        self
+    }
+
+    /// Retries performed so far (chaos drills assert on this).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.backoff.retries()
+    }
+
+    /// One request/response exchange under the retry layer. Shed responses
+    /// (`Overloaded`/`Degraded`) are mapped to retryable connection errors
+    /// so the backoff absorbs them.
+    fn call(&mut self, request: &ServeRequest) -> Result<ServeResponse, ServeError> {
+        let payload = encode(request)?;
+        let client = &mut self.client;
+        let addr_file = self.addr_file.as_deref();
+        let response = self.backoff.run(|| {
+            if let (false, Some(path)) = (client.is_connected(), addr_file) {
+                let addr = std::fs::read_to_string(path).map_err(|e| {
+                    FabricError::connection(format!(
+                        "address file {} unreadable: {e}",
+                        path.display()
+                    ))
+                })?;
+                let addr = addr.trim();
+                if addr.is_empty() {
+                    return Err(FabricError::connection(format!(
+                        "address file {} is empty",
+                        path.display()
+                    )));
+                }
+                client.set_addr(addr);
+            }
+            let raw = client.call_raw(&payload)?;
+            let response: ServeResponse = decode(&raw)?;
+            match response {
+                ServeResponse::Overloaded { retry_ms } => Err(FabricError::connection(format!(
+                    "daemon overloaded (suggested retry {retry_ms} ms)"
+                ))),
+                ServeResponse::Degraded { level, retry_ms } => Err(FabricError::connection(
+                    format!("daemon degraded at level {level} (suggested retry {retry_ms} ms)"),
+                )),
+                other => Ok(other),
+            }
+        })?;
+        Ok(response)
+    }
+
+    /// Classify one image as `tenant`. `request_id` must be unique per
+    /// logical request and reused on manual re-sends (the retry layer
+    /// already reuses it automatically).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Transport`] once retries are exhausted,
+    /// [`ServeError::Server`] on an explicit daemon refusal.
+    pub fn classify(
+        &mut self,
+        request_id: u64,
+        tenant: &str,
+        image: &[f32],
+    ) -> Result<Classification, ServeError> {
+        let request = ServeRequest::Classify {
+            request_id,
+            tenant: tenant.to_string(),
+            image: image.to_vec(),
+        };
+        match self.call(&request)? {
+            ServeResponse::Classified {
+                request_id: echoed,
+                prediction,
+                tier,
+                promoted,
+            } => {
+                if echoed != request_id {
+                    return Err(ServeError::server(format!(
+                        "response for request {echoed}, expected {request_id}"
+                    )));
+                }
+                Ok(Classification {
+                    prediction,
+                    tier,
+                    promoted,
+                })
+            }
+            ServeResponse::Error { message } => Err(ServeError::Server(message)),
+            other => Err(ServeError::server(format!(
+                "unexpected response to classify: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the daemon's counter snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeClient::classify`].
+    pub fn status(&mut self) -> Result<CountersSnapshot, ServeError> {
+        match self.call(&ServeRequest::Status)? {
+            ServeResponse::Status(snapshot) => Ok(snapshot),
+            ServeResponse::Error { message } => Err(ServeError::Server(message)),
+            other => Err(ServeError::server(format!(
+                "unexpected response to status: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetch the daemon's health/configuration report.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeClient::classify`].
+    pub fn health(&mut self) -> Result<HealthReport, ServeError> {
+        match self.call(&ServeRequest::Health)? {
+            ServeResponse::Health {
+                config_json,
+                algo,
+                clean_accuracy,
+                chaos,
+                escalation_level,
+                ..
+            } => Ok(HealthReport {
+                config_json,
+                algo,
+                clean_accuracy,
+                chaos,
+                escalation_level,
+            }),
+            ServeResponse::Error { message } => Err(ServeError::Server(message)),
+            other => Err(ServeError::server(format!(
+                "unexpected response to health: {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the daemon to drain and exit. Idempotent.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ServeClient::classify`].
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.call(&ServeRequest::Shutdown)? {
+            ServeResponse::ShutdownAck => Ok(()),
+            ServeResponse::Error { message } => Err(ServeError::Server(message)),
+            other => Err(ServeError::server(format!(
+                "unexpected response to shutdown: {other:?}"
+            ))),
+        }
+    }
+}

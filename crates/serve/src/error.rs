@@ -1,0 +1,50 @@
+//! Error type of the serving daemon and client.
+
+use std::fmt;
+use wgft_fabric::FabricError;
+
+/// Anything that can go wrong starting, running or calling the daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Preparing the model/plans failed.
+    Prepare(String),
+    /// Transport-level failure (connection, framing, retries exhausted).
+    Transport(FabricError),
+    /// The daemon refused or could not serve the request.
+    Server(String),
+    /// Local configuration problem (bad tenant map, bad flags).
+    Config(String),
+}
+
+impl ServeError {
+    /// A [`ServeError::Server`] with the given message.
+    #[must_use]
+    pub fn server(message: impl Into<String>) -> Self {
+        ServeError::Server(message.into())
+    }
+
+    /// A [`ServeError::Config`] with the given message.
+    #[must_use]
+    pub fn config(message: impl Into<String>) -> Self {
+        ServeError::Config(message.into())
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Prepare(m) => write!(f, "preparation failed: {m}"),
+            ServeError::Transport(e) => write!(f, "transport failed: {e}"),
+            ServeError::Server(m) => write!(f, "server refused: {m}"),
+            ServeError::Config(m) => write!(f, "configuration error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<FabricError> for ServeError {
+    fn from(e: FabricError) -> Self {
+        ServeError::Transport(e)
+    }
+}

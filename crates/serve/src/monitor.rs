@@ -1,0 +1,196 @@
+//! The fault-escalation monitor: graceful degradation driven by the
+//! observed detection stream.
+//!
+//! The monitor keeps a rolling window of protection events (detected and
+//! uncorrected counts with timestamps from a [`Clock`], so tests drive it in
+//! zero wall time with [`wgft_fabric::ManualClock`]). When the windowed
+//! rates cross the configured thresholds the escalation level rises, which
+//! the daemon translates into tenant-tier promotions and (above the soft
+//! queue watermark) explicit `Degraded` sheds. Levels decay automatically
+//! as the window slides past the burst.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+use wgft_fabric::Clock;
+
+/// Escalation thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Rolling window length.
+    pub window_ms: u64,
+    /// Windowed detected-event count at which the level reaches 1 (every
+    /// further multiple adds a level, capped at [`MonitorConfig::max_level`]).
+    pub detected_per_window: u64,
+    /// Windowed uncorrected-event count at which the level jumps straight
+    /// to the maximum: uncorrected faults mean the current tiers are not
+    /// holding the SLA.
+    pub uncorrected_per_window: u64,
+    /// Highest level (also the most promotions applied to a tenant tier).
+    pub max_level: u32,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            window_ms: 2_000,
+            detected_per_window: 64,
+            uncorrected_per_window: 4,
+            max_level: 3,
+        }
+    }
+}
+
+/// One observation in the rolling window.
+#[derive(Debug, Clone, Copy)]
+struct Observation {
+    at_ms: u64,
+    detected: u64,
+    uncorrected: u64,
+}
+
+/// Rolling-window fault-rate watcher.
+pub struct EscalationMonitor {
+    config: MonitorConfig,
+    clock: Arc<dyn Clock>,
+    window: VecDeque<Observation>,
+    detected_in_window: u64,
+    uncorrected_in_window: u64,
+}
+
+impl EscalationMonitor {
+    /// A monitor reading time from `clock`.
+    #[must_use]
+    pub fn new(config: MonitorConfig, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            config,
+            clock,
+            window: VecDeque::new(),
+            detected_in_window: 0,
+            uncorrected_in_window: 0,
+        }
+    }
+
+    /// Record the protection events of one served request (no-op when both
+    /// counts are zero — fault-free traffic never grows the window).
+    pub fn observe(&mut self, detected: u64, uncorrected: u64) {
+        if detected == 0 && uncorrected == 0 {
+            return;
+        }
+        let at_ms = self.clock.now_ms();
+        self.detected_in_window += detected;
+        self.uncorrected_in_window += uncorrected;
+        self.window.push_back(Observation {
+            at_ms,
+            detected,
+            uncorrected,
+        });
+        self.evict(at_ms);
+    }
+
+    /// Drop observations older than the window.
+    fn evict(&mut self, now_ms: u64) {
+        let horizon = now_ms.saturating_sub(self.config.window_ms);
+        while let Some(front) = self.window.front() {
+            if front.at_ms >= horizon {
+                break;
+            }
+            self.detected_in_window -= front.detected;
+            self.uncorrected_in_window -= front.uncorrected;
+            self.window.pop_front();
+        }
+    }
+
+    /// The current escalation level: 0 is nominal; uncorrected events past
+    /// their threshold jump to the maximum, detected events add one level
+    /// per threshold multiple. Decays as the window slides.
+    pub fn level(&mut self) -> u32 {
+        self.evict(self.clock.now_ms());
+        if self.config.uncorrected_per_window > 0
+            && self.uncorrected_in_window >= self.config.uncorrected_per_window
+        {
+            return self.config.max_level;
+        }
+        if self.config.detected_per_window == 0 {
+            return 0;
+        }
+        let multiples = self.detected_in_window / self.config.detected_per_window;
+        u32::try_from(multiples)
+            .unwrap_or(u32::MAX)
+            .min(self.config.max_level)
+    }
+
+    /// Windowed (detected, uncorrected) counts — diagnostics.
+    pub fn windowed(&mut self) -> (u64, u64) {
+        self.evict(self.clock.now_ms());
+        (self.detected_in_window, self.uncorrected_in_window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgft_fabric::ManualClock;
+
+    fn monitor(clock: &Arc<ManualClock>) -> EscalationMonitor {
+        EscalationMonitor::new(
+            MonitorConfig {
+                window_ms: 1_000,
+                detected_per_window: 10,
+                uncorrected_per_window: 3,
+                max_level: 3,
+            },
+            Arc::<ManualClock>::clone(clock) as Arc<dyn Clock>,
+        )
+    }
+
+    #[test]
+    fn detected_rate_raises_levels_in_threshold_multiples() {
+        let clock = Arc::new(ManualClock::new());
+        let mut m = monitor(&clock);
+        assert_eq!(m.level(), 0);
+        m.observe(9, 0);
+        assert_eq!(m.level(), 0, "below threshold");
+        m.observe(1, 0);
+        assert_eq!(m.level(), 1, "threshold reached");
+        m.observe(10, 0);
+        assert_eq!(m.level(), 2, "second multiple");
+        m.observe(100, 0);
+        assert_eq!(m.level(), 3, "capped at max_level");
+    }
+
+    #[test]
+    fn uncorrected_events_jump_to_max_level() {
+        let clock = Arc::new(ManualClock::new());
+        let mut m = monitor(&clock);
+        m.observe(0, 3);
+        assert_eq!(m.level(), 3, "uncorrected faults are an SLA break");
+    }
+
+    #[test]
+    fn levels_decay_as_the_window_slides_in_zero_wall_time() {
+        let clock = Arc::new(ManualClock::new());
+        let mut m = monitor(&clock);
+        m.observe(10, 0);
+        assert_eq!(m.level(), 1);
+        clock.advance(500);
+        m.observe(10, 0);
+        assert_eq!(m.level(), 2, "both bursts inside the window");
+        clock.advance(600);
+        assert_eq!(m.level(), 1, "first burst aged out");
+        assert_eq!(m.windowed(), (10, 0));
+        clock.advance(600);
+        assert_eq!(m.level(), 0, "fully decayed");
+        assert_eq!(m.windowed(), (0, 0));
+    }
+
+    #[test]
+    fn fault_free_traffic_never_grows_the_window() {
+        let clock = Arc::new(ManualClock::new());
+        let mut m = monitor(&clock);
+        for _ in 0..10_000 {
+            m.observe(0, 0);
+        }
+        assert_eq!(m.window.len(), 0);
+        assert_eq!(m.level(), 0);
+    }
+}

@@ -1,0 +1,147 @@
+//! The serving wire protocol: JSON messages in the same `WGFB` frames as
+//! the sweep fabric (length prefix + FNV-1a checksum, see
+//! [`wgft_fabric::wire`]).
+//!
+//! Every request is idempotent at the daemon: `Classify` is a pure function
+//! of `(request_id, tenant, image)` — even under `--chaos`, the injected
+//! fault stream is seeded from `request_id`, so a client re-sending after a
+//! lost response (or a daemon restart) gets the same answer. That is what
+//! lets the retry layer mask a SIGKILL mid-load without any silent drops.
+
+use crate::counters::{CountersSnapshot, TenantTier};
+use crate::tier::ProtectionTier;
+use serde::{Deserialize, Serialize};
+
+/// A client-to-daemon request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServeRequest {
+    /// Classify one image under the tenant's protection tier.
+    Classify {
+        /// Client-chosen id; retries MUST reuse it (it seeds the chaos
+        /// fault stream, making re-sends idempotent).
+        request_id: u64,
+        /// Tenant tag (maps to a configured tier; unknown tenants get the
+        /// daemon's default tier).
+        tenant: String,
+        /// Flattened NCHW image, length = the served spec's image length.
+        image: Vec<f32>,
+    },
+    /// Read every counter.
+    Status,
+    /// Read the serving configuration (enough for a client to rebuild the
+    /// evaluation set and judge accuracy).
+    Health,
+    /// Ask the daemon to drain and exit its serve loop. Idempotent.
+    Shutdown,
+}
+
+/// A daemon-to-client response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServeResponse {
+    /// The classification answer.
+    Classified {
+        /// Echo of the request id.
+        request_id: u64,
+        /// Predicted class index.
+        prediction: usize,
+        /// Tier the request was actually served at.
+        tier: ProtectionTier,
+        /// Whether that tier is stronger than the tenant's base tier
+        /// (the escalation monitor promoted it).
+        promoted: bool,
+    },
+    /// Explicit load shed: the intake queue is at capacity. Retry with
+    /// backoff — never a silent drop.
+    Overloaded {
+        /// Suggested delay before retrying.
+        retry_ms: u64,
+    },
+    /// Explicit degraded-mode shed: the daemon is escalated and over its
+    /// soft watermark, and this request's tier is being shed to protect
+    /// the stronger tiers' latency. Retry with backoff.
+    Degraded {
+        /// Current escalation level.
+        level: u32,
+        /// Suggested delay before retrying.
+        retry_ms: u64,
+    },
+    /// Counter snapshot.
+    Status(CountersSnapshot),
+    /// Serving configuration and baseline.
+    Health {
+        /// The `CampaignConfig` the daemon serves, verbatim JSON — a client
+        /// can rebuild the synthetic evaluation set from it (dataset
+        /// generation is cheap and deterministic; training is not needed).
+        config_json: String,
+        /// Conv algorithm in use (`standard` or `winograd`).
+        algo: String,
+        /// Fault-free baseline accuracy measured at startup.
+        clean_accuracy: f64,
+        /// Whether `--chaos` fault injection is active.
+        chaos: bool,
+        /// Current escalation level.
+        escalation_level: u32,
+        /// Configured tenants and their base/effective tiers.
+        tenants: Vec<TenantTier>,
+    },
+    /// Shutdown recorded (first request and re-sends alike).
+    ShutdownAck,
+    /// The request was understood but refused.
+    Error {
+        /// Why.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgft_fabric::wire::{decode, encode, read_frame, write_frame};
+
+    #[test]
+    fn serve_messages_roundtrip_through_fabric_frames() {
+        let requests = [
+            ServeRequest::Classify {
+                request_id: 42,
+                tenant: "gold".to_string(),
+                image: vec![0.5, -1.0, 0.25],
+            },
+            ServeRequest::Status,
+            ServeRequest::Health,
+            ServeRequest::Shutdown,
+        ];
+        for req in &requests {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &encode(req).unwrap()).unwrap();
+            let payload = read_frame(&mut buf.as_slice()).unwrap();
+            let back: ServeRequest = decode(&payload).unwrap();
+            assert_eq!(&back, req);
+        }
+
+        let responses = [
+            ServeResponse::Classified {
+                request_id: 42,
+                prediction: 3,
+                tier: ProtectionTier::Checksum,
+                promoted: true,
+            },
+            ServeResponse::Overloaded { retry_ms: 50 },
+            ServeResponse::Degraded {
+                level: 1,
+                retry_ms: 50,
+            },
+            ServeResponse::Status(CountersSnapshot::default()),
+            ServeResponse::ShutdownAck,
+            ServeResponse::Error {
+                message: "nope".to_string(),
+            },
+        ];
+        for resp in &responses {
+            let mut buf = Vec::new();
+            write_frame(&mut buf, &encode(resp).unwrap()).unwrap();
+            let payload = read_frame(&mut buf.as_slice()).unwrap();
+            let back: ServeResponse = decode(&payload).unwrap();
+            assert_eq!(&back, resp);
+        }
+    }
+}

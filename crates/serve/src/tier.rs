@@ -1,0 +1,150 @@
+//! Protection tiers: the per-tenant service levels of the daemon.
+//!
+//! A tier names how much of `wgft-abft`'s machinery runs around a tenant's
+//! inferences. The ordering is total and meaningful: escalation promotes a
+//! tenant to the *next stronger* tier, so `Fast < Range < Checksum <
+//! ChecksumRecompute`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use wgft_abft::AbftPolicy;
+
+/// A protection service level, weakest to strongest.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub enum ProtectionTier {
+    /// Unprotected planned fast path (the BER=0 serving configuration):
+    /// micro-batched GEMMs, no detection. Cheapest, and exactly the
+    /// uninstrumented path `wgft-core` uses for fault-free evaluation.
+    #[default]
+    Fast,
+    /// Range restriction only: calibrated clipping, detector-free.
+    Range,
+    /// Checksummed GEMMs and transform guards, locate-and-correct for
+    /// single errors, no recompute fallback.
+    Checksum,
+    /// Checksums + range restriction + recompute-on-detect — the strongest
+    /// executable scheme (the paper's full protection).
+    ChecksumRecompute,
+}
+
+impl ProtectionTier {
+    /// Every tier, weakest first.
+    pub const ALL: [ProtectionTier; 4] = [
+        ProtectionTier::Fast,
+        ProtectionTier::Range,
+        ProtectionTier::Checksum,
+        ProtectionTier::ChecksumRecompute,
+    ];
+
+    /// The next stronger tier (the strongest promotes to itself).
+    #[must_use]
+    pub fn promote(self) -> Self {
+        match self {
+            ProtectionTier::Fast => ProtectionTier::Range,
+            ProtectionTier::Range => ProtectionTier::Checksum,
+            ProtectionTier::Checksum | ProtectionTier::ChecksumRecompute => {
+                ProtectionTier::ChecksumRecompute
+            }
+        }
+    }
+
+    /// This tier promoted `levels` times.
+    #[must_use]
+    pub fn promoted_by(self, levels: u32) -> Self {
+        let mut tier = self;
+        for _ in 0..levels {
+            tier = tier.promote();
+        }
+        tier
+    }
+
+    /// The executable ABFT policy of this tier, or `None` for the
+    /// unprotected fast path.
+    #[must_use]
+    pub fn policy(self) -> Option<AbftPolicy> {
+        match self {
+            ProtectionTier::Fast => None,
+            ProtectionTier::Range => Some(AbftPolicy::range_only()),
+            ProtectionTier::Checksum => Some(AbftPolicy::checksum().with_recompute(false)),
+            ProtectionTier::ChecksumRecompute => Some(AbftPolicy::checksum_range()),
+        }
+    }
+
+    /// Short label used in flags, counters and reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtectionTier::Fast => "fast",
+            ProtectionTier::Range => "range",
+            ProtectionTier::Checksum => "checksum",
+            ProtectionTier::ChecksumRecompute => "checksum_recompute",
+        }
+    }
+
+    /// Parse a [`Self::label`] back into a tier.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unknown label.
+    pub fn parse(label: &str) -> Result<Self, String> {
+        Self::ALL
+            .into_iter()
+            .find(|t| t.label() == label)
+            .ok_or_else(|| {
+                format!(
+                    "unknown tier `{label}` (expected one of: {})",
+                    Self::ALL.map(ProtectionTier::label).join(", ")
+                )
+            })
+    }
+}
+
+impl fmt::Display for ProtectionTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn promotion_is_monotone_and_saturates() {
+        for tier in ProtectionTier::ALL {
+            assert!(tier.promote() >= tier);
+        }
+        assert_eq!(
+            ProtectionTier::ChecksumRecompute.promote(),
+            ProtectionTier::ChecksumRecompute
+        );
+        assert_eq!(
+            ProtectionTier::Fast.promoted_by(2),
+            ProtectionTier::Checksum
+        );
+        assert_eq!(
+            ProtectionTier::Fast.promoted_by(99),
+            ProtectionTier::ChecksumRecompute
+        );
+    }
+
+    #[test]
+    fn labels_round_trip_and_policies_match_tiers() {
+        for tier in ProtectionTier::ALL {
+            assert_eq!(ProtectionTier::parse(tier.label()).unwrap(), tier);
+        }
+        assert!(ProtectionTier::parse("gold").is_err());
+        assert!(ProtectionTier::Fast.policy().is_none());
+        assert!(
+            !ProtectionTier::Checksum
+                .policy()
+                .unwrap()
+                .recompute_on_detect
+        );
+        let strongest = ProtectionTier::ChecksumRecompute.policy().unwrap();
+        assert!(strongest.recompute_on_detect);
+        assert!(strongest.mode_for(0).checks() && strongest.mode_for(0).clips());
+    }
+}

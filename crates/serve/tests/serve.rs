@@ -1,0 +1,314 @@
+//! End-to-end tests of the serving daemon over loopback TCP: batched
+//! serving bit-identity, chaos idempotency, escalation, explicit sheds
+//! and shutdown draining.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread;
+
+use wgft_core::{CampaignConfig, FaultToleranceCampaign};
+use wgft_fabric::wire::{decode, encode};
+use wgft_fabric::{FramedTcpClient, ManualClock, SystemClock};
+use wgft_fixedpoint::BitWidth;
+use wgft_nn::models::ModelKind;
+use wgft_serve::{
+    BatchConfig, ChaosConfig, MonitorConfig, ProtectionTier, ServeClient, ServeConfig, ServeDaemon,
+    ServeEngine, ServeRequest, ServeResponse,
+};
+use wgft_winograd::ConvAlgorithm;
+
+fn tiny_config(seed: u64) -> CampaignConfig {
+    CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W8)
+        .with_images(8)
+        .with_seed(seed)
+}
+
+fn tenant_map(pairs: &[(&str, ProtectionTier)]) -> BTreeMap<String, ProtectionTier> {
+    pairs
+        .iter()
+        .map(|(tenant, tier)| ((*tenant).to_string(), *tier))
+        .collect()
+}
+
+#[test]
+fn concurrent_batched_serving_matches_the_local_fast_path_exactly() {
+    let config = tiny_config(11);
+    let algo = ConvAlgorithm::winograd_default();
+
+    // Ground truth: the same deterministic campaign prepared locally.
+    let local = FaultToleranceCampaign::prepare(&config).expect("local campaign");
+    let mut fast = local.quantized().prepare_fast().expect("fast plans");
+    let images: Vec<_> = local
+        .eval_set()
+        .samples()
+        .iter()
+        .map(|s| s.image.clone())
+        .collect();
+    let expected: Vec<usize> = images
+        .iter()
+        .map(|image| {
+            local
+                .quantized()
+                .classify_fast(image, algo, &mut fast)
+                .expect("local classify")
+        })
+        .collect();
+
+    let engine = ServeEngine::prepare(&config, algo, None).expect("engine");
+    let serve_config = ServeConfig {
+        tenants: tenant_map(&[("free", ProtectionTier::Fast)]),
+        batch: BatchConfig {
+            max_batch: 4,
+            max_delay_ms: 5,
+            ..BatchConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let daemon = ServeDaemon::spawn(
+        engine,
+        serve_config,
+        Arc::new(SystemClock::new()),
+        "127.0.0.1:0",
+    )
+    .expect("daemon");
+    let addr = daemon.addr().to_string();
+
+    // Four concurrent clients hammer the daemon so batches actually
+    // coalesce; every answer must equal the sequential local fast path,
+    // whatever the coalescing schedule was.
+    let images = Arc::new(images);
+    let expected = Arc::new(expected);
+    let rounds = 3usize;
+    let handles: Vec<_> = (0..4u64)
+        .map(|client_idx| {
+            let addr = addr.clone();
+            let images = Arc::clone(&images);
+            let expected = Arc::clone(&expected);
+            thread::spawn(move || {
+                let mut client = ServeClient::new(&addr);
+                for round in 0..rounds {
+                    for (i, image) in images.iter().enumerate() {
+                        let request_id = (client_idx << 32) | ((round as u64) << 16) | i as u64;
+                        let answer = client
+                            .classify(request_id, "free", image.data())
+                            .expect("classify");
+                        assert_eq!(
+                            answer.prediction, expected[i],
+                            "batched prediction diverged from the local fast path"
+                        );
+                        assert_eq!(answer.tier, ProtectionTier::Fast);
+                        assert!(!answer.promoted);
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("client thread");
+    }
+
+    let total = (4 * rounds * images.len()) as u64;
+    let snap = daemon.snapshot();
+    assert_eq!(snap.global.accepted, total);
+    assert_eq!(snap.tenants["free"].requests, total);
+    assert_eq!(snap.global.batched_images, total);
+    assert!(snap.global.batches > 0);
+    assert!(
+        snap.global.batches <= total,
+        "batches cannot exceed requests"
+    );
+    assert_eq!(snap.global.overloaded, 0);
+    assert_eq!(
+        snap.escalation_level, 0,
+        "fault-free traffic never escalates"
+    );
+}
+
+#[test]
+fn chaos_serving_is_idempotent_and_protection_tiers_report_events() {
+    let config = tiny_config(23);
+    let algo = ConvAlgorithm::winograd_default();
+    let chaos = ChaosConfig { ber: 2e-3, seed: 7 };
+    let engine = ServeEngine::prepare(&config, algo, Some(chaos)).expect("engine");
+    let serve_config = ServeConfig {
+        tenants: tenant_map(&[
+            ("free", ProtectionTier::Fast),
+            ("gold", ProtectionTier::ChecksumRecompute),
+        ]),
+        // Escalate on the very first detection so the test sees promotions
+        // deterministically.
+        monitor: MonitorConfig {
+            window_ms: 3_600_000,
+            detected_per_window: 1,
+            uncorrected_per_window: 1_000_000,
+            max_level: 3,
+        },
+        ..ServeConfig::default()
+    };
+    let daemon = ServeDaemon::spawn(
+        engine,
+        serve_config,
+        Arc::new(ManualClock::new()) as Arc<dyn wgft_fabric::Clock>,
+        "127.0.0.1:0",
+    )
+    .expect("daemon");
+    let addr = daemon.addr().to_string();
+
+    let local = FaultToleranceCampaign::prepare(&config).expect("local campaign");
+    let images: Vec<_> = local
+        .eval_set()
+        .samples()
+        .iter()
+        .map(|s| s.image.clone())
+        .collect();
+
+    let mut client = ServeClient::new(&addr);
+
+    // Idempotency: the same request id replays the identical fault stream,
+    // so re-sending must return the identical answer.
+    for (i, image) in images.iter().enumerate() {
+        let first = client
+            .classify(1000 + i as u64, "free", image.data())
+            .expect("classify");
+        let again = client
+            .classify(1000 + i as u64, "free", image.data())
+            .expect("re-classify");
+        assert_eq!(
+            first.prediction, again.prediction,
+            "chaos fault streams must be keyed by request id"
+        );
+    }
+
+    // The protected tier detects the injected faults and reports events.
+    for (i, image) in images.iter().enumerate() {
+        client
+            .classify(2000 + i as u64, "gold", image.data())
+            .expect("gold classify");
+    }
+    let snap = daemon.snapshot();
+    let gold = &snap.tenants["gold"];
+    assert_eq!(gold.requests, images.len() as u64);
+    assert!(
+        gold.detected > 0,
+        "BER 2e-3 over {} images produced no detections",
+        images.len()
+    );
+    assert!(
+        gold.detected >= gold.uncorrected,
+        "uncorrected cannot exceed detected"
+    );
+    assert!(
+        snap.escalation_level > 0,
+        "detections past the threshold must escalate"
+    );
+    assert!(snap.global.escalations > 0);
+
+    // After escalation, a fast-tier tenant is served at a promoted tier.
+    let promoted = client
+        .classify(3000, "free", images[0].data())
+        .expect("promoted classify");
+    assert!(promoted.promoted, "escalation must promote the fast tier");
+    assert!(promoted.tier > ProtectionTier::Fast);
+    assert!(daemon.snapshot().tenants["free"].promoted > 0);
+}
+
+#[test]
+fn degraded_sheds_are_explicit_and_shutdown_drains_idempotently() {
+    let config = tiny_config(37);
+    let algo = ConvAlgorithm::winograd_default();
+    let chaos = ChaosConfig { ber: 2e-3, seed: 5 };
+    let engine = ServeEngine::prepare(&config, algo, Some(chaos)).expect("engine");
+    let image_len = engine.image_len();
+    let serve_config = ServeConfig {
+        tenants: tenant_map(&[
+            ("free", ProtectionTier::Fast),
+            ("gold", ProtectionTier::ChecksumRecompute),
+        ]),
+        monitor: MonitorConfig {
+            window_ms: 3_600_000,
+            detected_per_window: 1,
+            uncorrected_per_window: 1_000_000,
+            max_level: 3,
+        },
+        // Watermark zero: once escalated, every fast-tier request sheds.
+        batch: BatchConfig {
+            soft_watermark: 0,
+            ..BatchConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let daemon = ServeDaemon::spawn(
+        engine,
+        serve_config,
+        Arc::new(ManualClock::new()) as Arc<dyn wgft_fabric::Clock>,
+        "127.0.0.1:0",
+    )
+    .expect("daemon");
+    let addr = daemon.addr().to_string();
+
+    let local = FaultToleranceCampaign::prepare(&config).expect("local campaign");
+    let images: Vec<_> = local
+        .eval_set()
+        .samples()
+        .iter()
+        .map(|s| s.image.clone())
+        .collect();
+
+    // Drive gold traffic until the monitor escalates.
+    let mut client = ServeClient::new(&addr);
+    for (i, image) in images.iter().enumerate() {
+        client
+            .classify(4000 + i as u64, "gold", image.data())
+            .expect("gold classify");
+        if daemon.snapshot().escalation_level > 0 {
+            break;
+        }
+    }
+    assert!(daemon.snapshot().escalation_level > 0, "never escalated");
+
+    // A raw client (no retry layer) sees the explicit Degraded shed for
+    // fast-tier traffic.
+    let mut raw = FramedTcpClient::new(&addr);
+    let shed_request = ServeRequest::Classify {
+        request_id: 5000,
+        tenant: "free".to_string(),
+        image: vec![0.0; image_len],
+    };
+    let response: ServeResponse = decode(
+        &raw.call_raw(&encode(&shed_request).expect("encode"))
+            .expect("call"),
+    )
+    .expect("decode");
+    match response {
+        ServeResponse::Degraded { level, .. } => assert!(level > 0),
+        other => panic!("expected Degraded, got {other:?}"),
+    }
+    assert!(daemon.snapshot().tenants["free"].shed > 0);
+
+    // Gold traffic still flows while free is shed.
+    client
+        .classify(6000, "gold", images[0].data())
+        .expect("gold still served");
+
+    // Shutdown is idempotent; afterwards classifies are refused with an
+    // explicit error, never silently dropped.
+    client.shutdown().expect("first shutdown");
+    assert!(daemon.shutdown_requested());
+    client.shutdown().expect("second shutdown (idempotent)");
+    let refused = client.classify(7000, "gold", images[0].data());
+    assert!(refused.is_err(), "post-shutdown classify must be refused");
+
+    // Wrong-sized images are refused with an explicit error too.
+    let mut raw = FramedTcpClient::new(&addr);
+    let bad = ServeRequest::Classify {
+        request_id: 8000,
+        tenant: "gold".to_string(),
+        image: vec![0.0; image_len + 1],
+    };
+    let response: ServeResponse =
+        decode(&raw.call_raw(&encode(&bad).expect("encode")).expect("call")).expect("decode");
+    assert!(
+        matches!(response, ServeResponse::Error { .. }),
+        "expected explicit error, got {response:?}"
+    );
+}

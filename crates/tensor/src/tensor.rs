@@ -230,9 +230,24 @@ impl Tensor {
     }
 
     /// Maximum absolute value (0 for an empty tensor).
+    ///
+    /// The reduction is a pinned compare-and-assign loop rather than a
+    /// `fold(0.0, f32::max)`: the `maxnum`-intrinsic lowering of the fold
+    /// has been observed to return a non-maximal element under `--release`
+    /// with `-C target-cpu=native` on some hosts, and the explicit loop
+    /// keeps the result exact (a max of finite floats has no rounding, so
+    /// there is nothing to trade away). Guarded by a regression test
+    /// against a naive scalar reference in both profiles.
     #[must_use]
     pub fn max_abs(&self) -> f32 {
-        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+        let mut m = 0.0f32;
+        for &v in &self.data {
+            let a = v.abs();
+            if a > m {
+                m = a;
+            }
+        }
+        m
     }
 
     /// Reinterpret the tensor with a new shape of identical volume.
@@ -392,6 +407,45 @@ mod tests {
         a.scale(2.0);
         assert_eq!(a.data(), &[3.0, -2.0, 4.0]);
         assert_eq!(a.max_abs(), 4.0);
+    }
+
+    /// Regression test for a release-mode (`-C target-cpu=native`)
+    /// miscompile of the previous `fold(0.0, f32::max)` reduction, which
+    /// returned a non-maximal element (`axpy_scale_and_max_abs` caught it
+    /// on the data `[3.0, -2.0, 4.0]`). `max_abs` is exact, so it must
+    /// equal a naive scalar scan bit-for-bit in *both* profiles, for every
+    /// length (vector remainders included) and every maximum position.
+    #[test]
+    fn max_abs_matches_naive_reference_in_both_profiles() {
+        for len in [1usize, 2, 3, 4, 5, 7, 8, 15, 16, 17, 31, 64, 257] {
+            for max_at in [0, len / 2, len - 1] {
+                let mut data: Vec<f32> = (0..len)
+                    .map(|i| {
+                        let v = (i as f32).mul_add(0.37, -3.0);
+                        if i % 2 == 0 {
+                            v
+                        } else {
+                            -v
+                        }
+                    })
+                    .collect();
+                data[max_at] = if max_at % 2 == 0 { 1.0e6 } else { -1.0e6 };
+                let mut naive = 0.0f32;
+                for &v in &data {
+                    if v.abs() > naive {
+                        naive = v.abs();
+                    }
+                }
+                let t = Tensor::from_vec(Shape::d1(len), data).unwrap();
+                assert_eq!(
+                    t.max_abs(),
+                    naive,
+                    "len {len}, max at {max_at}: max_abs must match the naive scan"
+                );
+                assert_eq!(t.max_abs(), 1.0e6);
+            }
+        }
+        assert_eq!(Tensor::zeros(Shape::d1(0)).max_abs(), 0.0, "empty tensor");
     }
 
     #[test]

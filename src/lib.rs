@@ -21,7 +21,10 @@
 //!   coordinator/worker protocol over TCP (or in-process) with heartbeats,
 //!   work stealing, fault injection and retry — merged reports stay
 //!   bit-identical to monolithic runs (also the `wgft-sweep` CLI, whose
-//!   `serve`/`work` subcommands drive it).
+//!   `serve`/`work` subcommands drive it),
+//! * [`serve`] — a fault-tolerant inference daemon with per-tenant
+//!   protection tiers, micro-batching, graceful degradation and live chaos
+//!   drills (also the `wgft-serve` CLI).
 //!
 //! # Quickstart
 //!
@@ -50,6 +53,7 @@ pub use wgft_fabric as fabric;
 pub use wgft_faultsim as faultsim;
 pub use wgft_fixedpoint as fixedpoint;
 pub use wgft_nn as nn;
+pub use wgft_serve as serve;
 pub use wgft_sweep as sweep;
 pub use wgft_tensor as tensor;
 pub use wgft_winograd as winograd;
