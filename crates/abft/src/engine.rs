@@ -596,10 +596,11 @@ mod tests {
     use wgft_fixedpoint::BitWidth;
     use wgft_tensor::ConvGeometry;
     use wgft_winograd::{
-        direct_conv_quantized, transform_weights_f32, winograd_conv_quantized, F2X2_3X3,
+        direct_conv_quantized, transform_weights_f32, winograd_conv_quantized, WinogradVariant,
+        F2X2_3X3,
     };
 
-    fn wino_fixture() -> (ConvShape, Vec<i32>, WinogradWeights) {
+    fn wino_fixture(variant: WinogradVariant) -> (ConvShape, Vec<i32>, WinogradWeights) {
         let shape = ConvShape::new(2, 3, ConvGeometry::square(6, 3, 1, 1));
         let input: Vec<i32> = (0..shape.input_len())
             .map(|i| ((i * 7 % 23) as i32) - 11)
@@ -608,65 +609,71 @@ mod tests {
             .map(|i| 4 * (((i * 5 % 9) as i32) - 4))
             .collect();
         let weights_f: Vec<f32> = weights_q.iter().map(|&w| w as f32).collect();
-        let u = transform_weights_f32(&weights_f, 3, 2, F2X2_3X3).unwrap();
-        let wino = WinogradWeights::new(
-            F2X2_3X3,
-            3,
-            2,
-            u.iter().map(|&x| x.round() as i32).collect(),
-        )
-        .unwrap();
+        let u = transform_weights_f32(&weights_f, 3, 2, variant).unwrap();
+        let wino =
+            WinogradWeights::new(variant, 3, 2, u.iter().map(|&x| x.round() as i32).collect())
+                .unwrap();
         (shape, input, wino)
     }
 
+    /// The protected executor is tile-generic: for every variant, every
+    /// mode's fault-free output must equal the stock kernel's exactly.
     #[test]
     fn fault_free_protected_winograd_matches_unprotected_exactly() {
-        let (shape, input, wino) = wino_fixture();
-        let mut exact = ExactArithmetic::new();
-        let reference = winograd_conv_quantized(&mut exact, 0, &input, &wino, &shape).unwrap();
-        for mode in [AbftMode::Off, AbftMode::Checksum, AbftMode::ChecksumRange] {
-            let mut arith = ExactArithmetic::new();
-            let mut scratch = AbftScratch::new();
-            let mut events = AbftEvents::new();
-            let mut ranges = LayerRanges::default();
-            // Calibrate first so clipping modes have real bounds.
-            let mut cal_arith = ExactArithmetic::new();
-            abft_winograd_conv(
-                &mut cal_arith,
-                0,
-                &input,
-                &wino,
-                &shape,
-                &mut scratch,
-                AbftRun::off(),
-                Some(&mut ranges),
-                &mut AbftEvents::new(),
-            )
-            .unwrap();
-            let run = AbftRun {
-                mode,
-                recompute: true,
-                margin: 2.0,
-                ranges: Some(&ranges),
-            };
-            let out = abft_winograd_conv(
-                &mut arith,
-                0,
-                &input,
-                &wino,
-                &shape,
-                &mut scratch,
-                run,
-                None,
-                &mut events,
-            )
-            .unwrap();
-            assert_eq!(out, reference, "{mode}: fault-free output must agree");
-            assert_eq!(events.detected, 0, "{mode}: zero false detections at BER 0");
-            assert_eq!(
-                events.clipped, 0,
-                "{mode}: calibrated range never clips clean values"
-            );
+        for variant in WinogradVariant::all() {
+            let (shape, input, wino) = wino_fixture(variant);
+            let mut exact = ExactArithmetic::new();
+            let reference = winograd_conv_quantized(&mut exact, 0, &input, &wino, &shape).unwrap();
+            for mode in [AbftMode::Off, AbftMode::Checksum, AbftMode::ChecksumRange] {
+                let mut arith = ExactArithmetic::new();
+                let mut scratch = AbftScratch::new();
+                let mut events = AbftEvents::new();
+                let mut ranges = LayerRanges::default();
+                // Calibrate first so clipping modes have real bounds.
+                let mut cal_arith = ExactArithmetic::new();
+                abft_winograd_conv(
+                    &mut cal_arith,
+                    0,
+                    &input,
+                    &wino,
+                    &shape,
+                    &mut scratch,
+                    AbftRun::off(),
+                    Some(&mut ranges),
+                    &mut AbftEvents::new(),
+                )
+                .unwrap();
+                let run = AbftRun {
+                    mode,
+                    recompute: true,
+                    margin: 2.0,
+                    ranges: Some(&ranges),
+                };
+                let out = abft_winograd_conv(
+                    &mut arith,
+                    0,
+                    &input,
+                    &wino,
+                    &shape,
+                    &mut scratch,
+                    run,
+                    None,
+                    &mut events,
+                )
+                .unwrap();
+                assert_eq!(
+                    out, reference,
+                    "{variant} {mode}: fault-free output must agree"
+                );
+                assert_eq!(
+                    events.detected, 0,
+                    "{variant} {mode}: zero false detections at BER 0"
+                );
+                assert_eq!(
+                    events.clipped, 0,
+                    "{variant} {mode}: calibrated range never clips clean values"
+                );
+            }
         }
     }
 
@@ -675,7 +682,7 @@ mod tests {
         // The backend-visible op sequence of the protected executor's Off
         // mode must match the GEMM-shaped schedule (counts, not order, are
         // compared to the stock kernel: same muls, same adds).
-        let (shape, input, wino) = wino_fixture();
+        let (shape, input, wino) = wino_fixture(F2X2_3X3);
         let mut stock = ExactArithmetic::new();
         winograd_conv_quantized(&mut stock, 0, &input, &wino, &shape).unwrap();
         let mut engine = ExactArithmetic::new();
@@ -735,56 +742,71 @@ mod tests {
         assert_eq!(events.detected, 0);
     }
 
+    /// Checksum + recompute must restore exact accumulators under a fault
+    /// storm for every tile variant — the larger tiles have more GEMMs per
+    /// output and therefore more checksummed surfaces.
     #[test]
     fn heavy_faults_are_detected_and_mostly_repaired() {
-        let (shape, input, wino) = wino_fixture();
-        // A BER high enough that the unprotected kernel is badly corrupted.
-        let config = FaultConfig::new(BitErrorRate::new(2e-4), BitWidth::W16);
-        let mut unprotected = FaultyArithmetic::new(config.clone(), 42);
-        let corrupted =
-            winograd_conv_quantized(&mut unprotected, 0, &input, &wino, &shape).unwrap();
-        let mut exact = ExactArithmetic::new();
-        let truth = winograd_conv_quantized(&mut exact, 0, &input, &wino, &shape).unwrap();
-        assert!(unprotected.faults_injected() > 0);
-        assert_ne!(corrupted, truth, "unprotected execution must be corrupted");
+        for variant in WinogradVariant::all() {
+            let (shape, input, wino) = wino_fixture(variant);
+            // A BER high enough that the unprotected kernel is badly
+            // corrupted, but low enough that single faults dominate each
+            // GEMM. F(6x6,3x3) runs ~10x the operations per layer of
+            // F(2x2,3x3) (64 winograd coordinates, 8x8 inverse transform),
+            // so it gets a proportionally lower rate — at 2e-4 its
+            // multi-fault GEMMs routinely exceed what locate-and-fix plus a
+            // recompute under the *same* faulty arithmetic can repair.
+            let ber = match variant {
+                WinogradVariant::F6x6 => 2e-5,
+                _ => 2e-4,
+            };
+            let config = FaultConfig::new(BitErrorRate::new(ber), BitWidth::W16);
+            let mut unprotected = FaultyArithmetic::new(config.clone(), 4);
+            let corrupted =
+                winograd_conv_quantized(&mut unprotected, 0, &input, &wino, &shape).unwrap();
+            let mut exact = ExactArithmetic::new();
+            let truth = winograd_conv_quantized(&mut exact, 0, &input, &wino, &shape).unwrap();
+            assert!(unprotected.faults_injected() > 0);
+            assert_ne!(corrupted, truth, "unprotected execution must be corrupted");
 
-        let mut protected = FaultyArithmetic::new(config, 42);
-        let mut scratch = AbftScratch::new();
-        let mut events = AbftEvents::new();
-        let run = AbftRun {
-            mode: AbftMode::Checksum,
-            recompute: true,
-            margin: 2.0,
-            ranges: None,
-        };
-        let out = abft_winograd_conv(
-            &mut protected,
-            0,
-            &input,
-            &wino,
-            &shape,
-            &mut scratch,
-            run,
-            None,
-            &mut events,
-        )
-        .unwrap();
-        assert!(
-            protected.faults_injected() > 0,
-            "faults must actually strike"
-        );
-        assert!(events.detected > 0, "strikes must be detected");
-        assert_eq!(
-            out, truth,
-            "checksum + recompute must restore the exact accumulators \
+            let mut protected = FaultyArithmetic::new(config, 4);
+            let mut scratch = AbftScratch::new();
+            let mut events = AbftEvents::new();
+            let run = AbftRun {
+                mode: AbftMode::Checksum,
+                recompute: true,
+                margin: 2.0,
+                ranges: None,
+            };
+            let out = abft_winograd_conv(
+                &mut protected,
+                0,
+                &input,
+                &wino,
+                &shape,
+                &mut scratch,
+                run,
+                None,
+                &mut events,
+            )
+            .unwrap();
+            assert!(
+                protected.faults_injected() > 0,
+                "faults must actually strike"
+            );
+            assert!(events.detected > 0, "{variant}: strikes must be detected");
+            assert_eq!(
+                out, truth,
+                "{variant}: checksum + recompute must restore the exact accumulators \
              (events: {events})"
-        );
-        assert_eq!(events.uncorrected, 0);
+            );
+            assert_eq!(events.uncorrected, 0);
+        }
     }
 
     #[test]
     fn range_restriction_clips_out_of_range_values() {
-        let (shape, input, wino) = wino_fixture();
+        let (shape, input, wino) = wino_fixture(F2X2_3X3);
         let mut ranges = LayerRanges::default();
         let mut scratch = AbftScratch::new();
         abft_winograd_conv(

@@ -241,6 +241,56 @@ fn bench_quantized_fast(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tile-size frontier on the acceptance-criteria layer: every winograd
+/// variant's planned f32 engine and fast uninstrumented quantized engine on
+/// the same 32->32-channel 64x64 layer. Larger tiles amortize more output
+/// pixels per transform (F(4x4) runs 2.25x fewer multiplies than F(2x2),
+/// F(6x6) 4x fewer), so this group is where the numerics×speed trade-off of
+/// the tile axis lands in the perf artifact.
+fn bench_tile_size_frontier(c: &mut Criterion) {
+    let (shape, input, weights) = planned_fixture();
+    let input_q: Vec<i32> = (0..shape.input_len())
+        .map(|i| ((i * 37 % 251) as i32) - 125)
+        .collect();
+    let weights_q: Vec<f32> = (0..shape.weight_len())
+        .map(|i| (((i * 13 % 127) as i32) - 63) as f32)
+        .collect();
+    let mut group = c.benchmark_group("tile_size_frontier");
+    group.sample_size(samples(10));
+    for variant in WinogradVariant::all() {
+        let tag = match variant {
+            WinogradVariant::F2x2 => "f2x2",
+            WinogradVariant::F4x4 => "f4x4",
+            WinogradVariant::F6x6 => "f6x6",
+        };
+        group.bench_function(&format!("f32_{tag}"), |b| {
+            let mut prepared = PreparedConvF32::new(&weights, &shape, variant).unwrap();
+            let mut output = vec![0.0f32; shape.output_len()];
+            b.iter(|| {
+                prepared.execute_into(&input, &mut output).unwrap();
+                black_box(output[0])
+            })
+        });
+        group.bench_function(&format!("quantized_fast_{tag}"), |b| {
+            let u = transform_weights_f32(&weights_q, 32, 32, variant).unwrap();
+            let wino = WinogradWeights::new(
+                variant,
+                32,
+                32,
+                u.iter().map(|&x| x.round() as i32).collect(),
+            )
+            .unwrap();
+            let mut prepared = PreparedConvQuantizedFast::new(&wino, &shape).unwrap();
+            let mut output = vec![0i64; shape.output_len()];
+            b.iter(|| {
+                prepared.execute_into(&input_q, &mut output).unwrap();
+                black_box(output[0])
+            })
+        });
+    }
+    group.finish();
+}
+
 /// The PR 1 GEMM kernel (two-row `i-k-j` streaming), kept verbatim as the
 /// regression baseline for the blocked microkernel.
 fn gemm_naive_pr1(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
@@ -379,6 +429,7 @@ criterion_group!(
     bench_planned_vs_naive,
     bench_planned_batch,
     bench_quantized_fast,
+    bench_tile_size_frontier,
     bench_gemm,
     bench_abft_checksum
 );
@@ -458,6 +509,30 @@ fn report(c: &Criterion) {
             (verified.mean_ns / plain.mean_ns - 1.0) * 100.0,
             plain.mean_ns,
             verified.mean_ns,
+        );
+    }
+    if let (Some(f2), Some(f4)) = (
+        find("tile_size_frontier/quantized_fast_f2x2"),
+        find("tile_size_frontier/quantized_fast_f4x4"),
+    ) {
+        println!(
+            "tile-size frontier, quantized fast (32c, 64x64): F(4x4) {:.2}x over \
+             F(2x2) on means ({:.0} ns -> {:.0} ns)",
+            f2.mean_ns / f4.mean_ns,
+            f2.mean_ns,
+            f4.mean_ns,
+        );
+    }
+    if let (Some(f2), Some(f6)) = (
+        find("tile_size_frontier/quantized_fast_f2x2"),
+        find("tile_size_frontier/quantized_fast_f6x6"),
+    ) {
+        println!(
+            "tile-size frontier, quantized fast (32c, 64x64): F(6x6) {:.2}x over \
+             F(2x2) on means ({:.0} ns -> {:.0} ns)",
+            f2.mean_ns / f6.mean_ns,
+            f2.mean_ns,
+            f6.mean_ns,
         );
     }
     if let (Some(naive), Some(blocked)) = (

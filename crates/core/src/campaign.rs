@@ -12,7 +12,7 @@ use wgft_faultsim::{
 };
 use wgft_nn::{FastInference, QuantizedNetwork, QuantizerOptions, TrainedModel};
 use wgft_tensor::Tensor;
-use wgft_winograd::{ConvAlgorithm, WinogradScratch};
+use wgft_winograd::{ConvAlgorithm, WinogradScratch, WinogradVariant};
 
 /// A prepared fault-tolerance campaign: a trained, quantized model-zoo network
 /// plus its evaluation set.
@@ -72,7 +72,10 @@ impl FaultToleranceCampaign {
         let quantized = QuantizedNetwork::from_network(
             &mut network,
             &calibration,
-            QuantizerOptions::new(config.width),
+            QuantizerOptions {
+                variant: config.tile,
+                ..QuantizerOptions::new(config.width)
+            },
         )?;
         let eval_set = test.take(config.eval_images);
         let mut campaign = Self {
@@ -559,6 +562,7 @@ impl FaultToleranceCampaign {
         NetworkSweepReport {
             model: self.quantized.name().to_string(),
             width: self.config.width.to_string(),
+            tile: self.config.tile,
             clean_accuracy: self.clean_accuracy,
             rows,
         }
@@ -666,6 +670,11 @@ pub struct NetworkSweepReport {
     pub model: String,
     /// Quantization width label.
     pub width: String,
+    /// Winograd tile variant the campaign prepared. Serialized only when
+    /// non-default, so reports at the default F(2x2,3x3) stay byte-identical
+    /// to ones written before the tile axis existed.
+    #[serde(default, skip_serializing_if = "crate::config::tile_is_default")]
+    pub tile: WinogradVariant,
     /// Fault-free accuracy.
     pub clean_accuracy: f64,
     /// Per-BER rows.
@@ -676,9 +685,10 @@ impl fmt::Display for NetworkSweepReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} ({}), clean accuracy {} %",
+            "{} ({}, {}), clean accuracy {} %",
             self.model,
             self.width,
+            self.tile,
             pct(self.clean_accuracy)
         )?;
         let mut table = TextTable::new(&["BER", "ST-Conv %", "WG-Conv %", "improvement %"]);

@@ -7,6 +7,7 @@ use wgft_faultsim::FaultModel;
 use wgft_fixedpoint::BitWidth;
 use wgft_nn::models::ModelKind;
 use wgft_nn::TrainConfig;
+use wgft_winograd::WinogradVariant;
 
 /// Configuration of a fault-tolerance evaluation campaign: which network,
 /// which quantization width, how much data to train and evaluate on, and how
@@ -36,6 +37,20 @@ pub struct CampaignConfig {
     pub base_seed: u64,
     /// Directory for the trained-model cache (`None` trains from scratch).
     pub cache_dir: Option<PathBuf>,
+    /// Winograd tile variant the quantized network is prepared with — the
+    /// numerics axis of the tile-size×fault frontier. Serialized only when
+    /// non-default, so configs (and the sweep-journal manifests embedding
+    /// them) written before the knob existed hash and resume unchanged.
+    #[serde(default, skip_serializing_if = "tile_is_default")]
+    pub tile: WinogradVariant,
+}
+
+/// Skip-serializing predicate: the default F(2x2,3x3) tile stays implicit —
+/// shared by the config and the tile-tagged campaign reports so every
+/// serialized artifact stays byte-identical to its pre-knob form at the
+/// default tile.
+pub(crate) fn tile_is_default(tile: &WinogradVariant) -> bool {
+    *tile == WinogradVariant::default()
 }
 
 impl CampaignConfig {
@@ -54,6 +69,7 @@ impl CampaignConfig {
             fault_model: FaultModel::default(),
             base_seed: 0xC0FFEE,
             cache_dir: None,
+            tile: WinogradVariant::default(),
         }
     }
 
@@ -122,6 +138,13 @@ impl CampaignConfig {
         self.base_seed = base_seed;
         self
     }
+
+    /// Override the winograd tile variant the quantized network prepares.
+    #[must_use]
+    pub fn with_tile(mut self, tile: WinogradVariant) -> Self {
+        self.tile = tile;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +178,26 @@ mod tests {
         let c = CampaignConfig::new(ModelKind::VggSmall, BitWidth::W8).with_images(0);
         assert_eq!(c.eval_images, 1);
         assert_eq!(c.with_batch_size(0).batch_size, 1);
+    }
+
+    /// The tile knob must not disturb existing manifests: a default-tile
+    /// config serializes without the field (so pre-knob manifest hashes and
+    /// journals still match), a tile-less JSON deserializes to F(2x2,3x3),
+    /// and a non-default tile round-trips losslessly.
+    #[test]
+    fn tile_knob_is_backward_compatible() {
+        let default_config = CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W8);
+        let json = serde_json::to_string(&default_config).expect("serialize");
+        assert!(!json.contains("\"tile\""));
+        let back: CampaignConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back.tile, WinogradVariant::default());
+        assert_eq!(back, default_config);
+
+        let non_default = default_config.clone().with_tile(wgft_winograd::F4X4_3X3);
+        let json = serde_json::to_string(&non_default).expect("serialize");
+        assert!(json.contains("\"tile\""));
+        let back: CampaignConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, non_default);
     }
 
     #[test]

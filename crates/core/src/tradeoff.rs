@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use wgft_abft::{AbftEvents, AbftPolicy};
 use wgft_faultsim::{BitErrorRate, OpCount, OpType, ProtectionPlan};
-use wgft_winograd::ConvAlgorithm;
+use wgft_winograd::{ConvAlgorithm, WinogradVariant};
 
 /// Hardware cost weight of one multiplication (matches the TMR planner).
 pub const MUL_COST: f64 = 1.0;
@@ -125,6 +125,11 @@ pub struct ProtectionTradeoffReport {
     pub model: String,
     /// Quantization width label.
     pub width: String,
+    /// Winograd tile variant the campaign prepared. Serialized only when
+    /// non-default, so reports at the default F(2x2,3x3) stay byte-identical
+    /// to ones written before the tile axis existed.
+    #[serde(default, skip_serializing_if = "crate::config::tile_is_default")]
+    pub tile: WinogradVariant,
     /// Fault-free accuracy.
     pub clean_accuracy: f64,
     /// Evaluation images per cell.
@@ -137,11 +142,12 @@ impl fmt::Display for ProtectionTradeoffReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{} ({}) — protection trade-off frontier, clean accuracy {} % \
+            "{} ({}, {}) — protection trade-off frontier, clean accuracy {} % \
              ({} images; overhead = weighted extra ops per image, \
              mul {MUL_COST} / add {ADD_COST})",
             self.model,
             self.width,
+            self.tile,
             pct(self.clean_accuracy),
             self.images
         )?;
@@ -242,6 +248,7 @@ impl FaultToleranceCampaign {
         ProtectionTradeoffReport {
             model: self.quantized().name().to_string(),
             width: self.config().width.to_string(),
+            tile: self.config().tile,
             clean_accuracy: self.clean_accuracy(),
             images,
             rows,

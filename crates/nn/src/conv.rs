@@ -27,6 +27,18 @@ pub struct Conv2d {
     /// mutable access to the weights.
     #[serde(skip)]
     prepared: Option<PreparedConvF32>,
+    /// Winograd tile variant the planned inference paths prepare for
+    /// 3x3 unit-stride geometry. Serialized only when non-default so
+    /// checkpoints written before the knob existed (and ones using the
+    /// default) stay byte-identical.
+    #[serde(default, skip_serializing_if = "variant_is_default")]
+    winograd_variant: WinogradVariant,
+}
+
+/// Skip-serializing predicate: the default F(2x2,3x3) variant is left
+/// implicit in checkpoints.
+fn variant_is_default(v: &WinogradVariant) -> bool {
+    *v == WinogradVariant::default()
 }
 
 /// Placeholder used when deserializing a layer (gradients are rebuilt lazily).
@@ -62,6 +74,24 @@ impl Conv2d {
             bias,
             cached_input: None,
             prepared: None,
+            winograd_variant: WinogradVariant::default(),
+        }
+    }
+
+    /// The winograd tile variant the planned paths will prepare.
+    #[must_use]
+    pub fn winograd_variant(&self) -> WinogradVariant {
+        self.winograd_variant
+    }
+
+    /// Select the winograd tile variant for the planned inference paths.
+    ///
+    /// Dropping any cached plan, so the next planned forward rebuilds with
+    /// the new tile size. Direct (non-3x3) geometry ignores the knob.
+    pub fn set_winograd_variant(&mut self, variant: WinogradVariant) {
+        if self.winograd_variant != variant {
+            self.winograd_variant = variant;
+            self.prepared = None;
         }
     }
 
@@ -130,7 +160,7 @@ impl Conv2d {
             self.prepared = Some(PreparedConvF32::new(
                 self.weights.data(),
                 &self.shape,
-                WinogradVariant::default(),
+                self.winograd_variant,
             )?);
         }
         let prepared = self.prepared.as_mut().expect("prepared plan built above");
@@ -159,7 +189,7 @@ impl Conv2d {
             self.prepared = Some(PreparedConvF32::new(
                 self.weights.data(),
                 &self.shape,
-                WinogradVariant::default(),
+                self.winograd_variant,
             )?);
         }
         let prepared = self.prepared.as_mut().expect("prepared plan built above");
@@ -225,7 +255,7 @@ impl Conv2d {
             self.prepared = Some(PreparedConvF32::new(
                 self.weights.data(),
                 &self.shape,
-                WinogradVariant::default(),
+                self.winograd_variant,
             )?);
         }
         let prepared = self.prepared.as_mut().expect("prepared plan built above");
@@ -589,6 +619,49 @@ mod tests {
         assert!(wino.forward_planned_batch(&wrong).is_err());
         let mut direct = layer(1, 1, 6, 1, 0);
         assert!(direct.forward_planned_batch(&wrong).is_err());
+    }
+
+    /// The tile-size knob must reach the planned engine: every variant's
+    /// planned forward agrees with direct convolution (F(6x6,3x3) gets the
+    /// wider round-off budget of its larger transform), and switching the
+    /// knob drops the stale plan.
+    #[test]
+    fn winograd_variant_knob_threads_through_planned_paths() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut conv = Conv2d::new(2, 3, 12, 3, 1, &mut rng);
+        let input = Tensor::uniform(Shape::nchw(1, 2, 12, 12), 1.0, &mut rng);
+        let direct = conv.forward(&input).unwrap();
+        for variant in WinogradVariant::all() {
+            conv.set_winograd_variant(variant);
+            assert_eq!(conv.winograd_variant(), variant);
+            let tol = if variant == wgft_winograd::F6X6_3X3 {
+                2e-1
+            } else {
+                2e-2
+            };
+            let planned = conv.forward_planned(&input).unwrap();
+            for (d, p) in direct.data().iter().zip(planned.data()) {
+                assert!((d - p).abs() < tol, "{variant}: direct {d} vs planned {p}");
+            }
+        }
+    }
+
+    /// Checkpoint compatibility of the tile knob: the default variant is
+    /// left implicit (byte-identical to pre-knob checkpoints, which load
+    /// back as F(2x2,3x3)), while a non-default variant round-trips.
+    #[test]
+    fn winograd_variant_knob_checkpoint_compatibility() {
+        let default_layer = layer(1, 1, 6, 3, 1);
+        let json = serde_json::to_string(&default_layer).unwrap();
+        assert!(!json.contains("winograd_variant"));
+        let back: Conv2d = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.winograd_variant(), WinogradVariant::default());
+        let mut six = layer(1, 1, 6, 3, 1);
+        six.set_winograd_variant(wgft_winograd::F6X6_3X3);
+        let json6 = serde_json::to_string(&six).unwrap();
+        assert!(json6.contains("winograd_variant"));
+        let back6: Conv2d = serde_json::from_str(&json6).unwrap();
+        assert_eq!(back6.winograd_variant(), wgft_winograd::F6X6_3X3);
     }
 
     #[test]

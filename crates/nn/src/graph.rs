@@ -254,6 +254,17 @@ impl Network {
         self.nodes.is_empty()
     }
 
+    /// Select the winograd tile variant every convolution layer prepares on
+    /// its planned inference paths (see [`Conv2d::set_winograd_variant`]).
+    /// Cached plans for a different variant are dropped and rebuilt lazily.
+    pub fn set_winograd_variant(&mut self, variant: wgft_winograd::WinogradVariant) {
+        for node in &mut self.nodes {
+            if let Layer::Conv(conv) = &mut node.layer {
+                conv.set_winograd_variant(variant);
+            }
+        }
+    }
+
     /// Number of convolution / fully-connected layers (the paper's "layers").
     #[must_use]
     pub fn compute_layer_count(&self) -> usize {

@@ -35,7 +35,16 @@ use wgft_core::CampaignConfig;
 /// computed under (merging refuses a journal whose mode this build cannot
 /// reproduce bit-identically) and an optional fabric-session tag naming the
 /// distributed coordinator that created the run.
-pub const JOURNAL_VERSION: u32 = 3;
+///
+/// Version 4: manifests record the winograd tile variant the campaign
+/// prepared and its interpolation point-set id (the numerics axis of the
+/// tile-size×fault frontier). Version-3 journals predate the tile axis and
+/// stay readable/resumable: they load with the default F(2x2,3x3) tile, and
+/// validation rejects a v3 manifest claiming anything else.
+pub const JOURNAL_VERSION: u32 = 4;
+
+/// Oldest journal format version this build still reads and resumes.
+pub const MIN_JOURNAL_VERSION: u32 = 3;
 
 /// The arithmetic mode this build journals results under.
 ///
@@ -49,6 +58,13 @@ pub const ARITHMETIC_MODE: &str = "quantized-exact-v1";
 
 /// File name of the manifest inside a run directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Skip-serializing predicate for the manifest's tile fields: the default
+/// F(2x2,3x3) tile stays implicit, keeping default-tile v4 manifests (and
+/// their content hashes) free of fields a v3 reader never wrote.
+fn tile_is_default(tile: &wgft_winograd::WinogradVariant) -> bool {
+    *tile == wgft_winograd::WinogradVariant::default()
+}
 
 /// 64-bit FNV-1a hash (stable, dependency-free; good enough to detect a
 /// mismatched or edited manifest, not a cryptographic commitment).
@@ -131,6 +147,16 @@ pub struct Manifest {
     pub model: String,
     /// Quantization width label.
     pub width: String,
+    /// Winograd tile variant the campaign prepared (mirrors `config.tile`;
+    /// recorded at top level so status/merge tag their reports without
+    /// digging into the config). Absent in version-3 journals and for the
+    /// default tile, loading as F(2x2,3x3) either way.
+    #[serde(default, skip_serializing_if = "tile_is_default")]
+    pub tile: wgft_winograd::WinogradVariant,
+    /// Interpolation point-set id of the tile variant (provenance for the
+    /// generated transforms; absent when the tile is the default).
+    #[serde(default, skip_serializing_if = "String::is_empty")]
+    pub tile_points: String,
     /// Fault-free baseline accuracy of the prepared campaign.
     pub clean_accuracy: f64,
     /// Total operation count of the prepared network under standard
@@ -167,6 +193,12 @@ impl Manifest {
         standard_ops: wgft_faultsim::OpCount,
         winograd_ops: wgft_faultsim::OpCount,
     ) -> Self {
+        let tile = config.tile;
+        let tile_points = if tile_is_default(&tile) {
+            String::new()
+        } else {
+            tile.point_set_id()
+        };
         let mut manifest = Self {
             version: JOURNAL_VERSION,
             kind,
@@ -177,6 +209,8 @@ impl Manifest {
             unit_count: 0,
             model,
             width,
+            tile,
+            tile_points,
             clean_accuracy,
             standard_ops,
             winograd_ops,
@@ -226,10 +260,43 @@ impl Manifest {
     ///
     /// Returns [`SweepError::Manifest`] describing the first mismatch.
     pub fn validate(&self) -> Result<(), SweepError> {
-        if self.version != JOURNAL_VERSION {
+        if !(MIN_JOURNAL_VERSION..=JOURNAL_VERSION).contains(&self.version) {
             return Err(SweepError::manifest(format!(
-                "journal version {} is not the supported version {JOURNAL_VERSION}",
+                "journal version {} is outside the supported range \
+                 {MIN_JOURNAL_VERSION}..={JOURNAL_VERSION}",
                 self.version
+            )));
+        }
+        // Version 3 predates the tile axis: every tile-related field must be
+        // at its default, or the manifest was edited after the fact.
+        if self.version < 4
+            && (!tile_is_default(&self.tile)
+                || !tile_is_default(&self.config.tile)
+                || !self.tile_points.is_empty())
+        {
+            return Err(SweepError::manifest(format!(
+                "journal version {} predates the tile axis but records tile {} \
+                 (config tile {}, points \"{}\")",
+                self.version, self.tile, self.config.tile, self.tile_points
+            )));
+        }
+        // The top-level tile tag mirrors the embedded config; a mismatch
+        // means the manifest was edited inconsistently.
+        if self.tile != self.config.tile {
+            return Err(SweepError::manifest(format!(
+                "manifest tile {} disagrees with the embedded config tile {}",
+                self.tile, self.config.tile
+            )));
+        }
+        let expected_points = if tile_is_default(&self.tile) {
+            String::new()
+        } else {
+            self.tile.point_set_id()
+        };
+        if self.tile_points != expected_points {
+            return Err(SweepError::manifest(format!(
+                "manifest records point set \"{}\" for tile {}, expected \"{expected_points}\"",
+                self.tile_points, self.tile
             )));
         }
         let expect = self.plan_hash();

@@ -179,6 +179,7 @@ pub fn merge(manifest: &Manifest, completed: &CompletedSet) -> Result<MergedRepo
             MergedReport::NetworkSweep(NetworkSweepReport {
                 model: manifest.model.clone(),
                 width: manifest.width.clone(),
+                tile: manifest.tile,
                 clean_accuracy: manifest.clean_accuracy,
                 rows,
             })
@@ -292,6 +293,7 @@ pub fn merge(manifest: &Manifest, completed: &CompletedSet) -> Result<MergedRepo
             MergedReport::ProtectionTradeoff(ProtectionTradeoffReport {
                 model: manifest.model.clone(),
                 width: manifest.width.clone(),
+                tile: manifest.tile,
                 clean_accuracy: manifest.clean_accuracy,
                 images: manifest.images,
                 rows,

@@ -593,6 +593,78 @@ fn manifest_errors_name_the_path_and_both_content_hashes() {
     );
 }
 
+/// The tile axis through the journal, both directions: a non-default tile
+/// is recorded in the manifest (variant plus interpolation point set),
+/// survives a disk round trip and tags the merged report; a version-3
+/// journal — which predates the axis — still loads, runs and merges as the
+/// default F(2x2,3x3); and a v3 manifest claiming a non-default tile is
+/// rejected as tampered.
+#[test]
+fn tile_axis_versions_the_journal_both_directions() {
+    use wgft_winograd::{WinogradVariant, F4X4_3X3};
+    let bers = [0.0, 3e-3];
+
+    // Forward: a campaign prepared with F(4x4,3x3) tiles.
+    let cfg4 = config().with_tile(F4X4_3X3);
+    let campaign4 = FaultToleranceCampaign::prepare(&cfg4).expect("F4x4 campaign prepares");
+    let manifest = manifest_for(SweepKind::NetworkSweep, &cfg4, &bers, CHUNK, &campaign4);
+    assert_eq!(manifest.tile, F4X4_3X3);
+    assert_eq!(manifest.tile_points, "0,1,-1,2,-2");
+    let dir = tmp_dir("tile-axis-f4x4");
+    let journal = Journal::create(&dir, manifest).expect("create");
+    let outcome =
+        run_shard(&journal, &campaign4, ShardSpec::single(), &SilentProgress).expect("run_shard");
+    assert!(outcome.run_complete());
+    let reopened = Journal::open(&dir).expect("tile fields survive the disk round trip");
+    assert_eq!(reopened.manifest().tile, F4X4_3X3);
+    let completed = reopened.completed().expect("completed");
+    let MergedReport::NetworkSweep(merged) = merge(reopened.manifest(), &completed).expect("merge")
+    else {
+        panic!("wrong report kind");
+    };
+    assert_eq!(
+        merged.tile, F4X4_3X3,
+        "merged report must carry the tile tag"
+    );
+    assert_eq!(json(&merged), json(&campaign4.network_sweep(&bers)));
+
+    // Backward: a version-3 journal. Its manifest never grew tile fields
+    // (the default tile is skip-serialized), so synthesizing one from the
+    // current build is byte-compatible with what a v3 build wrote.
+    let campaign = campaign();
+    let mut v3 = manifest_for(SweepKind::NetworkSweep, &config(), &bers, CHUNK, campaign);
+    v3.version = 3;
+    v3.content_hash = v3.plan_hash();
+    assert!(
+        !json(&v3).contains("\"tile\""),
+        "a default-tile manifest must not serialize tile fields"
+    );
+    let dir = tmp_dir("tile-axis-v3");
+    let journal = Journal::create(&dir, v3).expect("v3 journal must stay loadable");
+    assert_eq!(journal.manifest().tile, WinogradVariant::default());
+    let outcome =
+        run_shard(&journal, campaign, ShardSpec::single(), &SilentProgress).expect("run_shard");
+    assert!(outcome.run_complete());
+    let completed = journal.completed().expect("completed");
+    let MergedReport::NetworkSweep(merged) = merge(journal.manifest(), &completed).expect("merge")
+    else {
+        panic!("wrong report kind");
+    };
+    assert_eq!(json(&merged), json(&campaign.network_sweep(&bers)));
+
+    // Rejected: version 3 cannot have produced a non-default tile.
+    let mut bad = manifest_for(SweepKind::NetworkSweep, &cfg4, &bers, CHUNK, &campaign4);
+    bad.version = 3;
+    bad.content_hash = bad.plan_hash();
+    let err = bad
+        .validate()
+        .expect_err("a v3 manifest claiming a tile must be rejected");
+    assert!(
+        err.to_string().contains("predates the tile axis"),
+        "got {err}"
+    );
+}
+
 fn result_file(dir: &Path) -> PathBuf {
     let journal = Journal::open(dir).expect("journal opens");
     let files = journal.result_files().expect("listable");

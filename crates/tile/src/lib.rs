@@ -1,0 +1,699 @@
+//! Generation of Winograd F(m, r) transform matrices over configurable
+//! interpolation points, in exact rational arithmetic.
+//!
+//! The minimal filtering algorithm F(m, r) computes `m` outputs of a valid
+//! 1-D correlation with an `r`-tap filter using `t = m + r - 1`
+//! multiplications:
+//!
+//! ```text
+//! y = Aᵀ [ (G g) ⊙ (Bᵀ d) ]
+//! ```
+//!
+//! The matrices follow from Lagrange interpolation over `t - 1` distinct
+//! points plus the point at infinity (the Cook–Toom construction; see
+//! Lavin & Gray, and Barabasz et al. "Error Analysis and Improving the
+//! Accuracy of Winograd Convolution" / "Efficient Point Selection" for why
+//! the *choice* of points governs float accuracy at larger tiles):
+//!
+//! * `Aᵀ (m×t)`: column `k` evaluates the output polynomial at point `p_k`
+//!   (`Aᵀ[i][k] = p_k^i`); the infinity column is `e_{m-1}`.
+//! * `G (t×r)`: row `k` evaluates the filter polynomial at `p_k` scaled by
+//!   the Lagrange denominator `N_k = Π_{l≠k}(p_k - p_l)`
+//!   (`G[k][j] = p_k^j / N_k`); the infinity row is `e_{r-1}`. Following the
+//!   standard published form, the denominator of the first point is
+//!   sign-normalized (row 0 of `G` and `Bᵀ` flip together, which leaves the
+//!   algorithm unchanged).
+//! * `Bᵀ (t×t)` is **uniquely determined** by the correctness identity
+//!   `Σ_k Aᵀ[i,k]·G[k,j]·Bᵀ[k,l] = [l == i+j]` once `Aᵀ` and `G` are fixed;
+//!   it is recovered here by exact rational Gaussian elimination, so the
+//!   generated matrices provably implement the algorithm *by construction*
+//!   and reproduce hand-published constants bit-for-bit.
+//!
+//! Fractional points (e.g. ±1/2, which Barabasz et al. show are essential
+//! for accurate F(6, 3)) would make `Bᵀ`/`Aᵀ` fractional; integer transforms
+//! are restored by scaling each `Bᵀ` row and `Aᵀ` column to clear
+//! denominators, folding the compensation into `G` — so the input and output
+//! transforms stay exact on the quantized integer datapath for every point
+//! set, and only the offline filter transform carries fractions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod rational;
+
+pub use rational::Rational;
+
+use rational::lcm;
+use std::fmt;
+
+/// Errors from tile-spec validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TileError {
+    /// Output count and filter taps must both be at least one, with at least
+    /// two multiplications total.
+    DegenerateShape {
+        /// Requested output count `m`.
+        m: usize,
+        /// Requested filter taps `r`.
+        r: usize,
+    },
+    /// The spec needs exactly `t - 1` finite points.
+    WrongPointCount {
+        /// Points required (`m + r - 2`).
+        expected: usize,
+        /// Points supplied.
+        found: usize,
+    },
+    /// Interpolation points must be pairwise distinct.
+    DuplicatePoint(Rational),
+    /// No canonical point set of the requested size is defined.
+    NoCanonicalPoints(usize),
+}
+
+impl fmt::Display for TileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TileError::DegenerateShape { m, r } => {
+                write!(f, "degenerate tile shape F({m}, {r})")
+            }
+            TileError::WrongPointCount { expected, found } => {
+                write!(f, "expected {expected} interpolation points, found {found}")
+            }
+            TileError::DuplicatePoint(p) => write!(f, "duplicate interpolation point {p}"),
+            TileError::NoCanonicalPoints(n) => {
+                write!(f, "no canonical point set of size {n} is defined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TileError {}
+
+/// The canonical interpolation-point sequence, in the order the published
+/// F(2, 3) and F(4, 3) constants use and extended per Barabasz et al.'s
+/// point-selection analysis (small magnitudes first, then reciprocal pairs
+/// to balance transform magnitudes at t = 8).
+const CANONICAL_POINTS: [(i64, i64); 13] = [
+    (0, 1),
+    (1, 1),
+    (-1, 1),
+    (2, 1),
+    (-2, 1),
+    (1, 2),
+    (-1, 2),
+    (3, 2),
+    (-3, 2),
+    (4, 1),
+    (-4, 1),
+    (1, 4),
+    (-1, 4),
+];
+
+/// The first `count` canonical interpolation points.
+///
+/// # Errors
+///
+/// Returns [`TileError::NoCanonicalPoints`] when `count` exceeds the defined
+/// sequence.
+pub fn canonical_points(count: usize) -> Result<Vec<Rational>, TileError> {
+    if count > CANONICAL_POINTS.len() {
+        return Err(TileError::NoCanonicalPoints(count));
+    }
+    Ok(CANONICAL_POINTS[..count]
+        .iter()
+        .map(|&(n, d)| Rational::new(n, d))
+        .collect())
+}
+
+/// A fully specified 1-D tile: output count `m`, filter taps `r`, and the
+/// `t - 1` finite interpolation points (the point at infinity is implicit).
+///
+/// 2-D F(m×m, r×r) engines use the same matrices on rows and columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TileSpec {
+    m: usize,
+    r: usize,
+    points: Vec<Rational>,
+}
+
+impl TileSpec {
+    /// Build a spec from explicit points.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a degenerate shape, the wrong number of points, or duplicate
+    /// points.
+    pub fn new(m: usize, r: usize, points: Vec<Rational>) -> Result<Self, TileError> {
+        if m < 1 || r < 1 || m + r < 3 {
+            return Err(TileError::DegenerateShape { m, r });
+        }
+        let expected = m + r - 2;
+        if points.len() != expected {
+            return Err(TileError::WrongPointCount {
+                expected,
+                found: points.len(),
+            });
+        }
+        for (i, p) in points.iter().enumerate() {
+            if points[..i].contains(p) {
+                return Err(TileError::DuplicatePoint(*p));
+            }
+        }
+        Ok(Self { m, r, points })
+    }
+
+    /// The spec for F(m, r) over the canonical point set.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a degenerate shape or when the canonical sequence is too
+    /// short for `t - 1` points.
+    pub fn with_canonical_points(m: usize, r: usize) -> Result<Self, TileError> {
+        if m < 1 || r < 1 || m + r < 3 {
+            return Err(TileError::DegenerateShape { m, r });
+        }
+        Self::new(m, r, canonical_points(m + r - 2)?)
+    }
+
+    /// Output count `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Filter taps `r`.
+    #[must_use]
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Multiplication count `t = m + r - 1` (the 1-D input-tile size).
+    #[must_use]
+    pub fn t(&self) -> usize {
+        self.m + self.r - 1
+    }
+
+    /// The finite interpolation points.
+    #[must_use]
+    pub fn points(&self) -> &[Rational] {
+        &self.points
+    }
+
+    /// Stable identifier of the point set (`"0,1,-1,2,-2"` style), recorded
+    /// in sweep manifests so resumed runs can verify they regenerate the
+    /// same transforms.
+    #[must_use]
+    pub fn point_set_id(&self) -> String {
+        let parts: Vec<String> = self.points.iter().map(Rational::to_string).collect();
+        parts.join(",")
+    }
+
+    /// Generate the transform matrices (see the crate docs for the
+    /// construction and its guarantees).
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the internal consistency checks fail, which would mean
+    /// the construction itself is wrong — never on a valid spec.
+    #[must_use]
+    pub fn generate(&self) -> Transforms {
+        let (m, r, t) = (self.m, self.r, self.t());
+
+        // Aᵀ (m×t): powers of each point; infinity column is ±e_{m-1}. The
+        // sign (-1)^((t-1)(t-2)/2) matches the published Lavin & Gray
+        // constants for both F(2, 3) (flipped) and F(4, 3) (unflipped); the
+        // Bᵀ solve below flips its infinity row in lockstep, so either
+        // choice yields a correct algorithm — this one is bit-compatible
+        // with the hand-coded matrices.
+        let mut at = vec![Rational::ZERO; m * t];
+        for (k, p) in self.points.iter().enumerate() {
+            for (i, row) in at.chunks_exact_mut(t).enumerate() {
+                row[k] = p.pow(u32::try_from(i).expect("tiny exponent"));
+            }
+        }
+        at[(m - 1) * t + (t - 1)] = if ((t - 1) * (t - 2) / 2) % 2 == 1 {
+            -Rational::ONE
+        } else {
+            Rational::ONE
+        };
+
+        // Lagrange denominators, with the published sign normalization on
+        // the first point (flips G row 0 and, through the Bᵀ solve below,
+        // Bᵀ row 0 — the algorithm is unchanged).
+        let mut denom = Vec::with_capacity(t - 1);
+        for (k, p) in self.points.iter().enumerate() {
+            let mut n = Rational::ONE;
+            for (l, q) in self.points.iter().enumerate() {
+                if l != k {
+                    n = n * (*p - *q);
+                }
+            }
+            denom.push(n);
+        }
+        if denom[0] < Rational::ZERO {
+            denom[0] = -denom[0];
+        }
+
+        // G (t×r): filter-polynomial evaluation over the denominators;
+        // infinity row is e_{r-1}.
+        let mut g = vec![Rational::ZERO; t * r];
+        for (k, p) in self.points.iter().enumerate() {
+            for j in 0..r {
+                g[k * r + j] = p.pow(u32::try_from(j).expect("tiny exponent")) / denom[k];
+            }
+        }
+        g[(t - 1) * r + (r - 1)] = Rational::ONE;
+
+        let bt = solve_bt(&at, &g, m, r, t);
+        let mut transforms = Transforms { m, r, t, bt, g, at };
+        transforms.scale_to_integer();
+        transforms.assert_identity();
+        transforms
+    }
+}
+
+impl fmt::Display for TileSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F({}, {}) @ [{}]", self.m, self.r, self.point_set_id())
+    }
+}
+
+/// Recover `Bᵀ` from the correctness identity
+/// `Σ_k Aᵀ[i,k]·G[k,j]·Bᵀ[k,l] = [l == i+j]` by exact Gauss–Jordan
+/// elimination: one `(m·r) × t` coefficient matrix `M[(i,j),k] =
+/// Aᵀ[i,k]·G[k,j]` shared by all `t` right-hand-side columns.
+fn solve_bt(at: &[Rational], g: &[Rational], m: usize, r: usize, t: usize) -> Vec<Rational> {
+    let rows = m * r;
+    let mut mat = vec![Rational::ZERO; rows * t];
+    let mut rhs = vec![Rational::ZERO; rows * t];
+    for i in 0..m {
+        for j in 0..r {
+            let row = i * r + j;
+            for k in 0..t {
+                mat[row * t + k] = at[i * t + k] * g[k * r + j];
+            }
+            if i + j < t {
+                rhs[row * t + (i + j)] = Rational::ONE;
+            }
+        }
+    }
+
+    // Gauss–Jordan with pivot bookkeeping: pivot_row[col] = row that owns
+    // the column after elimination.
+    let mut pivot_row = vec![usize::MAX; t];
+    let mut used = vec![false; rows];
+    for col in 0..t {
+        let pivot = (0..rows)
+            .find(|&row| !used[row] && !mat[row * t + col].is_zero())
+            .unwrap_or_else(|| panic!("transform system is rank-deficient at column {col}"));
+        used[pivot] = true;
+        pivot_row[col] = pivot;
+        let p = mat[pivot * t + col];
+        for row in 0..rows {
+            if row == pivot || mat[row * t + col].is_zero() {
+                continue;
+            }
+            let factor = mat[row * t + col] / p;
+            for k in 0..t {
+                let delta = factor * mat[pivot * t + k];
+                mat[row * t + k] = mat[row * t + k] - delta;
+            }
+            for l in 0..t {
+                let delta = factor * rhs[pivot * t + l];
+                rhs[row * t + l] = rhs[row * t + l] - delta;
+            }
+        }
+    }
+    // Overdetermined rows must have been eliminated to zero on both sides —
+    // the identity is solvable exactly.
+    for row in 0..rows {
+        if used[row] {
+            continue;
+        }
+        for k in 0..t {
+            assert!(
+                mat[row * t + k].is_zero() && rhs[row * t + k].is_zero(),
+                "transform system is inconsistent at row {row}"
+            );
+        }
+    }
+
+    let mut bt = vec![Rational::ZERO; t * t];
+    for k in 0..t {
+        let row = pivot_row[k];
+        let p = mat[row * t + k];
+        for l in 0..t {
+            bt[k * t + l] = rhs[row * t + l] / p;
+        }
+    }
+    bt
+}
+
+/// Generated transform matrices for one [`TileSpec`], in exact rationals.
+///
+/// `Bᵀ` and `Aᵀ` are integer-valued by construction (fractional point sets
+/// are cleared by row/column scaling with the compensation folded into `G`),
+/// so the input and output transforms run exactly on integer datapaths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transforms {
+    m: usize,
+    r: usize,
+    t: usize,
+    /// Input transform `Bᵀ`, row-major `t × t`.
+    bt: Vec<Rational>,
+    /// Filter transform `G`, row-major `t × r`.
+    g: Vec<Rational>,
+    /// Output transform `Aᵀ`, row-major `m × t`.
+    at: Vec<Rational>,
+}
+
+impl Transforms {
+    /// Clear denominators from `Bᵀ` rows and `Aᵀ` columns, compensating in
+    /// `G` (`y_i = Σ_k Aᵀ[i,k]·u_k·v_k` is invariant under scaling `Bᵀ` row
+    /// `k` by `s`, `Aᵀ` column `k` by `c`, and `G` row `k` by `1/(s·c)`).
+    ///
+    /// Integer point sets (the published F(2, 3) and F(4, 3) constants) are
+    /// already integral, so this is the identity for them and bit-identity
+    /// with the hand-coded matrices is preserved.
+    fn scale_to_integer(&mut self) {
+        let (m, r, t) = (self.m, self.r, self.t);
+        for k in 0..t {
+            let mut s = 1i64;
+            for l in 0..t {
+                s = lcm(s, self.bt[k * t + l].den());
+            }
+            let mut c = 1i64;
+            for i in 0..m {
+                c = lcm(c, self.at[i * t + k].den());
+            }
+            if s != 1 {
+                let scale = Rational::integer(s);
+                for l in 0..t {
+                    self.bt[k * t + l] = self.bt[k * t + l] * scale;
+                }
+            }
+            if c != 1 {
+                let scale = Rational::integer(c);
+                for i in 0..m {
+                    self.at[i * t + k] = self.at[i * t + k] * scale;
+                }
+            }
+            if s != 1 || c != 1 {
+                let inv = Rational::new(1, s) * Rational::new(1, c);
+                for j in 0..r {
+                    self.g[k * r + j] = self.g[k * r + j] * inv;
+                }
+            }
+        }
+    }
+
+    /// Verify the defining identity `Σ_k Aᵀ[i,k]·G[k,j]·Bᵀ[k,l] = [l == i+j]`
+    /// in exact arithmetic.
+    fn assert_identity(&self) {
+        let (m, r, t) = (self.m, self.r, self.t);
+        for i in 0..m {
+            for j in 0..r {
+                for l in 0..t {
+                    let mut sum = Rational::ZERO;
+                    for k in 0..t {
+                        sum = sum + self.at[i * t + k] * self.g[k * r + j] * self.bt[k * t + l];
+                    }
+                    let expect = if l == i + j {
+                        Rational::ONE
+                    } else {
+                        Rational::ZERO
+                    };
+                    assert!(
+                        sum == expect,
+                        "identity violated at (i={i}, j={j}, l={l}): {sum}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Output count `m`.
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Filter taps `r`.
+    #[must_use]
+    pub fn r(&self) -> usize {
+        self.r
+    }
+
+    /// Input-tile size `t`.
+    #[must_use]
+    pub fn t(&self) -> usize {
+        self.t
+    }
+
+    /// The exact input transform `Bᵀ` (row-major `t × t`).
+    #[must_use]
+    pub fn bt(&self) -> &[Rational] {
+        &self.bt
+    }
+
+    /// The exact filter transform `G` (row-major `t × r`).
+    #[must_use]
+    pub fn g(&self) -> &[Rational] {
+        &self.g
+    }
+
+    /// The exact output transform `Aᵀ` (row-major `m × t`).
+    #[must_use]
+    pub fn at(&self) -> &[Rational] {
+        &self.at
+    }
+
+    /// `Bᵀ` as `i32` coefficients (integral by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coefficient does not fit `i32`, which no supported tile
+    /// produces.
+    #[must_use]
+    pub fn bt_i32(&self) -> Vec<i32> {
+        to_i32(&self.bt, "Bᵀ")
+    }
+
+    /// `Aᵀ` as `i32` coefficients (integral by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coefficient does not fit `i32`, which no supported tile
+    /// produces.
+    #[must_use]
+    pub fn at_i32(&self) -> Vec<i32> {
+        to_i32(&self.at, "Aᵀ")
+    }
+
+    /// `G` rounded to `f32` (the offline filter transform).
+    #[must_use]
+    pub fn g_f32(&self) -> Vec<f32> {
+        self.g.iter().map(Rational::to_f32).collect()
+    }
+
+    /// Smallest positive integer `D` such that any filter with all taps
+    /// divisible by `D` has an exactly integral transformed filter
+    /// `G g Gᵀ` — the divisor quantized exactness tests build weights from.
+    /// (`D = L²` with `L` the least common multiple of the `G`
+    /// denominators: every 2-D coefficient is a product of two `G` entries.)
+    #[must_use]
+    pub fn weight_divisor(&self) -> i64 {
+        let mut l = 1i64;
+        for v in &self.g {
+            l = lcm(l, v.den());
+        }
+        l.checked_mul(l).expect("weight divisor overflow")
+    }
+
+    /// Worst-case growth of the 2-D input transform `Bᵀ d B` relative to
+    /// `max |d|`: the squared maximum absolute row sum of `Bᵀ`. Quantized
+    /// engines bound their inputs by `i32::MAX /` this to rule out overflow.
+    #[must_use]
+    pub fn input_amplification(&self) -> i64 {
+        let mut worst = 0i64;
+        for row in self.bt.chunks_exact(self.t) {
+            let sum: i64 = row
+                .iter()
+                .map(|v| v.as_integer().expect("Bᵀ is integral").abs())
+                .sum();
+            worst = worst.max(sum);
+        }
+        worst.checked_mul(worst).expect("amplification overflow")
+    }
+}
+
+fn to_i32(values: &[Rational], label: &str) -> Vec<i32> {
+    values
+        .iter()
+        .map(|v| {
+            let n = v
+                .as_integer()
+                .unwrap_or_else(|| panic!("{label} entry {v} is not integral"));
+            i32::try_from(n).unwrap_or_else(|_| panic!("{label} entry {v} does not fit i32"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(n: i64, d: i64) -> Rational {
+        Rational::new(n, d)
+    }
+
+    /// Exact 1-D check on arbitrary rational data: the generated algorithm
+    /// must equal the direct correlation coefficient-for-coefficient.
+    #[allow(clippy::needless_range_loop)] // indices mirror the math
+    fn check_exact_1d(spec: &TileSpec) {
+        let tf = spec.generate();
+        let (m, r, t) = (tf.m(), tf.r(), tf.t());
+        let d: Vec<Rational> = (0..t).map(|i| rat(2 * i as i64 - 3, 7)).collect();
+        let g: Vec<Rational> = (0..r).map(|j| rat(3 * j as i64 + 1, 5)).collect();
+        // u = G g, v = Bᵀ d, y = Aᵀ (u ⊙ v).
+        for i in 0..m {
+            let mut y = Rational::ZERO;
+            for k in 0..t {
+                let mut u = Rational::ZERO;
+                for j in 0..r {
+                    u = u + tf.g()[k * r + j] * g[j];
+                }
+                let mut v = Rational::ZERO;
+                for l in 0..t {
+                    v = v + tf.bt()[k * t + l] * d[l];
+                }
+                y = y + tf.at()[i * t + k] * u * v;
+            }
+            let mut direct = Rational::ZERO;
+            for j in 0..r {
+                direct = direct + d[i + j] * g[j];
+            }
+            assert!(y == direct, "{spec}: output {i} got {y}, want {direct}");
+        }
+    }
+
+    #[test]
+    fn f2_matches_published_constants() {
+        let tf = TileSpec::with_canonical_points(2, 3).unwrap().generate();
+        assert_eq!(
+            tf.bt_i32(),
+            vec![1, 0, -1, 0, 0, 1, 1, 0, 0, -1, 1, 0, 0, 1, 0, -1]
+        );
+        assert_eq!(tf.at_i32(), vec![1, 1, 1, 0, 0, 1, -1, -1]);
+        let g: Vec<Rational> = vec![
+            rat(1, 1),
+            rat(0, 1),
+            rat(0, 1),
+            rat(1, 2),
+            rat(1, 2),
+            rat(1, 2),
+            rat(1, 2),
+            rat(-1, 2),
+            rat(1, 2),
+            rat(0, 1),
+            rat(0, 1),
+            rat(1, 1),
+        ];
+        assert_eq!(tf.g(), &g[..]);
+        assert_eq!(tf.weight_divisor(), 4);
+        // Row sums of Bᵀ are at most 2 -> 2-D amplification 4.
+        assert_eq!(tf.input_amplification(), 4);
+    }
+
+    #[test]
+    fn f4_matches_published_constants() {
+        let tf = TileSpec::with_canonical_points(4, 3).unwrap().generate();
+        #[rustfmt::skip]
+        let bt = vec![
+            4,  0, -5,  0, 1, 0,
+            0, -4, -4,  1, 1, 0,
+            0,  4, -4, -1, 1, 0,
+            0, -2, -1,  2, 1, 0,
+            0,  2, -1, -2, 1, 0,
+            0,  4,  0, -5, 0, 1,
+        ];
+        assert_eq!(tf.bt_i32(), bt);
+        #[rustfmt::skip]
+        let at = vec![
+            1, 1,  1, 1,  1, 0,
+            0, 1, -1, 2, -2, 0,
+            0, 1,  1, 4,  4, 0,
+            0, 1, -1, 8, -8, 1,
+        ];
+        assert_eq!(tf.at_i32(), at);
+        #[rustfmt::skip]
+        let g = vec![
+            rat(1, 4),  rat(0, 1),   rat(0, 1),
+            rat(-1, 6), rat(-1, 6),  rat(-1, 6),
+            rat(-1, 6), rat(1, 6),   rat(-1, 6),
+            rat(1, 24), rat(1, 12),  rat(1, 6),
+            rat(1, 24), rat(-1, 12), rat(1, 6),
+            rat(0, 1),  rat(0, 1),   rat(1, 1),
+        ];
+        assert_eq!(tf.g(), &g[..]);
+        assert_eq!(tf.weight_divisor(), 24 * 24);
+        // Worst Bᵀ row |4| + |-5| + |1| = 10 -> 100 in 2-D.
+        assert_eq!(tf.input_amplification(), 100);
+    }
+
+    #[test]
+    fn f6_has_integral_transforms_and_exact_algebra() {
+        let spec = TileSpec::with_canonical_points(6, 3).unwrap();
+        assert_eq!(spec.t(), 8);
+        assert_eq!(spec.point_set_id(), "0,1,-1,2,-2,1/2,-1/2");
+        let tf = spec.generate();
+        // Fractional points ±1/2 are cleared into integers by the scaling.
+        assert_eq!(tf.bt_i32().len(), 64);
+        assert_eq!(tf.at_i32().len(), 48);
+        check_exact_1d(&spec);
+    }
+
+    #[test]
+    fn exactness_holds_across_shapes_and_point_sets() {
+        for (m, r) in [(2, 3), (3, 3), (4, 3), (5, 3), (6, 3), (2, 5), (4, 5)] {
+            check_exact_1d(&TileSpec::with_canonical_points(m, r).unwrap());
+        }
+        // A deliberately non-canonical (and fully fractional) point set.
+        let spec = TileSpec::new(2, 3, vec![rat(1, 3), rat(-1, 3), rat(3, 1)]).unwrap();
+        check_exact_1d(&spec);
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert_eq!(
+            TileSpec::new(2, 3, vec![rat(0, 1), rat(1, 1)]),
+            Err(TileError::WrongPointCount {
+                expected: 3,
+                found: 2
+            })
+        );
+        assert_eq!(
+            TileSpec::new(2, 3, vec![rat(0, 1), rat(1, 1), rat(2, 2)]),
+            Err(TileError::DuplicatePoint(rat(1, 1)))
+        );
+        assert_eq!(
+            TileSpec::new(1, 1, vec![]),
+            Err(TileError::DegenerateShape { m: 1, r: 1 })
+        );
+        assert!(canonical_points(CANONICAL_POINTS.len() + 1).is_err());
+        let err = TileSpec::with_canonical_points(20, 3).unwrap_err();
+        assert!(matches!(err, TileError::NoCanonicalPoints(_)));
+    }
+
+    #[test]
+    fn display_and_errors_format() {
+        let spec = TileSpec::with_canonical_points(4, 3).unwrap();
+        assert_eq!(spec.to_string(), "F(4, 3) @ [0,1,-1,2,-2]");
+        assert_eq!(spec.m(), 4);
+        assert_eq!(spec.r(), 3);
+        assert_eq!(spec.points().len(), 5);
+        assert!(TileError::DuplicatePoint(rat(1, 2))
+            .to_string()
+            .contains("1/2"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Exact rational arithmetic on `i64` numerator/denominator pairs.
+//!
+//! The transform-generation pipeline only ever manipulates tiny matrices
+//! (t ≤ 8 for the tile sizes any 3x3 engine would run), so values stay far
+//! from `i64` range; every operation still computes through `i128` and
+//! asserts the reduced result fits, so silent wraparound is impossible.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number: reduced `num / den` with `den > 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: i64,
+    den: i64,
+}
+
+fn gcd(a: i128, b: i128) -> i128 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl Rational {
+    /// Exact zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// Exact one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Build `num / den`, reduced to lowest terms with a positive denominator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    #[must_use]
+    pub fn new(num: i64, den: i64) -> Self {
+        assert!(den != 0, "rational denominator must be non-zero");
+        Self::from_i128(i128::from(num), i128::from(den))
+    }
+
+    fn from_i128(num: i128, den: i128) -> Self {
+        let g = gcd(num, den).max(1);
+        let sign = if den < 0 { -1 } else { 1 };
+        let num = sign * num / g;
+        let den = sign * den / g;
+        assert!(
+            i64::try_from(num).is_ok() && i64::try_from(den).is_ok(),
+            "rational overflow: {num}/{den} does not fit i64"
+        );
+        #[allow(clippy::cast_possible_truncation)]
+        Self {
+            num: num as i64,
+            den: den as i64,
+        }
+    }
+
+    /// Whole number `n`.
+    #[must_use]
+    pub fn integer(n: i64) -> Self {
+        Self { num: n, den: 1 }
+    }
+
+    /// Reduced numerator (sign carrier).
+    #[must_use]
+    pub fn num(&self) -> i64 {
+        self.num
+    }
+
+    /// Reduced denominator (always positive).
+    #[must_use]
+    pub fn den(&self) -> i64 {
+        self.den
+    }
+
+    /// `Some(n)` iff the value is a whole number.
+    #[must_use]
+    pub fn as_integer(&self) -> Option<i64> {
+        (self.den == 1).then_some(self.num)
+    }
+
+    /// True iff the value is exactly zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero.
+    #[must_use]
+    pub fn recip(&self) -> Self {
+        assert!(self.num != 0, "cannot invert zero");
+        Self::from_i128(i128::from(self.den), i128::from(self.num))
+    }
+
+    /// `self^exp` for a small non-negative exponent.
+    #[must_use]
+    pub fn pow(&self, exp: u32) -> Self {
+        let mut acc = Self::ONE;
+        for _ in 0..exp {
+            acc = acc * *self;
+        }
+        acc
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(&self) -> Self {
+        Self {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Nearest `f64` (exact when numerator and denominator are small, which
+    /// every generated coefficient is).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Nearest `f32`.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn to_f32(&self) -> f32 {
+        self.to_f64() as f32
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        Rational::from_i128(
+            i128::from(self.num) * i128::from(rhs.den) + i128::from(rhs.num) * i128::from(self.den),
+            i128::from(self.den) * i128::from(rhs.den),
+        )
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        Rational::from_i128(
+            i128::from(self.num) * i128::from(rhs.num),
+            i128::from(self.den) * i128::from(rhs.den),
+        )
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(rhs.num != 0, "division by zero rational");
+        Rational::from_i128(
+            i128::from(self.num) * i128::from(rhs.den),
+            i128::from(self.den) * i128::from(rhs.num),
+        )
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let lhs = i128::from(self.num) * i128::from(other.den);
+        let rhs = i128::from(other.num) * i128::from(self.den);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Least common multiple of two positive integers.
+#[must_use]
+pub(crate) fn lcm(a: i64, b: i64) -> i64 {
+    let g = gcd(i128::from(a), i128::from(b)).max(1);
+    let l = i128::from(a) / g * i128::from(b);
+    i64::try_from(l.abs()).expect("lcm overflow")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reduces_and_normalizes_sign() {
+        assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+        assert_eq!(Rational::new(1, -2), Rational::new(-1, 2));
+        assert_eq!(Rational::new(-1, -2), Rational::new(1, 2));
+        assert_eq!(Rational::new(0, -7), Rational::ZERO);
+        assert!(Rational::new(1, -2).den() > 0);
+    }
+
+    #[test]
+    fn field_operations_are_exact() {
+        let a = Rational::new(1, 6);
+        let b = Rational::new(1, 10);
+        assert_eq!(a + b, Rational::new(4, 15));
+        assert_eq!(a - b, Rational::new(1, 15));
+        assert_eq!(a * b, Rational::new(1, 60));
+        assert_eq!(a / b, Rational::new(5, 3));
+        assert_eq!(-a, Rational::new(-1, 6));
+        assert_eq!(a.recip(), Rational::integer(6));
+        assert_eq!(Rational::new(-2, 3).pow(3), Rational::new(-8, 27));
+        assert_eq!(Rational::new(-2, 3).pow(0), Rational::ONE);
+    }
+
+    #[test]
+    fn ordering_and_queries() {
+        assert!(Rational::new(1, 3) < Rational::new(1, 2));
+        assert!(Rational::new(-1, 2) < Rational::ZERO);
+        assert_eq!(Rational::new(6, 3).as_integer(), Some(2));
+        assert_eq!(Rational::new(1, 2).as_integer(), None);
+        assert!(Rational::ZERO.is_zero());
+        assert_eq!(Rational::new(-3, 4).abs(), Rational::new(3, 4));
+    }
+
+    #[test]
+    fn float_conversions() {
+        assert_eq!(Rational::new(1, 2).to_f32(), 0.5);
+        assert_eq!(Rational::new(-1, 4).to_f64(), -0.25);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Rational::new(3, 1).to_string(), "3");
+        assert_eq!(Rational::new(-1, 2).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn lcm_of_denominators() {
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(1, 9), 9);
+    }
+}

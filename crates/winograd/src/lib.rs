@@ -54,4 +54,4 @@ pub use plan::{
     GemmObserver, PreparedConvF32, PreparedConvQuantized, WinogradPlan, WinogradScratch,
 };
 pub use quantized_fast::{PreparedConvQuantizedFast, QuantizedRangeRecord, MAX_FAST_INPUT};
-pub use transform::{WinogradVariant, F2X2_3X3, F4X4_3X3};
+pub use transform::{WinogradVariant, F2X2_3X3, F4X4_3X3, F6X6_3X3};

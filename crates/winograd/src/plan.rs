@@ -206,8 +206,8 @@ pub struct PreparedConvF32 {
     batched_executions: u64,
 }
 
-/// Largest per-tile buffer any variant needs (`t² = 36` for F(4x4,3x3)).
-pub(crate) const MAX_TILE: usize = 36;
+/// Largest per-tile buffer any variant needs (`t² = 64` for F(6x6,3x3)).
+pub(crate) const MAX_TILE: usize = 64;
 
 /// Target size (in f32 elements) of the per-block scatter buffer — roughly
 /// half a typical L2 so the product buffer fits alongside it.
@@ -565,30 +565,23 @@ fn run_images_f32(
         // of the block. The tile index is innermost so each of the t²
         // destination streams `v[(k·C + ic)·bp ..]` is written
         // contiguously — t² sequential write cursors instead of t²
-        // random accesses per tile. For F(2x2) the transform is pure adds,
-        // so full groups of [`SOA_GROUP`] tiles run through a lane-per-tile
-        // SoA kernel (vector adds, contiguous group-wide stores); ragged
-        // tails and F(4x4) take the per-tile path.
+        // random accesses per tile. Full groups of [`SOA_GROUP`] tiles run
+        // through a lane-per-tile runtime-t SoA kernel (vector adds and
+        // mul-adds, contiguous group-wide stores); ragged tails take the
+        // per-tile path.
         for ic in 0..c {
             let mut b = 0usize;
             while b < bp {
-                if variant == WinogradVariant::F2x2 && b + SOA_GROUP <= bp {
-                    scatter_f2x2_group(plan, input, in_len, block_start + b, ic, v, c, bp, b);
+                if b + SOA_GROUP <= bp {
+                    scatter_group(plan, input, in_len, block_start + b, ic, v, c, bp, b, bt);
                     b += SOA_GROUP;
                     continue;
                 }
                 let g = block_start + b;
                 let image_input = &input[(g / p) * in_len..(g / p + 1) * in_len];
                 plan.load_tile(image_input, g % p, ic, &mut tile_d[..t2]);
-                match variant {
-                    WinogradVariant::F2x2 => {
-                        input_transform_f2x2(&tile_d, &mut tile_tmp2, &mut tile_tmp);
-                    }
-                    WinogradVariant::F4x4 => {
-                        mat_mul_into(bt, &tile_d, &mut tile_tmp, t, t, t);
-                        mat_mul_rt_into(&tile_tmp, bt, &mut tile_tmp2, t, t, t);
-                    }
-                }
+                mat_mul_into(bt, &tile_d, &mut tile_tmp, t, t, t);
+                mat_mul_rt_into(&tile_tmp, bt, &mut tile_tmp2, t, t, t);
                 for (k, &value) in tile_tmp2[..t2].iter().enumerate() {
                     v[(k * c + ic) * bp + b] = value;
                 }
@@ -644,13 +637,24 @@ fn run_images_f32(
 
         // ---- Gather: inverse-transform each (oc, tile) fibre. Tile is
         // again innermost so the t² source streams are read sequentially;
-        // F(2x2) groups of [`SOA_GROUP`] tiles use the SoA kernel
-        // (contiguous group-wide loads from `prod`, vector adds).
+        // groups of [`SOA_GROUP`] tiles use the runtime-t SoA kernel
+        // (contiguous group-wide loads from `prod`, vector adds/mul-adds).
         for oc in 0..o {
             let mut b = 0usize;
             while b < bp {
-                if variant == WinogradVariant::F2x2 && b + SOA_GROUP <= bp {
-                    gather_f2x2_group(plan, prod, o, bp, oc, b, block_start + b, out_len, output);
+                if b + SOA_GROUP <= bp {
+                    gather_group(
+                        plan,
+                        prod,
+                        o,
+                        bp,
+                        oc,
+                        b,
+                        block_start + b,
+                        out_len,
+                        output,
+                        at,
+                    );
                     b += SOA_GROUP;
                     continue;
                 }
@@ -662,15 +666,8 @@ fn run_images_f32(
                 for (k, value) in tile_tmp[..t2].iter_mut().enumerate() {
                     *value = prod[(k * o + oc) * bp + b];
                 }
-                match variant {
-                    WinogradVariant::F2x2 => {
-                        output_transform_f2x2(&tile_tmp, &mut tile_y, &mut tile_tmp2);
-                    }
-                    WinogradVariant::F4x4 => {
-                        mat_mul_into(at, &tile_tmp, &mut tile_tmp2, m, t, t);
-                        mat_mul_rt_into(&tile_tmp2, at, &mut tile_y, m, t, m);
-                    }
-                }
+                mat_mul_into(at, &tile_tmp, &mut tile_tmp2, m, t, t);
+                mat_mul_rt_into(&tile_tmp2, at, &mut tile_y, m, t, m);
                 store_output_tile(output, out_base, &tile_y, oc, ty, tx, m, out_h, out_w);
                 b += 1;
             }
@@ -681,19 +678,45 @@ fn run_images_f32(
 }
 
 /// Tiles per SoA transform group: one f32 lane per tile, sized to a full
-/// AVX-512 register (and two AVX2 registers) so the F(2x2) transform's adds
-/// vectorize across tiles.
+/// AVX-512 register (and two AVX2 registers) so the transforms' adds and
+/// mul-adds vectorize across tiles.
 pub(crate) const SOA_GROUP: usize = 16;
 
-/// F(2x2) input transform for [`SOA_GROUP`] consecutive tiles of one channel,
-/// lane-per-tile: the 32 adds of `Bᵀ d B` become 32 group-wide vector adds and
-/// the 16 winograd-domain stores become contiguous group-wide `memcpy`s into
-/// the scatter buffer (the per-tile path writes them with stride `bp`).
-/// Per-element arithmetic is expression-for-expression identical to
-/// [`input_transform_f2x2`], so results are bit-identical.
+/// Lane-wise `acc += coef · src`, specialized on the coefficient: winograd
+/// transform matrices are dominated by 0/±1 entries, so most terms are a
+/// skipped column, a vector add or a vector subtract; only genuinely
+/// fractional-scaled entries pay a multiply. `1·x`, `(-1)·x` and skipping
+/// `0·x` are exact in IEEE f32, so this is bit-identical to the
+/// multiply-accumulate the per-tile [`mat_mul_into`] path performs.
+#[inline]
+fn lane_axpy_f32(acc: &mut [f32; SOA_GROUP], coef: f32, src: &[f32; SOA_GROUP]) {
+    if coef == 0.0 {
+        return;
+    }
+    if coef == 1.0 {
+        for (a, &s) in acc.iter_mut().zip(src.iter()) {
+            *a += s;
+        }
+    } else if coef == -1.0 {
+        for (a, &s) in acc.iter_mut().zip(src.iter()) {
+            *a -= s;
+        }
+    } else {
+        for (a, &s) in acc.iter_mut().zip(src.iter()) {
+            *a += coef * s;
+        }
+    }
+}
+
+/// Input transform `Bᵀ d B` for [`SOA_GROUP`] consecutive tiles of one
+/// channel, lane-per-tile at any tile size: each transform term becomes a
+/// group-wide vector op and the t² winograd-domain stores become contiguous
+/// group-wide `memcpy`s into the scatter buffer (the per-tile path writes
+/// them with stride `bp`). Term-for-term identical arithmetic to the
+/// per-tile [`mat_mul_into`]/[`mat_mul_rt_into`] path, so results agree.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn scatter_f2x2_group(
+fn scatter_group(
     plan: &WinogradPlan,
     input: &[f32],
     in_len: usize,
@@ -703,57 +726,54 @@ fn scatter_f2x2_group(
     c: usize,
     bp: usize,
     b0: usize,
+    bt: &[f32],
 ) {
     let p = plan.num_tiles();
-    let mut dsoa = [[0.0f32; SOA_GROUP]; 16];
-    let mut tile_d = [0.0f32; 16];
+    let t = plan.variant.input_tile();
+    let t2 = t * t;
+    let mut dsoa = [[0.0f32; SOA_GROUP]; MAX_TILE];
+    let mut tile_d = [0.0f32; MAX_TILE];
     #[allow(clippy::needless_range_loop)] // `gi` is the SoA lane, not a row
     for gi in 0..SOA_GROUP {
         let g = g0 + gi;
         let image_input = &input[(g / p) * in_len..(g / p + 1) * in_len];
-        plan.load_tile(image_input, g % p, ic, &mut tile_d);
-        for (pos, &value) in tile_d.iter().enumerate() {
+        plan.load_tile(image_input, g % p, ic, &mut tile_d[..t2]);
+        for (pos, &value) in tile_d[..t2].iter().enumerate() {
             dsoa[pos][gi] = value;
         }
     }
-    // tmp = Bᵀ d, lane-wise.
-    let mut tmp = [[0.0f32; SOA_GROUP]; 16];
-    for j in 0..4 {
-        for gi in 0..SOA_GROUP {
-            tmp[j][gi] = dsoa[j][gi] - dsoa[8 + j][gi];
-            tmp[4 + j][gi] = dsoa[4 + j][gi] + dsoa[8 + j][gi];
-            tmp[8 + j][gi] = dsoa[8 + j][gi] - dsoa[4 + j][gi];
-            tmp[12 + j][gi] = dsoa[4 + j][gi] - dsoa[12 + j][gi];
+    // tmp = Bᵀ d, lane-wise: tmp[i][j] = Σ_k Bᵀ[i][k] · d[k][j].
+    let mut tmp = [[0.0f32; SOA_GROUP]; MAX_TILE];
+    for i in 0..t {
+        for j in 0..t {
+            let mut acc = [0.0f32; SOA_GROUP];
+            for k in 0..t {
+                lane_axpy_f32(&mut acc, bt[i * t + k], &dsoa[k * t + j]);
+            }
+            tmp[i * t + j] = acc;
         }
     }
-    // v_rows = tmp B, lane-wise, stored straight into the scatter buffer.
-    let mut row0 = [0.0f32; SOA_GROUP];
-    let mut row1 = [0.0f32; SOA_GROUP];
-    let mut row2 = [0.0f32; SOA_GROUP];
-    let mut row3 = [0.0f32; SOA_GROUP];
-    for i in 0..4 {
-        let r = i * 4;
-        for gi in 0..SOA_GROUP {
-            row0[gi] = tmp[r][gi] - tmp[r + 2][gi];
-            row1[gi] = tmp[r + 1][gi] + tmp[r + 2][gi];
-            row2[gi] = tmp[r + 2][gi] - tmp[r + 1][gi];
-            row3[gi] = tmp[r + 1][gi] - tmp[r + 3][gi];
+    // v_rows = tmp B (B = Bᵀᵀ), lane-wise, stored straight into the scatter
+    // buffer: out[i][j] = Σ_k tmp[i][k] · Bᵀ[j][k].
+    for i in 0..t {
+        for j in 0..t {
+            let mut acc = [0.0f32; SOA_GROUP];
+            for k in 0..t {
+                lane_axpy_f32(&mut acc, bt[j * t + k], &tmp[i * t + k]);
+            }
+            v[((i * t + j) * c + ic) * bp + b0..][..SOA_GROUP].copy_from_slice(&acc);
         }
-        v[(r * c + ic) * bp + b0..][..SOA_GROUP].copy_from_slice(&row0);
-        v[((r + 1) * c + ic) * bp + b0..][..SOA_GROUP].copy_from_slice(&row1);
-        v[((r + 2) * c + ic) * bp + b0..][..SOA_GROUP].copy_from_slice(&row2);
-        v[((r + 3) * c + ic) * bp + b0..][..SOA_GROUP].copy_from_slice(&row3);
     }
 }
 
-/// F(2x2) output transform for [`SOA_GROUP`] consecutive tiles of one output
-/// channel, lane-per-tile: the group-wide reads from the GEMM product are
-/// contiguous (the per-tile path reads them with stride `bp`) and the 24 adds
-/// of `Aᵀ m A` vectorize across tiles. Expression-for-expression identical to
-/// [`output_transform_f2x2`], so results are bit-identical.
+/// Output transform `Aᵀ m A` for [`SOA_GROUP`] consecutive tiles of one
+/// output channel, lane-per-tile at any tile size: the group-wide reads from
+/// the GEMM product are contiguous (the per-tile path reads them with stride
+/// `bp`) and every transform term vectorizes across tiles. Term-for-term
+/// identical arithmetic to the per-tile path, so results agree.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn gather_f2x2_group(
+fn gather_group(
     plan: &WinogradPlan,
     prod: &[f32],
     o: usize,
@@ -763,32 +783,41 @@ fn gather_f2x2_group(
     g0: usize,
     out_len: usize,
     output: &mut [f32],
+    at: &[f32],
 ) {
     let p = plan.num_tiles();
     let g = &plan.shape.geometry;
     let (out_h, out_w) = (g.out_h(), g.out_w());
-    let mut msoa = [[0.0f32; SOA_GROUP]; 16];
-    for (k, row) in msoa.iter_mut().enumerate() {
+    let t = plan.variant.input_tile();
+    let m = plan.variant.output_tile();
+    let t2 = t * t;
+    let mut msoa = [[0.0f32; SOA_GROUP]; MAX_TILE];
+    for (k, row) in msoa.iter_mut().enumerate().take(t2) {
         row.copy_from_slice(&prod[(k * o + oc) * bp + b0..][..SOA_GROUP]);
     }
-    // tmp = Aᵀ m (2x4 rows), lane-wise.
-    let mut tmp = [[0.0f32; SOA_GROUP]; 8];
-    for j in 0..4 {
-        for gi in 0..SOA_GROUP {
-            tmp[j][gi] = msoa[j][gi] + msoa[4 + j][gi] + msoa[8 + j][gi];
-            tmp[4 + j][gi] = msoa[4 + j][gi] - msoa[8 + j][gi] - msoa[12 + j][gi];
+    // tmp = Aᵀ m (m×t rows), lane-wise.
+    let mut tmp = [[0.0f32; SOA_GROUP]; MAX_TILE];
+    for i in 0..m {
+        for j in 0..t {
+            let mut acc = [0.0f32; SOA_GROUP];
+            for k in 0..t {
+                lane_axpy_f32(&mut acc, at[i * t + k], &msoa[k * t + j]);
+            }
+            tmp[i * t + j] = acc;
         }
     }
-    // y = tmp A (2x2), lane-wise.
-    let mut y = [[0.0f32; SOA_GROUP]; 4];
-    for i in 0..2 {
-        let r = i * 4;
-        for gi in 0..SOA_GROUP {
-            y[i * 2][gi] = tmp[r][gi] + tmp[r + 1][gi] + tmp[r + 2][gi];
-            y[i * 2 + 1][gi] = tmp[r + 1][gi] - tmp[r + 2][gi] - tmp[r + 3][gi];
+    // y = tmp A (m×m), lane-wise.
+    let mut ysoa = [[0.0f32; SOA_GROUP]; MAX_TILE];
+    for i in 0..m {
+        for j in 0..m {
+            let mut acc = [0.0f32; SOA_GROUP];
+            for k in 0..t {
+                lane_axpy_f32(&mut acc, at[j * t + k], &tmp[i * t + k]);
+            }
+            ysoa[i * m + j] = acc;
         }
     }
-    let mut tile_y = [0.0f32; 4];
+    let mut tile_y = [0.0f32; MAX_TILE];
     #[allow(clippy::needless_range_loop)] // `gi` is the SoA lane, not a row
     for gi in 0..SOA_GROUP {
         let gt = g0 + gi;
@@ -796,11 +825,20 @@ fn gather_f2x2_group(
         let out_base = (gt / p) * out_len;
         let ty = tile / plan.tiles_x;
         let tx = tile % plan.tiles_x;
-        tile_y[0] = y[0][gi];
-        tile_y[1] = y[1][gi];
-        tile_y[2] = y[2][gi];
-        tile_y[3] = y[3][gi];
-        store_output_tile(output, out_base, &tile_y, oc, ty, tx, 2, out_h, out_w);
+        for (pos, value) in tile_y[..m * m].iter_mut().enumerate() {
+            *value = ysoa[pos][gi];
+        }
+        store_output_tile(
+            output,
+            out_base,
+            &tile_y[..m * m],
+            oc,
+            ty,
+            tx,
+            m,
+            out_h,
+            out_w,
+        );
     }
 }
 
@@ -840,49 +878,6 @@ pub(crate) fn store_output_tile<T: Copy>(
                 output[out_base + (oc * out_h + oy) * out_w + ox] = tile_y[dy * m + dx];
             }
         }
-    }
-}
-
-/// Hand-specialized `V = Bᵀ d B` for F(2x2,3x3): both transforms are pure
-/// additions/subtractions (all coefficients are 0/±1), so the generic small
-/// matmul's multiply-and-test loop collapses to 32 adds.
-///
-/// `d` is the 4×4 input tile, `v` the 4×4 result, `tmp` a 4×4 intermediate.
-#[inline]
-fn input_transform_f2x2(d: &[f32], v: &mut [f32], tmp: &mut [f32]) {
-    // tmp = Bᵀ d: row combinations.
-    for j in 0..4 {
-        tmp[j] = d[j] - d[8 + j];
-        tmp[4 + j] = d[4 + j] + d[8 + j];
-        tmp[8 + j] = d[8 + j] - d[4 + j];
-        tmp[12 + j] = d[4 + j] - d[12 + j];
-    }
-    // v = tmp B: the same combinations along columns (B = Bᵀᵀ).
-    for i in 0..4 {
-        let r = i * 4;
-        v[r] = tmp[r] - tmp[r + 2];
-        v[r + 1] = tmp[r + 1] + tmp[r + 2];
-        v[r + 2] = tmp[r + 2] - tmp[r + 1];
-        v[r + 3] = tmp[r + 1] - tmp[r + 3];
-    }
-}
-
-/// Hand-specialized `Y = Aᵀ m A` for F(2x2,3x3) (coefficients 0/±1).
-///
-/// `acc` is the 4×4 winograd-domain tile, `y` the 2×2 output tile, `tmp` a
-/// 2×4 intermediate.
-#[inline]
-fn output_transform_f2x2(acc: &[f32], y: &mut [f32], tmp: &mut [f32]) {
-    // tmp = Aᵀ acc (2x4).
-    for j in 0..4 {
-        tmp[j] = acc[j] + acc[4 + j] + acc[8 + j];
-        tmp[4 + j] = acc[4 + j] - acc[8 + j] - acc[12 + j];
-    }
-    // y = tmp A (2x2).
-    for i in 0..2 {
-        let r = i * 4;
-        y[i * 2] = tmp[r] + tmp[r + 1] + tmp[r + 2];
-        y[i * 2 + 1] = tmp[r + 1] - tmp[r + 2] - tmp[r + 3];
     }
 }
 
@@ -1013,7 +1008,7 @@ impl PreparedConvQuantized {
 mod tests {
     use super::*;
     use crate::conv_standard::direct_conv_f32;
-    use crate::transform::{F2X2_3X3, F4X4_3X3};
+    use crate::transform::{F2X2_3X3, F4X4_3X3, F6X6_3X3};
     use wgft_tensor::ConvGeometry;
 
     fn fixture(
@@ -1054,23 +1049,32 @@ mod tests {
 
     /// The planned scatter-GEMM path must agree with direct convolution over
     /// a grid of shapes: odd sizes, non-tile-multiple outputs, padding 0/1
-    /// and both tile variants.
+    /// and every tile variant.
+    ///
+    /// F(6x6) runs its transforms with integer-scaled matrices whose row
+    /// sums reach 72, so winograd-domain intermediates are ~3 decimal orders
+    /// larger than the outputs and the f32 round-off budget is accordingly
+    /// wider than for the small tiles.
     #[test]
     fn planned_f32_matches_direct_across_shape_grid() {
         for &(in_c, out_c) in &[(1usize, 1usize), (2, 3), (3, 2)] {
-            for &size in &[4usize, 5, 6, 7, 9] {
+            for &size in &[4usize, 5, 6, 7, 9, 11] {
                 for &pad in &[0usize, 1] {
                     let (shape, input, weights) = fixture(in_c, out_c, size, pad);
                     if shape.geometry.out_h() == 0 {
                         continue;
                     }
                     let direct = direct_conv_f32(&input, &weights, &shape).unwrap();
-                    for variant in [F2X2_3X3, F4X4_3X3] {
+                    for variant in [F2X2_3X3, F4X4_3X3, F6X6_3X3] {
+                        let tol = match variant {
+                            WinogradVariant::F6x6 => 2e-1,
+                            _ => 2e-2,
+                        };
                         let mut prepared = PreparedConvF32::new(&weights, &shape, variant).unwrap();
                         let out = prepared.execute(&input).unwrap();
                         for (i, (d, w)) in direct.iter().zip(out.iter()).enumerate() {
                             assert!(
-                                (d - w).abs() < 2e-2,
+                                (d - w).abs() < tol,
                                 "{variant} c{in_c}->{out_c} s{size} p{pad} idx {i}: direct {d} vs planned {w}"
                             );
                         }
@@ -1080,25 +1084,61 @@ mod tests {
         }
     }
 
+    /// Exact integer filter transform `G g Gᵀ` through the generator's
+    /// rational `G`: weights divisible by [`WinogradVariant::weight_divisor`]
+    /// transform to exactly integral winograd-domain weights. The f32 path
+    /// cannot express this for F(6x6) (scaled weights exceed the 24-bit
+    /// mantissa), so exact tests go through rationals.
+    pub(super) fn exact_winograd_weights(
+        weights_q: &[i32],
+        o: usize,
+        c: usize,
+        variant: WinogradVariant,
+    ) -> Vec<i32> {
+        use wgft_tile::Rational;
+        let transforms = variant.tile_spec().generate();
+        let g = transforms.g();
+        let t = variant.input_tile();
+        let mut out = vec![0i32; o * c * t * t];
+        for filt in 0..o * c {
+            let w = &weights_q[filt * 9..(filt + 1) * 9];
+            for i in 0..t {
+                for j in 0..t {
+                    let mut acc = Rational::ZERO;
+                    for a in 0..3 {
+                        for b in 0..3 {
+                            acc = acc
+                                + g[i * 3 + a]
+                                    * Rational::integer(i64::from(w[a * 3 + b]))
+                                    * g[j * 3 + b];
+                        }
+                    }
+                    let exact = acc
+                        .as_integer()
+                        .expect("divisor-multiple weights transform exactly");
+                    out[filt * t * t + i * t + j] =
+                        i32::try_from(exact).expect("winograd weight fits i32");
+                }
+            }
+        }
+        out
+    }
+
     /// Planned quantized winograd must reproduce direct quantized convolution
-    /// bit-for-bit across the same shape grid, for both tile variants.
+    /// bit-for-bit across the same shape grid, for every tile variant.
     ///
-    /// Exactness requires winograd-domain weights that are exactly integral:
-    /// the F(2x2) filter transform halves sums (weights divisible by 4
-    /// suffice) and the F(4x4) transform divides by up to 24 in each of two
-    /// applications of `G`, so weights divisible by 576 stay exact.
+    /// Exactness requires winograd-domain weights that are exactly integral,
+    /// i.e. raw weights divisible by the per-variant
+    /// [`WinogradVariant::weight_divisor`] (4 / 576 / 360²).
     #[test]
     fn planned_quantized_matches_direct_across_shape_grid() {
         use crate::conv_standard::direct_conv_quantized;
         use wgft_faultsim::ExactArithmetic;
 
-        for variant in [F2X2_3X3, F4X4_3X3] {
-            let scale: i32 = match variant {
-                WinogradVariant::F2x2 => 4,
-                WinogradVariant::F4x4 => 576,
-            };
+        for variant in [F2X2_3X3, F4X4_3X3, F6X6_3X3] {
+            let scale = i32::try_from(variant.weight_divisor()).unwrap();
             for &(in_c, out_c) in &[(1usize, 1usize), (2, 3)] {
-                for &size in &[4usize, 5, 7] {
+                for &size in &[4usize, 5, 7, 8] {
                     for &pad in &[0usize, 1] {
                         let shape =
                             ConvShape::new(in_c, out_c, ConvGeometry::square(size, 3, 1, pad));
@@ -1109,7 +1149,7 @@ mod tests {
                             .map(|i| ((i * 7 % 23) as i32) - 11)
                             .collect();
                         let weights_q: Vec<i32> = (0..shape.weight_len())
-                            .map(|i| scale * (((i * 5 % 9) as i32) - 4))
+                            .map(|i| scale.saturating_mul(((i * 5 % 9) as i32) - 4))
                             .collect();
 
                         let mut exact = ExactArithmetic::new();
@@ -1117,14 +1157,19 @@ mod tests {
                             direct_conv_quantized(&mut exact, 0, &input_q, &weights_q, &shape)
                                 .unwrap();
 
-                        let weights_f: Vec<f32> = weights_q.iter().map(|&w| w as f32).collect();
-                        let u = transform_weights_f32(&weights_f, out_c, in_c, variant).unwrap();
-                        let u_q: Vec<i32> = u.iter().map(|&x| x.round() as i32).collect();
-                        for (uf, uq) in u.iter().zip(u_q.iter()) {
-                            assert!(
-                                (uf - *uq as f32).abs() < 1e-3,
-                                "{variant}: transformed weight must be integral ({uf})"
-                            );
+                        let u_q = exact_winograd_weights(&weights_q, out_c, in_c, variant);
+                        if variant != WinogradVariant::F6x6 {
+                            // The f32 transform stays exact for the small
+                            // divisors; pin the two paths to each other.
+                            let weights_f: Vec<f32> = weights_q.iter().map(|&w| w as f32).collect();
+                            let u =
+                                transform_weights_f32(&weights_f, out_c, in_c, variant).unwrap();
+                            for (uf, &uq) in u.iter().zip(u_q.iter()) {
+                                assert!(
+                                    (uf - uq as f32).abs() < 1e-3,
+                                    "{variant}: f32 transform diverged ({uf} vs {uq})"
+                                );
+                            }
                         }
                         let wino = WinogradWeights::new(variant, out_c, in_c, u_q).unwrap();
                         let mut prepared = PreparedConvQuantized::new(wino, &shape).unwrap();
@@ -1185,7 +1230,7 @@ mod tests {
                     if shape.geometry.out_h() == 0 {
                         continue;
                     }
-                    for variant in [F2X2_3X3, F4X4_3X3] {
+                    for variant in [F2X2_3X3, F4X4_3X3, F6X6_3X3] {
                         for n in [1usize, 2, 3, 5] {
                             let batch = batch_input(&shape, n);
                             let mut prepared =

@@ -22,9 +22,10 @@
 //! **bit-identical** `i64` accumulators to the instrumented kernel running on
 //! [`wgft_faultsim::ExactArithmetic`] — for every block size, batch chunking
 //! and thread count — provided no intermediate overflows. Inputs bounded by
-//! [`MAX_FAST_INPUT`] (far above any quantized storage width) keep the `i32`
-//! winograd domain exact; the bound is checked by a debug assertion. This is
-//! the property that lets fault-free campaign work route onto this engine
+//! the per-variant [`WinogradVariant::max_fast_input`] (far above any
+//! quantized storage width for every tile size) keep the `i32` winograd
+//! domain exact; the bound is checked by a debug assertion. This is the
+//! property that lets fault-free campaign work route onto this engine
 //! without perturbing a single journaled result.
 
 use crate::conv_standard::ConvShape;
@@ -32,16 +33,17 @@ use crate::conv_winograd::WinogradWeights;
 use crate::plan::{
     store_output_tile, WinogradPlan, BLOCK_BUDGET, MAX_TILE, PAR_GEMM_MIN_BLOCK, SOA_GROUP,
 };
-use crate::transform::WinogradVariant;
 use crate::WinogradError;
 use std::sync::Arc;
 use wgft_tensor::gemm_i32;
 
 /// Largest input magnitude the fast engine's `i32` winograd domain is exact
-/// for: F(4x4,3x3) row coefficient sums reach 10, so a two-sided transform
-/// scales magnitudes by at most 100 — `2²⁴ · 100 < 2³¹`. Quantized
-/// activations are bounded by the storage width (`< 2¹⁶`), leaving two
-/// orders of magnitude of headroom.
+/// for on the classic small tiles: F(4x4,3x3) row coefficient sums reach 10,
+/// so a two-sided transform scales magnitudes by at most 100 — `2²⁴ · 100 <
+/// 2³¹`. The engine itself enforces the tighter per-variant
+/// [`WinogradVariant::max_fast_input`] (F(6x6)'s scaled transforms amplify
+/// by 5184); quantized activations are bounded by the storage width
+/// (`< 2¹⁶`), leaving ample headroom for every tile size.
 pub const MAX_FAST_INPUT: i32 = 1 << 24;
 
 /// Fault-free value maxima observed during one
@@ -288,7 +290,10 @@ impl PreparedConvQuantizedFast {
             });
         }
         debug_assert!(
-            input.iter().all(|&x| x.abs() <= MAX_FAST_INPUT),
+            {
+                let bound = self.plan.variant().max_fast_input();
+                input.iter().all(|&x| x.abs() <= bound)
+            },
             "fast quantized winograd input exceeds the exact i32 winograd domain"
         );
         Ok(())
@@ -404,14 +409,15 @@ fn run_images_q(
 
         // ---- Scatter: V[k][ic][b] = (Bᵀ d B)[k] for every tile/channel of
         // the block, tile-innermost so the t² destination streams are
-        // written sequentially. F(2x2) groups of SOA_GROUP tiles take the
-        // lane-per-tile kernel (pure i32 adds); tails and F(4x4) take the
-        // per-tile path in i64 with an exact narrowing store.
+        // written sequentially. Full groups of SOA_GROUP tiles take the
+        // lane-per-tile runtime-t kernel (i32 adds and mul-adds, exact under
+        // the input bound); ragged tails take the per-tile path in i64 with
+        // an exact narrowing store.
         for ic in 0..c {
             let mut b = 0usize;
             while b < bp {
-                if variant == WinogradVariant::F2x2 && b + SOA_GROUP <= bp {
-                    scatter_f2x2_group_q(plan, input, in_len, block_start + b, ic, v, c, bp, b);
+                if b + SOA_GROUP <= bp {
+                    scatter_group_q(plan, input, in_len, block_start + b, ic, v, c, bp, b, bt);
                     b += SOA_GROUP;
                     continue;
                 }
@@ -487,12 +493,23 @@ fn run_images_q(
         }
 
         // ---- Gather: inverse-transform each (oc, tile) fibre, tile
-        // innermost; F(2x2) groups use the lane-per-tile i64 kernel.
+        // innermost; full groups use the lane-per-tile runtime-t i64 kernel.
         for oc in 0..o {
             let mut b = 0usize;
             while b < bp {
-                if variant == WinogradVariant::F2x2 && b + SOA_GROUP <= bp {
-                    gather_f2x2_group_q(plan, prod, o, bp, oc, b, block_start + b, out_len, output);
+                if b + SOA_GROUP <= bp {
+                    gather_group_q(
+                        plan,
+                        prod,
+                        o,
+                        bp,
+                        oc,
+                        b,
+                        block_start + b,
+                        out_len,
+                        output,
+                        at,
+                    );
                     b += SOA_GROUP;
                     continue;
                 }
@@ -561,13 +578,64 @@ fn int_mat_mul_rt(
     }
 }
 
-/// F(2x2) input transform for [`SOA_GROUP`] consecutive tiles of one
-/// channel, lane-per-tile in `i32` (the transform is pure adds). Identical
-/// arithmetic to the per-tile path — integer adds are exact, so the results
-/// are bit-identical.
+/// Lane-wise `acc += coef · src` in `i32`, specialized on the coefficient:
+/// transform matrices are dominated by 0/±1 entries, so most terms are a
+/// skipped column, a vector add or a vector subtract. Integer arithmetic is
+/// exact, so this is bit-identical to the per-tile i64 path under the
+/// [`WinogradVariant::max_fast_input`] bound (which keeps every intermediate
+/// in i32 range).
+#[inline]
+fn lane_axpy_i32(acc: &mut [i32; SOA_GROUP], coef: i32, src: &[i32; SOA_GROUP]) {
+    match coef {
+        0 => {}
+        1 => {
+            for (a, &s) in acc.iter_mut().zip(src.iter()) {
+                *a += s;
+            }
+        }
+        -1 => {
+            for (a, &s) in acc.iter_mut().zip(src.iter()) {
+                *a -= s;
+            }
+        }
+        _ => {
+            for (a, &s) in acc.iter_mut().zip(src.iter()) {
+                *a += coef * s;
+            }
+        }
+    }
+}
+
+/// Lane-wise `acc += coef · src` in `i64` for the gather side.
+#[inline]
+fn lane_axpy_i64(acc: &mut [i64; SOA_GROUP], coef: i64, src: &[i64; SOA_GROUP]) {
+    match coef {
+        0 => {}
+        1 => {
+            for (a, &s) in acc.iter_mut().zip(src.iter()) {
+                *a += s;
+            }
+        }
+        -1 => {
+            for (a, &s) in acc.iter_mut().zip(src.iter()) {
+                *a -= s;
+            }
+        }
+        _ => {
+            for (a, &s) in acc.iter_mut().zip(src.iter()) {
+                *a += coef * s;
+            }
+        }
+    }
+}
+
+/// Input transform `Bᵀ d B` for [`SOA_GROUP`] consecutive tiles of one
+/// channel, lane-per-tile in `i32` at any tile size. Identical arithmetic to
+/// the per-tile path — integer ops are exact, so the results are
+/// bit-identical.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn scatter_f2x2_group_q(
+fn scatter_group_q(
     plan: &WinogradPlan,
     input: &[i32],
     in_len: usize,
@@ -577,55 +645,52 @@ fn scatter_f2x2_group_q(
     c: usize,
     bp: usize,
     b0: usize,
+    bt: &[i32],
 ) {
     let p = plan.num_tiles();
-    let mut dsoa = [[0i32; SOA_GROUP]; 16];
-    let mut tile_d = [0i32; 16];
+    let t = plan.variant().input_tile();
+    let t2 = t * t;
+    let mut dsoa = [[0i32; SOA_GROUP]; MAX_TILE];
+    let mut tile_d = [0i32; MAX_TILE];
     #[allow(clippy::needless_range_loop)] // `gi` is the SoA lane, not a row
     for gi in 0..SOA_GROUP {
         let g = g0 + gi;
         let image_input = &input[(g / p) * in_len..(g / p + 1) * in_len];
-        plan.load_tile(image_input, g % p, ic, &mut tile_d);
-        for (pos, &value) in tile_d.iter().enumerate() {
+        plan.load_tile(image_input, g % p, ic, &mut tile_d[..t2]);
+        for (pos, &value) in tile_d[..t2].iter().enumerate() {
             dsoa[pos][gi] = value;
         }
     }
-    // tmp = Bᵀ d, lane-wise.
-    let mut tmp = [[0i32; SOA_GROUP]; 16];
-    for j in 0..4 {
-        for gi in 0..SOA_GROUP {
-            tmp[j][gi] = dsoa[j][gi] - dsoa[8 + j][gi];
-            tmp[4 + j][gi] = dsoa[4 + j][gi] + dsoa[8 + j][gi];
-            tmp[8 + j][gi] = dsoa[8 + j][gi] - dsoa[4 + j][gi];
-            tmp[12 + j][gi] = dsoa[4 + j][gi] - dsoa[12 + j][gi];
+    // tmp = Bᵀ d, lane-wise: tmp[i][j] = Σ_k Bᵀ[i][k] · d[k][j].
+    let mut tmp = [[0i32; SOA_GROUP]; MAX_TILE];
+    for i in 0..t {
+        for j in 0..t {
+            let mut acc = [0i32; SOA_GROUP];
+            for k in 0..t {
+                lane_axpy_i32(&mut acc, bt[i * t + k], &dsoa[k * t + j]);
+            }
+            tmp[i * t + j] = acc;
         }
     }
-    // v_rows = tmp B, lane-wise, stored straight into the scatter buffer.
-    let mut row0 = [0i32; SOA_GROUP];
-    let mut row1 = [0i32; SOA_GROUP];
-    let mut row2 = [0i32; SOA_GROUP];
-    let mut row3 = [0i32; SOA_GROUP];
-    for i in 0..4 {
-        let r = i * 4;
-        for gi in 0..SOA_GROUP {
-            row0[gi] = tmp[r][gi] - tmp[r + 2][gi];
-            row1[gi] = tmp[r + 1][gi] + tmp[r + 2][gi];
-            row2[gi] = tmp[r + 2][gi] - tmp[r + 1][gi];
-            row3[gi] = tmp[r + 1][gi] - tmp[r + 3][gi];
+    // v_rows = tmp B (B = Bᵀᵀ), lane-wise, stored straight into the scatter
+    // buffer: out[i][j] = Σ_k tmp[i][k] · Bᵀ[j][k].
+    for i in 0..t {
+        for j in 0..t {
+            let mut acc = [0i32; SOA_GROUP];
+            for k in 0..t {
+                lane_axpy_i32(&mut acc, bt[j * t + k], &tmp[i * t + k]);
+            }
+            v[((i * t + j) * c + ic) * bp + b0..][..SOA_GROUP].copy_from_slice(&acc);
         }
-        v[(r * c + ic) * bp + b0..][..SOA_GROUP].copy_from_slice(&row0);
-        v[((r + 1) * c + ic) * bp + b0..][..SOA_GROUP].copy_from_slice(&row1);
-        v[((r + 2) * c + ic) * bp + b0..][..SOA_GROUP].copy_from_slice(&row2);
-        v[((r + 3) * c + ic) * bp + b0..][..SOA_GROUP].copy_from_slice(&row3);
     }
 }
 
-/// F(2x2) output transform for [`SOA_GROUP`] consecutive tiles of one output
-/// channel, lane-per-tile in `i64`. Identical arithmetic to the per-tile
-/// path.
+/// Output transform `Aᵀ m A` for [`SOA_GROUP`] consecutive tiles of one
+/// output channel, lane-per-tile in `i64` at any tile size. Identical
+/// arithmetic to the per-tile path.
 #[allow(clippy::too_many_arguments)]
 #[inline]
-fn gather_f2x2_group_q(
+fn gather_group_q(
     plan: &WinogradPlan,
     prod: &[i64],
     o: usize,
@@ -635,32 +700,41 @@ fn gather_f2x2_group_q(
     g0: usize,
     out_len: usize,
     output: &mut [i64],
+    at: &[i32],
 ) {
     let p = plan.num_tiles();
     let g = plan.shape().geometry;
     let (out_h, out_w) = (g.out_h(), g.out_w());
-    let mut msoa = [[0i64; SOA_GROUP]; 16];
-    for (k, row) in msoa.iter_mut().enumerate() {
+    let t = plan.variant().input_tile();
+    let m = plan.variant().output_tile();
+    let t2 = t * t;
+    let mut msoa = [[0i64; SOA_GROUP]; MAX_TILE];
+    for (k, row) in msoa.iter_mut().enumerate().take(t2) {
         row.copy_from_slice(&prod[(k * o + oc) * bp + b0..][..SOA_GROUP]);
     }
-    // tmp = Aᵀ m (2x4 rows), lane-wise.
-    let mut tmp = [[0i64; SOA_GROUP]; 8];
-    for j in 0..4 {
-        for gi in 0..SOA_GROUP {
-            tmp[j][gi] = msoa[j][gi] + msoa[4 + j][gi] + msoa[8 + j][gi];
-            tmp[4 + j][gi] = msoa[4 + j][gi] - msoa[8 + j][gi] - msoa[12 + j][gi];
+    // tmp = Aᵀ m (m×t rows), lane-wise.
+    let mut tmp = [[0i64; SOA_GROUP]; MAX_TILE];
+    for i in 0..m {
+        for j in 0..t {
+            let mut acc = [0i64; SOA_GROUP];
+            for k in 0..t {
+                lane_axpy_i64(&mut acc, i64::from(at[i * t + k]), &msoa[k * t + j]);
+            }
+            tmp[i * t + j] = acc;
         }
     }
-    // y = tmp A (2x2), lane-wise.
-    let mut y = [[0i64; SOA_GROUP]; 4];
-    for i in 0..2 {
-        let r = i * 4;
-        for gi in 0..SOA_GROUP {
-            y[i * 2][gi] = tmp[r][gi] + tmp[r + 1][gi] + tmp[r + 2][gi];
-            y[i * 2 + 1][gi] = tmp[r + 1][gi] - tmp[r + 2][gi] - tmp[r + 3][gi];
+    // y = tmp A (m×m), lane-wise.
+    let mut ysoa = [[0i64; SOA_GROUP]; MAX_TILE];
+    for i in 0..m {
+        for j in 0..m {
+            let mut acc = [0i64; SOA_GROUP];
+            for k in 0..t {
+                lane_axpy_i64(&mut acc, i64::from(at[j * t + k]), &tmp[i * t + k]);
+            }
+            ysoa[i * m + j] = acc;
         }
     }
-    let mut tile_y = [0i64; 4];
+    let mut tile_y = [0i64; MAX_TILE];
     #[allow(clippy::needless_range_loop)] // `gi` is the SoA lane, not a row
     for gi in 0..SOA_GROUP {
         let gt = g0 + gi;
@@ -668,11 +742,20 @@ fn gather_f2x2_group_q(
         let out_base = (gt / p) * out_len;
         let ty = tile / plan.tiles_x();
         let tx = tile % plan.tiles_x();
-        tile_y[0] = y[0][gi];
-        tile_y[1] = y[1][gi];
-        tile_y[2] = y[2][gi];
-        tile_y[3] = y[3][gi];
-        store_output_tile(output, out_base, &tile_y, oc, ty, tx, 2, out_h, out_w);
+        for (pos, value) in tile_y[..m * m].iter_mut().enumerate() {
+            *value = ysoa[pos][gi];
+        }
+        store_output_tile(
+            output,
+            out_base,
+            &tile_y[..m * m],
+            oc,
+            ty,
+            tx,
+            m,
+            out_h,
+            out_w,
+        );
     }
 }
 
@@ -680,7 +763,7 @@ fn gather_f2x2_group_q(
 mod tests {
     use super::*;
     use crate::conv_winograd::winograd_conv_quantized;
-    use crate::transform::{F2X2_3X3, F4X4_3X3};
+    use crate::transform::{WinogradVariant, F2X2_3X3, F4X4_3X3, F6X6_3X3};
     use wgft_faultsim::ExactArithmetic;
     use wgft_tensor::ConvGeometry;
 
@@ -704,7 +787,7 @@ mod tests {
     /// variants.
     #[test]
     fn fast_path_is_bit_identical_to_instrumented_across_shape_grid() {
-        for variant in [F2X2_3X3, F4X4_3X3] {
+        for variant in [F2X2_3X3, F4X4_3X3, F6X6_3X3] {
             for &(in_c, out_c) in &[(1usize, 1usize), (2, 3), (3, 2), (4, 4)] {
                 for &size in &[4usize, 5, 6, 7, 9, 12] {
                     for &pad in &[0usize, 1] {
@@ -738,7 +821,7 @@ mod tests {
     /// including ragged sizes where tile blocks straddle image boundaries.
     #[test]
     fn batched_execution_matches_per_image_bit_for_bit() {
-        for variant in [F2X2_3X3, F4X4_3X3] {
+        for variant in [F2X2_3X3, F4X4_3X3, F6X6_3X3] {
             for &(in_c, out_c) in &[(1usize, 1usize), (2, 3)] {
                 for &size in &[5usize, 9] {
                     let shape = ConvShape::new(in_c, out_c, ConvGeometry::square(size, 3, 1, 1));
@@ -790,7 +873,7 @@ mod tests {
     /// recomputed here with an independent naive reference.
     #[test]
     fn recording_observes_the_naive_winograd_stage_maxima() {
-        for variant in [F2X2_3X3, F4X4_3X3] {
+        for variant in [F2X2_3X3, F4X4_3X3, F6X6_3X3] {
             let shape = ConvShape::new(2, 3, ConvGeometry::square(7, 3, 1, 1));
             let weights = weights_for(variant, 3, 2);
             let input = input_for(&shape, 3);

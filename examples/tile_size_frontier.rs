@@ -1,0 +1,53 @@
+//! Chart the tile-size frontier: the same quantized network, the same fault
+//! seeds, swept at every supported winograd tile size.
+//!
+//! Larger tiles buy fewer multiplications per output pixel — F(4x4,3x3)
+//! runs 2.25x fewer than F(2x2,3x3), F(6x6,3x3) 4x fewer — but their
+//! transform matrices amplify both quantization noise and injected faults:
+//! the worst-case input amplification grows from 4x (F2x2) through 100x
+//! (F4x4) to 2500x (F6x6). This example makes that trade-off executable:
+//! it prints each variant's generated-transform envelope, then prepares one
+//! campaign per tile size and sweeps the identical BER grid, so the
+//! accuracy columns are directly comparable cell by cell.
+//!
+//! Run with `cargo run --release --example tile_size_frontier`.
+
+use winograd_ft::core::{CampaignConfig, FaultToleranceCampaign};
+use winograd_ft::fixedpoint::BitWidth;
+use winograd_ft::nn::models::ModelKind;
+use winograd_ft::tile::TileSpec;
+use winograd_ft::winograd::WinogradVariant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The numeric envelope of each variant, read off the generated
+    // transforms (the engines assert these same numbers in their tests).
+    println!("generated transform envelopes (wgft-tile, exact rational):");
+    for variant in WinogradVariant::all() {
+        let spec = TileSpec::with_canonical_points(variant.output_tile(), variant.kernel())?;
+        let transforms = spec.generate();
+        println!(
+            "  {variant}: t={}, points [{} , inf], muls/tile {}, \
+             input amplification {}x, weight divisor {}",
+            variant.input_tile(),
+            spec.point_set_id(),
+            variant.muls_per_tile(),
+            transforms.input_amplification(),
+            transforms.weight_divisor(),
+        );
+    }
+    println!();
+
+    // One campaign per tile size on the identical model, fault model and
+    // per-image seeds: only the winograd tile (and hence the quantizer's
+    // per-tile-size weight calibration) differs between the reports.
+    let bers = [0.0, 1e-6, 1e-5, 1e-4];
+    for variant in WinogradVariant::all() {
+        let config = CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W16)
+            .with_cache_dir("target/wgft-models")
+            .with_tile(variant);
+        let campaign = FaultToleranceCampaign::prepare(&config)?;
+        let report = campaign.network_sweep(&bers);
+        println!("{report}\n");
+    }
+    Ok(())
+}

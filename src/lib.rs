@@ -9,6 +9,9 @@
 //! * [`fixedpoint`] — Q-format fixed-point arithmetic,
 //! * [`tensor`] — dense NCHW tensors and im2col,
 //! * [`faultsim`] — operation-level and neuron-level fault injection,
+//! * [`tile`] — exact-rational F(m,r) transform generation (Lagrange
+//!   interpolation over configurable point sets) feeding the winograd
+//!   engines,
 //! * [`winograd`] — winograd transforms and convolution kernels,
 //! * [`nn`] — layers, training, quantized inference and the model zoo,
 //! * [`data`] — synthetic datasets and accuracy evaluation,
@@ -56,4 +59,5 @@ pub use wgft_nn as nn;
 pub use wgft_serve as serve;
 pub use wgft_sweep as sweep;
 pub use wgft_tensor as tensor;
+pub use wgft_tile as tile;
 pub use wgft_winograd as winograd;

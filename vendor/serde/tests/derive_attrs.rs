@@ -1,0 +1,102 @@
+//! Behavior of the vendored derive's field attributes: `default` on
+//! serialized fields and `skip_serializing_if`, the pair that lets a struct
+//! grow a new field whose default form serializes byte-identically to the
+//! old layout (the sweep manifest and campaign config rely on this for
+//! journal backward compatibility).
+
+use serde::value::Value;
+use serde::{Deserialize, Serialize};
+
+fn is_zero(v: &u32) -> bool {
+    *v == 0
+}
+
+fn seven() -> u32 {
+    7
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+struct Versioned {
+    name: String,
+    #[serde(default, skip_serializing_if = "is_zero")]
+    extra: u32,
+    #[serde(default = "seven")]
+    lucky: u32,
+}
+
+#[derive(Debug, PartialEq, Serialize, Deserialize)]
+enum Tagged {
+    One {
+        base: u32,
+        #[serde(default, skip_serializing_if = "is_zero")]
+        extra: u32,
+    },
+}
+
+fn field<'v>(v: &'v Value, name: &str) -> Option<&'v Value> {
+    v.as_object()
+        .and_then(|o| o.iter().find(|kv| kv.0 == name))
+        .map(|kv| &kv.1)
+}
+
+#[test]
+fn default_field_is_omitted_and_restored() {
+    let v = Versioned {
+        name: "a".into(),
+        extra: 0,
+        lucky: 7,
+    }
+    .to_value();
+    // The default-valued field vanishes from the serialized object, so the
+    // bytes match a build that predates the field.
+    assert!(field(&v, "extra").is_none());
+    // `default = "path"` without skip_serializing_if still serializes.
+    assert!(field(&v, "lucky").is_some());
+    let back = Versioned::from_value(&v).expect("round trip");
+    assert_eq!(back.extra, 0);
+    assert_eq!(back.lucky, 7);
+}
+
+#[test]
+fn non_default_field_round_trips() {
+    let original = Versioned {
+        name: "b".into(),
+        extra: 3,
+        lucky: 9,
+    };
+    let v = original.to_value();
+    assert!(field(&v, "extra").is_some());
+    assert_eq!(Versioned::from_value(&v).expect("round trip"), original);
+}
+
+#[test]
+fn missing_fields_take_their_defaults() {
+    // An object written by an old build that knows neither field.
+    let old = Value::Object(vec![("name".to_string(), Value::String("c".into()))]);
+    let back = Versioned::from_value(&old).expect("old layout parses");
+    assert_eq!(back.extra, 0, "bare `default` uses Default::default()");
+    assert_eq!(back.lucky, 7, "`default = \"path\"` calls the path");
+}
+
+#[test]
+fn missing_field_without_default_still_errors() {
+    let v = Value::Object(vec![("extra".to_string(), Value::UInt(1))]);
+    assert!(Versioned::from_value(&v).is_err(), "`name` has no default");
+}
+
+#[test]
+fn enum_struct_variant_supports_the_same_attributes() {
+    let v = Tagged::One { base: 1, extra: 0 }.to_value();
+    let payload = field(&v, "One").expect("externally tagged");
+    assert!(field(payload, "extra").is_none());
+    let back = Tagged::from_value(&v).expect("round trip");
+    assert_eq!(back, Tagged::One { base: 1, extra: 0 });
+
+    let v = Tagged::One { base: 1, extra: 5 }.to_value();
+    let payload = field(&v, "One").expect("externally tagged");
+    assert!(field(payload, "extra").is_some());
+    assert_eq!(
+        Tagged::from_value(&v).expect("round trip"),
+        Tagged::One { base: 1, extra: 5 }
+    );
+}

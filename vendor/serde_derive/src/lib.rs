@@ -4,18 +4,33 @@
 //! the item is parsed into a small shape model (named/tuple/unit structs,
 //! enums with unit/newtype/tuple/struct variants) and the impls are emitted
 //! as source strings. Supported field attributes:
-//! `#[serde(skip)]` and `#[serde(skip, default = "path")]`.
+//! `#[serde(skip)]`, `#[serde(skip, default = "path")]`,
+//! `#[serde(default)]` / `#[serde(default = "path")]` on serialized fields
+//! (a missing field deserializes to the default instead of erroring), and
+//! `#[serde(skip_serializing_if = "path")]` (the field is omitted from the
+//! serialized object when the predicate returns true — pair it with
+//! `default` so the omitted form round-trips).
 //!
 //! Generics are intentionally unsupported — nothing in this workspace
 //! derives serde on a generic type.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+#[derive(Debug, Default)]
+struct FieldAttrs {
+    skip: bool,
+    /// Bare `default`: deserialize a missing field via `Default::default()`.
+    default: bool,
+    /// `default = "path"`: deserialize a missing (or skipped) field via `path()`.
+    default_fn: Option<String>,
+    /// `skip_serializing_if = "path"`: omit the field when `path(&value)`.
+    skip_serializing_if: Option<String>,
+}
+
 #[derive(Debug)]
 struct Field {
     name: String,
-    skip: bool,
-    default_fn: Option<String>,
+    attrs: FieldAttrs,
 }
 
 #[derive(Debug)]
@@ -68,9 +83,8 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 
 /// Attributes collected before an item/field/variant; only `#[serde(...)]`
 /// contents are retained.
-fn take_attrs(tokens: &[TokenTree], mut idx: usize) -> (usize, bool, Option<String>) {
-    let mut skip = false;
-    let mut default_fn = None;
+fn take_attrs(tokens: &[TokenTree], mut idx: usize) -> (usize, FieldAttrs) {
+    let mut attrs = FieldAttrs::default();
     while idx < tokens.len() {
         match &tokens[idx] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
@@ -80,7 +94,7 @@ fn take_attrs(tokens: &[TokenTree], mut idx: usize) -> (usize, bool, Option<Stri
                         if let Some(TokenTree::Ident(id)) = inner.first() {
                             if id.to_string() == "serde" {
                                 if let Some(TokenTree::Group(args)) = inner.get(1) {
-                                    parse_serde_args(args, &mut skip, &mut default_fn);
+                                    parse_serde_args(args, &mut attrs);
                                 }
                             }
                         }
@@ -93,32 +107,43 @@ fn take_attrs(tokens: &[TokenTree], mut idx: usize) -> (usize, bool, Option<Stri
             _ => break,
         }
     }
-    (idx, skip, default_fn)
+    (idx, attrs)
 }
 
-fn parse_serde_args(args: &proc_macro::Group, skip: &mut bool, default_fn: &mut Option<String>) {
+fn parse_serde_args(args: &proc_macro::Group, attrs: &mut FieldAttrs) {
     let toks: Vec<TokenTree> = args.stream().into_iter().collect();
     let mut i = 0;
+    // `word = "literal"` at position i+1/i+2, returning the unquoted literal.
+    let string_arg = |i: usize| -> Option<String> {
+        match (toks.get(i + 1), toks.get(i + 2)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(lit))) if p.as_char() == '=' => {
+                Some(lit.to_string().trim_matches('"').to_string())
+            }
+            _ => None,
+        }
+    };
     while i < toks.len() {
         match &toks[i] {
             TokenTree::Ident(id) => {
                 let word = id.to_string();
                 if word == "skip" {
-                    *skip = true;
+                    attrs.skip = true;
                     i += 1;
                 } else if word == "default" {
                     // `default` or `default = "path"`.
-                    if let Some(TokenTree::Punct(p)) = toks.get(i + 1) {
-                        if p.as_char() == '=' {
-                            if let Some(TokenTree::Literal(lit)) = toks.get(i + 2) {
-                                let raw = lit.to_string();
-                                *default_fn = Some(raw.trim_matches('"').to_string());
-                            }
-                            i += 3;
-                            continue;
-                        }
+                    if let Some(path) = string_arg(i) {
+                        attrs.default_fn = Some(path);
+                        i += 3;
+                    } else {
+                        attrs.default = true;
+                        i += 1;
                     }
-                    i += 1;
+                } else if word == "skip_serializing_if" {
+                    let path = string_arg(i).unwrap_or_else(|| {
+                        panic!("vendored serde_derive: `skip_serializing_if` needs = \"path\"")
+                    });
+                    attrs.skip_serializing_if = Some(path);
+                    i += 3;
                 } else {
                     panic!("vendored serde_derive: unsupported serde attribute `{word}`");
                 }
@@ -145,7 +170,7 @@ fn skip_visibility(tokens: &[TokenTree], mut idx: usize) -> usize {
 
 fn parse_item(input: TokenStream) -> Item {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
-    let (mut idx, _, _) = take_attrs(&tokens, 0);
+    let (mut idx, _) = take_attrs(&tokens, 0);
     idx = skip_visibility(&tokens, idx);
     let kind = match &tokens[idx] {
         TokenTree::Ident(id) => id.to_string(),
@@ -189,7 +214,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut idx = 0;
     while idx < tokens.len() {
-        let (next, skip, default_fn) = take_attrs(&tokens, idx);
+        let (next, attrs) = take_attrs(&tokens, idx);
         idx = skip_visibility(&tokens, next);
         let name = match &tokens[idx] {
             TokenTree::Ident(id) => id.to_string(),
@@ -209,11 +234,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
                 idx += 1;
             }
         }
-        fields.push(Field {
-            name,
-            skip,
-            default_fn,
-        });
+        fields.push(Field { name, attrs });
     }
     fields
 }
@@ -241,7 +262,7 @@ fn count_tuple_fields(stream: TokenStream) -> usize {
     let mut count = 0;
     let mut idx = 0;
     while idx < tokens.len() {
-        let (next, _, _) = take_attrs(&tokens, idx);
+        let (next, _) = take_attrs(&tokens, idx);
         idx = skip_visibility(&tokens, next);
         idx = skip_type(&tokens, idx);
         count += 1;
@@ -259,7 +280,7 @@ fn parse_variants(stream: TokenStream) -> Vec<Variant> {
     let mut variants = Vec::new();
     let mut idx = 0;
     while idx < tokens.len() {
-        let (next, _, _) = take_attrs(&tokens, idx);
+        let (next, _) = take_attrs(&tokens, idx);
         idx = next;
         let name = match &tokens[idx] {
             TokenTree::Ident(id) => id.to_string(),
@@ -302,11 +323,17 @@ fn gen_serialize(item: &Item) -> String {
         Shape::NamedStruct(fields) => {
             let mut s =
                 String::from("let mut fields: Vec<(String, serde::value::Value)> = Vec::new();\n");
-            for f in fields.iter().filter(|f| !f.skip) {
-                s.push_str(&format!(
+            for f in fields.iter().filter(|f| !f.attrs.skip) {
+                let push = format!(
                     "fields.push((\"{n}\".to_string(), serde::Serialize::to_value(&self.{n})));\n",
                     n = f.name
-                ));
+                );
+                match &f.attrs.skip_serializing_if {
+                    Some(path) => {
+                        s.push_str(&format!("if !{path}(&self.{n}) {{ {push} }}\n", n = f.name))
+                    }
+                    None => s.push_str(&push),
+                }
             }
             s.push_str("serde::value::Value::Object(fields)");
             s
@@ -348,13 +375,20 @@ fn gen_serialize(item: &Item) -> String {
                         let mut inner = String::from(
                             "let mut fields: Vec<(String, serde::value::Value)> = Vec::new();\n",
                         );
-                        for f in fields.iter().filter(|f| !f.skip) {
-                            inner.push_str(&format!(
+                        for f in fields.iter().filter(|f| !f.attrs.skip) {
+                            let push = format!(
                                 "fields.push((\"{n}\".to_string(), serde::Serialize::to_value({n})));\n",
                                 n = f.name
-                            ));
+                            );
+                            match &f.attrs.skip_serializing_if {
+                                Some(path) => inner.push_str(&format!(
+                                    "if !{path}({n}) {{ {push} }}\n",
+                                    n = f.name
+                                )),
+                                None => inner.push_str(&push),
+                            }
                         }
-                        for f in fields.iter().filter(|f| f.skip) {
+                        for f in fields.iter().filter(|f| f.attrs.skip) {
                             inner.push_str(&format!("let _ = {};\n", f.name));
                         }
                         arms.push_str(&format!(
@@ -374,20 +408,32 @@ fn gen_serialize(item: &Item) -> String {
 }
 
 fn field_expr(owner: &str, f: &Field) -> String {
-    if f.skip {
-        match &f.default_fn {
-            Some(path) => format!("{n}: {path}(),", n = f.name),
-            None => format!("{n}: Default::default(),", n = f.name),
-        }
-    } else {
-        format!(
-            "{n}: match obj.iter().find(|kv| kv.0 == \"{n}\") {{\n\
-             Some(kv) => serde::Deserialize::from_value(&kv.1)?,\n\
-             None => return Err(serde::value::Error::custom(\"{owner}: missing field `{n}`\")),\n\
-             }},",
-            n = f.name
-        )
+    let default = match &f.attrs.default_fn {
+        Some(path) => Some(format!("{path}()")),
+        None if f.attrs.skip || f.attrs.default => Some("Default::default()".to_string()),
+        None => None,
+    };
+    if f.attrs.skip {
+        return format!(
+            "{n}: {d},",
+            n = f.name,
+            d = default.expect("skip always has a default")
+        );
     }
+    let missing = match default {
+        Some(d) => d,
+        None => format!(
+            "return Err(serde::value::Error::custom(\"{owner}: missing field `{n}`\"))",
+            n = f.name
+        ),
+    };
+    format!(
+        "{n}: match obj.iter().find(|kv| kv.0 == \"{n}\") {{\n\
+         Some(kv) => serde::Deserialize::from_value(&kv.1)?,\n\
+         None => {missing},\n\
+         }},",
+        n = f.name
+    )
 }
 
 fn gen_deserialize(item: &Item) -> String {
