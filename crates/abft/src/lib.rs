@@ -44,12 +44,16 @@
 mod checksum;
 mod engine;
 mod policy;
+mod profile;
 
 pub use checksum::{checked_gemm_i64, plain_gemm_i64, verify_gemm_f32, MAX_RECOMPUTES};
 pub use engine::{
     abft_direct_conv, abft_linear, abft_winograd_conv, observe_max, AbftRun, AbftScratch,
 };
 pub use policy::{AbftCalibration, AbftEvents, AbftMode, AbftPolicy, LayerRanges};
+pub use profile::{
+    LayerChoice, MeasuredDelta, ProfileError, ProfileProvenance, ProtectionProfile, PROFILE_VERSION,
+};
 
 use wgft_faultsim::GemmFaultInjector;
 use wgft_winograd::GemmObserver;

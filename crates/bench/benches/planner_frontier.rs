@@ -1,0 +1,158 @@
+//! Planner frontier: the measured protection planner's acceptance numbers
+//! at the BER 3e-4 cliff, recorded into `BENCH_planner.json` at the
+//! repository root.
+//!
+//! The run asserts the acceptance criteria (the planned profile reaches the
+//! target — within 0.02 of the blanket checksum+recompute ceiling — at
+//! measurably lower replayed cost than both the blanket scheme and blanket
+//! idealized TMR), so a regression fails the bench instead of silently
+//! shifting the recorded numbers.
+
+use wgft_bench::prepare;
+use wgft_fixedpoint::BitWidth;
+use wgft_nn::models::ModelKind;
+use wgft_planner::{plan_from_table, MeasuredTable};
+use wgft_winograd::ConvAlgorithm;
+
+const BER: f64 = 3e-4;
+/// The stated margin to the executable ceiling the plan must reach.
+const CEILING_MARGIN: f64 = 0.02;
+
+fn main() {
+    let campaign = prepare(ModelKind::VggSmall, BitWidth::W16);
+    let algo = ConvAlgorithm::winograd_default();
+    eprintln!("[wgft-bench] measuring the per-layer probe grid at BER {BER:.1e} ...");
+    let table = MeasuredTable::measure(&campaign, algo, BER).expect("probe grid failed");
+    // The acceptance target: within the stated margin of the measured
+    // blanket checksum+recompute ceiling (anchoring to the measurement keeps
+    // the bench meaningful across WGFT_FULL / WGFT_IMAGES scales).
+    let target = (table.ceiling_accuracy - CEILING_MARGIN).max(table.floor_accuracy);
+    let profile =
+        plan_from_table(&campaign, &table, target, None).expect("profile synthesis failed");
+    println!("{profile}");
+
+    assert!(
+        profile.achieved_accuracy >= profile.ceiling_accuracy - CEILING_MARGIN,
+        "achieved {} is not within {CEILING_MARGIN} of the ceiling {}",
+        profile.achieved_accuracy,
+        profile.ceiling_accuracy
+    );
+    assert!(
+        profile.total_cost < profile.ceiling_cost,
+        "planned cost {} does not beat the blanket checksum+recompute ceiling {}",
+        profile.total_cost,
+        profile.ceiling_cost
+    );
+    assert!(
+        profile.total_cost < profile.idealized_tmr_cost,
+        "planned cost {} does not beat blanket idealized TMR {}",
+        profile.total_cost,
+        profile.idealized_tmr_cost
+    );
+    println!(
+        "planned frontier point: {:.1} ops/image vs ceiling {:.1} ({:.0}x) and idealized \
+         TMR {:.1} ({:.0}x)",
+        profile.total_cost,
+        profile.ceiling_cost,
+        profile.ceiling_cost / profile.total_cost.max(1e-9),
+        profile.idealized_tmr_cost,
+        profile.idealized_tmr_cost / profile.total_cost.max(1e-9),
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_planner.json");
+    let mut runs: Vec<serde_json::Value> = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|text| serde_json::parse(&text).ok())
+        .and_then(|v| v.get("runs").and_then(|r| r.as_array().map(<[_]>::to_vec)))
+        .unwrap_or_default();
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let assignment: Vec<serde_json::Value> = profile
+        .layers
+        .iter()
+        .map(|choice| serde_json::Value::String(choice.label().to_string()))
+        .collect();
+    runs.push(serde_json::Value::Object(vec![
+        ("unix_time".to_string(), serde_json::Value::UInt(unix_time)),
+        (
+            "model".to_string(),
+            serde_json::Value::String(profile.model.clone()),
+        ),
+        (
+            "width".to_string(),
+            serde_json::Value::String(profile.width.clone()),
+        ),
+        (
+            "algo".to_string(),
+            serde_json::Value::String(profile.algo.clone()),
+        ),
+        ("ber".to_string(), serde_json::Value::Float(profile.ber)),
+        (
+            "images".to_string(),
+            serde_json::Value::UInt(profile.provenance.images as u64),
+        ),
+        (
+            "target_accuracy".to_string(),
+            serde_json::Value::Float(profile.target_accuracy),
+        ),
+        (
+            "floor_accuracy".to_string(),
+            serde_json::Value::Float(profile.floor_accuracy),
+        ),
+        (
+            "ceiling_accuracy".to_string(),
+            serde_json::Value::Float(profile.ceiling_accuracy),
+        ),
+        (
+            "achieved_accuracy".to_string(),
+            serde_json::Value::Float(profile.achieved_accuracy),
+        ),
+        (
+            "planned_cost".to_string(),
+            serde_json::Value::Float(profile.total_cost),
+        ),
+        (
+            "ceiling_cost".to_string(),
+            serde_json::Value::Float(profile.ceiling_cost),
+        ),
+        (
+            "idealized_tmr_cost".to_string(),
+            serde_json::Value::Float(profile.idealized_tmr_cost),
+        ),
+        (
+            "greedy_cost".to_string(),
+            serde_json::Value::Float(profile.greedy_cost),
+        ),
+        (
+            "optimality_gap".to_string(),
+            serde_json::Value::Float(profile.optimality_gap),
+        ),
+        (
+            "profile_hash".to_string(),
+            serde_json::Value::String(profile.hash()),
+        ),
+        (
+            "assignment".to_string(),
+            serde_json::Value::Array(assignment),
+        ),
+    ]));
+    let artifact = serde_json::Value::Object(vec![
+        (
+            "schema".to_string(),
+            serde_json::Value::String("wgft-bench-planner-v1".to_string()),
+        ),
+        ("runs".to_string(), serde_json::Value::Array(runs)),
+    ]);
+    match serde_json::to_string(&artifact) {
+        Ok(json) => {
+            if let Err(err) = std::fs::write(path, json) {
+                eprintln!("could not write BENCH_planner.json: {err}");
+            } else {
+                println!("planner frontier appended to BENCH_planner.json");
+            }
+        }
+        Err(err) => eprintln!("could not serialize BENCH_planner.json: {err}"),
+    }
+}

@@ -51,8 +51,54 @@ impl FaultToleranceCampaign {
     ///
     /// Returns a [`CoreError`] if training, quantization or evaluation fails.
     pub fn prepare(config: &CampaignConfig) -> Result<Self, CoreError> {
-        let data = Dataset::synthetic(&config.spec, config.train_per_class, config.base_seed);
+        let data = match &config.dataset {
+            crate::DatasetSource::Synthetic => {
+                Dataset::synthetic(&config.spec, config.train_per_class, config.base_seed)
+            }
+            crate::DatasetSource::Cifar10 { dir } => {
+                // The zoo network is built from `spec`, so the spec must
+                // describe the CIFAR geometry or the loaded 3x32x32 images
+                // would not fit its input layer.
+                let expect = wgft_data::SyntheticSpec::cifar10();
+                if config.spec.num_classes != expect.num_classes
+                    || config.spec.channels != expect.channels
+                    || config.spec.height != expect.height
+                    || config.spec.width != expect.width
+                {
+                    return Err(CoreError::InvalidParameter {
+                        name: "spec",
+                        reason: format!(
+                            "dataset source cifar10 needs the CIFAR geometry \
+                             ({} classes, {}x{}x{}), got {} classes, {}x{}x{} \
+                             — use SyntheticSpec::cifar10()",
+                            expect.num_classes,
+                            expect.channels,
+                            expect.height,
+                            expect.width,
+                            config.spec.num_classes,
+                            config.spec.channels,
+                            config.spec.height,
+                            config.spec.width,
+                        ),
+                    });
+                }
+                wgft_data::load_cifar10_dir(dir).map_err(|e| CoreError::InvalidParameter {
+                    name: "dataset",
+                    reason: e.to_string(),
+                })?
+            }
+        };
         let (train, test) = data.split(0.8);
+        // CIFAR-trained weights cache under a `cifar10/` subdirectory so a
+        // real-data model can never shadow a synthetic one of the same
+        // geometry (the cache file name only encodes kind and spec).
+        let cache_dir = config.cache_dir.as_ref().map(|dir| {
+            if config.dataset.is_synthetic() {
+                dir.clone()
+            } else {
+                dir.join(config.dataset.label())
+            }
+        });
         let trained = TrainedModel::load_or_train(
             config.model,
             &config.spec,
@@ -60,7 +106,7 @@ impl FaultToleranceCampaign {
             &test,
             config.train_config,
             config.base_seed ^ 0x5EED,
-            config.cache_dir.as_deref(),
+            cache_dir.as_deref(),
         )?;
         let mut network = trained.network.clone();
         let calibration: Vec<Tensor> = train

@@ -9,6 +9,43 @@ use wgft_nn::models::ModelKind;
 use wgft_nn::TrainConfig;
 use wgft_winograd::WinogradVariant;
 
+/// Where a campaign's training and evaluation images come from.
+///
+/// The default is the deterministic synthetic generator (the task described
+/// by [`CampaignConfig::spec`]); `Cifar10` points at a directory of CIFAR-10
+/// binary batch files (`*.bin`, the extracted `cifar-10-batches-bin` layout
+/// or the checked-in test fixture). Non-default sources are recorded in the
+/// sweep-journal manifest (format v5), and the default serializes to nothing
+/// so pre-knob configs hash and resume unchanged.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DatasetSource {
+    /// The deterministic synthetic generator (seeded from `base_seed`).
+    #[default]
+    Synthetic,
+    /// Real CIFAR-10 binary batches loaded from a directory.
+    Cifar10 {
+        /// Directory holding the `*.bin` batch files.
+        dir: PathBuf,
+    },
+}
+
+impl DatasetSource {
+    /// Short label for manifests, reports and profile provenance.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetSource::Synthetic => "synthetic",
+            DatasetSource::Cifar10 { .. } => "cifar10",
+        }
+    }
+
+    /// Whether this is the default synthetic source.
+    #[must_use]
+    pub fn is_synthetic(&self) -> bool {
+        matches!(self, DatasetSource::Synthetic)
+    }
+}
+
 /// Configuration of a fault-tolerance evaluation campaign: which network,
 /// which quantization width, how much data to train and evaluate on, and how
 /// faults are modelled.
@@ -43,6 +80,11 @@ pub struct CampaignConfig {
     /// them) written before the knob existed hash and resume unchanged.
     #[serde(default, skip_serializing_if = "tile_is_default")]
     pub tile: WinogradVariant,
+    /// Where training/evaluation images come from. Serialized only when
+    /// non-default, so synthetic-data configs (and the manifests embedding
+    /// them) stay byte-identical to pre-knob builds.
+    #[serde(default, skip_serializing_if = "dataset_is_default")]
+    pub dataset: DatasetSource,
 }
 
 /// Skip-serializing predicate: the default F(2x2,3x3) tile stays implicit —
@@ -51,6 +93,13 @@ pub struct CampaignConfig {
 /// default tile.
 pub(crate) fn tile_is_default(tile: &WinogradVariant) -> bool {
     *tile == WinogradVariant::default()
+}
+
+/// Skip-serializing predicate for the dataset-source knob: the synthetic
+/// default stays implicit so pre-knob serialized configs and manifest hashes
+/// are reproduced byte-identically.
+pub(crate) fn dataset_is_default(dataset: &DatasetSource) -> bool {
+    dataset.is_synthetic()
 }
 
 impl CampaignConfig {
@@ -70,6 +119,21 @@ impl CampaignConfig {
             base_seed: 0xC0FFEE,
             cache_dir: None,
             tile: WinogradVariant::default(),
+            dataset: DatasetSource::default(),
+        }
+    }
+
+    /// A campaign over real CIFAR-10 batches in `dir`: the CIFAR geometry
+    /// (10 classes, 3x32x32), the deterministic seeded-SGD training recipe,
+    /// and the dataset-source knob pointed at the directory. Everything else
+    /// keeps the [`CampaignConfig::new`] defaults.
+    #[must_use]
+    pub fn cifar10(model: ModelKind, width: BitWidth, dir: impl Into<PathBuf>) -> Self {
+        Self {
+            spec: SyntheticSpec::cifar10(),
+            train_config: TrainConfig::cifar10_recipe(),
+            dataset: DatasetSource::Cifar10 { dir: dir.into() },
+            ..Self::new(model, width)
         }
     }
 
@@ -145,6 +209,15 @@ impl CampaignConfig {
         self.tile = tile;
         self
     }
+
+    /// Override the dataset source. For `Cifar10` the `spec` must describe
+    /// the CIFAR geometry ([`SyntheticSpec::cifar10`]); campaign preparation
+    /// validates the match.
+    #[must_use]
+    pub fn with_dataset(mut self, dataset: DatasetSource) -> Self {
+        self.dataset = dataset;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +271,41 @@ mod tests {
         assert!(json.contains("\"tile\""));
         let back: CampaignConfig = serde_json::from_str(&json).expect("deserialize");
         assert_eq!(back, non_default);
+    }
+
+    /// The dataset-source knob must be invisible at the default: a
+    /// synthetic-data config serializes without the field (so default-config
+    /// manifests and their content hashes are byte-identical to v4 builds),
+    /// a dataset-less JSON deserializes to `Synthetic`, and a CIFAR source
+    /// round-trips losslessly.
+    #[test]
+    fn dataset_knob_is_backward_compatible() {
+        let default_config = CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W8);
+        let json = serde_json::to_string(&default_config).expect("serialize");
+        assert!(!json.contains("\"dataset\""));
+        let back: CampaignConfig = serde_json::from_str(&json).expect("deserialize");
+        assert!(back.dataset.is_synthetic());
+        assert_eq!(back, default_config);
+
+        let cifar = default_config.clone().with_dataset(DatasetSource::Cifar10 {
+            dir: "/data/cifar-10-batches-bin".into(),
+        });
+        let json = serde_json::to_string(&cifar).expect("serialize");
+        assert!(json.contains("\"dataset\""));
+        let back: CampaignConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, cifar);
+        assert_eq!(back.dataset.label(), "cifar10");
+    }
+
+    #[test]
+    fn cifar10_constructor_sets_geometry_and_recipe() {
+        let c = CampaignConfig::cifar10(ModelKind::VggSmall, BitWidth::W16, "/data/cifar");
+        assert_eq!(c.spec, SyntheticSpec::cifar10());
+        assert_eq!(c.train_config, TrainConfig::cifar10_recipe());
+        assert!(!c.dataset.is_synthetic());
+        let json = serde_json::to_string(&c).expect("serialize");
+        let back: CampaignConfig = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, c);
     }
 
     #[test]

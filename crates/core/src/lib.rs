@@ -36,7 +36,7 @@ pub use campaign::{
     FaultToleranceCampaign, GranularityReport, GranularityRow, NetworkSweepReport, NetworkSweepRow,
     OpTypeReport, OpTypeRow,
 };
-pub use config::CampaignConfig;
+pub use config::{CampaignConfig, DatasetSource};
 pub use energy::{EnergyTableReport, ScalingScheme, VoltageScalingStudy, VoltageSweepReport};
 pub use error::CoreError;
 pub use report::TextTable;

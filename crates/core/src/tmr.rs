@@ -89,6 +89,17 @@ impl fmt::Display for TmrScheme {
 }
 
 /// The fine-grained TMR planner.
+///
+/// **Deprecation note (retired from the campaign path):** this planner
+/// optimizes an *idealized* cost model — faults are masked before they strike
+/// and overhead is the analytic cost of triplicated operations, nothing is
+/// detected or corrected at runtime. It remains the paper's Figure 5 baseline
+/// and the `ideal-TMR` column of `protection_tradeoff` reports, but new
+/// protection assignments should come from the **measured** planner in
+/// `wgft-planner`, which picks per-layer protection (off / range / checksum /
+/// checksum+recompute / TMR) from executed campaign measurements and emits a
+/// loadable `ProtectionProfile`. The parity tests in `wgft-planner` assert
+/// the measured planner dominates or ties this one on the measured frontier.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TmrPlanner {
     /// Fraction of a layer/op-type bucket protected per planning step.

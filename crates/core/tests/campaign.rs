@@ -21,11 +21,64 @@ fn campaign() -> &'static FaultToleranceCampaign {
     })
 }
 
+/// Replicate the 8-record CIFAR-10 fixture `copies` times into `dir` so the
+/// 0.8 train/eval split leaves a usable evaluation set (the loader
+/// concatenates every `*.bin` in sorted order).
+fn replicate_cifar_fixture(dir: &std::path::Path, copies: usize) {
+    let fixture =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../data/fixtures/cifar10-tiny.bin");
+    std::fs::create_dir_all(dir).expect("create fixture dir");
+    for i in 0..copies {
+        std::fs::copy(&fixture, dir.join(format!("batch_{i:02}.bin"))).expect("copy fixture");
+    }
+}
+
 /// A bit error rate in the middle of the accuracy cliff for the tiny model
 /// (roughly a handful of damaging faults per inference).
 const MID_BER: f64 = 1e-4;
 /// A bit error rate high enough to thoroughly corrupt every inference.
 const HIGH_BER: f64 = 1e-3;
+
+/// The dataset-source knob end to end on the checked-in CIFAR-10 fixture:
+/// preparation loads the real binary records, trains with the deterministic
+/// recipe, and every downstream evaluation primitive works unchanged.
+#[test]
+fn cifar10_fixture_campaign_prepares_and_evaluates() {
+    let dir = std::env::temp_dir().join(format!("wgft-cifar-campaign-{}", std::process::id()));
+    replicate_cifar_fixture(&dir, 8);
+    let config = CampaignConfig::cifar10(ModelKind::VggSmall, BitWidth::W16, &dir)
+        .with_images(8)
+        .with_train_config(wgft_nn::TrainConfig {
+            epochs: 1,
+            ..wgft_nn::TrainConfig::cifar10_recipe()
+        });
+    let campaign = FaultToleranceCampaign::prepare(&config).expect("CIFAR campaign must prepare");
+    assert_eq!(campaign.config().dataset.label(), "cifar10");
+    assert_eq!(campaign.eval_set().len(), 8);
+    assert_eq!(campaign.eval_set().num_classes(), 10);
+    assert!((0.0..=1.0).contains(&campaign.clean_accuracy()));
+    // The evaluation primitives run on the real images.
+    let acc = campaign.accuracy_under(
+        ConvAlgorithm::winograd_default(),
+        BitErrorRate::ZERO,
+        &ProtectionPlan::none(),
+    );
+    assert!((acc - campaign.clean_accuracy()).abs() < 1e-12);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A CIFAR dataset source with a non-CIFAR geometry must be rejected before
+/// any training happens, with an error naming the offending parameter.
+#[test]
+fn cifar10_source_rejects_mismatched_spec() {
+    let config = CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W16).with_dataset(
+        wgft_core::DatasetSource::Cifar10 {
+            dir: "/nonexistent".into(),
+        },
+    );
+    let err = FaultToleranceCampaign::prepare(&config).expect_err("tiny spec must be rejected");
+    assert!(err.to_string().contains("cifar10"), "got: {err}");
+}
 
 #[test]
 fn clean_accuracy_beats_chance() {

@@ -53,6 +53,21 @@ impl SyntheticSpec {
         }
     }
 
+    /// The CIFAR-10 geometry: 10 classes of 3-channel 32x32 images. Campaigns
+    /// that load real CIFAR-10 batches use this spec so the zoo networks are
+    /// built with matching input and output dimensions; the noise level only
+    /// matters for the synthetic generator.
+    #[must_use]
+    pub fn cifar10() -> Self {
+        Self {
+            num_classes: 10,
+            channels: 3,
+            height: 32,
+            width: 32,
+            noise: 0.25,
+        }
+    }
+
     /// Number of values per image.
     #[must_use]
     pub fn image_len(&self) -> usize {

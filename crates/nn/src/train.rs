@@ -71,6 +71,21 @@ impl TrainConfig {
             ..Self::default()
         }
     }
+
+    /// The deterministic CIFAR-10 recipe: seeded mini-batch SGD with momentum,
+    /// sized for the small real-data splits the campaigns train on (the
+    /// checked-in fixture in CI, a handful of batch files otherwise). A lower
+    /// learning rate than the synthetic presets keeps the 32x32 nets stable,
+    /// and the fixed shuffle seed makes retraining bit-reproducible.
+    #[must_use]
+    pub fn cifar10_recipe() -> Self {
+        Self {
+            epochs: 6,
+            learning_rate: 0.03,
+            batch_size: 8,
+            ..Self::default()
+        }
+    }
 }
 
 /// Result of a training run.

@@ -1,0 +1,72 @@
+//! Planner errors.
+
+use std::fmt;
+use wgft_abft::ProfileError;
+use wgft_core::CoreError;
+use wgft_sweep::SweepError;
+
+/// Errors producing or validating a measured protection plan.
+#[derive(Debug)]
+pub enum PlannerError {
+    /// The underlying campaign failed (preparation or evaluation).
+    Campaign(CoreError),
+    /// Reading or merging a sweep journal failed.
+    Journal(SweepError),
+    /// Writing, loading or validating the emitted profile failed.
+    Profile(ProfileError),
+    /// The planning request itself is unusable.
+    Invalid {
+        /// What is wrong with it.
+        reason: String,
+    },
+}
+
+impl PlannerError {
+    /// Shorthand for an [`PlannerError::Invalid`] with a formatted reason.
+    #[must_use]
+    pub fn invalid(reason: impl Into<String>) -> Self {
+        PlannerError::Invalid {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for PlannerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlannerError::Campaign(e) => write!(f, "campaign error: {e}"),
+            PlannerError::Journal(e) => write!(f, "journal error: {e}"),
+            PlannerError::Profile(e) => write!(f, "profile error: {e}"),
+            PlannerError::Invalid { reason } => write!(f, "invalid planning request: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for PlannerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlannerError::Campaign(e) => Some(e),
+            PlannerError::Journal(e) => Some(e),
+            PlannerError::Profile(e) => Some(e),
+            PlannerError::Invalid { .. } => None,
+        }
+    }
+}
+
+impl From<CoreError> for PlannerError {
+    fn from(e: CoreError) -> Self {
+        PlannerError::Campaign(e)
+    }
+}
+
+impl From<SweepError> for PlannerError {
+    fn from(e: SweepError) -> Self {
+        PlannerError::Journal(e)
+    }
+}
+
+impl From<ProfileError> for PlannerError {
+    fn from(e: ProfileError) -> Self {
+        PlannerError::Profile(e)
+    }
+}

@@ -1,0 +1,151 @@
+//! Planning from journaled campaign data.
+//!
+//! A `protection_tradeoff` sweep journal (written by `wgft-sweep` /
+//! `wgft-fabric`) already carries the campaign identity (config, BER grid)
+//! and the merged frontier anchors. The planner ingests it, re-prepares the
+//! campaign from the embedded config, and — because every campaign primitive
+//! is deterministic — *cross-checks* that its freshly measured floor and
+//! ceiling anchors are bit-identical to the journaled ones before trusting
+//! the per-layer probes it adds on top. A mismatch means the journal came
+//! from a different build or a tampered run, and planning refuses to proceed.
+
+use crate::{plan_from_table, MeasuredTable, PlannerError};
+use wgft_abft::ProtectionProfile;
+use wgft_core::{CampaignConfig, FaultToleranceCampaign, ProtectionTradeoffReport, TradeoffScheme};
+use wgft_sweep::{merge, Journal, MergedReport, SweepKind};
+use wgft_winograd::ConvAlgorithm;
+
+/// The planning-relevant contents of a `protection_tradeoff` journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalAnchors {
+    /// The campaign identity the journal was recorded under.
+    pub config: CampaignConfig,
+    /// The BER grid the journal swept.
+    pub bers: Vec<f64>,
+    /// The merged frontier (all shards accounted for).
+    pub report: ProtectionTradeoffReport,
+}
+
+/// Open a sweep journal and merge it into frontier anchors.
+///
+/// # Errors
+///
+/// [`PlannerError::Journal`] if the journal cannot be opened, is incomplete
+/// or fails the merge gates; [`PlannerError::Invalid`] if it is not a
+/// `protection_tradeoff` journal.
+pub fn ingest_tradeoff_journal(
+    dir: impl Into<std::path::PathBuf>,
+) -> Result<JournalAnchors, PlannerError> {
+    let journal = Journal::open(dir)?;
+    let manifest = journal.manifest().clone();
+    if !matches!(manifest.kind, SweepKind::ProtectionTradeoff) {
+        return Err(PlannerError::invalid(format!(
+            "journal records a {:?} sweep, not protection_tradeoff — the planner needs \
+             frontier anchors",
+            manifest.kind
+        )));
+    }
+    let completed = journal.completed()?;
+    let report = match merge(&manifest, &completed)? {
+        MergedReport::ProtectionTradeoff(report) => report,
+        _ => {
+            return Err(PlannerError::invalid(
+                "protection_tradeoff journal merged into a different report kind".to_string(),
+            ))
+        }
+    };
+    Ok(JournalAnchors {
+        config: manifest.config,
+        bers: manifest.bers,
+        report,
+    })
+}
+
+impl JournalAnchors {
+    /// The journaled (accuracy, per-image overhead) anchor for `scheme` at
+    /// `ber` under `algo`, if the grid has that BER.
+    #[must_use]
+    pub fn anchor(
+        &self,
+        algo: ConvAlgorithm,
+        ber: f64,
+        scheme: TradeoffScheme,
+    ) -> Option<(f64, f64)> {
+        self.report
+            .rows
+            .iter()
+            .find(|row| row.ber == ber && row.scheme == scheme)
+            .map(|row| match algo {
+                ConvAlgorithm::Standard => (row.standard_accuracy, row.standard_overhead),
+                ConvAlgorithm::Winograd(_) => (row.winograd_accuracy, row.winograd_overhead),
+            })
+    }
+
+    /// Cross-check a freshly measured table against the journaled anchors:
+    /// floor (unprotected) and ceiling (blanket ABFT) must reproduce
+    /// *bit-identically*, accuracy and cost both.
+    ///
+    /// # Errors
+    ///
+    /// [`PlannerError::Invalid`] naming the first anchor that disagrees, or
+    /// reporting a BER absent from the journal's grid.
+    pub fn cross_check(&self, table: &MeasuredTable) -> Result<(), PlannerError> {
+        let checks = [
+            (TradeoffScheme::Unprotected, table.floor_accuracy, 0.0),
+            (
+                TradeoffScheme::Abft,
+                table.ceiling_accuracy,
+                table.ceiling_cost,
+            ),
+        ];
+        for (scheme, accuracy, cost) in checks {
+            let Some((journal_acc, journal_cost)) = self.anchor(table.algo, table.ber, scheme)
+            else {
+                return Err(PlannerError::invalid(format!(
+                    "journal grid {:?} has no cell at BER {:.3e}",
+                    self.bers, table.ber
+                )));
+            };
+            if journal_acc != accuracy || journal_cost != cost {
+                return Err(PlannerError::invalid(format!(
+                    "journaled {scheme} anchor at BER {:.3e} does not reproduce: journal \
+                     ({journal_acc}, {journal_cost} ops/image) vs fresh ({accuracy}, {cost} \
+                     ops/image) — the journal was recorded by a build whose numbers this \
+                     build cannot reproduce",
+                    table.ber
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Plan a profile from a journaled campaign: ingest, re-prepare the
+/// campaign from the embedded config, cross-check the anchors, solve.
+///
+/// `ber` must be one of the journal's grid points (the anchors exist only
+/// there). The emitted profile records the journal's full BER grid as
+/// provenance.
+///
+/// # Errors
+///
+/// Journal/campaign errors propagate; [`PlannerError::Invalid`] if `ber` is
+/// off-grid or the anchors fail the bit-identical cross-check.
+pub fn plan_from_journal(
+    dir: impl Into<std::path::PathBuf>,
+    algo: ConvAlgorithm,
+    ber: f64,
+    target_accuracy: f64,
+) -> Result<ProtectionProfile, PlannerError> {
+    let anchors = ingest_tradeoff_journal(dir)?;
+    if !anchors.bers.contains(&ber) {
+        return Err(PlannerError::invalid(format!(
+            "BER {ber:.3e} is not on the journal's grid {:?}",
+            anchors.bers
+        )));
+    }
+    let campaign = FaultToleranceCampaign::prepare(&anchors.config)?;
+    let table = MeasuredTable::measure(&campaign, algo, ber)?;
+    anchors.cross_check(&table)?;
+    plan_from_table(&campaign, &table, target_accuracy, Some(anchors.bers))
+}

@@ -1,0 +1,52 @@
+//! `wgft-planner` — the measured per-layer protection planner.
+//!
+//! The paper's planning story (and the TMR planner that reproduces its
+//! Figure 5) sizes protection against an *idealized* cost model. This crate
+//! replaces that with measurement: it executes a per-layer probe grid on a
+//! [`FaultToleranceCampaign`] — every protection level of every compute
+//! layer, accuracy under injected faults, cost off the ABFT event counters —
+//! and solves *exactly* for the per-layer assignment that reaches a target
+//! accuracy-under-BER at minimum measured cost. The result ships as a
+//! versioned, serde-serializable [`ProtectionProfile`] (defined in
+//! `wgft-abft`) that records its own provenance and that the serving daemon
+//! loads with `wgft-serve --profile`.
+//!
+//! Pipeline:
+//!
+//! 1. **Measure** ([`MeasuredTable::measure`]): floor (unprotected) and
+//!    ceiling (blanket checksum+recompute) anchors, then one campaign
+//!    evaluation per (layer, choice) cell over
+//!    {off, range, checksum, checksum+recompute, idealized TMR}.
+//! 2. **Solve** ([`solve_exact`] / [`solve_greedy`]): measured gains are
+//!    exact multiples of `1/images`, so hitting the target is an integer
+//!    covering problem a small dynamic program solves optimally; the greedy
+//!    ratio heuristic runs alongside and the gap is reported.
+//! 3. **Replay** ([`plan_profile`]): the chosen composition is executed once
+//!    more as a single campaign evaluation, so the profile's
+//!    `achieved_accuracy` and `total_cost` are measurements of the actual
+//!    assignment, not additive-model predictions.
+//!
+//! Campaign data can come from a live in-process campaign or from a
+//! `protection_tradeoff` sweep journal ([`plan_from_journal`]), in which case
+//! the freshly measured anchors are cross-checked bit-identical against the
+//! journaled ones before the plan is trusted.
+
+mod error;
+mod journal;
+mod measure;
+mod plan;
+mod solve;
+
+pub use error::PlannerError;
+pub use journal::{ingest_tradeoff_journal, plan_from_journal, JournalAnchors};
+pub use measure::MeasuredTable;
+pub use plan::{plan_from_table, plan_profile, PlanRequest};
+pub use solve::{solve_exact, solve_greedy, Assignment};
+
+// Re-export the artifact types so planner users need not depend on
+// `wgft-abft` directly for the common path.
+pub use wgft_abft::{
+    LayerChoice, MeasuredDelta, ProfileError, ProfileProvenance, ProtectionProfile,
+};
+#[doc(no_inline)]
+pub use wgft_core::FaultToleranceCampaign;

@@ -1,0 +1,138 @@
+//! The measured per-layer cost/benefit table the solver optimizes over.
+//!
+//! Every cell is *executed*, not modelled: a probe campaign evaluation with
+//! exactly one layer protected at one level, its accuracy read off the same
+//! deterministic fault streams every other campaign primitive uses, and its
+//! cost read off the ABFT event counters (idealized TMR cells, which run no
+//! detection machinery, are charged the analytic two extra copies of the
+//! layer's arithmetic — the same convention as the `ideal-TMR` column of the
+//! protection-tradeoff frontier).
+
+use crate::PlannerError;
+use wgft_abft::{AbftEvents, AbftPolicy, LayerChoice, MeasuredDelta};
+use wgft_core::{scheme_overhead, weighted_cost, FaultToleranceCampaign, TradeoffScheme};
+use wgft_faultsim::{BitErrorRate, OpType, ProtectionPlan};
+use wgft_winograd::ConvAlgorithm;
+
+/// The measured planning inputs at one (algorithm, BER) point: the floor and
+/// ceiling anchors plus one [`MeasuredDelta`] per (layer, choice) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasuredTable {
+    /// Convolution algorithm every cell executed under.
+    pub algo: ConvAlgorithm,
+    /// Bit error rate every cell was measured at.
+    pub ber: f64,
+    /// Evaluation images every accuracy averaged over.
+    pub images: usize,
+    /// Number of compute layers (the assignment length).
+    pub layer_count: usize,
+    /// Unprotected accuracy — the floor anchor.
+    pub floor_accuracy: f64,
+    /// Blanket checksum+recompute accuracy — the executable ceiling anchor.
+    pub ceiling_accuracy: f64,
+    /// Measured per-image cost of the blanket checksum+recompute ceiling.
+    pub ceiling_cost: f64,
+    /// Analytic per-image cost of blanket idealized TMR.
+    pub idealized_tmr_cost: f64,
+    /// All (layer, choice) cells, layer-major in [`LayerChoice::all`] order.
+    pub deltas: Vec<MeasuredDelta>,
+}
+
+impl MeasuredTable {
+    /// Execute the full probe grid: the two anchors plus one evaluation per
+    /// (layer, non-trivial choice) cell.
+    ///
+    /// # Errors
+    ///
+    /// [`PlannerError::Invalid`] if `ber` is not a probability.
+    pub fn measure(
+        campaign: &FaultToleranceCampaign,
+        algo: ConvAlgorithm,
+        ber: f64,
+    ) -> Result<Self, PlannerError> {
+        let ber_t = BitErrorRate::try_new(ber)
+            .map_err(|e| PlannerError::invalid(format!("bad bit error rate: {e}")))?;
+        let none = ProtectionPlan::none();
+        let images = campaign.eval_set().len();
+        let layer_ops = campaign.quantized().layer_op_counts(algo);
+        let layer_count = layer_ops.len();
+
+        let floor_accuracy = campaign.accuracy_under(algo, ber_t, &none);
+        let (ceiling_accuracy, ceiling_events) =
+            campaign.accuracy_under_abft(algo, ber_t, &none, &AbftPolicy::checksum());
+        let exec_ops = campaign.quantized().total_op_count(algo);
+        let ceiling_cost = scheme_overhead(TradeoffScheme::Abft, &ceiling_events, exec_ops, images);
+        let idealized_tmr_cost = scheme_overhead(
+            TradeoffScheme::IdealizedTmr,
+            &AbftEvents::new(),
+            exec_ops,
+            images,
+        );
+
+        let mut deltas = Vec::with_capacity(layer_count * LayerChoice::all().len());
+        for (layer, ops) in layer_ops.iter().enumerate() {
+            for choice in LayerChoice::all() {
+                let (accuracy, cost) = match choice {
+                    LayerChoice::Off => (floor_accuracy, 0.0),
+                    LayerChoice::Tmr => {
+                        let mut plan = ProtectionPlan::none();
+                        for op in OpType::all() {
+                            plan.protect_fraction(layer, op, 1.0)
+                                .expect("fraction 1.0 is always valid");
+                        }
+                        let accuracy = campaign.accuracy_under(algo, ber_t, &plan);
+                        (accuracy, 2.0 * weighted_cost(*ops))
+                    }
+                    LayerChoice::Range | LayerChoice::Checksum | LayerChoice::ChecksumRecompute => {
+                        let mode = choice
+                            .abft_mode()
+                            .expect("executable choices map to an ABFT mode");
+                        let policy = AbftPolicy::off()
+                            .with_layer_mode(layer, mode)
+                            .with_recompute(choice == LayerChoice::ChecksumRecompute);
+                        let (accuracy, events) =
+                            campaign.accuracy_under_abft(algo, ber_t, &none, &policy);
+                        (
+                            accuracy,
+                            weighted_cost(events.overhead) / images.max(1) as f64,
+                        )
+                    }
+                };
+                deltas.push(MeasuredDelta {
+                    layer,
+                    choice,
+                    accuracy,
+                    gain: accuracy - floor_accuracy,
+                    cost,
+                });
+            }
+        }
+
+        Ok(Self {
+            algo,
+            ber,
+            images,
+            layer_count,
+            floor_accuracy,
+            ceiling_accuracy,
+            ceiling_cost,
+            idealized_tmr_cost,
+            deltas,
+        })
+    }
+
+    /// The measured cell for `(layer, choice)`.
+    #[must_use]
+    pub fn cell(&self, layer: usize, choice: LayerChoice) -> Option<&MeasuredDelta> {
+        self.deltas
+            .iter()
+            .find(|d| d.layer == layer && d.choice == choice)
+    }
+
+    /// Accuracy gains are exact multiples of `1/images` (they are counts of
+    /// correct images); this converts a gain back to its integer count.
+    #[must_use]
+    pub fn gain_count(&self, gain: f64) -> i64 {
+        (gain * self.images as f64).round() as i64
+    }
+}

@@ -1,0 +1,145 @@
+//! Profile synthesis: measure, solve, replay, package.
+
+use crate::{solve_exact, solve_greedy, MeasuredTable, PlannerError};
+use wgft_abft::{AbftEvents, ProfileProvenance, ProtectionProfile, PROFILE_VERSION};
+use wgft_core::{weighted_cost, FaultToleranceCampaign};
+use wgft_faultsim::BitErrorRate;
+use wgft_sweep::fnv1a64;
+use wgft_winograd::ConvAlgorithm;
+
+/// What to plan: the operating point and the accuracy the assignment must
+/// reach there.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlanRequest {
+    /// Convolution algorithm the deployment executes.
+    pub algo: ConvAlgorithm,
+    /// Bit error rate to plan at.
+    pub ber: f64,
+    /// Accuracy the assignment must reach at `ber`.
+    pub target_accuracy: f64,
+}
+
+impl PlanRequest {
+    /// A request at the winograd default algorithm.
+    #[must_use]
+    pub fn new(ber: f64, target_accuracy: f64) -> Self {
+        Self {
+            algo: ConvAlgorithm::winograd_default(),
+            ber,
+            target_accuracy,
+        }
+    }
+
+    fn validate(&self) -> Result<(), PlannerError> {
+        if !self.target_accuracy.is_finite() || !(0.0..=1.0).contains(&self.target_accuracy) {
+            return Err(PlannerError::invalid(format!(
+                "target accuracy {} is not a probability",
+                self.target_accuracy
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Measure the per-layer table on `campaign` and synthesize a
+/// [`ProtectionProfile`] for `request`.
+///
+/// The profile's `achieved_accuracy` / `total_cost` are *replayed*: the
+/// composed assignment (per-layer ABFT modes + TMR fractions) is executed as
+/// one campaign evaluation, so the recorded numbers are measurements of the
+/// actual composition, not sums of single-layer cells.
+///
+/// # Errors
+///
+/// [`PlannerError::Invalid`] for out-of-range request parameters.
+pub fn plan_profile(
+    campaign: &FaultToleranceCampaign,
+    request: PlanRequest,
+) -> Result<ProtectionProfile, PlannerError> {
+    request.validate()?;
+    let table = MeasuredTable::measure(campaign, request.algo, request.ber)?;
+    plan_from_table(campaign, &table, request.target_accuracy, None)
+}
+
+/// Synthesize a profile from an already-measured table.
+///
+/// `ber_grid` overrides the provenance BER grid (used by the journal path to
+/// record the full grid the source campaign swept); `None` records just the
+/// planning BER.
+///
+/// # Errors
+///
+/// [`PlannerError::Invalid`] for out-of-range request parameters.
+pub fn plan_from_table(
+    campaign: &FaultToleranceCampaign,
+    table: &MeasuredTable,
+    target_accuracy: f64,
+    ber_grid: Option<Vec<f64>>,
+) -> Result<ProtectionProfile, PlannerError> {
+    PlanRequest {
+        algo: table.algo,
+        ber: table.ber,
+        target_accuracy,
+    }
+    .validate()?;
+    let exact = solve_exact(table, target_accuracy);
+    let greedy = solve_greedy(table, target_accuracy);
+    let optimality_gap = (greedy.predicted_cost - exact.predicted_cost).max(0.0);
+
+    let config = campaign.config();
+    let config_json = serde_json::to_string(config)
+        .map_err(|e| PlannerError::invalid(format!("config does not serialize: {e}")))?;
+
+    let mut profile = ProtectionProfile {
+        version: PROFILE_VERSION,
+        model: campaign.quantized().name().to_string(),
+        width: config.width.to_string(),
+        algo: table.algo.label().to_string(),
+        ber: table.ber,
+        target_accuracy,
+        predicted_accuracy: exact.predicted_accuracy,
+        achieved_accuracy: 0.0,
+        floor_accuracy: table.floor_accuracy,
+        ceiling_accuracy: table.ceiling_accuracy,
+        total_cost: 0.0,
+        ceiling_cost: table.ceiling_cost,
+        idealized_tmr_cost: table.idealized_tmr_cost,
+        greedy_cost: greedy.predicted_cost,
+        optimality_gap,
+        layers: exact.layers,
+        provenance: ProfileProvenance {
+            config_hash: format!("{:016x}", fnv1a64(config_json.as_bytes())),
+            dataset: config.dataset.label().to_string(),
+            ber_grid: ber_grid.unwrap_or_else(|| vec![table.ber]),
+            images: table.images,
+            deltas: table.deltas.clone(),
+        },
+    };
+
+    // Replay the composed assignment for the honest numbers.
+    let ber_t = BitErrorRate::try_new(table.ber)
+        .map_err(|e| PlannerError::invalid(format!("bad bit error rate: {e}")))?;
+    let policy = profile.policy();
+    let plan = profile.plan();
+    let (achieved, events) = if policy.is_off() {
+        (
+            campaign.accuracy_under(table.algo, ber_t, &plan),
+            AbftEvents::new(),
+        )
+    } else {
+        campaign.accuracy_under_abft(table.algo, ber_t, &plan, &policy)
+    };
+    let layer_ops = campaign.quantized().layer_op_counts(table.algo);
+    let tmr_cost: f64 = profile
+        .layers
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| **c == wgft_abft::LayerChoice::Tmr)
+        .map(|(layer, _)| 2.0 * weighted_cost(layer_ops[layer]))
+        .sum();
+    profile.achieved_accuracy = achieved;
+    profile.total_cost = weighted_cost(events.overhead) / table.images.max(1) as f64 + tmr_cost;
+
+    profile.validate()?;
+    Ok(profile)
+}

@@ -1,0 +1,341 @@
+//! Solvers over the measured table: an exact dynamic program and the greedy
+//! fallback it is benchmarked against.
+//!
+//! The key structural fact: measured accuracies are counts of correct images
+//! divided by the evaluation-set size, so every gain is an exact multiple of
+//! `1/images`. That turns target-hitting into an integer covering problem —
+//! "collect at least `need` extra correct images at minimum measured cost" —
+//! which a small dynamic program over (layer, collected-count) solves
+//! *exactly*. The greedy solver (best gain-per-cost upgrade first) is kept
+//! both as the fallback for degenerate tables and as the yardstick for the
+//! reported optimality gap.
+
+use crate::MeasuredTable;
+use wgft_abft::LayerChoice;
+
+/// One solver's chosen assignment and its predicted (additive-model) numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Chosen protection level per compute layer.
+    pub layers: Vec<LayerChoice>,
+    /// `floor + sum of chosen measured gains` — the additive prediction.
+    pub predicted_accuracy: f64,
+    /// Sum of chosen measured per-image cell costs.
+    pub predicted_cost: f64,
+    /// Whether the additive model predicts the target is reached.
+    pub feasible: bool,
+}
+
+/// Per-layer candidate upgrades: only cells whose measured gain is a strict
+/// improvement over doing nothing (`Off` dominates every zero/negative-gain
+/// cell at zero cost).
+fn candidates(table: &MeasuredTable) -> Vec<Vec<(LayerChoice, i64, f64)>> {
+    (0..table.layer_count)
+        .map(|layer| {
+            LayerChoice::all()
+                .into_iter()
+                .filter_map(|choice| {
+                    let cell = table.cell(layer, choice)?;
+                    let count = table.gain_count(cell.gain);
+                    (count > 0).then_some((choice, count, cell.cost))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The number of extra correct images required to lift the floor to `target`.
+fn needed_count(table: &MeasuredTable, target: f64) -> i64 {
+    let deficit = (target - table.floor_accuracy) * table.images as f64;
+    // Guard against float fuzz: a deficit within 1e-9 of an integer is that
+    // integer (both terms are exact multiples of 1/images).
+    (deficit - 1e-9).ceil().max(0.0) as i64
+}
+
+/// Fill in an assignment's predicted numbers from the table.
+fn finish(table: &MeasuredTable, target: f64, layers: Vec<LayerChoice>) -> Assignment {
+    let mut gain = 0.0;
+    let mut cost = 0.0;
+    for (layer, choice) in layers.iter().enumerate() {
+        if let Some(cell) = table.cell(layer, *choice) {
+            gain += cell.gain;
+            cost += cell.cost;
+        }
+    }
+    let predicted_accuracy = table.floor_accuracy + gain;
+    Assignment {
+        layers,
+        predicted_accuracy,
+        predicted_cost: cost,
+        feasible: table.gain_count(gain) >= needed_count(table, target),
+    }
+}
+
+/// Exact minimum-cost assignment: a dynamic program over collected gain
+/// counts, clamped at the needed count.
+///
+/// If even protecting everything cannot predict the target (the additive
+/// model says the target is out of reach at this BER), the best-gain
+/// assignment is returned with `feasible == false` — cheapest among the
+/// maximum-gain ones.
+#[must_use]
+pub fn solve_exact(table: &MeasuredTable, target: f64) -> Assignment {
+    let need = needed_count(table, target);
+    if need == 0 {
+        return finish(table, target, vec![LayerChoice::Off; table.layer_count]);
+    }
+    let options = candidates(table);
+    let max_total: i64 = options
+        .iter()
+        .map(|o| o.iter().map(|&(_, c, _)| c).max().unwrap_or(0))
+        .sum();
+    if max_total < need {
+        // Infeasible: take the max-gain (then min-cost) cell of every layer.
+        let layers = options
+            .iter()
+            .map(|opts| {
+                opts.iter()
+                    .fold((LayerChoice::Off, 0i64, 0.0f64), |best, &(ch, c, cost)| {
+                        if c > best.1 || (c == best.1 && cost < best.2) {
+                            (ch, c, cost)
+                        } else {
+                            best
+                        }
+                    })
+                    .0
+            })
+            .collect();
+        return finish(table, target, layers);
+    }
+
+    // dp[g] = cheapest (cost, choices-so-far) collecting at least `g` counts,
+    // g clamped to `need`. Tables are tiny (layers x images), so carrying the
+    // choice vector per state is simpler than backpointers and still cheap.
+    let need_us = usize::try_from(need).expect("needed count fits usize");
+    let mut dp: Vec<Option<(f64, Vec<LayerChoice>)>> = vec![None; need_us + 1];
+    dp[0] = Some((0.0, Vec::new()));
+    for opts in &options {
+        let mut next: Vec<Option<(f64, Vec<LayerChoice>)>> = vec![None; need_us + 1];
+        for (g, state) in dp.iter().enumerate() {
+            let Some((cost, choices)) = state else {
+                continue;
+            };
+            let mut extend = |choice: LayerChoice, dg: i64, dc: f64| {
+                let g2 = (g + usize::try_from(dg).expect("gain counts are positive")).min(need_us);
+                let c2 = cost + dc;
+                if next[g2].as_ref().is_none_or(|(best, _)| c2 < *best) {
+                    let mut chosen = choices.clone();
+                    chosen.push(choice);
+                    next[g2] = Some((c2, chosen));
+                }
+            };
+            extend(LayerChoice::Off, 0, 0.0);
+            for &(choice, dg, dc) in opts {
+                extend(choice, dg, dc);
+            }
+        }
+        dp = next;
+    }
+    let (_, layers) = dp[need_us]
+        .clone()
+        .expect("feasibility checked: the all-max assignment reaches `need`");
+    finish(table, target, layers)
+}
+
+/// Greedy fallback: repeatedly apply the upgrade with the best
+/// gain-per-cost ratio until the predicted target is met or no upgrade
+/// helps. Exact-matching behaviour is not guaranteed — that is the point:
+/// the difference against [`solve_exact`] is the reported optimality gap.
+#[must_use]
+pub fn solve_greedy(table: &MeasuredTable, target: f64) -> Assignment {
+    let need = needed_count(table, target);
+    let options = candidates(table);
+    let mut layers = vec![LayerChoice::Off; table.layer_count];
+    let mut cur_gain = vec![0i64; table.layer_count];
+    let mut cur_cost = vec![0.0f64; table.layer_count];
+    let mut total: i64 = 0;
+    while total < need {
+        let mut best: Option<(usize, LayerChoice, i64, f64, f64)> = None;
+        for (layer, opts) in options.iter().enumerate() {
+            for &(choice, count, cost) in opts {
+                let dg = count - cur_gain[layer];
+                if dg <= 0 {
+                    continue;
+                }
+                let dc = cost - cur_cost[layer];
+                let ratio = if dc <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    dg as f64 / dc
+                };
+                let better = match &best {
+                    None => true,
+                    Some((_, _, bdg, _, bratio)) => {
+                        ratio > *bratio || (ratio == *bratio && dg > *bdg)
+                    }
+                };
+                if better {
+                    best = Some((layer, choice, dg, cost - cur_cost[layer], ratio));
+                }
+            }
+        }
+        let Some((layer, choice, dg, _, _)) = best else {
+            break; // no upgrade gains anything — infeasible
+        };
+        layers[layer] = choice;
+        cur_gain[layer] += dg;
+        cur_cost[layer] = table
+            .cell(layer, choice)
+            .map(|c| c.cost)
+            .unwrap_or(cur_cost[layer]);
+        total += dg;
+    }
+    finish(table, target, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wgft_abft::MeasuredDelta;
+    use wgft_winograd::ConvAlgorithm;
+
+    /// Hand-built table: 3 layers, 8 images. Gains in counts:
+    ///   layer 0: range +1 @ 10, checksum +2 @ 100, cr +3 @ 120, tmr +3 @ 900
+    ///   layer 1: range +0 @ 5, checksum +2 @ 30, cr +2 @ 40, tmr +2 @ 800
+    ///   layer 2: range -1 @ 2, checksum +1 @ 60, cr +1 @ 70, tmr +1 @ 700
+    fn table() -> MeasuredTable {
+        let floor = 0.5;
+        let images = 8usize;
+        let cells: &[(usize, LayerChoice, i64, f64)] = &[
+            (0, LayerChoice::Range, 1, 10.0),
+            (0, LayerChoice::Checksum, 2, 100.0),
+            (0, LayerChoice::ChecksumRecompute, 3, 120.0),
+            (0, LayerChoice::Tmr, 3, 900.0),
+            (1, LayerChoice::Range, 0, 5.0),
+            (1, LayerChoice::Checksum, 2, 30.0),
+            (1, LayerChoice::ChecksumRecompute, 2, 40.0),
+            (1, LayerChoice::Tmr, 2, 800.0),
+            (2, LayerChoice::Range, -1, 2.0),
+            (2, LayerChoice::Checksum, 1, 60.0),
+            (2, LayerChoice::ChecksumRecompute, 1, 70.0),
+            (2, LayerChoice::Tmr, 1, 700.0),
+        ];
+        let mut deltas = Vec::new();
+        for layer in 0..3 {
+            deltas.push(MeasuredDelta {
+                layer,
+                choice: LayerChoice::Off,
+                accuracy: floor,
+                gain: 0.0,
+                cost: 0.0,
+            });
+        }
+        for &(layer, choice, count, cost) in cells {
+            let gain = count as f64 / images as f64;
+            deltas.push(MeasuredDelta {
+                layer,
+                choice,
+                accuracy: floor + gain,
+                gain,
+                cost,
+            });
+        }
+        MeasuredTable {
+            algo: ConvAlgorithm::winograd_default(),
+            ber: 3e-4,
+            images,
+            layer_count: 3,
+            floor_accuracy: floor,
+            ceiling_accuracy: floor + 6.0 / 8.0,
+            ceiling_cost: 260.0,
+            idealized_tmr_cost: 2400.0,
+            deltas,
+        }
+    }
+
+    #[test]
+    fn trivial_target_plans_all_off() {
+        let t = table();
+        let exact = solve_exact(&t, t.floor_accuracy);
+        assert!(exact.feasible);
+        assert!(exact.layers.iter().all(|c| *c == LayerChoice::Off));
+        assert_eq!(exact.predicted_cost, 0.0);
+    }
+
+    #[test]
+    fn exact_beats_greedy_where_ratios_mislead() {
+        // Need +4 counts. Cheapest cover: range(0)=1 @ 10 + checksum(1)=2
+        // @ 30 + checksum(2)=1 @ 60 — 4 counts at 100. Every two-layer
+        // combination reaching 4 costs more (checksum(0)+checksum(1) = 130,
+        // cr(0)+checksum(1) = 150). Exact must find 100.
+        let t = table();
+        let target = t.floor_accuracy + 4.0 / 8.0;
+        let exact = solve_exact(&t, target);
+        assert!(exact.feasible, "4 extra counts are reachable");
+        assert!(
+            (exact.predicted_cost - 100.0).abs() < 1e-9,
+            "exact cost {} != 100",
+            exact.predicted_cost
+        );
+        assert_eq!(exact.layers[0], LayerChoice::Range);
+        assert_eq!(exact.layers[1], LayerChoice::Checksum);
+        assert_eq!(exact.layers[2], LayerChoice::Checksum);
+
+        // Greedy grabs the best-ratio upgrades (range(0): 1/10, checksum(1):
+        // 2/30) then must close the last count with a pricier step — it can
+        // only tie or lose.
+        let greedy = solve_greedy(&t, target);
+        assert!(greedy.feasible);
+        assert!(greedy.predicted_cost >= exact.predicted_cost - 1e-12);
+        assert!(
+            greedy.predicted_cost > exact.predicted_cost,
+            "this table is built to mislead ratio-greedy (greedy {} vs exact {})",
+            greedy.predicted_cost,
+            exact.predicted_cost
+        );
+    }
+
+    #[test]
+    fn negative_gain_cells_are_never_chosen() {
+        let t = table();
+        for target in [0.6, 0.8, 1.0] {
+            let exact = solve_exact(&t, target);
+            assert_ne!(exact.layers[2], LayerChoice::Range);
+            let greedy = solve_greedy(&t, target);
+            assert_ne!(greedy.layers[2], LayerChoice::Range);
+        }
+    }
+
+    #[test]
+    fn infeasible_targets_return_best_effort() {
+        let t = table();
+        // Max reachable: 3 + 2 + 1 = 6 counts; ask for 7.
+        let target = t.floor_accuracy + 7.0 / 8.0;
+        let exact = solve_exact(&t, target);
+        assert!(!exact.feasible);
+        assert_eq!(exact.layers[0], LayerChoice::ChecksumRecompute);
+        assert_eq!(exact.layers[1], LayerChoice::Checksum);
+        assert_eq!(exact.layers[2], LayerChoice::Checksum);
+        let greedy = solve_greedy(&t, target);
+        assert!(!greedy.feasible);
+    }
+
+    #[test]
+    fn exact_never_costs_more_than_greedy_across_the_grid() {
+        let t = table();
+        for need in 0..=6 {
+            let target = t.floor_accuracy + need as f64 / 8.0;
+            let exact = solve_exact(&t, target);
+            let greedy = solve_greedy(&t, target);
+            assert!(exact.feasible, "need {need} is within the table's reach");
+            if greedy.feasible {
+                assert!(
+                    exact.predicted_cost <= greedy.predicted_cost + 1e-12,
+                    "need {need}: exact {} > greedy {}",
+                    exact.predicted_cost,
+                    greedy.predicted_cost
+                );
+            }
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //!                   [--tenants free=fast,gold=checksum_recompute]
 //!                   [--default-tier TIER] [--max-batch N] [--max-delay-ms N]
 //!                   [--max-queue N] [--soft-watermark N]
-//!                   [--chaos ber=B,seed=S] [--quiet]
+//!                   [--profile FILE] [--chaos ber=B,seed=S] [--quiet]
 //! wgft-serve load   (--connect ADDR | --connect-file FILE)
 //!                   [--tenants free,gold] [--threads N]
 //!                   [--requests N] [--seed S] [--retry-attempts N]
@@ -54,11 +54,12 @@ fn usage() -> &'static str {
         "                  [--width 8|16] [--scale test|full] [--images N]\n",
         "                  [--seed S] [--cache-dir DIR] [--algo standard|winograd]\n",
         "                  [--tenants free=fast,gold=checksum_recompute]\n",
-        "                  [--default-tier fast|range|checksum|checksum_recompute]\n",
+        "                  [--default-tier fast|range|checksum|profile|checksum_recompute]\n",
         "                  [--max-batch N] [--max-delay-ms N] [--max-queue N]\n",
         "                  [--soft-watermark N] [--escalate-detected N]\n",
         "                  [--escalate-uncorrected N] [--escalate-window-ms MS]\n",
-        "                  [--escalate-max-level N] [--chaos ber=B,seed=S] [--quiet]\n",
+        "                  [--escalate-max-level N] [--profile FILE]\n",
+        "                  [--chaos ber=B,seed=S] [--quiet]\n",
         "wgft-serve load   (--connect ADDR | --connect-file FILE)\n",
         "                  [--tenants free,gold] [--threads N]\n",
         "                  [--requests N] [--seed S] [--retry-attempts N]\n",
@@ -292,12 +293,23 @@ fn cmd_daemon(args: &Args) -> Result<(), String> {
             if chaos.is_some() { " with chaos" } else { "" },
         );
     }
-    let engine = ServeEngine::prepare(&campaign_config, algo, chaos).map_err(|e| e.to_string())?;
+    let profile = args
+        .get("--profile")
+        .map(|path| {
+            wgft_abft::ProtectionProfile::load(path)
+                .map_err(|e| format!("loading profile `{path}`: {e}"))
+        })
+        .transpose()?;
+    let engine = ServeEngine::prepare_with_profile(&campaign_config, algo, chaos, profile)
+        .map_err(|e| e.to_string())?;
     if !quiet {
         eprintln!(
             "[wgft-serve] model ready, clean accuracy {:.4}",
             engine.clean_accuracy()
         );
+        if let Some(hash) = engine.profile_hash() {
+            eprintln!("[wgft-serve] protection profile loaded (hash {hash})");
+        }
     }
     let mut daemon = ServeDaemon::spawn(engine, serve_config, Arc::new(SystemClock::new()), listen)
         .map_err(|e| e.to_string())?;

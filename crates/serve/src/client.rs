@@ -37,6 +37,8 @@ pub struct HealthReport {
     pub clean_accuracy: f64,
     /// Whether chaos injection is active.
     pub chaos: bool,
+    /// Identity hash of the loaded planner profile, if any.
+    pub profile_hash: Option<String>,
     /// Current escalation level.
     pub escalation_level: u32,
 }
@@ -192,6 +194,7 @@ impl ServeClient {
                 algo,
                 clean_accuracy,
                 chaos,
+                profile_hash,
                 escalation_level,
                 ..
             } => Ok(HealthReport {
@@ -199,6 +202,7 @@ impl ServeClient {
                 algo,
                 clean_accuracy,
                 chaos,
+                profile_hash,
                 escalation_level,
             }),
             ServeResponse::Error { message } => Err(ServeError::Server(message)),

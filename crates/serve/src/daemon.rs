@@ -79,6 +79,7 @@ struct EngineMeta {
     algo: String,
     clean_accuracy: f64,
     chaos: bool,
+    profile_hash: Option<String>,
     image_shape: Shape,
     image_len: usize,
 }
@@ -191,6 +192,7 @@ impl DaemonShared {
                 algo: self.meta.algo.clone(),
                 clean_accuracy: self.meta.clean_accuracy,
                 chaos: self.meta.chaos,
+                profile_hash: self.meta.profile_hash.clone(),
                 escalation_level: self.level(),
                 tenants: self.tenant_tiers(),
             },
@@ -244,6 +246,7 @@ impl ServeDaemon {
             algo: engine.algo_label().to_string(),
             clean_accuracy: engine.clean_accuracy(),
             chaos: engine.chaos_active(),
+            profile_hash: engine.profile_hash().map(str::to_string),
             image_shape: engine.image_shape(),
             image_len: engine.image_len(),
         };
@@ -385,11 +388,15 @@ fn worker_loop(mut engine: ServeEngine, mut monitor: EscalationMonitor, shared: 
 
         for (job, effective, promoted) in singles {
             let started = Instant::now();
-            let outcome = match effective.policy() {
-                None => engine
-                    .classify_fast_chaos(job.request_id, &job.image)
-                    .map(|prediction| (prediction, AbftEvents::new())),
-                Some(policy) => engine.classify_protected(job.request_id, &job.image, &policy),
+            let outcome = if effective == ProtectionTier::Profile {
+                engine.classify_profiled(job.request_id, &job.image)
+            } else {
+                match effective.policy() {
+                    None => engine
+                        .classify_fast_chaos(job.request_id, &job.image)
+                        .map(|prediction| (prediction, AbftEvents::new())),
+                    Some(policy) => engine.classify_protected(job.request_id, &job.image, &policy),
+                }
             };
             let service_us = started.elapsed().as_micros() as u64;
             match outcome {

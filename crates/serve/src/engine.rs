@@ -16,9 +16,11 @@
 //!   is off: the protected tiers still pay their detection overhead, which
 //!   is exactly what the per-tier latency numbers are for).
 
-use wgft_abft::{AbftEvents, AbftPolicy, AbftScratch};
+use wgft_abft::{AbftEvents, AbftPolicy, AbftScratch, ProtectionProfile};
 use wgft_core::{CampaignConfig, FaultToleranceCampaign};
-use wgft_faultsim::{BitErrorRate, FaultConfig, FaultyArithmetic, GemmFaultInjector};
+use wgft_faultsim::{
+    BitErrorRate, FaultConfig, FaultyArithmetic, GemmFaultInjector, ProtectionPlan,
+};
 use wgft_nn::{FastInference, NnError};
 use wgft_tensor::Tensor;
 use wgft_winograd::ConvAlgorithm;
@@ -54,6 +56,18 @@ pub struct ServeEngine {
     scratch: AbftScratch,
     chaos: Option<ChaosConfig>,
     config_json: String,
+    /// The loaded planner profile (tier `profile`), pre-resolved into the
+    /// executable policy + idealized-TMR plan it serves under, plus its
+    /// identity hash for `Health`.
+    profile: Option<LoadedProfile>,
+}
+
+/// A `ProtectionProfile` resolved into its serving form once at prepare
+/// time, so the hot path never re-derives policies.
+struct LoadedProfile {
+    policy: AbftPolicy,
+    plan: ProtectionPlan,
+    hash: String,
 }
 
 impl ServeEngine {
@@ -69,6 +83,23 @@ impl ServeEngine {
         algo: ConvAlgorithm,
         chaos: Option<ChaosConfig>,
     ) -> Result<Self, ServeError> {
+        Self::prepare_with_profile(config, algo, chaos, None)
+    }
+
+    /// [`ServeEngine::prepare`] plus a planner [`ProtectionProfile`] for the
+    /// `profile` tier. The profile must validate and must assign exactly the
+    /// served network's compute layers; its recorded model name must match.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Prepare`] if campaign preparation fails or the profile
+    /// does not fit the served model.
+    pub fn prepare_with_profile(
+        config: &CampaignConfig,
+        algo: ConvAlgorithm,
+        chaos: Option<ChaosConfig>,
+        profile: Option<ProtectionProfile>,
+    ) -> Result<Self, ServeError> {
         let config_json = serde_json::to_string(config)
             .map_err(|e| ServeError::Prepare(format!("config serialization: {e}")))?;
         let campaign = FaultToleranceCampaign::prepare(config)
@@ -80,6 +111,33 @@ impl ServeEngine {
         // Force the lazy ABFT calibration now: the protected tiers must not
         // pay it on their first request.
         let _ = campaign.abft_calibration(algo);
+        let profile = profile
+            .map(|profile| {
+                profile
+                    .validate()
+                    .map_err(|e| ServeError::Prepare(format!("profile: {e}")))?;
+                let layers = campaign.quantized().compute_layer_count();
+                if profile.layers.len() != layers {
+                    return Err(ServeError::Prepare(format!(
+                        "profile assigns {} layers but the served model has {layers} \
+                         compute layers",
+                        profile.layers.len()
+                    )));
+                }
+                if profile.model != campaign.quantized().name() {
+                    return Err(ServeError::Prepare(format!(
+                        "profile was planned for model `{}`, the daemon serves `{}`",
+                        profile.model,
+                        campaign.quantized().name()
+                    )));
+                }
+                Ok(LoadedProfile {
+                    policy: profile.policy(),
+                    plan: profile.plan(),
+                    hash: profile.hash(),
+                })
+            })
+            .transpose()?;
         Ok(Self {
             campaign,
             algo,
@@ -87,6 +145,7 @@ impl ServeEngine {
             scratch: AbftScratch::new(),
             chaos,
             config_json,
+            profile,
         })
     }
 
@@ -197,6 +256,59 @@ impl ServeEngine {
                 injector.corrupt_i64(acc);
             },
         )
+    }
+
+    /// Identity hash of the loaded planner profile, if any (served by
+    /// `Health`).
+    #[must_use]
+    pub fn profile_hash(&self) -> Option<&str> {
+        self.profile.as_ref().map(|p| p.hash.as_str())
+    }
+
+    /// Classify one image under the loaded planner profile's measured
+    /// per-layer assignment: its ABFT policy plus its idealized-TMR plan
+    /// driven through the instrumented arithmetic. Falls back to
+    /// [`ProtectionTier::ChecksumRecompute`]'s blanket policy when no
+    /// profile is loaded, so the `profile` tier never serves weaker than
+    /// configured. Deterministic in `request_id`.
+    ///
+    /// [`ProtectionTier::ChecksumRecompute`]: crate::ProtectionTier::ChecksumRecompute
+    ///
+    /// # Errors
+    ///
+    /// Same as [`QuantizedNetwork::classify_abft`][ca].
+    ///
+    /// [ca]: wgft_nn::QuantizedNetwork::classify_abft
+    pub fn classify_profiled(
+        &mut self,
+        request_id: u64,
+        image: &Tensor,
+    ) -> Result<(usize, AbftEvents), NnError> {
+        let Some(profile) = &self.profile else {
+            return self.classify_protected(request_id, image, &AbftPolicy::checksum_range());
+        };
+        let config = self.campaign.config();
+        let (ber, seed) = match self.chaos {
+            Some(chaos) => (chaos.ber, request_fault_seed(chaos.seed, request_id)),
+            None => (0.0, request_fault_seed(0, request_id)),
+        };
+        let fault_config = FaultConfig::new(BitErrorRate::new(ber), config.width)
+            .with_model(config.fault_model)
+            .with_protection(profile.plan.clone());
+        let policy = profile.policy.clone();
+        let mut arith = FaultyArithmetic::new(fault_config, seed);
+        let calibration = self.campaign.abft_calibration(self.algo);
+        let mut events = AbftEvents::new();
+        let prediction = self.campaign.quantized().classify_abft(
+            image,
+            &mut arith,
+            self.algo,
+            &policy,
+            Some(calibration),
+            &mut self.scratch,
+            &mut events,
+        )?;
+        Ok((prediction, events))
     }
 
     /// Classify one image under an ABFT policy, with the chaos BER (or

@@ -79,6 +79,10 @@ pub enum ServeResponse {
         clean_accuracy: f64,
         /// Whether `--chaos` fault injection is active.
         chaos: bool,
+        /// Identity hash of the loaded planner `ProtectionProfile`
+        /// (`wgft-serve daemon --profile FILE`), `None` when serving
+        /// without one.
+        profile_hash: Option<String>,
         /// Current escalation level.
         escalation_level: u32,
         /// Configured tenants and their base/effective tiers.
@@ -131,6 +135,15 @@ mod tests {
                 retry_ms: 50,
             },
             ServeResponse::Status(CountersSnapshot::default()),
+            ServeResponse::Health {
+                config_json: "{}".to_string(),
+                algo: "winograd".to_string(),
+                clean_accuracy: 0.9,
+                chaos: false,
+                profile_hash: Some("49786e5095715218".to_string()),
+                escalation_level: 0,
+                tenants: Vec::new(),
+            },
             ServeResponse::ShutdownAck,
             ServeResponse::Error {
                 message: "nope".to_string(),

@@ -3,7 +3,15 @@
 //! A tier names how much of `wgft-abft`'s machinery runs around a tenant's
 //! inferences. The ordering is total and meaningful: escalation promotes a
 //! tenant to the *next stronger* tier, so `Fast < Range < Checksum <
-//! ChecksumRecompute`.
+//! Profile < ChecksumRecompute`.
+//!
+//! `Profile` is the measured-planner tier: it serves under the per-layer
+//! assignment of the `ProtectionProfile` the daemon loaded at startup
+//! (`wgft-serve daemon --profile FILE`), falling back to the strongest
+//! blanket policy when no profile is loaded. It sits just below
+//! `ChecksumRecompute` in the escalation order: a planned assignment
+//! protects selectively, so the blanket scheme remains the strongest answer
+//! when the escalation monitor demands more.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -24,6 +32,11 @@ pub enum ProtectionTier {
     /// Checksummed GEMMs and transform guards, locate-and-correct for
     /// single errors, no recompute fallback.
     Checksum,
+    /// The loaded `ProtectionProfile`'s measured per-layer assignment
+    /// (planner frontier point). Resolved by the serving engine, which owns
+    /// the loaded profile; falls back to [`ProtectionTier::ChecksumRecompute`]'s
+    /// blanket policy when the daemon has no profile.
+    Profile,
     /// Checksums + range restriction + recompute-on-detect — the strongest
     /// executable scheme (the paper's full protection).
     ChecksumRecompute,
@@ -31,22 +44,28 @@ pub enum ProtectionTier {
 
 impl ProtectionTier {
     /// Every tier, weakest first.
-    pub const ALL: [ProtectionTier; 4] = [
+    pub const ALL: [ProtectionTier; 5] = [
         ProtectionTier::Fast,
         ProtectionTier::Range,
         ProtectionTier::Checksum,
+        ProtectionTier::Profile,
         ProtectionTier::ChecksumRecompute,
     ];
 
     /// The next stronger tier (the strongest promotes to itself).
+    ///
+    /// Escalation deliberately skips `Profile`: a promoted tenant needs
+    /// *more* blanket protection, not a selective assignment, so the chain
+    /// is `Fast -> Range -> Checksum -> ChecksumRecompute` and a `Profile`
+    /// tenant promotes straight to the blanket scheme.
     #[must_use]
     pub fn promote(self) -> Self {
         match self {
             ProtectionTier::Fast => ProtectionTier::Range,
             ProtectionTier::Range => ProtectionTier::Checksum,
-            ProtectionTier::Checksum | ProtectionTier::ChecksumRecompute => {
-                ProtectionTier::ChecksumRecompute
-            }
+            ProtectionTier::Checksum
+            | ProtectionTier::Profile
+            | ProtectionTier::ChecksumRecompute => ProtectionTier::ChecksumRecompute,
         }
     }
 
@@ -61,11 +80,14 @@ impl ProtectionTier {
     }
 
     /// The executable ABFT policy of this tier, or `None` for the
-    /// unprotected fast path.
+    /// unprotected fast path and for [`ProtectionTier::Profile`], whose
+    /// policy lives in the engine's loaded `ProtectionProfile` (the worker
+    /// routes `Profile` jobs through the engine's profiled path instead of
+    /// this accessor).
     #[must_use]
     pub fn policy(self) -> Option<AbftPolicy> {
         match self {
-            ProtectionTier::Fast => None,
+            ProtectionTier::Fast | ProtectionTier::Profile => None,
             ProtectionTier::Range => Some(AbftPolicy::range_only()),
             ProtectionTier::Checksum => Some(AbftPolicy::checksum().with_recompute(false)),
             ProtectionTier::ChecksumRecompute => Some(AbftPolicy::checksum_range()),
@@ -79,6 +101,7 @@ impl ProtectionTier {
             ProtectionTier::Fast => "fast",
             ProtectionTier::Range => "range",
             ProtectionTier::Checksum => "checksum",
+            ProtectionTier::Profile => "profile",
             ProtectionTier::ChecksumRecompute => "checksum_recompute",
         }
     }
@@ -126,6 +149,13 @@ mod tests {
         );
         assert_eq!(
             ProtectionTier::Fast.promoted_by(99),
+            ProtectionTier::ChecksumRecompute
+        );
+        // Profile sits below the blanket scheme and escalates straight to it.
+        assert!(ProtectionTier::Profile > ProtectionTier::Checksum);
+        assert!(ProtectionTier::Profile < ProtectionTier::ChecksumRecompute);
+        assert_eq!(
+            ProtectionTier::Profile.promote(),
             ProtectionTier::ChecksumRecompute
         );
     }

@@ -213,6 +213,96 @@ fn chaos_serving_is_idempotent_and_protection_tiers_report_events() {
 }
 
 #[test]
+fn profile_tier_serves_the_planned_assignment_and_health_reports_its_hash() {
+    let config = tiny_config(53);
+    let algo = ConvAlgorithm::winograd_default();
+
+    // Plan a real profile on the identical campaign the daemon will serve.
+    let local = FaultToleranceCampaign::prepare(&config).expect("local campaign");
+    let profile = wgft_planner::plan_profile(&local, wgft_planner::PlanRequest::new(3e-4, 0.9))
+        .expect("plan profile");
+    let hash = profile.hash();
+
+    let engine = ServeEngine::prepare_with_profile(&config, algo, None, Some(profile.clone()))
+        .expect("engine with profile");
+    let serve_config = ServeConfig {
+        tenants: tenant_map(&[("planned", ProtectionTier::Profile)]),
+        ..ServeConfig::default()
+    };
+    let daemon = ServeDaemon::spawn(
+        engine,
+        serve_config,
+        Arc::new(SystemClock::new()),
+        "127.0.0.1:0",
+    )
+    .expect("daemon");
+    let addr = daemon.addr().to_string();
+    let images: Vec<_> = local
+        .eval_set()
+        .samples()
+        .iter()
+        .map(|s| s.image.clone())
+        .collect();
+
+    let mut client = ServeClient::new(&addr);
+    let health = client.health().expect("health");
+    assert_eq!(
+        health.profile_hash.as_deref(),
+        Some(hash.as_str()),
+        "health must report the loaded profile's identity hash"
+    );
+
+    // The profiled tier serves every image at its own tier, unpromoted, and
+    // re-sends are idempotent (no chaos here, but the path is the
+    // instrumented one).
+    for (i, image) in images.iter().enumerate() {
+        let answer = client
+            .classify(9000 + i as u64, "planned", image.data())
+            .expect("profiled classify");
+        assert_eq!(answer.tier, ProtectionTier::Profile);
+        assert!(!answer.promoted);
+        let again = client
+            .classify(9000 + i as u64, "planned", image.data())
+            .expect("profiled re-classify");
+        assert_eq!(answer.prediction, again.prediction);
+    }
+    assert_eq!(
+        daemon.snapshot().tenants["planned"].requests,
+        2 * images.len() as u64
+    );
+
+    // A profile that does not fit the served model is refused at prepare
+    // time, not at serve time.
+    let mut truncated = profile;
+    truncated.layers.pop();
+    let refused = ServeEngine::prepare_with_profile(&config, algo, None, Some(truncated));
+    assert!(
+        refused.is_err(),
+        "a profile with the wrong layer count must be refused"
+    );
+
+    // Without a loaded profile, health reports no hash and the profile tier
+    // still serves (blanket fallback).
+    let engine = ServeEngine::prepare(&config, algo, None).expect("engine without profile");
+    let daemon2 = ServeDaemon::spawn(
+        engine,
+        ServeConfig {
+            tenants: tenant_map(&[("planned", ProtectionTier::Profile)]),
+            ..ServeConfig::default()
+        },
+        Arc::new(SystemClock::new()),
+        "127.0.0.1:0",
+    )
+    .expect("fallback daemon");
+    let mut client2 = ServeClient::new(daemon2.addr().to_string());
+    assert_eq!(client2.health().expect("health").profile_hash, None);
+    let fallback = client2
+        .classify(9500, "planned", images[0].data())
+        .expect("fallback classify");
+    assert_eq!(fallback.tier, ProtectionTier::Profile);
+}
+
+#[test]
 fn degraded_sheds_are_explicit_and_shutdown_drains_idempotently() {
     let config = tiny_config(37);
     let algo = ConvAlgorithm::winograd_default();

@@ -41,7 +41,12 @@ use wgft_core::CampaignConfig;
 /// tile-size×fault frontier). Version-3 journals predate the tile axis and
 /// stay readable/resumable: they load with the default F(2x2,3x3) tile, and
 /// validation rejects a v3 manifest claiming anything else.
-pub const JOURNAL_VERSION: u32 = 4;
+///
+/// Version 5: manifests record the campaign's dataset source (synthetic vs
+/// real CIFAR-10 batches). Version-3/4 journals predate the knob and stay
+/// readable/resumable: they load as synthetic-data runs, and validation
+/// rejects an old manifest claiming anything else.
+pub const JOURNAL_VERSION: u32 = 5;
 
 /// Oldest journal format version this build still reads and resumes.
 pub const MIN_JOURNAL_VERSION: u32 = 3;
@@ -64,6 +69,13 @@ pub const MANIFEST_FILE: &str = "manifest.json";
 /// their content hashes) free of fields a v3 reader never wrote.
 fn tile_is_default(tile: &wgft_winograd::WinogradVariant) -> bool {
     *tile == wgft_winograd::WinogradVariant::default()
+}
+
+/// Skip-serializing predicate for the manifest's dataset field: the synthetic
+/// default stays implicit, keeping default-source v5 manifests (and their
+/// content hashes) free of fields a v4 reader never wrote.
+fn dataset_is_default(dataset: &wgft_core::DatasetSource) -> bool {
+    dataset.is_synthetic()
 }
 
 /// 64-bit FNV-1a hash (stable, dependency-free; good enough to detect a
@@ -157,6 +169,13 @@ pub struct Manifest {
     /// generated transforms; absent when the tile is the default).
     #[serde(default, skip_serializing_if = "String::is_empty")]
     pub tile_points: String,
+    /// Dataset source the campaign trained and evaluated on (mirrors
+    /// `config.dataset`; recorded at top level so status/merge can tag their
+    /// reports without digging into the config). Absent in version-3/4
+    /// journals and for the synthetic default, loading as synthetic either
+    /// way.
+    #[serde(default, skip_serializing_if = "dataset_is_default")]
+    pub dataset: wgft_core::DatasetSource,
     /// Fault-free baseline accuracy of the prepared campaign.
     pub clean_accuracy: f64,
     /// Total operation count of the prepared network under standard
@@ -199,6 +218,7 @@ impl Manifest {
         } else {
             tile.point_set_id()
         };
+        let dataset = config.dataset.clone();
         let mut manifest = Self {
             version: JOURNAL_VERSION,
             kind,
@@ -211,6 +231,7 @@ impl Manifest {
             width,
             tile,
             tile_points,
+            dataset,
             clean_accuracy,
             standard_ops,
             winograd_ops,
@@ -278,6 +299,29 @@ impl Manifest {
                 "journal version {} predates the tile axis but records tile {} \
                  (config tile {}, points \"{}\")",
                 self.version, self.tile, self.config.tile, self.tile_points
+            )));
+        }
+        // Versions 3/4 predate the dataset-source knob: a non-default source
+        // in an old manifest means it was edited after the fact.
+        if self.version < 5
+            && (!dataset_is_default(&self.dataset) || !self.config.dataset.is_synthetic())
+        {
+            return Err(SweepError::manifest(format!(
+                "journal version {} predates the dataset-source knob but records \
+                 dataset source `{}` (config source `{}`)",
+                self.version,
+                self.dataset.label(),
+                self.config.dataset.label()
+            )));
+        }
+        // The top-level dataset tag mirrors the embedded config; a mismatch
+        // means the manifest was edited inconsistently.
+        if self.dataset != self.config.dataset {
+            return Err(SweepError::manifest(format!(
+                "manifest dataset source `{}` disagrees with the embedded config \
+                 source `{}`",
+                self.dataset.label(),
+                self.config.dataset.label()
             )));
         }
         // The top-level tile tag mirrors the embedded config; a mismatch

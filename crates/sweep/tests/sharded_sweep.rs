@@ -665,6 +665,115 @@ fn tile_axis_versions_the_journal_both_directions() {
     );
 }
 
+/// The dataset-source axis through the journal, both directions: a CIFAR-10
+/// campaign records its source in the manifest (format v5) and journals,
+/// resumes and merges like any other; a version-4 journal — which predates
+/// the knob — still loads, runs and merges as a synthetic run; a v4 manifest
+/// claiming a non-default source is rejected as tampered; and so is a
+/// manifest whose top-level tag disagrees with its embedded config.
+#[test]
+fn dataset_source_versions_the_journal_both_directions() {
+    use wgft_core::DatasetSource;
+    let bers = [0.0, 3e-3];
+
+    // Forward: a campaign over the replicated CIFAR-10 fixture.
+    let cifar_dir = tmp_dir("dataset-axis-batches");
+    fs::create_dir_all(&cifar_dir).expect("create batch dir");
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("../data/fixtures/cifar10-tiny.bin");
+    for i in 0..4 {
+        fs::copy(&fixture, cifar_dir.join(format!("batch_{i}.bin"))).expect("copy fixture");
+    }
+    let cifar_cfg = CampaignConfig::cifar10(ModelKind::VggSmall, BitWidth::W8, &cifar_dir)
+        .with_images(4)
+        .with_train_config(wgft_nn::TrainConfig {
+            epochs: 1,
+            ..wgft_nn::TrainConfig::cifar10_recipe()
+        });
+    let cifar_campaign =
+        FaultToleranceCampaign::prepare(&cifar_cfg).expect("CIFAR campaign prepares");
+    let manifest = manifest_for(
+        SweepKind::NetworkSweep,
+        &cifar_cfg,
+        &bers,
+        CHUNK,
+        &cifar_campaign,
+    );
+    assert_eq!(manifest.version, 5);
+    assert_eq!(manifest.dataset.label(), "cifar10");
+    assert!(json(&manifest).contains("\"dataset\""));
+    let dir = tmp_dir("dataset-axis-cifar");
+    let journal = Journal::create(&dir, manifest).expect("create");
+    let outcome = run_shard(
+        &journal,
+        &cifar_campaign,
+        ShardSpec::single(),
+        &SilentProgress,
+    )
+    .expect("run_shard");
+    assert!(outcome.run_complete());
+    let reopened = Journal::open(&dir).expect("dataset field survives the disk round trip");
+    assert_eq!(reopened.manifest().dataset.label(), "cifar10");
+    let completed = reopened.completed().expect("completed");
+    let MergedReport::NetworkSweep(merged) = merge(reopened.manifest(), &completed).expect("merge")
+    else {
+        panic!("wrong report kind");
+    };
+    assert_eq!(json(&merged), json(&cifar_campaign.network_sweep(&bers)));
+
+    // Backward: a version-4 journal. Its manifest never grew the dataset
+    // field (the synthetic default is skip-serialized), so synthesizing one
+    // from the current build is byte-compatible with what a v4 build wrote.
+    let campaign = campaign();
+    let mut v4 = manifest_for(SweepKind::NetworkSweep, &config(), &bers, CHUNK, campaign);
+    v4.version = 4;
+    v4.content_hash = v4.plan_hash();
+    assert!(
+        !json(&v4).contains("\"dataset\""),
+        "a synthetic-data manifest must not serialize the dataset field"
+    );
+    let dir = tmp_dir("dataset-axis-v4");
+    let journal = Journal::create(&dir, v4).expect("v4 journal must stay loadable");
+    assert!(journal.manifest().dataset.is_synthetic());
+    let outcome =
+        run_shard(&journal, campaign, ShardSpec::single(), &SilentProgress).expect("run_shard");
+    assert!(outcome.run_complete());
+    let completed = journal.completed().expect("completed");
+    let MergedReport::NetworkSweep(merged) = merge(journal.manifest(), &completed).expect("merge")
+    else {
+        panic!("wrong report kind");
+    };
+    assert_eq!(json(&merged), json(&campaign.network_sweep(&bers)));
+
+    // Rejected: version 4 cannot have produced a non-default dataset source.
+    let mut bad = manifest_for(
+        SweepKind::NetworkSweep,
+        &cifar_cfg,
+        &bers,
+        CHUNK,
+        &cifar_campaign,
+    );
+    bad.version = 4;
+    bad.content_hash = bad.plan_hash();
+    let err = bad
+        .validate()
+        .expect_err("a v4 manifest claiming a dataset source must be rejected");
+    assert!(
+        err.to_string().contains("predates the dataset-source knob"),
+        "got {err}"
+    );
+
+    // Rejected: the top-level tag must mirror the embedded config.
+    let mut inconsistent = manifest_for(SweepKind::NetworkSweep, &config(), &bers, CHUNK, campaign);
+    inconsistent.dataset = DatasetSource::Cifar10 {
+        dir: "/edited/after/the/fact".into(),
+    };
+    inconsistent.content_hash = inconsistent.plan_hash();
+    let err = inconsistent
+        .validate()
+        .expect_err("a mismatched dataset tag must be rejected");
+    assert!(err.to_string().contains("disagrees"), "got {err}");
+}
+
 fn result_file(dir: &Path) -> PathBuf {
     let journal = Journal::open(dir).expect("journal opens");
     let files = journal.result_files().expect("listable");

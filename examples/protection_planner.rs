@@ -1,0 +1,90 @@
+//! Protection-planning quickstart: measure the per-layer probe grid, solve
+//! for the cheapest assignment reaching a target accuracy-under-BER, save
+//! the resulting `ProtectionProfile`, and serve under it.
+//!
+//! Run with `cargo run --release --example protection_planner`.
+
+use std::sync::Arc;
+
+use winograd_ft::core::{CampaignConfig, FaultToleranceCampaign};
+use winograd_ft::fabric::SystemClock;
+use winograd_ft::fixedpoint::BitWidth;
+use winograd_ft::nn::models::ModelKind;
+use winograd_ft::planner::{plan_from_table, MeasuredTable, ProtectionProfile};
+use winograd_ft::serve::{ProtectionTier, ServeClient, ServeConfig, ServeDaemon, ServeEngine};
+use winograd_ft::winograd::ConvAlgorithm;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Prepare a campaign and measure the planner's inputs: one probe
+    //    evaluation per (layer, protection choice) cell at the operating
+    //    BER, plus the floor (unprotected) and ceiling (blanket
+    //    checksum+recompute) anchors. Every cell is executed, not modelled.
+    let ber = 3e-4;
+    let config = CampaignConfig::test_scale(ModelKind::VggSmall, BitWidth::W16).with_images(16);
+    let campaign = FaultToleranceCampaign::prepare(&config)?;
+    let algo = ConvAlgorithm::winograd_default();
+    println!("measuring the probe grid at BER {ber:.1e} ...");
+    let table = MeasuredTable::measure(&campaign, algo, ber)?;
+    println!(
+        "floor {:.4}, ceiling {:.4} at {:.1} ops/image (idealized TMR {:.1})",
+        table.floor_accuracy, table.ceiling_accuracy, table.ceiling_cost, table.idealized_tmr_cost
+    );
+
+    // 2. Solve for the cheapest assignment within 0.02 of the ceiling
+    //    (exact DP over gain counts; the greedy solution bounds the
+    //    optimality gap) and replay the composition for honest numbers.
+    let target = (table.ceiling_accuracy - 0.02).max(table.floor_accuracy);
+    let profile = plan_from_table(&campaign, &table, target, None)?;
+    println!("{profile}");
+
+    // 3. The profile is a versioned artifact: save, reload, same identity.
+    let path = std::env::temp_dir().join(format!("wgft-profile-{}.json", std::process::id()));
+    profile.save(&path)?;
+    let loaded = ProtectionProfile::load(&path)?;
+    assert_eq!(loaded.hash(), profile.hash());
+    println!("saved + reloaded profile (hash {})", loaded.hash());
+
+    // 4. Serve under it: the daemon loads the profile at startup
+    //    (`wgft-serve daemon --profile FILE` does exactly this) and the
+    //    `profile` tier executes its per-layer assignment.
+    let engine = ServeEngine::prepare_with_profile(&config, algo, None, Some(loaded))?;
+    let mut serve_config = ServeConfig::default();
+    serve_config
+        .tenants
+        .insert("planned".into(), ProtectionTier::Profile);
+    let daemon = ServeDaemon::spawn(
+        engine,
+        serve_config,
+        Arc::new(SystemClock::new()),
+        "127.0.0.1:0",
+    )?;
+    let addr = daemon.addr().to_string();
+
+    let mut client = ServeClient::new(&addr);
+    let health = client.health()?;
+    println!(
+        "daemon on {addr} serving with profile {}",
+        health.profile_hash.as_deref().unwrap_or("<none>")
+    );
+    assert_eq!(
+        health.profile_hash.as_deref(),
+        Some(profile.hash().as_str())
+    );
+
+    let mut correct = 0usize;
+    let samples = campaign.eval_set().samples();
+    for (i, sample) in samples.iter().enumerate() {
+        let answer = client.classify(i as u64, "planned", sample.image.data())?;
+        assert_eq!(answer.tier, ProtectionTier::Profile);
+        correct += usize::from(answer.prediction == sample.label);
+    }
+    println!(
+        "planned tier served {}/{} correct (fault-free smoke)",
+        correct,
+        samples.len()
+    );
+
+    client.shutdown()?;
+    let _ = std::fs::remove_file(&path);
+    Ok(())
+}

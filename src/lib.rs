@@ -20,6 +20,10 @@
 //!   voltage-scaling energy optimization (the paper's contribution),
 //! * [`sweep`] — sharded, checkpointable campaign orchestration with a
 //!   persistent run journal, resume, and bit-identical merging,
+//! * [`planner`] — the measured protection planner: executes a per-layer
+//!   probe grid, solves exactly for the cheapest assignment reaching a
+//!   target accuracy-under-BER, and emits versioned `ProtectionProfile`s
+//!   (also the `wgft-planner` CLI),
 //! * [`fabric`] — the distributed sweep fabric: a lease-based
 //!   coordinator/worker protocol over TCP (or in-process) with heartbeats,
 //!   work stealing, fault injection and retry — merged reports stay
@@ -56,6 +60,7 @@ pub use wgft_fabric as fabric;
 pub use wgft_faultsim as faultsim;
 pub use wgft_fixedpoint as fixedpoint;
 pub use wgft_nn as nn;
+pub use wgft_planner as planner;
 pub use wgft_serve as serve;
 pub use wgft_sweep as sweep;
 pub use wgft_tensor as tensor;
