@@ -1,0 +1,15 @@
+//! Deliberately-violating fixture: float arithmetic inside a
+//! consensus-critical region. Never compiled — the auditor's self-test
+//! asserts the exact findings this file produces.
+
+// wgft-audit: consensus-critical
+pub fn leaky_seed(base: u64, index: u64) -> u64 {
+    let jitter = (index as f32) * 0.5;
+    let fused = (base as f64).mul_add(2.0, jitter as f64);
+    fused as u64
+}
+
+pub fn uncritical(x: f32) -> f32 {
+    // Outside any region: floats here are fine and must not be flagged.
+    x * 2.0
+}

@@ -1,0 +1,17 @@
+//! Deliberately-violating fixture: nondeterministic iteration, wall-clock
+//! reads, runtime entropy and a parallel float reduction inside a
+//! consensus-critical region. Never compiled — the auditor's self-test
+//! asserts the exact findings this file produces.
+
+// wgft-audit: consensus-critical
+pub fn leaky_tally(units: &[u64]) -> u64 {
+    let mut buckets = HashMap::new();
+    let started = Instant::now();
+    let mut rng = thread_rng();
+    for &unit in units {
+        *buckets.entry(unit % 7).or_insert(0u64) += rng.next_u64();
+    }
+    let total: f64 = units.par_iter().map(|&u| u as f64).sum();
+    let _ = (started, total);
+    buckets.len() as u64
+}

@@ -1,0 +1,178 @@
+//! `wgft-audit` CLI — scan the workspace, gate CI, manage the baseline.
+//!
+//! ```text
+//! wgft-audit scan   [--root DIR] [--json]
+//! wgft-audit check  [--root DIR] [--deny new|all] [--json]
+//! wgft-audit baseline --write [--root DIR]
+//! wgft-audit regions [--root DIR]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings (or new findings for `check --deny new`),
+//! 2 usage or configuration errors (unparseable allowlist, missing
+//! justification, unknown flags).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use wgft_audit::{render_text, scan_workspace, Allowlist, Baseline, ALLOWLIST_FILE, BASELINE_FILE};
+
+const USAGE: &str = "usage: wgft-audit <scan|check|baseline|regions> \
+ [--root DIR] [--allowlist FILE] [--baseline FILE] [--deny new|all] [--json] [--write]";
+
+struct Args {
+    root: PathBuf,
+    allowlist: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    deny: String,
+    json: bool,
+    write: bool,
+}
+
+fn parse_args(mut argv: std::env::Args) -> Result<(String, Args), String> {
+    let _ = argv.next();
+    let command = argv.next().ok_or(USAGE.to_string())?;
+    let mut args = Args {
+        root: PathBuf::from("."),
+        allowlist: None,
+        baseline: None,
+        deny: "new".to_string(),
+        json: false,
+        write: false,
+    };
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--root" => args.root = PathBuf::from(value("--root")?),
+            "--allowlist" => args.allowlist = Some(PathBuf::from(value("--allowlist")?)),
+            "--baseline" => args.baseline = Some(PathBuf::from(value("--baseline")?)),
+            "--deny" => {
+                args.deny = value("--deny")?;
+                if args.deny != "new" && args.deny != "all" {
+                    return Err("--deny takes `new` or `all`".to_string());
+                }
+            }
+            "--json" => args.json = true,
+            "--write" => args.write = true,
+            other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+        }
+    }
+    Ok((command, args))
+}
+
+fn main() -> ExitCode {
+    let (command, args) = match parse_args(std::env::args()) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&command, &args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("wgft-audit: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(command: &str, args: &Args) -> Result<ExitCode, String> {
+    let allowlist_path = args
+        .allowlist
+        .clone()
+        .unwrap_or_else(|| args.root.join(ALLOWLIST_FILE));
+    let baseline_path = args
+        .baseline
+        .clone()
+        .unwrap_or_else(|| args.root.join(BASELINE_FILE));
+    let allowlist = Allowlist::load(&allowlist_path)?;
+    let report = scan_workspace(&args.root, &allowlist)
+        .map_err(|e| format!("scanning {}: {e}", args.root.display()))?;
+
+    match command {
+        "scan" => {
+            if args.json {
+                println!(
+                    "{}",
+                    serde_json::to_string(&report).map_err(|e| e.to_string())?
+                );
+            } else {
+                print!("{}", render_text(&report));
+            }
+            Ok(if report.findings.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            })
+        }
+        "check" => {
+            let baseline = Baseline::load(&baseline_path)?;
+            let offending: Vec<_> = if args.deny == "all" {
+                report.findings.iter().collect()
+            } else {
+                report.new_findings(&baseline)
+            };
+            if args.json {
+                println!(
+                    "{}",
+                    serde_json::to_string(&report).map_err(|e| e.to_string())?
+                );
+            } else {
+                for f in &offending {
+                    eprintln!(
+                        "{}:{}: NEW {}[{}] {}\n    {}",
+                        f.file, f.line, f.severity, f.rule, f.message, f.excerpt
+                    );
+                }
+                eprintln!(
+                    "wgft-audit check: {} offending finding(s) (deny={}), {} total, \
+                     {} suppressed, {} region(s)",
+                    offending.len(),
+                    args.deny,
+                    report.findings.len(),
+                    report.suppressed.len(),
+                    report.regions
+                );
+            }
+            Ok(if offending.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            })
+        }
+        "baseline" => {
+            let baseline = Baseline {
+                fingerprints: report
+                    .findings
+                    .iter()
+                    .map(|f| f.fingerprint.clone())
+                    .collect(),
+            };
+            if args.write {
+                baseline.save(&baseline_path)?;
+                eprintln!(
+                    "wrote {} fingerprint(s) to {}",
+                    baseline.fingerprints.len(),
+                    baseline_path.display()
+                );
+            } else {
+                println!(
+                    "{}",
+                    serde_json::to_string(&baseline).map_err(|e| e.to_string())?
+                );
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "regions" => {
+            println!(
+                "{} consensus-critical region(s) across {} file(s); {} finding(s), \
+                 {} suppressed",
+                report.regions,
+                report.files_scanned,
+                report.findings.len(),
+                report.suppressed.len()
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    }
+}

@@ -1,0 +1,434 @@
+//! A comment- and string-aware token scanner for Rust source.
+//!
+//! This is deliberately *not* a parser: the auditor needs exactly four
+//! things from a source file — identifiers, float literals, brace/semicolon
+//! structure (to give annotations a region extent) and the `// wgft-audit:`
+//! marker comments themselves. A token-level scan gets all four without a
+//! `syn` dependency, which keeps the auditor inside the workspace's
+//! vendored-deps constraint and fast enough to run on every CI push.
+//!
+//! The scanner understands the lexical shapes that would otherwise produce
+//! false positives: line and (nested) block comments, string/raw-string/
+//! byte-string literals, char literals vs lifetimes, numeric literals with
+//! suffixes and exponents, and `1..n` ranges vs `1.0` floats. Everything it
+//! does not care about is skipped without emitting a token.
+
+/// One lexical token the rules engine cares about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`f32`, `HashMap`, `mul_add`, ...).
+    Ident(String),
+    /// A floating-point literal (`1.0`, `2e-3`, `1f32`).
+    FloatLit,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `;`
+    Semi,
+    /// `.` (method call / field access; `..` ranges are skipped)
+    Dot,
+    /// `::`
+    PathSep,
+}
+
+/// A token with the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// What was scanned.
+    pub kind: TokKind,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// One `wgft-audit:` marker comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Marker {
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    /// `true` for the inner-doc form (`//! wgft-audit: ...`), which applies
+    /// to the whole enclosing file instead of the next item.
+    pub inner: bool,
+    /// The annotation text after the `wgft-audit:` prefix, trimmed.
+    pub text: String,
+}
+
+/// The marker prefix the scanner recognizes inside line comments.
+pub const MARKER_PREFIX: &str = "wgft-audit:";
+
+/// Scanner output: the token stream plus every marker comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Markers in source order.
+    pub markers: Vec<Marker>,
+}
+
+/// Scan `source`, returning tokens and `wgft-audit:` markers.
+#[must_use]
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let n = chars.len();
+    let mut out = Lexed::default();
+    let mut line = 1u32;
+    let mut i = 0usize;
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && chars[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                record_marker(&text, line, &mut out.markers);
+                i = j;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                let mut depth = 1u32;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if chars[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => i = skip_string(&chars, i, &mut line),
+            '\'' => {
+                let next_is_ident =
+                    i + 1 < n && (chars[i + 1].is_alphabetic() || chars[i + 1] == '_');
+                let closes_as_char = i + 2 < n && chars[i + 2] == '\'';
+                if next_is_ident && !closes_as_char {
+                    // Lifetime: `'a`, `'static` — skip the identifier run.
+                    let mut j = i + 1;
+                    while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    // Char literal, possibly escaped (`'\n'`, `'\\'`).
+                    let mut j = i + 1;
+                    while j < n && chars[j] != '\'' {
+                        if chars[j] == '\n' {
+                            line += 1;
+                        }
+                        if chars[j] == '\\' {
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    i = (j + 1).min(n);
+                }
+            }
+            'r' | 'b' if raw_string_start(&chars, i).is_some() => {
+                i = skip_raw_string(&chars, i, &mut line);
+            }
+            'b' if i + 1 < n && chars[i + 1] == '"' => {
+                i = skip_string(&chars, i + 1, &mut line);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < n && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let ident: String = chars[i..j].iter().collect();
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident(ident),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let (j, is_float) = scan_number(&chars, i);
+                if is_float {
+                    out.tokens.push(Tok {
+                        kind: TokKind::FloatLit,
+                        line,
+                    });
+                }
+                i = j;
+            }
+            '{' => {
+                out.tokens.push(Tok {
+                    kind: TokKind::LBrace,
+                    line,
+                });
+                i += 1;
+            }
+            '}' => {
+                out.tokens.push(Tok {
+                    kind: TokKind::RBrace,
+                    line,
+                });
+                i += 1;
+            }
+            ';' => {
+                out.tokens.push(Tok {
+                    kind: TokKind::Semi,
+                    line,
+                });
+                i += 1;
+            }
+            '.' => {
+                if i + 1 < n && chars[i + 1] == '.' {
+                    // `..` / `..=` range — structural, not a member access.
+                    i += 2;
+                } else {
+                    out.tokens.push(Tok {
+                        kind: TokKind::Dot,
+                        line,
+                    });
+                    i += 1;
+                }
+            }
+            ':' => {
+                if i + 1 < n && chars[i + 1] == ':' {
+                    out.tokens.push(Tok {
+                        kind: TokKind::PathSep,
+                        line,
+                    });
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// If position `i` starts a raw (byte) string (`r"`, `r#"`, `br##"`, ...),
+/// return `(body_start, hashes)`.
+fn raw_string_start(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let n = chars.len();
+    let mut j = i;
+    if chars[j] == 'b' {
+        j += 1;
+    }
+    if j >= n || chars[j] != 'r' {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0usize;
+    while j < n && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j < n && chars[j] == '"' {
+        Some((j + 1, hashes))
+    } else {
+        None
+    }
+}
+
+/// Skip a raw string starting at `i`; returns the index after its closer.
+fn skip_raw_string(chars: &[char], i: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    let (start, hashes) = raw_string_start(chars, i).expect("caller checked");
+    let mut j = start;
+    while j < n {
+        if chars[j] == '\n' {
+            *line += 1;
+            j += 1;
+            continue;
+        }
+        if chars[j] == '"' {
+            let mut h = 0usize;
+            while h < hashes && j + 1 + h < n && chars[j + 1 + h] == '#' {
+                h += 1;
+            }
+            if h == hashes {
+                return j + 1 + hashes;
+            }
+        }
+        j += 1;
+    }
+    n
+}
+
+/// Skip a `"..."` string with `\` escapes, starting at the opening quote.
+fn skip_string(chars: &[char], i: usize, line: &mut u32) -> usize {
+    let n = chars.len();
+    let mut j = i + 1;
+    while j < n {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Scan a numeric literal starting at `i`; returns the index after it and
+/// whether it is a float.
+fn scan_number(chars: &[char], i: usize) -> (usize, bool) {
+    let n = chars.len();
+    let mut j = i;
+    let mut is_float = false;
+    if chars[i] == '0' && i + 1 < n && matches!(chars[i + 1], 'x' | 'X' | 'b' | 'B' | 'o' | 'O') {
+        // Radix-prefixed integer: consume digits and any suffix.
+        j = i + 2;
+        while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+            j += 1;
+        }
+        return (j, false);
+    }
+    while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+        j += 1;
+    }
+    if j < n && chars[j] == '.' {
+        let after = chars.get(j + 1).copied();
+        if after.is_some_and(|c| c.is_ascii_digit()) {
+            is_float = true;
+            j += 1;
+            while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        } else if !after.is_some_and(|c| c == '.' || c.is_alphabetic() || c == '_') {
+            // `1.` (trailing dot, not a range or method call) is a float.
+            is_float = true;
+            j += 1;
+        }
+    }
+    if j < n && (chars[j] == 'e' || chars[j] == 'E') {
+        let mut e = j + 1;
+        if e < n && (chars[e] == '+' || chars[e] == '-') {
+            e += 1;
+        }
+        if e < n && chars[e].is_ascii_digit() {
+            is_float = true;
+            j = e;
+            while j < n && (chars[j].is_ascii_digit() || chars[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    let suffix_start = j;
+    while j < n && (chars[j].is_ascii_alphanumeric() || chars[j] == '_') {
+        j += 1;
+    }
+    let suffix: String = chars[suffix_start..j].iter().collect();
+    if suffix == "f32" || suffix == "f64" {
+        is_float = true;
+    }
+    (j, is_float)
+}
+
+/// Record a marker if a line comment's text carries the `wgft-audit:` prefix.
+fn record_marker(text: &str, line: u32, markers: &mut Vec<Marker>) {
+    let mut t = text;
+    let mut inner = false;
+    if let Some(rest) = t.strip_prefix('!') {
+        inner = true;
+        t = rest;
+    } else if t.starts_with('/') {
+        // `///` outer doc comment: prose, never a marker.
+        return;
+    }
+    if let Some(rest) = t.trim_start().strip_prefix(MARKER_PREFIX) {
+        markers.push(Marker {
+            line,
+            inner,
+            text: rest.trim().to_string(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_emit_no_tokens() {
+        let src = r####"
+            // f32 in a comment
+            /* f64 in /* a nested */ block */
+            let s = "f32 in a string";
+            let r = r#"f64 in a raw string"#;
+            let b = b"f32 bytes";
+        "####;
+        let ids = idents(src);
+        assert!(!ids.contains(&"f32".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"f64".to_string()), "{ids:?}");
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ids = idents("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert!(ids.contains(&"str".to_string()));
+    }
+
+    #[test]
+    fn char_literals_do_not_swallow_code() {
+        let ids = idents("let c = 'x'; let d = '\\n'; let e = f32::MAX;");
+        assert!(ids.contains(&"f32".to_string()));
+    }
+
+    #[test]
+    fn float_literals_are_classified() {
+        let floats = |src: &str| {
+            lex(src)
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::FloatLit)
+                .count()
+        };
+        assert_eq!(floats("let x = 1.0;"), 1);
+        assert_eq!(floats("let x = 2e-3;"), 1);
+        assert_eq!(floats("let x = 1f32;"), 1);
+        assert_eq!(floats("for i in 0..10 {}"), 0);
+        assert_eq!(floats("let x = 0xff; let y = t.0;"), 0);
+        assert_eq!(floats("let z = 7u64;"), 0);
+    }
+
+    #[test]
+    fn markers_are_collected_with_lines() {
+        let src =
+            "\n// wgft-audit: consensus-critical\nfn f() {}\n//! wgft-audit: consensus-critical\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.markers.len(), 2);
+        assert_eq!(lexed.markers[0].line, 2);
+        assert!(!lexed.markers[0].inner);
+        assert_eq!(lexed.markers[0].text, "consensus-critical");
+        assert!(lexed.markers[1].inner);
+    }
+
+    #[test]
+    fn doc_comments_are_not_markers() {
+        let src = "/// wgft-audit: consensus-critical\nfn f() {}\n";
+        assert!(lex(src).markers.is_empty());
+    }
+}

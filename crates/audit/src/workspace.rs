@@ -1,0 +1,357 @@
+//! Workspace-level audit: walk every first-party `.rs` file, apply the
+//! allowlist, and diff against a checked-in baseline.
+//!
+//! The walk covers `src/`, `crates/*/{src,tests,benches}`, `examples/` and
+//! anything else under the root — except `target/`, `vendor/` (third-party
+//! stand-ins are not campaign code), `.git/` and any `fixtures/` directory
+//! (the auditor's own deliberately-violating test corpus must not fail the
+//! real gate).
+
+use crate::scan::{scan_source, Finding, SEVERITY_DENY};
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names the walk never descends into.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures", "node_modules"];
+
+/// Default allowlist path, relative to the workspace root.
+pub const ALLOWLIST_FILE: &str = "audit/allowlist.json";
+/// Default baseline path, relative to the workspace root.
+pub const BASELINE_FILE: &str = "audit/baseline.json";
+
+/// One suppression: findings matching (file prefix, rule, excerpt
+/// substring) are moved from the report's findings to its suppressed list.
+/// The justification is mandatory — an allowlist that silences something
+/// without saying why fails validation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AllowEntry {
+    /// Workspace-relative path prefix (`crates/winograd/src/plan.rs` or
+    /// `crates/winograd/`).
+    pub file: String,
+    /// Rule id the entry suppresses.
+    pub rule: String,
+    /// Substring the finding's excerpt must contain (empty matches any).
+    pub contains: String,
+    /// Why this is sound. Mandatory.
+    pub justification: String,
+}
+
+/// The allowlist file: a list of justified suppressions.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Allowlist {
+    /// Suppression entries.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// Load from `path`; a missing file is an empty allowlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unreadable/unparseable files or entries that
+    /// fail validation (unknown rule, empty justification).
+    pub fn load(path: &Path) -> Result<Self, String> {
+        if !path.exists() {
+            return Ok(Self::default());
+        }
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read allowlist {}: {e}", path.display()))?;
+        let allowlist: Self = serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse allowlist {}: {e}", path.display()))?;
+        allowlist.validate()?;
+        Ok(allowlist)
+    }
+
+    /// Check every entry names a known rule and carries a justification.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first invalid entry.
+    pub fn validate(&self) -> Result<(), String> {
+        for (index, entry) in self.entries.iter().enumerate() {
+            if !crate::scan::is_known_rule(&entry.rule) {
+                return Err(format!(
+                    "allowlist entry {index} names unknown rule `{}`",
+                    entry.rule
+                ));
+            }
+            if entry.justification.trim().is_empty() {
+                return Err(format!(
+                    "allowlist entry {index} ({} / {}) has no justification — every \
+                     suppression must say why it is sound",
+                    entry.file, entry.rule
+                ));
+            }
+            if entry.file.trim().is_empty() {
+                return Err(format!("allowlist entry {index} has an empty file prefix"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `finding` matches any entry.
+    #[must_use]
+    pub fn suppresses(&self, finding: &Finding) -> bool {
+        self.entries.iter().any(|e| {
+            finding.file.starts_with(&e.file)
+                && finding.rule == e.rule
+                && (e.contains.is_empty() || finding.excerpt.contains(&e.contains))
+        })
+    }
+}
+
+/// The checked-in fingerprint baseline `check --deny new` diffs against.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Fingerprints of known (grandfathered) findings.
+    pub fingerprints: Vec<String>,
+}
+
+impl Baseline {
+    /// Load from `path`; a missing file is an empty baseline (every finding
+    /// is new).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for unreadable or unparseable files.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        if !path.exists() {
+            return Ok(Self::default());
+        }
+        let text = fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        serde_json::from_str(&text)
+            .map_err(|e| format!("cannot parse baseline {}: {e}", path.display()))
+    }
+
+    /// Serialize to pretty JSON (one fingerprint per line diffs cleanly).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O failure.
+    pub fn save(&self, path: &Path) -> Result<(), String> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)
+                .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+        }
+        let mut lines = String::from("{\n  \"fingerprints\": [\n");
+        for (i, fp) in self.fingerprints.iter().enumerate() {
+            let comma = if i + 1 < self.fingerprints.len() {
+                ","
+            } else {
+                ""
+            };
+            lines.push_str(&format!("    \"{fp}\"{comma}\n"));
+        }
+        lines.push_str("  ]\n}\n");
+        fs::write(path, lines).map_err(|e| format!("cannot write {}: {e}", path.display()))
+    }
+}
+
+/// A workspace audit result.
+#[derive(Debug, Default, Serialize)]
+pub struct AuditReport {
+    /// Unsuppressed findings, ordered by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings matched (and silenced) by the allowlist.
+    pub suppressed: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+    /// Consensus-critical regions declared across the workspace.
+    pub regions: usize,
+}
+
+impl AuditReport {
+    /// Findings whose fingerprint the baseline does not contain.
+    #[must_use]
+    pub fn new_findings<'a>(&'a self, baseline: &Baseline) -> Vec<&'a Finding> {
+        self.findings
+            .iter()
+            .filter(|f| !baseline.fingerprints.contains(&f.fingerprint))
+            .collect()
+    }
+
+    /// Deny-severity findings (the tier that always fails `check`).
+    #[must_use]
+    pub fn deny_findings(&self) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == SEVERITY_DENY)
+            .collect()
+    }
+}
+
+/// Recursively collect first-party `.rs` files under `root`, sorted by
+/// workspace-relative path.
+///
+/// # Errors
+///
+/// Propagates directory-walk I/O errors.
+pub fn collect_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Scan every first-party `.rs` file under `root` and apply `allowlist`.
+///
+/// # Errors
+///
+/// Propagates file I/O errors.
+pub fn scan_workspace(root: &Path, allowlist: &Allowlist) -> io::Result<AuditReport> {
+    let mut report = AuditReport::default();
+    for path in collect_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(&path)?;
+        let scan = scan_source(&rel, &source);
+        report.files_scanned += 1;
+        report.regions += scan.regions.len();
+        for finding in scan.findings {
+            if allowlist.suppresses(&finding) {
+                report.suppressed.push(finding);
+            } else {
+                report.findings.push(finding);
+            }
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(report)
+}
+
+/// Render findings the way compilers do: `file:line: severity[rule] message`.
+#[must_use]
+pub fn render_text(report: &AuditReport) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{}: {}[{}] {}\n    {}\n",
+            f.file, f.line, f.severity, f.rule, f.message, f.excerpt
+        ));
+    }
+    out.push_str(&format!(
+        "{} finding(s) ({} deny), {} suppressed by allowlist, {} consensus-critical \
+         region(s) across {} file(s)\n",
+        report.findings.len(),
+        report.deny_findings().len(),
+        report.suppressed.len(),
+        report.regions,
+        report.files_scanned
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, rule: &str, excerpt: &str) -> Finding {
+        Finding {
+            rule: rule.to_string(),
+            severity: crate::scan::severity_of(rule).to_string(),
+            file: file.to_string(),
+            line: 1,
+            excerpt: excerpt.to_string(),
+            message: String::new(),
+            fingerprint: "fp".to_string(),
+        }
+    }
+
+    #[test]
+    fn allowlist_requires_justifications() {
+        let list = Allowlist {
+            entries: vec![AllowEntry {
+                file: "crates/x.rs".to_string(),
+                rule: "wall-clock".to_string(),
+                contains: String::new(),
+                justification: "  ".to_string(),
+            }],
+        };
+        assert!(list.validate().unwrap_err().contains("justification"));
+    }
+
+    #[test]
+    fn allowlist_rejects_unknown_rules() {
+        let list = Allowlist {
+            entries: vec![AllowEntry {
+                file: "crates/x.rs".to_string(),
+                rule: "no-such-rule".to_string(),
+                contains: String::new(),
+                justification: "because".to_string(),
+            }],
+        };
+        assert!(list.validate().unwrap_err().contains("unknown rule"));
+    }
+
+    #[test]
+    fn suppression_matches_prefix_rule_and_substring() {
+        let list = Allowlist {
+            entries: vec![AllowEntry {
+                file: "crates/winograd/".to_string(),
+                rule: "float-arith".to_string(),
+                contains: "dequant".to_string(),
+                justification: "boundary".to_string(),
+            }],
+        };
+        assert!(list.suppresses(&finding(
+            "crates/winograd/src/plan.rs",
+            "float-arith",
+            "let y = dequantize(x);"
+        )));
+        assert!(!list.suppresses(&finding(
+            "crates/winograd/src/plan.rs",
+            "float-arith",
+            "let y = x as f32;"
+        )));
+        assert!(!list.suppresses(&finding(
+            "crates/sweep/src/merge.rs",
+            "float-arith",
+            "dequantize"
+        )));
+    }
+
+    #[test]
+    fn baseline_roundtrips() {
+        let dir = std::env::temp_dir().join(format!("wgft-audit-bl-{}", std::process::id()));
+        let path = dir.join("baseline.json");
+        let baseline = Baseline {
+            fingerprints: vec!["aaaa".to_string(), "bbbb".to_string()],
+        };
+        baseline.save(&path).unwrap();
+        assert_eq!(Baseline::load(&path).unwrap(), baseline);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_allowlist_and_baseline_are_empty() {
+        let missing = Path::new("/nonexistent/wgft-audit/allow.json");
+        assert_eq!(Allowlist::load(missing).unwrap(), Allowlist::default());
+        assert_eq!(Baseline::load(missing).unwrap(), Baseline::default());
+    }
+}

@@ -1,0 +1,131 @@
+//! Satellite: the auditor audited. The deliberately-violating fixtures must
+//! produce exactly their expected findings, the clean fixture none, and the
+//! real workspace must scan clean under the checked-in allowlist — the same
+//! gate CI runs via `wgft-audit check --deny new`.
+
+use std::path::{Path, PathBuf};
+use wgft_audit::{scan_source, scan_workspace, Allowlist, Baseline};
+
+fn fixture(name: &str) -> (String, String) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} must be readable: {e}", path.display()));
+    (format!("fixtures/{name}"), source)
+}
+
+fn rule_lines(file: &str, source: &str) -> Vec<(String, u32)> {
+    scan_source(file, source)
+        .findings
+        .into_iter()
+        .map(|f| (f.rule, f.line))
+        .collect()
+}
+
+#[test]
+fn float_fixture_produces_exactly_the_expected_findings() {
+    let (file, source) = fixture("violating_float.rs");
+    let findings = rule_lines(&file, &source);
+    let expected: Vec<(String, u32)> = [
+        ("float-arith", 7), // `as f32` cast
+        ("float-arith", 7), // `0.5` literal
+        ("float-arith", 8), // `as f64` cast
+        ("float-arith", 8), // `2.0` literal
+        ("float-arith", 8), // second `as f64` cast
+        ("fma", 8),         // `mul_add`
+    ]
+    .into_iter()
+    .map(|(r, l)| (r.to_string(), l))
+    .collect();
+    assert_eq!(findings, expected);
+}
+
+#[test]
+fn hash_rng_fixture_produces_exactly_the_expected_findings() {
+    let (file, source) = fixture("violating_hash_rng.rs");
+    let findings = rule_lines(&file, &source);
+    let expected: Vec<(String, u32)> = [
+        ("hash-iteration", 8),   // HashMap
+        ("wall-clock", 9),       // Instant::now
+        ("unseeded-rng", 10),    // thread_rng
+        ("float-arith", 14),     // `: f64` annotation
+        ("float-arith", 14),     // `as f64` cast
+        ("rayon-reduction", 14), // par_iter().map().sum()
+    ]
+    .into_iter()
+    .map(|(r, l)| (r.to_string(), l))
+    .collect();
+    assert_eq!(findings, expected);
+}
+
+#[test]
+fn severity_tiers_are_attached() {
+    let (file, source) = fixture("violating_hash_rng.rs");
+    let scan = scan_source(&file, &source);
+    let severity = |rule: &str| {
+        scan.findings
+            .iter()
+            .find(|f| f.rule == rule)
+            .map(|f| f.severity.clone())
+            .unwrap_or_default()
+    };
+    assert_eq!(severity("hash-iteration"), "deny");
+    assert_eq!(severity("unseeded-rng"), "deny");
+    assert_eq!(severity("rayon-reduction"), "deny");
+    assert_eq!(severity("wall-clock"), "warn");
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    let (file, source) = fixture("clean.rs");
+    let scan = scan_source(&file, &source);
+    assert_eq!(
+        scan.findings,
+        vec![],
+        "the clean fixture must produce zero findings"
+    );
+    assert_eq!(
+        scan.regions.len(),
+        3,
+        "all three consensus-critical items must be recognized"
+    );
+}
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .canonicalize()
+        .expect("workspace root must resolve")
+}
+
+#[test]
+fn workspace_scans_clean_under_the_checked_in_allowlist() {
+    let root = workspace_root();
+    let allowlist = Allowlist::load(&root.join(wgft_audit::ALLOWLIST_FILE))
+        .expect("checked-in allowlist must load and validate");
+    let report = scan_workspace(&root, &allowlist).expect("workspace scan must succeed");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must have zero unsuppressed findings:\n{}",
+        wgft_audit::render_text(&report)
+    );
+    assert!(
+        report.regions >= 8,
+        "the consensus-critical surface must stay annotated (got {} regions)",
+        report.regions
+    );
+}
+
+#[test]
+fn checked_in_baseline_is_empty() {
+    let root = workspace_root();
+    let baseline = Baseline::load(&root.join(wgft_audit::BASELINE_FILE))
+        .expect("checked-in baseline must load");
+    assert_eq!(
+        baseline.fingerprints,
+        Vec::<String>::new(),
+        "the baseline grandfathers nothing: new findings and all findings are the same set"
+    );
+}

@@ -11,7 +11,7 @@ use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 use wgft_faultsim::{BitErrorRate, ExactArithmetic, FaultConfig, FaultyArithmetic};
 use wgft_fixedpoint::BitWidth;
-use wgft_tensor::{gemm_f32, par_gemm_f32, ConvGeometry};
+use wgft_tensor::{gemm_f32, gemm_f32_det, par_gemm_f32, ConvGeometry};
 use wgft_winograd::{
     direct_conv_f32, direct_conv_quantized, transform_weights_f32, winograd_conv_f32_reference,
     winograd_conv_quantized, ConvShape, PreparedConvF32, PreparedConvQuantized,
@@ -353,6 +353,12 @@ fn bench_gemm(c: &mut Criterion) {
             black_box(out[0])
         })
     });
+    group.bench_function("det", |bench| {
+        bench.iter(|| {
+            gemm_f32_det(&a, &b, &mut out, N, N, N);
+            black_box(out[0])
+        })
+    });
     group.finish();
 }
 
@@ -545,6 +551,19 @@ fn report(c: &Criterion) {
             naive.mean_ns / blocked.mean_ns,
             naive.mean_ns,
             blocked.mean_ns,
+        );
+    }
+    if let (Some(blocked), Some(det)) = (
+        find("gemm_blocked_vs_naive/blocked"),
+        find("gemm_blocked_vs_naive/det"),
+    ) {
+        println!(
+            "deterministic gemm_f32_det vs blocked native kernel (256x256x256): \
+             {:.2}x slower on means ({:.0} ns -> {:.0} ns) — the cost of the \
+             fixed-order f32-det consensus mode",
+            det.mean_ns / blocked.mean_ns,
+            blocked.mean_ns,
+            det.mean_ns,
         );
     }
 

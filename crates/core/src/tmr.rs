@@ -98,8 +98,12 @@ impl fmt::Display for TmrScheme {
 /// protection assignments should come from the **measured** planner in
 /// `wgft-planner`, which picks per-layer protection (off / range / checksum /
 /// checksum+recompute / TMR) from executed campaign measurements and emits a
-/// loadable `ProtectionProfile`. The parity tests in `wgft-planner` assert
-/// the measured planner dominates or ties this one on the measured frontier.
+/// loadable `ProtectionProfile`. Those profiles are served live: `wgft-serve
+/// daemon --profile FILE` executes the measured per-layer assignment as the
+/// `profile` tenant tier (blanket checksum+recompute when none is loaded) —
+/// this planner's output is never served. The parity tests in `wgft-planner`
+/// assert the measured planner dominates or ties this one on the measured
+/// frontier.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TmrPlanner {
     /// Fraction of a layer/op-type bucket protected per planning step.

@@ -21,7 +21,7 @@ use crate::error::FabricError;
 use crate::wire::{Request, Response, UploadOutcome};
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use wgft_sweep::{Journal, ResultAppender, UnitResult, ARITHMETIC_MODE};
+use wgft_sweep::{Journal, ResultAppender, UnitResult};
 
 /// Tuning knobs of a coordinator.
 #[derive(Debug, Clone, Copy)]
@@ -195,11 +195,17 @@ impl Coordinator {
     }
 
     fn register(&mut self, worker: &str, arithmetic_mode: &str) -> Response {
-        if arithmetic_mode != ARITHMETIC_MODE {
+        // Gate on the journal's recorded mode, not this build's default: a
+        // coordinator serving an `f32-det` campaign must refuse a worker
+        // whose build reports `f32-native` (or the quantized tag) even though
+        // both builds ship both kernels — the worker declares what it will
+        // run, and only the journal's mode merges bit-identically.
+        let journal_mode = &self.journal.manifest().arithmetic_mode;
+        if arithmetic_mode != journal_mode {
             return Response::Error {
                 message: format!(
-                    "worker arithmetic mode `{arithmetic_mode}` is incompatible with the \
-                     coordinator's `{ARITHMETIC_MODE}` — its results would not merge \
+                    "worker `{worker}` reports arithmetic mode `{arithmetic_mode}`, but \
+                     this journal records `{journal_mode}` — its results would not merge \
                      bit-identically"
                 ),
             };

@@ -35,6 +35,7 @@ pub const MAX_FRAME_LEN: u32 = 4 * 1024 * 1024;
 /// # Errors
 ///
 /// Fails on I/O errors (mapped to [`FabricError::Connection`]).
+// wgft-audit: consensus-critical -- frame layout and checksum are the cross-machine contract
 pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FabricError> {
     let len = u32::try_from(payload.len())
         .ok()

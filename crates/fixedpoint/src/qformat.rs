@@ -58,6 +58,7 @@ impl fmt::Display for BitWidth {
 }
 
 /// Clamp a wide accumulator value into the raw range of `width`.
+// wgft-audit: consensus-critical -- range restriction on the campaign datapath
 #[must_use]
 pub fn saturate(value: i64, width: BitWidth) -> i32 {
     let hi = i64::from(width.max_raw());
@@ -176,6 +177,7 @@ impl QFormat {
     /// This is the "rescale" step at the end of a quantized dot product: the
     /// accumulator holds `sum(a_i * w_i)` with `frac(a) + frac(w)` fractional
     /// bits and must be brought back to the activation format.
+    // wgft-audit: consensus-critical -- the rescale step of every quantized dot product
     #[must_use]
     pub fn requantize_accumulator(&self, acc: i64, acc_frac_bits: u32) -> i32 {
         let shift = acc_frac_bits as i64 - self.frac_bits as i64;

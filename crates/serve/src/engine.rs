@@ -40,6 +40,7 @@ pub struct ChaosConfig {
 /// Mix a chaos base seed with a request id into a per-request fault seed
 /// (splitmix64 finalizer — a pure function of its inputs, never of arrival
 /// order, so a re-sent request replays the identical fault stream).
+// wgft-audit: consensus-critical -- chaos drills must replay bit-identically
 #[must_use]
 pub fn request_fault_seed(seed: u64, request_id: u64) -> u64 {
     let mut z = seed ^ request_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);

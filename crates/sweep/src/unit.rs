@@ -310,6 +310,7 @@ impl WorkUnit {
     /// matter which shard evaluates the unit, in which order, after how many
     /// restarts — and identical to the seed the monolithic campaign loops
     /// derive for the same image.
+    // wgft-audit: consensus-critical -- every shard must derive the same fault seed
     #[must_use]
     pub fn image_seed(&self, base_seed: u64, offset: usize) -> u64 {
         let image_index = self.start + offset;

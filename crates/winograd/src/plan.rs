@@ -25,7 +25,7 @@ use crate::conv_winograd::{transform_weights_f32, WinogradWeights};
 use crate::transform::{mat_mul_into, mat_mul_rt_into, WinogradVariant};
 use crate::WinogradError;
 use wgft_faultsim::Arithmetic;
-use wgft_tensor::gemm_f32;
+use wgft_tensor::{gemm_f32, gemm_f32_det};
 
 /// Observes (and may mutate) every GEMM product of a planned winograd
 /// execution, right after the GEMM writes it and before the gather phase
@@ -204,6 +204,12 @@ pub struct PreparedConvF32 {
     /// Number of times the batched engine entry point has run (the
     /// silent-fallback guard of the batched inference path checks this).
     batched_executions: u64,
+    /// Deterministic-f32 mode: route every winograd-coordinate GEMM through
+    /// [`wgft_tensor::gemm_f32_det`] (the strictly ordered naive spec loop)
+    /// and keep the whole execution serial. The fast path is asserted
+    /// bit-identical to this mode, but only this mode *is* the spec — CI
+    /// pins its output bits across codegen flags.
+    deterministic: bool,
 }
 
 /// Largest per-tile buffer any variant needs (`t² = 64` for F(6x6,3x3)).
@@ -266,7 +272,25 @@ impl PreparedConvF32 {
             v: vec![0.0; t2 * c * block],
             prod: vec![0.0; t2 * o * block],
             batched_executions: 0,
+            deterministic: false,
         })
+    }
+
+    /// Switch this plan into (or out of) deterministic-f32 mode: every GEMM
+    /// runs the naive fixed-order [`wgft_tensor::gemm_f32_det`] kernel and
+    /// execution stays on one thread, so the output bits are a pure function
+    /// of the inputs on any IEEE-754 platform and codegen. This is the
+    /// `f32-det` arithmetic mode the sweep manifest can record; the default
+    /// blocked kernel is asserted bit-identical to it in tests, so flipping
+    /// the flag must never change a result — only the evidence class.
+    pub fn set_deterministic(&mut self, deterministic: bool) {
+        self.deterministic = deterministic;
+    }
+
+    /// Whether deterministic-f32 mode is on.
+    #[must_use]
+    pub fn deterministic(&self) -> bool {
+        self.deterministic
     }
 
     /// The plan geometry.
@@ -350,7 +374,7 @@ impl PreparedConvF32 {
             return Ok(());
         }
         let threads = rayon::current_num_threads();
-        let chunk = if threads <= 1 {
+        let chunk = if threads <= 1 || self.deterministic {
             n_images
         } else {
             n_images.div_ceil(threads)
@@ -400,6 +424,7 @@ impl PreparedConvF32 {
             1,
             output,
             false,
+            self.deterministic,
             Some(obs),
         );
         Ok(())
@@ -475,8 +500,9 @@ impl PreparedConvF32 {
             }
             // No image chunks to fan out: parallelize across the block's t²
             // independent GEMMs instead (the low-latency single-image path).
-            let parallel_gemms =
-                rayon::current_num_threads() > 1 && o * c * bp >= PAR_GEMM_MIN_BLOCK;
+            let parallel_gemms = !self.deterministic
+                && rayon::current_num_threads() > 1
+                && o * c * bp >= PAR_GEMM_MIN_BLOCK;
             run_images_f32(
                 &self.plan,
                 &self.u,
@@ -489,6 +515,7 @@ impl PreparedConvF32 {
                 n_images,
                 output,
                 parallel_gemms,
+                self.deterministic,
                 None,
             );
             return;
@@ -509,7 +536,7 @@ impl PreparedConvF32 {
                 // Workers are the parallelism here; their GEMMs stay serial.
                 run_images_f32(
                     plan, u, bt, at, bp, &mut v, &mut prod, in_chunk, images, out_chunk, false,
-                    None,
+                    false, None,
                 );
             })
             .collect::<Vec<()>>();
@@ -518,7 +545,10 @@ impl PreparedConvF32 {
 
 /// Scatter→GEMM→gather over all `n_images · P` tiles of a contiguous image
 /// range. `block` bounds the tiles per scatter/product buffer fill; `v` and
-/// `prod` must hold `t²·C·block` and `t²·O·block` elements.
+/// `prod` must hold `t²·C·block` and `t²·O·block` elements. With `det` set
+/// the winograd-coordinate GEMMs run the naive fixed-order
+/// [`wgft_tensor::gemm_f32_det`] spec kernel instead of the blocked one
+/// (callers also keep `parallel_gemms` off in that mode).
 #[allow(clippy::too_many_arguments)]
 fn run_images_f32(
     plan: &WinogradPlan,
@@ -532,6 +562,7 @@ fn run_images_f32(
     n_images: usize,
     output: &mut [f32],
     parallel_gemms: bool,
+    det: bool,
     mut obs: Option<&mut dyn GemmObserver>,
 ) {
     let shape = plan.shape;
@@ -596,6 +627,7 @@ fn run_images_f32(
         // inside each GEMM would pay t² fork/joins plus stitch copies.
         if parallel_gemms {
             debug_assert!(obs.is_none(), "observed execution is always serial");
+            debug_assert!(!det, "deterministic mode keeps GEMMs serial");
             use rayon::prelude::*;
             let v_ro: &[f32] = v;
             let jobs: Vec<(usize, &mut [f32])> =
@@ -614,7 +646,8 @@ fn run_images_f32(
                 .collect::<Vec<()>>();
         } else {
             for k in 0..t2 {
-                gemm_f32(
+                let gemm = if det { gemm_f32_det } else { gemm_f32 };
+                gemm(
                     &u[k * o * c..(k + 1) * o * c],
                     &v[k * c * bp..(k + 1) * c * bp],
                     &mut prod[k * o * bp..(k + 1) * o * bp],

@@ -1,0 +1,195 @@
+//! Canonical cross-platform determinism vectors.
+//!
+//! Each vector fixes an input (derived from an integer LCG, so the input
+//! bits themselves are platform-independent), runs one of the
+//! consensus-capable engines, and compares an FNV-1a hash of the output's
+//! exact bit patterns against a pinned constant. The same constants must
+//! hold on every IEEE-754 platform and under every codegen flag set — CI
+//! runs this file both with the workspace's default `target-cpu=native`
+//! build and with `RUSTFLAGS=""` — because:
+//!
+//! * the quantized fast path (`quantized-exact-v1`) is integer end to end;
+//! * the deterministic-f32 kernels (`f32-det`) accumulate in a fixed order
+//!   with one rounding step per multiply and add, and Rust never contracts
+//!   `a*b + c` into an FMA;
+//! * the blocked production f32 kernel preserves the det kernel's
+//!   accumulation order, which the cross-assertions here make executable.
+//!
+//! If a hash ever changes, a kernel reassociated its arithmetic — that is a
+//! consensus break for distributed sweeps, not a tolerable perturbation.
+
+use wgft_tensor::{gemm_f32, gemm_f32_det, ConvGeometry};
+use wgft_winograd::{
+    ConvShape, PreparedConvF32, PreparedConvQuantizedFast, WinogradVariant, WinogradWeights,
+};
+
+/// 64-bit FNV-1a (the journal's content-hash function).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn hash_f32(values: &[f32]) -> u64 {
+    let mut bytes = Vec::with_capacity(values.len() * 4);
+    for v in values {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+fn hash_i64(values: &[i64]) -> u64 {
+    let mut bytes = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// Deterministic integer LCG (Knuth MMIX constants); the float streams are
+/// derived from its integer output by exact power-of-two scaling.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0
+    }
+
+    /// A float in `[-2, 2)` whose bits are identical on every platform:
+    /// small-integer → f32 conversion and division by 256 are exact.
+    fn next_f32(&mut self) -> f32 {
+        let raw = (self.next_u64() >> 33) as i64 % 1024;
+        (raw - 512) as f32 / 256.0
+    }
+
+    /// A quantized word in `[-100, 100]`.
+    fn next_i32(&mut self) -> i32 {
+        ((self.next_u64() >> 33) as i64 % 201 - 100) as i32
+    }
+}
+
+fn f32_stream(seed: u64, len: usize) -> Vec<f32> {
+    let mut lcg = Lcg(seed);
+    (0..len).map(|_| lcg.next_f32()).collect()
+}
+
+fn i32_stream(seed: u64, len: usize) -> Vec<i32> {
+    let mut lcg = Lcg(seed);
+    (0..len).map(|_| lcg.next_i32()).collect()
+}
+
+/// Pinned output hash of the det-f32 GEMM vector (and of the blocked
+/// production kernel, which must match it bit for bit).
+const GEMM_F32_DET_VECTOR_HASH: u64 = 0xb0aa_1ee4_fc86_9bde;
+/// Pinned output hash of the deterministic-f32 F(2x2) convolution vector.
+const CONV_F32_DET_F2X2_HASH: u64 = 0x7551_9c9d_aad2_0ab8;
+/// Pinned output hash of the deterministic-f32 F(4x4) convolution vector
+/// (generated transforms, fractional points).
+const CONV_F32_DET_F4X4_HASH: u64 = 0x6b5a_7222_8eb6_2ea4;
+/// Pinned output hash of the quantized fast-path F(2x2) vector.
+const CONV_QUANTIZED_FAST_HASH: u64 = 0x0f87_efa5_72ad_c0d1;
+
+fn assert_pinned(actual: u64, pinned: u64, what: &str) {
+    assert_eq!(
+        actual, pinned,
+        "{what}: output bits drifted — got 0x{actual:016x}, pinned 0x{pinned:016x}. \
+         A changed hash means a kernel reassociated its arithmetic; that breaks the \
+         distributed merge guarantee and must not be waved through by re-pinning \
+         without understanding why."
+    );
+}
+
+#[test]
+fn gemm_vector_is_bit_pinned_for_det_and_blocked_kernels() {
+    let (m, k, n) = (48usize, 96usize, 160usize);
+    let a = f32_stream(0x5eed_0001, m * k);
+    let b = f32_stream(0x5eed_0002, k * n);
+    let mut det = vec![0.0f32; m * n];
+    gemm_f32_det(&a, &b, &mut det, m, k, n);
+    assert_pinned(
+        hash_f32(&det),
+        GEMM_F32_DET_VECTOR_HASH,
+        "gemm_f32_det vector",
+    );
+    let mut blocked = vec![0.0f32; m * n];
+    gemm_f32(&a, &b, &mut blocked, m, k, n);
+    assert_eq!(
+        det, blocked,
+        "the blocked kernel must reproduce the det spec bit for bit"
+    );
+}
+
+fn conv_f32_vector(variant: WinogradVariant) -> (Vec<f32>, Vec<f32>) {
+    let (c, o, size, images) = (3usize, 4usize, 16usize, 2usize);
+    let shape = ConvShape::new(c, o, ConvGeometry::square(size, 3, 1, 1));
+    let weights = f32_stream(0x5eed_0003, o * c * 9);
+    let input = f32_stream(0x5eed_0004, images * shape.input_len());
+
+    let mut det_plan = PreparedConvF32::new(&weights, &shape, variant).expect("plan");
+    det_plan.set_deterministic(true);
+    assert!(det_plan.deterministic());
+    let mut det_out = vec![0.0f32; images * shape.output_len()];
+    det_plan
+        .execute_batch_into(&input, images, &mut det_out)
+        .expect("det execute");
+
+    let mut fast_plan = PreparedConvF32::new(&weights, &shape, variant).expect("plan");
+    let mut fast_out = vec![0.0f32; images * shape.output_len()];
+    fast_plan
+        .execute_batch_into(&input, images, &mut fast_out)
+        .expect("fast execute");
+    (det_out, fast_out)
+}
+
+#[test]
+fn conv_f2x2_det_vector_is_bit_pinned_and_matched_by_the_fast_path() {
+    let (det, fast) = conv_f32_vector(WinogradVariant::F2x2);
+    assert_pinned(
+        hash_f32(&det),
+        CONV_F32_DET_F2X2_HASH,
+        "F(2x2) det conv vector",
+    );
+    assert_eq!(
+        det, fast,
+        "blocked/parallel engine must match det mode bit for bit"
+    );
+}
+
+#[test]
+fn conv_f4x4_det_vector_is_bit_pinned_and_matched_by_the_fast_path() {
+    let (det, fast) = conv_f32_vector(WinogradVariant::F4x4);
+    assert_pinned(
+        hash_f32(&det),
+        CONV_F32_DET_F4X4_HASH,
+        "F(4x4) det conv vector",
+    );
+    assert_eq!(
+        det, fast,
+        "blocked/parallel engine must match det mode bit for bit"
+    );
+}
+
+#[test]
+fn quantized_fast_vector_is_bit_pinned() {
+    let (c, o, size, images) = (3usize, 4usize, 16usize, 2usize);
+    let variant = WinogradVariant::F2x2;
+    let t2 = variant.input_tile() * variant.input_tile();
+    let shape = ConvShape::new(c, o, ConvGeometry::square(size, 3, 1, 1));
+    let weights =
+        WinogradWeights::new(variant, o, c, i32_stream(0x5eed_0005, o * c * t2)).expect("weights");
+    let input = i32_stream(0x5eed_0006, images * shape.input_len());
+    let mut plan = PreparedConvQuantizedFast::new(&weights, &shape).expect("plan");
+    let output = plan.execute_batch(&input, images).expect("execute");
+    assert_pinned(
+        hash_i64(&output),
+        CONV_QUANTIZED_FAST_HASH,
+        "quantized fast-path vector",
+    );
+}

@@ -6,6 +6,9 @@
 //!
 //! * [`abft`] — executable algorithm-based fault tolerance (checksummed
 //!   GEMMs, transform guards, range restriction),
+//! * [`audit`] — the determinism auditor: a token-level static-analysis
+//!   pass enforcing the consensus-critical arithmetic taxonomy across the
+//!   workspace (also the `wgft-audit` CLI, gated in CI),
 //! * [`fixedpoint`] — Q-format fixed-point arithmetic,
 //! * [`tensor`] — dense NCHW tensors and im2col,
 //! * [`faultsim`] — operation-level and neuron-level fault injection,
@@ -54,6 +57,7 @@
 
 pub use wgft_abft as abft;
 pub use wgft_accel as accel;
+pub use wgft_audit as audit;
 pub use wgft_core as core;
 pub use wgft_data as data;
 pub use wgft_fabric as fabric;
